@@ -1,0 +1,239 @@
+//! A minimal synthetic acoustic channel shared by the two baselines.
+//!
+//! Each user owns a short impulse response (their skull / ear canal
+//! acoustics). A probe signal convolves with that response; the
+//! microphone additionally picks up ambient acoustic noise — the property
+//! that breaks both baselines' noise immunity, and that an IMU-based
+//! system does not share.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Audio sample rate of the acoustic channel, Hz.
+pub const AUDIO_RATE_HZ: f64 = 8000.0;
+
+/// A user's head acoustics: a short impulse response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcousticUser {
+    /// Stable identifier.
+    pub id: u32,
+    ir: Vec<f64>,
+    seed: u64,
+}
+
+impl AcousticUser {
+    /// Samples a user's impulse response (length `taps`) from a seed.
+    /// Responses decay exponentially with user-specific tap pattern.
+    pub fn sample(id: u32, taps: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ (u64::from(id) << 24) ^ 0x6163_6f75);
+        let ir = (0..taps)
+            .map(|k| {
+                let decay = (-(k as f64) / (taps as f64 / 3.0)).exp();
+                rng.gen_range(-1.0..1.0) * decay
+            })
+            .collect();
+        AcousticUser { id, ir, seed }
+    }
+
+    /// The user's impulse response taps.
+    pub fn impulse_response(&self) -> &[f64] {
+        &self.ir
+    }
+
+    /// A per-session realisation: the device never sits identically, so
+    /// the effective response jitters a little.
+    pub fn session_ir(&self, session_seed: u64, jitter: f64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ session_seed ^ 0x7365_7373);
+        self.ir
+            .iter()
+            .map(|&t| t * (1.0 + rng.gen_range(-jitter..jitter)))
+            .collect()
+    }
+}
+
+/// The acoustic propagation channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcousticChannel {
+    /// RMS amplitude of ambient acoustic noise added at the microphone
+    /// (0.0 = quiet room).
+    pub ambient_noise: f64,
+}
+
+impl AcousticChannel {
+    /// A quiet room.
+    pub fn quiet() -> Self {
+        AcousticChannel { ambient_noise: 0.0 }
+    }
+
+    /// A noisy environment (street / café level relative to probe
+    /// amplitude 1.0).
+    pub fn noisy(level: f64) -> Self {
+        AcousticChannel { ambient_noise: level }
+    }
+
+    /// Plays `probe` through `ir` and records at the microphone,
+    /// adding ambient noise.
+    pub fn transmit(&self, probe: &[f64], ir: &[f64], noise_seed: u64) -> Vec<f64> {
+        let mut out = convolve(probe, ir);
+        if self.ambient_noise > 0.0 {
+            let mut rng = StdRng::seed_from_u64(noise_seed ^ 0x616d_6269);
+            for o in &mut out {
+                *o += rng.gen_range(-1.0..1.0) * self.ambient_noise * 1.732; // uniform RMS match
+            }
+        }
+        out
+    }
+}
+
+/// Full linear convolution of `signal` with `kernel`.
+pub fn convolve(signal: &[f64], kernel: &[f64]) -> Vec<f64> {
+    if signal.is_empty() || kernel.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0.0; signal.len() + kernel.len() - 1];
+    for (i, &s) in signal.iter().enumerate() {
+        for (j, &k) in kernel.iter().enumerate() {
+            out[i + j] += s * k;
+        }
+    }
+    out
+}
+
+/// A deterministic white-noise probe (SkullConduct's stimulus).
+pub fn white_noise_probe(len: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7768_6974);
+    (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// A linear chirp probe (EarEcho's stimulus), 100 Hz → 3 kHz.
+pub fn chirp_probe(len: usize) -> Vec<f64> {
+    let f0 = 100.0;
+    let f1 = 3000.0;
+    let t_total = len as f64 / AUDIO_RATE_HZ;
+    (0..len)
+        .map(|i| {
+            let t = i as f64 / AUDIO_RATE_HZ;
+            let f = f0 + (f1 - f0) * t / t_total;
+            (2.0 * std::f64::consts::PI * f * t).sin()
+        })
+        .collect()
+}
+
+/// Log-filterbank features: log energy in `bands` evenly spaced frequency
+/// bands of the response spectrum — the feature both baselines verify on.
+pub fn log_band_features(response: &[f64], bands: usize) -> Vec<f64> {
+    let spectrum = mandipass_dsp::fft::magnitude_spectrum(response, AUDIO_RATE_HZ);
+    let nyquist = AUDIO_RATE_HZ / 2.0;
+    let mut energy = vec![0.0f64; bands];
+    for (f, m) in spectrum {
+        let band = ((f / nyquist) * bands as f64).min(bands as f64 - 1.0) as usize;
+        energy[band] += m * m;
+    }
+    energy.iter().map(|&e| (e + 1e-12).ln()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convolution_with_delta_is_identity() {
+        let sig = vec![1.0, 2.0, 3.0];
+        assert_eq!(convolve(&sig, &[1.0]), sig);
+    }
+
+    #[test]
+    fn convolution_length_is_sum_minus_one() {
+        let out = convolve(&[1.0; 5], &[1.0; 3]);
+        assert_eq!(out.len(), 7);
+        assert_eq!(out[3], 3.0); // full overlap
+    }
+
+    #[test]
+    fn empty_inputs_convolve_to_empty() {
+        assert!(convolve(&[], &[1.0]).is_empty());
+        assert!(convolve(&[1.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn users_have_distinct_responses() {
+        let a = AcousticUser::sample(0, 32, 9);
+        let b = AcousticUser::sample(1, 32, 9);
+        assert_ne!(a.impulse_response(), b.impulse_response());
+    }
+
+    #[test]
+    fn session_ir_jitters_but_stays_close() {
+        let u = AcousticUser::sample(0, 32, 10);
+        let s = u.session_ir(5, 0.05);
+        let max_rel: f64 = u
+            .impulse_response()
+            .iter()
+            .zip(&s)
+            .filter(|(o, _)| o.abs() > 1e-9)
+            .map(|(o, n)| ((n - o) / o).abs())
+            .fold(0.0, f64::max);
+        assert!(max_rel <= 0.05 + 1e-12);
+    }
+
+    #[test]
+    fn quiet_channel_is_noise_free() {
+        let u = AcousticUser::sample(0, 16, 11);
+        let probe = white_noise_probe(64, 1);
+        let a = AcousticChannel::quiet().transmit(&probe, u.impulse_response(), 1);
+        let b = AcousticChannel::quiet().transmit(&probe, u.impulse_response(), 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noisy_channel_perturbs_response() {
+        let u = AcousticUser::sample(0, 16, 12);
+        let probe = white_noise_probe(64, 1);
+        let quiet = AcousticChannel::quiet().transmit(&probe, u.impulse_response(), 1);
+        let noisy = AcousticChannel::noisy(0.5).transmit(&probe, u.impulse_response(), 1);
+        assert_ne!(quiet, noisy);
+    }
+
+    #[test]
+    fn chirp_probe_sweeps_upward() {
+        let probe = chirp_probe(4000);
+        // Zero crossings accelerate over time for an up-chirp.
+        let crossings = |s: &[f64]| s.windows(2).filter(|w| w[0] * w[1] < 0.0).count();
+        let early = crossings(&probe[..1000]);
+        let late = crossings(&probe[3000..]);
+        assert!(late > early, "early {early} late {late}");
+    }
+
+    #[test]
+    fn band_features_have_requested_size() {
+        let u = AcousticUser::sample(0, 16, 13);
+        let probe = white_noise_probe(256, 2);
+        let resp = AcousticChannel::quiet().transmit(&probe, u.impulse_response(), 1);
+        let feats = log_band_features(&resp, 16);
+        assert_eq!(feats.len(), 16);
+        assert!(feats.iter().all(|f| f.is_finite()));
+    }
+
+    #[test]
+    fn band_features_distinguish_users() {
+        let probe = white_noise_probe(512, 3);
+        let fa = log_band_features(
+            &AcousticChannel::quiet().transmit(
+                &probe,
+                AcousticUser::sample(0, 32, 14).impulse_response(),
+                1,
+            ),
+            16,
+        );
+        let fb = log_band_features(
+            &AcousticChannel::quiet().transmit(
+                &probe,
+                AcousticUser::sample(1, 32, 14).impulse_response(),
+                1,
+            ),
+            16,
+        );
+        let diff: f64 = fa.iter().zip(&fb).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1.0, "features too similar: {diff}");
+    }
+}

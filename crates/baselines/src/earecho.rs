@@ -1,0 +1,178 @@
+//! A simplified EarEcho: ear-canal acoustic echo authentication.
+//!
+//! The original plays a stimulus through an earbud and identifies the
+//! wearer from the ear canal's echo. Our reimplementation uses a chirp
+//! probe, a per-user ear-canal impulse response, log-filterbank features,
+//! and an averaged-template cosine verifier. Registration averages over
+//! several wearing positions (RTC well above 1 s); the template is not
+//! cancelable, and the in-ear microphone inherits ambient noise.
+
+use crate::acoustic::{chirp_probe, log_band_features, AcousticChannel, AcousticUser, AUDIO_RATE_HZ};
+use mandipass::similarity::cosine_distance;
+
+/// Number of filterbank bands in the EarEcho feature.
+pub const BANDS: usize = 32;
+
+/// Probe length in samples (0.4 s of chirp).
+pub const PROBE_LEN: usize = (AUDIO_RATE_HZ * 0.4) as usize;
+
+/// Enrolment probes over multiple wearing positions — the source of the
+/// multi-second registration time.
+pub const ENROLL_PROBES: usize = 8;
+
+/// Session-to-session wearing jitter of the ear-canal response (in-ear
+/// fit varies more than eyewear).
+const SESSION_JITTER: f64 = 0.40;
+
+/// The EarEcho verifier.
+#[derive(Debug, Clone)]
+pub struct EarEcho {
+    probe: Vec<f64>,
+    threshold: f64,
+    template: Option<Vec<f64>>,
+}
+
+impl EarEcho {
+    /// Creates a verifier with the given cosine-distance threshold.
+    pub fn new(threshold: f64) -> Self {
+        EarEcho { probe: chirp_probe(PROBE_LEN), threshold, template: None }
+    }
+
+    /// Registration time cost in seconds: `ENROLL_PROBES` probes plus
+    /// re-seating time between them (~0.5 s each).
+    pub fn registration_seconds(&self) -> f64 {
+        ENROLL_PROBES as f64 * (PROBE_LEN as f64 / AUDIO_RATE_HZ + 0.5)
+    }
+
+    /// The decision threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Extracts the feature of one attempt.
+    pub fn probe_features(
+        &self,
+        user: &AcousticUser,
+        channel: &AcousticChannel,
+        session_seed: u64,
+    ) -> Vec<f64> {
+        let ir = user.session_ir(session_seed, SESSION_JITTER);
+        let response = channel.transmit(&self.probe, &ir, session_seed);
+        log_band_features(&response, BANDS)
+    }
+
+    /// Enrols a user by averaging features over the enrolment probes.
+    pub fn enroll(&mut self, user: &AcousticUser, channel: &AcousticChannel, base_seed: u64) {
+        let mut acc = vec![0.0f64; BANDS];
+        for p in 0..ENROLL_PROBES {
+            let f = self.probe_features(user, channel, base_seed ^ ((p as u64) << 8));
+            for (a, v) in acc.iter_mut().zip(&f) {
+                *a += v;
+            }
+        }
+        for a in &mut acc {
+            *a /= ENROLL_PROBES as f64;
+        }
+        self.template = Some(acc);
+    }
+
+    /// Verifies an attempt; returns `(accepted, distance)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no user is enrolled.
+    pub fn verify(
+        &self,
+        user: &AcousticUser,
+        channel: &AcousticChannel,
+        session_seed: u64,
+    ) -> (bool, f64) {
+        let features = self.probe_features(user, channel, session_seed);
+        self.verify_features(&features)
+    }
+
+    /// Verifies a raw feature vector (the replay path).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no user is enrolled.
+    pub fn verify_features(&self, features: &[f64]) -> (bool, f64) {
+        let template = self.template.as_ref().expect("no user enrolled");
+        let tf: Vec<f32> = template.iter().map(|&v| v as f32).collect();
+        let pf: Vec<f32> = features.iter().map(|&v| v as f32).collect();
+        let d = cosine_distance(&tf, &pf);
+        (d < self.threshold, d)
+    }
+
+    /// The stored (non-cancelable) template, if enrolled.
+    pub fn template(&self) -> Option<&[f64]> {
+        self.template.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (EarEcho, AcousticUser, AcousticUser, AcousticChannel) {
+        (
+            EarEcho::new(0.02),
+            AcousticUser::sample(0, 48, 88),
+            AcousticUser::sample(1, 48, 88),
+            AcousticChannel::quiet(),
+        )
+    }
+
+    #[test]
+    fn genuine_user_mostly_verifies() {
+        let (mut sys, user, _, channel) = setup();
+        sys.enroll(&user, &channel, 1);
+        let mut ok = 0;
+        for s in 100..110 {
+            if sys.verify(&user, &channel, s).0 {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 6, "only {ok}/10 genuine accepts");
+    }
+
+    #[test]
+    fn impostor_is_more_distant() {
+        let (mut sys, user, other, channel) = setup();
+        sys.enroll(&user, &channel, 1);
+        let genuine = sys.verify(&user, &channel, 200).1;
+        let impostor = sys.verify(&other, &channel, 200).1;
+        assert!(genuine < impostor);
+    }
+
+    #[test]
+    fn registration_exceeds_one_second() {
+        let (sys, ..) = setup();
+        assert!(sys.registration_seconds() > 1.0, "RTC {}", sys.registration_seconds());
+    }
+
+    #[test]
+    fn replayed_template_verifies() {
+        let (mut sys, user, _, channel) = setup();
+        sys.enroll(&user, &channel, 1);
+        let stolen = sys.template().unwrap().to_vec();
+        sys.enroll(&user, &channel, 2); // "revocation" by re-enrolment
+        assert!(sys.verify_features(&stolen).0);
+    }
+
+    #[test]
+    fn noise_increases_distance() {
+        let (mut sys, user, _, channel) = setup();
+        sys.enroll(&user, &channel, 1);
+        let quiet = sys.verify(&user, &channel, 300).1;
+        let noisy = sys.verify(&user, &AcousticChannel::noisy(2.0), 300).1;
+        assert!(noisy > quiet);
+    }
+
+    #[test]
+    #[should_panic(expected = "no user enrolled")]
+    fn verify_without_enrolment_panics() {
+        let (sys, user, _, channel) = setup();
+        let _ = sys.verify(&user, &channel, 1);
+    }
+}

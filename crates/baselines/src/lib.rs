@@ -1,0 +1,27 @@
+//! Simplified reimplementations of the paper's two comparison systems
+//! (Table I): **SkullConduct** (bone-conduction acoustic authentication on
+//! eyewear) and **EarEcho** (ear-canal acoustic echo authentication on
+//! earphones).
+//!
+//! Both are *acoustic* systems: a probe sound plays through the user's
+//! head and a microphone records the response, so their features inherit
+//! ambient acoustic noise, and neither deploys cancelable templates. The
+//! Table I comparison measures four properties mechanically on all three
+//! systems:
+//!
+//! * **RTC** — registration time cost (seconds of probe audio needed),
+//! * **FRR** — false reject rate at the system's own EER threshold,
+//! * **RARA** — replay-attack resilience (does a stolen template verify
+//!   after revocation?),
+//! * **IAN** — immunity against acoustic noise (does VSR survive ambient
+//!   sound?).
+
+pub mod acoustic;
+pub mod comparison;
+pub mod earecho;
+pub mod skullconduct;
+
+pub use acoustic::{AcousticChannel, AcousticUser};
+pub use comparison::{ComparisonRow, SystemProperties};
+pub use earecho::EarEcho;
+pub use skullconduct::SkullConduct;

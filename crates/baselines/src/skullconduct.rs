@@ -1,0 +1,180 @@
+//! A simplified SkullConduct: bone-conduction white-noise authentication.
+//!
+//! The original plays white noise through an eyewear bone-conduction
+//! speaker and identifies the wearer from the skull's frequency response.
+//! Our reimplementation keeps that structure: a fixed white-noise probe,
+//! a per-user skull impulse response, log-filterbank features, and a
+//! nearest-template cosine verifier. Registration needs a single short
+//! probe (RTC ≤ 1 s); the feature template is *not* cancelable, and the
+//! microphone inherits ambient acoustic noise.
+
+use crate::acoustic::{
+    log_band_features, white_noise_probe, AcousticChannel, AcousticUser, AUDIO_RATE_HZ,
+};
+use mandipass::similarity::cosine_distance;
+
+/// Number of filterbank bands in the SkullConduct feature.
+pub const BANDS: usize = 24;
+
+/// Probe length in samples (0.5 s at the audio rate — under the 1 s RTC
+/// budget).
+pub const PROBE_LEN: usize = (AUDIO_RATE_HZ as usize) / 2;
+
+/// Session-to-session wearing jitter of the skull response.
+const SESSION_JITTER: f64 = 0.30;
+
+/// The SkullConduct verifier.
+#[derive(Debug, Clone)]
+pub struct SkullConduct {
+    probe: Vec<f64>,
+    threshold: f64,
+    template: Option<Vec<f64>>,
+}
+
+impl SkullConduct {
+    /// Creates a verifier with the given decision threshold on cosine
+    /// distance.
+    pub fn new(threshold: f64) -> Self {
+        SkullConduct { probe: white_noise_probe(PROBE_LEN, 0x736b_756c), threshold, template: None }
+    }
+
+    /// Registration time cost in seconds: one probe.
+    pub fn registration_seconds(&self) -> f64 {
+        PROBE_LEN as f64 / AUDIO_RATE_HZ
+    }
+
+    /// The decision threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Extracts the feature of one authentication attempt.
+    pub fn probe_features(
+        &self,
+        user: &AcousticUser,
+        channel: &AcousticChannel,
+        session_seed: u64,
+    ) -> Vec<f64> {
+        let ir = user.session_ir(session_seed, SESSION_JITTER);
+        let response = channel.transmit(&self.probe, &ir, session_seed);
+        log_band_features(&response, BANDS)
+    }
+
+    /// Enrols a user from one probe (SkullConduct's one-shot
+    /// registration).
+    pub fn enroll(&mut self, user: &AcousticUser, channel: &AcousticChannel, session_seed: u64) {
+        self.template = Some(self.probe_features(user, channel, session_seed));
+    }
+
+    /// Verifies an attempt; returns `(accepted, distance)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no user is enrolled.
+    pub fn verify(
+        &self,
+        user: &AcousticUser,
+        channel: &AcousticChannel,
+        session_seed: u64,
+    ) -> (bool, f64) {
+        let features = self.probe_features(user, channel, session_seed);
+        self.verify_features(&features)
+    }
+
+    /// Verifies a raw feature vector — the path a replay attacker takes
+    /// with a stolen template.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no user is enrolled.
+    pub fn verify_features(&self, features: &[f64]) -> (bool, f64) {
+        let template = self.template.as_ref().expect("no user enrolled");
+        let tf: Vec<f32> = template.iter().map(|&v| v as f32).collect();
+        let pf: Vec<f32> = features.iter().map(|&v| v as f32).collect();
+        let d = cosine_distance(&tf, &pf);
+        (d < self.threshold, d)
+    }
+
+    /// The stored (non-cancelable) template, if enrolled.
+    pub fn template(&self) -> Option<&[f64]> {
+        self.template.as_deref()
+    }
+
+    /// "Revokes" the enrolment. Because the template is a raw biometric
+    /// feature, re-enrolling the same user reproduces (nearly) the same
+    /// template — a stolen copy keeps verifying. This method exists so
+    /// the Table I harness can demonstrate exactly that failure.
+    pub fn reenroll(&mut self, user: &AcousticUser, channel: &AcousticChannel, session_seed: u64) {
+        self.enroll(user, channel, session_seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SkullConduct, AcousticUser, AcousticUser, AcousticChannel) {
+        (
+            SkullConduct::new(0.02),
+            AcousticUser::sample(0, 32, 77),
+            AcousticUser::sample(1, 32, 77),
+            AcousticChannel::quiet(),
+        )
+    }
+
+    #[test]
+    fn genuine_user_verifies_in_quiet_room() {
+        let (mut sys, user, _, channel) = setup();
+        sys.enroll(&user, &channel, 1);
+        let mut ok = 0;
+        for s in 10..20 {
+            if sys.verify(&user, &channel, s).0 {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 8, "only {ok}/10 genuine accepts");
+    }
+
+    #[test]
+    fn impostor_is_more_distant_than_genuine() {
+        let (mut sys, user, other, channel) = setup();
+        sys.enroll(&user, &channel, 1);
+        let genuine = sys.verify(&user, &channel, 30).1;
+        let impostor = sys.verify(&other, &channel, 30).1;
+        assert!(genuine < impostor, "genuine {genuine} vs impostor {impostor}");
+    }
+
+    #[test]
+    fn replayed_template_always_verifies() {
+        // The RARA failure: exhibit the stolen template verbatim.
+        let (mut sys, user, _, channel) = setup();
+        sys.enroll(&user, &channel, 1);
+        let stolen = sys.template().unwrap().to_vec();
+        sys.reenroll(&user, &channel, 2); // "revocation"
+        let (accepted, d) = sys.verify_features(&stolen);
+        assert!(accepted, "stolen template rejected (d = {d}) — RARA would hold");
+    }
+
+    #[test]
+    fn ambient_noise_degrades_verification() {
+        let (mut sys, user, _, channel) = setup();
+        sys.enroll(&user, &channel, 1);
+        let quiet_d = sys.verify(&user, &channel, 40).1;
+        let noisy = AcousticChannel::noisy(2.0);
+        let noisy_d = sys.verify(&user, &noisy, 40).1;
+        assert!(noisy_d > quiet_d, "noise did not increase distance");
+    }
+
+    #[test]
+    fn registration_is_under_one_second() {
+        let (sys, ..) = setup();
+        assert!(sys.registration_seconds() <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no user enrolled")]
+    fn verify_without_enrolment_panics() {
+        let (sys, user, _, channel) = setup();
+        let _ = sys.verify(&user, &channel, 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! Criterion benches for the DSP substrate: each §IV preprocessing stage
+//! in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mandipass_dsp::detect::{detect_vibration_start, DetectorConfig};
+use mandipass_dsp::fft::magnitude_spectrum;
+use mandipass_dsp::filter::Butterworth;
+use mandipass_dsp::gradient::directional_gradients;
+use mandipass_dsp::normalize::min_max;
+use mandipass_dsp::outlier::{clean_segment, DEFAULT_MAD_THRESHOLD};
+
+fn recording_like(len: usize) -> Vec<f64> {
+    let mut sig = vec![0.0; 60];
+    sig.extend((0..len.saturating_sub(60)).map(|i| {
+        let t = i as f64 / 350.0;
+        8192.0 * 0.6 + 700.0 * (2.0 * std::f64::consts::PI * 123.0 * t).sin()
+    }));
+    sig
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let sig = recording_like(220);
+    let config = DetectorConfig::default();
+    c.bench_function("vibration_detection", |b| {
+        b.iter(|| detect_vibration_start(std::hint::black_box(&sig), &config).expect("found"))
+    });
+}
+
+fn bench_mad_clean(c: &mut Criterion) {
+    let mut base = recording_like(120)[60..].to_vec();
+    base[10] += 4000.0;
+    base[40] -= 4000.0;
+    c.bench_function("mad_clean_segment_60", |b| {
+        b.iter(|| {
+            let mut seg = base.clone();
+            clean_segment(&mut seg, DEFAULT_MAD_THRESHOLD)
+        })
+    });
+}
+
+fn bench_highpass(c: &mut Criterion) {
+    let hp = Butterworth::highpass(4, 20.0, 350.0).expect("valid design");
+    let seg = recording_like(120)[60..].to_vec();
+    c.bench_function("butterworth_filtfilt_60", |b| {
+        b.iter(|| hp.filtfilt(std::hint::black_box(&seg)))
+    });
+}
+
+fn bench_normalize(c: &mut Criterion) {
+    let seg = recording_like(120)[60..].to_vec();
+    c.bench_function("min_max_normalize_60", |b| {
+        b.iter(|| min_max(std::hint::black_box(&seg)))
+    });
+}
+
+fn bench_gradients(c: &mut Criterion) {
+    let seg = min_max(&recording_like(120)[60..]);
+    c.bench_function("directional_gradients_60", |b| {
+        b.iter(|| directional_gradients(std::hint::black_box(&seg), 30))
+    });
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let sig = recording_like(1024);
+    c.bench_function("magnitude_spectrum_1024", |b| {
+        b.iter(|| magnitude_spectrum(std::hint::black_box(&sig), 350.0))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_detection,
+    bench_mad_clean,
+    bench_highpass,
+    bench_normalize,
+    bench_gradients,
+    bench_fft,
+);
+criterion_main!(benches);

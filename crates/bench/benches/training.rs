@@ -1,0 +1,47 @@
+//! Criterion benches for the training path: one optimiser step of the
+//! two-branch extractor, and the VSP dataset synthesis rate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mandipass::prelude::*;
+use mandipass::train::{TrainingConfig, VspTrainer};
+use mandipass_imu_sim::{Population, Recorder};
+use mandipass_nn::layer::Layer;
+use mandipass_nn::optim::{Adam, Optimizer};
+use mandipass_nn::tensor::Tensor;
+
+fn bench_train_batch(c: &mut Criterion) {
+    let mut extractor =
+        BiometricExtractor::new(ExtractorConfig::paper(24)).expect("valid architecture");
+    let batch = 32usize;
+    let data: Vec<f32> = (0..batch * 2 * 6 * 30).map(|i| ((i * 31 % 97) as f32) / 97.0).collect();
+    let input = Tensor::from_vec(vec![batch, 2, 6, 30], data).expect("shape matches");
+    let labels: Vec<usize> = (0..batch).map(|i| i % 24).collect();
+    let mut adam = Adam::new(1e-3);
+    c.bench_function("extractor_train_batch_32", |b| {
+        b.iter(|| {
+            let (loss, _) = extractor.train_batch(std::hint::black_box(&input), &labels);
+            adam.step(&mut extractor.params());
+            loss
+        })
+    });
+}
+
+fn bench_dataset_synthesis(c: &mut Criterion) {
+    let pop = Population::generate(3, 2021);
+    let recorder = Recorder::default();
+    let trainer = VspTrainer::new(TrainingConfig {
+        seconds_per_person: 0.6,
+        ..TrainingConfig::fast_demo()
+    });
+    let refs: Vec<_> = pop.users().iter().collect();
+    c.bench_function("vsp_dataset_3users_4probes", |b| {
+        b.iter_batched(
+            || refs.clone(),
+            |r| trainer.build_dataset(std::hint::black_box(&r), &recorder),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_train_batch, bench_dataset_synthesis);
+criterion_main!(benches);

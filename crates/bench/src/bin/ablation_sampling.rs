@@ -1,0 +1,75 @@
+//! Ablation: the sensor's internal DLPF on versus off.
+//!
+//! With the DLPF off, vocal-band content above the cutoff aliases
+//! unfiltered into the output; the aliased pattern is hypersensitive to
+//! the sampling-clock phase, inflating intra-user variance. This
+//! experiment quantifies that effect at raw-feature level (cosine EER on
+//! gradient arrays, no training needed) and motivates the DLPF term in
+//! the sensor model.
+
+use mandipass::gradient_array::GradientArray;
+use mandipass::prelude::PipelineConfig;
+use mandipass::preprocess::preprocess;
+use mandipass_bench::EvalScale;
+use mandipass_eval::metrics::eer;
+use mandipass_eval::pairs::ScoreSet;
+use mandipass_eval::{ExperimentRecord, ReportTable};
+use mandipass_imu_sim::{Condition, ImuModel, Population, Recorder};
+
+fn raw_eer(dlpf: Option<f64>, users: usize, probes: usize, seed: u64) -> Option<f64> {
+    let pop = Population::generate(users, seed);
+    let mut imu = ImuModel::mpu9250();
+    imu.dlpf_cutoff_hz = dlpf;
+    let recorder = Recorder { imu, ..Recorder::default() };
+    let config = PipelineConfig::default();
+    let per_user: Vec<Vec<Vec<f32>>> = pop
+        .users()
+        .iter()
+        .map(|u| {
+            (0..probes as u64)
+                .filter_map(|p| {
+                    let rec = recorder.record(u, Condition::Normal, 0xab1e ^ (p << 16));
+                    let arr = preprocess(&rec, &config).ok()?;
+                    Some(GradientArray::from_signal_array(&arr, config.half_n()).to_f32())
+                })
+                .collect()
+        })
+        .collect();
+    let scores = ScoreSet::from_embeddings(&per_user);
+    eer(&scores.genuine, &scores.impostor).map(|p| p.eer)
+}
+
+fn main() {
+    let scale = EvalScale::from_env();
+    let users = scale.users.min(12);
+    let probes = scale.probes_per_user.min(16);
+    println!("raw-feature ablation over {users} users x {probes} probes");
+
+    let with_dlpf = raw_eer(Some(170.0), users, probes, scale.seed).expect("scores");
+    let without = raw_eer(None, users, probes, scale.seed).expect("scores");
+
+    let mut table = ReportTable::new("Ablation: sensor DLPF on vs off (raw-feature EER)");
+    table.push(ExperimentRecord::new(
+        "ablation",
+        "raw cosine EER with DLPF (170 Hz)",
+        "the deployed sensor configuration",
+        format!("{:.2} %", with_dlpf * 100.0),
+        true,
+    ));
+    table.push(
+        ExperimentRecord::new(
+            "ablation",
+            "raw cosine EER without DLPF",
+            "raw aliasing path",
+            format!("{:.2} %", without * 100.0),
+            true,
+        )
+        .with_note(format!(
+            "DLPF {} raw separability by {:.2} pp",
+            if with_dlpf <= without { "improves" } else { "worsens" },
+            (without - with_dlpf).abs() * 100.0
+        )),
+    );
+    println!("{}", table.to_console());
+    println!("JSON: {}", table.to_json());
+}

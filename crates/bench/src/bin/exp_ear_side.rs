@@ -1,0 +1,13 @@
+//! §VII.B: left-ear verification.
+
+use mandipass_bench::{experiments, EvalScale, TrainedStack};
+
+fn main() {
+    let scale = EvalScale::from_env();
+    println!("{}", scale.describe());
+    let mut stack = TrainedStack::build(scale).expect("VSP training failed");
+    let (_, threshold) = experiments::fig10b_eer(&mut stack);
+    let table = experiments::exp_ear_side(&mut stack, threshold);
+    println!("{}", table.to_console());
+    println!("JSON: {}", table.to_json());
+}

@@ -1,0 +1,12 @@
+//! §VII.A: device scalability across the two IMU parts.
+
+use mandipass_bench::{experiments, EvalScale, TrainedStack};
+
+fn main() {
+    let scale = EvalScale::from_env();
+    println!("{}", scale.describe());
+    let mut stack = TrainedStack::build(scale).expect("VSP training failed");
+    let table = experiments::exp_imu_models(&mut stack);
+    println!("{}", table.to_console());
+    println!("JSON: {}", table.to_json());
+}

@@ -1,0 +1,12 @@
+//! §VII.E: time and storage overhead.
+
+use mandipass_bench::{experiments, EvalScale, TrainedStack};
+
+fn main() {
+    let scale = EvalScale::from_env();
+    println!("{}", scale.describe());
+    let mut stack = TrainedStack::build(scale).expect("VSP training failed");
+    let table = experiments::exp_overhead(&mut stack);
+    println!("{}", table.to_console());
+    println!("JSON: {}", table.to_json());
+}

@@ -1,0 +1,11 @@
+//! Fig. 1: σ(az) along the throat → mandible → ear path.
+
+use mandipass_bench::{experiments, EvalScale};
+
+fn main() {
+    let scale = EvalScale::from_env();
+    println!("{}", scale.describe());
+    let table = experiments::fig01_propagation(&scale);
+    println!("{}", table.to_console());
+    println!("JSON: {}", table.to_json());
+}

@@ -1,0 +1,11 @@
+//! Fig. 5: vibration detection and per-axis baselines.
+
+use mandipass_bench::{experiments, EvalScale};
+
+fn main() {
+    let scale = EvalScale::from_env();
+    println!("{}", scale.describe());
+    let table = experiments::fig05_detection(&scale);
+    println!("{}", table.to_console());
+    println!("JSON: {}", table.to_json());
+}

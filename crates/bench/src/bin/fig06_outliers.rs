@@ -1,0 +1,11 @@
+//! Fig. 6: MAD outlier detection and repair.
+
+use mandipass_bench::{experiments, EvalScale};
+
+fn main() {
+    let scale = EvalScale::from_env();
+    println!("{}", scale.describe());
+    let table = experiments::fig06_outliers(&scale);
+    println!("{}", table.to_console());
+    println!("JSON: {}", table.to_json());
+}

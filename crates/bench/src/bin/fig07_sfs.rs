@@ -1,0 +1,11 @@
+//! Fig. 7: statistical features are insufficient.
+
+use mandipass_bench::{experiments, EvalScale};
+
+fn main() {
+    let scale = EvalScale::from_env();
+    println!("{}", scale.describe());
+    let table = experiments::fig07_sfs(&scale);
+    println!("{}", table.to_console());
+    println!("JSON: {}", table.to_json());
+}

@@ -1,0 +1,12 @@
+//! Fig. 10(a): classifier comparison on gradient arrays.
+
+use mandipass_bench::{experiments, EvalScale, TrainedStack};
+
+fn main() {
+    let scale = EvalScale::from_env();
+    println!("{}", scale.describe());
+    let mut stack = TrainedStack::build(scale).expect("VSP training failed");
+    let table = experiments::fig10a_classifiers(&mut stack);
+    println!("{}", table.to_console());
+    println!("JSON: {}", table.to_json());
+}

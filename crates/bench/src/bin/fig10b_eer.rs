@@ -1,0 +1,13 @@
+//! Fig. 10(b): the FAR/FRR sweep and the EER.
+
+use mandipass_bench::{experiments, EvalScale, TrainedStack};
+
+fn main() {
+    let scale = EvalScale::from_env();
+    println!("{}", scale.describe());
+    let mut stack = TrainedStack::build(scale).expect("VSP training failed");
+    let (table, threshold) = experiments::fig10b_eer(&mut stack);
+    println!("{}", table.to_console());
+    println!("operating threshold: {threshold:.4}");
+    println!("JSON: {}", table.to_json());
+}

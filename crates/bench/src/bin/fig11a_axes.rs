@@ -1,0 +1,12 @@
+//! Fig. 11(a): effect of the number of involved axes.
+
+use mandipass_bench::{experiments, EvalScale, TrainedStack};
+
+fn main() {
+    let scale = EvalScale::from_env();
+    println!("{}", scale.describe());
+    let mut stack = TrainedStack::build(scale).expect("VSP training failed");
+    let table = experiments::fig11a_axes(&mut stack);
+    println!("{}", table.to_console());
+    println!("JSON: {}", table.to_json());
+}

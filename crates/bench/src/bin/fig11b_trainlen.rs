@@ -1,0 +1,12 @@
+//! Fig. 11(b): effect of training-set length (multiple trainings).
+
+use mandipass_bench::{experiments, EvalScale};
+
+fn main() {
+    let scale = EvalScale::from_env();
+    println!("{}", scale.describe());
+    let lengths = [3.0, 6.0, 12.0];
+    let table = experiments::fig11b_trainlen(&scale, &lengths);
+    println!("{}", table.to_console());
+    println!("JSON: {}", table.to_json());
+}

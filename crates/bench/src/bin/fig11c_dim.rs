@@ -1,0 +1,12 @@
+//! Fig. 11(c): effect of MandiblePrint length (multiple trainings).
+
+use mandipass_bench::{experiments, EvalScale};
+
+fn main() {
+    let scale = EvalScale::from_env();
+    println!("{}", scale.describe());
+    let dims = [32, 128, 512];
+    let table = experiments::fig11c_dim(&scale, &dims);
+    println!("{}", table.to_console());
+    println!("JSON: {}", table.to_json());
+}

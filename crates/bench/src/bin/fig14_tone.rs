@@ -1,0 +1,13 @@
+//! Fig. 14: voicing tone robustness.
+
+use mandipass_bench::{experiments, EvalScale, TrainedStack};
+
+fn main() {
+    let scale = EvalScale::from_env();
+    println!("{}", scale.describe());
+    let mut stack = TrainedStack::build(scale).expect("VSP training failed");
+    let (_, threshold) = experiments::fig10b_eer(&mut stack);
+    let table = experiments::fig14_tone(&mut stack, threshold);
+    println!("{}", table.to_console());
+    println!("JSON: {}", table.to_json());
+}

@@ -1,0 +1,72 @@
+//! Regenerates every figure and table in one process, sharing a single
+//! trained stack where the experiment design allows it, and renders the
+//! combined paper-vs-measured report (the source of `EXPERIMENTS.md`).
+//!
+//! Pass `--markdown` to print GitHub-flavoured markdown instead of the
+//! console rendering.
+
+use mandipass_bench::{experiments, EvalScale, TrainedStack};
+use mandipass_eval::ReportTable;
+
+fn main() {
+    let markdown = std::env::args().any(|a| a == "--markdown");
+    let scale = EvalScale::from_env();
+    eprintln!("{}", scale.describe());
+
+    let mut tables: Vec<ReportTable> = Vec::new();
+
+    // Stackless preprocessing/feasibility artifacts.
+    tables.push(experiments::fig01_propagation(&scale));
+    tables.push(experiments::fig05_detection(&scale));
+    tables.push(experiments::fig06_outliers(&scale));
+    tables.push(experiments::fig07_sfs(&scale));
+
+    // One shared trained stack for the single-training artifacts.
+    eprintln!("training the shared extractor stack…");
+    let t0 = std::time::Instant::now();
+    let mut stack = TrainedStack::build(scale.clone()).expect("VSP training failed");
+    eprintln!("trained in {:.0} s", t0.elapsed().as_secs_f64());
+
+    let (fig10b, threshold) = experiments::fig10b_eer(&mut stack);
+    tables.push(experiments::fig10a_classifiers(&mut stack));
+    tables.push(fig10b);
+    tables.push(experiments::fig10c_gender(&mut stack, threshold));
+    tables.push(experiments::fig11a_axes(&mut stack));
+    tables.push(experiments::fig12_food_activity(&mut stack, threshold));
+    tables.push(experiments::fig13_orientation(&mut stack, threshold));
+    tables.push(experiments::fig14_tone(&mut stack, threshold));
+    tables.push(experiments::exp_imu_models(&mut stack));
+    tables.push(experiments::exp_ear_side(&mut stack, threshold));
+    tables.push(experiments::exp_longterm(&mut stack, threshold));
+    tables.push(experiments::exp_security(&mut stack, threshold));
+    tables.push(experiments::exp_overhead(&mut stack));
+    tables.push(experiments::table1_comparison(&mut stack, threshold));
+
+    // Multi-training sweeps last (each trains its own extractors); run
+    // them at a cheaper sub-scale — only the trend is asserted.
+    eprintln!("running the training-sweep artifacts (multiple trainings)…");
+    let sweep = EvalScale {
+        users: scale.users.min(40),
+        held_out: scale.held_out.min(6),
+        probes_per_user: scale.probes_per_user.min(20),
+        epochs: scale.epochs.min(10),
+        embedding_dim: 256,
+        ..scale.clone()
+    };
+    tables.push(experiments::fig11b_trainlen(&sweep, &[3.0, 6.0, 12.0]));
+    tables.push(experiments::fig11c_dim(&sweep, &[32, 128, 512]));
+
+    let mut all_hold = true;
+    for table in &tables {
+        if markdown {
+            println!("{}", table.to_markdown());
+        } else {
+            println!("{}", table.to_console());
+        }
+        all_hold &= table.all_shapes_hold();
+    }
+    println!(
+        "overall: {}",
+        if all_hold { "every artifact's shape holds" } else { "SHAPE MISMATCHES PRESENT" }
+    );
+}

@@ -1,0 +1,13 @@
+//! Table I: comparison with SkullConduct and EarEcho.
+
+use mandipass_bench::{experiments, EvalScale, TrainedStack};
+
+fn main() {
+    let scale = EvalScale::from_env();
+    println!("{}", scale.describe());
+    let mut stack = TrainedStack::build(scale).expect("VSP training failed");
+    let (_, threshold) = experiments::fig10b_eer(&mut stack);
+    let table = experiments::table1_comparison(&mut stack, threshold);
+    println!("{}", table.to_console());
+    println!("JSON: {}", table.to_json());
+}

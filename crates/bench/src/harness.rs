@@ -1,0 +1,166 @@
+//! The trained evaluation stack shared by the experiment binaries.
+
+use mandipass::prelude::*;
+use mandipass::preprocess::preprocess;
+use mandipass_eval::metrics::{eer, EerPoint};
+use mandipass_eval::pairs::ScoreSet;
+use mandipass_imu_sim::{Condition, Population, Recorder, UserProfile};
+
+use crate::scale::EvalScale;
+
+/// A trained extractor plus the cohort it was trained around.
+///
+/// The first `scale.hired()` users are the VSP's hired people; the
+/// remaining `scale.held_out` users never appear in training and play the
+/// deployed-user role in every experiment.
+#[derive(Debug)]
+pub struct TrainedStack {
+    /// The evaluation scale.
+    pub scale: EvalScale,
+    /// The full synthetic cohort.
+    pub population: Population,
+    /// The recorder (IMU model + timings).
+    pub recorder: Recorder,
+    /// The trained biometric extractor.
+    pub extractor: BiometricExtractor,
+}
+
+impl TrainedStack {
+    /// Builds a stack: generates the cohort and trains the extractor on
+    /// the hired users.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    pub fn build(scale: EvalScale) -> Result<Self, MandiPassError> {
+        Self::build_with_recorder(scale, Recorder::default())
+    }
+
+    /// Builds a stack with a custom recorder (e.g. a different IMU).
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    pub fn build_with_recorder(
+        scale: EvalScale,
+        recorder: Recorder,
+    ) -> Result<Self, MandiPassError> {
+        let population = Population::generate(scale.users, scale.seed);
+        let trainer = VspTrainer::new(scale.training_config());
+        let extractor = trainer.train(&population.users()[..scale.hired()], &recorder)?;
+        Ok(TrainedStack { scale, population, recorder, extractor })
+    }
+
+    /// The held-out (deployed-role) users.
+    pub fn held_out_users(&self) -> &[UserProfile] {
+        &self.population.users()[self.scale.hired()..]
+    }
+
+    /// Extracts `probes` MandiblePrint embeddings for `user` under
+    /// `condition`, using session seeds derived from `seed_base`.
+    /// Probes that fail preprocessing are skipped.
+    pub fn embeddings_for(
+        &mut self,
+        user: &UserProfile,
+        condition: Condition,
+        probes: usize,
+        seed_base: u64,
+    ) -> Vec<Vec<f32>> {
+        self.embeddings_for_with_config(user, condition, probes, seed_base, &PipelineConfig::default())
+    }
+
+    /// Like [`TrainedStack::embeddings_for`] with an explicit pipeline
+    /// configuration (used by the axis-ablation experiment).
+    pub fn embeddings_for_with_config(
+        &mut self,
+        user: &UserProfile,
+        condition: Condition,
+        probes: usize,
+        seed_base: u64,
+        config: &PipelineConfig,
+    ) -> Vec<Vec<f32>> {
+        let mut out = Vec::with_capacity(probes);
+        for p in 0..probes {
+            let rec = self.recorder.record(user, condition, seed_base ^ ((p as u64) << 32));
+            let Ok(array) = preprocess(&rec, config) else {
+                continue;
+            };
+            let grad = GradientArray::from_signal_array(&array, config.half_n());
+            if let Ok(prints) = self.extractor.extract(&[&grad]) {
+                out.push(prints[0].as_slice().to_vec());
+            }
+        }
+        out
+    }
+
+    /// Runs the paper's main evaluation (Fig. 10(b)): embeddings for all
+    /// held-out users under [`Condition::Normal`], all-pairs score
+    /// populations, and the EER point.
+    pub fn main_evaluation(&mut self) -> MainEvaluation {
+        self.evaluation_with_config(&PipelineConfig::default())
+    }
+
+    /// The main evaluation under an explicit pipeline configuration.
+    pub fn evaluation_with_config(&mut self, config: &PipelineConfig) -> MainEvaluation {
+        let probes = self.scale.probes_per_user;
+        let users: Vec<UserProfile> = self.held_out_users().to_vec();
+        let per_user: Vec<Vec<Vec<f32>>> = users
+            .iter()
+            .map(|u| {
+                self.embeddings_for_with_config(
+                    u,
+                    Condition::Normal,
+                    probes,
+                    0x6576_616c ^ (u64::from(u.id) << 40),
+                    config,
+                )
+            })
+            .collect();
+        let scores = ScoreSet::from_embeddings(&per_user);
+        let point = eer(&scores.genuine, &scores.impostor)
+            .unwrap_or(EerPoint { threshold: 0.5, eer: 0.5 });
+        MainEvaluation { per_user, scores, eer_point: point }
+    }
+}
+
+/// The outcome of a main evaluation run.
+#[derive(Debug, Clone)]
+pub struct MainEvaluation {
+    /// Held-out users' embeddings (per user, per probe).
+    pub per_user: Vec<Vec<Vec<f32>>>,
+    /// Genuine/impostor distance populations.
+    pub scores: ScoreSet,
+    /// The equal-error operating point.
+    pub eer_point: EerPoint,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_stack_trains_and_scores() {
+        let mut stack = TrainedStack::build(EvalScale::smoke_test()).unwrap();
+        assert_eq!(stack.held_out_users().len(), 2);
+        let eval = stack.main_evaluation();
+        assert!(!eval.scores.genuine.is_empty());
+        assert!(!eval.scores.impostor.is_empty());
+        // At smoke scale we only require sane separation direction.
+        assert!(
+            eval.scores.genuine_mean() < eval.scores.impostor_mean(),
+            "genuine {} !< impostor {}",
+            eval.scores.genuine_mean(),
+            eval.scores.impostor_mean()
+        );
+        assert!(eval.eer_point.eer < 0.5);
+    }
+
+    #[test]
+    fn embeddings_have_model_dimension() {
+        let mut stack = TrainedStack::build(EvalScale::smoke_test()).unwrap();
+        let user = stack.held_out_users()[0].clone();
+        let embeds = stack.embeddings_for(&user, Condition::Normal, 3, 9);
+        assert_eq!(embeds.len(), 3);
+        assert!(embeds.iter().all(|e| e.len() == 64));
+    }
+}

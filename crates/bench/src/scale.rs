@@ -1,0 +1,184 @@
+//! Experiment scales with environment overrides.
+//!
+//! Paper-scale runs (34 users × ≥ 500 arrays × 10 repeats, 60 s of
+//! training audio per hired person) are CPU-hours on a laptop-class
+//! machine; the defaults here are reduced but shape-preserving. Override
+//! with:
+//!
+//! * `MANDIPASS_USERS` — cohort size (default 74: 64 hired + 10 held out),
+//! * `MANDIPASS_HELD_OUT` — users reserved for scoring (default 10),
+//! * `MANDIPASS_PROBES` — probes per held-out user (default 30),
+//! * `MANDIPASS_SECONDS` — training seconds per hired person (default 12),
+//! * `MANDIPASS_EPOCHS` — training epochs (default 14),
+//! * `MANDIPASS_SEED` — master seed (default 2021, the paper's year).
+
+use mandipass::prelude::PipelineConfig;
+use mandipass::train::TrainingConfig;
+
+/// The scale of one evaluation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalScale {
+    /// Total cohort size: hired (training) identities plus held-out
+    /// evaluation volunteers (the paper's cohort is 34 volunteers in a
+    /// leave-one-out rotation).
+    pub users: usize,
+    /// How many users are held out of training and used for scoring.
+    pub held_out: usize,
+    /// Probes recorded per held-out user for scoring.
+    pub probes_per_user: usize,
+    /// Seconds of training signal per hired person (Fig. 11(b) sweeps
+    /// 10–60; the paper lands at 60).
+    pub seconds_per_person: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// MandiblePrint dimensionality.
+    pub embedding_dim: usize,
+    /// Convolution channel plan.
+    pub channels: [usize; 3],
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for EvalScale {
+    fn default() -> Self {
+        EvalScale {
+            // 64 hired synthetic people (the VSP "can hire a large number
+            // of people", §V.C) + 10 evaluation volunteers who never
+            // appear in training. The paper instead rotates leave-one-out
+            // over its 34 volunteers; a disjoint hired cohort preserves
+            // the "extractor never saw the deployed user" property at a
+            // fraction of the training cost.
+            users: 74,
+            held_out: 10,
+            probes_per_user: 30,
+            seconds_per_person: 12.0,
+            epochs: 14,
+            embedding_dim: 512,
+            channels: [8, 16, 32],
+            seed: 2021,
+        }
+    }
+}
+
+impl EvalScale {
+    /// The default scale with environment overrides applied.
+    pub fn from_env() -> Self {
+        let mut scale = EvalScale::default();
+        let get = |name: &str| std::env::var(name).ok().and_then(|v| v.parse::<f64>().ok());
+        if let Some(v) = get("MANDIPASS_USERS") {
+            scale.users = v as usize;
+        }
+        if let Some(v) = get("MANDIPASS_HELD_OUT") {
+            scale.held_out = v as usize;
+        }
+        if let Some(v) = get("MANDIPASS_PROBES") {
+            scale.probes_per_user = v as usize;
+        }
+        if let Some(v) = get("MANDIPASS_SECONDS") {
+            scale.seconds_per_person = v;
+        }
+        if let Some(v) = get("MANDIPASS_EPOCHS") {
+            scale.epochs = v as usize;
+        }
+        if let Some(v) = get("MANDIPASS_SEED") {
+            scale.seed = v as u64;
+        }
+        scale.clamp();
+        scale
+    }
+
+    /// A very small scale for integration tests.
+    pub fn smoke_test() -> Self {
+        EvalScale {
+            users: 6,
+            held_out: 2,
+            probes_per_user: 8,
+            seconds_per_person: 3.0,
+            epochs: 4,
+            embedding_dim: 64,
+            channels: [4, 8, 8],
+            seed: 2021,
+        }
+    }
+
+    fn clamp(&mut self) {
+        self.users = self.users.max(3);
+        self.held_out = self.held_out.clamp(1, self.users - 2);
+        self.probes_per_user = self.probes_per_user.max(2);
+        self.epochs = self.epochs.max(1);
+    }
+
+    /// Number of training ("hired") users.
+    pub fn hired(&self) -> usize {
+        self.users - self.held_out
+    }
+
+    /// The training configuration this scale implies.
+    pub fn training_config(&self) -> TrainingConfig {
+        TrainingConfig {
+            seconds_per_person: self.seconds_per_person,
+            epochs: self.epochs,
+            batch_size: 32,
+            learning_rate: 1e-3,
+            embedding_dim: self.embedding_dim,
+            channels: self.channels,
+            pipeline: PipelineConfig::default(),
+            seed: self.seed,
+            two_branch: true,
+        }
+    }
+
+    /// One-line description printed by every experiment binary.
+    pub fn describe(&self) -> String {
+        format!(
+            "scale: {} users ({} hired / {} held out), {} probes/user, {:.0} s training audio/person, {} epochs, {}-d print, seed {}",
+            self.users,
+            self.hired(),
+            self.held_out,
+            self.probes_per_user,
+            self.seconds_per_person,
+            self.epochs,
+            self.embedding_dim,
+            self.seed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_architecture() {
+        let s = EvalScale::default();
+        assert_eq!(s.embedding_dim, 512);
+        assert_eq!(s.channels, [8, 16, 32]);
+        assert_eq!(s.held_out, 10);
+        assert!(s.hired() >= 33, "at least the paper's 33 training identities");
+    }
+
+    #[test]
+    fn clamp_keeps_scale_sane() {
+        let mut s = EvalScale { users: 2, held_out: 5, probes_per_user: 0, epochs: 0, ..EvalScale::default() };
+        s.clamp();
+        assert!(s.users >= 3);
+        assert!(s.held_out <= s.users - 2);
+        assert!(s.probes_per_user >= 2);
+        assert!(s.epochs >= 1);
+    }
+
+    #[test]
+    fn training_config_mirrors_scale() {
+        let s = EvalScale::smoke_test();
+        let c = s.training_config();
+        assert_eq!(c.epochs, 4);
+        assert_eq!(c.embedding_dim, 64);
+    }
+
+    #[test]
+    fn describe_mentions_key_numbers() {
+        let text = EvalScale::default().describe();
+        assert!(text.contains("74 users"));
+        assert!(text.contains("512-d"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Gaussian naive Bayes classifier.
+
+use crate::common::{Classifier, LabelledData};
+
+/// Naive Bayes with per-class, per-feature Gaussian likelihoods.
+#[derive(Debug, Clone, Default)]
+pub struct GaussianNaiveBayes {
+    // Per class: prior log-probability, per-feature (mean, variance).
+    classes: Vec<ClassModel>,
+}
+
+#[derive(Debug, Clone)]
+struct ClassModel {
+    log_prior: f64,
+    mean: Vec<f64>,
+    var: Vec<f64>,
+}
+
+/// Variance floor preventing degenerate zero-width Gaussians.
+const VAR_FLOOR: f64 = 1e-9;
+
+impl GaussianNaiveBayes {
+    /// Creates an unfitted classifier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn log_likelihood(&self, model: &ClassModel, x: &[f64]) -> f64 {
+        let mut ll = model.log_prior;
+        for (j, &xv) in x.iter().enumerate() {
+            let var = model.var[j];
+            let d = xv - model.mean[j];
+            ll += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + d * d / var);
+        }
+        ll
+    }
+}
+
+impl Classifier for GaussianNaiveBayes {
+    fn fit(&mut self, data: &LabelledData) {
+        let classes = data.class_count();
+        let dim = data.dim();
+        self.classes = Vec::with_capacity(classes);
+        for c in 0..classes {
+            let members: Vec<&Vec<f64>> = data
+                .features
+                .iter()
+                .zip(&data.labels)
+                .filter(|&(_, &l)| l == c)
+                .map(|(f, _)| f)
+                .collect();
+            let n = members.len().max(1) as f64;
+            let mut mean = vec![0.0; dim];
+            for f in &members {
+                for (j, &x) in f.iter().enumerate() {
+                    mean[j] += x;
+                }
+            }
+            for m in &mut mean {
+                *m /= n;
+            }
+            let mut var = vec![0.0; dim];
+            for f in &members {
+                for (j, &x) in f.iter().enumerate() {
+                    var[j] += (x - mean[j]) * (x - mean[j]);
+                }
+            }
+            for v in &mut var {
+                *v = (*v / n).max(VAR_FLOOR);
+            }
+            let prior = members.len() as f64 / data.len().max(1) as f64;
+            self.classes.push(ClassModel {
+                log_prior: prior.max(1e-12).ln(),
+                mean,
+                var,
+            });
+        }
+    }
+
+    fn predict(&self, features: &[f64]) -> usize {
+        if self.classes.is_empty() {
+            return 0;
+        }
+        (0..self.classes.len())
+            .max_by(|&a, &b| {
+                self.log_likelihood(&self.classes[a], features)
+                    .partial_cmp(&self.log_likelihood(&self.classes[b], features))
+                    .expect("log likelihoods are finite")
+            })
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "NB"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian_blobs() -> LabelledData {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..30 {
+            let jitter = (i as f64 * 0.77).sin();
+            features.push(vec![0.0 + jitter * 0.5, 0.0 - jitter * 0.3]);
+            labels.push(0);
+            features.push(vec![4.0 + jitter * 0.5, 4.0 + jitter * 0.3]);
+            labels.push(1);
+        }
+        LabelledData::new(features, labels)
+    }
+
+    #[test]
+    fn separable_gaussians_classify_perfectly() {
+        let mut nb = GaussianNaiveBayes::new();
+        let data = gaussian_blobs();
+        nb.fit(&data);
+        assert_eq!(nb.accuracy(&data), 1.0);
+    }
+
+    #[test]
+    fn prior_breaks_ties_for_ambiguous_points() {
+        // Class 0 has 3× the examples; a point equidistant between the
+        // class means should go to the larger class.
+        let data = LabelledData::new(
+            vec![vec![0.0], vec![0.2], vec![-0.2], vec![2.0]],
+            vec![0, 0, 0, 1],
+        );
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&data);
+        assert_eq!(nb.predict(&[1.0]), 0);
+    }
+
+    #[test]
+    fn zero_variance_feature_is_floored_not_nan() {
+        let data = LabelledData::new(
+            vec![vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 0.1], vec![1.0, 0.9]],
+            vec![0, 1, 0, 1],
+        );
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&data);
+        let pred = nb.predict(&[1.0, 0.05]);
+        assert_eq!(pred, 0);
+    }
+
+    #[test]
+    fn unfitted_predicts_zero() {
+        let nb = GaussianNaiveBayes::new();
+        assert_eq!(nb.predict(&[1.0]), 0);
+    }
+
+    #[test]
+    fn missing_class_members_do_not_panic() {
+        // Labels 0 and 2 exist, label 1 has no members.
+        let data = LabelledData::new(vec![vec![0.0], vec![5.0]], vec![0, 2]);
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&data);
+        assert_eq!(nb.predict(&[0.1]), 0);
+        assert_eq!(nb.predict(&[4.9]), 2);
+    }
+}

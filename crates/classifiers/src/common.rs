@@ -1,0 +1,148 @@
+//! The [`Classifier`] trait and shared data plumbing.
+
+/// A labelled classification dataset: flat `f64` feature vectors with
+/// dense integer labels.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LabelledData {
+    /// One feature vector per example, equal lengths.
+    pub features: Vec<Vec<f64>>,
+    /// One class label per example.
+    pub labels: Vec<usize>,
+}
+
+impl LabelledData {
+    /// Creates a dataset, validating counts and feature lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics on count mismatch or ragged feature vectors.
+    pub fn new(features: Vec<Vec<f64>>, labels: Vec<usize>) -> Self {
+        assert_eq!(features.len(), labels.len(), "one label per feature vector required");
+        if let Some(first) = features.first() {
+            assert!(
+                features.iter().all(|f| f.len() == first.len()),
+                "all feature vectors must have equal length"
+            );
+        }
+        LabelledData { features, labels }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes (`max label + 1`).
+    pub fn class_count(&self) -> usize {
+        self.labels.iter().max().map_or(0, |&m| m + 1)
+    }
+
+    /// Feature dimensionality (0 when empty).
+    pub fn dim(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+
+    /// Stratified `(train, test)` split: the first `fraction` of each
+    /// class's examples (in current order) train, the rest test.
+    pub fn split_stratified(&self, fraction: f64) -> (LabelledData, LabelledData) {
+        let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); self.class_count()];
+        for (i, &l) in self.labels.iter().enumerate() {
+            per_class[l].push(i);
+        }
+        let mut train = LabelledData::default();
+        let mut test = LabelledData::default();
+        for idxs in per_class {
+            let cut = ((idxs.len() as f64) * fraction).round() as usize;
+            for (k, &i) in idxs.iter().enumerate() {
+                let t = if k < cut { &mut train } else { &mut test };
+                t.features.push(self.features[i].clone());
+                t.labels.push(self.labels[i]);
+            }
+        }
+        (train, test)
+    }
+}
+
+/// A trainable multi-class classifier.
+pub trait Classifier {
+    /// Fits the classifier to `data`.
+    fn fit(&mut self, data: &LabelledData);
+
+    /// Predicts the class of one feature vector.
+    fn predict(&self, features: &[f64]) -> usize;
+
+    /// Short human-readable name (used in the Fig. 7 / Fig. 10(a) rows).
+    fn name(&self) -> &'static str;
+
+    /// Accuracy on a labelled set.
+    fn accuracy(&self, data: &LabelledData) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = data
+            .features
+            .iter()
+            .zip(&data.labels)
+            .filter(|(f, &l)| self.predict(f) == l)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> LabelledData {
+        LabelledData::new(
+            (0..10).map(|i| vec![i as f64]).collect(),
+            (0..10).map(|i| i % 2).collect(),
+        )
+    }
+
+    #[test]
+    fn counts_and_dims() {
+        let d = toy();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.class_count(), 2);
+        assert_eq!(d.dim(), 1);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn stratified_split_preserves_balance() {
+        let (train, test) = toy().split_stratified(0.8);
+        assert_eq!(train.len(), 8);
+        assert_eq!(test.len(), 2);
+        assert_eq!(train.labels.iter().filter(|&&l| l == 1).count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per feature vector")]
+    fn mismatch_panics() {
+        let _ = LabelledData::new(vec![vec![1.0]], vec![0, 1]);
+    }
+
+    #[test]
+    fn accuracy_of_constant_predictor() {
+        struct Always(usize);
+        impl Classifier for Always {
+            fn fit(&mut self, _: &LabelledData) {}
+            fn predict(&self, _: &[f64]) -> usize {
+                self.0
+            }
+            fn name(&self) -> &'static str {
+                "always"
+            }
+        }
+        let d = toy();
+        assert_eq!(Always(0).accuracy(&d), 0.5);
+        assert_eq!(Always(5).accuracy(&d), 0.0);
+        assert_eq!(Always(0).accuracy(&LabelledData::default()), 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! k-nearest-neighbours classifier (Euclidean distance, majority vote).
+
+use crate::common::{Classifier, LabelledData};
+
+/// A k-NN classifier that memorises the training set.
+#[derive(Debug, Clone)]
+pub struct KNearestNeighbors {
+    k: usize,
+    data: LabelledData,
+}
+
+impl KNearestNeighbors {
+    /// Creates a k-NN classifier with the given neighbourhood size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        KNearestNeighbors { k, data: LabelledData::default() }
+    }
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl Classifier for KNearestNeighbors {
+    fn fit(&mut self, data: &LabelledData) {
+        self.data = data.clone();
+    }
+
+    fn predict(&self, features: &[f64]) -> usize {
+        if self.data.is_empty() {
+            return 0;
+        }
+        let mut scored: Vec<(f64, usize)> = self
+            .data
+            .features
+            .iter()
+            .zip(&self.data.labels)
+            .map(|(f, &l)| (squared_distance(f, features), l))
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("distances are finite"));
+        let mut votes = vec![0usize; self.data.class_count()];
+        for &(_, l) in scored.iter().take(self.k) {
+            votes[l] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &v)| v)
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "KNN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_clusters() -> LabelledData {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..5 {
+            features.push(vec![0.0 + 0.1 * i as f64, 0.0]);
+            labels.push(0);
+            features.push(vec![5.0 + 0.1 * i as f64, 5.0]);
+            labels.push(1);
+        }
+        LabelledData::new(features, labels)
+    }
+
+    #[test]
+    fn separable_clusters_classify_perfectly() {
+        let mut knn = KNearestNeighbors::new(3);
+        let data = two_clusters();
+        knn.fit(&data);
+        assert_eq!(knn.accuracy(&data), 1.0);
+        assert_eq!(knn.predict(&[0.2, 0.1]), 0);
+        assert_eq!(knn.predict(&[5.2, 4.9]), 1);
+    }
+
+    #[test]
+    fn k_one_matches_nearest_sample() {
+        let mut knn = KNearestNeighbors::new(1);
+        let data = LabelledData::new(vec![vec![0.0], vec![10.0]], vec![0, 1]);
+        knn.fit(&data);
+        assert_eq!(knn.predict(&[2.0]), 0);
+        assert_eq!(knn.predict(&[8.0]), 1);
+    }
+
+    #[test]
+    fn unfitted_predicts_zero() {
+        let knn = KNearestNeighbors::new(3);
+        assert_eq!(knn.predict(&[1.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = KNearestNeighbors::new(0);
+    }
+
+    #[test]
+    fn majority_vote_resists_single_outlier() {
+        // Two class-0 points near the query outvote one class-1 point on it.
+        let data = LabelledData::new(
+            vec![vec![0.0], vec![0.2], vec![0.1]],
+            vec![0, 0, 1],
+        );
+        let mut knn = KNearestNeighbors::new(3);
+        knn.fit(&data);
+        assert_eq!(knn.predict(&[0.1]), 0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Classic classifiers used as feature-quality baselines.
+//!
+//! The paper benchmarks its deep biometric extractor against support
+//! vector machines, k-nearest neighbours, decision trees, naive Bayes and
+//! a shallow neural network — first on statistical features (Fig. 7,
+//! all below 65 % accuracy) and then on gradient arrays (Fig. 10(a),
+//! where the two-branch CNN wins at 90.54 %). This crate implements those
+//! five classifiers from scratch behind one [`Classifier`] trait.
+
+pub mod bayes;
+pub mod common;
+pub mod knn;
+pub mod mlp;
+pub mod svm;
+pub mod tree;
+
+pub use bayes::GaussianNaiveBayes;
+pub use common::{Classifier, LabelledData};
+pub use knn::KNearestNeighbors;
+pub use mlp::MlpClassifier;
+pub use svm::LinearSvm;
+pub use tree::DecisionTree;

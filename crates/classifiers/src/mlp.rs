@@ -1,0 +1,190 @@
+//! A shallow multi-layer perceptron — the "NN" baseline of Figs. 7 and
+//! 10(a), trained on the `mandipass-nn` substrate.
+//!
+//! After training, the weights are snapshotted into plain matrices so
+//! that [`Classifier::predict`] is a pure function of `&self`.
+
+use mandipass_nn::data::Dataset;
+use mandipass_nn::layer::Layer;
+use mandipass_nn::loss::cross_entropy;
+use mandipass_nn::optim::{Adam, Optimizer};
+use mandipass_nn::prelude::{Linear, ReLU, Sequential};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::common::{Classifier, LabelledData};
+
+/// A one-hidden-layer MLP classifier (Linear → ReLU → Linear).
+#[derive(Debug)]
+pub struct MlpClassifier {
+    hidden: usize,
+    epochs: usize,
+    learning_rate: f32,
+    seed: u64,
+    snapshot: Option<Snapshot>,
+}
+
+/// Trained weights in plain row-major matrices.
+#[derive(Debug, Clone)]
+struct Snapshot {
+    dim: usize,
+    hidden: usize,
+    classes: usize,
+    w1: Vec<f32>, // [hidden, dim]
+    b1: Vec<f32>, // [hidden]
+    w2: Vec<f32>, // [classes, hidden]
+    b2: Vec<f32>, // [classes]
+}
+
+impl MlpClassifier {
+    /// Creates an MLP with the given hidden width and defaults
+    /// (60 epochs, Adam at 1e-2).
+    pub fn new(hidden: usize) -> Self {
+        Self::with_params(hidden, 60, 1e-2, 23)
+    }
+
+    /// Creates an MLP with explicit hyper-parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `hidden` or `epochs` is zero.
+    pub fn with_params(hidden: usize, epochs: usize, learning_rate: f32, seed: u64) -> Self {
+        assert!(hidden > 0, "hidden width must be positive");
+        assert!(epochs > 0, "epochs must be positive");
+        MlpClassifier { hidden, epochs, learning_rate, seed, snapshot: None }
+    }
+}
+
+impl Classifier for MlpClassifier {
+    fn fit(&mut self, data: &LabelledData) {
+        if data.is_empty() {
+            self.snapshot = None;
+            return;
+        }
+        let dim = data.dim();
+        let classes = data.class_count().max(2);
+        let mut net = Sequential::new(vec![
+            Box::new(Linear::new(dim, self.hidden, self.seed)),
+            Box::new(ReLU::new()),
+            Box::new(Linear::new(self.hidden, classes, self.seed + 1)),
+        ]);
+        let mut dataset = Dataset::new(
+            data.features
+                .iter()
+                .map(|f| f.iter().map(|&x| x as f32).collect())
+                .collect(),
+            data.labels.clone(),
+        );
+        let mut adam = Adam::new(self.learning_rate);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x6d6c_70);
+        let shape = [dim];
+        for _ in 0..self.epochs {
+            dataset.shuffle(&mut rng);
+            for (input, labels) in dataset.batches(32, &shape) {
+                net.zero_grad();
+                let logits = net.forward(&input, true);
+                let (_, grad) = cross_entropy(&logits, &labels);
+                net.backward(&grad);
+                adam.step(&mut net.params());
+            }
+        }
+        // Snapshot the four parameter tensors (ReLU has none).
+        let params = net.params();
+        debug_assert_eq!(params.len(), 4);
+        self.snapshot = Some(Snapshot {
+            dim,
+            hidden: self.hidden,
+            classes,
+            w1: params[0].value.data().to_vec(),
+            b1: params[1].value.data().to_vec(),
+            w2: params[2].value.data().to_vec(),
+            b2: params[3].value.data().to_vec(),
+        });
+    }
+
+    fn predict(&self, features: &[f64]) -> usize {
+        let Some(s) = &self.snapshot else {
+            return 0;
+        };
+        let x: Vec<f32> = features.iter().map(|&v| v as f32).collect();
+        // Hidden layer with ReLU.
+        let mut h = vec![0.0f32; s.hidden];
+        for (j, hv) in h.iter_mut().enumerate() {
+            let w = &s.w1[j * s.dim..(j + 1) * s.dim];
+            let z: f32 = w.iter().zip(&x).map(|(a, b)| a * b).sum::<f32>() + s.b1[j];
+            *hv = z.max(0.0);
+        }
+        // Output logits; arg-max wins.
+        let mut best = (0usize, f32::MIN);
+        for c in 0..s.classes {
+            let w = &s.w2[c * s.hidden..(c + 1) * s.hidden];
+            let z: f32 = w.iter().zip(&h).map(|(a, b)| a * b).sum::<f32>() + s.b2[c];
+            if z > best.1 {
+                best = (c, z);
+            }
+        }
+        best.0
+    }
+
+    fn name(&self) -> &'static str {
+        "NN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rings() -> LabelledData {
+        // Radially separable data an MLP can fit but a linear model cannot.
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let angle = i as f64 * 0.157;
+            features.push(vec![0.3 * angle.cos(), 0.3 * angle.sin()]);
+            labels.push(0);
+            features.push(vec![2.0 * angle.cos(), 2.0 * angle.sin()]);
+            labels.push(1);
+        }
+        LabelledData::new(features, labels)
+    }
+
+    #[test]
+    fn learns_nonlinear_boundary() {
+        let mut mlp = MlpClassifier::with_params(16, 80, 2e-2, 5);
+        let data = rings();
+        mlp.fit(&data);
+        assert!(mlp.accuracy(&data) > 0.95, "accuracy {}", mlp.accuracy(&data));
+    }
+
+    #[test]
+    fn snapshot_predict_matches_training_data() {
+        let data = LabelledData::new(
+            vec![vec![0.0, 0.0], vec![5.0, 5.0], vec![0.2, 0.1], vec![4.8, 5.1]],
+            vec![0, 1, 0, 1],
+        );
+        let mut mlp = MlpClassifier::with_params(8, 60, 2e-2, 9);
+        mlp.fit(&data);
+        assert_eq!(mlp.predict(&[0.1, 0.0]), 0);
+        assert_eq!(mlp.predict(&[5.0, 4.9]), 1);
+    }
+
+    #[test]
+    fn unfitted_predicts_zero() {
+        let mlp = MlpClassifier::new(4);
+        assert_eq!(mlp.predict(&[1.0, 2.0]), 0);
+    }
+
+    #[test]
+    fn empty_fit_resets_snapshot() {
+        let mut mlp = MlpClassifier::new(4);
+        mlp.fit(&LabelledData::default());
+        assert_eq!(mlp.predict(&[0.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden width")]
+    fn zero_hidden_panics() {
+        let _ = MlpClassifier::new(0);
+    }
+}

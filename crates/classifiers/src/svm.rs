@@ -1,0 +1,194 @@
+//! Linear support vector machine, one-vs-rest, trained by hinge-loss SGD
+//! with L2 regularisation (Pegasos-style).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::common::{Classifier, LabelledData};
+
+/// A multi-class linear SVM (one binary SVM per class, highest margin
+/// wins).
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    epochs: usize,
+    lambda: f64,
+    seed: u64,
+    // One (weights, bias) pair per class.
+    models: Vec<(Vec<f64>, f64)>,
+    // Feature standardisation fitted on the training set.
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl LinearSvm {
+    /// Creates an SVM with sensible defaults (30 epochs, λ = 1e-3).
+    pub fn new() -> Self {
+        Self::with_params(30, 1e-3, 17)
+    }
+
+    /// Creates an SVM with explicit epochs, regularisation, and shuffle
+    /// seed.
+    pub fn with_params(epochs: usize, lambda: f64, seed: u64) -> Self {
+        LinearSvm { epochs, lambda, seed, models: Vec::new(), mean: Vec::new(), std: Vec::new() }
+    }
+
+    fn standardise(&self, features: &[f64]) -> Vec<f64> {
+        features
+            .iter()
+            .enumerate()
+            .map(|(j, &x)| (x - self.mean[j]) / self.std[j])
+            .collect()
+    }
+
+    fn margin(&self, class: usize, x: &[f64]) -> f64 {
+        let (w, b) = &self.models[class];
+        w.iter().zip(x).map(|(wv, xv)| wv * xv).sum::<f64>() + b
+    }
+}
+
+impl Default for LinearSvm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn fit(&mut self, data: &LabelledData) {
+        let dim = data.dim();
+        let classes = data.class_count();
+        // Standardisation statistics.
+        self.mean = vec![0.0; dim];
+        self.std = vec![0.0; dim];
+        for f in &data.features {
+            for (j, &x) in f.iter().enumerate() {
+                self.mean[j] += x;
+            }
+        }
+        for m in &mut self.mean {
+            *m /= data.len().max(1) as f64;
+        }
+        for f in &data.features {
+            for (j, &x) in f.iter().enumerate() {
+                self.std[j] += (x - self.mean[j]) * (x - self.mean[j]);
+            }
+        }
+        for s in &mut self.std {
+            *s = (*s / data.len().max(1) as f64).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        let standardised: Vec<Vec<f64>> =
+            data.features.iter().map(|f| self.standardise(f)).collect();
+
+        self.models = vec![(vec![0.0; dim], 0.0); classes];
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut t = 0u64;
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                t += 1;
+                let eta = 1.0 / (self.lambda * t as f64);
+                let x = &standardised[i];
+                for (c, model) in self.models.iter_mut().enumerate() {
+                    let y = if data.labels[i] == c { 1.0 } else { -1.0 };
+                    let (w, b) = model;
+                    let margin =
+                        y * (w.iter().zip(x).map(|(wv, xv)| wv * xv).sum::<f64>() + *b);
+                    // L2 shrink.
+                    let shrink = 1.0 - eta * self.lambda;
+                    for wv in w.iter_mut() {
+                        *wv *= shrink;
+                    }
+                    if margin < 1.0 {
+                        for (wv, xv) in w.iter_mut().zip(x) {
+                            *wv += eta * y * xv;
+                        }
+                        *b += eta * y;
+                    }
+                }
+            }
+        }
+    }
+
+    fn predict(&self, features: &[f64]) -> usize {
+        if self.models.is_empty() {
+            return 0;
+        }
+        let x = self.standardise(features);
+        (0..self.models.len())
+            .max_by(|&a, &b| {
+                self.margin(a, &x)
+                    .partial_cmp(&self.margin(b, &x))
+                    .expect("margins are finite")
+            })
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "SVM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: (f64, f64), n: usize, spread: f64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let a = (i as f64 * 2.399).sin() * spread;
+                let b = (i as f64 * 1.711).cos() * spread;
+                vec![center.0 + a, center.1 + b]
+            })
+            .collect()
+    }
+
+    fn three_blobs() -> LabelledData {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for (c, center) in [(0.0, 0.0), (6.0, 0.0), (0.0, 6.0)].iter().enumerate() {
+            for f in blob(*center, 20, 0.8) {
+                features.push(f);
+                labels.push(c);
+            }
+        }
+        LabelledData::new(features, labels)
+    }
+
+    #[test]
+    fn separable_blobs_classify_well() {
+        let mut svm = LinearSvm::new();
+        let data = three_blobs();
+        svm.fit(&data);
+        assert!(svm.accuracy(&data) > 0.95, "accuracy {}", svm.accuracy(&data));
+    }
+
+    #[test]
+    fn prediction_is_deterministic_after_fit() {
+        let mut svm = LinearSvm::new();
+        let data = three_blobs();
+        svm.fit(&data);
+        assert_eq!(svm.predict(&[6.0, 0.2]), svm.predict(&[6.0, 0.2]));
+        assert_eq!(svm.predict(&[6.0, 0.2]), 1);
+    }
+
+    #[test]
+    fn constant_feature_does_not_break_standardisation() {
+        let data = LabelledData::new(
+            vec![vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 0.1], vec![1.0, 0.9]],
+            vec![0, 1, 0, 1],
+        );
+        let mut svm = LinearSvm::with_params(50, 1e-3, 3);
+        svm.fit(&data);
+        assert!(svm.accuracy(&data) >= 0.75);
+    }
+
+    #[test]
+    fn unfitted_predicts_zero() {
+        let svm = LinearSvm::new();
+        assert_eq!(svm.predict(&[]), 0);
+    }
+}

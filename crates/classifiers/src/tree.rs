@@ -1,0 +1,241 @@
+//! CART decision tree with Gini-impurity splits.
+
+use crate::common::{Classifier, LabelledData};
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A CART-style decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    max_depth: usize,
+    min_samples: usize,
+    root: Option<Node>,
+}
+
+impl DecisionTree {
+    /// Creates a tree with default limits (depth 10, min 2 samples).
+    pub fn new() -> Self {
+        Self::with_limits(10, 2)
+    }
+
+    /// Creates a tree with explicit depth and leaf-size limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_depth` is zero.
+    pub fn with_limits(max_depth: usize, min_samples: usize) -> Self {
+        assert!(max_depth > 0, "max depth must be positive");
+        DecisionTree { max_depth, min_samples: min_samples.max(1), root: None }
+    }
+
+    /// The depth of the fitted tree (0 when unfitted).
+    pub fn depth(&self) -> usize {
+        fn walk(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => 1 + walk(left).max(walk(right)),
+            }
+        }
+        self.root.as_ref().map_or(0, walk)
+    }
+}
+
+impl Default for DecisionTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn gini(labels: &[usize], indices: &[usize], classes: usize) -> f64 {
+    if indices.is_empty() {
+        return 0.0;
+    }
+    let mut counts = vec![0usize; classes];
+    for &i in indices {
+        counts[labels[i]] += 1;
+    }
+    let n = indices.len() as f64;
+    1.0 - counts.iter().map(|&c| (c as f64 / n) * (c as f64 / n)).sum::<f64>()
+}
+
+fn majority(labels: &[usize], indices: &[usize], classes: usize) -> usize {
+    let mut counts = vec![0usize; classes];
+    for &i in indices {
+        counts[labels[i]] += 1;
+    }
+    counts.iter().enumerate().max_by_key(|&(_, &c)| c).map(|(c, _)| c).unwrap_or(0)
+}
+
+fn build(
+    data: &LabelledData,
+    indices: &[usize],
+    depth: usize,
+    max_depth: usize,
+    min_samples: usize,
+    classes: usize,
+) -> Node {
+    let current_gini = gini(&data.labels, indices, classes);
+    if depth >= max_depth || indices.len() < 2 * min_samples || current_gini == 0.0 {
+        return Node::Leaf { class: majority(&data.labels, indices, classes) };
+    }
+    let n = indices.len() as f64;
+    let mut best: Option<(f64, usize, f64)> = None; // (weighted gini, feature, threshold)
+    for feature in 0..data.dim() {
+        // Candidate thresholds: midpoints between sorted distinct values.
+        let mut values: Vec<f64> = indices.iter().map(|&i| data.features[i][feature]).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("features are finite"));
+        values.dedup();
+        for w in values.windows(2) {
+            let threshold = (w[0] + w[1]) / 2.0;
+            let (left, right): (Vec<usize>, Vec<usize>) = indices
+                .iter()
+                .partition(|&&i| data.features[i][feature] <= threshold);
+            if left.len() < min_samples || right.len() < min_samples {
+                continue;
+            }
+            let weighted = gini(&data.labels, &left, classes) * left.len() as f64 / n
+                + gini(&data.labels, &right, classes) * right.len() as f64 / n;
+            if best.as_ref().is_none_or(|b| weighted < b.0) {
+                best = Some((weighted, feature, threshold));
+            }
+        }
+    }
+    // Zero-gain splits are allowed (weighted == current impurity): XOR-like
+    // concepts have no first-split Gini gain, yet become separable one
+    // level down; the depth limit bounds the recursion.
+    match best {
+        Some((weighted, feature, threshold)) if weighted <= current_gini + 1e-12 => {
+            let (left, right): (Vec<usize>, Vec<usize>) = indices
+                .iter()
+                .partition(|&&i| data.features[i][feature] <= threshold);
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(build(data, &left, depth + 1, max_depth, min_samples, classes)),
+                right: Box::new(build(data, &right, depth + 1, max_depth, min_samples, classes)),
+            }
+        }
+        _ => Node::Leaf { class: majority(&data.labels, indices, classes) },
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, data: &LabelledData) {
+        if data.is_empty() {
+            self.root = None;
+            return;
+        }
+        let indices: Vec<usize> = (0..data.len()).collect();
+        self.root = Some(build(
+            data,
+            &indices,
+            0,
+            self.max_depth,
+            self.min_samples,
+            data.class_count(),
+        ));
+    }
+
+    fn predict(&self, features: &[f64]) -> usize {
+        let mut node = match &self.root {
+            Some(n) => n,
+            None => return 0,
+        };
+        loop {
+            match node {
+                Node::Leaf { class } => return *class,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if features[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "DT"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_axis_aligned_split() {
+        let data = LabelledData::new(
+            vec![vec![0.0], vec![1.0], vec![2.0], vec![10.0], vec![11.0], vec![12.0]],
+            vec![0, 0, 0, 1, 1, 1],
+        );
+        let mut tree = DecisionTree::new();
+        tree.fit(&data);
+        assert_eq!(tree.accuracy(&data), 1.0);
+        assert_eq!(tree.predict(&[1.5]), 0);
+        assert_eq!(tree.predict(&[11.5]), 1);
+    }
+
+    #[test]
+    fn learns_two_feature_xor_with_depth() {
+        // XOR needs two levels of splits.
+        let data = LabelledData::new(
+            vec![
+                vec![0.0, 0.0],
+                vec![0.0, 1.0],
+                vec![1.0, 0.0],
+                vec![1.0, 1.0],
+                vec![0.1, 0.1],
+                vec![0.1, 0.9],
+                vec![0.9, 0.1],
+                vec![0.9, 0.9],
+            ],
+            vec![0, 1, 1, 0, 0, 1, 1, 0],
+        );
+        let mut tree = DecisionTree::with_limits(8, 1);
+        tree.fit(&data);
+        assert_eq!(tree.accuracy(&data), 1.0);
+        assert!(tree.depth() >= 3);
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let data = LabelledData::new(
+            (0..32).map(|i| vec![i as f64]).collect(),
+            (0..32).map(|i| i % 4).collect(),
+        );
+        let mut tree = DecisionTree::with_limits(2, 1);
+        tree.fit(&data);
+        assert!(tree.depth() <= 3); // root + 2 levels
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let data = LabelledData::new(vec![vec![1.0], vec![2.0]], vec![0, 0]);
+        let mut tree = DecisionTree::new();
+        tree.fit(&data);
+        assert_eq!(tree.depth(), 1);
+        assert_eq!(tree.predict(&[5.0]), 0);
+    }
+
+    #[test]
+    fn unfitted_predicts_zero() {
+        let tree = DecisionTree::new();
+        assert_eq!(tree.predict(&[0.5]), 0);
+    }
+
+    #[test]
+    fn empty_fit_resets() {
+        let mut tree = DecisionTree::new();
+        tree.fit(&LabelledData::default());
+        assert_eq!(tree.depth(), 0);
+    }
+}

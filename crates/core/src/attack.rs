@@ -1,0 +1,129 @@
+//! The four §VI attack models.
+//!
+//! * **Zero-effort**: the attacker steals the earphone but does not know
+//!   a vibration is required — no hum, so detection finds nothing.
+//! * **Vibration-aware**: the attacker knows the principle and hums into
+//!   the stolen earphone; their own mandible produces the print.
+//! * **Impersonation**: the attacker first observes the victim and mimics
+//!   the voicing manner (tone, pace) — but not the mandible physiology.
+//! * **Replay**: the attacker steals the cancelable template from the
+//!   enclave and exhibits it; the defence is matrix revocation.
+
+use mandipass_imu_sim::population::UserProfile;
+use mandipass_imu_sim::{Condition, Recorder, Recording};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a zero-effort "probe": the attacker wears the earphone but
+/// produces no vibration, so the IMU sees only bias and noise. The
+/// returned recording must make the §IV detector fail.
+pub fn zero_effort_probe(attacker: &UserProfile, recorder: &Recorder, seed: u64) -> Recording {
+    // An attacker who does not hum is a recording whose voicing force is
+    // zero: reuse the recorder with a silent vocal profile.
+    let mut silent = attacker.clone();
+    silent.vocal.force_positive = 1e-9;
+    silent.vocal.force_negative = 1e-9;
+    silent.vocal.harmonics = vec![0.0; silent.vocal.harmonics.len()];
+    recorder.record(&silent, Condition::Normal, seed)
+}
+
+/// Builds a vibration-aware probe: the attacker simply hums naturally
+/// into the stolen earphone.
+pub fn vibration_aware_probe(
+    attacker: &UserProfile,
+    recorder: &Recorder,
+    seed: u64,
+) -> Recording {
+    recorder.record(attacker, Condition::Normal, seed)
+}
+
+/// Builds an impersonation probe: the attacker has observed the victim's
+/// voicing manner and mimics the audible traits — fundamental frequency,
+/// loudness, pacing — within human mimicry error. The mandible
+/// physiology, coupling geometry and propagation remain the attacker's
+/// own: those cannot be observed or imitated. Untrained pitch matching
+/// by ear lands within roughly a semitone (~6-8 %), which bounds the
+/// mimicry error.
+pub fn impersonation_probe(
+    attacker: &UserProfile,
+    victim: &UserProfile,
+    recorder: &Recorder,
+    seed: u64,
+) -> Recording {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6d69_6d69_63);
+    let mut mimic = attacker.clone();
+    // Trained mimicry gets the audible parameters close but not exact.
+    let err = |rng: &mut StdRng| 1.0 + rng.gen_range(-0.07..0.07);
+    mimic.vocal.f0_hz = victim.vocal.f0_hz * err(&mut rng);
+    mimic.vocal.force_positive = victim.vocal.force_positive * err(&mut rng);
+    mimic.vocal.force_negative = victim.vocal.force_negative * err(&mut rng);
+    mimic.vocal.attack_seconds = victim.vocal.attack_seconds * err(&mut rng);
+    mimic.vocal.positive_phase_fraction = victim.vocal.positive_phase_fraction;
+    // Harmonic timbre partially observable from the victim's voice.
+    mimic.vocal.harmonics = victim
+        .vocal
+        .harmonics
+        .iter()
+        .map(|&h| h * (1.0 + rng.gen_range(-0.1..0.1)))
+        .collect();
+    recorder.record(&mimic, Condition::Normal, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mandipass_dsp::detect::{detect_vibration_start, DetectorConfig};
+    use mandipass_imu_sim::Population;
+
+    #[test]
+    fn zero_effort_probe_has_no_detectable_vibration() {
+        let pop = Population::generate(2, 51);
+        let recorder = Recorder::default();
+        for seed in 0..5 {
+            let probe = zero_effort_probe(&pop.users()[0], &recorder, seed);
+            assert!(
+                detect_vibration_start(probe.az(), &DetectorConfig::default()).is_err(),
+                "zero-effort probe seed {seed} triggered detection"
+            );
+        }
+    }
+
+    #[test]
+    fn vibration_aware_probe_is_detectable() {
+        let pop = Population::generate(2, 52);
+        let recorder = Recorder::default();
+        let probe = vibration_aware_probe(&pop.users()[1], &recorder, 3);
+        assert!(detect_vibration_start(probe.az(), &DetectorConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn impersonation_mimics_voicing_not_mandible() {
+        let pop = Population::generate(2, 53);
+        let recorder = Recorder::default();
+        let attacker = &pop.users()[0];
+        let victim = &pop.users()[1];
+        let probe = impersonation_probe(attacker, victim, &recorder, 4);
+        // The probe is a valid vibration recording, labelled as the
+        // attacker's hardware session.
+        assert!(detect_vibration_start(probe.az(), &DetectorConfig::default()).is_ok());
+        assert_eq!(probe.user_id(), attacker.id);
+    }
+
+    #[test]
+    fn impersonation_f0_is_close_to_victims() {
+        // Reconstruct the mimic profile logic: the recorded probe cannot
+        // expose f0 directly, so verify the construction on the profile.
+        let pop = Population::generate(2, 54);
+        let attacker = &pop.users()[0];
+        let victim = &pop.users()[1];
+        let mut rng = StdRng::seed_from_u64(99 ^ 0x6d69_6d69_63);
+        let err = |rng: &mut StdRng| 1.0 + rng.gen_range(-0.07f64..0.07);
+        let mimic_f0 = victim.vocal.f0_hz * err(&mut rng);
+        assert!((mimic_f0 - victim.vocal.f0_hz).abs() / victim.vocal.f0_hz < 0.08);
+        // And the attacker's own f0 is (generically) farther away.
+        assert!(
+            (attacker.vocal.f0_hz - victim.vocal.f0_hz).abs()
+                > (mimic_f0 - victim.vocal.f0_hz).abs()
+        );
+    }
+}

@@ -1,0 +1,286 @@
+//! The registration/verification API (§III system overview).
+//!
+//! Registration: the user hums "EMM", the probe runs through
+//! preprocessing and the extractor, the MandiblePrint is transformed by
+//! the user's Gaussian matrix, and the cancelable template is stored in
+//! the secure enclave. Verification repeats the pipeline on a fresh probe
+//! and accepts when the cosine distance to the stored template falls
+//! below the operating threshold.
+
+use mandipass_imu_sim::Recording;
+
+use crate::config::PipelineConfig;
+use crate::enclave::SecureEnclave;
+use crate::error::MandiPassError;
+use crate::extractor::BiometricExtractor;
+use crate::gradient_array::GradientArray;
+use crate::preprocess::preprocess;
+use crate::similarity::{accepts, cosine_distance};
+use crate::template::{CancelableTemplate, GaussianMatrix, MandiblePrint};
+
+/// Result of one verification request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerifyOutcome {
+    /// Whether the request was accepted as the genuine user.
+    pub accepted: bool,
+    /// Cosine distance between the probe's cancelable print and the
+    /// stored template (lower = more similar).
+    pub distance: f64,
+    /// The threshold the decision was made against.
+    pub threshold: f64,
+}
+
+/// A complete MandiPass deployment: trained extractor + pipeline
+/// configuration + secure enclave.
+#[derive(Debug)]
+pub struct MandiPass {
+    extractor: BiometricExtractor,
+    config: PipelineConfig,
+    enclave: SecureEnclave,
+}
+
+impl MandiPass {
+    /// Assembles a deployment around a (typically VSP-trained) extractor.
+    pub fn new(extractor: BiometricExtractor, config: PipelineConfig) -> Self {
+        MandiPass { extractor, config, enclave: SecureEnclave::new() }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Mutable pipeline configuration (e.g. to recalibrate the threshold).
+    pub fn config_mut(&mut self) -> &mut PipelineConfig {
+        &mut self.config
+    }
+
+    /// The MandiblePrint dimensionality of the deployed extractor.
+    pub fn embedding_dim(&self) -> usize {
+        self.extractor.embedding_dim()
+    }
+
+    /// The template store.
+    pub fn enclave(&self) -> &SecureEnclave {
+        &self.enclave
+    }
+
+    /// Extracts the (pre-transform) MandiblePrint of one raw recording.
+    ///
+    /// # Errors
+    ///
+    /// Propagates preprocessing and extraction failures.
+    pub fn extract_print(&mut self, recording: &Recording) -> Result<MandiblePrint, MandiPassError> {
+        let array = preprocess(recording, &self.config)?;
+        let grad = GradientArray::from_signal_array(&array, self.config.half_n());
+        let prints = self.extractor.extract(&[&grad])?;
+        Ok(prints.into_iter().next().expect("one input yields one print"))
+    }
+
+    /// Registers `user_id` from one or more enrolment recordings under
+    /// the user's Gaussian matrix. The MandiblePrints are averaged, then
+    /// transformed, then sealed in the enclave.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MandiPassError::NoEnrolmentData`] when every recording
+    /// fails preprocessing, and propagates transform dimension errors.
+    pub fn enroll(
+        &mut self,
+        user_id: u32,
+        recordings: &[Recording],
+        matrix: &GaussianMatrix,
+    ) -> Result<(), MandiPassError> {
+        let mut prints = Vec::with_capacity(recordings.len());
+        for rec in recordings {
+            match self.extract_print(rec) {
+                Ok(p) => prints.push(p),
+                Err(MandiPassError::Dsp(_)) => continue, // unusable probe
+                Err(e) => return Err(e),
+            }
+        }
+        let mean = MandiblePrint::mean(&prints)?;
+        let template = matrix.transform(&mean)?;
+        self.enclave.store(user_id, template);
+        Ok(())
+    }
+
+    /// Verifies a probe recording against `user_id`'s stored template.
+    ///
+    /// # Errors
+    ///
+    /// * [`MandiPassError::NotEnrolled`] when no template exists.
+    /// * [`MandiPassError::Dsp`] when the probe contains no detectable
+    ///   vibration (e.g. a zero-effort attacker who does not hum).
+    pub fn verify(
+        &mut self,
+        user_id: u32,
+        probe: &Recording,
+        matrix: &GaussianMatrix,
+    ) -> Result<VerifyOutcome, MandiPassError> {
+        let template = self.enclave.load(user_id)?;
+        let print = self.extract_print(probe)?;
+        let cancelable = matrix.transform(&print)?;
+        Ok(self.decide(&template, &cancelable))
+    }
+
+    /// Compares a raw cancelable vector against the stored template —
+    /// the code path a replay attacker exercises by exhibiting a stolen
+    /// template directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MandiPassError::NotEnrolled`] when no template exists.
+    pub fn verify_cancelable(
+        &mut self,
+        user_id: u32,
+        presented: &CancelableTemplate,
+    ) -> Result<VerifyOutcome, MandiPassError> {
+        let template = self.enclave.load(user_id)?;
+        Ok(self.decide(&template, presented))
+    }
+
+    /// Revokes `user_id`'s template, returning the old template (the
+    /// artefact a replay attacker may have stolen before revocation).
+    pub fn revoke(&mut self, user_id: u32) -> Option<CancelableTemplate> {
+        self.enclave.revoke(user_id)
+    }
+
+    fn decide(&self, template: &CancelableTemplate, probe: &CancelableTemplate) -> VerifyOutcome {
+        let distance = cosine_distance(template.as_slice(), probe.as_slice());
+        VerifyOutcome {
+            accepted: accepts(distance, self.config.threshold),
+            distance,
+            threshold: self.config.threshold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{TrainingConfig, VspTrainer};
+    use mandipass_imu_sim::{Condition, Population, Recorder};
+
+    /// A small trained deployment shared by the tests in this module.
+    fn trained_system() -> (MandiPass, Population, Recorder) {
+        let pop = Population::generate(6, 77);
+        let recorder = Recorder::default();
+        let trainer = VspTrainer::new(TrainingConfig {
+            seconds_per_person: 4.0,
+            epochs: 6,
+            ..TrainingConfig::fast_demo()
+        });
+        // Users 2.. are "hired people"; users 0 and 1 stay unseen.
+        let extractor = trainer.train(&pop.users()[2..], &recorder).unwrap();
+        (MandiPass::new(extractor, PipelineConfig::default()), pop, recorder)
+    }
+
+    #[test]
+    fn enroll_verify_accepts_genuine_user() {
+        let (mut system, pop, recorder) = trained_system();
+        let user = &pop.users()[0];
+        let matrix = GaussianMatrix::generate(1, system.embedding_dim());
+        let enrolment: Vec<_> =
+            (0..4).map(|s| recorder.record(user, Condition::Normal, 1000 + s)).collect();
+        system.enroll(user.id, &enrolment, &matrix).unwrap();
+        assert!(system.enclave().contains(user.id));
+
+        let mut accepted = 0;
+        for s in 0..10 {
+            let probe = recorder.record(user, Condition::Normal, 2000 + s);
+            let outcome = system.verify(user.id, &probe, &matrix).unwrap();
+            if outcome.accepted {
+                accepted += 1;
+            }
+        }
+        assert!(accepted >= 8, "only {accepted}/10 genuine probes accepted");
+    }
+
+    #[test]
+    fn impostor_distance_exceeds_genuine_distance() {
+        let (mut system, pop, recorder) = trained_system();
+        let victim = &pop.users()[0];
+        let attacker = &pop.users()[1];
+        let matrix = GaussianMatrix::generate(2, system.embedding_dim());
+        let enrolment: Vec<_> =
+            (0..4).map(|s| recorder.record(victim, Condition::Normal, 3000 + s)).collect();
+        system.enroll(victim.id, &enrolment, &matrix).unwrap();
+
+        let genuine: f64 = (0..5)
+            .map(|s| {
+                let probe = recorder.record(victim, Condition::Normal, 4000 + s);
+                system.verify(victim.id, &probe, &matrix).unwrap().distance
+            })
+            .sum::<f64>()
+            / 5.0;
+        let impostor: f64 = (0..5)
+            .map(|s| {
+                let probe = recorder.record(attacker, Condition::Normal, 5000 + s);
+                system.verify(victim.id, &probe, &matrix).unwrap().distance
+            })
+            .sum::<f64>()
+            / 5.0;
+        assert!(
+            genuine < impostor,
+            "genuine mean {genuine:.3} not below impostor mean {impostor:.3}"
+        );
+    }
+
+    #[test]
+    fn unenrolled_user_is_rejected_with_error() {
+        let (mut system, pop, recorder) = trained_system();
+        let probe = recorder.record(&pop.users()[0], Condition::Normal, 1);
+        let matrix = GaussianMatrix::generate(3, system.embedding_dim());
+        assert!(matches!(
+            system.verify(9, &probe, &matrix),
+            Err(MandiPassError::NotEnrolled { user_id: 9 })
+        ));
+    }
+
+    #[test]
+    fn enrolment_with_no_usable_recordings_fails() {
+        let (mut system, pop, recorder) = trained_system();
+        let matrix = GaussianMatrix::generate(4, system.embedding_dim());
+        // Make detection impossible, so every probe is unusable.
+        system.config_mut().detector_start_threshold = 1e12;
+        let recs = vec![recorder.record(&pop.users()[0], Condition::Normal, 1)];
+        assert!(matches!(
+            system.enroll(0, &recs, &matrix),
+            Err(MandiPassError::NoEnrolmentData)
+        ));
+    }
+
+    #[test]
+    fn revocation_removes_template() {
+        let (mut system, pop, recorder) = trained_system();
+        let user = &pop.users()[0];
+        let matrix = GaussianMatrix::generate(5, system.embedding_dim());
+        let recs: Vec<_> =
+            (0..3).map(|s| recorder.record(user, Condition::Normal, 6000 + s)).collect();
+        system.enroll(user.id, &recs, &matrix).unwrap();
+        let stolen = system.revoke(user.id);
+        assert!(stolen.is_some());
+        let probe = recorder.record(user, Condition::Normal, 6100);
+        assert!(matches!(
+            system.verify(user.id, &probe, &matrix),
+            Err(MandiPassError::NotEnrolled { .. })
+        ));
+    }
+
+    #[test]
+    fn verify_cancelable_accepts_matching_template() {
+        let (mut system, pop, recorder) = trained_system();
+        let user = &pop.users()[0];
+        let matrix = GaussianMatrix::generate(6, system.embedding_dim());
+        let recs: Vec<_> =
+            (0..3).map(|s| recorder.record(user, Condition::Normal, 7000 + s)).collect();
+        system.enroll(user.id, &recs, &matrix).unwrap();
+        // Presenting the enclave's own template verbatim: a replay before
+        // revocation, which trivially matches (distance 0).
+        let template = system.enclave().load(user.id).unwrap();
+        let outcome = system.verify_cancelable(user.id, &template).unwrap();
+        assert!(outcome.accepted);
+        assert!(outcome.distance < 1e-9);
+    }
+}

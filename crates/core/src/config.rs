@@ -1,0 +1,182 @@
+//! Pipeline configuration.
+
+use mandipass_dsp::detect::DetectorConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::error::MandiPassError;
+
+/// Configuration of the §IV preprocessing chain and the §V gradient-array
+/// construction. Defaults are the paper's published values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Samples kept per axis after the vibration start (`n`; paper: 60).
+    pub n: usize,
+    /// Window size (samples) of the start detector (paper: 10).
+    pub detector_window: usize,
+    /// Window stride of the start detector (paper: 10).
+    pub detector_stride: usize,
+    /// Standard deviation that starts a vibration event (paper: 250).
+    pub detector_start_threshold: f64,
+    /// Standard deviation the follow-up windows must keep (paper: 100).
+    pub detector_sustain_threshold: f64,
+    /// MAD multiples beyond which a sample is an outlier.
+    pub mad_threshold: f64,
+    /// High-pass filter order (paper: 4).
+    pub highpass_order: usize,
+    /// High-pass cutoff, Hz (paper: 20).
+    pub highpass_cutoff_hz: f64,
+    /// Which of the six axes participate (Fig. 11(a) ablates this;
+    /// `true` keeps the axis, `false` zeroes it).
+    pub axis_mask: [bool; 6],
+    /// Cosine-distance acceptance threshold. The paper operates at
+    /// 0.5485 (the EER point of its Fig. 10(b) sweep); ours is calibrated
+    /// the same way by the Fig. 10(b) experiment.
+    pub threshold: f64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            n: 60,
+            detector_window: 10,
+            detector_stride: 10,
+            detector_start_threshold: 250.0,
+            detector_sustain_threshold: 100.0,
+            mad_threshold: 3.5,
+            highpass_order: 4,
+            highpass_cutoff_hz: 20.0,
+            axis_mask: [true; 6],
+            threshold: 0.5485,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MandiPassError::InvalidConfig`] when `n` is too small to
+    /// split into direction planes, windows are empty, thresholds are
+    /// non-positive, or no axis is enabled.
+    pub fn validate(&self) -> Result<(), MandiPassError> {
+        let bad = |reason: &str| Err(MandiPassError::InvalidConfig { reason: reason.to_string() });
+        if self.n < 4 {
+            return bad("n must be at least 4");
+        }
+        if self.detector_window == 0 || self.detector_stride == 0 {
+            return bad("detector window and stride must be positive");
+        }
+        if self.detector_start_threshold <= 0.0 || self.detector_sustain_threshold <= 0.0 {
+            return bad("detector thresholds must be positive");
+        }
+        if self.mad_threshold <= 0.0 {
+            return bad("MAD threshold must be positive");
+        }
+        if self.highpass_order == 0 || self.highpass_order % 2 != 0 {
+            return bad("high-pass order must be a positive even number");
+        }
+        if self.highpass_cutoff_hz <= 0.0 {
+            return bad("high-pass cutoff must be positive");
+        }
+        if !self.axis_mask.iter().any(|&m| m) {
+            return bad("at least one axis must be enabled");
+        }
+        if !(self.threshold > 0.0) {
+            return bad("threshold must be positive");
+        }
+        Ok(())
+    }
+
+    /// Gradient samples per direction plane (`n/2`).
+    pub fn half_n(&self) -> usize {
+        self.n / 2
+    }
+
+    /// The detector configuration for the DSP layer.
+    pub fn detector(&self) -> DetectorConfig {
+        DetectorConfig {
+            window: self.detector_window,
+            stride: self.detector_stride,
+            start_threshold: self.detector_start_threshold,
+            sustain_threshold: self.detector_sustain_threshold,
+            sustain_windows: 2,
+        }
+    }
+
+    /// A mask keeping only the first `count` axes in the paper's order
+    /// `ax, ay, az, gx, gy, gz` — the Fig. 11(a) sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `count` is 0 or greater than 6.
+    pub fn axis_mask_first(count: usize) -> [bool; 6] {
+        assert!((1..=6).contains(&count), "axis count must be 1..=6");
+        let mut mask = [false; 6];
+        for m in mask.iter_mut().take(count) {
+            *m = true;
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_values() {
+        let c = PipelineConfig::default();
+        assert_eq!(c.n, 60);
+        assert_eq!(c.detector_window, 10);
+        assert_eq!(c.detector_stride, 10);
+        assert_eq!(c.detector_start_threshold, 250.0);
+        assert_eq!(c.detector_sustain_threshold, 100.0);
+        assert_eq!(c.highpass_order, 4);
+        assert_eq!(c.highpass_cutoff_hz, 20.0);
+        assert_eq!(c.threshold, 0.5485);
+        assert_eq!(c.half_n(), 30);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let base = PipelineConfig::default();
+        let mut c = base.clone();
+        c.n = 2;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.highpass_order = 3;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.axis_mask = [false; 6];
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.threshold = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.detector_stride = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn axis_mask_first_follows_paper_order() {
+        assert_eq!(PipelineConfig::axis_mask_first(1), [true, false, false, false, false, false]);
+        assert_eq!(PipelineConfig::axis_mask_first(3), [true, true, true, false, false, false]);
+        assert_eq!(PipelineConfig::axis_mask_first(6), [true; 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis count")]
+    fn zero_axis_mask_panics() {
+        let _ = PipelineConfig::axis_mask_first(0);
+    }
+
+    #[test]
+    fn detector_mirrors_config() {
+        let c = PipelineConfig::default();
+        let d = c.detector();
+        assert_eq!(d.window, 10);
+        assert_eq!(d.start_threshold, 250.0);
+    }
+}

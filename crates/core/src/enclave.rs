@@ -1,0 +1,165 @@
+//! A simulated secure enclave: the template store at rest.
+//!
+//! The real system keeps the cancelable MandiblePrint template in the
+//! earphone's secure enclave. We reproduce the enclave's *protocol role*:
+//! templates at rest, keyed by user, revocable, with access accounting —
+//! the hardware isolation itself is out of scope (documented in
+//! DESIGN.md).
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::error::MandiPassError;
+use crate::template::CancelableTemplate;
+
+/// A thread-safe sealed template store.
+#[derive(Debug, Default)]
+pub struct SecureEnclave {
+    inner: Mutex<EnclaveInner>,
+}
+
+#[derive(Debug, Default)]
+struct EnclaveInner {
+    templates: HashMap<u32, CancelableTemplate>,
+    reads: u64,
+    writes: u64,
+}
+
+impl SecureEnclave {
+    /// Creates an empty enclave.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores (or replaces) the template of `user_id`.
+    pub fn store(&self, user_id: u32, template: CancelableTemplate) {
+        let mut inner = self.inner.lock();
+        inner.writes += 1;
+        inner.templates.insert(user_id, template);
+    }
+
+    /// Loads the template of `user_id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MandiPassError::NotEnrolled`] when no template exists.
+    pub fn load(&self, user_id: u32) -> Result<CancelableTemplate, MandiPassError> {
+        let mut inner = self.inner.lock();
+        inner.reads += 1;
+        inner
+            .templates
+            .get(&user_id)
+            .cloned()
+            .ok_or(MandiPassError::NotEnrolled { user_id })
+    }
+
+    /// Deletes the template of `user_id` (revocation step 1; step 2 is
+    /// enrolling again under a fresh Gaussian matrix). Returns the old
+    /// template if one existed — e.g. for the replay-attack experiments,
+    /// which *steal* the template at this point.
+    pub fn revoke(&self, user_id: u32) -> Option<CancelableTemplate> {
+        let mut inner = self.inner.lock();
+        inner.writes += 1;
+        inner.templates.remove(&user_id)
+    }
+
+    /// Whether `user_id` has a template enrolled.
+    pub fn contains(&self, user_id: u32) -> bool {
+        self.inner.lock().templates.contains_key(&user_id)
+    }
+
+    /// Number of enrolled templates.
+    pub fn len(&self) -> usize {
+        self.inner.lock().templates.len()
+    }
+
+    /// Whether the enclave holds no templates.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(reads, writes)` access counters — observable side channel used
+    /// by tests and the overhead experiment.
+    pub fn access_counts(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.reads, inner.writes)
+    }
+
+    /// Total bytes of template storage currently held.
+    pub fn storage_bytes(&self) -> usize {
+        self.inner.lock().templates.values().map(|t| t.storage_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::{GaussianMatrix, MandiblePrint};
+
+    fn template(seed: u64) -> CancelableTemplate {
+        let g = GaussianMatrix::generate(seed, 16);
+        g.transform(&MandiblePrint::new(vec![0.5; 16])).unwrap()
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let enclave = SecureEnclave::new();
+        let t = template(1);
+        enclave.store(7, t.clone());
+        assert_eq!(enclave.load(7).unwrap(), t);
+        assert!(enclave.contains(7));
+        assert_eq!(enclave.len(), 1);
+    }
+
+    #[test]
+    fn missing_user_yields_not_enrolled() {
+        let enclave = SecureEnclave::new();
+        assert!(matches!(enclave.load(3), Err(MandiPassError::NotEnrolled { user_id: 3 })));
+    }
+
+    #[test]
+    fn revoke_removes_and_returns_template() {
+        let enclave = SecureEnclave::new();
+        enclave.store(1, template(2));
+        let stolen = enclave.revoke(1);
+        assert!(stolen.is_some());
+        assert!(!enclave.contains(1));
+        assert!(enclave.revoke(1).is_none());
+        assert!(enclave.is_empty());
+    }
+
+    #[test]
+    fn replacement_overwrites() {
+        let enclave = SecureEnclave::new();
+        enclave.store(1, template(3));
+        let newer = template(4);
+        enclave.store(1, newer.clone());
+        assert_eq!(enclave.load(1).unwrap(), newer);
+        assert_eq!(enclave.len(), 1);
+    }
+
+    #[test]
+    fn access_counters_track_operations() {
+        let enclave = SecureEnclave::new();
+        enclave.store(1, template(5));
+        let _ = enclave.load(1);
+        let _ = enclave.load(2);
+        let (reads, writes) = enclave.access_counts();
+        assert_eq!((reads, writes), (2, 1));
+    }
+
+    #[test]
+    fn storage_accounts_all_templates() {
+        let enclave = SecureEnclave::new();
+        enclave.store(1, template(6));
+        enclave.store(2, template(7));
+        assert_eq!(enclave.storage_bytes(), 2 * (16 * 4 + 8));
+    }
+
+    #[test]
+    fn enclave_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SecureEnclave>();
+    }
+}

@@ -1,0 +1,111 @@
+//! Error type for the MandiPass pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use mandipass_dsp::DspError;
+use mandipass_nn::NnError;
+
+/// Errors produced by the MandiPass pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MandiPassError {
+    /// A DSP stage failed (detection, filtering, segmentation, …).
+    Dsp(DspError),
+    /// A neural-network stage failed (shape or serialisation problems).
+    Nn(NnError),
+    /// A verification request referenced a user id with no enrolled
+    /// template.
+    NotEnrolled {
+        /// The unknown user id.
+        user_id: u32,
+    },
+    /// Enrolment was attempted with no usable recordings.
+    NoEnrolmentData,
+    /// Two vectors that must agree in dimension did not.
+    DimensionMismatch {
+        /// Dimension expected.
+        expected: usize,
+        /// Dimension received.
+        got: usize,
+    },
+    /// A configuration value was invalid.
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MandiPassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MandiPassError::Dsp(e) => write!(f, "signal processing failed: {e}"),
+            MandiPassError::Nn(e) => write!(f, "model failure: {e}"),
+            MandiPassError::NotEnrolled { user_id } => {
+                write!(f, "no template enrolled for user {user_id}")
+            }
+            MandiPassError::NoEnrolmentData => {
+                write!(f, "enrolment requires at least one usable recording")
+            }
+            MandiPassError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            MandiPassError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for MandiPassError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MandiPassError::Dsp(e) => Some(e),
+            MandiPassError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DspError> for MandiPassError {
+    fn from(e: DspError) -> Self {
+        MandiPassError::Dsp(e)
+    }
+}
+
+impl From<NnError> for MandiPassError {
+    fn from(e: NnError) -> Self {
+        MandiPassError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dsp_errors_convert_and_chain() {
+        let e: MandiPassError = DspError::VibrationNotFound.into();
+        assert!(matches!(e, MandiPassError::Dsp(_)));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("signal processing"));
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(MandiPassError::NotEnrolled { user_id: 3 }.to_string().contains('3'));
+        assert!(MandiPassError::DimensionMismatch { expected: 512, got: 256 }
+            .to_string()
+            .contains("512"));
+        assert!(MandiPassError::InvalidConfig { reason: "n too small".into() }
+            .to_string()
+            .contains("n too small"));
+        assert!(!MandiPassError::NoEnrolmentData.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MandiPassError>();
+    }
+}

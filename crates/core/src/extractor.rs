@@ -1,0 +1,485 @@
+//! The §V.B biometric extractor: a two-branch CNN.
+//!
+//! Each direction plane of the gradient array feeds its own branch of
+//! three [Conv 3×3, stride 1×2 → BatchNorm → ReLU] blocks; the branch
+//! outputs are flattened, concatenated, passed through a fully connected
+//! layer and a Sigmoid to yield the *MandiblePrint* vector (paper default
+//! 512-d). During training a further fully connected layer projects the
+//! biometric onto person-id classes for cross-entropy learning; at
+//! deployment the classifier head is ignored and the sigmoid output is
+//! the biometric.
+
+use mandipass_nn::activation::{ReLU, Sigmoid};
+use mandipass_nn::batchnorm::BatchNorm2d;
+use mandipass_nn::conv::Conv2d;
+use mandipass_nn::flatten::Flatten;
+use mandipass_nn::layer::{Layer, Param};
+use mandipass_nn::linear::Linear;
+use mandipass_nn::loss::{accuracy, cross_entropy};
+use mandipass_nn::sequential::Sequential;
+use mandipass_nn::tensor::Tensor;
+
+use crate::error::MandiPassError;
+use crate::gradient_array::GradientArray;
+use crate::template::MandiblePrint;
+
+/// Architecture parameters of the biometric extractor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractorConfig {
+    /// Axis rows per direction plane (6 for a full IMU).
+    pub axes: usize,
+    /// Gradient samples per direction stream (`n/2`; paper: 30).
+    pub half_n: usize,
+    /// Output channels of the three convolution blocks.
+    pub channels: [usize; 3],
+    /// MandiblePrint dimensionality (paper default: 512; Fig. 11(c)
+    /// sweeps 32–512).
+    pub embedding_dim: usize,
+    /// Person-id classes of the training head.
+    pub classes: usize,
+    /// Weight-initialisation seed.
+    pub seed: u64,
+    /// Whether to use the paper's two-branch architecture (one branch per
+    /// vibration direction). `false` builds an equal-parameter-budget
+    /// single branch fed both direction planes as channels — the
+    /// `ablation_branches` experiment's comparator.
+    pub two_branch: bool,
+}
+
+impl ExtractorConfig {
+    /// The paper's architecture for a cohort of `classes` hired people.
+    pub fn paper(classes: usize) -> Self {
+        ExtractorConfig {
+            axes: 6,
+            half_n: 30,
+            channels: [8, 16, 32],
+            embedding_dim: 512,
+            classes,
+            seed: 0x6d61_6e64,
+            two_branch: true,
+        }
+    }
+
+    /// A tiny configuration for unit tests (fast to train).
+    pub fn tiny(classes: usize) -> Self {
+        ExtractorConfig {
+            axes: 6,
+            half_n: 30,
+            channels: [2, 4, 4],
+            embedding_dim: 32,
+            classes,
+            seed: 7,
+            two_branch: true,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MandiPassError::InvalidConfig`] for zero-sized fields.
+    pub fn validate(&self) -> Result<(), MandiPassError> {
+        let bad = |reason: &str| Err(MandiPassError::InvalidConfig { reason: reason.to_string() });
+        if self.axes == 0 || self.half_n == 0 {
+            return bad("axes and half_n must be positive");
+        }
+        if self.channels.iter().any(|&c| c == 0) {
+            return bad("channel counts must be positive");
+        }
+        if self.embedding_dim == 0 {
+            return bad("embedding dimension must be positive");
+        }
+        if self.classes < 2 {
+            return bad("training requires at least two classes");
+        }
+        Ok(())
+    }
+
+    /// Temporal width after the three stride-2 convolutions.
+    fn final_width(&self) -> usize {
+        let w1 = (self.half_n + 2 - 3) / 2 + 1;
+        let w2 = (w1 + 2 - 3) / 2 + 1;
+        (w2 + 2 - 3) / 2 + 1
+    }
+
+    /// Flattened feature size of one branch.
+    fn branch_features(&self) -> usize {
+        self.channels[2] * self.axes * self.final_width()
+    }
+}
+
+/// The two-branch CNN biometric extractor.
+#[derive(Debug)]
+pub struct BiometricExtractor {
+    config: ExtractorConfig,
+    branch_positive: Sequential,
+    branch_negative: Option<Sequential>,
+    head: Linear,
+    head_act: Sigmoid,
+    classifier: Linear,
+    cached_batch: Option<usize>,
+}
+
+fn build_branch(config: &ExtractorConfig, in_channels: usize, seed: u64) -> Sequential {
+    let [c1, c2, c3] = config.channels;
+    Sequential::new(vec![
+        Box::new(Conv2d::new(in_channels, c1, (3, 3), (1, 2), (1, 1), seed)),
+        Box::new(BatchNorm2d::new(c1)),
+        Box::new(ReLU::new()),
+        Box::new(Conv2d::new(c1, c2, (3, 3), (1, 2), (1, 1), seed + 1)),
+        Box::new(BatchNorm2d::new(c2)),
+        Box::new(ReLU::new()),
+        Box::new(Conv2d::new(c2, c3, (3, 3), (1, 2), (1, 1), seed + 2)),
+        Box::new(BatchNorm2d::new(c3)),
+        Box::new(ReLU::new()),
+        Box::new(Flatten::new()),
+    ])
+}
+
+impl BiometricExtractor {
+    /// Builds an untrained extractor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MandiPassError::InvalidConfig`] when `config` is invalid.
+    pub fn new(config: ExtractorConfig) -> Result<Self, MandiPassError> {
+        config.validate()?;
+        let branch_features = config.branch_features();
+        if config.two_branch {
+            Ok(BiometricExtractor {
+                branch_positive: build_branch(&config, 1, config.seed),
+                branch_negative: Some(build_branch(&config, 1, config.seed + 100)),
+                head: Linear::new(2 * branch_features, config.embedding_dim, config.seed + 200),
+                head_act: Sigmoid::new(),
+                classifier: Linear::new(config.embedding_dim, config.classes, config.seed + 300),
+                config,
+                cached_batch: None,
+            })
+        } else {
+            // Single branch on the stacked (2-channel) gradient array.
+            // With kernel fan-in doubled by the extra input channel, the
+            // convolution budget roughly matches; the head keeps the same
+            // width by duplicating the branch features.
+            Ok(BiometricExtractor {
+                branch_positive: build_branch(&config, 2, config.seed),
+                branch_negative: None,
+                head: Linear::new(branch_features, config.embedding_dim, config.seed + 200),
+                head_act: Sigmoid::new(),
+                classifier: Linear::new(config.embedding_dim, config.classes, config.seed + 300),
+                config,
+                cached_batch: None,
+            })
+        }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &ExtractorConfig {
+        &self.config
+    }
+
+    /// MandiblePrint dimensionality.
+    pub fn embedding_dim(&self) -> usize {
+        self.config.embedding_dim
+    }
+
+    /// Batches gradient arrays into the CNN input tensor
+    /// `[N, 2, axes, half_n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MandiPassError::DimensionMismatch`] when an array's shape
+    /// differs from the configuration.
+    pub fn batch_input(&self, arrays: &[&GradientArray]) -> Result<Tensor, MandiPassError> {
+        let per = 2 * self.config.axes * self.config.half_n;
+        let mut data = Vec::with_capacity(arrays.len() * per);
+        for a in arrays {
+            if a.axes() != self.config.axes || a.half_n() != self.config.half_n {
+                return Err(MandiPassError::DimensionMismatch {
+                    expected: per,
+                    got: 2 * a.axes() * a.half_n(),
+                });
+            }
+            data.extend(a.to_f32());
+        }
+        Tensor::from_vec(
+            vec![arrays.len(), 2, self.config.axes, self.config.half_n],
+            data,
+        )
+        .map_err(MandiPassError::from)
+    }
+
+    fn split_directions(&self, input: &Tensor) -> (Tensor, Tensor) {
+        let n = input.shape()[0];
+        let plane = self.config.axes * self.config.half_n;
+        let mut pos = Tensor::zeros(vec![n, 1, self.config.axes, self.config.half_n]);
+        let mut neg = Tensor::zeros(vec![n, 1, self.config.axes, self.config.half_n]);
+        for i in 0..n {
+            let base = i * 2 * plane;
+            pos.data_mut()[i * plane..(i + 1) * plane]
+                .copy_from_slice(&input.data()[base..base + plane]);
+            neg.data_mut()[i * plane..(i + 1) * plane]
+                .copy_from_slice(&input.data()[base + plane..base + 2 * plane]);
+        }
+        (pos, neg)
+    }
+
+    /// Forward pass: returns `(embeddings [N, D], logits [N, classes])`.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> (Tensor, Tensor) {
+        let features = if self.branch_negative.is_some() {
+            let (pos, neg) = self.split_directions(input);
+            let fp = self.branch_positive.forward(&pos, train);
+            let branch_negative =
+                self.branch_negative.as_mut().expect("checked above");
+            let fn_ = branch_negative.forward(&neg, train);
+            Tensor::concat_cols(&[&fp, &fn_])
+        } else {
+            self.branch_positive.forward(input, train)
+        };
+        let pre = self.head.forward(&features, train);
+        let embedding = self.head_act.forward(&pre, train);
+        let logits = self.classifier.forward(&embedding, train);
+        if train {
+            self.cached_batch = Some(input.shape()[0]);
+        }
+        (embedding, logits)
+    }
+
+    /// Backward pass from the loss gradient with respect to the logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called without a preceding training-mode forward.
+    pub fn backward(&mut self, grad_logits: &Tensor) {
+        assert!(
+            self.cached_batch.take().is_some(),
+            "backward requires a preceding training-mode forward"
+        );
+        let grad_embedding = self.classifier.backward(grad_logits);
+        let grad_pre = self.head_act.backward(&grad_embedding);
+        let grad_features = self.head.backward(&grad_pre);
+        match &mut self.branch_negative {
+            Some(branch_negative) => {
+                let branch_features = self.config.branch_features();
+                let parts = grad_features.split_cols(&[branch_features, branch_features]);
+                self.branch_positive.backward(&parts[0]);
+                branch_negative.backward(&parts[1]);
+            }
+            None => {
+                self.branch_positive.backward(&grad_features);
+            }
+        }
+    }
+
+    /// One optimisation step over a batch: zero grads, forward, loss,
+    /// backward. Returns `(loss, accuracy)`; the caller applies the
+    /// optimiser to [`BiometricExtractor::params`].
+    pub fn train_batch(&mut self, input: &Tensor, labels: &[usize]) -> (f32, f64) {
+        self.zero_grad();
+        let (_, logits) = self.forward(input, true);
+        let (loss, grad) = cross_entropy(&logits, labels);
+        let acc = accuracy(&logits, labels);
+        self.backward(&grad);
+        (loss, acc)
+    }
+
+    /// Extracts MandiblePrints from gradient arrays (evaluation mode —
+    /// running batch-norm statistics, no caching).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches from [`BiometricExtractor::batch_input`].
+    pub fn extract(
+        &mut self,
+        arrays: &[&GradientArray],
+    ) -> Result<Vec<MandiblePrint>, MandiPassError> {
+        if arrays.is_empty() {
+            return Ok(Vec::new());
+        }
+        let input = self.batch_input(arrays)?;
+        let (embeddings, _) = self.forward(&input, false);
+        let d = self.config.embedding_dim;
+        Ok((0..arrays.len())
+            .map(|i| MandiblePrint::new(embeddings.data()[i * d..(i + 1) * d].to_vec()))
+            .collect())
+    }
+
+    /// Classification accuracy of the training head on a labelled batch
+    /// (evaluation mode).
+    pub fn evaluate_accuracy(&mut self, input: &Tensor, labels: &[usize]) -> f64 {
+        let (_, logits) = self.forward(input, false);
+        accuracy(&logits, labels)
+    }
+}
+
+impl Layer for BiometricExtractor {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let (_, logits) = BiometricExtractor::forward(self, input, train);
+        logits
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        BiometricExtractor::backward(self, grad_output);
+        // The input gradient is not needed by any caller (this is the
+        // first layer of the model); return a zero placeholder of the
+        // right logical meaning.
+        Tensor::zeros(vec![1, 1])
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        let mut out = Vec::new();
+        let mut layers: Vec<(&str, &mut dyn Layer)> =
+            vec![("branch_pos", &mut self.branch_positive as &mut dyn Layer)];
+        if let Some(branch_negative) = &mut self.branch_negative {
+            layers.push(("branch_neg", branch_negative as &mut dyn Layer));
+        }
+        layers.push(("head", &mut self.head as &mut dyn Layer));
+        layers.push(("classifier", &mut self.classifier as &mut dyn Layer));
+        for (prefix, layer) in layers {
+            for mut p in layer.params() {
+                p.name = format!("{prefix}.{}", p.name);
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    fn state_params(&mut self) -> Vec<Param<'_>> {
+        let mut out = Vec::new();
+        let mut layers: Vec<(&str, &mut dyn Layer)> =
+            vec![("branch_pos", &mut self.branch_positive as &mut dyn Layer)];
+        if let Some(branch_negative) = &mut self.branch_negative {
+            layers.push(("branch_neg", branch_negative as &mut dyn Layer));
+        }
+        layers.push(("head", &mut self.head as &mut dyn Layer));
+        layers.push(("classifier", &mut self.classifier as &mut dyn Layer));
+        for (prefix, layer) in layers {
+            for mut p in layer.state_params() {
+                p.name = format!("{prefix}.{}", p.name);
+                out.push(p);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mandipass_dsp::SignalArray;
+    use mandipass_nn::optim::{Adam, Optimizer};
+
+    fn toy_gradient_array(shift: f64) -> GradientArray {
+        let rows: Vec<Vec<f64>> = (0..6)
+            .map(|j| {
+                (0..61)
+                    .map(|i| ((i as f64 * (0.5 + 0.1 * j as f64) + shift).sin() + 1.0) / 2.0)
+                    .collect()
+            })
+            .collect();
+        let arr = SignalArray::new(rows).unwrap();
+        GradientArray::from_signal_array(&arr, 30)
+    }
+
+    #[test]
+    fn paper_config_param_count_is_plausible() {
+        let mut ex = BiometricExtractor::new(ExtractorConfig::paper(33)).unwrap();
+        let count = ex.param_count();
+        // FC dominates: 2·32·6·4 = 1536 inputs × 512 ≈ 786k parameters.
+        assert!(count > 700_000 && count < 1_100_000, "params {count}");
+    }
+
+    #[test]
+    fn forward_shapes_are_correct() {
+        let mut ex = BiometricExtractor::new(ExtractorConfig::tiny(4)).unwrap();
+        let a = toy_gradient_array(0.0);
+        let b = toy_gradient_array(1.0);
+        let input = ex.batch_input(&[&a, &b]).unwrap();
+        assert_eq!(input.shape(), &[2, 2, 6, 30]);
+        let (embed, logits) = ex.forward(&input, false);
+        assert_eq!(embed.shape(), &[2, 32]);
+        assert_eq!(logits.shape(), &[2, 4]);
+    }
+
+    #[test]
+    fn embeddings_are_in_unit_interval() {
+        let mut ex = BiometricExtractor::new(ExtractorConfig::tiny(4)).unwrap();
+        let a = toy_gradient_array(0.3);
+        let prints = ex.extract(&[&a]).unwrap();
+        assert_eq!(prints.len(), 1);
+        assert!(prints[0].as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn training_reduces_loss_on_separable_toy_data() {
+        let mut ex = BiometricExtractor::new(ExtractorConfig::tiny(2)).unwrap();
+        let a = toy_gradient_array(0.0);
+        let b = toy_gradient_array(2.0);
+        let input = ex.batch_input(&[&a, &b]).unwrap();
+        let labels = [0usize, 1usize];
+        let mut adam = Adam::new(0.01);
+        let (first_loss, _) = ex.train_batch(&input, &labels);
+        adam.step(&mut ex.params());
+        let mut last_loss = first_loss;
+        for _ in 0..30 {
+            let (loss, _) = ex.train_batch(&input, &labels);
+            adam.step(&mut ex.params());
+            last_loss = loss;
+        }
+        assert!(last_loss < first_loss * 0.5, "loss {first_loss} -> {last_loss}");
+    }
+
+    #[test]
+    fn extract_empty_is_empty() {
+        let mut ex = BiometricExtractor::new(ExtractorConfig::tiny(2)).unwrap();
+        assert!(ex.extract(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn mismatched_array_shape_is_rejected() {
+        let mut ex = BiometricExtractor::new(ExtractorConfig::tiny(2)).unwrap();
+        let arr = SignalArray::new(vec![vec![0.1, 0.9, 0.2, 0.8]; 6]).unwrap();
+        let small = GradientArray::from_signal_array(&arr, 10); // half_n 10 ≠ 30
+        assert!(matches!(
+            ex.extract(&[&small]),
+            Err(MandiPassError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut c = ExtractorConfig::tiny(2);
+        c.embedding_dim = 0;
+        assert!(BiometricExtractor::new(c).is_err());
+        let mut c = ExtractorConfig::tiny(2);
+        c.classes = 1;
+        assert!(BiometricExtractor::new(c).is_err());
+    }
+
+    #[test]
+    fn serialization_round_trip_preserves_behaviour() {
+        use mandipass_nn::serialize::{load_params, save_params};
+        let mut a = BiometricExtractor::new(ExtractorConfig::tiny(3)).unwrap();
+        let mut b = BiometricExtractor::new(ExtractorConfig {
+            seed: 999,
+            ..ExtractorConfig::tiny(3)
+        })
+        .unwrap();
+        let arr = toy_gradient_array(0.5);
+        let blob = save_params(&mut a);
+        load_params(&mut b, &blob).unwrap();
+        let pa = a.extract(&[&arr]).unwrap();
+        let pb = b.extract(&[&arr]).unwrap();
+        assert_eq!(pa[0].as_slice(), pb[0].as_slice());
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let mut a = BiometricExtractor::new(ExtractorConfig::tiny(3)).unwrap();
+        let mut b = BiometricExtractor::new(ExtractorConfig::tiny(3)).unwrap();
+        let arr = toy_gradient_array(0.7);
+        assert_eq!(
+            a.extract(&[&arr]).unwrap()[0].as_slice(),
+            b.extract(&[&arr]).unwrap()[0].as_slice()
+        );
+    }
+}

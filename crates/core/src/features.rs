@@ -1,0 +1,84 @@
+//! Statistical-feature extraction — the baseline the paper rejects (§V.A).
+//!
+//! Six common statistics per axis (mean, median, variance, standard
+//! deviation, upper quartile, lower quartile) over the six axes give a
+//! 36-value *statistical feature sample* (SFS). The paper shows SFSes of
+//! different users are near-indistinguishable and top out below 65 %
+//! classification accuracy, motivating the deep extractor; our Fig. 7
+//! experiment reruns that comparison.
+
+use mandipass_dsp::stats;
+use mandipass_dsp::SignalArray;
+
+/// Number of statistics computed per axis.
+pub const STATS_PER_AXIS: usize = 6;
+
+/// Computes the six §V.A statistics of one signal segment, in the paper's
+/// listing order: mean, median, variance, standard deviation, upper
+/// quartile, lower quartile.
+pub fn axis_statistics(segment: &[f64]) -> [f64; STATS_PER_AXIS] {
+    [
+        stats::mean(segment),
+        stats::median(segment),
+        stats::variance(segment),
+        stats::std_dev(segment),
+        stats::upper_quartile(segment),
+        stats::lower_quartile(segment),
+    ]
+}
+
+/// Computes the full statistical feature sample of a signal array:
+/// `axis_count × 6` values, axis-major.
+pub fn statistical_feature_sample(array: &SignalArray) -> Vec<f64> {
+    let mut out = Vec::with_capacity(array.axis_count() * STATS_PER_AXIS);
+    for axis in array.iter() {
+        out.extend_from_slice(&axis_statistics(axis));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_stats_per_axis() {
+        let seg: Vec<f64> = (0..60).map(|i| (i as f64 * 0.2).sin() * 0.5 + 0.5).collect();
+        let s = axis_statistics(&seg);
+        assert_eq!(s.len(), 6);
+        // std² == variance.
+        assert!((s[3] * s[3] - s[2]).abs() < 1e-12);
+        // Quartile ordering.
+        assert!(s[5] <= s[1] && s[1] <= s[4]);
+    }
+
+    #[test]
+    fn sfs_has_thirty_six_values_for_six_axes() {
+        let rows = vec![vec![0.1, 0.5, 0.9, 0.3]; 6];
+        let arr = SignalArray::new(rows).unwrap();
+        assert_eq!(statistical_feature_sample(&arr).len(), 36);
+    }
+
+    #[test]
+    fn constant_axis_has_zero_spread() {
+        let arr = SignalArray::new(vec![vec![0.5; 10]]).unwrap();
+        let sfs = statistical_feature_sample(&arr);
+        assert_eq!(sfs[0], 0.5); // mean
+        assert_eq!(sfs[2], 0.0); // variance
+        assert_eq!(sfs[3], 0.0); // std
+    }
+
+    #[test]
+    fn normalised_inputs_give_similar_sfs_across_users() {
+        // The paper's core observation: after min-max normalisation, the
+        // statistics of different oscillatory segments are close. Two
+        // different sinusoid mixes land near the same SFS.
+        let a: Vec<f64> = (0..60).map(|i| ((i as f64 * 0.9).sin() + 1.0) / 2.0).collect();
+        let b: Vec<f64> = (0..60).map(|i| ((i as f64 * 1.3).sin() + 1.0) / 2.0).collect();
+        let sa = axis_statistics(&a);
+        let sb = axis_statistics(&b);
+        for (x, y) in sa.iter().zip(&sb) {
+            assert!((x - y).abs() < 0.25, "stat differs too much: {x} vs {y}");
+        }
+    }
+}

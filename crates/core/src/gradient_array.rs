@@ -1,0 +1,172 @@
+//! The §V.B gradient array: direction-separated CNN input.
+//!
+//! Equation 6 predicts different biometric content in the positive- and
+//! negative-direction vibration phases, so the paper computes per-axis
+//! gradients (Eq. 8), splits them by sign, interpolates both streams to
+//! `n/2` values, and stacks everything into a `(2, 6, n/2)` array — one
+//! channelled plane per direction, fed to its own CNN branch.
+
+use mandipass_dsp::gradient::directional_gradients;
+use mandipass_dsp::SignalArray;
+use serde::{Deserialize, Serialize};
+
+/// A `(2, axes, half_n)` direction-separated gradient array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GradientArray {
+    axes: usize,
+    half_n: usize,
+    /// Flat data in `[direction][axis][time]` order; direction 0 is
+    /// positive, direction 1 negative.
+    data: Vec<f64>,
+}
+
+impl GradientArray {
+    /// Builds the gradient array from a preprocessed signal array,
+    /// interpolating each direction stream to `half_n` values.
+    pub fn from_signal_array(array: &SignalArray, half_n: usize) -> Self {
+        let axes = array.axis_count();
+        let mut data = vec![0.0; 2 * axes * half_n];
+        for (j, axis) in array.iter().enumerate() {
+            let (pos, neg) = directional_gradients(axis, half_n);
+            data[j * half_n..(j + 1) * half_n].copy_from_slice(&pos);
+            let neg_base = axes * half_n + j * half_n;
+            data[neg_base..neg_base + half_n].copy_from_slice(&neg);
+        }
+        GradientArray { axes, half_n, data }
+    }
+
+    /// Rebuilds a gradient array from the flat `[direction][axis][time]`
+    /// layout produced by [`GradientArray::to_f32`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `flat.len() != 2 * axes * half_n`.
+    pub fn from_flat(flat: &[f32], axes: usize, half_n: usize) -> Self {
+        assert_eq!(
+            flat.len(),
+            2 * axes * half_n,
+            "flat layout must hold 2 x axes x half_n values"
+        );
+        GradientArray { axes, half_n, data: flat.iter().map(|&v| f64::from(v)).collect() }
+    }
+
+    /// Number of axis rows per direction plane.
+    pub fn axes(&self) -> usize {
+        self.axes
+    }
+
+    /// Gradient samples per direction stream (`n/2`).
+    pub fn half_n(&self) -> usize {
+        self.half_n
+    }
+
+    /// The positive-direction plane of axis `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `j` is out of range.
+    pub fn positive(&self, j: usize) -> &[f64] {
+        assert!(j < self.axes, "axis {j} out of range");
+        &self.data[j * self.half_n..(j + 1) * self.half_n]
+    }
+
+    /// The negative-direction plane of axis `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `j` is out of range.
+    pub fn negative(&self, j: usize) -> &[f64] {
+        assert!(j < self.axes, "axis {j} out of range");
+        let base = self.axes * self.half_n + j * self.half_n;
+        &self.data[base..base + self.half_n]
+    }
+
+    /// Flattens to `f32` in `[direction][axis][time]` order — the CNN
+    /// input layout (`2 × axes × half_n` values).
+    pub fn to_f32(&self) -> Vec<f32> {
+        self.data.iter().map(|&v| v as f32).collect()
+    }
+
+    /// Total number of values.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array is empty (only for zero `half_n`).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_array() -> SignalArray {
+        // Two axes, alternating up/down so both directions are populated.
+        SignalArray::new(vec![
+            vec![0.0, 1.0, 0.2, 0.9, 0.1, 0.8],
+            vec![0.5, 0.4, 0.6, 0.3, 0.7, 0.2],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn shape_is_two_by_axes_by_half() {
+        let g = GradientArray::from_signal_array(&toy_array(), 3);
+        assert_eq!(g.axes(), 2);
+        assert_eq!(g.half_n(), 3);
+        assert_eq!(g.len(), 2 * 2 * 3);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn directions_have_correct_signs() {
+        let g = GradientArray::from_signal_array(&toy_array(), 3);
+        for j in 0..2 {
+            assert!(g.positive(j).iter().all(|&v| v >= 0.0));
+            assert!(g.negative(j).iter().all(|&v| v <= 0.0));
+        }
+    }
+
+    #[test]
+    fn monotone_axis_yields_zero_negative_plane() {
+        let arr = SignalArray::new(vec![vec![0.0, 0.25, 0.5, 0.75, 1.0]]).unwrap();
+        let g = GradientArray::from_signal_array(&arr, 2);
+        assert!(g.positive(0).iter().all(|&v| (v - 0.25).abs() < 1e-12));
+        assert_eq!(g.negative(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn f32_layout_is_direction_major() {
+        let g = GradientArray::from_signal_array(&toy_array(), 3);
+        let flat = g.to_f32();
+        assert_eq!(flat.len(), 12);
+        // First half must equal the two positive planes concatenated.
+        for (i, &v) in g.positive(0).iter().enumerate() {
+            assert_eq!(flat[i], v as f32);
+        }
+        for (i, &v) in g.negative(0).iter().enumerate() {
+            assert_eq!(flat[6 + i], v as f32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_axis_panics() {
+        let g = GradientArray::from_signal_array(&toy_array(), 3);
+        let _ = g.positive(5);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = GradientArray::from_signal_array(&toy_array(), 3);
+        let json = serde_json::to_string(&g).unwrap();
+        let back: GradientArray = serde_json::from_str(&json).unwrap();
+        assert_eq!(g.axes(), back.axes());
+        assert_eq!(g.half_n(), back.half_n());
+        for (a, b) in g.to_f32().iter().zip(back.to_f32()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The §IV signal-preprocessing module.
+//!
+//! Four operations, in the paper's order:
+//!
+//! 1. **Vibration detection and signal segmentation** — windowed standard
+//!    deviation on the accelerometer `az` track; the first window past the
+//!    start threshold whose followers sustain marks the start; `n`
+//!    samples per axis are kept from there.
+//! 2. **MAD-based outlier processing** — detect with a MAD rule, replace
+//!    with the mean of two previous and two subsequent normal values.
+//! 3. **High-pass filtering** — 4th-order Butterworth, 20 Hz cutoff,
+//!    removing the body-motion low-frequency components.
+//! 4. **Normalisation and multi-axis concatenation** — min–max per
+//!    segment, stacked into a `(6, n)` signal array.
+
+use mandipass_dsp::detect::segment_axes;
+use mandipass_dsp::filter::Butterworth;
+use mandipass_dsp::normalize::min_max_in_place;
+use mandipass_dsp::outlier::clean_segment;
+use mandipass_dsp::SignalArray;
+use mandipass_imu_sim::Recording;
+
+use crate::config::PipelineConfig;
+use crate::error::MandiPassError;
+
+/// Runs the full §IV chain on a raw recording, producing the `(6, n)`
+/// signal array (with masked axes zeroed).
+///
+/// # Errors
+///
+/// * [`MandiPassError::Dsp`] when the vibration start cannot be found,
+///   the recording is too short, or contains non-finite samples.
+/// * [`MandiPassError::InvalidConfig`] when `config` fails validation.
+pub fn preprocess(
+    recording: &Recording,
+    config: &PipelineConfig,
+) -> Result<SignalArray, MandiPassError> {
+    config.validate()?;
+    let axes: Vec<&[f64]> = recording.axes().iter().map(Vec::as_slice).collect();
+    // Step 1: detect on az, cut n samples from each axis.
+    let mut segments = segment_axes(recording.az(), &axes, config.n, &config.detector())?;
+
+    // Step 2: MAD outlier repair, per segment.
+    for seg in &mut segments {
+        clean_segment(seg, config.mad_threshold);
+    }
+
+    // Step 3: high-pass filter (zero-phase so the waveform the gradients
+    // see is not phase-distorted).
+    let hp = Butterworth::highpass(
+        config.highpass_order,
+        config.highpass_cutoff_hz,
+        recording.sample_rate_hz(),
+    )?;
+    for seg in &mut segments {
+        *seg = hp.filtfilt(seg);
+    }
+
+    // Step 4: min-max normalisation and concatenation.
+    for seg in &mut segments {
+        min_max_in_place(seg);
+    }
+    let array = SignalArray::new(segments)?;
+    Ok(array.with_axis_mask(&config.axis_mask))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mandipass_imu_sim::{Condition, Population, Recorder};
+
+    fn one_recording(seed: u64) -> Recording {
+        let pop = Population::generate(2, 21);
+        Recorder::default().record(&pop.users()[0], Condition::Normal, seed)
+    }
+
+    #[test]
+    fn produces_six_by_n_array() {
+        let arr = preprocess(&one_recording(1), &PipelineConfig::default()).unwrap();
+        assert_eq!(arr.axis_count(), 6);
+        assert_eq!(arr.samples_per_axis(), 60);
+    }
+
+    #[test]
+    fn output_is_normalised() {
+        let arr = preprocess(&one_recording(2), &PipelineConfig::default()).unwrap();
+        for axis in arr.iter() {
+            assert!(axis.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn axis_mask_zeroes_disabled_axes() {
+        let mut config = PipelineConfig::default();
+        config.axis_mask = PipelineConfig::axis_mask_first(2);
+        let arr = preprocess(&one_recording(3), &config).unwrap();
+        assert!(arr.axis(0).iter().any(|&v| v != 0.0));
+        assert!(arr.axis(2).iter().all(|&v| v == 0.0));
+        assert!(arr.axis(5).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn deterministic_for_same_recording() {
+        let rec = one_recording(4);
+        let a = preprocess(&rec, &PipelineConfig::default()).unwrap();
+        let b = preprocess(&rec, &PipelineConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_sessions_give_similar_but_not_identical_arrays() {
+        let a = preprocess(&one_recording(5), &PipelineConfig::default()).unwrap();
+        let b = preprocess(&one_recording(6), &PipelineConfig::default()).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn silence_only_recording_fails_detection() {
+        // Build a recording-like object via a quiet user? Simpler: a
+        // custom config with an absurd start threshold nothing reaches.
+        let mut config = PipelineConfig::default();
+        config.detector_start_threshold = 1e12;
+        let err = preprocess(&one_recording(7), &config).unwrap_err();
+        assert!(matches!(err, MandiPassError::Dsp(_)));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_work() {
+        let mut config = PipelineConfig::default();
+        config.n = 1;
+        assert!(matches!(
+            preprocess(&one_recording(8), &config),
+            Err(MandiPassError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn walk_condition_still_preprocesses() {
+        let pop = Population::generate(2, 22);
+        let rec = Recorder::default().record(&pop.users()[0], Condition::Walk, 9);
+        let arr = preprocess(&rec, &PipelineConfig::default()).unwrap();
+        assert_eq!(arr.samples_per_axis(), 60);
+    }
+}

@@ -1,0 +1,128 @@
+//! Cosine-distance similarity calculation (§III).
+//!
+//! The paper's Fig. 10(b) numbers (mean 0.4884 between *same-user*
+//! MandiblePrints, 0.7032 between *different-user* prints, threshold
+//! 0.5485) only cohere when the "similarity" is read as a **distance**:
+//! genuine pairs score lower than impostor pairs and a probe is accepted
+//! when its score falls *below* the threshold. This module therefore
+//! exposes `cosine_distance = 1 − cosine_similarity` and the accept rule
+//! `distance < threshold`.
+
+/// Cosine similarity between two equal-length vectors; `0` when either
+/// vector is all-zero.
+///
+/// # Panics
+///
+/// Panics when lengths differ.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vectors must have equal length");
+    let mut dot = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += f64::from(x) * f64::from(y);
+        na += f64::from(x) * f64::from(x);
+        nb += f64::from(y) * f64::from(y);
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na.sqrt() * nb.sqrt())
+}
+
+/// Cosine distance `1 − cosine_similarity`, in `[0, 2]`.
+///
+/// Lower means more similar; the verifier accepts when the distance is
+/// below the operating threshold.
+///
+/// ```
+/// use mandipass::similarity::cosine_distance;
+/// let a = [1.0f32, 0.0];
+/// assert_eq!(cosine_distance(&a, &a), 0.0);
+/// assert_eq!(cosine_distance(&a, &[0.0, 1.0]), 1.0);
+/// assert_eq!(cosine_distance(&a, &[-1.0, 0.0]), 2.0);
+/// ```
+pub fn cosine_distance(a: &[f32], b: &[f32]) -> f64 {
+    1.0 - cosine_similarity(a, b)
+}
+
+/// The verification decision: accept when `distance < threshold`.
+pub fn accepts(distance: f64, threshold: f64) -> bool {
+    distance < threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_have_zero_distance() {
+        let v = [0.3f32, 0.7, 0.1];
+        assert!(cosine_distance(&v, &v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_does_not_change_distance() {
+        let a = [0.2f32, 0.5, 0.9];
+        let b: Vec<f32> = a.iter().map(|x| x * 3.0).collect();
+        assert!(cosine_distance(&a, &b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn orthogonal_vectors_have_unit_distance() {
+        assert!((cosine_distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opposite_vectors_have_distance_two() {
+        assert!((cosine_distance(&[1.0, 2.0], &[-1.0, -2.0]) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_vector_is_maximally_distant() {
+        assert_eq!(cosine_distance(&[0.0, 0.0], &[1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn accept_rule_is_strictly_below() {
+        assert!(accepts(0.54, 0.5485));
+        assert!(!accepts(0.5485, 0.5485));
+        assert!(!accepts(0.56, 0.5485));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_panics() {
+        let _ = cosine_distance(&[1.0], &[1.0, 2.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn distance_is_in_range(
+            a in proptest::collection::vec(-10.0f32..10.0, 8),
+            b in proptest::collection::vec(-10.0f32..10.0, 8),
+        ) {
+            let d = cosine_distance(&a, &b);
+            prop_assert!((-1e-6..=2.0 + 1e-6).contains(&d));
+        }
+
+        #[test]
+        fn distance_is_symmetric(
+            a in proptest::collection::vec(-10.0f32..10.0, 8),
+            b in proptest::collection::vec(-10.0f32..10.0, 8),
+        ) {
+            prop_assert!((cosine_distance(&a, &b) - cosine_distance(&b, &a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn self_distance_is_zero(a in proptest::collection::vec(0.01f32..10.0, 8)) {
+            prop_assert!(cosine_distance(&a, &a).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Vibration-start detection and segmentation (§IV of the paper).
+//!
+//! The detector divides the accelerometer stream into non-overlapping
+//! windows of ten samples, computes each window's standard deviation, and
+//! declares the vibration to start at the first window whose standard
+//! deviation exceeds a *start* threshold while the following windows stay
+//! above a *sustain* threshold. The timestamp of that window's first sample
+//! is the vibration start; `n` samples from there form the segment.
+
+use crate::error::{ensure_finite, DspError};
+use crate::window::windowed_std;
+
+/// Configuration of the vibration-start detection rule.
+///
+/// The defaults are the paper's values: window size 10, stride 10, start
+/// threshold 250, sustain threshold 100, and two sustain windows checked.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorConfig {
+    /// Number of samples per window.
+    pub window: usize,
+    /// Stride between consecutive windows, in samples.
+    pub stride: usize,
+    /// A window whose standard deviation exceeds this starts a candidate
+    /// vibration event.
+    pub start_threshold: f64,
+    /// Standard deviation the subsequent windows must not fall below.
+    pub sustain_threshold: f64,
+    /// How many subsequent windows must satisfy the sustain threshold.
+    pub sustain_windows: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            window: 10,
+            stride: 10,
+            start_threshold: 250.0,
+            sustain_threshold: 100.0,
+            sustain_windows: 2,
+        }
+    }
+}
+
+/// Finds the start index of the vibration event in `signal`.
+///
+/// # Errors
+///
+/// * [`DspError::NonFinite`] if the signal contains NaN or ±∞.
+/// * [`DspError::TooShort`] if the signal holds fewer than one window.
+/// * [`DspError::VibrationNotFound`] if no window satisfies the rule.
+///
+/// ```
+/// use mandipass_dsp::detect::{detect_vibration_start, DetectorConfig};
+///
+/// let mut sig = vec![0.0; 40];
+/// sig.extend((0..60).map(|i| if i % 2 == 0 { 400.0 } else { -400.0 }));
+/// let start = detect_vibration_start(&sig, &DetectorConfig::default()).unwrap();
+/// assert_eq!(start, 40);
+/// ```
+pub fn detect_vibration_start(
+    signal: &[f64],
+    config: &DetectorConfig,
+) -> Result<usize, DspError> {
+    ensure_finite(signal)?;
+    if signal.len() < config.window {
+        return Err(DspError::TooShort { needed: config.window, got: signal.len() });
+    }
+    let stds = windowed_std(signal, config.window, config.stride);
+    for (i, &(start, sd)) in stds.iter().enumerate() {
+        if sd <= config.start_threshold {
+            continue;
+        }
+        let sustained = stds[i + 1..]
+            .iter()
+            .take(config.sustain_windows)
+            .all(|&(_, s)| s >= config.sustain_threshold);
+        // A start window close to the end of the recording has fewer than
+        // `sustain_windows` followers; `all` over the shorter run is the
+        // paper's behaviour (it only checks windows that exist).
+        if sustained {
+            return Ok(start);
+        }
+    }
+    Err(DspError::VibrationNotFound)
+}
+
+/// Detects the vibration start in `trigger` and extracts the `n`-sample
+/// segment beginning there from every axis in `axes`.
+///
+/// `trigger` is typically one accelerometer axis (the paper uses the
+/// accelerometer for detection); `axes` are all six IMU axes.
+///
+/// # Errors
+///
+/// Propagates detection errors, and returns [`DspError::TooShort`] when any
+/// axis has fewer than `start + n` samples.
+pub fn segment_axes(
+    trigger: &[f64],
+    axes: &[&[f64]],
+    n: usize,
+    config: &DetectorConfig,
+) -> Result<Vec<Vec<f64>>, DspError> {
+    let start = detect_vibration_start(trigger, config)?;
+    let mut out = Vec::with_capacity(axes.len());
+    for axis in axes {
+        if axis.len() < start + n {
+            return Err(DspError::TooShort { needed: start + n, got: axis.len() });
+        }
+        out.push(axis[start..start + n].to_vec());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_then_burst(quiet: usize, burst: usize, amp: f64) -> Vec<f64> {
+        let mut sig = vec![0.0; quiet];
+        sig.extend((0..burst).map(|i| if i % 2 == 0 { amp } else { -amp }));
+        sig
+    }
+
+    #[test]
+    fn detects_start_at_window_boundary() {
+        let sig = quiet_then_burst(50, 60, 400.0);
+        let start = detect_vibration_start(&sig, &DetectorConfig::default()).unwrap();
+        assert_eq!(start, 50);
+    }
+
+    #[test]
+    fn start_mid_window_snaps_to_window_start() {
+        // Burst begins at sample 45: the window [40, 50) already has a large
+        // std, so the detector reports 40 — the first sample of that window,
+        // exactly as the paper specifies.
+        let sig = quiet_then_burst(45, 60, 400.0);
+        let start = detect_vibration_start(&sig, &DetectorConfig::default()).unwrap();
+        assert_eq!(start, 40);
+    }
+
+    #[test]
+    fn transient_spike_without_sustain_is_ignored() {
+        // One loud window followed by silence: the sustain check fails there,
+        // but a later genuine burst is found.
+        let mut sig = vec![0.0; 10];
+        sig.extend(quiet_then_burst(0, 10, 400.0)); // windows: [10,20) loud
+        sig.extend(vec![0.0; 40]); // silence => sustain fails
+        sig.extend(quiet_then_burst(0, 40, 400.0));
+        let start = detect_vibration_start(&sig, &DetectorConfig::default()).unwrap();
+        assert_eq!(start, 60);
+    }
+
+    #[test]
+    fn all_quiet_is_not_found() {
+        let sig = vec![0.0; 200];
+        assert_eq!(
+            detect_vibration_start(&sig, &DetectorConfig::default()),
+            Err(DspError::VibrationNotFound)
+        );
+    }
+
+    #[test]
+    fn short_signal_errors() {
+        let sig = vec![0.0; 5];
+        assert!(matches!(
+            detect_vibration_start(&sig, &DetectorConfig::default()),
+            Err(DspError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn nan_is_rejected() {
+        let mut sig = quiet_then_burst(20, 40, 400.0);
+        sig[3] = f64::NAN;
+        assert!(matches!(
+            detect_vibration_start(&sig, &DetectorConfig::default()),
+            Err(DspError::NonFinite { index: 3 })
+        ));
+    }
+
+    #[test]
+    fn segment_axes_extracts_n_samples_per_axis() {
+        let trigger = quiet_then_burst(30, 100, 400.0);
+        let other: Vec<f64> = (0..130).map(f64::from).collect();
+        let axes = [trigger.as_slice(), other.as_slice()];
+        let segs = segment_axes(&trigger, &axes, 60, &DetectorConfig::default()).unwrap();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].len(), 60);
+        assert_eq!(segs[1][0], 30.0); // starts at the detected index
+    }
+
+    #[test]
+    fn segment_axes_errors_when_tail_is_short() {
+        let trigger = quiet_then_burst(30, 40, 400.0); // only 70 samples
+        let axes = [trigger.as_slice()];
+        assert!(matches!(
+            segment_axes(&trigger, &axes, 60, &DetectorConfig::default()),
+            Err(DspError::TooShort { needed: 90, got: 70 })
+        ));
+    }
+}

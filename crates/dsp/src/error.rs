@@ -1,0 +1,135 @@
+//! Error type shared by the DSP primitives.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the DSP primitives in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DspError {
+    /// A filter was requested with an invalid order (zero or odd where even
+    /// is required).
+    InvalidOrder {
+        /// The order that was requested.
+        order: usize,
+    },
+    /// A cutoff frequency fell outside `(0, fs / 2)`.
+    InvalidCutoff {
+        /// The cutoff frequency that was requested, in Hz.
+        cutoff_hz: f64,
+        /// The sampling rate, in Hz.
+        sample_rate_hz: f64,
+    },
+    /// An operation needed more samples than the input provided.
+    TooShort {
+        /// Samples required by the operation.
+        needed: usize,
+        /// Samples actually available.
+        got: usize,
+    },
+    /// The vibration-start detector scanned the whole recording without
+    /// finding a window that satisfies the start rule.
+    VibrationNotFound,
+    /// An input contained a non-finite value (NaN or ±∞).
+    NonFinite {
+        /// Index of the first offending sample.
+        index: usize,
+    },
+    /// A multi-axis container was built from axes of mismatched lengths.
+    AxisLengthMismatch {
+        /// Length expected (that of the first axis).
+        expected: usize,
+        /// Mismatching length encountered.
+        got: usize,
+    },
+    /// FFT input length was not a power of two.
+    NotPowerOfTwo {
+        /// Offending length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::InvalidOrder { order } => {
+                write!(f, "invalid filter order {order}: must be a positive even number")
+            }
+            DspError::InvalidCutoff { cutoff_hz, sample_rate_hz } => write!(
+                f,
+                "invalid cutoff {cutoff_hz} Hz for sample rate {sample_rate_hz} Hz: \
+                 must lie strictly between 0 and Nyquist"
+            ),
+            DspError::TooShort { needed, got } => {
+                write!(f, "input too short: needed {needed} samples, got {got}")
+            }
+            DspError::VibrationNotFound => {
+                write!(f, "no window satisfied the vibration-start rule")
+            }
+            DspError::NonFinite { index } => {
+                write!(f, "non-finite sample at index {index}")
+            }
+            DspError::AxisLengthMismatch { expected, got } => {
+                write!(f, "axis length mismatch: expected {expected}, got {got}")
+            }
+            DspError::NotPowerOfTwo { len } => {
+                write!(f, "FFT length {len} is not a power of two")
+            }
+        }
+    }
+}
+
+impl Error for DspError {}
+
+/// Checks that every sample in `signal` is finite.
+///
+/// # Errors
+///
+/// Returns [`DspError::NonFinite`] with the index of the first offending
+/// sample.
+pub fn ensure_finite(signal: &[f64]) -> Result<(), DspError> {
+    match signal.iter().position(|v| !v.is_finite()) {
+        Some(index) => Err(DspError::NonFinite { index }),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_without_trailing_punctuation() {
+        let errors = [
+            DspError::InvalidOrder { order: 0 },
+            DspError::InvalidCutoff { cutoff_hz: -1.0, sample_rate_hz: 100.0 },
+            DspError::TooShort { needed: 10, got: 3 },
+            DspError::VibrationNotFound,
+            DspError::NonFinite { index: 4 },
+            DspError::AxisLengthMismatch { expected: 5, got: 6 },
+            DspError::NotPowerOfTwo { len: 12 },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'), "{s}");
+        }
+    }
+
+    #[test]
+    fn ensure_finite_accepts_clean_input() {
+        assert!(ensure_finite(&[0.0, 1.5, -2.0]).is_ok());
+    }
+
+    #[test]
+    fn ensure_finite_reports_first_bad_index() {
+        let res = ensure_finite(&[0.0, f64::NAN, f64::INFINITY]);
+        assert_eq!(res, Err(DspError::NonFinite { index: 1 }));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DspError>();
+    }
+}

@@ -1,0 +1,156 @@
+//! Radix-2 FFT for spectrum inspection.
+//!
+//! Used by the feasibility analysis (inspecting the vibration spectrum the
+//! §II model predicts) and by the acoustic baselines (SkullConduct /
+//! EarEcho feature extraction).
+
+use crate::error::DspError;
+
+/// A complex number as a `(re, im)` pair — all this crate needs.
+pub type Complex = (f64, f64);
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// # Errors
+///
+/// Returns [`DspError::NotPowerOfTwo`] when `data.len()` is not a power of
+/// two (zero-length counts as invalid).
+pub fn fft_in_place(data: &mut [Complex]) -> Result<(), DspError> {
+    let n = data.len();
+    if n == 0 || n & (n - 1) != 0 {
+        return Err(DspError::NotPowerOfTwo { len: n });
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterfly passes.
+    let mut len = 2;
+    while len <= n {
+        let angle = -2.0 * std::f64::consts::PI / len as f64;
+        let (w_re, w_im) = (angle.cos(), angle.sin());
+        for start in (0..n).step_by(len) {
+            let mut cur = (1.0, 0.0);
+            for k in 0..len / 2 {
+                let (a_re, a_im) = data[start + k];
+                let (b_re, b_im) = data[start + k + len / 2];
+                let t_re = b_re * cur.0 - b_im * cur.1;
+                let t_im = b_re * cur.1 + b_im * cur.0;
+                data[start + k] = (a_re + t_re, a_im + t_im);
+                data[start + k + len / 2] = (a_re - t_re, a_im - t_im);
+                cur = (cur.0 * w_re - cur.1 * w_im, cur.0 * w_im + cur.1 * w_re);
+            }
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// FFT of a real signal, zero-padded up to the next power of two.
+///
+/// Returns the full complex spectrum (length = padded size).
+pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
+    let n = signal.len().max(1).next_power_of_two();
+    let mut data: Vec<Complex> = signal.iter().map(|&x| (x, 0.0)).collect();
+    data.resize(n, (0.0, 0.0));
+    fft_in_place(&mut data).expect("padded length is a power of two");
+    data
+}
+
+/// One-sided magnitude spectrum of a real signal with the frequency (Hz) of
+/// each bin: `(freq_hz, magnitude)` pairs for bins `0 ..= N/2`.
+pub fn magnitude_spectrum(signal: &[f64], sample_rate_hz: f64) -> Vec<(f64, f64)> {
+    let spec = fft_real(signal);
+    let n = spec.len();
+    spec.iter()
+        .take(n / 2 + 1)
+        .enumerate()
+        .map(|(k, &(re, im))| {
+            (k as f64 * sample_rate_hz / n as f64, (re * re + im * im).sqrt())
+        })
+        .collect()
+}
+
+/// Frequency (Hz) of the largest non-DC magnitude bin.
+///
+/// Returns `None` when the signal is empty or shorter than two samples.
+pub fn dominant_frequency(signal: &[f64], sample_rate_hz: f64) -> Option<f64> {
+    if signal.len() < 2 {
+        return None;
+    }
+    magnitude_spectrum(signal, sample_rate_hz)
+        .into_iter()
+        .skip(1)
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("magnitudes are finite"))
+        .map(|(f, _)| f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut data = vec![(0.0, 0.0); 12];
+        assert_eq!(fft_in_place(&mut data), Err(DspError::NotPowerOfTwo { len: 12 }));
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut data = vec![(0.0, 0.0); 8];
+        data[0] = (1.0, 0.0);
+        fft_in_place(&mut data).unwrap();
+        for (re, im) in data {
+            assert!((re - 1.0).abs() < 1e-12 && im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pure_tone_peaks_at_its_bin() {
+        let fs = 1024.0;
+        let sig: Vec<f64> = (0..1024)
+            .map(|i| (2.0 * std::f64::consts::PI * 64.0 * i as f64 / fs).sin())
+            .collect();
+        let dom = dominant_frequency(&sig, fs).unwrap();
+        assert!((dom - 64.0).abs() < 1.0, "dominant {dom}");
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        let sig: Vec<f64> = (0..256).map(|i| ((i * 37 % 97) as f64 / 97.0) - 0.5).collect();
+        let time_energy: f64 = sig.iter().map(|x| x * x).sum();
+        let spec = fft_real(&sig);
+        let freq_energy: f64 =
+            spec.iter().map(|(re, im)| re * re + im * im).sum::<f64>() / spec.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dc_signal_concentrates_in_bin_zero() {
+        let sig = vec![2.0; 64];
+        let spec = magnitude_spectrum(&sig, 64.0);
+        assert!((spec[0].1 - 128.0).abs() < 1e-9);
+        assert!(spec[1..].iter().all(|&(_, m)| m < 1e-9));
+    }
+
+    #[test]
+    fn dominant_frequency_of_tiny_signal_is_none() {
+        assert_eq!(dominant_frequency(&[1.0], 100.0), None);
+        assert_eq!(dominant_frequency(&[], 100.0), None);
+    }
+
+    #[test]
+    fn zero_padding_keeps_peak_location() {
+        // 300 samples at 100 Hz tone, fs 1000 -> padded to 512.
+        let fs = 1000.0;
+        let sig: Vec<f64> = (0..300)
+            .map(|i| (2.0 * std::f64::consts::PI * 100.0 * i as f64 / fs).sin())
+            .collect();
+        let dom = dominant_frequency(&sig, fs).unwrap();
+        assert!((dom - 100.0).abs() < 5.0, "dominant {dom}");
+    }
+}

@@ -1,0 +1,315 @@
+//! Butterworth IIR filters realised as cascaded second-order sections.
+//!
+//! The paper removes body-motion low-frequency components with a
+//! **4th-order Butterworth high-pass at 20 Hz** (§IV). We design the filter
+//! with the standard analog-prototype → bilinear-transform route and run it
+//! as a cascade of biquads, optionally forward–backward (`filtfilt`) for
+//! zero phase distortion.
+
+use crate::error::DspError;
+
+/// One second-order IIR section in direct form II transposed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Biquad {
+    /// Feed-forward coefficients `b0, b1, b2`.
+    pub b: [f64; 3],
+    /// Feedback coefficients `a1, a2` (with `a0` normalised to 1).
+    pub a: [f64; 2],
+}
+
+impl Biquad {
+    /// Filters `input` through this section, returning the output.
+    pub fn filter(&self, input: &[f64]) -> Vec<f64> {
+        let mut s1 = 0.0;
+        let mut s2 = 0.0;
+        input
+            .iter()
+            .map(|&x| {
+                let y = self.b[0] * x + s1;
+                s1 = self.b[1] * x - self.a[0] * y + s2;
+                s2 = self.b[2] * x - self.a[1] * y;
+                y
+            })
+            .collect()
+    }
+
+    /// Magnitude response of the section at normalised angular frequency
+    /// `w` (radians/sample).
+    pub fn magnitude_at(&self, w: f64) -> f64 {
+        use std::f64::consts::*;
+        let _ = PI;
+        let (c1, s1v) = (w.cos(), w.sin());
+        let (c2, s2v) = ((2.0 * w).cos(), (2.0 * w).sin());
+        let num_re = self.b[0] + self.b[1] * c1 + self.b[2] * c2;
+        let num_im = -(self.b[1] * s1v + self.b[2] * s2v);
+        let den_re = 1.0 + self.a[0] * c1 + self.a[1] * c2;
+        let den_im = -(self.a[0] * s1v + self.a[1] * s2v);
+        (num_re * num_re + num_im * num_im).sqrt() / (den_re * den_re + den_im * den_im).sqrt()
+    }
+}
+
+/// Whether a [`Butterworth`] passes frequencies above or below its cutoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterKind {
+    /// Attenuates below the cutoff.
+    Highpass,
+    /// Attenuates above the cutoff.
+    Lowpass,
+}
+
+/// A Butterworth filter of even order, stored as cascaded biquads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Butterworth {
+    sections: Vec<Biquad>,
+    kind: FilterKind,
+    order: usize,
+    cutoff_hz: f64,
+    sample_rate_hz: f64,
+}
+
+impl Butterworth {
+    /// Designs a high-pass Butterworth filter.
+    ///
+    /// # Errors
+    ///
+    /// * [`DspError::InvalidOrder`] if `order` is zero or odd.
+    /// * [`DspError::InvalidCutoff`] if `cutoff_hz` is outside
+    ///   `(0, sample_rate_hz / 2)`.
+    pub fn highpass(order: usize, cutoff_hz: f64, sample_rate_hz: f64) -> Result<Self, DspError> {
+        Self::design(FilterKind::Highpass, order, cutoff_hz, sample_rate_hz)
+    }
+
+    /// Designs a low-pass Butterworth filter.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Butterworth::highpass`].
+    pub fn lowpass(order: usize, cutoff_hz: f64, sample_rate_hz: f64) -> Result<Self, DspError> {
+        Self::design(FilterKind::Lowpass, order, cutoff_hz, sample_rate_hz)
+    }
+
+    fn design(
+        kind: FilterKind,
+        order: usize,
+        cutoff_hz: f64,
+        sample_rate_hz: f64,
+    ) -> Result<Self, DspError> {
+        if order == 0 || order % 2 != 0 {
+            return Err(DspError::InvalidOrder { order });
+        }
+        if !(cutoff_hz > 0.0 && cutoff_hz < sample_rate_hz / 2.0) || !cutoff_hz.is_finite() {
+            return Err(DspError::InvalidCutoff { cutoff_hz, sample_rate_hz });
+        }
+        // Pre-warped analog cutoff for the bilinear transform (T = 2 so that
+        // the warping constant folds into `wc`).
+        let wc = (std::f64::consts::PI * cutoff_hz / sample_rate_hz).tan();
+        let n_sections = order / 2;
+        let mut sections = Vec::with_capacity(n_sections);
+        for k in 0..n_sections {
+            // Butterworth pole-pair quality factor for section k.
+            let theta = std::f64::consts::PI * (2.0 * k as f64 + 1.0) / (2.0 * order as f64);
+            let q = 1.0 / (2.0 * theta.sin());
+            sections.push(Self::bilinear_section(kind, wc, q));
+        }
+        Ok(Butterworth { sections, kind, order, cutoff_hz, sample_rate_hz })
+    }
+
+    /// Bilinear transform of a second-order analog prototype section with
+    /// cutoff `wc` (pre-warped, normalised) and quality factor `q`.
+    fn bilinear_section(kind: FilterKind, wc: f64, q: f64) -> Biquad {
+        let wc2 = wc * wc;
+        let a0 = wc2 + wc / q + 1.0;
+        match kind {
+            FilterKind::Lowpass => Biquad {
+                b: [wc2 / a0, 2.0 * wc2 / a0, wc2 / a0],
+                a: [(2.0 * (wc2 - 1.0)) / a0, (wc2 - wc / q + 1.0) / a0],
+            },
+            FilterKind::Highpass => Biquad {
+                b: [1.0 / a0, -2.0 / a0, 1.0 / a0],
+                a: [(2.0 * (wc2 - 1.0)) / a0, (wc2 - wc / q + 1.0) / a0],
+            },
+        }
+    }
+
+    /// The filter order.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// The cutoff frequency in Hz.
+    pub fn cutoff_hz(&self) -> f64 {
+        self.cutoff_hz
+    }
+
+    /// The design sample rate in Hz.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.sample_rate_hz
+    }
+
+    /// Whether this is a high-pass or low-pass filter.
+    pub fn kind(&self) -> FilterKind {
+        self.kind
+    }
+
+    /// The second-order sections of the cascade.
+    pub fn sections(&self) -> &[Biquad] {
+        &self.sections
+    }
+
+    /// Single-pass (causal) filtering.
+    pub fn filter(&self, input: &[f64]) -> Vec<f64> {
+        let mut out = input.to_vec();
+        for section in &self.sections {
+            out = section.filter(&out);
+        }
+        out
+    }
+
+    /// Zero-phase forward–backward filtering.
+    ///
+    /// The effective magnitude response is the square of the single-pass
+    /// response; the output has no phase distortion, which keeps the
+    /// vibration waveform shape intact for the gradient step.
+    pub fn filtfilt(&self, input: &[f64]) -> Vec<f64> {
+        let forward = self.filter(input);
+        let mut reversed: Vec<f64> = forward.into_iter().rev().collect();
+        reversed = self.filter(&reversed);
+        reversed.reverse();
+        reversed
+    }
+
+    /// Cascade magnitude response at frequency `hz`.
+    pub fn magnitude_at_hz(&self, hz: f64) -> f64 {
+        let w = 2.0 * std::f64::consts::PI * hz / self.sample_rate_hz;
+        self.sections.iter().map(|s| s.magnitude_at(w)).product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FS: f64 = 350.0;
+
+    fn tone(hz: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * hz * i as f64 / FS).sin())
+            .collect()
+    }
+
+    fn rms(xs: &[f64]) -> f64 {
+        (xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn rejects_odd_or_zero_order() {
+        assert!(matches!(Butterworth::highpass(0, 20.0, FS), Err(DspError::InvalidOrder { .. })));
+        assert!(matches!(Butterworth::highpass(3, 20.0, FS), Err(DspError::InvalidOrder { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_cutoff() {
+        assert!(matches!(
+            Butterworth::highpass(4, 0.0, FS),
+            Err(DspError::InvalidCutoff { .. })
+        ));
+        assert!(matches!(
+            Butterworth::highpass(4, 200.0, FS),
+            Err(DspError::InvalidCutoff { .. })
+        ));
+        assert!(matches!(
+            Butterworth::highpass(4, f64::NAN, FS),
+            Err(DspError::InvalidCutoff { .. })
+        ));
+    }
+
+    #[test]
+    fn highpass_magnitude_is_half_power_at_cutoff() {
+        let hp = Butterworth::highpass(4, 20.0, FS).unwrap();
+        let mag = hp.magnitude_at_hz(20.0);
+        assert!((mag - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9, "got {mag}");
+    }
+
+    #[test]
+    fn highpass_passes_vocal_band_and_rejects_motion_band() {
+        let hp = Butterworth::highpass(4, 20.0, FS).unwrap();
+        // Body movements are mostly < 10 Hz; vocal fundamentals 100–200 Hz.
+        assert!(hp.magnitude_at_hz(5.0) < 0.01);
+        assert!(hp.magnitude_at_hz(120.0) > 0.99);
+    }
+
+    #[test]
+    fn lowpass_mirrors_highpass_behaviour() {
+        let lp = Butterworth::lowpass(4, 20.0, FS).unwrap();
+        assert!(lp.magnitude_at_hz(5.0) > 0.99);
+        assert!(lp.magnitude_at_hz(120.0) < 0.01);
+    }
+
+    #[test]
+    fn time_domain_attenuation_matches_design() {
+        let hp = Butterworth::highpass(4, 20.0, FS).unwrap();
+        let low = tone(5.0, 2048);
+        let high = tone(120.0, 2048);
+        // Skip the transient head for the RMS measurement.
+        let low_out = hp.filter(&low);
+        let high_out = hp.filter(&high);
+        assert!(rms(&low_out[512..]) < 0.02, "low tone leaked: {}", rms(&low_out[512..]));
+        assert!(rms(&high_out[512..]) > 0.68, "high tone attenuated: {}", rms(&high_out[512..]));
+    }
+
+    #[test]
+    fn filtfilt_is_zero_phase() {
+        let hp = Butterworth::highpass(2, 10.0, FS).unwrap();
+        let sig = tone(100.0, 4096);
+        let out = hp.filtfilt(&sig);
+        // Zero-phase: the filtered tone stays aligned with the input (high
+        // correlation at zero lag).
+        let mid = 2048;
+        let dot: f64 = (mid - 256..mid + 256).map(|i| sig[i] * out[i]).sum();
+        let norm: f64 = (mid - 256..mid + 256).map(|i| sig[i] * sig[i]).sum();
+        assert!(dot / norm > 0.98, "correlation {}", dot / norm);
+    }
+
+    #[test]
+    fn filter_is_linear() {
+        let hp = Butterworth::highpass(4, 20.0, FS).unwrap();
+        let a = tone(60.0, 512);
+        let b = tone(90.0, 512);
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let fa = hp.filter(&a);
+        let fb = hp.filter(&b);
+        let fsum = hp.filter(&sum);
+        for i in 0..512 {
+            assert!((fsum[i] - (fa[i] + fb[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn filter_is_stable_on_impulse() {
+        let hp = Butterworth::highpass(4, 20.0, FS).unwrap();
+        let mut impulse = vec![0.0; 4096];
+        impulse[0] = 1.0;
+        let response = hp.filter(&impulse);
+        // Tail must decay to (near) zero for a stable filter.
+        let tail_max = response[3500..].iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        assert!(tail_max < 1e-8, "tail {tail_max}");
+    }
+
+    #[test]
+    fn dc_is_fully_blocked_by_highpass() {
+        let hp = Butterworth::highpass(4, 20.0, FS).unwrap();
+        let dc = vec![3.0; 1024];
+        let out = hp.filter(&dc);
+        assert!(out[900..].iter().all(|x| x.abs() < 1e-8));
+    }
+
+    #[test]
+    fn accessors_report_design_parameters() {
+        let hp = Butterworth::highpass(4, 20.0, FS).unwrap();
+        assert_eq!(hp.order(), 4);
+        assert_eq!(hp.cutoff_hz(), 20.0);
+        assert_eq!(hp.sample_rate_hz(), FS);
+        assert_eq!(hp.kind(), FilterKind::Highpass);
+        assert_eq!(hp.sections().len(), 2);
+    }
+}

@@ -1,0 +1,191 @@
+//! Gradient computation and direction separation (§V.B, Eq. 8).
+//!
+//! The two-phase vibration model (Eq. 6) predicts *different* biometric
+//! content in the positive- and negative-direction vibration phases
+//! (`c1 ≠ c2`, `F_P(0) ≠ F_N(0)`). The paper therefore computes per-axis
+//! gradients and splits them by sign before feeding each direction into its
+//! own CNN branch.
+
+use crate::interp::resample_linear;
+
+/// Computes the gradients of `segment` per Eq. 8: the `i`-th gradient is
+/// `(v[i+1] − v[i]) / |t[i+1] − t[i]|` with the time interval normalised to
+/// 1 for uniformly sampled data, yielding `segment.len() − 1` values.
+///
+/// ```
+/// let g = mandipass_dsp::gradient::gradients(&[0.0, 1.0, 0.5]);
+/// assert_eq!(g, vec![1.0, -0.5]);
+/// ```
+pub fn gradients(segment: &[f64]) -> Vec<f64> {
+    segment.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+/// Gradients of a non-uniformly sampled segment: `dt[i]` is the (absolute)
+/// interval between samples `i` and `i + 1`, normalised by the caller.
+///
+/// Intervals of zero are treated as 1 to keep the result finite (a
+/// duplicated timestamp is a sensor artefact, not a real infinite slope).
+///
+/// # Panics
+///
+/// Panics if `dt.len() + 1 != segment.len()`.
+pub fn gradients_with_dt(segment: &[f64], dt: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        dt.len() + 1,
+        segment.len(),
+        "dt must have exactly one fewer element than segment"
+    );
+    segment
+        .windows(2)
+        .zip(dt)
+        .map(|(w, &d)| {
+            let d = d.abs();
+            if d == 0.0 {
+                w[1] - w[0]
+            } else {
+                (w[1] - w[0]) / d
+            }
+        })
+        .collect()
+}
+
+/// Gradients split by sign into `(positive, negative)` streams.
+///
+/// Gradients `≥ 0` go to the positive direction, the rest to the negative
+/// direction — the paper's exact rule. Order within each stream is
+/// preserved.
+pub fn split_by_sign(grads: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let mut pos = Vec::with_capacity(grads.len() / 2 + 1);
+    let mut neg = Vec::with_capacity(grads.len() / 2 + 1);
+    for &g in grads {
+        if g >= 0.0 {
+            pos.push(g);
+        } else {
+            neg.push(g);
+        }
+    }
+    (pos, neg)
+}
+
+/// Full §V.B direction separation for one axis: gradients, sign split, and
+/// linear interpolation of both streams to exactly `half_n` values each.
+///
+/// Returns `(positive, negative)`, each of length `half_n`.
+pub fn directional_gradients(segment: &[f64], half_n: usize) -> (Vec<f64>, Vec<f64>) {
+    let grads = gradients(segment);
+    let (pos, neg) = split_by_sign(&grads);
+    (resample_linear(&pos, half_n), resample_linear(&neg, half_n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradients_of_linear_ramp_are_constant() {
+        let seg: Vec<f64> = (0..10).map(|i| 2.0 * i as f64).collect();
+        let g = gradients(&seg);
+        assert_eq!(g.len(), 9);
+        assert!(g.iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn gradients_len_is_input_minus_one() {
+        assert_eq!(gradients(&[1.0, 2.0, 3.0, 4.0]).len(), 3);
+        assert!(gradients(&[1.0]).is_empty());
+        assert!(gradients(&[]).is_empty());
+    }
+
+    #[test]
+    fn gradients_with_dt_scales_by_interval() {
+        let seg = [0.0, 2.0, 2.0];
+        let dt = [0.5, 2.0];
+        assert_eq!(gradients_with_dt(&seg, &dt), vec![4.0, 0.0]);
+    }
+
+    #[test]
+    fn gradients_with_zero_dt_stays_finite() {
+        let seg = [0.0, 3.0];
+        let dt = [0.0];
+        assert_eq!(gradients_with_dt(&seg, &dt), vec![3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must have exactly one fewer element")]
+    fn gradients_with_mismatched_dt_panics() {
+        let _ = gradients_with_dt(&[1.0, 2.0], &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn split_partitions_all_gradients() {
+        let grads = [1.0, -2.0, 0.0, 3.0, -0.5];
+        let (pos, neg) = split_by_sign(&grads);
+        assert_eq!(pos, vec![1.0, 0.0, 3.0]); // zero goes positive
+        assert_eq!(neg, vec![-2.0, -0.5]);
+        assert_eq!(pos.len() + neg.len(), grads.len());
+    }
+
+    #[test]
+    fn alternating_signal_splits_evenly() {
+        // n = 61 samples alternating => 60 gradients, 30 of each sign.
+        let seg: Vec<f64> = (0..61).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let (pos, neg) = split_by_sign(&gradients(&seg));
+        assert_eq!(pos.len(), 30);
+        assert_eq!(neg.len(), 30);
+    }
+
+    #[test]
+    fn directional_gradients_have_requested_length() {
+        let seg: Vec<f64> = (0..60).map(|i| (i as f64 * 0.9).sin()).collect();
+        let (pos, neg) = directional_gradients(&seg, 30);
+        assert_eq!(pos.len(), 30);
+        assert_eq!(neg.len(), 30);
+        assert!(pos.iter().all(|&g| g >= 0.0));
+        assert!(neg.iter().all(|&g| g < 0.0));
+    }
+
+    #[test]
+    fn monotone_segment_yields_zero_padded_negative_stream() {
+        let seg: Vec<f64> = (0..30).map(f64::from).collect();
+        let (pos, neg) = directional_gradients(&seg, 15);
+        assert!(pos.iter().all(|&g| g == 1.0));
+        // No negative gradients exist; interpolation of an empty stream
+        // must produce zeros, not NaNs.
+        assert_eq!(neg, vec![0.0; 15]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn split_is_a_partition(grads in proptest::collection::vec(-1e3f64..1e3, 0..200)) {
+            let (pos, neg) = split_by_sign(&grads);
+            prop_assert_eq!(pos.len() + neg.len(), grads.len());
+            prop_assert!(pos.iter().all(|&g| g >= 0.0));
+            prop_assert!(neg.iter().all(|&g| g < 0.0));
+        }
+
+        #[test]
+        fn directional_output_is_finite_and_sized(
+            seg in proptest::collection::vec(-1e3f64..1e3, 0..120),
+            half in 1usize..60,
+        ) {
+            let (pos, neg) = directional_gradients(&seg, half);
+            prop_assert_eq!(pos.len(), half);
+            prop_assert_eq!(neg.len(), half);
+            prop_assert!(pos.iter().chain(&neg).all(|g| g.is_finite()));
+        }
+
+        #[test]
+        fn gradient_sum_telescopes(seg in proptest::collection::vec(-1e3f64..1e3, 2..100)) {
+            let g = gradients(&seg);
+            let total: f64 = g.iter().sum();
+            let expected = seg.last().unwrap() - seg.first().unwrap();
+            prop_assert!((total - expected).abs() < 1e-6);
+        }
+    }
+}

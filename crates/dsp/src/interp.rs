@@ -1,0 +1,142 @@
+//! Linear interpolation and resampling.
+//!
+//! The gradient-array construction (§V.B) sign-splits each axis into
+//! positive- and negative-direction gradient streams of *roughly* `n/2`
+//! values and then linearly interpolates each stream so both directions
+//! have exactly `n/2` values, giving the CNN a dimension-consistent input.
+
+/// Linearly resamples `values` to exactly `target_len` points.
+///
+/// * Empty input yields `target_len` zeros (an axis may, in a degenerate
+///   recording, have no gradients of one sign at all).
+/// * A single value is replicated.
+/// * Otherwise the output samples the piecewise-linear interpolant of
+///   `values` at `target_len` evenly spaced positions, endpoints included.
+///
+/// ```
+/// let out = mandipass_dsp::interp::resample_linear(&[0.0, 1.0], 3);
+/// assert_eq!(out, vec![0.0, 0.5, 1.0]);
+/// ```
+pub fn resample_linear(values: &[f64], target_len: usize) -> Vec<f64> {
+    if target_len == 0 {
+        return Vec::new();
+    }
+    match values.len() {
+        0 => vec![0.0; target_len],
+        1 => vec![values[0]; target_len],
+        len => {
+            if target_len == 1 {
+                return vec![values[0]];
+            }
+            let scale = (len - 1) as f64 / (target_len - 1) as f64;
+            (0..target_len)
+                .map(|i| {
+                    let pos = i as f64 * scale;
+                    let lo = pos.floor() as usize;
+                    let hi = (lo + 1).min(len - 1);
+                    let frac = pos - lo as f64;
+                    values[lo] * (1.0 - frac) + values[hi] * frac
+                })
+                .collect()
+        }
+    }
+}
+
+/// Linear interpolation between `a` and `b` at parameter `t ∈ [0, 1]`.
+pub fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_when_lengths_match() {
+        let xs = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(resample_linear(&xs, 4), xs);
+    }
+
+    #[test]
+    fn upsample_keeps_endpoints() {
+        let out = resample_linear(&[0.0, 10.0], 11);
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[10], 10.0);
+        assert!((out[5] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let xs: Vec<f64> = (0..=10).map(f64::from).collect();
+        let out = resample_linear(&xs, 5);
+        assert_eq!(out.first(), Some(&0.0));
+        assert_eq!(out.last(), Some(&10.0));
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn empty_input_gives_zeros() {
+        assert_eq!(resample_linear(&[], 4), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn single_value_is_replicated() {
+        assert_eq!(resample_linear(&[7.0], 3), vec![7.0; 3]);
+    }
+
+    #[test]
+    fn target_len_zero_gives_empty() {
+        assert!(resample_linear(&[1.0, 2.0], 0).is_empty());
+    }
+
+    #[test]
+    fn target_len_one_gives_first() {
+        assert_eq!(resample_linear(&[3.0, 9.0], 1), vec![3.0]);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        assert_eq!(lerp(2.0, 4.0, 0.0), 2.0);
+        assert_eq!(lerp(2.0, 4.0, 1.0), 4.0);
+        assert_eq!(lerp(2.0, 4.0, 0.5), 3.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn output_length_is_exact(
+            xs in proptest::collection::vec(-1e3f64..1e3, 0..50),
+            target in 0usize..100,
+        ) {
+            prop_assert_eq!(resample_linear(&xs, target).len(), target);
+        }
+
+        #[test]
+        fn output_within_input_bounds(
+            xs in proptest::collection::vec(-1e3f64..1e3, 1..50),
+            target in 1usize..100,
+        ) {
+            let (min, max) = crate::stats::min_max(&xs).unwrap();
+            for v in resample_linear(&xs, target) {
+                prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+            }
+        }
+
+        #[test]
+        fn monotone_input_stays_monotone(
+            mut xs in proptest::collection::vec(-1e3f64..1e3, 2..50),
+            target in 2usize..100,
+        ) {
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let out = resample_linear(&xs, target);
+            for w in out.windows(2) {
+                prop_assert!(w[1] >= w[0] - 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Signal-processing substrate for the MandiPass reproduction.
+//!
+//! This crate implements every DSP primitive the paper's *signal
+//! preprocessing* module (§IV) needs, plus the analysis tools used by the
+//! feasibility study (§II) and the gradient-array construction (§V):
+//!
+//! * windowed statistics and the paper's vibration-start detection rule
+//!   ([`detect`]),
+//! * MAD-based outlier detection with two-step mean replacement
+//!   ([`outlier`]),
+//! * Butterworth IIR filters realised as cascaded biquads ([`filter`]),
+//! * min–max normalisation ([`normalize`]),
+//! * gradient computation and sign-split direction separation
+//!   ([`gradient`]),
+//! * linear interpolation / resampling ([`interp`]),
+//! * a radix-2 FFT for spectrum inspection ([`fft`]),
+//! * descriptive statistics ([`stats`]) and multi-axis signal containers
+//!   ([`segment`]).
+//!
+//! # Example
+//!
+//! ```
+//! use mandipass_dsp::filter::Butterworth;
+//!
+//! # fn main() -> Result<(), mandipass_dsp::DspError> {
+//! // The paper's high-pass: 4th-order Butterworth, 20 Hz cutoff, 350 Hz rate.
+//! let hp = Butterworth::highpass(4, 20.0, 350.0)?;
+//! let noisy: Vec<f64> = (0..256).map(|i| (i as f64 * 0.05).sin()).collect();
+//! let clean = hp.filtfilt(&noisy);
+//! assert_eq!(clean.len(), noisy.len());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod detect;
+pub mod error;
+pub mod fft;
+pub mod filter;
+pub mod gradient;
+pub mod interp;
+pub mod normalize;
+pub mod outlier;
+pub mod segment;
+pub mod stats;
+pub mod window;
+
+pub use error::DspError;
+pub use segment::{SignalArray, AXIS_COUNT};

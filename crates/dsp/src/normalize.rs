@@ -1,0 +1,126 @@
+//! Min–max normalisation (§IV, Eq. 7).
+//!
+//! Different IMU axes oscillate around very different baseline values
+//! (gravity components, gyro bias). The paper rescales every signal
+//! segment into `[0, 1]` so small-amplitude axes are not drowned out when
+//! the six axes are concatenated into one signal array.
+
+/// Min–max normalises `segment` in place: `x ↦ (x − min) / (max − min)`.
+///
+/// A degenerate segment (constant, so `max == min`) maps to all `0.5`,
+/// which keeps downstream gradient computation well defined.
+///
+/// ```
+/// let mut seg = vec![2.0, 4.0, 6.0];
+/// mandipass_dsp::normalize::min_max_in_place(&mut seg);
+/// assert_eq!(seg, vec![0.0, 0.5, 1.0]);
+/// ```
+pub fn min_max_in_place(segment: &mut [f64]) {
+    let Some((min, max)) = crate::stats::min_max(segment) else {
+        return;
+    };
+    let range = max - min;
+    if range == 0.0 {
+        for x in segment.iter_mut() {
+            *x = 0.5;
+        }
+        return;
+    }
+    for x in segment.iter_mut() {
+        *x = (*x - min) / range;
+    }
+}
+
+/// Returns a min–max-normalised copy of `segment`.
+pub fn min_max(segment: &[f64]) -> Vec<f64> {
+    let mut out = segment.to_vec();
+    min_max_in_place(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_spans_zero_to_one() {
+        let seg = vec![-5.0, 0.0, 10.0];
+        let out = min_max(&seg);
+        assert_eq!(out, vec![0.0, 1.0 / 3.0, 1.0]);
+    }
+
+    #[test]
+    fn constant_segment_maps_to_half() {
+        let out = min_max(&[7.0; 5]);
+        assert_eq!(out, vec![0.5; 5]);
+    }
+
+    #[test]
+    fn empty_segment_is_noop() {
+        let out = min_max(&[]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn preserves_ordering() {
+        let seg = vec![3.0, -1.0, 2.0, 8.0];
+        let out = min_max(&seg);
+        for i in 0..seg.len() {
+            for j in 0..seg.len() {
+                assert_eq!(seg[i] < seg[j], out[i] < out[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn is_idempotent_up_to_float_error() {
+        let seg = vec![0.1, 0.7, 0.3, 1.0, 0.0];
+        let once = min_max(&seg);
+        let twice = min_max(&once);
+        for (a, b) in once.iter().zip(&twice) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn values_always_in_unit_interval(seg in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let out = min_max(&seg);
+            for v in out {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+
+        #[test]
+        fn extremes_map_to_bounds(seg in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+            let (min, max) = crate::stats::min_max(&seg).unwrap();
+            prop_assume!(max > min);
+            let out = min_max(&seg);
+            let argmin = seg.iter().position(|&x| x == min).unwrap();
+            let argmax = seg.iter().position(|&x| x == max).unwrap();
+            prop_assert_eq!(out[argmin], 0.0);
+            prop_assert_eq!(out[argmax], 1.0);
+        }
+
+        #[test]
+        fn invariant_to_affine_input_shift(
+            seg in proptest::collection::vec(-1e3f64..1e3, 2..100),
+            shift in -1e3f64..1e3,
+        ) {
+            let (min, max) = crate::stats::min_max(&seg).unwrap();
+            prop_assume!(max - min > 1e-6);
+            let shifted: Vec<f64> = seg.iter().map(|x| x + shift).collect();
+            let a = min_max(&seg);
+            let b = min_max(&shifted);
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+}

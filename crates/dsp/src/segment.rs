@@ -1,0 +1,183 @@
+//! Multi-axis signal containers.
+//!
+//! The preprocessing output (§IV) is a two-dimensional **signal array** of
+//! shape `(6, n)`: the six IMU axes (ax, ay, az, gx, gy, gz), each holding
+//! `n` normalised samples (the paper sets `n = 60`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DspError;
+
+/// Number of IMU axes in a signal array (3 accelerometer + 3 gyroscope).
+pub const AXIS_COUNT: usize = 6;
+
+/// A dense `(axes, n)` array of preprocessed signal values.
+///
+/// Row `j` holds axis `j` in the paper's fixed order
+/// `ax, ay, az, gx, gy, gz`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignalArray {
+    axes: Vec<Vec<f64>>,
+    samples_per_axis: usize,
+}
+
+impl SignalArray {
+    /// Builds a signal array from per-axis rows.
+    ///
+    /// # Errors
+    ///
+    /// * [`DspError::AxisLengthMismatch`] if rows differ in length.
+    /// * [`DspError::TooShort`] if `rows` is empty or rows are empty.
+    /// * [`DspError::NonFinite`] if any sample is NaN or infinite.
+    pub fn new(rows: Vec<Vec<f64>>) -> Result<Self, DspError> {
+        let Some(first) = rows.first() else {
+            return Err(DspError::TooShort { needed: 1, got: 0 });
+        };
+        let n = first.len();
+        if n == 0 {
+            return Err(DspError::TooShort { needed: 1, got: 0 });
+        }
+        for row in &rows {
+            if row.len() != n {
+                return Err(DspError::AxisLengthMismatch { expected: n, got: row.len() });
+            }
+            crate::error::ensure_finite(row)?;
+        }
+        Ok(SignalArray { axes: rows, samples_per_axis: n })
+    }
+
+    /// Number of axes (rows).
+    pub fn axis_count(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// Number of samples per axis (columns), the paper's `n`.
+    pub fn samples_per_axis(&self) -> usize {
+        self.samples_per_axis
+    }
+
+    /// The samples of axis `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn axis(&self, j: usize) -> &[f64] {
+        &self.axes[j]
+    }
+
+    /// Iterator over the axis rows.
+    pub fn iter(&self) -> std::slice::Iter<'_, Vec<f64>> {
+        self.axes.iter()
+    }
+
+    /// Flattens the array row-major into a single vector of
+    /// `axis_count × samples_per_axis` values.
+    pub fn to_flat(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.axes.len() * self.samples_per_axis);
+        for row in &self.axes {
+            out.extend_from_slice(row);
+        }
+        out
+    }
+
+    /// Returns a copy with every axis outside `mask` zeroed.
+    ///
+    /// Used by the Fig 11(a) axis-ablation experiment: `mask[j] == false`
+    /// silences axis `j` while keeping the array shape the CNN expects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != self.axis_count()`.
+    pub fn with_axis_mask(&self, mask: &[bool]) -> SignalArray {
+        assert_eq!(mask.len(), self.axes.len(), "mask length must equal axis count");
+        let axes = self
+            .axes
+            .iter()
+            .zip(mask)
+            .map(|(row, &keep)| if keep { row.clone() } else { vec![0.0; row.len()] })
+            .collect();
+        SignalArray { axes, samples_per_axis: self.samples_per_axis }
+    }
+}
+
+impl<'a> IntoIterator for &'a SignalArray {
+    type Item = &'a Vec<f64>;
+    type IntoIter = std::slice::Iter<'a, Vec<f64>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.axes.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_array() -> SignalArray {
+        SignalArray::new(vec![
+            vec![0.0, 0.1, 0.2],
+            vec![1.0, 1.1, 1.2],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn dimensions_are_reported() {
+        let arr = sample_array();
+        assert_eq!(arr.axis_count(), 2);
+        assert_eq!(arr.samples_per_axis(), 3);
+    }
+
+    #[test]
+    fn mismatched_rows_are_rejected() {
+        let res = SignalArray::new(vec![vec![0.0, 1.0], vec![0.0]]);
+        assert!(matches!(res, Err(DspError::AxisLengthMismatch { expected: 2, got: 1 })));
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert!(matches!(SignalArray::new(vec![]), Err(DspError::TooShort { .. })));
+        assert!(matches!(SignalArray::new(vec![vec![]]), Err(DspError::TooShort { .. })));
+    }
+
+    #[test]
+    fn nan_is_rejected() {
+        let res = SignalArray::new(vec![vec![0.0, f64::NAN]]);
+        assert!(matches!(res, Err(DspError::NonFinite { index: 1 })));
+    }
+
+    #[test]
+    fn flatten_is_row_major() {
+        let arr = sample_array();
+        assert_eq!(arr.to_flat(), vec![0.0, 0.1, 0.2, 1.0, 1.1, 1.2]);
+    }
+
+    #[test]
+    fn axis_mask_zeroes_excluded_rows() {
+        let arr = sample_array();
+        let masked = arr.with_axis_mask(&[true, false]);
+        assert_eq!(masked.axis(0), arr.axis(0));
+        assert_eq!(masked.axis(1), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length must equal axis count")]
+    fn wrong_mask_length_panics() {
+        sample_array().with_axis_mask(&[true]);
+    }
+
+    #[test]
+    fn iteration_yields_all_axes() {
+        let arr = sample_array();
+        assert_eq!(arr.iter().count(), 2);
+        assert_eq!((&arr).into_iter().count(), 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let arr = sample_array();
+        let json = serde_json::to_string(&arr).unwrap();
+        let back: SignalArray = serde_json::from_str(&json).unwrap();
+        assert_eq!(arr, back);
+    }
+}

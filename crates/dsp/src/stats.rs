@@ -1,0 +1,166 @@
+//! Descriptive statistics used throughout the pipeline.
+//!
+//! These back both the vibration-start detector (windowed standard
+//! deviation, §IV) and the statistical-feature study the paper uses to
+//! motivate the deep extractor (§V.A: mean, median, variance, standard
+//! deviation, upper quartile, lower quartile).
+
+/// Arithmetic mean of `xs`. Returns `0.0` for an empty slice.
+///
+/// ```
+/// assert_eq!(mandipass_dsp::stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance of `xs`. Returns `0.0` for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation of `xs`.
+///
+/// This is the statistic the paper thresholds to find the vibration start
+/// (window std > 250 at a drastic onset).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Median of `xs`. Returns `0.0` for an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Lower (25 %) quartile of `xs`.
+pub fn lower_quartile(xs: &[f64]) -> f64 {
+    quantile(xs, 0.25)
+}
+
+/// Upper (75 %) quartile of `xs`.
+pub fn upper_quartile(xs: &[f64]) -> f64 {
+    quantile(xs, 0.75)
+}
+
+/// Linearly interpolated quantile `q ∈ [0, 1]` of `xs`.
+///
+/// Returns `0.0` for an empty slice. `q` is clamped into `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile input must be finite"));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median absolute deviation (MAD) of `xs`: `median(|x - median(xs)|)`.
+///
+/// The paper's outlier processing (§IV) flags samples whose deviation from
+/// the segment median exceeds a multiple of the MAD.
+pub fn mad(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let med = median(xs);
+    let deviations: Vec<f64> = xs.iter().map(|x| (x - med).abs()).collect();
+    median(&deviations)
+}
+
+/// Minimum and maximum of `xs` in one pass.
+///
+/// Returns `None` for an empty slice.
+pub fn min_max(xs: &[f64]) -> Option<(f64, f64)> {
+    let first = *xs.first()?;
+    let mut min = first;
+    let mut max = first;
+    for &x in &xs[1..] {
+        if x < min {
+            min = x;
+        }
+        if x > max {
+            max = x;
+        }
+    }
+    Some((min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_matches_hand_computation() {
+        // xs = [2, 4, 4, 4, 5, 5, 7, 9] has population variance 4.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn quartiles_of_known_sequence() {
+        let xs: Vec<f64> = (1..=5).map(f64::from).collect();
+        assert_eq!(lower_quartile(&xs), 2.0);
+        assert_eq!(upper_quartile(&xs), 4.0);
+    }
+
+    #[test]
+    fn mad_of_constant_is_zero() {
+        assert_eq!(mad(&[5.0; 10]), 0.0);
+    }
+
+    #[test]
+    fn mad_is_robust_to_single_outlier() {
+        let mut xs = vec![1.0; 9];
+        xs.push(1000.0);
+        // Median stays 1, so MAD stays 0 despite the huge outlier.
+        assert_eq!(mad(&xs), 0.0);
+    }
+
+    #[test]
+    fn mad_of_spread_sequence() {
+        // xs = [1..7]: median 4, deviations [3,2,1,0,1,2,3], MAD 2.
+        let xs: Vec<f64> = (1..=7).map(f64::from).collect();
+        assert_eq!(mad(&xs), 2.0);
+    }
+
+    #[test]
+    fn min_max_single_pass() {
+        assert_eq!(min_max(&[3.0, -1.0, 7.0]), Some((-1.0, 7.0)));
+        assert_eq!(min_max(&[]), None);
+    }
+
+    #[test]
+    fn quantile_clamps_q() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(quantile(&xs, -1.0), 1.0);
+        assert_eq!(quantile(&xs, 2.0), 3.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Fixed-size windowing with a stride, plus windowed statistics.
+//!
+//! The paper's vibration-start detector slides a window of **ten** samples
+//! with a stride of **ten** samples over the accelerometer stream and
+//! thresholds each window's standard deviation (§IV).
+
+use crate::stats;
+
+/// Iterator over `(start_index, window_slice)` pairs of fixed-size windows.
+///
+/// Windows that would run past the end of the signal are dropped (the paper
+/// operates on complete windows only).
+#[derive(Debug, Clone)]
+pub struct Windows<'a> {
+    signal: &'a [f64],
+    size: usize,
+    stride: usize,
+    pos: usize,
+}
+
+impl<'a> Windows<'a> {
+    /// Creates a window iterator over `signal`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` or `stride` is zero.
+    pub fn new(signal: &'a [f64], size: usize, stride: usize) -> Self {
+        assert!(size > 0, "window size must be positive");
+        assert!(stride > 0, "window stride must be positive");
+        Windows { signal, size, stride, pos: 0 }
+    }
+}
+
+impl<'a> Iterator for Windows<'a> {
+    type Item = (usize, &'a [f64]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos + self.size > self.signal.len() {
+            return None;
+        }
+        let start = self.pos;
+        let win = &self.signal[start..start + self.size];
+        self.pos += self.stride;
+        Some((start, win))
+    }
+}
+
+/// Standard deviation of each complete window of `size` samples, advancing
+/// by `stride` samples.
+///
+/// ```
+/// let sig = vec![0.0; 25];
+/// let stds = mandipass_dsp::window::windowed_std(&sig, 10, 10);
+/// assert_eq!(stds.len(), 2); // windows at 0 and 10; 20.. is incomplete
+/// assert!(stds.iter().all(|&(_, s)| s == 0.0));
+/// ```
+pub fn windowed_std(signal: &[f64], size: usize, stride: usize) -> Vec<(usize, f64)> {
+    Windows::new(signal, size, stride)
+        .map(|(start, win)| (start, stats::std_dev(win)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_cover_expected_starts() {
+        let sig: Vec<f64> = (0..35).map(f64::from).collect();
+        let starts: Vec<usize> = Windows::new(&sig, 10, 10).map(|(s, _)| s).collect();
+        assert_eq!(starts, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn overlapping_windows() {
+        let sig: Vec<f64> = (0..12).map(f64::from).collect();
+        let starts: Vec<usize> = Windows::new(&sig, 4, 2).map(|(s, _)| s).collect();
+        assert_eq!(starts, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn short_signal_yields_no_windows() {
+        let sig = [1.0, 2.0];
+        assert_eq!(Windows::new(&sig, 10, 10).count(), 0);
+    }
+
+    #[test]
+    fn windowed_std_detects_burst() {
+        // Quiet for 20 samples, then an alternating burst.
+        let mut sig = vec![0.0; 20];
+        for i in 0..20 {
+            sig.push(if i % 2 == 0 { 500.0 } else { -500.0 });
+        }
+        let stds = windowed_std(&sig, 10, 10);
+        assert_eq!(stds.len(), 4);
+        assert!(stds[0].1 < 1.0 && stds[1].1 < 1.0);
+        assert!(stds[2].1 > 250.0 && stds[3].1 > 250.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window size must be positive")]
+    fn zero_size_panics() {
+        let _ = Windows::new(&[1.0], 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window stride must be positive")]
+    fn zero_stride_panics() {
+        let _ = Windows::new(&[1.0], 1, 0);
+    }
+}

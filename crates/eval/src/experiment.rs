@@ -1,0 +1,181 @@
+//! Experiment bookkeeping: paper-vs-measured records and rendered tables.
+//!
+//! Every experiment binary emits [`ExperimentRecord`]s — the artifact id
+//! (figure/table number), the paper's published value, and our measured
+//! value — and renders them as a [`ReportTable`]. `run_all` aggregates the
+//! JSON forms into `EXPERIMENTS.md`.
+
+use serde::{Deserialize, Serialize};
+
+/// One paper-vs-measured comparison row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Artifact id, e.g. `"Fig 10(b)"` or `"Table I"`.
+    pub artifact: String,
+    /// What is being measured, e.g. `"EER (%)"`.
+    pub quantity: String,
+    /// The paper's published value, as text (testbed numbers we do not
+    /// expect to match exactly).
+    pub paper: String,
+    /// Our measured value, as text.
+    pub measured: String,
+    /// Whether the reproduction preserves the paper's qualitative claim
+    /// (ordering, pass/fail, trend).
+    pub shape_holds: bool,
+    /// Free-form notes (scale reductions, caveats).
+    pub note: String,
+}
+
+impl ExperimentRecord {
+    /// Creates a record with an empty note.
+    pub fn new(
+        artifact: impl Into<String>,
+        quantity: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        shape_holds: bool,
+    ) -> Self {
+        ExperimentRecord {
+            artifact: artifact.into(),
+            quantity: quantity.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            shape_holds,
+            note: String::new(),
+        }
+    }
+
+    /// Attaches a note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.note = note.into();
+        self
+    }
+}
+
+/// A renderable collection of experiment records.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReportTable {
+    /// Table heading.
+    pub title: String,
+    /// The rows.
+    pub records: Vec<ExperimentRecord>,
+}
+
+impl ReportTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>) -> Self {
+        ReportTable { title: title.into(), records: Vec::new() }
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: ExperimentRecord) {
+        self.records.push(record);
+    }
+
+    /// Renders a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str("| Artifact | Quantity | Paper | Measured | Shape holds | Note |\n");
+        out.push_str("|---|---|---|---|---|---|\n");
+        for r in &self.records {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} |\n",
+                r.artifact,
+                r.quantity,
+                r.paper,
+                r.measured,
+                if r.shape_holds { "yes" } else { "NO" },
+                r.note
+            ));
+        }
+        out
+    }
+
+    /// Renders a plain-text console table.
+    pub fn to_console(&self) -> String {
+        let mut out = format!("== {} ==\n", self.title);
+        for r in &self.records {
+            out.push_str(&format!(
+                "  {:<12} {:<34} paper: {:<22} measured: {:<22} [{}]{}\n",
+                r.artifact,
+                r.quantity,
+                r.paper,
+                r.measured,
+                if r.shape_holds { "ok" } else { "SHAPE MISMATCH" },
+                if r.note.is_empty() { String::new() } else { format!("  ({})", r.note) }
+            ));
+        }
+        out
+    }
+
+    /// Serialises to a JSON line for `run_all` aggregation.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report tables serialise")
+    }
+
+    /// Parses a table back from [`ReportTable::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error message on malformed
+    /// input.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+
+    /// Whether every record's shape holds.
+    pub fn all_shapes_hold(&self) -> bool {
+        self.records.iter().all(|r| r.shape_holds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> ReportTable {
+        let mut t = ReportTable::new("Fig 10(b): FAR/FRR");
+        t.push(
+            ExperimentRecord::new("Fig 10(b)", "EER (%)", "1.28", "1.9", true)
+                .with_note("reduced scale"),
+        );
+        t.push(ExperimentRecord::new("Fig 10(b)", "threshold", "0.5485", "0.52", true));
+        t
+    }
+
+    #[test]
+    fn markdown_contains_all_rows() {
+        let md = sample_table().to_markdown();
+        assert!(md.contains("| Fig 10(b) | EER (%) | 1.28 | 1.9 | yes | reduced scale |"));
+        assert!(md.lines().count() >= 5);
+    }
+
+    #[test]
+    fn console_render_is_nonempty() {
+        let text = sample_table().to_console();
+        assert!(text.contains("Fig 10(b)"));
+        assert!(text.contains("[ok]"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = sample_table();
+        let back = ReportTable::from_json(&t.to_json()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(ReportTable::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_is_flagged() {
+        let mut t = sample_table();
+        assert!(t.all_shapes_hold());
+        t.push(ExperimentRecord::new("Fig 12", "VSR", ">99%", "80%", false));
+        assert!(!t.all_shapes_hold());
+        assert!(t.to_console().contains("SHAPE MISMATCH"));
+        assert!(t.to_markdown().contains("| NO |"));
+    }
+}

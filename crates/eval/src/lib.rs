@@ -1,0 +1,15 @@
+//! Evaluation harness for the MandiPass reproduction.
+//!
+//! Implements the paper's §VII metrics — FRR (Eq. 9), FAR (Eq. 10), EER,
+//! and VSR (Eq. 11) — over genuine/impostor score pairs, plus the
+//! experiment bookkeeping that renders paper-vs-measured tables for every
+//! figure and table in the evaluation section.
+
+pub mod experiment;
+pub mod metrics;
+pub mod pairs;
+pub mod split;
+
+pub use experiment::{ExperimentRecord, ReportTable};
+pub use metrics::{eer, far_at, frr_at, roc_sweep, vsr_at, EerPoint, RocPoint};
+pub use pairs::{genuine_pairs, impostor_pairs, ScoreSet};

@@ -1,0 +1,260 @@
+//! FAR, FRR, EER and VSR over cosine-distance score sets.
+//!
+//! Scores are **distances** (lower = more similar), matching the paper's
+//! operating convention: a probe is accepted when its distance falls
+//! below the threshold. Consequently:
+//!
+//! * FRR(t) = fraction of *genuine* pair distances `≥ t` (Eq. 9's
+//!   indicator, with `sim < t` read as "not similar enough"),
+//! * FAR(t) = fraction of *impostor* pair distances `< t` (Eq. 10),
+//! * EER = the rate where the two curves cross (found by sweeping `t`),
+//! * VSR = 1 − FRR (Eq. 11).
+
+/// One point of a threshold sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// Decision threshold on the distance.
+    pub threshold: f64,
+    /// False accept rate at this threshold.
+    pub far: f64,
+    /// False reject rate at this threshold.
+    pub frr: f64,
+}
+
+/// The equal-error operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EerPoint {
+    /// Threshold where FAR ≈ FRR.
+    pub threshold: f64,
+    /// The equal error rate, `(FAR + FRR) / 2` at that threshold.
+    pub eer: f64,
+}
+
+/// False reject rate at threshold `t`: genuine distances `≥ t` are
+/// rejected. Empty input yields 0.
+pub fn frr_at(genuine: &[f64], t: f64) -> f64 {
+    if genuine.is_empty() {
+        return 0.0;
+    }
+    genuine.iter().filter(|&&d| d >= t).count() as f64 / genuine.len() as f64
+}
+
+/// False accept rate at threshold `t`: impostor distances `< t` are
+/// accepted. Empty input yields 0.
+pub fn far_at(impostor: &[f64], t: f64) -> f64 {
+    if impostor.is_empty() {
+        return 0.0;
+    }
+    impostor.iter().filter(|&&d| d < t).count() as f64 / impostor.len() as f64
+}
+
+/// Verification success rate at threshold `t` (Eq. 11: `1 − FRR`).
+pub fn vsr_at(genuine: &[f64], t: f64) -> f64 {
+    1.0 - frr_at(genuine, t)
+}
+
+/// Sweeps `steps` evenly spaced thresholds across the observed score
+/// range and reports FAR/FRR at each — the Fig. 10(b) curve.
+pub fn roc_sweep(genuine: &[f64], impostor: &[f64], steps: usize) -> Vec<RocPoint> {
+    let all_min = genuine
+        .iter()
+        .chain(impostor)
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let all_max = genuine
+        .iter()
+        .chain(impostor)
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !all_min.is_finite() || steps == 0 {
+        return Vec::new();
+    }
+    let span = (all_max - all_min).max(1e-12);
+    (0..=steps)
+        .map(|i| {
+            let t = all_min + span * i as f64 / steps as f64;
+            RocPoint { threshold: t, far: far_at(impostor, t), frr: frr_at(genuine, t) }
+        })
+        .collect()
+}
+
+/// Finds the equal-error operating point by exact sweep over the merged
+/// score set (every distinct score is a candidate threshold, so the
+/// crossing is located to sample precision).
+///
+/// Returns `None` when either score set is empty.
+pub fn eer(genuine: &[f64], impostor: &[f64]) -> Option<EerPoint> {
+    if genuine.is_empty() || impostor.is_empty() {
+        return None;
+    }
+    let mut candidates: Vec<f64> = genuine.iter().chain(impostor).cloned().collect();
+    candidates.sort_by(|a, b| a.partial_cmp(b).expect("scores are finite"));
+    candidates.dedup();
+    // Thresholds between adjacent scores too, to catch the crossing.
+    let mut best = EerPoint { threshold: candidates[0], eer: 1.0 };
+    let mut best_gap = f64::INFINITY;
+    let mut eval = |t: f64| {
+        let far = far_at(impostor, t);
+        let frr = frr_at(genuine, t);
+        let gap = (far - frr).abs();
+        if gap < best_gap || (gap == best_gap && (far + frr) / 2.0 < best.eer) {
+            best_gap = gap;
+            best = EerPoint { threshold: t, eer: (far + frr) / 2.0 };
+        }
+    };
+    for i in 0..candidates.len() {
+        eval(candidates[i]);
+        if i + 1 < candidates.len() {
+            eval((candidates[i] + candidates[i + 1]) / 2.0);
+        }
+    }
+    // Just past the maximum, so FRR can reach 0.
+    eval(candidates[candidates.len() - 1] + 1e-9);
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frr_counts_rejected_genuine() {
+        let genuine = [0.1, 0.2, 0.3, 0.4];
+        assert_eq!(frr_at(&genuine, 0.25), 0.5);
+        assert_eq!(frr_at(&genuine, 1.0), 0.0);
+        assert_eq!(frr_at(&genuine, 0.05), 1.0);
+    }
+
+    #[test]
+    fn far_counts_accepted_impostors() {
+        let impostor = [0.6, 0.7, 0.8];
+        assert_eq!(far_at(&impostor, 0.65), 1.0 / 3.0);
+        assert_eq!(far_at(&impostor, 0.5), 0.0);
+        assert_eq!(far_at(&impostor, 0.9), 1.0);
+    }
+
+    #[test]
+    fn vsr_is_one_minus_frr() {
+        let genuine = [0.1, 0.9];
+        assert_eq!(vsr_at(&genuine, 0.5), 0.5);
+    }
+
+    #[test]
+    fn perfectly_separated_scores_have_zero_eer() {
+        let genuine = [0.1, 0.2, 0.3];
+        let impostor = [0.7, 0.8, 0.9];
+        let point = eer(&genuine, &impostor).unwrap();
+        assert!(point.eer < 1e-12, "eer {}", point.eer);
+        assert!(point.threshold > 0.3 && point.threshold <= 0.7);
+    }
+
+    #[test]
+    fn fully_overlapping_scores_have_half_eer() {
+        let scores = [0.4, 0.5, 0.6];
+        let point = eer(&scores, &scores).unwrap();
+        assert!((point.eer - 0.5).abs() < 0.2, "eer {}", point.eer);
+    }
+
+    #[test]
+    fn partial_overlap_has_intermediate_eer() {
+        let genuine = [0.1, 0.2, 0.3, 0.55];
+        let impostor = [0.45, 0.6, 0.7, 0.8];
+        let point = eer(&genuine, &impostor).unwrap();
+        assert!(point.eer > 0.0 && point.eer < 0.5, "eer {}", point.eer);
+    }
+
+    #[test]
+    fn empty_sets_yield_none() {
+        assert!(eer(&[], &[0.5]).is_none());
+        assert!(eer(&[0.5], &[]).is_none());
+    }
+
+    #[test]
+    fn roc_sweep_is_monotone() {
+        let genuine = [0.1, 0.2, 0.3, 0.4, 0.5];
+        let impostor = [0.5, 0.6, 0.7, 0.8, 0.9];
+        let sweep = roc_sweep(&genuine, &impostor, 50);
+        assert_eq!(sweep.len(), 51);
+        for w in sweep.windows(2) {
+            assert!(w[1].far >= w[0].far, "FAR must rise with threshold");
+            assert!(w[1].frr <= w[0].frr, "FRR must fall with threshold");
+        }
+    }
+
+    #[test]
+    fn roc_endpoints_cover_full_range() {
+        let genuine = [0.2, 0.3];
+        let impostor = [0.6, 0.7];
+        let sweep = roc_sweep(&genuine, &impostor, 10);
+        let first = sweep.first().unwrap();
+        let last = sweep.last().unwrap();
+        assert_eq!(first.far, 0.0);
+        assert_eq!(first.frr, 1.0);
+        // The sweep tops out at the maximum observed score; acceptance is
+        // strict (`< t`), so the maximal impostor score is still rejected
+        // there, and all genuine scores are accepted.
+        assert_eq!(last.far, 0.5);
+        assert_eq!(last.frr, 0.0);
+    }
+
+    #[test]
+    fn eer_threshold_behaves_like_paper_numbers() {
+        // Genuine distances clustered near 0.49, impostor near 0.70 —
+        // the paper's Fig. 10(b) regime. The EER threshold must land
+        // between the clusters.
+        let genuine: Vec<f64> = (0..100).map(|i| 0.40 + 0.002 * i as f64).collect(); // 0.40..0.60
+        let impostor: Vec<f64> = (0..100).map(|i| 0.55 + 0.003 * i as f64).collect(); // 0.55..0.85
+        let point = eer(&genuine, &impostor).unwrap();
+        assert!(
+            (0.5..0.62).contains(&point.threshold),
+            "threshold {}",
+            point.threshold
+        );
+        assert!(point.eer < 0.3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn far_frr_are_rates(
+            genuine in proptest::collection::vec(0.0f64..2.0, 1..100),
+            impostor in proptest::collection::vec(0.0f64..2.0, 1..100),
+            t in 0.0f64..2.0,
+        ) {
+            let far = far_at(&impostor, t);
+            let frr = frr_at(&genuine, t);
+            prop_assert!((0.0..=1.0).contains(&far));
+            prop_assert!((0.0..=1.0).contains(&frr));
+        }
+
+        #[test]
+        fn frr_is_monotone_in_threshold(
+            genuine in proptest::collection::vec(0.0f64..2.0, 1..100),
+            t1 in 0.0f64..2.0,
+            t2 in 0.0f64..2.0,
+        ) {
+            let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            prop_assert!(frr_at(&genuine, lo) >= frr_at(&genuine, hi));
+        }
+
+        #[test]
+        fn eer_is_bracketed(
+            genuine in proptest::collection::vec(0.0f64..1.0, 2..50),
+            impostor in proptest::collection::vec(0.0f64..1.0, 2..50),
+        ) {
+            let point = eer(&genuine, &impostor).unwrap();
+            prop_assert!((0.0..=1.0).contains(&point.eer));
+            // At the EER threshold FAR and FRR are close (within one
+            // sample's granularity of each set).
+            let far = far_at(&impostor, point.threshold);
+            let frr = frr_at(&genuine, point.threshold);
+            let granularity = 1.0 / genuine.len() as f64 + 1.0 / impostor.len() as f64;
+            prop_assert!((far - frr).abs() <= granularity + 1e-9);
+        }
+    }
+}

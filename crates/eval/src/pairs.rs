@@ -1,0 +1,128 @@
+//! Genuine/impostor pair enumeration (Eqs. 9 and 10).
+//!
+//! The paper's FRR sums over all within-user pairs of signal arrays and
+//! its FAR over all cross-user pairs. [`ScoreSet`] holds the resulting
+//! distance populations; the builders here enumerate exactly those pairs
+//! over per-user embedding lists.
+
+use mandipass::similarity::cosine_distance;
+
+/// The genuine and impostor distance populations of one evaluation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScoreSet {
+    /// Within-user pair distances.
+    pub genuine: Vec<f64>,
+    /// Cross-user pair distances.
+    pub impostor: Vec<f64>,
+}
+
+impl ScoreSet {
+    /// Builds both populations from per-user embedding lists:
+    /// `embeddings[u]` holds all vectors of user `u`.
+    pub fn from_embeddings(embeddings: &[Vec<Vec<f32>>]) -> Self {
+        ScoreSet {
+            genuine: genuine_pairs(embeddings),
+            impostor: impostor_pairs(embeddings),
+        }
+    }
+
+    /// Mean of the genuine distances (`NaN` if empty).
+    pub fn genuine_mean(&self) -> f64 {
+        mean(&self.genuine)
+    }
+
+    /// Mean of the impostor distances (`NaN` if empty).
+    pub fn impostor_mean(&self) -> f64 {
+        mean(&self.impostor)
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        f64::NAN
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// All within-user pair distances (Eq. 9's enumeration:
+/// `j < k` over each user's arrays).
+pub fn genuine_pairs(embeddings: &[Vec<Vec<f32>>]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for user in embeddings {
+        for j in 0..user.len() {
+            for k in j + 1..user.len() {
+                out.push(cosine_distance(&user[j], &user[k]));
+            }
+        }
+    }
+    out
+}
+
+/// All cross-user pair distances (Eq. 10's enumeration: every array of
+/// user `i` against every array of every user `k > i`).
+pub fn impostor_pairs(embeddings: &[Vec<Vec<f32>>]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for i in 0..embeddings.len() {
+        for k in i + 1..embeddings.len() {
+            for a in &embeddings[i] {
+                for b in &embeddings[k] {
+                    out.push(cosine_distance(a, b));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_embeddings() -> Vec<Vec<Vec<f32>>> {
+        vec![
+            vec![vec![1.0, 0.0], vec![0.9, 0.1], vec![0.8, 0.2]], // user 0
+            vec![vec![0.0, 1.0], vec![0.1, 0.9]],                 // user 1
+        ]
+    }
+
+    #[test]
+    fn pair_counts_match_combinatorics() {
+        let e = toy_embeddings();
+        // Genuine: C(3,2) + C(2,2) = 3 + 1 = 4.
+        assert_eq!(genuine_pairs(&e).len(), 4);
+        // Impostor: 3 × 2 = 6.
+        assert_eq!(impostor_pairs(&e).len(), 6);
+    }
+
+    #[test]
+    fn genuine_distances_are_smaller_for_clustered_users() {
+        let s = ScoreSet::from_embeddings(&toy_embeddings());
+        assert!(s.genuine_mean() < s.impostor_mean());
+    }
+
+    #[test]
+    fn single_array_users_produce_no_genuine_pairs() {
+        let e = vec![vec![vec![1.0f32, 0.0]], vec![vec![0.0f32, 1.0]]];
+        assert!(genuine_pairs(&e).is_empty());
+        assert_eq!(impostor_pairs(&e).len(), 1);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        let s = ScoreSet::from_embeddings(&[]);
+        assert!(s.genuine.is_empty() && s.impostor.is_empty());
+        assert!(s.genuine_mean().is_nan());
+    }
+
+    #[test]
+    fn three_users_cover_all_cross_pairs() {
+        let e = vec![
+            vec![vec![1.0f32, 0.0]; 2],
+            vec![vec![0.0f32, 1.0]; 2],
+            vec![vec![0.5f32, 0.5]; 2],
+        ];
+        // 3 user pairs × 2 × 2 arrays = 12.
+        assert_eq!(impostor_pairs(&e).len(), 12);
+    }
+}

@@ -1,0 +1,98 @@
+//! Evaluation splits: which users are "hired people" (training) and which
+//! play the deployed-user role (extraction only).
+//!
+//! The paper trains the extractor on 33 volunteers and extracts the 34th
+//! volunteer's MandiblePrints, rotating through all volunteers. Full
+//! leave-one-out would multiply training cost by the cohort size, so the
+//! harness also offers a grouped variant: hold out `k` users at once and
+//! rotate over groups, which preserves the "extractor never saw the
+//! deployed user" property at a fraction of the cost.
+
+/// One evaluation fold: indices of training users and held-out users.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Users the extractor is trained on.
+    pub train: Vec<usize>,
+    /// Users whose embeddings are extracted for scoring.
+    pub held_out: Vec<usize>,
+}
+
+/// Classic leave-one-user-out: `n` folds, each holding out one user.
+pub fn leave_one_out(n: usize) -> Vec<Fold> {
+    (0..n)
+        .map(|held| Fold {
+            train: (0..n).filter(|&i| i != held).collect(),
+            held_out: vec![held],
+        })
+        .collect()
+}
+
+/// Grouped hold-out: users are partitioned into `ceil(n / group)` groups;
+/// each fold trains on everything outside the group and extracts the
+/// group. `group = 1` degenerates to [`leave_one_out`].
+///
+/// # Panics
+///
+/// Panics when `group` is zero.
+pub fn grouped_holdout(n: usize, group: usize) -> Vec<Fold> {
+    assert!(group > 0, "group size must be positive");
+    let mut folds = Vec::new();
+    let mut start = 0;
+    while start < n {
+        let end = (start + group).min(n);
+        folds.push(Fold {
+            train: (0..n).filter(|&i| i < start || i >= end).collect(),
+            held_out: (start..end).collect(),
+        });
+        start = end;
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leave_one_out_has_n_folds() {
+        let folds = leave_one_out(5);
+        assert_eq!(folds.len(), 5);
+        for (i, f) in folds.iter().enumerate() {
+            assert_eq!(f.held_out, vec![i]);
+            assert_eq!(f.train.len(), 4);
+            assert!(!f.train.contains(&i));
+        }
+    }
+
+    #[test]
+    fn grouped_holdout_partitions_users() {
+        let folds = grouped_holdout(10, 3);
+        assert_eq!(folds.len(), 4); // 3+3+3+1
+        let mut seen: Vec<usize> = folds.iter().flat_map(|f| f.held_out.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        for f in &folds {
+            for h in &f.held_out {
+                assert!(!f.train.contains(h), "held-out user in training set");
+            }
+            assert_eq!(f.train.len() + f.held_out.len(), 10);
+        }
+    }
+
+    #[test]
+    fn group_of_one_is_leave_one_out() {
+        assert_eq!(grouped_holdout(4, 1), leave_one_out(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "group size")]
+    fn zero_group_panics() {
+        let _ = grouped_holdout(4, 0);
+    }
+
+    #[test]
+    fn empty_cohort_has_no_folds() {
+        assert!(leave_one_out(0).is_empty());
+        assert!(grouped_holdout(0, 3).is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! The six IMU axes, in the paper's fixed ordering.
+
+use serde::{Deserialize, Serialize};
+
+/// One of the six IMU axes. The paper's axis order — also the row order of
+/// every signal array — is `ax, ay, az, gx, gy, gz`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Axis {
+    /// Accelerometer x.
+    Ax,
+    /// Accelerometer y.
+    Ay,
+    /// Accelerometer z (the axis the paper plots in Figs 1 and 5).
+    Az,
+    /// Gyroscope x.
+    Gx,
+    /// Gyroscope y.
+    Gy,
+    /// Gyroscope z.
+    Gz,
+}
+
+/// All six axes in the paper's order.
+pub const ALL_AXES: [Axis; 6] = [Axis::Ax, Axis::Ay, Axis::Az, Axis::Gx, Axis::Gy, Axis::Gz];
+
+impl Axis {
+    /// Row index of this axis in a signal array (0-based, paper order).
+    pub fn index(self) -> usize {
+        match self {
+            Axis::Ax => 0,
+            Axis::Ay => 1,
+            Axis::Az => 2,
+            Axis::Gx => 3,
+            Axis::Gy => 4,
+            Axis::Gz => 5,
+        }
+    }
+
+    /// Whether this is an accelerometer axis.
+    pub fn is_accelerometer(self) -> bool {
+        matches!(self, Axis::Ax | Axis::Ay | Axis::Az)
+    }
+
+    /// Whether this is a gyroscope axis.
+    pub fn is_gyroscope(self) -> bool {
+        !self.is_accelerometer()
+    }
+}
+
+impl std::fmt::Display for Axis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Axis::Ax => "ax",
+            Axis::Ay => "ay",
+            Axis::Az => "az",
+            Axis::Gx => "gx",
+            Axis::Gy => "gy",
+            Axis::Gz => "gz",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_follow_paper_order() {
+        for (i, axis) in ALL_AXES.iter().enumerate() {
+            assert_eq!(axis.index(), i);
+        }
+    }
+
+    #[test]
+    fn accelerometer_gyroscope_partition() {
+        let accel = ALL_AXES.iter().filter(|a| a.is_accelerometer()).count();
+        let gyro = ALL_AXES.iter().filter(|a| a.is_gyroscope()).count();
+        assert_eq!((accel, gyro), (3, 3));
+    }
+
+    #[test]
+    fn display_names_match_paper_notation() {
+        let names: Vec<String> = ALL_AXES.iter().map(|a| a.to_string()).collect();
+        assert_eq!(names, vec!["ax", "ay", "az", "gx", "gy", "gz"]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Recording conditions covering every robustness experiment in §VII.
+//!
+//! Each condition bundles the physical modifiers the recorder applies:
+//! gait interference (walk/run), mandible damping changes (food in the
+//! mouth), tone shifts, earphone rotation, and ear-side mirroring.
+
+use serde::{Deserialize, Serialize};
+
+use crate::motion::Activity;
+use crate::vocal::Tone;
+
+/// Which ear the earphone is worn in (§VII.B's ear-side experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EarSide {
+    /// The paper's default collection side.
+    Right,
+    /// Mirror-geometry side; VSR stays high (98.02 % in the paper).
+    Left,
+}
+
+/// A recording condition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Condition {
+    /// Quiet, static, natural tone, right ear — the default.
+    Normal,
+    /// A lollipop in the mouth (Fig. 12(a)): slightly increased damping.
+    Lollipop,
+    /// Water in the mouth (Fig. 12(b)): added mass and damping.
+    Water,
+    /// Walking while authenticating (Fig. 12(c)).
+    Walk,
+    /// Running while authenticating (Fig. 12(d)).
+    Run,
+    /// Intentionally raised tone (Fig. 14).
+    ToneHigh,
+    /// Intentionally lowered tone (Fig. 14).
+    ToneLow,
+    /// Earphone rotated about the ear canal by the given degrees
+    /// (Fig. 13 uses 0/90/180/270).
+    Orientation(i32),
+    /// Worn in the left ear (§VII.B).
+    LeftEar,
+}
+
+impl Condition {
+    /// Locomotion activity implied by the condition.
+    pub fn activity(self) -> Activity {
+        match self {
+            Condition::Walk => Activity::Walk,
+            Condition::Run => Activity::Run,
+            _ => Activity::Static,
+        }
+    }
+
+    /// Voicing tone implied by the condition.
+    pub fn tone(self) -> Tone {
+        match self {
+            Condition::ToneHigh => Tone::High,
+            Condition::ToneLow => Tone::Low,
+            _ => Tone::Normal,
+        }
+    }
+
+    /// Earphone rotation about the ear canal, degrees.
+    pub fn rotation_degrees(self) -> f64 {
+        match self {
+            Condition::Orientation(deg) => f64::from(deg),
+            _ => 0.0,
+        }
+    }
+
+    /// Which ear the probe is collected from.
+    pub fn ear_side(self) -> EarSide {
+        match self {
+            Condition::LeftEar => EarSide::Left,
+            _ => EarSide::Right,
+        }
+    }
+
+    /// Multiplier on both damping factors from food/drink in the mouth.
+    ///
+    /// A lollipop stiffens the oral cavity slightly; held water adds
+    /// viscous damping. Both effects are small — the paper measures a
+    /// negligible impact, which our magnitudes preserve.
+    pub fn damping_factor(self) -> f64 {
+        match self {
+            Condition::Lollipop => 1.06,
+            Condition::Water => 1.10,
+            _ => 1.0,
+        }
+    }
+
+    /// Additional mandible-component mass from food/drink, as a fraction.
+    pub fn mass_factor(self) -> f64 {
+        match self {
+            Condition::Lollipop => 1.015,
+            Condition::Water => 1.03,
+            _ => 1.0,
+        }
+    }
+
+    /// The four orientations of the Fig. 13 experiment.
+    pub fn orientation_groups() -> [Condition; 4] {
+        [
+            Condition::Orientation(0),
+            Condition::Orientation(90),
+            Condition::Orientation(180),
+            Condition::Orientation(270),
+        ]
+    }
+}
+
+impl Default for Condition {
+    fn default() -> Self {
+        Condition::Normal
+    }
+}
+
+impl std::fmt::Display for Condition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Condition::Normal => write!(f, "normal"),
+            Condition::Lollipop => write!(f, "lollipop"),
+            Condition::Water => write!(f, "water"),
+            Condition::Walk => write!(f, "walk"),
+            Condition::Run => write!(f, "run"),
+            Condition::ToneHigh => write!(f, "tone-high"),
+            Condition::ToneLow => write!(f, "tone-low"),
+            Condition::Orientation(deg) => write!(f, "orientation-{deg}"),
+            Condition::LeftEar => write!(f, "left-ear"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_condition_has_no_modifiers() {
+        let c = Condition::Normal;
+        assert_eq!(c.activity(), Activity::Static);
+        assert_eq!(c.tone(), Tone::Normal);
+        assert_eq!(c.rotation_degrees(), 0.0);
+        assert_eq!(c.ear_side(), EarSide::Right);
+        assert_eq!(c.damping_factor(), 1.0);
+        assert_eq!(c.mass_factor(), 1.0);
+    }
+
+    #[test]
+    fn motion_conditions_map_to_activities() {
+        assert_eq!(Condition::Walk.activity(), Activity::Walk);
+        assert_eq!(Condition::Run.activity(), Activity::Run);
+    }
+
+    #[test]
+    fn tone_conditions_map_to_tones() {
+        assert_eq!(Condition::ToneHigh.tone(), Tone::High);
+        assert_eq!(Condition::ToneLow.tone(), Tone::Low);
+    }
+
+    #[test]
+    fn food_effects_are_small() {
+        for c in [Condition::Lollipop, Condition::Water] {
+            assert!(c.damping_factor() > 1.0 && c.damping_factor() < 1.2);
+            assert!(c.mass_factor() > 1.0 && c.mass_factor() < 1.05);
+        }
+    }
+
+    #[test]
+    fn orientation_groups_are_quarter_turns() {
+        let degs: Vec<f64> = Condition::orientation_groups()
+            .iter()
+            .map(|c| c.rotation_degrees())
+            .collect();
+        assert_eq!(degs, vec![0.0, 90.0, 180.0, 270.0]);
+    }
+
+    #[test]
+    fn left_ear_changes_side_only() {
+        let c = Condition::LeftEar;
+        assert_eq!(c.ear_side(), EarSide::Left);
+        assert_eq!(c.activity(), Activity::Static);
+    }
+
+    #[test]
+    fn display_names_are_distinct() {
+        use std::collections::HashSet;
+        let names: HashSet<String> = [
+            Condition::Normal,
+            Condition::Lollipop,
+            Condition::Water,
+            Condition::Walk,
+            Condition::Run,
+            Condition::ToneHigh,
+            Condition::ToneLow,
+            Condition::Orientation(90),
+            Condition::LeftEar,
+        ]
+        .iter()
+        .map(|c| c.to_string())
+        .collect();
+        assert_eq!(names.len(), 9);
+    }
+}

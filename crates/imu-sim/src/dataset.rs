@@ -1,0 +1,199 @@
+//! Labelled recording corpora — the simulator's stand-in for the paper's
+//! 23 408-array collection campaign.
+//!
+//! A [`DatasetSpec`] describes a collection campaign (which users, which
+//! conditions, how many probes each); [`RecordingDataset`] holds the
+//! resulting labelled recordings and can be serialised for offline reuse,
+//! so expensive corpora are generated once and shared between
+//! experiments.
+
+use serde::{Deserialize, Serialize};
+
+use crate::conditions::Condition;
+use crate::population::Population;
+use crate::recorder::{Recorder, Recording};
+
+/// A collection campaign description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Number of probes collected per user and condition.
+    pub probes_per_user: usize,
+    /// The conditions each user records under.
+    pub conditions: Vec<Condition>,
+    /// Base seed; sessions derive from it deterministically.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// A normal-condition campaign of `probes_per_user` probes.
+    pub fn normal(probes_per_user: usize, seed: u64) -> Self {
+        DatasetSpec { probes_per_user, conditions: vec![Condition::Normal], seed }
+    }
+
+    /// The paper's robustness campaign: normal plus every §VII condition.
+    pub fn robustness(probes_per_user: usize, seed: u64) -> Self {
+        DatasetSpec {
+            probes_per_user,
+            conditions: vec![
+                Condition::Normal,
+                Condition::Lollipop,
+                Condition::Water,
+                Condition::Walk,
+                Condition::Run,
+                Condition::ToneHigh,
+                Condition::ToneLow,
+                Condition::Orientation(90),
+                Condition::Orientation(180),
+                Condition::Orientation(270),
+                Condition::LeftEar,
+            ],
+            seed,
+        }
+    }
+}
+
+/// One labelled recording of a corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabelledRecording {
+    /// The user id (dense label).
+    pub user_id: u32,
+    /// The condition recorded under.
+    pub condition: Condition,
+    /// Session index within `(user, condition)`.
+    pub session: u32,
+    /// The raw six-axis recording.
+    pub recording: Recording,
+}
+
+/// A labelled recording corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordingDataset {
+    spec: DatasetSpec,
+    items: Vec<LabelledRecording>,
+}
+
+impl RecordingDataset {
+    /// Runs the collection campaign over `population` with `recorder`.
+    pub fn collect(population: &Population, recorder: &Recorder, spec: DatasetSpec) -> Self {
+        let mut items = Vec::with_capacity(
+            population.len() * spec.conditions.len() * spec.probes_per_user,
+        );
+        for user in population.users() {
+            for (c_idx, &condition) in spec.conditions.iter().enumerate() {
+                for session in 0..spec.probes_per_user {
+                    let session_seed = spec.seed
+                        ^ ((session as u64) << 16)
+                        ^ ((c_idx as u64) << 48)
+                        ^ 0x6461_7461;
+                    items.push(LabelledRecording {
+                        user_id: user.id,
+                        condition,
+                        session: session as u32,
+                        recording: recorder.record(user, condition, session_seed),
+                    });
+                }
+            }
+        }
+        RecordingDataset { spec, items }
+    }
+
+    /// The campaign description.
+    pub fn spec(&self) -> &DatasetSpec {
+        &self.spec
+    }
+
+    /// All labelled recordings.
+    pub fn items(&self) -> &[LabelledRecording] {
+        &self.items
+    }
+
+    /// Number of recordings.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Recordings of one user, across all conditions.
+    pub fn by_user(&self, user_id: u32) -> impl Iterator<Item = &LabelledRecording> {
+        self.items.iter().filter(move |i| i.user_id == user_id)
+    }
+
+    /// Recordings made under one condition, across all users.
+    pub fn by_condition(&self, condition: Condition) -> impl Iterator<Item = &LabelledRecording> {
+        self.items.iter().filter(move |i| i.condition == condition)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_corpus() -> RecordingDataset {
+        let pop = Population::generate(3, 61);
+        RecordingDataset::collect(&pop, &Recorder::default(), DatasetSpec::normal(4, 9))
+    }
+
+    #[test]
+    fn collects_expected_count() {
+        let ds = small_corpus();
+        assert_eq!(ds.len(), 3 * 4);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.spec().probes_per_user, 4);
+    }
+
+    #[test]
+    fn collection_is_deterministic() {
+        let pop = Population::generate(2, 62);
+        let a = RecordingDataset::collect(&pop, &Recorder::default(), DatasetSpec::normal(2, 1));
+        let b = RecordingDataset::collect(&pop, &Recorder::default(), DatasetSpec::normal(2, 1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sessions_differ_within_user() {
+        let ds = small_corpus();
+        let user0: Vec<_> = ds.by_user(0).collect();
+        assert_eq!(user0.len(), 4);
+        assert_ne!(user0[0].recording, user0[1].recording);
+    }
+
+    #[test]
+    fn filters_select_correct_subsets() {
+        let pop = Population::generate(2, 63);
+        let spec = DatasetSpec {
+            probes_per_user: 2,
+            conditions: vec![Condition::Normal, Condition::Walk],
+            seed: 3,
+        };
+        let ds = RecordingDataset::collect(&pop, &Recorder::default(), spec);
+        assert_eq!(ds.len(), 2 * 2 * 2);
+        assert_eq!(ds.by_condition(Condition::Walk).count(), 4);
+        assert!(ds
+            .by_condition(Condition::Walk)
+            .all(|i| i.recording.condition() == Condition::Walk));
+        assert_eq!(ds.by_user(1).count(), 4);
+    }
+
+    #[test]
+    fn robustness_spec_covers_all_paper_conditions() {
+        let spec = DatasetSpec::robustness(1, 0);
+        assert_eq!(spec.conditions.len(), 11);
+        assert!(spec.conditions.contains(&Condition::LeftEar));
+        assert!(spec.conditions.contains(&Condition::Orientation(270)));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let pop = Population::generate(2, 64);
+        let ds =
+            RecordingDataset::collect(&pop, &Recorder::default(), DatasetSpec::normal(1, 5));
+        let json = serde_json::to_string(&ds).unwrap();
+        let back: RecordingDataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(ds.len(), back.len());
+        assert_eq!(ds.spec(), back.spec());
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for the IMU simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when configuring or running the simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A physical parameter was non-positive or non-finite.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A requested duration produced zero output samples.
+    EmptyDuration {
+        /// Requested duration in seconds.
+        seconds: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidParameter { name, value } => {
+                write!(f, "invalid simulator parameter {name} = {value}")
+            }
+            SimError::EmptyDuration { seconds } => {
+                write!(f, "duration {seconds} s yields no output samples")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::InvalidParameter { name: "mass", value: -1.0 };
+        assert!(e.to_string().contains("mass"));
+        let e = SimError::EmptyDuration { seconds: 0.0 };
+        assert!(e.to_string().contains("0 s"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,60 @@
+//! Physics-driven earphone-IMU simulator for the MandiPass reproduction.
+//!
+//! The paper's evaluation uses 34 human volunteers wearing an MPU-9250 /
+//! MPU-6050 IMU. That data cannot be re-collected here, so this crate
+//! substitutes a generative model built from the paper's own feasibility
+//! analysis (§II):
+//!
+//! * each synthetic user owns the §II.B one-degree-of-freedom, two-phase
+//!   mandible parameters `m, c1, c2, k1, k2` ([`physio`]),
+//! * a personal glottal excitation (fundamental frequency, harmonic mix,
+//!   phase-asymmetric driving forces `F_P(0)`, `F_N(0)`) ([`vocal`]),
+//! * the oscillator is integrated in the time domain ([`vibration`]),
+//!   attenuated along the throat → mandible → ear path ([`propagation`]),
+//! * projected onto the six IMU axes through a personal coupling geometry
+//!   and corrupted by a realistic sensor model — sampling without
+//!   anti-aliasing, quantisation, noise, bias, outlier spikes
+//!   ([`sensor`], [`noise`]),
+//! * with condition generators for every robustness experiment the paper
+//!   runs: walking/running ([`motion`]), food, tone changes, earphone
+//!   orientation ([`orientation`]), ear side, IMU model, long-term drift
+//!   ([`conditions`]).
+//!
+//! [`recorder`] assembles these into complete recordings and
+//! [`population`] samples user cohorts (the paper's 34 volunteers:
+//! 28 male, 6 female, aged 20-45).
+//!
+//! # Example
+//!
+//! ```
+//! use mandipass_imu_sim::population::Population;
+//! use mandipass_imu_sim::recorder::Recorder;
+//! use mandipass_imu_sim::conditions::Condition;
+//!
+//! let pop = Population::generate(4, 42);
+//! let recorder = Recorder::default();
+//! let rec = recorder.record(&pop.users()[0], Condition::Normal, 7);
+//! assert_eq!(rec.axes().len(), 6);
+//! ```
+
+pub mod axis;
+pub mod conditions;
+pub mod dataset;
+pub mod error;
+pub mod motion;
+pub mod noise;
+pub mod orientation;
+pub mod physio;
+pub mod population;
+pub mod propagation;
+pub mod recorder;
+pub mod sensor;
+pub mod vibration;
+pub mod vocal;
+
+pub use axis::Axis;
+pub use conditions::Condition;
+pub use error::SimError;
+pub use population::{Population, UserProfile};
+pub use recorder::{Recorder, Recording};
+pub use sensor::ImuModel;

@@ -1,0 +1,164 @@
+//! Body-motion interference: the low-frequency components (LFC) that
+//! walking and running add to the IMU stream.
+//!
+//! The paper cites prior work showing body-movement components are mostly
+//! below 10 Hz, which is why the preprocessing chain high-passes at 20 Hz.
+//! The walk/run generators here produce gait-locked sinusoid stacks (step
+//! fundamental plus harmonics) whose energy sits squarely in that band.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A locomotion activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activity {
+    /// Standing or sitting still — no gait interference.
+    Static,
+    /// Walking: ~2 Hz step rate.
+    Walk,
+    /// Running: ~2.8 Hz step rate.
+    Run,
+}
+
+impl Activity {
+    /// Step fundamental frequency band, Hz.
+    pub fn step_band(self) -> (f64, f64) {
+        match self {
+            Activity::Static => (0.0, 0.0),
+            Activity::Walk => (1.7, 2.2),
+            Activity::Run => (2.4, 2.9),
+        }
+    }
+
+    /// Peak gait acceleration at the head, raw LSB. Kept below the level
+    /// that would false-trigger the §IV start detector (windowed σ > 250)
+    /// while remaining an order of magnitude above sensor noise.
+    pub fn amplitude_lsb(self) -> f64 {
+        match self {
+            Activity::Static => 0.0,
+            Activity::Walk => 500.0,
+            Activity::Run => 580.0,
+        }
+    }
+}
+
+/// Generates `len` samples of gait interference for one axis at
+/// `sample_rate_hz`, using a per-recording random gait phase and step
+/// frequency inside the activity band.
+pub fn gait_interference<R: Rng>(
+    activity: Activity,
+    len: usize,
+    sample_rate_hz: f64,
+    axis_coupling: f64,
+    rng: &mut R,
+) -> Vec<f64> {
+    if activity == Activity::Static || len == 0 {
+        return vec![0.0; len];
+    }
+    let (lo, hi) = activity.step_band();
+    let step_hz = rng.gen_range(lo..hi);
+    let amp = activity.amplitude_lsb() * axis_coupling;
+    let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+    // Step fundamental + two harmonics with decaying weight; all < 10 Hz.
+    let weights = [1.0, 0.35, 0.12];
+    (0..len)
+        .map(|i| {
+            let t = i as f64 / sample_rate_hz;
+            weights
+                .iter()
+                .enumerate()
+                .map(|(h, w)| {
+                    let order = (h + 1) as f64;
+                    amp * w * (std::f64::consts::TAU * step_hz * order * t + phase * order).sin()
+                })
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn static_activity_is_silent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = gait_interference(Activity::Static, 100, 350.0, 1.0, &mut rng);
+        assert_eq!(out, vec![0.0; 100]);
+    }
+
+    #[test]
+    fn walk_energy_is_below_ten_hz() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let fs = 350.0;
+        let out = gait_interference(Activity::Walk, 4096, fs, 1.0, &mut rng);
+        // Goertzel-style energy sums below and above 10 Hz.
+        let energy = |f_lo: f64, f_hi: f64| -> f64 {
+            let n = out.len();
+            let mut e = 0.0;
+            for k in 1..n / 2 {
+                let f = k as f64 * fs / n as f64;
+                if f < f_lo || f > f_hi {
+                    continue;
+                }
+                let (mut re, mut im) = (0.0, 0.0);
+                for (i, &x) in out.iter().enumerate() {
+                    let ang = -std::f64::consts::TAU * k as f64 * i as f64 / n as f64;
+                    re += x * ang.cos();
+                    im += x * ang.sin();
+                }
+                e += re * re + im * im;
+            }
+            e
+        };
+        let low = energy(0.1, 10.0);
+        let high = energy(10.0, 175.0);
+        assert!(low > 100.0 * high.max(1.0), "low {low} vs high {high}");
+    }
+
+    #[test]
+    fn run_is_stronger_and_faster_than_walk() {
+        assert!(Activity::Run.amplitude_lsb() > Activity::Walk.amplitude_lsb());
+        assert!(Activity::Run.step_band().0 > Activity::Walk.step_band().1);
+    }
+
+    #[test]
+    fn windowed_std_stays_below_start_threshold() {
+        // The gait interference must not false-trigger the paper's
+        // vibration detector (window σ > 250 starts an event).
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            for activity in [Activity::Walk, Activity::Run] {
+                let out = gait_interference(activity, 700, 350.0, 1.0, &mut rng);
+                for win in out.chunks(10) {
+                    let mean: f64 = win.iter().sum::<f64>() / win.len() as f64;
+                    let var: f64 =
+                        win.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+                            / win.len() as f64;
+                    assert!(var.sqrt() < 250.0, "{activity:?} windowed σ {}", var.sqrt());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coupling_scales_amplitude() {
+        let mut rng_a = StdRng::seed_from_u64(4);
+        let mut rng_b = StdRng::seed_from_u64(4);
+        let full = gait_interference(Activity::Walk, 256, 350.0, 1.0, &mut rng_a);
+        let half = gait_interference(Activity::Walk, 256, 350.0, 0.5, &mut rng_b);
+        for (f, h) in full.iter().zip(&half) {
+            assert!((f * 0.5 - h).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn different_recordings_have_different_phase() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = gait_interference(Activity::Walk, 256, 350.0, 1.0, &mut rng);
+        let b = gait_interference(Activity::Walk, 256, 350.0, 1.0, &mut rng);
+        assert_ne!(a, b);
+    }
+}

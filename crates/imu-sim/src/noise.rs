@@ -1,0 +1,199 @@
+//! Sensor-noise generators: Gaussian white noise, per-axis DC bias, and
+//! outlier spikes.
+//!
+//! Fig. 5(b) of the paper shows the six axes starting from very different
+//! baseline values — gravity projections on the accelerometer and bias on
+//! the gyroscope. Fig. 6 shows the spike outliers the MAD stage removes.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// One g expressed in raw accelerometer LSB at ±4 g full scale.
+pub const LSB_PER_G: f64 = 8192.0;
+
+/// Per-axis DC baselines of a worn earphone.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AxisBias {
+    /// Accelerometer baselines (gravity projection), raw LSB.
+    pub accel: [f64; 3],
+    /// Gyroscope baselines (zero-rate offset), raw LSB.
+    pub gyro: [f64; 3],
+}
+
+impl AxisBias {
+    /// Samples a wearing pose: gravity mostly along `az` with a personal
+    /// head/earphone tilt, plus small gyro zero-rate offsets.
+    pub fn sample<R: Rng>(rng: &mut R) -> Self {
+        // Tilt of the sensor z-axis from vertical (radians).
+        let tilt: f64 = rng.gen_range(0.15..0.45);
+        let heading: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let g = LSB_PER_G;
+        AxisBias {
+            accel: [
+                g * tilt.sin() * heading.cos(),
+                g * tilt.sin() * heading.sin(),
+                g * tilt.cos(),
+            ],
+            gyro: [
+                rng.gen_range(-40.0..40.0),
+                rng.gen_range(-40.0..40.0),
+                rng.gen_range(-40.0..40.0),
+            ],
+        }
+    }
+
+    /// Baseline for the flat axis index (0‥2 accel, 3‥5 gyro).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= 6`.
+    pub fn for_axis(&self, axis: usize) -> f64 {
+        match axis {
+            0..=2 => self.accel[axis],
+            3..=5 => self.gyro[axis - 3],
+            _ => panic!("axis index {axis} out of range"),
+        }
+    }
+
+    /// A per-recording re-wearing of the earphone: the pose shifts a
+    /// little every time the user puts it on.
+    pub fn rewear<R: Rng>(&self, rng: &mut R) -> AxisBias {
+        self.rewear_scaled(rng, 1.0)
+    }
+
+    /// [`AxisBias::rewear`] with the pose shift multiplied by `scale`.
+    pub fn rewear_scaled<R: Rng>(&self, rng: &mut R, scale: f64) -> AxisBias {
+        if scale <= 0.0 {
+            return *self;
+        }
+        let jitter = Normal::new(0.0, 60.0 * scale).expect("valid normal");
+        AxisBias {
+            accel: [
+                self.accel[0] + jitter.sample(rng),
+                self.accel[1] + jitter.sample(rng),
+                self.accel[2] + jitter.sample(rng),
+            ],
+            gyro: [
+                self.gyro[0] + jitter.sample(rng) * 0.1,
+                self.gyro[1] + jitter.sample(rng) * 0.1,
+                self.gyro[2] + jitter.sample(rng) * 0.1,
+            ],
+        }
+    }
+}
+
+/// Adds Gaussian white noise of standard deviation `sigma` to `signal`.
+pub fn add_white_noise<R: Rng>(signal: &mut [f64], sigma: f64, rng: &mut R) {
+    if sigma <= 0.0 {
+        return;
+    }
+    let dist = Normal::new(0.0, sigma).expect("sigma is positive and finite");
+    for x in signal.iter_mut() {
+        *x += dist.sample(rng);
+    }
+}
+
+/// Injects hardware outlier spikes: each sample is replaced, with
+/// probability `probability`, by the signal value plus a spike of random
+/// sign and magnitude up to `amplitude`. Returns the spike indices.
+pub fn inject_outliers<R: Rng>(
+    signal: &mut [f64],
+    probability: f64,
+    amplitude: f64,
+    rng: &mut R,
+) -> Vec<usize> {
+    let mut hit = Vec::new();
+    for (i, x) in signal.iter_mut().enumerate() {
+        if rng.gen_bool(probability.clamp(0.0, 1.0)) {
+            let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            *x += sign * rng.gen_range(0.5..1.0) * amplitude;
+            hit.push(i);
+        }
+    }
+    hit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bias_axes_differ_from_each_other() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bias = AxisBias::sample(&mut rng);
+        // The six baselines should not all coincide (Fig. 5(b)).
+        let vals: Vec<f64> = (0..6).map(|a| bias.for_axis(a)).collect();
+        let spread = vals.iter().cloned().fold(f64::MIN, f64::max)
+            - vals.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 1000.0, "spread {spread}");
+    }
+
+    #[test]
+    fn az_bias_dominates_for_mostly_upright_wear() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let bias = AxisBias::sample(&mut rng);
+            assert!(bias.accel[2] > bias.accel[0].abs());
+            assert!(bias.accel[2] > 0.7 * LSB_PER_G);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_axis_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bias = AxisBias::sample(&mut rng);
+        let _ = bias.for_axis(6);
+    }
+
+    #[test]
+    fn rewear_shifts_pose_slightly() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let bias = AxisBias::sample(&mut rng);
+        let worn = bias.rewear(&mut rng);
+        let shift = (worn.accel[2] - bias.accel[2]).abs();
+        assert!(shift < 400.0, "re-wear shift too large: {shift}");
+    }
+
+    #[test]
+    fn white_noise_has_design_sigma() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sig = vec![0.0; 50_000];
+        add_white_noise(&mut sig, 7.0, &mut rng);
+        let mean: f64 = sig.iter().sum::<f64>() / sig.len() as f64;
+        let var: f64 = sig.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / sig.len() as f64;
+        assert!((var.sqrt() - 7.0).abs() < 0.2, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_sigma_noise_is_noop() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut sig = vec![1.0; 10];
+        add_white_noise(&mut sig, 0.0, &mut rng);
+        assert_eq!(sig, vec![1.0; 10]);
+    }
+
+    #[test]
+    fn outlier_rate_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sig = vec![0.0; 100_000];
+        let hits = inject_outliers(&mut sig, 0.002, 2500.0, &mut rng);
+        let rate = hits.len() as f64 / sig.len() as f64;
+        assert!((rate - 0.002).abs() < 0.001, "rate {rate}");
+        for &i in &hits {
+            assert!(sig[i].abs() >= 1250.0 * 0.99);
+        }
+    }
+
+    #[test]
+    fn outliers_have_both_signs() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut sig = vec![0.0; 50_000];
+        let hits = inject_outliers(&mut sig, 0.01, 1000.0, &mut rng);
+        assert!(hits.iter().any(|&i| sig[i] > 0.0));
+        assert!(hits.iter().any(|&i| sig[i] < 0.0));
+    }
+}

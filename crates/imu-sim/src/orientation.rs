@@ -1,0 +1,138 @@
+//! Earphone orientation: 3-D rotations of the sensed vectors.
+//!
+//! §VII.D rotates the earphone in 90° steps about the ear-canal axis and
+//! finds verification still succeeds. We rotate the accelerometer and
+//! gyroscope vectors with a proper rotation matrix about a configurable
+//! axis.
+
+use serde::{Deserialize, Serialize};
+
+/// A 3×3 rotation matrix (row-major).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rotation {
+    m: [[f64; 3]; 3],
+}
+
+impl Rotation {
+    /// The identity rotation.
+    pub fn identity() -> Self {
+        Rotation { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] }
+    }
+
+    /// Rotation by `degrees` about an arbitrary (normalised internally)
+    /// axis, using the Rodrigues formula.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is the zero vector.
+    pub fn about_axis(axis: [f64; 3], degrees: f64) -> Self {
+        let norm = (axis[0] * axis[0] + axis[1] * axis[1] + axis[2] * axis[2]).sqrt();
+        assert!(norm > 0.0, "rotation axis must be non-zero");
+        let (x, y, z) = (axis[0] / norm, axis[1] / norm, axis[2] / norm);
+        let th = degrees.to_radians();
+        let (s, c) = th.sin_cos();
+        let t = 1.0 - c;
+        Rotation {
+            m: [
+                [t * x * x + c, t * x * y - s * z, t * x * z + s * y],
+                [t * x * y + s * z, t * y * y + c, t * y * z - s * x],
+                [t * x * z - s * y, t * y * z + s * x, t * z * z + c],
+            ],
+        }
+    }
+
+    /// Rotation about the ear-canal axis (the sensor x-axis in our wearing
+    /// geometry) — the §VII.D experiment's rotation.
+    pub fn about_ear_canal(degrees: f64) -> Self {
+        Self::about_axis([1.0, 0.0, 0.0], degrees)
+    }
+
+    /// Applies the rotation to a 3-vector.
+    pub fn apply(&self, v: [f64; 3]) -> [f64; 3] {
+        let m = &self.m;
+        [
+            m[0][0] * v[0] + m[0][1] * v[1] + m[0][2] * v[2],
+            m[1][0] * v[0] + m[1][1] * v[1] + m[1][2] * v[2],
+            m[2][0] * v[0] + m[2][1] * v[1] + m[2][2] * v[2],
+        ]
+    }
+
+    /// Applies the rotation samplewise to three parallel axis tracks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tracks have different lengths.
+    pub fn apply_tracks(&self, tracks: &mut [Vec<f64>; 3]) {
+        let n = tracks[0].len();
+        assert!(tracks.iter().all(|t| t.len() == n), "tracks must have equal lengths");
+        for i in 0..n {
+            let v = self.apply([tracks[0][i], tracks[1][i], tracks[2][i]]);
+            tracks[0][i] = v[0];
+            tracks[1][i] = v[1];
+            tracks[2][i] = v[2];
+        }
+    }
+}
+
+impl Default for Rotation {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: [f64; 3], b: [f64; 3]) -> bool {
+        a.iter().zip(&b).all(|(x, y)| (x - y).abs() < 1e-12)
+    }
+
+    #[test]
+    fn identity_leaves_vectors_unchanged() {
+        let r = Rotation::identity();
+        assert!(close(r.apply([1.0, 2.0, 3.0]), [1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn ninety_degrees_about_x_maps_y_to_z() {
+        let r = Rotation::about_ear_canal(90.0);
+        assert!(close(r.apply([0.0, 1.0, 0.0]), [0.0, 0.0, 1.0]));
+        assert!(close(r.apply([1.0, 0.0, 0.0]), [1.0, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn four_quarter_turns_are_identity() {
+        let r = Rotation::about_ear_canal(90.0);
+        let mut v = [0.3, -1.2, 0.7];
+        for _ in 0..4 {
+            v = r.apply(v);
+        }
+        assert!(close(v, [0.3, -1.2, 0.7]));
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let r = Rotation::about_axis([1.0, 1.0, 1.0], 73.0);
+        let v = [2.0, -3.0, 0.5];
+        let w = r.apply(v);
+        let n1: f64 = v.iter().map(|x| x * x).sum::<f64>();
+        let n2: f64 = w.iter().map(|x| x * x).sum::<f64>();
+        assert!((n1 - n2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn apply_tracks_rotates_samplewise() {
+        let r = Rotation::about_ear_canal(180.0);
+        let mut tracks = [vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        r.apply_tracks(&mut tracks);
+        assert!(close([tracks[0][0], tracks[1][0], tracks[2][0]], [1.0, -3.0, -5.0]));
+        assert!(close([tracks[0][1], tracks[1][1], tracks[2][1]], [2.0, -4.0, -6.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_axis_panics() {
+        let _ = Rotation::about_axis([0.0, 0.0, 0.0], 45.0);
+    }
+}

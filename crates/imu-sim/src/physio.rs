@@ -1,0 +1,204 @@
+//! Physiological mandible parameters — the identity-bearing quantities of
+//! the paper's §II.B vibration model.
+//!
+//! Equation 6 shows the received spectrum is governed by the mandible mass
+//! `m`, the asymmetric damping factors `c1 ≠ c2`, and the spring constants
+//! `k1, k2` of the surrounding tissue; these vary between persons and are
+//! exactly what *MandiblePrint* encodes. Each synthetic user therefore
+//! draws one [`MandibleProfile`] and keeps it (modulo slow long-term
+//! drift).
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+
+/// Per-user mandible vibration parameters (`m, c1, c2, k1, k2` of Eq. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MandibleProfile {
+    /// Mandible component mass, kg.
+    pub mass_kg: f64,
+    /// Positive-direction damping factor, N·s/m.
+    pub c1: f64,
+    /// Negative-direction damping factor, N·s/m (≠ `c1`: the tissues on
+    /// the two sides of the mandible are not symmetrical).
+    pub c2: f64,
+    /// First tissue spring constant, N/m.
+    pub k1: f64,
+    /// Second tissue spring constant, N/m.
+    pub k2: f64,
+}
+
+impl MandibleProfile {
+    /// Validates that all parameters are positive and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] naming the first offending
+    /// field.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let fields = [
+            ("mass_kg", self.mass_kg),
+            ("c1", self.c1),
+            ("c2", self.c2),
+            ("k1", self.k1),
+            ("k2", self.k2),
+        ];
+        for (name, value) in fields {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(SimError::InvalidParameter { name, value });
+            }
+        }
+        Ok(())
+    }
+
+    /// Samples a plausible adult mandible from population distributions.
+    ///
+    /// The combined stiffness is chosen so the undamped resonance lands in
+    /// the few-hundred-hertz band where vocal-driven bone vibration lives;
+    /// damping keeps the system underdamped so the onset transient rings.
+    pub fn sample<R: Rng>(rng: &mut R) -> Self {
+        let mass: f64 = Normal::new(0.085, 0.012).expect("valid normal").sample(rng);
+        let mass = mass.clamp(0.05, 0.13);
+        // Resonant frequency of the mandible-tissue assembly:
+        // user-specific, 75-165 Hz, inside both the vocal excitation band
+        // and the IMU's observable band, so the {m, k} identity
+        // parameters shape the sampled waveform directly.
+        let f_res: f64 = Normal::new(125.0, 30.0).expect("valid normal").sample(rng);
+        let f_res = f_res.clamp(70.0, 180.0);
+        let k_total = mass * (2.0 * std::f64::consts::PI * f_res).powi(2);
+        // Split k_total asymmetrically between the two springs.
+        let split = rng.gen_range(0.35..0.65);
+        let k1 = k_total * split;
+        let k2 = k_total - k1;
+        // Lightly underdamped (damping ratio 0.008-0.045, asymmetric
+        // between phases): the slow ring-in makes the |f0 - f_res| beat
+        // envelope persist through the analysis window, which is where
+        // the damping factors c1/c2 become observable.
+        let critical = 2.0 * (mass * k_total).sqrt();
+        let zeta1: f64 = rng.gen_range(0.008..0.045);
+        let zeta2 = (zeta1 * rng.gen_range(0.6..1.6)).clamp(0.006, 0.06);
+        MandibleProfile { mass_kg: mass, c1: zeta1 * critical, c2: zeta2 * critical, k1, k2 }
+    }
+
+    /// Undamped natural (angular) frequency `√((k1 + k2) / m)`, rad/s.
+    pub fn natural_angular_frequency(&self) -> f64 {
+        ((self.k1 + self.k2) / self.mass_kg).sqrt()
+    }
+
+    /// Undamped natural frequency in Hz.
+    pub fn natural_frequency_hz(&self) -> f64 {
+        self.natural_angular_frequency() / (2.0 * std::f64::consts::PI)
+    }
+
+    /// Damping ratio during the positive-direction phase.
+    pub fn damping_ratio_positive(&self) -> f64 {
+        self.c1 / (2.0 * (self.mass_kg * (self.k1 + self.k2)).sqrt())
+    }
+
+    /// Damping ratio during the negative-direction phase.
+    pub fn damping_ratio_negative(&self) -> f64 {
+        self.c2 / (2.0 * (self.mass_kg * (self.k1 + self.k2)).sqrt())
+    }
+
+    /// Returns this profile after `days` of physiological drift — a tiny
+    /// deterministic-by-seed random walk used by the long-term experiment
+    /// (§VII.F). Mandible physiology is stable after puberty, so drift is
+    /// a fraction of a percent per week.
+    pub fn drifted<R: Rng>(&self, days: f64, rng: &mut R) -> MandibleProfile {
+        let scale = 0.0004 * days.max(0.0).sqrt();
+        let jitter = |rng: &mut R, v: f64| v * (1.0 + Normal::new(0.0, scale).expect("valid").sample(rng));
+        MandibleProfile {
+            mass_kg: jitter(rng, self.mass_kg),
+            c1: jitter(rng, self.c1),
+            c2: jitter(rng, self.c2),
+            k1: jitter(rng, self.k1),
+            k2: jitter(rng, self.k2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_profiles_are_valid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let p = MandibleProfile::sample(&mut rng);
+            p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn resonance_lies_in_design_band() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let p = MandibleProfile::sample(&mut rng);
+            let f = p.natural_frequency_hz();
+            assert!((60.0..200.0).contains(&f), "resonance {f} Hz");
+        }
+    }
+
+    #[test]
+    fn sampled_system_is_underdamped() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let p = MandibleProfile::sample(&mut rng);
+            assert!(p.damping_ratio_positive() < 0.2);
+            assert!(p.damping_ratio_negative() < 0.2);
+        }
+    }
+
+    #[test]
+    fn damping_is_asymmetric_for_most_users() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let asym = (0..50)
+            .map(|_| MandibleProfile::sample(&mut rng))
+            .filter(|p| (p.c1 - p.c2).abs() / p.c1 > 0.01)
+            .count();
+        assert!(asym > 40, "only {asym}/50 asymmetric");
+    }
+
+    #[test]
+    fn profiles_differ_between_users() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = MandibleProfile::sample(&mut rng);
+        let b = MandibleProfile::sample(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn validate_rejects_nonpositive_fields() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut p = MandibleProfile::sample(&mut rng);
+        p.c1 = 0.0;
+        assert!(matches!(p.validate(), Err(SimError::InvalidParameter { name: "c1", .. })));
+        p.c1 = f64::NAN;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn two_week_drift_is_small() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = MandibleProfile::sample(&mut rng);
+        let d = p.drifted(14.0, &mut rng);
+        let rel = (d.mass_kg - p.mass_kg).abs() / p.mass_kg;
+        assert!(rel < 0.02, "mass drifted {rel}");
+        let rel_f = (d.natural_frequency_hz() - p.natural_frequency_hz()).abs()
+            / p.natural_frequency_hz();
+        assert!(rel_f < 0.02, "resonance drifted {rel_f}");
+    }
+
+    #[test]
+    fn zero_day_drift_is_tiny() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let p = MandibleProfile::sample(&mut rng);
+        let d = p.drifted(0.0, &mut rng);
+        assert!((d.mass_kg - p.mass_kg).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,147 @@
+//! Attenuation of the vibration along the throat → mandible → ear path.
+//!
+//! §II.A's feasibility experiment (Fig. 1) taps the signal at three
+//! locations and observes the standard deviation of `az` decaying:
+//! roughly 3805 at the throat, 1050 at the mandible, 761 at the ear. Eq. 3
+//! models the decay as `Y(w) = X(w)·e^{-αd}`; we apply the same
+//! exponential law with per-user attenuation.
+
+use serde::{Deserialize, Serialize};
+
+/// A tap point on the propagation path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PathLocation {
+    /// At the vibration source (Fig. 1 location 1).
+    Throat,
+    /// Mid-path on the jaw bone (Fig. 1 location 2).
+    Mandible,
+    /// At the earphone (Fig. 1 location 3) — where MandiPass listens.
+    Ear,
+}
+
+impl PathLocation {
+    /// All locations in path order.
+    pub const ALL: [PathLocation; 3] =
+        [PathLocation::Throat, PathLocation::Mandible, PathLocation::Ear];
+}
+
+/// Per-user propagation model: attenuation coefficient `α` (1/m) and the
+/// distances from the throat to each tap point (m).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PropagationModel {
+    /// Attenuation coefficient `α`, 1/m.
+    pub alpha: f64,
+    /// Throat → mandible distance, m.
+    pub throat_to_mandible_m: f64,
+    /// Mandible → ear distance, m.
+    pub mandible_to_ear_m: f64,
+}
+
+impl PropagationModel {
+    /// A typical adult head with attenuation calibrated so the Fig. 1
+    /// σ-ratios (≈ 1 : 0.28 : 0.20 from throat to ear) are reproduced.
+    pub fn typical() -> Self {
+        // e^{-α·d1} ≈ 0.28 at d1 = 0.09 m  ⇒ α ≈ 14.1 /m;
+        // e^{-α·(d1+d2)} ≈ 0.20 at d1+d2 = 0.115 m.
+        PropagationModel {
+            alpha: 14.1,
+            throat_to_mandible_m: 0.090,
+            mandible_to_ear_m: 0.025,
+        }
+    }
+
+    /// Samples a per-user model: head geometry and tissue attenuation vary
+    /// a little between people.
+    pub fn sample<R: rand::Rng>(rng: &mut R) -> Self {
+        let t = Self::typical();
+        PropagationModel {
+            alpha: t.alpha * rng.gen_range(0.85..1.15),
+            throat_to_mandible_m: t.throat_to_mandible_m * rng.gen_range(0.9..1.1),
+            mandible_to_ear_m: t.mandible_to_ear_m * rng.gen_range(0.9..1.1),
+        }
+    }
+
+    /// Distance from the throat to `location`, m.
+    pub fn distance_to(&self, location: PathLocation) -> f64 {
+        match location {
+            PathLocation::Throat => 0.0,
+            PathLocation::Mandible => self.throat_to_mandible_m,
+            PathLocation::Ear => self.throat_to_mandible_m + self.mandible_to_ear_m,
+        }
+    }
+
+    /// Amplitude gain `e^{-α·d}` at `location` (1.0 at the throat).
+    pub fn gain_at(&self, location: PathLocation) -> f64 {
+        (-self.alpha * self.distance_to(location)).exp()
+    }
+
+    /// Applies the attenuation to a waveform, returning the signal as
+    /// observed at `location`.
+    pub fn attenuate(&self, signal: &[f64], location: PathLocation) -> Vec<f64> {
+        let g = self.gain_at(location);
+        signal.iter().map(|&x| x * g).collect()
+    }
+}
+
+impl Default for PropagationModel {
+    fn default() -> Self {
+        Self::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gain_decays_along_path() {
+        let p = PropagationModel::typical();
+        let g: Vec<f64> = PathLocation::ALL.iter().map(|&l| p.gain_at(l)).collect();
+        assert_eq!(g[0], 1.0);
+        assert!(g[0] > g[1] && g[1] > g[2]);
+    }
+
+    #[test]
+    fn typical_ratios_match_figure_one() {
+        // Paper Fig. 1: σ = 3805 / 1050 / 761 ⇒ ratios 1 : 0.276 : 0.200.
+        let p = PropagationModel::typical();
+        let mandible = p.gain_at(PathLocation::Mandible);
+        let ear = p.gain_at(PathLocation::Ear);
+        assert!((mandible - 1050.0 / 3805.0).abs() < 0.03, "mandible gain {mandible}");
+        assert!((ear - 761.0 / 3805.0).abs() < 0.03, "ear gain {ear}");
+    }
+
+    #[test]
+    fn attenuate_scales_uniformly() {
+        let p = PropagationModel::typical();
+        let sig = vec![1.0, -2.0, 3.0];
+        let out = p.attenuate(&sig, PathLocation::Ear);
+        let g = p.gain_at(PathLocation::Ear);
+        for (o, s) in out.iter().zip(&sig) {
+            assert!((o - s * g).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampled_models_stay_near_typical() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let p = PropagationModel::sample(&mut rng);
+            let ear = p.gain_at(PathLocation::Ear);
+            assert!((0.1..0.35).contains(&ear), "ear gain {ear}");
+        }
+    }
+
+    #[test]
+    fn distances_accumulate() {
+        let p = PropagationModel::typical();
+        assert!(
+            (p.distance_to(PathLocation::Ear)
+                - (p.throat_to_mandible_m + p.mandible_to_ear_m))
+                .abs()
+                < 1e-15
+        );
+    }
+}

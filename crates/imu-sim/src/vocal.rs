@@ -1,0 +1,251 @@
+//! Glottal excitation model — the "EMM" voicing that drives the mandible.
+//!
+//! The paper treats the excitation parameters (`F_P(0)`, `F_N(0)`,
+//! `Δt1`, `Δt2`, fundamental frequency) as identity-irrelevant but
+//! *intra-user stable* nuisance terms: a person's speaking habit and vocal
+//! fundamental remain stable after puberty, especially on a single-tone
+//! hum. We model them as per-user constants with small per-recording
+//! jitter, plus tone modifiers for the §VII.D experiment.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+
+/// Biological sex of a simulated volunteer; only used to condition the
+/// vocal fundamental frequency distribution (the paper checks VSR fairness
+/// across 28 male and 6 female volunteers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sex {
+    /// Male: fundamental roughly 105-145 Hz.
+    Male,
+    /// Female: fundamental roughly 170-225 Hz.
+    Female,
+}
+
+/// Tone modifier for the §VII.D tone-of-voicing experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tone {
+    /// The user's natural hum.
+    Normal,
+    /// Intentionally raised tone (~+15 % fundamental, louder).
+    High,
+    /// Intentionally lowered tone (~−12 % fundamental, softer).
+    Low,
+}
+
+impl Tone {
+    /// Multiplier applied to the fundamental frequency. An intentional
+    /// tone change while humming the same closed-mouth "EMM" spans about
+    /// a semitone.
+    pub fn frequency_factor(self) -> f64 {
+        match self {
+            Tone::Normal => 1.0,
+            Tone::High => 1.07,
+            Tone::Low => 0.94,
+        }
+    }
+
+    /// Multiplier applied to the driving-force amplitude.
+    pub fn amplitude_factor(self) -> f64 {
+        match self {
+            Tone::Normal => 1.0,
+            Tone::High => 1.12,
+            Tone::Low => 0.90,
+        }
+    }
+}
+
+/// Per-user voicing profile for the "EMM" hum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VocalProfile {
+    /// Fundamental frequency of vocal-fold vibration, Hz.
+    pub f0_hz: f64,
+    /// Constant positive-direction driving force `F_P(0)` (arbitrary force
+    /// units; the sensor scale maps them to raw LSB).
+    pub force_positive: f64,
+    /// Constant negative-direction driving force `F_N(0)`.
+    pub force_negative: f64,
+    /// Fraction of the vibration period spent in the positive phase
+    /// (`Δt1 / (Δt1 + Δt2)`).
+    pub positive_phase_fraction: f64,
+    /// Relative amplitudes of glottal harmonics 1, 2, 3, … (a personal
+    /// timbre; normalised so harmonic 1 is 1.0).
+    pub harmonics: Vec<f64>,
+    /// Onset attack duration in seconds — how quickly this user's hum
+    /// reaches full amplitude (a stable speaking habit).
+    pub attack_seconds: f64,
+}
+
+impl VocalProfile {
+    /// Validates the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for non-positive frequency,
+    /// forces or attack, or an out-of-range phase fraction.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !(self.f0_hz.is_finite() && self.f0_hz > 0.0) {
+            return Err(SimError::InvalidParameter { name: "f0_hz", value: self.f0_hz });
+        }
+        if !(self.force_positive > 0.0) {
+            return Err(SimError::InvalidParameter {
+                name: "force_positive",
+                value: self.force_positive,
+            });
+        }
+        if !(self.force_negative > 0.0) {
+            return Err(SimError::InvalidParameter {
+                name: "force_negative",
+                value: self.force_negative,
+            });
+        }
+        if !(self.positive_phase_fraction > 0.0 && self.positive_phase_fraction < 1.0) {
+            return Err(SimError::InvalidParameter {
+                name: "positive_phase_fraction",
+                value: self.positive_phase_fraction,
+            });
+        }
+        if !(self.attack_seconds > 0.0) {
+            return Err(SimError::InvalidParameter {
+                name: "attack_seconds",
+                value: self.attack_seconds,
+            });
+        }
+        Ok(())
+    }
+
+    /// Samples a voicing profile conditioned on `sex`.
+    pub fn sample<R: Rng>(rng: &mut R, sex: Sex) -> Self {
+        let f0 = match sex {
+            Sex::Male => rng.gen_range(105.0..145.0),
+            Sex::Female => rng.gen_range(170.0..225.0),
+        };
+        let force = rng.gen_range(0.8..1.3);
+        // Phase asymmetry: the positive/negative driving forces differ.
+        let asym = rng.gen_range(0.8..1.25);
+        let n_harmonics = 6;
+        let rolloff: f64 = rng.gen_range(0.35..0.85);
+        let harmonics: Vec<f64> = (0..n_harmonics)
+            .map(|h| {
+                let base: f64 = rolloff.powi(h as i32);
+                base * rng.gen_range(0.75..1.25)
+            })
+            .collect();
+        VocalProfile {
+            f0_hz: f0,
+            force_positive: force,
+            force_negative: force * asym,
+            positive_phase_fraction: rng.gen_range(0.38..0.62),
+            harmonics,
+            attack_seconds: rng.gen_range(0.025..0.09),
+        }
+    }
+
+    /// A per-recording realisation of this profile: small jitter in
+    /// fundamental and force (humans do not hum identically twice), plus
+    /// the tone modifier.
+    pub fn session_instance<R: Rng>(&self, rng: &mut R, tone: Tone) -> VocalProfile {
+        self.session_instance_scaled(rng, tone, 1.0)
+    }
+
+    /// [`VocalProfile::session_instance`] with the jitter magnitudes
+    /// multiplied by `scale` (0 disables session variability; used by the
+    /// simulator-ablation experiments).
+    pub fn session_instance_scaled<R: Rng>(
+        &self,
+        rng: &mut R,
+        tone: Tone,
+        scale: f64,
+    ) -> VocalProfile {
+        let jitter = |rng: &mut R, v: f64, sigma: f64| {
+            if sigma * scale <= 0.0 {
+                return v;
+            }
+            v * (1.0 + Normal::new(0.0, sigma * scale).expect("valid normal").sample(rng))
+        };
+        VocalProfile {
+            f0_hz: jitter(rng, self.f0_hz, 0.0025) * tone.frequency_factor(),
+            force_positive: jitter(rng, self.force_positive, 0.04) * tone.amplitude_factor(),
+            force_negative: jitter(rng, self.force_negative, 0.04) * tone.amplitude_factor(),
+            positive_phase_fraction: (self.positive_phase_fraction
+                + Normal::new(0.0, (0.004 * scale).max(1e-12))
+                    .expect("valid normal")
+                    .sample(rng))
+            .clamp(0.3, 0.7),
+            harmonics: self
+                .harmonics
+                .iter()
+                .map(|&h| (jitter(rng, h.max(1e-6), 0.02)).max(0.0))
+                .collect(),
+            attack_seconds: jitter(rng, self.attack_seconds, 0.025).clamp(0.015, 0.12),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_profiles_validate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            VocalProfile::sample(&mut rng, Sex::Male).validate().unwrap();
+            VocalProfile::sample(&mut rng, Sex::Female).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn fundamental_bands_respect_sex() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let m = VocalProfile::sample(&mut rng, Sex::Male);
+            let f = VocalProfile::sample(&mut rng, Sex::Female);
+            assert!((105.0..145.0).contains(&m.f0_hz));
+            assert!((170.0..225.0).contains(&f.f0_hz));
+        }
+    }
+
+    #[test]
+    fn session_jitter_is_small() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = VocalProfile::sample(&mut rng, Sex::Male);
+        for _ in 0..50 {
+            let inst = base.session_instance(&mut rng, Tone::Normal);
+            assert!((inst.f0_hz - base.f0_hz).abs() / base.f0_hz < 0.05);
+            assert!((inst.force_positive - base.force_positive).abs() / base.force_positive < 0.3);
+        }
+    }
+
+    #[test]
+    fn tone_shifts_fundamental() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let base = VocalProfile::sample(&mut rng, Sex::Female);
+        let high = base.session_instance(&mut rng, Tone::High);
+        let low = base.session_instance(&mut rng, Tone::Low);
+        assert!(high.f0_hz > base.f0_hz * 1.04);
+        assert!(low.f0_hz < base.f0_hz * 0.97);
+    }
+
+    #[test]
+    fn harmonics_roll_off() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = VocalProfile::sample(&mut rng, Sex::Male);
+        assert!(p.harmonics[0] > *p.harmonics.last().unwrap());
+    }
+
+    #[test]
+    fn validate_catches_bad_fields() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut p = VocalProfile::sample(&mut rng, Sex::Male);
+        p.positive_phase_fraction = 1.2;
+        assert!(p.validate().is_err());
+        p.positive_phase_fraction = 0.5;
+        p.f0_hz = -5.0;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,350 @@
+//! 2-D convolution with padding and rectangular stride.
+//!
+//! The paper's extractor uses 3×3 kernels with a stride of 1×2 (stride 1
+//! across axes, 2 across time), so stride and padding are independent per
+//! dimension here.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::init::kaiming_normal;
+use crate::layer::{Layer, Param};
+use crate::tensor::Tensor;
+
+/// A 2-D convolution layer.
+///
+/// Input shape `[N, in_channels, H, W]`, output shape
+/// `[N, out_channels, H_out, W_out]` with
+/// `H_out = (H + 2·pad_h − kh) / stride_h + 1` (and likewise for `W`).
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: (usize, usize),
+    weight: Tensor, // [out_c, in_c, kh, kw]
+    bias: Tensor,   // [out_c]
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with Kaiming-normal weights and zero
+    /// bias, deterministically initialised from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any kernel or stride dimension is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        padding: (usize, usize),
+        seed: u64,
+    ) -> Self {
+        assert!(kernel.0 > 0 && kernel.1 > 0, "kernel dimensions must be positive");
+        assert!(stride.0 > 0 && stride.1 > 0, "stride dimensions must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fan_in = in_channels * kernel.0 * kernel.1;
+        let len = out_channels * fan_in;
+        let weight = Tensor::from_vec(
+            vec![out_channels, in_channels, kernel.0, kernel.1],
+            kaiming_normal(&mut rng, fan_in, len),
+        )
+        .expect("weight shape matches generated data");
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            weight,
+            bias: Tensor::zeros(vec![out_channels]),
+            grad_weight: Tensor::zeros(vec![out_channels, in_channels, kernel.0, kernel.1]),
+            grad_bias: Tensor::zeros(vec![out_channels]),
+            cached_input: None,
+        }
+    }
+
+    /// Output spatial size for an input of `(h, w)`.
+    pub fn output_size(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding.0).saturating_sub(self.kernel.0) / self.stride.0 + 1;
+        let ow = (w + 2 * self.padding.1).saturating_sub(self.kernel.1) / self.stride.1 + 1;
+        (oh, ow)
+    }
+
+    /// The number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    fn check_input(&self, input: &Tensor) -> (usize, usize, usize) {
+        let s = input.shape();
+        assert_eq!(s.len(), 4, "conv2d expects [N, C, H, W] input");
+        assert_eq!(s[1], self.in_channels, "input channel mismatch");
+        (s[0], s[2], s[3])
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let (n, h, w) = self.check_input(input);
+        let (kh, kw) = self.kernel;
+        let (sh, sw) = self.stride;
+        let (ph, pw) = self.padding;
+        let (oh, ow) = self.output_size(h, w);
+        let mut out = Tensor::zeros(vec![n, self.out_channels, oh, ow]);
+        let x = input.data();
+        let wt = self.weight.data();
+        let b = self.bias.data();
+        let y = out.data_mut();
+
+        let in_plane = h * w;
+        let out_plane = oh * ow;
+        for img in 0..n {
+            for oc in 0..self.out_channels {
+                let y_base = (img * self.out_channels + oc) * out_plane;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = b[oc];
+                        // Top-left corner of the receptive field in padded coords.
+                        let iy0 = oy * sh;
+                        let ix0 = ox * sw;
+                        for ic in 0..self.in_channels {
+                            let x_base = (img * self.in_channels + ic) * in_plane;
+                            let w_base = ((oc * self.in_channels + ic) * kh) * kw;
+                            for ky in 0..kh {
+                                let iy = iy0 + ky;
+                                if iy < ph || iy >= h + ph {
+                                    continue;
+                                }
+                                let row = x_base + (iy - ph) * w;
+                                let w_row = w_base + ky * kw;
+                                for kx in 0..kw {
+                                    let ix = ix0 + kx;
+                                    if ix < pw || ix >= w + pw {
+                                        continue;
+                                    }
+                                    acc += x[row + (ix - pw)] * wt[w_row + kx];
+                                }
+                            }
+                        }
+                        y[y_base + oy * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("backward requires a preceding training-mode forward");
+        let (n, h, w) = self.check_input(&input);
+        let (kh, kw) = self.kernel;
+        let (sh, sw) = self.stride;
+        let (ph, pw) = self.padding;
+        let (oh, ow) = self.output_size(h, w);
+        assert_eq!(grad_output.shape(), &[n, self.out_channels, oh, ow]);
+
+        let x = input.data();
+        let wt = self.weight.data();
+        let go = grad_output.data();
+        let mut grad_input = Tensor::zeros(vec![n, self.in_channels, h, w]);
+        let gx = grad_input.data_mut();
+        let gw = self.grad_weight.data_mut();
+        let gb = self.grad_bias.data_mut();
+
+        let in_plane = h * w;
+        let out_plane = oh * ow;
+        for img in 0..n {
+            for oc in 0..self.out_channels {
+                let go_base = (img * self.out_channels + oc) * out_plane;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = go[go_base + oy * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        gb[oc] += g;
+                        let iy0 = oy * sh;
+                        let ix0 = ox * sw;
+                        for ic in 0..self.in_channels {
+                            let x_base = (img * self.in_channels + ic) * in_plane;
+                            let w_base = ((oc * self.in_channels + ic) * kh) * kw;
+                            for ky in 0..kh {
+                                let iy = iy0 + ky;
+                                if iy < ph || iy >= h + ph {
+                                    continue;
+                                }
+                                let row = x_base + (iy - ph) * w;
+                                let w_row = w_base + ky * kw;
+                                for kx in 0..kw {
+                                    let ix = ix0 + kx;
+                                    if ix < pw || ix >= w + pw {
+                                        continue;
+                                    }
+                                    let xi = row + (ix - pw);
+                                    gw[w_row + kx] += g * x[xi];
+                                    gx[xi] += g * wt[w_row + kx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        vec![
+            Param { value: &mut self.weight, grad: &mut self.grad_weight, name: "weight".into() },
+            Param { value: &mut self.bias, grad: &mut self.grad_bias, name: "bias".into() },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::cross_entropy;
+
+    #[test]
+    fn output_size_matches_formula() {
+        let conv = Conv2d::new(1, 1, (3, 3), (1, 2), (1, 1), 0);
+        // The paper's first layer on a (6, 30) direction plane.
+        assert_eq!(conv.output_size(6, 30), (6, 15));
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        let mut conv = Conv2d::new(1, 1, (1, 1), (1, 1), (0, 0), 0);
+        conv.weight = Tensor::from_vec(vec![1, 1, 1, 1], vec![1.0]).unwrap();
+        let x = Tensor::from_vec(vec![1, 1, 2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 2, 3]);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn box_kernel_sums_receptive_field() {
+        let mut conv = Conv2d::new(1, 1, (2, 2), (1, 1), (0, 0), 0);
+        conv.weight = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0; 4]).unwrap();
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.data(), &[10.0]);
+    }
+
+    #[test]
+    fn padding_extends_with_zeros() {
+        let mut conv = Conv2d::new(1, 1, (3, 3), (1, 1), (1, 1), 0);
+        conv.weight = Tensor::from_vec(vec![1, 1, 3, 3], vec![1.0; 9]).unwrap();
+        let x = Tensor::from_vec(vec![1, 1, 1, 1], vec![5.0]).unwrap();
+        let y = conv.forward(&x, false);
+        // Single pixel, full padding: sum over receptive field is just 5.
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.data(), &[5.0]);
+    }
+
+    #[test]
+    fn bias_is_added_per_output_channel() {
+        let mut conv = Conv2d::new(1, 2, (1, 1), (1, 1), (0, 0), 0);
+        conv.weight = Tensor::from_vec(vec![2, 1, 1, 1], vec![0.0, 0.0]).unwrap();
+        conv.bias = Tensor::from_vec(vec![2], vec![1.5, -2.5]).unwrap();
+        let x = Tensor::from_vec(vec![1, 1, 1, 2], vec![9.0, 9.0]).unwrap();
+        let y = conv.forward(&x, false);
+        assert_eq!(y.data(), &[1.5, 1.5, -2.5, -2.5]);
+    }
+
+    #[test]
+    fn stride_subsamples_output() {
+        let mut conv = Conv2d::new(1, 1, (1, 1), (1, 2), (0, 0), 0);
+        conv.weight = Tensor::from_vec(vec![1, 1, 1, 1], vec![1.0]).unwrap();
+        let x =
+            Tensor::from_vec(vec![1, 1, 1, 6], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 1, 3]);
+        assert_eq!(y.data(), &[0.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        // Small conv + flatten-as-logits so we can reuse cross_entropy.
+        let mut conv = Conv2d::new(2, 2, (2, 2), (1, 1), (1, 1), 7);
+        let x_data: Vec<f32> = (0..2 * 2 * 3 * 3).map(|i| ((i * 13 % 17) as f32 - 8.0) / 10.0).collect();
+        let x = Tensor::from_vec(vec![2, 2, 3, 3], x_data).unwrap();
+        let labels = [3usize, 11usize];
+
+        let flatten_logits = |t: Tensor| {
+            let n = t.shape()[0];
+            let f = t.len() / n;
+            t.reshape(vec![n, f]).unwrap()
+        };
+
+        conv.zero_grad();
+        let out = conv.forward(&x, true);
+        let n_feats = out.len() / 2;
+        let logits = flatten_logits(out);
+        let (_, grad) = cross_entropy(&logits, &labels);
+        let grad4 = grad.reshape(vec![2, 2, 4, n_feats / 8]).unwrap();
+        let grad_input = conv.backward(&grad4);
+
+        let eps = 1e-2f32;
+        let analytic_gw = conv.grad_weight.clone();
+        for idx in (0..conv.weight.len()).step_by(3) {
+            let orig = conv.weight.data()[idx];
+            conv.weight.data_mut()[idx] = orig + eps;
+            let (lp, _) = cross_entropy(&flatten_logits(conv.forward(&x, false)), &labels);
+            conv.weight.data_mut()[idx] = orig - eps;
+            let (lm, _) = cross_entropy(&flatten_logits(conv.forward(&x, false)), &labels);
+            conv.weight.data_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - analytic_gw.data()[idx]).abs() < 5e-3,
+                "weight[{idx}]: fd {fd} vs analytic {}",
+                analytic_gw.data()[idx]
+            );
+        }
+
+        let mut x_var = x.clone();
+        for idx in (0..x.len()).step_by(5) {
+            let orig = x_var.data()[idx];
+            x_var.data_mut()[idx] = orig + eps;
+            let (lp, _) = cross_entropy(&flatten_logits(conv.forward(&x_var, false)), &labels);
+            x_var.data_mut()[idx] = orig - eps;
+            let (lm, _) = cross_entropy(&flatten_logits(conv.forward(&x_var, false)), &labels);
+            x_var.data_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grad_input.data()[idx]).abs() < 5e-3,
+                "input[{idx}]: fd {fd} vs analytic {}",
+                grad_input.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn multi_channel_forward_sums_channels() {
+        let mut conv = Conv2d::new(2, 1, (1, 1), (1, 1), (0, 0), 0);
+        conv.weight = Tensor::from_vec(vec![1, 2, 1, 1], vec![1.0, 10.0]).unwrap();
+        let x = Tensor::from_vec(vec![1, 2, 1, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = conv.forward(&x, false);
+        assert_eq!(y.data(), &[31.0, 42.0]);
+    }
+
+    #[test]
+    fn param_count_matches_design() {
+        let mut conv = Conv2d::new(8, 16, (3, 3), (1, 2), (1, 1), 0);
+        assert_eq!(conv.param_count(), 16 * 8 * 9 + 16);
+    }
+}

@@ -1,0 +1,184 @@
+//! Mini-batch helpers: shuffling, batching, and train/test splitting.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// A labelled dataset of flat feature vectors.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// One feature vector per example, all of equal length.
+    pub features: Vec<Vec<f32>>,
+    /// One integer class label per example.
+    pub labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating that features and labels agree in
+    /// count and that feature vectors share one length.
+    ///
+    /// # Panics
+    ///
+    /// Panics on count or length mismatch.
+    pub fn new(features: Vec<Vec<f32>>, labels: Vec<usize>) -> Self {
+        assert_eq!(features.len(), labels.len(), "one label per feature vector required");
+        if let Some(first) = features.first() {
+            let len = first.len();
+            assert!(
+                features.iter().all(|f| f.len() == len),
+                "all feature vectors must have equal length"
+            );
+        }
+        Dataset { features, labels }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of distinct labels (`max + 1`; labels are assumed dense).
+    pub fn class_count(&self) -> usize {
+        self.labels.iter().max().map_or(0, |&m| m + 1)
+    }
+
+    /// Shuffles examples in place.
+    pub fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        let mut index: Vec<usize> = (0..self.len()).collect();
+        index.shuffle(rng);
+        self.features = index.iter().map(|&i| self.features[i].clone()).collect();
+        self.labels = index.iter().map(|&i| self.labels[i]).collect();
+    }
+
+    /// Splits into `(train, test)` with `train_fraction` of each class's
+    /// examples (in current order) going to the train set — a stratified
+    /// split so small classes keep test coverage.
+    pub fn split_stratified(&self, train_fraction: f64) -> (Dataset, Dataset) {
+        let classes = self.class_count();
+        let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); classes];
+        for (i, &l) in self.labels.iter().enumerate() {
+            per_class[l].push(i);
+        }
+        let mut train = Dataset::default();
+        let mut test = Dataset::default();
+        for idxs in per_class {
+            let cut = ((idxs.len() as f64) * train_fraction).round() as usize;
+            for (k, &i) in idxs.iter().enumerate() {
+                let target = if k < cut { &mut train } else { &mut test };
+                target.features.push(self.features[i].clone());
+                target.labels.push(self.labels[i]);
+            }
+        }
+        (train, test)
+    }
+
+    /// Iterator over `(batch_tensor, batch_labels)` mini-batches with the
+    /// feature vectors reshaped to `shape` (per example; the batch
+    /// dimension is prepended).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shape` does not match the feature length.
+    pub fn batches<'a>(
+        &'a self,
+        batch_size: usize,
+        shape: &'a [usize],
+    ) -> impl Iterator<Item = (Tensor, Vec<usize>)> + 'a {
+        assert!(batch_size > 0, "batch size must be positive");
+        let feat_len: usize = shape.iter().product();
+        if let Some(first) = self.features.first() {
+            assert_eq!(first.len(), feat_len, "shape does not match feature length");
+        }
+        (0..self.len()).step_by(batch_size).map(move |start| {
+            let end = (start + batch_size).min(self.len());
+            let mut data = Vec::with_capacity((end - start) * feat_len);
+            for f in &self.features[start..end] {
+                data.extend_from_slice(f);
+            }
+            let mut full_shape = vec![end - start];
+            full_shape.extend_from_slice(shape);
+            (
+                Tensor::from_vec(full_shape, data).expect("validated feature length"),
+                self.labels[start..end].to_vec(),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            (0..10).map(|i| vec![i as f32, 2.0 * i as f32]).collect(),
+            (0..10).map(|i| i % 2).collect(),
+        )
+    }
+
+    #[test]
+    fn len_and_class_count() {
+        let d = toy();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.class_count(), 2);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn shuffle_preserves_pairing() {
+        let mut d = toy();
+        let mut rng = StdRng::seed_from_u64(0);
+        d.shuffle(&mut rng);
+        for (f, &l) in d.features.iter().zip(&d.labels) {
+            // feature[0] is the original index; its parity is its label.
+            assert_eq!((f[0] as usize) % 2, l);
+        }
+    }
+
+    #[test]
+    fn stratified_split_keeps_class_balance() {
+        let d = toy();
+        let (train, test) = d.split_stratified(0.8);
+        assert_eq!(train.len(), 8);
+        assert_eq!(test.len(), 2);
+        assert_eq!(train.labels.iter().filter(|&&l| l == 0).count(), 4);
+        assert_eq!(test.labels.iter().filter(|&&l| l == 0).count(), 1);
+    }
+
+    #[test]
+    fn batches_have_requested_shape() {
+        let d = toy();
+        let batches: Vec<_> = d.batches(4, &[2]).collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].0.shape(), &[4, 2]);
+        assert_eq!(batches[2].0.shape(), &[2, 2]); // remainder batch
+        assert_eq!(batches[2].1.len(), 2);
+    }
+
+    #[test]
+    fn batches_reshape_to_multidim() {
+        let d = Dataset::new(vec![vec![0.0; 12]; 3], vec![0, 0, 0]);
+        let batches: Vec<_> = d.batches(2, &[3, 2, 2]).collect();
+        assert_eq!(batches[0].0.shape(), &[2, 3, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per feature vector")]
+    fn mismatched_counts_panic() {
+        let _ = Dataset::new(vec![vec![1.0]], vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_features_panic() {
+        let _ = Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0, 1]);
+    }
+}

@@ -1,0 +1,61 @@
+//! Weight initialisation schemes.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal, Uniform};
+
+/// Kaiming (He) normal initialisation for layers followed by ReLU:
+/// `N(0, sqrt(2 / fan_in))`.
+pub fn kaiming_normal<R: Rng>(rng: &mut R, fan_in: usize, len: usize) -> Vec<f32> {
+    let std = (2.0 / fan_in.max(1) as f64).sqrt();
+    let dist = Normal::new(0.0, std).expect("std is finite and positive");
+    (0..len).map(|_| dist.sample(rng) as f32).collect()
+}
+
+/// Xavier (Glorot) uniform initialisation:
+/// `U(−sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out)))`.
+pub fn xavier_uniform<R: Rng>(
+    rng: &mut R,
+    fan_in: usize,
+    fan_out: usize,
+    len: usize,
+) -> Vec<f32> {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
+    let dist = Uniform::new_inclusive(-bound, bound);
+    (0..len).map(|_| dist.sample(rng) as f32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_std_is_close_to_design() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = kaiming_normal(&mut rng, 128, 50_000);
+        let mean: f64 = w.iter().map(|&x| x as f64).sum::<f64>() / w.len() as f64;
+        let var: f64 =
+            w.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / w.len() as f64;
+        let design = 2.0 / 128.0;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - design).abs() / design < 0.1, "var {var} vs {design}");
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let bound = (6.0f64 / (64 + 32) as f64).sqrt() as f32;
+        let w = xavier_uniform(&mut rng, 64, 32, 10_000);
+        assert!(w.iter().all(|&x| x.abs() <= bound + f32::EPSILON));
+        // Should actually use the range, not collapse near zero.
+        assert!(w.iter().any(|&x| x.abs() > bound * 0.9));
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        assert_eq!(kaiming_normal(&mut a, 10, 100), kaiming_normal(&mut b, 10, 100));
+    }
+}

@@ -1,0 +1,61 @@
+//! The [`Layer`] trait and parameter access for optimisers.
+
+use crate::tensor::Tensor;
+
+/// A mutable view of one learnable parameter tensor and its gradient
+/// accumulator, handed to optimisers.
+#[derive(Debug)]
+pub struct Param<'a> {
+    /// The parameter values.
+    pub value: &'a mut Tensor,
+    /// The accumulated gradient of the loss with respect to `value`.
+    pub grad: &'a mut Tensor,
+    /// Stable name for serialisation, unique within a model
+    /// (e.g. `"conv1.weight"`).
+    pub name: String,
+}
+
+/// A differentiable network layer.
+///
+/// Layers cache whatever they need during [`Layer::forward`] and consume
+/// that cache in [`Layer::backward`]. Gradients accumulate into the layer's
+/// grad buffers; call [`Layer::zero_grad`] between optimiser steps.
+pub trait Layer: std::fmt::Debug {
+    /// Computes the layer output. `train` selects training behaviour
+    /// (e.g. batch statistics in batch norm) and enables caching for the
+    /// backward pass.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Backpropagates `grad_output` (gradient of the loss with respect to
+    /// this layer's output), accumulating parameter gradients and returning
+    /// the gradient with respect to the layer input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when called without a preceding
+    /// training-mode `forward` (no cache).
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Mutable access to all learnable parameters, in a stable order.
+    fn params(&mut self) -> Vec<Param<'_>>;
+
+    /// Mutable access to everything that must persist across
+    /// serialisation: the learnable parameters plus any non-learnable
+    /// buffers (e.g. batch-norm running statistics). Optimisers use
+    /// [`Layer::params`]; (de)serialisation uses this.
+    fn state_params(&mut self) -> Vec<Param<'_>> {
+        self.params()
+    }
+
+    /// Clears all accumulated gradients.
+    fn zero_grad(&mut self) {
+        for p in self.params() {
+            p.grad.zero();
+        }
+    }
+
+    /// Number of learnable scalar parameters.
+    fn param_count(&mut self) -> usize {
+        self.params().iter().map(|p| p.value.len()).sum()
+    }
+}

@@ -1,0 +1,243 @@
+//! Fully connected (dense) layer.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::init::kaiming_normal;
+use crate::layer::{Layer, Param};
+use crate::tensor::Tensor;
+
+/// A fully connected layer: `y = x · Wᵀ + b`.
+///
+/// Input shape `[N, in_features]`, output shape `[N, out_features]`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    weight: Tensor, // [out, in]
+    bias: Tensor,   // [out]
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with Kaiming-normal weights and zero bias,
+    /// deterministically initialised from `seed`.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weight = Tensor::from_vec(
+            vec![out_features, in_features],
+            kaiming_normal(&mut rng, in_features, in_features * out_features),
+        )
+        .expect("weight shape matches generated data");
+        Linear {
+            in_features,
+            out_features,
+            weight,
+            bias: Tensor::zeros(vec![out_features]),
+            grad_weight: Tensor::zeros(vec![out_features, in_features]),
+            grad_bias: Tensor::zeros(vec![out_features]),
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Read access to the weight matrix `[out, in]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.shape().len(), 2, "linear expects [N, in] input");
+        assert_eq!(input.shape()[1], self.in_features, "input feature mismatch");
+        let n = input.shape()[0];
+        let mut out = Tensor::zeros(vec![n, self.out_features]);
+        let x = input.data();
+        let w = self.weight.data();
+        let b = self.bias.data();
+        let y = out.data_mut();
+        for i in 0..n {
+            let xi = &x[i * self.in_features..(i + 1) * self.in_features];
+            let yi = &mut y[i * self.out_features..(i + 1) * self.out_features];
+            for o in 0..self.out_features {
+                let wo = &w[o * self.in_features..(o + 1) * self.in_features];
+                let mut acc = b[o];
+                for (xv, wv) in xi.iter().zip(wo) {
+                    acc += xv * wv;
+                }
+                yi[o] = acc;
+            }
+        }
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("backward requires a preceding training-mode forward");
+        let n = input.shape()[0];
+        assert_eq!(grad_output.shape(), &[n, self.out_features]);
+        let x = input.data();
+        let go = grad_output.data();
+        let w = self.weight.data();
+
+        // Parameter gradients.
+        {
+            let gw = self.grad_weight.data_mut();
+            let gb = self.grad_bias.data_mut();
+            for i in 0..n {
+                let xi = &x[i * self.in_features..(i + 1) * self.in_features];
+                let gi = &go[i * self.out_features..(i + 1) * self.out_features];
+                for o in 0..self.out_features {
+                    let g = gi[o];
+                    gb[o] += g;
+                    let gwo = &mut gw[o * self.in_features..(o + 1) * self.in_features];
+                    for (gw_v, x_v) in gwo.iter_mut().zip(xi) {
+                        *gw_v += g * x_v;
+                    }
+                }
+            }
+        }
+
+        // Input gradient: dL/dx = dL/dy · W.
+        let mut grad_input = Tensor::zeros(vec![n, self.in_features]);
+        let gx = grad_input.data_mut();
+        for i in 0..n {
+            let gi = &go[i * self.out_features..(i + 1) * self.out_features];
+            let gxi = &mut gx[i * self.in_features..(i + 1) * self.in_features];
+            for o in 0..self.out_features {
+                let g = gi[o];
+                let wo = &w[o * self.in_features..(o + 1) * self.in_features];
+                for (gx_v, w_v) in gxi.iter_mut().zip(wo) {
+                    *gx_v += g * w_v;
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        vec![
+            Param { value: &mut self.weight, grad: &mut self.grad_weight, name: "weight".into() },
+            Param { value: &mut self.bias, grad: &mut self.grad_bias, name: "bias".into() },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::cross_entropy;
+
+    #[test]
+    fn forward_matches_hand_computation() {
+        let mut layer = Linear::new(2, 2, 0);
+        layer.weight = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        layer.bias = Tensor::from_vec(vec![2], vec![0.5, -0.5]).unwrap();
+        let x = Tensor::from_vec(vec![1, 2], vec![1.0, 1.0]).unwrap();
+        let y = layer.forward(&x, false);
+        assert_eq!(y.data(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn param_count_is_correct() {
+        let mut layer = Linear::new(10, 4, 0);
+        assert_eq!(layer.param_count(), 44);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut layer = Linear::new(3, 2, 42);
+        let x = Tensor::from_vec(vec![2, 3], vec![0.3, -0.1, 0.5, 0.7, 0.2, -0.4]).unwrap();
+        let labels = [0usize, 1usize];
+
+        // Analytic gradients.
+        layer.zero_grad();
+        let logits = layer.forward(&x, true);
+        let (_, grad) = cross_entropy(&logits, &labels);
+        let grad_input = layer.backward(&grad);
+
+        let eps = 1e-3f32;
+        // Check weight gradients via central differences.
+        let analytic_gw = layer.grad_weight.clone();
+        for idx in 0..6 {
+            let orig = layer.weight.data()[idx];
+            layer.weight.data_mut()[idx] = orig + eps;
+            let (lp, _) = cross_entropy(&layer.forward(&x, false), &labels);
+            layer.weight.data_mut()[idx] = orig - eps;
+            let (lm, _) = cross_entropy(&layer.forward(&x, false), &labels);
+            layer.weight.data_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - analytic_gw.data()[idx]).abs() < 2e-3,
+                "weight[{idx}]: fd {fd} vs analytic {}",
+                analytic_gw.data()[idx]
+            );
+        }
+
+        // Check input gradients the same way.
+        let mut x_var = x.clone();
+        for idx in 0..6 {
+            let orig = x_var.data()[idx];
+            x_var.data_mut()[idx] = orig + eps;
+            let (lp, _) = cross_entropy(&layer.forward(&x_var, false), &labels);
+            x_var.data_mut()[idx] = orig - eps;
+            let (lm, _) = cross_entropy(&layer.forward(&x_var, false), &labels);
+            x_var.data_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grad_input.data()[idx]).abs() < 2e-3,
+                "input[{idx}]: fd {fd} vs analytic {}",
+                grad_input.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut layer = Linear::new(2, 2, 1);
+        let x = Tensor::from_vec(vec![1, 2], vec![1.0, 2.0]).unwrap();
+        let g = Tensor::from_vec(vec![1, 2], vec![1.0, 1.0]).unwrap();
+        layer.forward(&x, true);
+        layer.backward(&g);
+        let after_one = layer.grad_bias.clone();
+        layer.forward(&x, true);
+        layer.backward(&g);
+        for (a, b) in layer.grad_bias.data().iter().zip(after_one.data()) {
+            assert!((a - 2.0 * b).abs() < 1e-6);
+        }
+        layer.zero_grad();
+        assert!(layer.grad_bias.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "backward requires a preceding training-mode forward")]
+    fn backward_without_forward_panics() {
+        let mut layer = Linear::new(2, 2, 0);
+        let g = Tensor::zeros(vec![1, 2]);
+        let _ = layer.backward(&g);
+    }
+
+    #[test]
+    fn deterministic_initialisation() {
+        let a = Linear::new(5, 3, 99);
+        let b = Linear::new(5, 3, 99);
+        assert_eq!(a.weight(), b.weight());
+    }
+}

@@ -1,0 +1,141 @@
+//! Softmax cross-entropy loss.
+
+use crate::tensor::Tensor;
+
+/// Softmax cross-entropy over logits `[N, classes]` against integer
+/// `labels` (one per row).
+///
+/// Returns `(mean_loss, grad_logits)` where `grad_logits` is the gradient
+/// of the mean loss with respect to the logits — ready to feed into
+/// [`Layer::backward`](crate::layer::Layer::backward) of the final layer.
+///
+/// # Panics
+///
+/// Panics when `labels.len()` differs from the batch size or a label is out
+/// of range.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().len(), 2, "cross_entropy expects [N, classes] logits");
+    let n = logits.shape()[0];
+    let classes = logits.shape()[1];
+    assert_eq!(labels.len(), n, "one label per batch row required");
+
+    let x = logits.data();
+    let mut grad = Tensor::zeros(vec![n, classes]);
+    let g = grad.data_mut();
+    let mut total_loss = 0.0f64;
+
+    for i in 0..n {
+        let row = &x[i * classes..(i + 1) * classes];
+        let label = labels[i];
+        assert!(label < classes, "label {label} out of range for {classes} classes");
+        // Numerically stable log-softmax.
+        let max = row.iter().cloned().fold(f32::MIN, f32::max);
+        let sum_exp: f32 = row.iter().map(|&v| (v - max).exp()).sum();
+        let log_sum = sum_exp.ln() + max;
+        total_loss += f64::from(log_sum - row[label]);
+        let grow = &mut g[i * classes..(i + 1) * classes];
+        for (c, gv) in grow.iter_mut().enumerate() {
+            let softmax = (row[c] - log_sum).exp();
+            *gv = (softmax - if c == label { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    ((total_loss / n as f64) as f32, grad)
+}
+
+/// Classification accuracy of `logits` against `labels`: fraction of rows
+/// whose arg-max equals the label.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    assert_eq!(logits.shape().len(), 2);
+    let n = logits.shape()[0];
+    let classes = logits.shape()[1];
+    assert_eq!(labels.len(), n);
+    let x = logits.data();
+    let mut correct = 0usize;
+    for i in 0..n {
+        let row = &x[i * classes..(i + 1) * classes];
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("logits are finite"))
+            .map(|(c, _)| c)
+            .expect("row is non-empty");
+        if pred == labels[i] {
+            correct += 1;
+        }
+    }
+    correct as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_classes_loss() {
+        let logits = Tensor::zeros(vec![2, 4]);
+        let (loss, _) = cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let logits = Tensor::from_vec(vec![1, 3], vec![10.0, 0.0, 0.0]).unwrap();
+        let (loss, _) = cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![2, 3], vec![1.0, -2.0, 0.5, 3.0, 0.0, -1.0]).unwrap();
+        let (_, grad) = cross_entropy(&logits, &[2, 0]);
+        for i in 0..2 {
+            let s: f32 = grad.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits =
+            Tensor::from_vec(vec![2, 3], vec![0.3, -0.7, 1.1, -0.2, 0.9, 0.4]).unwrap();
+        let labels = [1usize, 2usize];
+        let (_, grad) = cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for idx in 0..6 {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let (loss_p, _) = cross_entropy(&lp, &labels);
+            let (loss_m, _) = cross_entropy(&lm, &labels);
+            let fd = (loss_p - loss_m) / (2.0 * eps);
+            assert!((fd - grad.data()[idx]).abs() < 1e-4, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn loss_is_stable_for_huge_logits() {
+        let logits = Tensor::from_vec(vec![1, 2], vec![1e4, -1e4]).unwrap();
+        let (loss, grad) = cross_entropy(&logits, &[0]);
+        assert!(loss.is_finite());
+        assert!(grad.data().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_label_panics() {
+        let logits = Tensor::zeros(vec![1, 2]);
+        let _ = cross_entropy(&logits, &[5]);
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let logits = Tensor::from_vec(
+            vec![3, 2],
+            vec![2.0, 1.0, 0.0, 5.0, 1.0, 0.0],
+        )
+        .unwrap();
+        assert!((accuracy(&logits, &[0, 1, 0]) - 1.0).abs() < 1e-12);
+        assert!((accuracy(&logits, &[1, 1, 0]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,204 @@
+//! Optimisers: Adam (the paper's choice) and plain SGD.
+
+use crate::layer::Param;
+
+/// An optimiser that updates a fixed set of parameters in place.
+///
+/// The caller passes the *same* parameter list (same order) to every
+/// [`Optimizer::step`]; stateful optimisers key their per-parameter state
+/// by position.
+pub trait Optimizer {
+    /// Applies one update step to `params` using their accumulated
+    /// gradients, then leaves the gradients untouched (callers clear them
+    /// with [`Layer::zero_grad`](crate::layer::Layer::zero_grad)).
+    fn step(&mut self, params: &mut [Param<'_>]);
+}
+
+/// Adam optimiser (Kingma & Ba), the update rule the paper trains with.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates an Adam optimiser with the given learning rate and the
+    /// standard defaults `β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Overrides the exponential-decay coefficients.
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// The learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Sets the learning rate (e.g. for decay schedules).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [Param<'_>]) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| vec![0.0; p.value.len()]).collect();
+            self.v = params.iter().map(|p| vec![0.0; p.value.len()]).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter list changed between steps");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in params.iter_mut().enumerate() {
+            assert_eq!(self.m[i].len(), p.value.len(), "parameter size changed between steps");
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            let values = p.value.data_mut();
+            let grads = p.grad.data();
+            for j in 0..values.len() {
+                let g = grads[j];
+                m[j] = self.beta1 * m[j] + (1.0 - self.beta1) * g;
+                v[j] = self.beta2 * v[j] + (1.0 - self.beta2) * g * g;
+                let m_hat = m[j] / b1t;
+                let v_hat = v[j] / b2t;
+                values[j] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser without momentum.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// Enables classical momentum.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [Param<'_>]) {
+        if self.velocity.is_empty() {
+            self.velocity = params.iter().map(|p| vec![0.0; p.value.len()]).collect();
+        }
+        assert_eq!(self.velocity.len(), params.len(), "parameter list changed between steps");
+        for (i, p) in params.iter_mut().enumerate() {
+            let vel = &mut self.velocity[i];
+            let values = p.value.data_mut();
+            let grads = p.grad.data();
+            for j in 0..values.len() {
+                vel[j] = self.momentum * vel[j] + grads[j];
+                values[j] -= self.lr * vel[j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    fn make_param(value: Vec<f32>, grad: Vec<f32>) -> (Tensor, Tensor) {
+        let n = value.len();
+        (
+            Tensor::from_vec(vec![n], value).unwrap(),
+            Tensor::from_vec(vec![n], grad).unwrap(),
+        )
+    }
+
+    #[test]
+    fn adam_first_step_matches_hand_computation() {
+        // For the first step, m̂ = g and v̂ = g², so Δ = lr · g / (|g| + ε).
+        let (mut val, mut grad) = make_param(vec![1.0, -2.0], vec![0.5, -0.5]);
+        let mut adam = Adam::new(0.1);
+        let mut params =
+            vec![Param { value: &mut val, grad: &mut grad, name: "p".into() }];
+        adam.step(&mut params);
+        assert!((val.data()[0] - (1.0 - 0.1)).abs() < 1e-5, "{}", val.data()[0]);
+        assert!((val.data()[1] - (-2.0 + 0.1)).abs() < 1e-5, "{}", val.data()[1]);
+    }
+
+    #[test]
+    fn adam_minimises_quadratic() {
+        // Minimise f(x) = (x − 3)²; gradient 2(x − 3).
+        let (mut val, mut grad) = make_param(vec![0.0], vec![0.0]);
+        let mut adam = Adam::new(0.05);
+        for _ in 0..2000 {
+            let x = val.data()[0];
+            grad.data_mut()[0] = 2.0 * (x - 3.0);
+            let mut params =
+                vec![Param { value: &mut val, grad: &mut grad, name: "x".into() }];
+            adam.step(&mut params);
+        }
+        assert!((val.data()[0] - 3.0).abs() < 1e-2, "{}", val.data()[0]);
+    }
+
+    #[test]
+    fn sgd_step_is_lr_times_grad() {
+        let (mut val, mut grad) = make_param(vec![1.0], vec![2.0]);
+        let mut sgd = Sgd::new(0.5);
+        let mut params = vec![Param { value: &mut val, grad: &mut grad, name: "p".into() }];
+        sgd.step(&mut params);
+        assert_eq!(val.data()[0], 0.0);
+    }
+
+    #[test]
+    fn sgd_momentum_accumulates() {
+        let (mut val, mut grad) = make_param(vec![0.0], vec![1.0]);
+        let mut sgd = Sgd::new(1.0).with_momentum(0.5);
+        for _ in 0..2 {
+            let mut params =
+                vec![Param { value: &mut val, grad: &mut grad, name: "p".into() }];
+            sgd.step(&mut params);
+        }
+        // Step 1: v = 1, x = −1. Step 2: v = 1.5, x = −2.5.
+        assert_eq!(val.data()[0], -2.5);
+    }
+
+    #[test]
+    fn learning_rate_is_adjustable() {
+        let mut adam = Adam::new(0.1);
+        adam.set_learning_rate(0.01);
+        assert_eq!(adam.learning_rate(), 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter list changed")]
+    fn changing_param_count_panics() {
+        let (mut v1, mut g1) = make_param(vec![0.0], vec![0.0]);
+        let (mut v2, mut g2) = make_param(vec![0.0], vec![0.0]);
+        let mut adam = Adam::new(0.1);
+        let mut params = vec![Param { value: &mut v1, grad: &mut g1, name: "a".into() }];
+        adam.step(&mut params);
+        let mut params = vec![
+            Param { value: &mut v1, grad: &mut g1, name: "a".into() },
+            Param { value: &mut v2, grad: &mut g2, name: "b".into() },
+        ];
+        adam.step(&mut params);
+    }
+}

@@ -1,0 +1,138 @@
+//! A sequential container of layers.
+
+use crate::layer::{Layer, Param};
+use crate::tensor::Tensor;
+
+/// A stack of layers applied in order; itself a [`Layer`], so sequentials
+/// compose (the two-branch extractor uses one sequential per branch plus a
+/// sequential head).
+#[derive(Debug)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates a sequential model from layers applied front to back.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the container holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut cur = input.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, train);
+        }
+        cur
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut cur = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur);
+        }
+        cur
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        let mut out = Vec::new();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            for mut p in layer.params() {
+                p.name = format!("{i}.{}", p.name);
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    fn state_params(&mut self) -> Vec<Param<'_>> {
+        let mut out = Vec::new();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            for mut p in layer.state_params() {
+                p.name = format!("{i}.{}", p.name);
+                out.push(p);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::ReLU;
+    use crate::linear::Linear;
+    use crate::loss::cross_entropy;
+    use crate::optim::{Adam, Optimizer};
+
+    fn xor_data() -> (Tensor, Vec<usize>) {
+        let x = Tensor::from_vec(
+            vec![4, 2],
+            vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0],
+        )
+        .unwrap();
+        (x, vec![0, 1, 1, 0])
+    }
+
+    #[test]
+    fn params_are_uniquely_named() {
+        let mut net = Sequential::new(vec![
+            Box::new(Linear::new(2, 4, 0)),
+            Box::new(ReLU::new()),
+            Box::new(Linear::new(4, 2, 1)),
+        ]);
+        let names: Vec<String> = net.params().into_iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["0.weight", "0.bias", "2.weight", "2.bias"]);
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut net = Sequential::new(vec![
+            Box::new(Linear::new(2, 16, 10)),
+            Box::new(ReLU::new()),
+            Box::new(Linear::new(16, 2, 11)),
+        ]);
+        let (x, labels) = xor_data();
+        let mut adam = Adam::new(0.05);
+        let mut final_loss = f32::MAX;
+        for _ in 0..300 {
+            net.zero_grad();
+            let logits = net.forward(&x, true);
+            let (loss, grad) = cross_entropy(&logits, &labels);
+            final_loss = loss;
+            net.backward(&grad);
+            adam.step(&mut net.params());
+        }
+        assert!(final_loss < 0.05, "loss {final_loss}");
+        let logits = net.forward(&x, false);
+        assert!((crate::loss::accuracy(&logits, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let mut net = Sequential::new(vec![]);
+        assert!(net.is_empty());
+        let x = Tensor::from_vec(vec![1, 3], vec![1.0, 2.0, 3.0]).unwrap();
+        let y = net.forward(&x, true);
+        assert_eq!(x, y);
+        let g = net.backward(&y);
+        assert_eq!(g, x);
+    }
+
+    #[test]
+    fn len_reports_layer_count() {
+        let net = Sequential::new(vec![Box::new(ReLU::new()), Box::new(ReLU::new())]);
+        assert_eq!(net.len(), 2);
+    }
+}

@@ -1,0 +1,203 @@
+//! Binary (de)serialisation of model parameters.
+//!
+//! The paper reports the extractor needs ≈ 5 MB of parameter storage on
+//! the earphone; a compact little-endian binary blob (rather than JSON)
+//! keeps this reproduction in the same ballpark and lets the overhead
+//! experiment (§VII.E) measure a realistic size.
+//!
+//! Blob layout:
+//!
+//! ```text
+//! magic  u32 = 0x4d50_4e4e  ("MPNN")
+//! count  u32                 number of tensors
+//! per tensor:
+//!   name_len u32, name bytes (UTF-8)
+//!   rank u32, dims u32 × rank
+//!   data f32 × product(dims), little-endian
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::NnError;
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+const MAGIC: u32 = 0x4d50_4e4e;
+
+/// Serialises the full persistent state of `layer` (learnable parameters
+/// plus buffers such as batch-norm running statistics) into a binary
+/// blob.
+pub fn save_params(layer: &mut dyn Layer) -> Bytes {
+    let params = layer.state_params();
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(params.len() as u32);
+    for p in &params {
+        buf.put_u32_le(p.name.len() as u32);
+        buf.put_slice(p.name.as_bytes());
+        buf.put_u32_le(p.value.shape().len() as u32);
+        for &d in p.value.shape() {
+            buf.put_u32_le(d as u32);
+        }
+        for &v in p.value.data() {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Restores parameters previously produced by [`save_params`] into
+/// `layer`, matching tensors by position and validating names and shapes.
+///
+/// # Errors
+///
+/// * [`NnError::MalformedBlob`] for truncated or corrupt input.
+/// * [`NnError::LayoutMismatch`] when tensor counts differ.
+/// * [`NnError::MalformedBlob`] when a name or shape disagrees with the
+///   receiving model.
+pub fn load_params(layer: &mut dyn Layer, blob: &[u8]) -> Result<(), NnError> {
+    let mut buf = blob;
+    let malformed = |reason: &str| NnError::MalformedBlob { reason: reason.to_string() };
+    if buf.remaining() < 8 {
+        return Err(malformed("blob shorter than header"));
+    }
+    if buf.get_u32_le() != MAGIC {
+        return Err(malformed("bad magic"));
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut params = layer.state_params();
+    if count != params.len() {
+        return Err(NnError::LayoutMismatch { expected: params.len(), got: count });
+    }
+    for p in params.iter_mut() {
+        if buf.remaining() < 4 {
+            return Err(malformed("truncated before name"));
+        }
+        let name_len = buf.get_u32_le() as usize;
+        if buf.remaining() < name_len {
+            return Err(malformed("truncated name"));
+        }
+        let name_bytes = buf.copy_to_bytes(name_len);
+        let name = std::str::from_utf8(&name_bytes).map_err(|_| malformed("name not UTF-8"))?;
+        if name != p.name {
+            return Err(malformed(&format!("tensor name {name} does not match {}", p.name)));
+        }
+        if buf.remaining() < 4 {
+            return Err(malformed("truncated before rank"));
+        }
+        let rank = buf.get_u32_le() as usize;
+        if buf.remaining() < rank * 4 {
+            return Err(malformed("truncated shape"));
+        }
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(buf.get_u32_le() as usize);
+        }
+        if shape != p.value.shape() {
+            return Err(malformed(&format!(
+                "tensor {} shape {:?} does not match {:?}",
+                p.name,
+                shape,
+                p.value.shape()
+            )));
+        }
+        let n: usize = shape.iter().product();
+        if buf.remaining() < n * 4 {
+            return Err(malformed("truncated data"));
+        }
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(buf.get_f32_le());
+        }
+        *p.value = Tensor::from_vec(shape, data).expect("validated shape");
+    }
+    if buf.has_remaining() {
+        return Err(malformed("trailing bytes after last tensor"));
+    }
+    Ok(())
+}
+
+/// Size in bytes that [`save_params`] would produce for `layer`, without
+/// building the blob.
+pub fn serialized_size(layer: &mut dyn Layer) -> usize {
+    let params = layer.state_params();
+    8 + params
+        .iter()
+        .map(|p| 4 + p.name.len() + 4 + 4 * p.value.shape().len() + 4 * p.value.len())
+        .sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+    use crate::sequential::Sequential;
+
+    fn small_net(seed: u64) -> Sequential {
+        Sequential::new(vec![
+            Box::new(Linear::new(3, 4, seed)),
+            Box::new(Linear::new(4, 2, seed + 1)),
+        ])
+    }
+
+    #[test]
+    fn round_trip_restores_weights() {
+        let mut a = small_net(1);
+        let mut b = small_net(2);
+        let blob = save_params(&mut a);
+        load_params(&mut b, &blob).unwrap();
+        let x = Tensor::from_vec(vec![1, 3], vec![0.5, -0.5, 1.0]).unwrap();
+        use crate::layer::Layer;
+        assert_eq!(a.forward(&x, false), b.forward(&x, false));
+    }
+
+    #[test]
+    fn size_estimate_matches_blob() {
+        let mut net = small_net(3);
+        let blob = save_params(&mut net);
+        assert_eq!(blob.len(), serialized_size(&mut net));
+    }
+
+    #[test]
+    fn truncated_blob_is_rejected() {
+        let mut net = small_net(4);
+        let blob = save_params(&mut net);
+        let res = load_params(&mut net, &blob[..blob.len() - 3]);
+        assert!(matches!(res, Err(NnError::MalformedBlob { .. })));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut net = small_net(5);
+        let mut blob = save_params(&mut net).to_vec();
+        blob[0] ^= 0xff;
+        assert!(matches!(load_params(&mut net, &blob), Err(NnError::MalformedBlob { .. })));
+    }
+
+    #[test]
+    fn layout_mismatch_is_detected() {
+        let mut a = small_net(6);
+        let mut single = Sequential::new(vec![Box::new(Linear::new(3, 4, 0)) as _]);
+        let blob = save_params(&mut a);
+        assert!(matches!(
+            load_params(&mut single, &blob),
+            Err(NnError::LayoutMismatch { expected: 2, got: 4 })
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_is_detected() {
+        let mut a = Sequential::new(vec![Box::new(Linear::new(3, 4, 0)) as _]);
+        let mut b = Sequential::new(vec![Box::new(Linear::new(4, 3, 0)) as _]);
+        let blob = save_params(&mut a);
+        assert!(matches!(load_params(&mut b, &blob), Err(NnError::MalformedBlob { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut net = small_net(7);
+        let mut blob = save_params(&mut net).to_vec();
+        blob.push(0);
+        assert!(matches!(load_params(&mut net, &blob), Err(NnError::MalformedBlob { .. })));
+    }
+}

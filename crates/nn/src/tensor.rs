@@ -1,0 +1,310 @@
+//! A dense row-major tensor of `f32` values.
+//!
+//! Deliberately minimal: shape bookkeeping, element access, and the handful
+//! of arithmetic helpers the layers need. All layer math operates on the
+//! flat data slice directly for speed.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NnError;
+
+/// A dense, row-major, heap-allocated tensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or any dimension is zero.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let len = checked_len(&shape);
+        Tensor { shape, data: vec![0.0; len] }
+    }
+
+    /// Creates a tensor filled with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or any dimension is zero.
+    pub fn full(shape: Vec<usize>, value: f32) -> Self {
+        let len = checked_len(&shape);
+        Tensor { shape, data: vec![value; len] }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when `data.len()` differs from the
+    /// element count implied by `shape`.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Result<Self, NnError> {
+        let expected: usize = shape.iter().product();
+        if expected != data.len() || shape.is_empty() {
+            return Err(NnError::ShapeMismatch { expected, got: data.len() });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements (never true for constructed
+    /// tensors, kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The flat data slice, row-major.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data slice, row-major.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its flat data.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when element counts differ.
+    pub fn reshape(mut self, shape: Vec<usize>) -> Result<Self, NnError> {
+        let expected: usize = shape.iter().product();
+        if expected != self.data.len() || shape.is_empty() {
+            return Err(NnError::ShapeMismatch { expected, got: self.data.len() });
+        }
+        self.shape = shape;
+        Ok(self)
+    }
+
+    /// Element at a 2-D index `(row, col)`; the tensor must be rank 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not rank 2 or the index is out of range.
+    pub fn at2(&self, row: usize, col: usize) -> f32 {
+        assert_eq!(self.shape.len(), 2, "at2 requires a rank-2 tensor");
+        self.data[row * self.shape[1] + col]
+    }
+
+    /// Elementwise in-place addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign requires equal shapes");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place multiplication by a scalar.
+    pub fn scale(&mut self, factor: f32) {
+        for a in &mut self.data {
+            *a *= factor;
+        }
+    }
+
+    /// Sets every element to zero (used to clear gradients).
+    pub fn zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Concatenates rank-2 tensors along the feature (column) axis.
+    ///
+    /// All inputs must share the same number of rows. Used to merge the two
+    /// CNN branch outputs before the fully connected layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parts` is empty, any part is not rank 2, or row counts
+    /// differ.
+    pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_cols needs at least one tensor");
+        let rows = parts[0].shape()[0];
+        for p in parts {
+            assert_eq!(p.shape().len(), 2, "concat_cols requires rank-2 tensors");
+            assert_eq!(p.shape()[0], rows, "concat_cols requires equal row counts");
+        }
+        let total_cols: usize = parts.iter().map(|p| p.shape()[1]).sum();
+        let mut out = Tensor::zeros(vec![rows, total_cols]);
+        for r in 0..rows {
+            let mut col = 0;
+            for p in parts {
+                let c = p.shape()[1];
+                out.data[r * total_cols + col..r * total_cols + col + c]
+                    .copy_from_slice(&p.data[r * c..(r + 1) * c]);
+                col += c;
+            }
+        }
+        out
+    }
+
+    /// Splits a rank-2 tensor into column blocks of the given widths —
+    /// the inverse of [`Tensor::concat_cols`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the widths do not sum to the column count.
+    pub fn split_cols(&self, widths: &[usize]) -> Vec<Tensor> {
+        assert_eq!(self.shape.len(), 2, "split_cols requires a rank-2 tensor");
+        let rows = self.shape[0];
+        let cols = self.shape[1];
+        assert_eq!(widths.iter().sum::<usize>(), cols, "widths must sum to column count");
+        let mut out = Vec::with_capacity(widths.len());
+        let mut offset = 0;
+        for &w in widths {
+            let mut t = Tensor::zeros(vec![rows, w]);
+            for r in 0..rows {
+                t.data[r * w..(r + 1) * w]
+                    .copy_from_slice(&self.data[r * cols + offset..r * cols + offset + w]);
+            }
+            out.push(t);
+            offset += w;
+        }
+        out
+    }
+}
+
+fn checked_len(shape: &[usize]) -> usize {
+    assert!(!shape.is_empty(), "tensor shape must have at least one dimension");
+    assert!(shape.iter().all(|&d| d > 0), "tensor dimensions must be positive");
+    shape.iter().product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_correct_shape_and_len() {
+        let t = Tensor::zeros(vec![2, 3, 4]);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert!(t.data().iter().all(|&x| x == 0.0));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![2, 2], vec![1.0; 4]).is_ok());
+        assert!(matches!(
+            Tensor::from_vec(vec![2, 2], vec![1.0; 5]),
+            Err(NnError::ShapeMismatch { expected: 4, got: 5 })
+        ));
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![2, 3], (0..6).map(|i| i as f32).collect()).unwrap();
+        let r = t.clone().reshape(vec![3, 2]).unwrap();
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape(vec![4, 2]).is_err());
+    }
+
+    #[test]
+    fn at2_indexes_row_major() {
+        let t = Tensor::from_vec(vec![2, 3], (0..6).map(|i| i as f32).collect()).unwrap();
+        assert_eq!(t.at2(0, 0), 0.0);
+        assert_eq!(t.at2(1, 2), 5.0);
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut a = Tensor::full(vec![2, 2], 1.0);
+        let b = Tensor::full(vec![2, 2], 2.0);
+        a.add_assign(&b);
+        a.scale(0.5);
+        assert!(a.data().iter().all(|&x| x == 1.5));
+    }
+
+    #[test]
+    fn zero_clears_data() {
+        let mut t = Tensor::full(vec![3], 7.0);
+        t.zero();
+        assert!(t.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn concat_and_split_round_trip() {
+        let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor::from_vec(vec![2, 3], vec![5.0, 6.0, 7.0, 8.0, 9.0, 10.0]).unwrap();
+        let cat = Tensor::concat_cols(&[&a, &b]);
+        assert_eq!(cat.shape(), &[2, 5]);
+        assert_eq!(cat.data(), &[1.0, 2.0, 5.0, 6.0, 7.0, 3.0, 4.0, 8.0, 9.0, 10.0]);
+        let parts = cat.split_cols(&[2, 3]);
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal row counts")]
+    fn concat_rejects_row_mismatch() {
+        let a = Tensor::zeros(vec![2, 2]);
+        let b = Tensor::zeros(vec![3, 2]);
+        let _ = Tensor::concat_cols(&[&a, &b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimension_panics() {
+        let _ = Tensor::zeros(vec![2, 0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Tensor::from_vec(vec![2, 2], vec![1.0, -2.0, 3.5, 0.0]).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tensor = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn concat_split_is_identity(
+            rows in 1usize..5,
+            w1 in 1usize..6,
+            w2 in 1usize..6,
+        ) {
+            let a = Tensor::from_vec(vec![rows, w1], (0..rows * w1).map(|i| i as f32).collect()).unwrap();
+            let b = Tensor::from_vec(vec![rows, w2], (0..rows * w2).map(|i| (i as f32) * -1.5).collect()).unwrap();
+            let cat = Tensor::concat_cols(&[&a, &b]);
+            let parts = cat.split_cols(&[w1, w2]);
+            prop_assert_eq!(&parts[0], &a);
+            prop_assert_eq!(&parts[1], &b);
+        }
+
+        #[test]
+        fn reshape_round_trip(r in 1usize..6, c in 1usize..6) {
+            let t = Tensor::from_vec(vec![r, c], (0..r * c).map(|i| i as f32).collect()).unwrap();
+            let back = t.clone().reshape(vec![c, r]).unwrap().reshape(vec![r, c]).unwrap();
+            prop_assert_eq!(t, back);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the MandiPass reproduction workspace.
+//!
+//! Re-exports the member crates so the `examples/` and `tests/` at the
+//! repository root can exercise the whole stack through one dependency.
+
+pub use mandipass;
+pub use mandipass_baselines as baselines;
+pub use mandipass_classifiers as classifiers;
+pub use mandipass_dsp as dsp;
+pub use mandipass_eval as eval;
+pub use mandipass_imu_sim as imu_sim;
+pub use mandipass_nn as nn;

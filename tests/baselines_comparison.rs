@@ -1,0 +1,58 @@
+//! Cross-crate integration of the Table I comparison: the acoustic
+//! baselines measured against the structural properties MandiPass holds
+//! by construction.
+
+use mandipass::prelude::*;
+use mandipass::similarity::cosine_distance;
+use mandipass_baselines::comparison::BaselineBench;
+
+#[test]
+fn baselines_fail_where_the_paper_says_they_fail() {
+    let bench = BaselineBench { users: 8, probes_per_user: 8, ..BaselineBench::default() };
+    let skull = bench.measure_skullconduct();
+    let earecho = bench.measure_earecho();
+
+    // SkullConduct row: fast registration, but no replay resilience and
+    // no acoustic-noise immunity.
+    assert!(skull.registration_seconds <= 1.0);
+    assert!(!skull.replay_resilient);
+    assert!(!skull.noise_immune);
+
+    // EarEcho row: slow registration, no replay resilience, no noise
+    // immunity.
+    assert!(earecho.registration_seconds > 1.0);
+    assert!(!earecho.replay_resilient);
+    assert!(!earecho.noise_immune);
+}
+
+#[test]
+fn mandipass_structural_properties_hold() {
+    // RTC: one probe is n / fs seconds — far under the 1 s budget.
+    let config = PipelineConfig::default();
+    let rtc = config.n as f64 / 350.0;
+    assert!(rtc <= 1.0);
+
+    // RARA: a template transformed under a revoked matrix scores far
+    // from its replacement.
+    let dim = 128;
+    let print = MandiblePrint::new((0..dim).map(|i| (i % 7) as f32 / 7.0).collect());
+    let old = GaussianMatrix::generate(1, dim).transform(&print).expect("dims match");
+    let new = GaussianMatrix::generate(2, dim).transform(&print).expect("dims match");
+    assert!(cosine_distance(old.as_slice(), new.as_slice()) > config.threshold);
+}
+
+#[test]
+fn acoustic_noise_does_not_touch_the_imu_path() {
+    // IAN by construction: ambient sound is an acoustic field; the
+    // MandiPass probe is an intracorporal vibration recorded by an IMU.
+    // The simulator has no coupling term from ambient audio into the IMU
+    // axes, mirroring the physical isolation the paper claims, so a
+    // recording is bit-identical regardless of any "ambient noise" a
+    // test scenario might describe.
+    use mandipass_imu_sim::{Condition, Population, Recorder};
+    let pop = Population::generate(2, 5);
+    let recorder = Recorder::default();
+    let a = recorder.record(&pop.users()[0], Condition::Normal, 3);
+    let b = recorder.record(&pop.users()[0], Condition::Normal, 3);
+    assert_eq!(a, b);
+}

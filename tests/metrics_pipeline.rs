@@ -1,0 +1,57 @@
+//! Cross-crate integration of the evaluation harness: pair enumeration
+//! and FAR/FRR/EER over real pipeline embeddings at smoke-test scale.
+
+use mandipass_bench::{EvalScale, TrainedStack};
+use mandipass_eval::metrics::{eer, far_at, frr_at, vsr_at};
+use mandipass_eval::pairs::ScoreSet;
+use mandipass_eval::split::{grouped_holdout, leave_one_out};
+use mandipass_imu_sim::Condition;
+
+#[test]
+fn smoke_scale_evaluation_produces_consistent_metrics() {
+    let mut stack = TrainedStack::build(EvalScale::smoke_test()).expect("training succeeds");
+    let eval = stack.main_evaluation();
+
+    // Pair counts follow the combinatorics of Eqs. 9-10.
+    let per_user: Vec<usize> = eval.per_user.iter().map(Vec::len).collect();
+    let expected_genuine: usize = per_user.iter().map(|&n| n * (n - 1) / 2).sum();
+    assert_eq!(eval.scores.genuine.len(), expected_genuine);
+
+    // The EER threshold balances the two error rates.
+    let t = eval.eer_point.threshold;
+    let far = far_at(&eval.scores.impostor, t);
+    let frr = frr_at(&eval.scores.genuine, t);
+    assert!((far - frr).abs() <= 0.2, "far {far} vs frr {frr}");
+
+    // VSR is the complement of FRR.
+    assert!((vsr_at(&eval.scores.genuine, t) - (1.0 - frr)).abs() < 1e-12);
+
+    // Distances are valid cosine distances.
+    for d in eval.scores.genuine.iter().chain(&eval.scores.impostor) {
+        assert!((-1e-9..=2.0 + 1e-9).contains(d));
+    }
+}
+
+#[test]
+fn score_set_from_real_embeddings_orders_correctly() {
+    let mut stack = TrainedStack::build(EvalScale::smoke_test()).expect("training succeeds");
+    let users: Vec<_> = stack.held_out_users().to_vec();
+    let per_user: Vec<Vec<Vec<f32>>> = users
+        .iter()
+        .map(|u| stack.embeddings_for(u, Condition::Normal, 6, 0x9999))
+        .collect();
+    let scores = ScoreSet::from_embeddings(&per_user);
+    assert!(scores.genuine_mean() < scores.impostor_mean());
+    assert!(eer(&scores.genuine, &scores.impostor).is_some());
+}
+
+#[test]
+fn fold_generators_cover_the_cohort() {
+    for n in [3usize, 8, 34] {
+        let folds = leave_one_out(n);
+        assert_eq!(folds.len(), n);
+        let grouped = grouped_holdout(n, 5);
+        let covered: usize = grouped.iter().map(|f| f.held_out.len()).sum();
+        assert_eq!(covered, n);
+    }
+}

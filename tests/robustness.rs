@@ -1,0 +1,160 @@
+//! Cross-crate robustness and failure-injection tests: the pipeline under
+//! every condition generator, degenerate sensors, and hostile inputs.
+
+use mandipass::gradient_array::GradientArray;
+use mandipass::prelude::PipelineConfig;
+use mandipass::preprocess::preprocess;
+use mandipass::MandiPassError;
+use mandipass_imu_sim::recorder::SessionJitter;
+use mandipass_imu_sim::{Condition, ImuModel, Population, Recorder};
+
+fn cohort() -> (Population, Recorder) {
+    (Population::generate(4, 31337), Recorder::default())
+}
+
+#[test]
+fn every_condition_preprocesses() {
+    let (pop, recorder) = cohort();
+    let config = PipelineConfig::default();
+    let conditions = [
+        Condition::Normal,
+        Condition::Lollipop,
+        Condition::Water,
+        Condition::Walk,
+        Condition::Run,
+        Condition::ToneHigh,
+        Condition::ToneLow,
+        Condition::Orientation(90),
+        Condition::Orientation(180),
+        Condition::Orientation(270),
+        Condition::LeftEar,
+    ];
+    for condition in conditions {
+        let mut ok = 0;
+        for seed in 0..5 {
+            let rec = recorder.record(&pop.users()[0], condition, seed);
+            if preprocess(&rec, &config).is_ok() {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 4, "{condition}: only {ok}/5 probes preprocessed");
+    }
+}
+
+#[test]
+fn both_imu_parts_work_end_to_end() {
+    let (pop, _) = cohort();
+    let config = PipelineConfig::default();
+    for imu in [ImuModel::mpu9250(), ImuModel::mpu6050()] {
+        let recorder = Recorder { imu, ..Recorder::default() };
+        let rec = recorder.record(&pop.users()[1], Condition::Normal, 7);
+        let arr = preprocess(&rec, &config).expect("preprocesses");
+        let grad = GradientArray::from_signal_array(&arr, config.half_n());
+        assert_eq!(grad.axes(), 6);
+        assert_eq!(grad.half_n(), 30);
+        assert!(grad.to_f32().iter().all(|v| v.is_finite()));
+    }
+}
+
+#[test]
+fn spiky_sensor_is_cleaned_by_mad_stage() {
+    let (pop, recorder) = cohort();
+    let config = PipelineConfig::default();
+    let mut imu = recorder.imu.clone();
+    imu.outlier_probability = 0.08; // pathological part
+    let spiky = Recorder { imu, ..recorder };
+    let mut ok = 0;
+    for seed in 0..10 {
+        let rec = spiky.record(&pop.users()[0], Condition::Normal, seed);
+        if let Ok(arr) = preprocess(&rec, &config) {
+            ok += 1;
+            // After MAD repair, filtering and normalisation, values are
+            // bounded by construction.
+            for axis in arr.iter() {
+                assert!(axis.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            }
+        }
+    }
+    assert!(ok >= 7, "only {ok}/10 spiky recordings survived preprocessing");
+}
+
+#[test]
+fn silent_recording_yields_typed_detection_error() {
+    let (pop, recorder) = cohort();
+    let mut user = pop.users()[0].clone();
+    user.vocal.force_positive = 1e-9;
+    user.vocal.force_negative = 1e-9;
+    user.vocal.harmonics = vec![0.0; 6];
+    let rec = recorder.record(&user, Condition::Normal, 1);
+    let err = preprocess(&rec, &PipelineConfig::default()).unwrap_err();
+    assert!(matches!(err, MandiPassError::Dsp(mandipass_dsp::DspError::VibrationNotFound)));
+}
+
+#[test]
+fn noise_free_recordings_of_one_user_are_nearly_identical() {
+    let (pop, _) = cohort();
+    let recorder = Recorder { jitter: SessionJitter::none(), ..Recorder::default() };
+    let config = PipelineConfig::default();
+    let a = preprocess(&recorder.record(&pop.users()[2], Condition::Normal, 1), &config)
+        .expect("preprocesses");
+    let b = preprocess(&recorder.record(&pop.users()[2], Condition::Normal, 2), &config)
+        .expect("preprocesses");
+    for (ra, rb) in a.iter().zip(b.iter()) {
+        for (x, y) in ra.iter().zip(rb) {
+            assert!((x - y).abs() < 1e-9, "noise-free probes differ: {x} vs {y}");
+        }
+    }
+}
+
+#[test]
+fn conditioned_arrays_stay_closer_to_own_user_than_to_others() {
+    // The raw-feature version of the Figs. 12-14 claims: for each
+    // condition, a user's conditioned array is closer (on average) to
+    // their own normal arrays than another user's normal arrays are.
+    use mandipass::similarity::cosine_distance;
+    let (pop, recorder) = cohort();
+    let config = PipelineConfig::default();
+    let flat = |rec: &mandipass_imu_sim::Recording| -> Option<Vec<f32>> {
+        let arr = preprocess(rec, &config).ok()?;
+        Some(GradientArray::from_signal_array(&arr, 30).to_f32())
+    };
+    let user = &pop.users()[0];
+    let other = &pop.users()[1];
+    let normal: Vec<Vec<f32>> =
+        (0..6).filter_map(|s| flat(&recorder.record(user, Condition::Normal, 100 + s))).collect();
+    for condition in [Condition::Lollipop, Condition::Water, Condition::Walk, Condition::Run] {
+        let conditioned: Vec<Vec<f32>> = (0..6)
+            .filter_map(|s| flat(&recorder.record(user, condition, 200 + s)))
+            .collect();
+        let foreign: Vec<Vec<f32>> =
+            (0..6).filter_map(|s| flat(&recorder.record(other, Condition::Normal, 300 + s))).collect();
+        let mean_to = |set: &[Vec<f32>]| -> f64 {
+            let mut total = 0.0;
+            let mut n = 0;
+            for a in &normal {
+                for b in set {
+                    total += cosine_distance(a, b);
+                    n += 1;
+                }
+            }
+            total / f64::from(n as u32)
+        };
+        let own = mean_to(&conditioned);
+        let imp = mean_to(&foreign);
+        assert!(own < imp, "{condition}: conditioned own {own:.3} !< impostor {imp:.3}");
+    }
+}
+
+#[test]
+fn axis_masked_pipeline_keeps_shape() {
+    let (pop, recorder) = cohort();
+    for count in 1..=6 {
+        let mut config = PipelineConfig::default();
+        config.axis_mask = PipelineConfig::axis_mask_first(count);
+        let rec = recorder.record(&pop.users()[3], Condition::Normal, 5);
+        let arr = preprocess(&rec, &config).expect("preprocesses");
+        assert_eq!(arr.axis_count(), 6, "masking must not change the array shape");
+        let zeroed = (count..6).all(|j| arr.axis(j).iter().all(|&v| v == 0.0));
+        assert!(zeroed, "axes beyond {count} must be zeroed");
+    }
+}
