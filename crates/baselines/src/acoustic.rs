@@ -6,8 +6,8 @@
 //! that breaks both baselines' noise immunity, and that an IMU-based
 //! system does not share.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mandipass_util::rand::rngs::StdRng;
+use mandipass_util::rand::{Rng, SeedableRng};
 
 /// Audio sample rate of the acoustic channel, Hz.
 pub const AUDIO_RATE_HZ: f64 = 8000.0;
@@ -68,7 +68,9 @@ impl AcousticChannel {
     /// A noisy environment (street / café level relative to probe
     /// amplitude 1.0).
     pub fn noisy(level: f64) -> Self {
-        AcousticChannel { ambient_noise: level }
+        AcousticChannel {
+            ambient_noise: level,
+        }
     }
 
     /// Plays `probe` through `ir` and records at the microphone,

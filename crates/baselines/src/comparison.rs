@@ -79,7 +79,12 @@ pub struct BaselineBench {
 
 impl Default for BaselineBench {
     fn default() -> Self {
-        BaselineBench { users: 10, probes_per_user: 12, noise_level: 2.0, seed: 0x7461_626c }
+        BaselineBench {
+            users: 10,
+            probes_per_user: 12,
+            noise_level: 2.0,
+            seed: 0x7461_626c,
+        }
     }
 }
 
@@ -97,9 +102,10 @@ impl BaselineBench {
         let proto = SkullConduct::new(1.0); // threshold set from EER below
 
         // Score populations at the system's own operating point.
-        let (genuine, impostor) = self.score_populations(|user, seed| {
-            proto.probe_features(user, &quiet, seed)
-        }, &cohort);
+        let (genuine, impostor) = self.score_populations(
+            |user, seed| proto.probe_features(user, &quiet, seed),
+            &cohort,
+        );
         let point = eer(&genuine, &impostor).expect("non-empty score sets");
         let frr = mandipass_eval::metrics::frr_at(&genuine, point.threshold);
 
@@ -141,9 +147,10 @@ impl BaselineBench {
         let quiet = AcousticChannel::quiet();
         let proto = EarEcho::new(1.0);
 
-        let (genuine, impostor) = self.score_populations(|user, seed| {
-            proto.probe_features(user, &quiet, seed)
-        }, &cohort);
+        let (genuine, impostor) = self.score_populations(
+            |user, seed| proto.probe_features(user, &quiet, seed),
+            &cohort,
+        );
         let point = eer(&genuine, &impostor).expect("non-empty score sets");
         let frr = mandipass_eval::metrics::frr_at(&genuine, point.threshold);
 
@@ -179,11 +186,7 @@ impl BaselineBench {
 
     /// Builds genuine/impostor cosine-distance populations for a feature
     /// extractor over the cohort.
-    fn score_populations<F>(
-        &self,
-        extract: F,
-        cohort: &[AcousticUser],
-    ) -> (Vec<f64>, Vec<f64>)
+    fn score_populations<F>(&self, extract: F, cohort: &[AcousticUser]) -> (Vec<f64>, Vec<f64>)
     where
         F: Fn(&AcousticUser, u64) -> Vec<f64>,
     {
@@ -213,7 +216,11 @@ mod tests {
 
     #[test]
     fn skullconduct_matches_paper_row() {
-        let bench = BaselineBench { users: 6, probes_per_user: 8, ..BaselineBench::default() };
+        let bench = BaselineBench {
+            users: 6,
+            probes_per_user: 8,
+            ..BaselineBench::default()
+        };
         let props = bench.measure_skullconduct();
         let (rtc, _frr, rara, ian) = props.checkmarks();
         assert!(rtc, "SkullConduct registration should be under 1 s");
@@ -223,7 +230,11 @@ mod tests {
 
     #[test]
     fn earecho_matches_paper_row() {
-        let bench = BaselineBench { users: 6, probes_per_user: 8, ..BaselineBench::default() };
+        let bench = BaselineBench {
+            users: 6,
+            probes_per_user: 8,
+            ..BaselineBench::default()
+        };
         let props = bench.measure_earecho();
         let (rtc, _frr, rara, ian) = props.checkmarks();
         assert!(!rtc, "EarEcho registration should exceed 1 s");

@@ -7,7 +7,9 @@
 //! several wearing positions (RTC well above 1 s); the template is not
 //! cancelable, and the in-ear microphone inherits ambient noise.
 
-use crate::acoustic::{chirp_probe, log_band_features, AcousticChannel, AcousticUser, AUDIO_RATE_HZ};
+use crate::acoustic::{
+    chirp_probe, log_band_features, AcousticChannel, AcousticUser, AUDIO_RATE_HZ,
+};
 use mandipass::similarity::cosine_distance;
 
 /// Number of filterbank bands in the EarEcho feature.
@@ -35,7 +37,11 @@ pub struct EarEcho {
 impl EarEcho {
     /// Creates a verifier with the given cosine-distance threshold.
     pub fn new(threshold: f64) -> Self {
-        EarEcho { probe: chirp_probe(PROBE_LEN), threshold, template: None }
+        EarEcho {
+            probe: chirp_probe(PROBE_LEN),
+            threshold,
+            template: None,
+        }
     }
 
     /// Registration time cost in seconds: `ENROLL_PROBES` probes plus
@@ -148,7 +154,11 @@ mod tests {
     #[test]
     fn registration_exceeds_one_second() {
         let (sys, ..) = setup();
-        assert!(sys.registration_seconds() > 1.0, "RTC {}", sys.registration_seconds());
+        assert!(
+            sys.registration_seconds() > 1.0,
+            "RTC {}",
+            sys.registration_seconds()
+        );
     }
 
     #[test]

@@ -35,7 +35,11 @@ impl SkullConduct {
     /// Creates a verifier with the given decision threshold on cosine
     /// distance.
     pub fn new(threshold: f64) -> Self {
-        SkullConduct { probe: white_noise_probe(PROBE_LEN, 0x736b_756c), threshold, template: None }
+        SkullConduct {
+            probe: white_noise_probe(PROBE_LEN, 0x736b_756c),
+            threshold,
+            template: None,
+        }
     }
 
     /// Registration time cost in seconds: one probe.
@@ -141,7 +145,10 @@ mod tests {
         sys.enroll(&user, &channel, 1);
         let genuine = sys.verify(&user, &channel, 30).1;
         let impostor = sys.verify(&other, &channel, 30).1;
-        assert!(genuine < impostor, "genuine {genuine} vs impostor {impostor}");
+        assert!(
+            genuine < impostor,
+            "genuine {genuine} vs impostor {impostor}"
+        );
     }
 
     #[test]
@@ -152,7 +159,10 @@ mod tests {
         let stolen = sys.template().unwrap().to_vec();
         sys.reenroll(&user, &channel, 2); // "revocation"
         let (accepted, d) = sys.verify_features(&stolen);
-        assert!(accepted, "stolen template rejected (d = {d}) — RARA would hold");
+        assert!(
+            accepted,
+            "stolen template rejected (d = {d}) — RARA would hold"
+        );
     }
 
     #[test]

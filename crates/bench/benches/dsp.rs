@@ -1,13 +1,13 @@
 //! Criterion benches for the DSP substrate: each §IV preprocessing stage
 //! in isolation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mandipass_dsp::detect::{detect_vibration_start, DetectorConfig};
 use mandipass_dsp::fft::magnitude_spectrum;
 use mandipass_dsp::filter::Butterworth;
 use mandipass_dsp::gradient::directional_gradients;
 use mandipass_dsp::normalize::min_max;
 use mandipass_dsp::outlier::{clean_segment, DEFAULT_MAD_THRESHOLD};
+use mandipass_util::bench::{criterion_group, criterion_main, Criterion};
 
 fn recording_like(len: usize) -> Vec<f64> {
     let mut sig = vec![0.0; 60];

@@ -1,12 +1,12 @@
 //! Criterion benches for the §VII.E overhead table: the per-request cost
 //! of every deployed pipeline stage.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mandipass::gradient_array::GradientArray;
 use mandipass::prelude::*;
 use mandipass::preprocess::preprocess;
 use mandipass::similarity::cosine_distance;
 use mandipass_imu_sim::{Condition, Population, Recorder};
+use mandipass_util::bench::{criterion_group, criterion_main, Criterion};
 
 fn deployed_setup() -> (Recorder, mandipass_imu_sim::Recording, BiometricExtractor) {
     let pop = Population::generate(2, 2021);
@@ -36,12 +36,16 @@ fn bench_gradient_array(c: &mut Criterion) {
 }
 
 fn bench_extract(c: &mut Criterion) {
-    let (_, rec, mut extractor) = deployed_setup();
+    let (_, rec, extractor) = deployed_setup();
     let config = PipelineConfig::default();
     let arr = preprocess(&rec, &config).expect("probe preprocesses");
     let grad = GradientArray::from_signal_array(&arr, 30);
     c.bench_function("mandibleprint_extract", |b| {
-        b.iter(|| extractor.extract(&[std::hint::black_box(&grad)]).expect("extracts"))
+        b.iter(|| {
+            extractor
+                .extract(&[std::hint::black_box(&grad)])
+                .expect("extracts")
+        })
     });
 }
 
@@ -49,7 +53,11 @@ fn bench_template_transform(c: &mut Criterion) {
     let matrix = GaussianMatrix::generate(7, 512);
     let print = MandiblePrint::new(vec![0.5; 512]);
     c.bench_function("cancelable_transform_512d", |b| {
-        b.iter(|| matrix.transform(std::hint::black_box(&print)).expect("dims match"))
+        b.iter(|| {
+            matrix
+                .transform(std::hint::black_box(&print))
+                .expect("dims match")
+        })
     });
 }
 
@@ -65,9 +73,15 @@ fn bench_end_to_end_verify(c: &mut Criterion) {
     let (_, rec, extractor) = deployed_setup();
     let mut system = MandiPass::new(extractor, PipelineConfig::default());
     let matrix = GaussianMatrix::generate(9, system.embedding_dim());
-    system.enroll(0, std::slice::from_ref(&rec), &matrix).expect("enrolment");
+    system
+        .enroll(0, std::slice::from_ref(&rec), &matrix)
+        .expect("enrolment");
     c.bench_function("verify_end_to_end", |b| {
-        b.iter(|| system.verify(0, std::hint::black_box(&rec), &matrix).expect("verifies"))
+        b.iter(|| {
+            system
+                .verify(0, std::hint::black_box(&rec), &matrix)
+                .expect("verifies")
+        })
     });
 }
 
@@ -78,7 +92,11 @@ fn bench_recording_simulation(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            recorder.record(std::hint::black_box(&pop.users()[0]), Condition::Normal, seed)
+            recorder.record(
+                std::hint::black_box(&pop.users()[0]),
+                Condition::Normal,
+                seed,
+            )
         })
     });
 }

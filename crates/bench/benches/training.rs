@@ -1,19 +1,21 @@
 //! Criterion benches for the training path: one optimiser step of the
 //! two-branch extractor, and the VSP dataset synthesis rate.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mandipass::prelude::*;
 use mandipass::train::{TrainingConfig, VspTrainer};
 use mandipass_imu_sim::{Population, Recorder};
 use mandipass_nn::layer::Layer;
 use mandipass_nn::optim::{Adam, Optimizer};
 use mandipass_nn::tensor::Tensor;
+use mandipass_util::bench::{criterion_group, criterion_main, BatchSize, Criterion};
 
 fn bench_train_batch(c: &mut Criterion) {
     let mut extractor =
         BiometricExtractor::new(ExtractorConfig::paper(24)).expect("valid architecture");
     let batch = 32usize;
-    let data: Vec<f32> = (0..batch * 2 * 6 * 30).map(|i| ((i * 31 % 97) as f32) / 97.0).collect();
+    let data: Vec<f32> = (0..batch * 2 * 6 * 30)
+        .map(|i| ((i * 31 % 97) as f32) / 97.0)
+        .collect();
     let input = Tensor::from_vec(vec![batch, 2, 6, 30], data).expect("shape matches");
     let labels: Vec<usize> = (0..batch).map(|i| i % 24).collect();
     let mut adam = Adam::new(1e-3);

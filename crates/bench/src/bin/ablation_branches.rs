@@ -18,7 +18,12 @@ fn eer_for(two_branch: bool, scale: &EvalScale) -> f64 {
     let extractor = trainer
         .train(&population.users()[..scale.hired()], &recorder)
         .expect("training succeeds");
-    let mut stack = TrainedStack { scale: scale.clone(), population, recorder, extractor };
+    let mut stack = TrainedStack {
+        scale: scale.clone(),
+        population,
+        recorder,
+        extractor,
+    };
     stack.main_evaluation().eer_point.eer
 }
 

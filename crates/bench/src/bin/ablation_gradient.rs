@@ -31,7 +31,9 @@ fn main() {
         let mut signals = Vec::new();
         for p in 0..probes as u64 {
             let rec = recorder.record(user, Condition::Normal, 0x9ad ^ (p << 16));
-            let Ok(arr) = preprocess(&rec, &config) else { continue };
+            let Ok(arr) = preprocess(&rec, &config) else {
+                continue;
+            };
             grads.push(GradientArray::from_signal_array(&arr, config.half_n()).to_f32());
             signals.push(arr.to_flat().iter().map(|&v| v as f32).collect());
         }
@@ -41,8 +43,12 @@ fn main() {
 
     let grad_scores = ScoreSet::from_embeddings(&grad_sets);
     let sig_scores = ScoreSet::from_embeddings(&signal_sets);
-    let grad_eer = eer(&grad_scores.genuine, &grad_scores.impostor).expect("scores").eer;
-    let sig_eer = eer(&sig_scores.genuine, &sig_scores.impostor).expect("scores").eer;
+    let grad_eer = eer(&grad_scores.genuine, &grad_scores.impostor)
+        .expect("scores")
+        .eer;
+    let sig_eer = eer(&sig_scores.genuine, &sig_scores.impostor)
+        .expect("scores")
+        .eer;
 
     let mut table =
         ReportTable::new("Ablation: gradient/sign-split representation vs raw signal array");
@@ -63,7 +69,11 @@ fn main() {
         )
         .with_note(format!(
             "gradient step {} raw separability by {:.2} pp",
-            if grad_eer <= sig_eer { "improves" } else { "worsens" },
+            if grad_eer <= sig_eer {
+                "improves"
+            } else {
+                "worsens"
+            },
             (sig_eer - grad_eer).abs() * 100.0
         )),
     );

@@ -16,7 +16,10 @@ use mandipass_imu_sim::{Condition, Population, Recorder};
 
 fn measure(jitter: SessionJitter, users: usize, probes: usize, seed: u64) -> (f64, f64, f64) {
     let pop = Population::generate(users, seed);
-    let recorder = Recorder { jitter, ..Recorder::default() };
+    let recorder = Recorder {
+        jitter,
+        ..Recorder::default()
+    };
     let config = PipelineConfig::default();
     let per_user: Vec<Vec<Vec<f32>>> = pop
         .users()
@@ -44,11 +47,41 @@ fn main() {
 
     let rows: [(&str, SessionJitter); 7] = [
         ("no jitter", SessionJitter::none()),
-        ("vocal only", SessionJitter { vocal: 1.0, ..SessionJitter::none() }),
-        ("wear only", SessionJitter { wear: 1.0, ..SessionJitter::none() }),
-        ("start offset only", SessionJitter { start_offset: true, ..SessionJitter::none() }),
-        ("sensor noise only", SessionJitter { sensor_noise: true, ..SessionJitter::none() }),
-        ("outliers only", SessionJitter { outliers: true, ..SessionJitter::none() }),
+        (
+            "vocal only",
+            SessionJitter {
+                vocal: 1.0,
+                ..SessionJitter::none()
+            },
+        ),
+        (
+            "wear only",
+            SessionJitter {
+                wear: 1.0,
+                ..SessionJitter::none()
+            },
+        ),
+        (
+            "start offset only",
+            SessionJitter {
+                start_offset: true,
+                ..SessionJitter::none()
+            },
+        ),
+        (
+            "sensor noise only",
+            SessionJitter {
+                sensor_noise: true,
+                ..SessionJitter::none()
+            },
+        ),
+        (
+            "outliers only",
+            SessionJitter {
+                outliers: true,
+                ..SessionJitter::none()
+            },
+        ),
         ("all (deployed)", SessionJitter::default()),
     ];
 
@@ -59,7 +92,10 @@ fn main() {
             "ablation",
             format!("raw EER, {name}"),
             "n/a (simulator diagnostic)",
-            format!("{:.1} % (g {genuine:.3} / i {impostor:.3})", point_eer * 100.0),
+            format!(
+                "{:.1} % (g {genuine:.3} / i {impostor:.3})",
+                point_eer * 100.0
+            ),
             true,
         ));
     }

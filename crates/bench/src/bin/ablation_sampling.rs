@@ -20,7 +20,10 @@ fn raw_eer(dlpf: Option<f64>, users: usize, probes: usize, seed: u64) -> Option<
     let pop = Population::generate(users, seed);
     let mut imu = ImuModel::mpu9250();
     imu.dlpf_cutoff_hz = dlpf;
-    let recorder = Recorder { imu, ..Recorder::default() };
+    let recorder = Recorder {
+        imu,
+        ..Recorder::default()
+    };
     let config = PipelineConfig::default();
     let per_user: Vec<Vec<Vec<f32>>> = pop
         .users()
@@ -66,7 +69,11 @@ fn main() {
         )
         .with_note(format!(
             "DLPF {} raw separability by {:.2} pp",
-            if with_dlpf <= without { "improves" } else { "worsens" },
+            if with_dlpf <= without {
+                "improves"
+            } else {
+                "worsens"
+            },
             (without - with_dlpf).abs() * 100.0
         )),
     );

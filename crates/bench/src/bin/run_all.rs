@@ -13,13 +13,13 @@ fn main() {
     let scale = EvalScale::from_env();
     eprintln!("{}", scale.describe());
 
-    let mut tables: Vec<ReportTable> = Vec::new();
-
     // Stackless preprocessing/feasibility artifacts.
-    tables.push(experiments::fig01_propagation(&scale));
-    tables.push(experiments::fig05_detection(&scale));
-    tables.push(experiments::fig06_outliers(&scale));
-    tables.push(experiments::fig07_sfs(&scale));
+    let mut tables: Vec<ReportTable> = vec![
+        experiments::fig01_propagation(&scale),
+        experiments::fig05_detection(&scale),
+        experiments::fig06_outliers(&scale),
+        experiments::fig07_sfs(&scale),
+    ];
 
     // One shared trained stack for the single-training artifacts.
     eprintln!("training the shared extractor stack…");
@@ -67,6 +67,10 @@ fn main() {
     }
     println!(
         "overall: {}",
-        if all_hold { "every artifact's shape holds" } else { "SHAPE MISMATCHES PRESENT" }
+        if all_hold {
+            "every artifact's shape holds"
+        } else {
+            "SHAPE MISMATCHES PRESENT"
+        }
     );
 }

@@ -84,8 +84,11 @@ pub fn fig05_detection(scale: &EvalScale) -> ReportTable {
         start.is_ok() && quiet_max < 250.0 && at_start > 250.0,
     ));
 
-    let baselines: Vec<f64> =
-        rec.axes().iter().map(|a| a[..20].iter().sum::<f64>() / 20.0).collect();
+    let baselines: Vec<f64> = rec
+        .axes()
+        .iter()
+        .map(|a| a[..20].iter().sum::<f64>() / 20.0)
+        .collect();
     let spread = baselines.iter().cloned().fold(f64::MIN, f64::max)
         - baselines.iter().cloned().fold(f64::MAX, f64::min);
     table.push(ExperimentRecord::new(
@@ -108,7 +111,10 @@ pub fn fig06_outliers(scale: &EvalScale) -> ReportTable {
     // spikes, then check detection and repair.
     let mut imu = ImuModel::mpu9250();
     imu.outlier_probability = 0.05;
-    let spiky = Recorder { imu, ..recorder.clone() };
+    let spiky = Recorder {
+        imu,
+        ..recorder.clone()
+    };
     let mut found = 0usize;
     let mut peak_before = 0.0f64;
     let mut peak_after = 0.0f64;
@@ -116,12 +122,9 @@ pub fn fig06_outliers(scale: &EvalScale) -> ReportTable {
     for s in 0..10u64 {
         let rec = spiky.record(&pop.users()[0], Condition::Normal, 0xf6 ^ s);
         let axes: Vec<&[f64]> = rec.axes().iter().map(Vec::as_slice).collect();
-        let Ok(mut segs) = mandipass_dsp::detect::segment_axes(
-            rec.az(),
-            &axes,
-            config.n,
-            &config.detector(),
-        ) else {
+        let Ok(mut segs) =
+            mandipass_dsp::detect::segment_axes(rec.az(), &axes, config.n, &config.detector())
+        else {
             continue;
         };
         for seg in &mut segs {
@@ -223,13 +226,16 @@ pub fn fig07_sfs(scale: &EvalScale) -> ReportTable {
     if let Some(last) = table.records.last_mut() {
         let _ = last;
     }
-    table.push(ExperimentRecord::new(
-        "Fig 7",
-        "best statistical-feature accuracy",
-        "< 65 %",
-        format!("{:.1} %", best * 100.0),
-        best < 0.80,
-    ).with_note("claim: statistical features far below the deep extractor"));
+    table.push(
+        ExperimentRecord::new(
+            "Fig 7",
+            "best statistical-feature accuracy",
+            "< 65 %",
+            format!("{:.1} %", best * 100.0),
+            best < 0.80,
+        )
+        .with_note("claim: statistical features far below the deep extractor"),
+    );
     table
 }
 
@@ -259,25 +265,24 @@ pub fn fig10a_classifiers(stack: &mut TrainedStack) -> ReportTable {
     // The biometric extractor as a classifier: nearest-centroid over its
     // embeddings (the deployed verifier is a distance test against a
     // template, so nearest-template classification is its native mode).
-    let embed =
-        |stack: &mut TrainedStack, data: &LabelledData| -> (Vec<Vec<f32>>, Vec<usize>) {
-            let arrays: Vec<Vec<f32>> = data
-                .features
+    let embed = |stack: &mut TrainedStack, data: &LabelledData| -> (Vec<Vec<f32>>, Vec<usize>) {
+        let arrays: Vec<Vec<f32>> = data
+            .features
+            .iter()
+            .map(|f| f.iter().map(|&v| v as f32).collect())
+            .collect();
+        let mut embeddings = Vec::with_capacity(arrays.len());
+        for chunk in arrays.chunks(64) {
+            let grads: Vec<GradientArray> = chunk
                 .iter()
-                .map(|f| f.iter().map(|&v| v as f32).collect())
+                .map(|flat| flat_to_gradient_array(flat, stack.scale.channels))
                 .collect();
-            let mut embeddings = Vec::with_capacity(arrays.len());
-            for chunk in arrays.chunks(64) {
-                let grads: Vec<GradientArray> = chunk
-                    .iter()
-                    .map(|flat| flat_to_gradient_array(flat, stack.scale.channels))
-                    .collect();
-                let refs: Vec<&GradientArray> = grads.iter().collect();
-                let prints = stack.extractor.extract(&refs).expect("shape matches");
-                embeddings.extend(prints.into_iter().map(|p| p.as_slice().to_vec()));
-            }
-            (embeddings, data.labels.clone())
-        };
+            let refs: Vec<&GradientArray> = grads.iter().collect();
+            let prints = stack.extractor.extract(&refs).expect("shape matches");
+            embeddings.extend(prints.into_iter().map(|p| p.as_slice().to_vec()));
+        }
+        (embeddings, data.labels.clone())
+    };
     let (train_emb, train_labels) = embed(stack, &train);
     let (test_emb, test_labels) = embed(stack, &test);
     let classes = train_labels.iter().max().map_or(0, |&m| m + 1);
@@ -384,8 +389,11 @@ pub fn fig10c_gender(stack: &mut TrainedStack, threshold: f64) -> ReportTable {
         per_sex.push((user.sex, vsr, embeds.len()));
     }
     for sex in [Sex::Male, Sex::Female] {
-        let group: Vec<f64> =
-            per_sex.iter().filter(|(s, _, _)| *s == sex).map(|&(_, v, _)| v).collect();
+        let group: Vec<f64> = per_sex
+            .iter()
+            .filter(|(s, _, _)| *s == sex)
+            .map(|&(_, v, _)| v)
+            .collect();
         if group.is_empty() {
             continue;
         }
@@ -399,10 +407,16 @@ pub fn fig10c_gender(stack: &mut TrainedStack, threshold: f64) -> ReportTable {
             mean > 0.7,
         ));
     }
-    let male: Vec<f64> =
-        per_sex.iter().filter(|(s, _, _)| *s == Sex::Male).map(|&(_, v, _)| v).collect();
-    let female: Vec<f64> =
-        per_sex.iter().filter(|(s, _, _)| *s == Sex::Female).map(|&(_, v, _)| v).collect();
+    let male: Vec<f64> = per_sex
+        .iter()
+        .filter(|(s, _, _)| *s == Sex::Male)
+        .map(|&(_, v, _)| v)
+        .collect();
+    let female: Vec<f64> = per_sex
+        .iter()
+        .filter(|(s, _, _)| *s == Sex::Female)
+        .map(|&(_, v, _)| v)
+        .collect();
     if !male.is_empty() && !female.is_empty() {
         let mm = male.iter().sum::<f64>() / male.len() as f64;
         let fm = female.iter().sum::<f64>() / female.len() as f64;
@@ -424,8 +438,10 @@ pub fn fig11a_axes(stack: &mut TrainedStack) -> ReportTable {
     let mut table = ReportTable::new("Fig 11(a): effect of involved axes");
     let mut measured = Vec::new();
     for count in 1..=6 {
-        let mut config = PipelineConfig::default();
-        config.axis_mask = PipelineConfig::axis_mask_first(count);
+        let config = PipelineConfig {
+            axis_mask: PipelineConfig::axis_mask_first(count),
+            ..Default::default()
+        };
         let eval = stack.evaluation_with_config(&config);
         measured.push(eval.eer_point.eer * 100.0);
     }
@@ -445,7 +461,14 @@ pub fn fig11a_axes(stack: &mut TrainedStack) -> ReportTable {
 
 /// Fig. 11(b): EER falls as the per-person training length grows.
 pub fn fig11b_trainlen(scale: &EvalScale, lengths: &[f64]) -> ReportTable {
-    let paper = [(10.0, 14.0), (20.0, 8.0), (30.0, 5.0), (40.0, 3.0), (50.0, 2.0), (60.0, 1.28)];
+    let paper = [
+        (10.0, 14.0),
+        (20.0, 8.0),
+        (30.0, 5.0),
+        (40.0, 3.0),
+        (50.0, 2.0),
+        (60.0, 1.28),
+    ];
     let mut table = ReportTable::new("Fig 11(b): effect of training set length");
     let mut measured = Vec::new();
     for &seconds in lengths {
@@ -461,7 +484,10 @@ pub fn fig11b_trainlen(scale: &EvalScale, lengths: &[f64]) -> ReportTable {
         let p = paper
             .iter()
             .min_by(|a, b| {
-                (a.0 - seconds).abs().partial_cmp(&(b.0 - seconds).abs()).expect("finite")
+                (a.0 - seconds)
+                    .abs()
+                    .partial_cmp(&(b.0 - seconds).abs())
+                    .expect("finite")
             })
             .map(|&(_, v)| v)
             .unwrap_or(f64::NAN);
@@ -481,7 +507,13 @@ pub fn fig11b_trainlen(scale: &EvalScale, lengths: &[f64]) -> ReportTable {
 
 /// Fig. 11(c): EER falls as the MandiblePrint dimension grows.
 pub fn fig11c_dim(scale: &EvalScale, dims: &[usize]) -> ReportTable {
-    let paper = [(32usize, 6.0), (64, 4.0), (128, 3.0), (256, 2.0), (512, 1.28)];
+    let paper = [
+        (32usize, 6.0),
+        (64, 4.0),
+        (128, 3.0),
+        (256, 2.0),
+        (512, 1.28),
+    ];
     let mut table = ReportTable::new("Fig 11(c): effect of MandiblePrint length");
     let mut measured = Vec::new();
     for &dim in dims {
@@ -579,9 +611,10 @@ pub fn fig13_orientation(stack: &mut TrainedStack, threshold: f64) -> ReportTabl
 /// enrolment).
 pub fn fig14_tone(stack: &mut TrainedStack, threshold: f64) -> ReportTable {
     let mut table = ReportTable::new("Fig 14: effect of voicing tone");
-    for (condition, label) in
-        [(Condition::ToneHigh, "high tone"), (Condition::ToneLow, "low tone")]
-    {
+    for (condition, label) in [
+        (Condition::ToneHigh, "high tone"),
+        (Condition::ToneLow, "low tone"),
+    ] {
         let vsr = condition_vsr(stack, condition, threshold, 0x14);
         table.push(ExperimentRecord::new(
             "Fig 14",
@@ -680,7 +713,10 @@ pub fn exp_security(stack: &mut TrainedStack, threshold: f64) -> ReportTable {
     let mut table = ReportTable::new("§VII.G: security assessment");
     let users: Vec<UserProfile> = stack.held_out_users().to_vec();
     let probes = stack.scale.probes_per_user.min(10);
-    let config = PipelineConfig { threshold, ..PipelineConfig::default() };
+    let config = PipelineConfig {
+        threshold,
+        ..PipelineConfig::default()
+    };
 
     // Zero-effort: no hum, so detection must fail — VSR 0 %.
     let mut zero_attempts = 0usize;
@@ -698,7 +734,10 @@ pub fn exp_security(stack: &mut TrainedStack, threshold: f64) -> ReportTable {
         "§VII.G",
         "zero-effort attack VSR",
         "0 %",
-        format!("{:.1} %", zero_accepts as f64 * 100.0 / zero_attempts.max(1) as f64),
+        format!(
+            "{:.1} %",
+            zero_accepts as f64 * 100.0 / zero_attempts.max(1) as f64
+        ),
         zero_accepts == 0,
     ));
 
@@ -706,8 +745,7 @@ pub fn exp_security(stack: &mut TrainedStack, threshold: f64) -> ReportTable {
     // impostor distribution, so FAR at the operating threshold.
     let mut vib_scores = Vec::new();
     for victim in users.iter().take(5) {
-        let victim_embeds =
-            stack.embeddings_for(victim, Condition::Normal, probes, 0x3a);
+        let victim_embeds = stack.embeddings_for(victim, Condition::Normal, probes, 0x3a);
         for attacker in users.iter().filter(|a| a.id != victim.id).take(6) {
             for s in 0..probes as u64 {
                 let probe = vibration_aware_probe(attacker, &stack.recorder, 0x3b ^ s);
@@ -734,8 +772,7 @@ pub fn exp_security(stack: &mut TrainedStack, threshold: f64) -> ReportTable {
     // Impersonation: mimicked voicing manner, attacker's mandible.
     let mut imp_scores = Vec::new();
     for victim in users.iter().take(5) {
-        let victim_embeds =
-            stack.embeddings_for(victim, Condition::Normal, probes, 0x4a);
+        let victim_embeds = stack.embeddings_for(victim, Condition::Normal, probes, 0x4a);
         for attacker in users.iter().filter(|a| a.id != victim.id).take(6) {
             for s in 0..probes as u64 {
                 let probe = impersonation_probe(attacker, victim, &stack.recorder, 0x4b ^ s);
@@ -873,8 +910,12 @@ pub fn table1_comparison(stack: &mut TrainedStack, threshold: f64) -> ReportTabl
     let replay_resilient = {
         let dim = stack.extractor.embedding_dim();
         let print = MandiblePrint::new(eval.per_user[0][0].clone());
-        let old = GaussianMatrix::generate(1, dim).transform(&print).expect("dims");
-        let new = GaussianMatrix::generate(2, dim).transform(&print).expect("dims");
+        let old = GaussianMatrix::generate(1, dim)
+            .transform(&print)
+            .expect("dims");
+        let new = GaussianMatrix::generate(2, dim)
+            .transform(&print)
+            .expect("dims");
         cosine_distance(old.as_slice(), new.as_slice()) >= threshold
     };
     let mandipass = SystemProperties {
@@ -902,11 +943,14 @@ pub fn table1_comparison(stack: &mut TrainedStack, threshold: f64) -> ReportTabl
         let shape = marks.0 == paper.0 && marks.2 == paper.2 && marks.3 == paper.3;
         table.push(ExperimentRecord::new(
             "Table I",
-            format!(
-                "{name}: RTC≤1s / FRR≤2% / RARA / IAN"
-            ),
+            format!("{name}: RTC≤1s / FRR≤2% / RARA / IAN"),
             format!("{:?}", paper),
-            format!("{:?} (RTC {:.2} s, FRR {:.2} %)", marks, props.registration_seconds, props.frr * 100.0),
+            format!(
+                "{:?} (RTC {:.2} s, FRR {:.2} %)",
+                marks,
+                props.registration_seconds,
+                props.frr * 100.0
+            ),
             shape,
         ));
     }

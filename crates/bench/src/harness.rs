@@ -48,7 +48,12 @@ impl TrainedStack {
         let population = Population::generate(scale.users, scale.seed);
         let trainer = VspTrainer::new(scale.training_config());
         let extractor = trainer.train(&population.users()[..scale.hired()], &recorder)?;
-        Ok(TrainedStack { scale, population, recorder, extractor })
+        Ok(TrainedStack {
+            scale,
+            population,
+            recorder,
+            extractor,
+        })
     }
 
     /// The held-out (deployed-role) users.
@@ -66,7 +71,13 @@ impl TrainedStack {
         probes: usize,
         seed_base: u64,
     ) -> Vec<Vec<f32>> {
-        self.embeddings_for_with_config(user, condition, probes, seed_base, &PipelineConfig::default())
+        self.embeddings_for_with_config(
+            user,
+            condition,
+            probes,
+            seed_base,
+            &PipelineConfig::default(),
+        )
     }
 
     /// Like [`TrainedStack::embeddings_for`] with an explicit pipeline
@@ -81,7 +92,9 @@ impl TrainedStack {
     ) -> Vec<Vec<f32>> {
         let mut out = Vec::with_capacity(probes);
         for p in 0..probes {
-            let rec = self.recorder.record(user, condition, seed_base ^ ((p as u64) << 32));
+            let rec = self
+                .recorder
+                .record(user, condition, seed_base ^ ((p as u64) << 32));
             let Ok(array) = preprocess(&rec, config) else {
                 continue;
             };
@@ -117,9 +130,15 @@ impl TrainedStack {
             })
             .collect();
         let scores = ScoreSet::from_embeddings(&per_user);
-        let point = eer(&scores.genuine, &scores.impostor)
-            .unwrap_or(EerPoint { threshold: 0.5, eer: 0.5 });
-        MainEvaluation { per_user, scores, eer_point: point }
+        let point = eer(&scores.genuine, &scores.impostor).unwrap_or(EerPoint {
+            threshold: 0.5,
+            eer: 0.5,
+        });
+        MainEvaluation {
+            per_user,
+            scores,
+            eer_point: point,
+        }
     }
 }
 

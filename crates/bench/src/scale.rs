@@ -154,12 +154,21 @@ mod tests {
         assert_eq!(s.embedding_dim, 512);
         assert_eq!(s.channels, [8, 16, 32]);
         assert_eq!(s.held_out, 10);
-        assert!(s.hired() >= 33, "at least the paper's 33 training identities");
+        assert!(
+            s.hired() >= 33,
+            "at least the paper's 33 training identities"
+        );
     }
 
     #[test]
     fn clamp_keeps_scale_sane() {
-        let mut s = EvalScale { users: 2, held_out: 5, probes_per_user: 0, epochs: 0, ..EvalScale::default() };
+        let mut s = EvalScale {
+            users: 2,
+            held_out: 5,
+            probes_per_user: 0,
+            epochs: 0,
+            ..EvalScale::default()
+        };
         s.clamp();
         assert!(s.users >= 3);
         assert!(s.held_out <= s.users - 2);

@@ -136,7 +136,12 @@ mod tests {
     #[test]
     fn zero_variance_feature_is_floored_not_nan() {
         let data = LabelledData::new(
-            vec![vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 0.1], vec![1.0, 0.9]],
+            vec![
+                vec![1.0, 0.0],
+                vec![1.0, 1.0],
+                vec![1.0, 0.1],
+                vec![1.0, 0.9],
+            ],
             vec![0, 1, 0, 1],
         );
         let mut nb = GaussianNaiveBayes::new();

@@ -17,7 +17,11 @@ impl LabelledData {
     ///
     /// Panics on count mismatch or ragged feature vectors.
     pub fn new(features: Vec<Vec<f64>>, labels: Vec<usize>) -> Self {
-        assert_eq!(features.len(), labels.len(), "one label per feature vector required");
+        assert_eq!(
+            features.len(),
+            labels.len(),
+            "one label per feature vector required"
+        );
         if let Some(first) = features.first() {
             assert!(
                 features.iter().all(|f| f.len() == first.len()),

@@ -17,7 +17,10 @@ impl KNearestNeighbors {
     /// Panics when `k` is zero.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        KNearestNeighbors { k, data: LabelledData::default() }
+        KNearestNeighbors {
+            k,
+            data: LabelledData::default(),
+        }
     }
 }
 
@@ -109,10 +112,7 @@ mod tests {
     #[test]
     fn majority_vote_resists_single_outlier() {
         // Two class-0 points near the query outvote one class-1 point on it.
-        let data = LabelledData::new(
-            vec![vec![0.0], vec![0.2], vec![0.1]],
-            vec![0, 0, 1],
-        );
+        let data = LabelledData::new(vec![vec![0.0], vec![0.2], vec![0.1]], vec![0, 0, 1]);
         let mut knn = KNearestNeighbors::new(3);
         knn.fit(&data);
         assert_eq!(knn.predict(&[0.1]), 0);

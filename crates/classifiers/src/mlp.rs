@@ -9,8 +9,8 @@ use mandipass_nn::layer::Layer;
 use mandipass_nn::loss::cross_entropy;
 use mandipass_nn::optim::{Adam, Optimizer};
 use mandipass_nn::prelude::{Linear, ReLU, Sequential};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mandipass_util::rand::rngs::StdRng;
+use mandipass_util::rand::SeedableRng;
 
 use crate::common::{Classifier, LabelledData};
 
@@ -51,7 +51,13 @@ impl MlpClassifier {
     pub fn with_params(hidden: usize, epochs: usize, learning_rate: f32, seed: u64) -> Self {
         assert!(hidden > 0, "hidden width must be positive");
         assert!(epochs > 0, "epochs must be positive");
-        MlpClassifier { hidden, epochs, learning_rate, seed, snapshot: None }
+        MlpClassifier {
+            hidden,
+            epochs,
+            learning_rate,
+            seed,
+            snapshot: None,
+        }
     }
 }
 
@@ -76,7 +82,7 @@ impl Classifier for MlpClassifier {
             data.labels.clone(),
         );
         let mut adam = Adam::new(self.learning_rate);
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x6d6c_70);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x006d_6c70);
         let shape = [dim];
         for _ in 0..self.epochs {
             dataset.shuffle(&mut rng);
@@ -154,13 +160,22 @@ mod tests {
         let mut mlp = MlpClassifier::with_params(16, 80, 2e-2, 5);
         let data = rings();
         mlp.fit(&data);
-        assert!(mlp.accuracy(&data) > 0.95, "accuracy {}", mlp.accuracy(&data));
+        assert!(
+            mlp.accuracy(&data) > 0.95,
+            "accuracy {}",
+            mlp.accuracy(&data)
+        );
     }
 
     #[test]
     fn snapshot_predict_matches_training_data() {
         let data = LabelledData::new(
-            vec![vec![0.0, 0.0], vec![5.0, 5.0], vec![0.2, 0.1], vec![4.8, 5.1]],
+            vec![
+                vec![0.0, 0.0],
+                vec![5.0, 5.0],
+                vec![0.2, 0.1],
+                vec![4.8, 5.1],
+            ],
             vec![0, 1, 0, 1],
         );
         let mut mlp = MlpClassifier::with_params(8, 60, 2e-2, 9);

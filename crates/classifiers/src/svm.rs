@@ -1,9 +1,9 @@
 //! Linear support vector machine, one-vs-rest, trained by hinge-loss SGD
 //! with L2 regularisation (Pegasos-style).
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use mandipass_util::rand::rngs::StdRng;
+use mandipass_util::rand::seq::SliceRandom;
+use mandipass_util::rand::SeedableRng;
 
 use crate::common::{Classifier, LabelledData};
 
@@ -30,7 +30,14 @@ impl LinearSvm {
     /// Creates an SVM with explicit epochs, regularisation, and shuffle
     /// seed.
     pub fn with_params(epochs: usize, lambda: f64, seed: u64) -> Self {
-        LinearSvm { epochs, lambda, seed, models: Vec::new(), mean: Vec::new(), std: Vec::new() }
+        LinearSvm {
+            epochs,
+            lambda,
+            seed,
+            models: Vec::new(),
+            mean: Vec::new(),
+            std: Vec::new(),
+        }
     }
 
     fn standardise(&self, features: &[f64]) -> Vec<f64> {
@@ -95,8 +102,7 @@ impl Classifier for LinearSvm {
                 for (c, model) in self.models.iter_mut().enumerate() {
                     let y = if data.labels[i] == c { 1.0 } else { -1.0 };
                     let (w, b) = model;
-                    let margin =
-                        y * (w.iter().zip(x).map(|(wv, xv)| wv * xv).sum::<f64>() + *b);
+                    let margin = y * (w.iter().zip(x).map(|(wv, xv)| wv * xv).sum::<f64>() + *b);
                     // L2 shrink.
                     let shrink = 1.0 - eta * self.lambda;
                     for wv in w.iter_mut() {
@@ -163,7 +169,11 @@ mod tests {
         let mut svm = LinearSvm::new();
         let data = three_blobs();
         svm.fit(&data);
-        assert!(svm.accuracy(&data) > 0.95, "accuracy {}", svm.accuracy(&data));
+        assert!(
+            svm.accuracy(&data) > 0.95,
+            "accuracy {}",
+            svm.accuracy(&data)
+        );
     }
 
     #[test]
@@ -178,7 +188,12 @@ mod tests {
     #[test]
     fn constant_feature_does_not_break_standardisation() {
         let data = LabelledData::new(
-            vec![vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 0.1], vec![1.0, 0.9]],
+            vec![
+                vec![1.0, 0.0],
+                vec![1.0, 1.0],
+                vec![1.0, 0.1],
+                vec![1.0, 0.9],
+            ],
             vec![0, 1, 0, 1],
         );
         let mut svm = LinearSvm::with_params(50, 1e-3, 3);

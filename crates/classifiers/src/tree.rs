@@ -36,7 +36,11 @@ impl DecisionTree {
     /// Panics when `max_depth` is zero.
     pub fn with_limits(max_depth: usize, min_samples: usize) -> Self {
         assert!(max_depth > 0, "max depth must be positive");
-        DecisionTree { max_depth, min_samples: min_samples.max(1), root: None }
+        DecisionTree {
+            max_depth,
+            min_samples: min_samples.max(1),
+            root: None,
+        }
     }
 
     /// The depth of the fitted tree (0 when unfitted).
@@ -66,7 +70,10 @@ fn gini(labels: &[usize], indices: &[usize], classes: usize) -> f64 {
         counts[labels[i]] += 1;
     }
     let n = indices.len() as f64;
-    1.0 - counts.iter().map(|&c| (c as f64 / n) * (c as f64 / n)).sum::<f64>()
+    1.0 - counts
+        .iter()
+        .map(|&c| (c as f64 / n) * (c as f64 / n))
+        .sum::<f64>()
 }
 
 fn majority(labels: &[usize], indices: &[usize], classes: usize) -> usize {
@@ -74,7 +81,12 @@ fn majority(labels: &[usize], indices: &[usize], classes: usize) -> usize {
     for &i in indices {
         counts[labels[i]] += 1;
     }
-    counts.iter().enumerate().max_by_key(|&(_, &c)| c).map(|(c, _)| c).unwrap_or(0)
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .map(|(c, _)| c)
+        .unwrap_or(0)
 }
 
 fn build(
@@ -87,7 +99,9 @@ fn build(
 ) -> Node {
     let current_gini = gini(&data.labels, indices, classes);
     if depth >= max_depth || indices.len() < 2 * min_samples || current_gini == 0.0 {
-        return Node::Leaf { class: majority(&data.labels, indices, classes) };
+        return Node::Leaf {
+            class: majority(&data.labels, indices, classes),
+        };
     }
     let n = indices.len() as f64;
     let mut best: Option<(f64, usize, f64)> = None; // (weighted gini, feature, threshold)
@@ -122,11 +136,27 @@ fn build(
             Node::Split {
                 feature,
                 threshold,
-                left: Box::new(build(data, &left, depth + 1, max_depth, min_samples, classes)),
-                right: Box::new(build(data, &right, depth + 1, max_depth, min_samples, classes)),
+                left: Box::new(build(
+                    data,
+                    &left,
+                    depth + 1,
+                    max_depth,
+                    min_samples,
+                    classes,
+                )),
+                right: Box::new(build(
+                    data,
+                    &right,
+                    depth + 1,
+                    max_depth,
+                    min_samples,
+                    classes,
+                )),
             }
         }
-        _ => Node::Leaf { class: majority(&data.labels, indices, classes) },
+        _ => Node::Leaf {
+            class: majority(&data.labels, indices, classes),
+        },
     }
 }
 
@@ -155,8 +185,17 @@ impl Classifier for DecisionTree {
         loop {
             match node {
                 Node::Leaf { class } => return *class,
-                Node::Split { feature, threshold, left, right } => {
-                    node = if features[*feature] <= *threshold { left } else { right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if features[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -174,7 +213,14 @@ mod tests {
     #[test]
     fn learns_axis_aligned_split() {
         let data = LabelledData::new(
-            vec![vec![0.0], vec![1.0], vec![2.0], vec![10.0], vec![11.0], vec![12.0]],
+            vec![
+                vec![0.0],
+                vec![1.0],
+                vec![2.0],
+                vec![10.0],
+                vec![11.0],
+                vec![12.0],
+            ],
             vec![0, 0, 0, 1, 1, 1],
         );
         let mut tree = DecisionTree::new();

@@ -11,8 +11,8 @@
 
 use mandipass_imu_sim::population::UserProfile;
 use mandipass_imu_sim::{Condition, Recorder, Recording};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mandipass_util::rand::rngs::StdRng;
+use mandipass_util::rand::{Rng, SeedableRng};
 
 /// Builds a zero-effort "probe": the attacker wears the earphone but
 /// produces no vibration, so the IMU sees only bias and noise. The
@@ -29,11 +29,7 @@ pub fn zero_effort_probe(attacker: &UserProfile, recorder: &Recorder, seed: u64)
 
 /// Builds a vibration-aware probe: the attacker simply hums naturally
 /// into the stolen earphone.
-pub fn vibration_aware_probe(
-    attacker: &UserProfile,
-    recorder: &Recorder,
-    seed: u64,
-) -> Recording {
+pub fn vibration_aware_probe(attacker: &UserProfile, recorder: &Recorder, seed: u64) -> Recording {
     recorder.record(attacker, Condition::Normal, seed)
 }
 
@@ -50,7 +46,7 @@ pub fn impersonation_probe(
     recorder: &Recorder,
     seed: u64,
 ) -> Recording {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x6d69_6d69_63);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x006d_696d_6963);
     let mut mimic = attacker.clone();
     // Trained mimicry gets the audible parameters close but not exact.
     let err = |rng: &mut StdRng| 1.0 + rng.gen_range(-0.07..0.07);
@@ -116,7 +112,7 @@ mod tests {
         let pop = Population::generate(2, 54);
         let attacker = &pop.users()[0];
         let victim = &pop.users()[1];
-        let mut rng = StdRng::seed_from_u64(99 ^ 0x6d69_6d69_63);
+        let mut rng = StdRng::seed_from_u64(99 ^ 0x006d_696d_6963);
         let err = |rng: &mut StdRng| 1.0 + rng.gen_range(-0.07f64..0.07);
         let mimic_f0 = victim.vocal.f0_hz * err(&mut rng);
         assert!((mimic_f0 - victim.vocal.f0_hz).abs() / victim.vocal.f0_hz < 0.08);

@@ -42,7 +42,11 @@ pub struct MandiPass {
 impl MandiPass {
     /// Assembles a deployment around a (typically VSP-trained) extractor.
     pub fn new(extractor: BiometricExtractor, config: PipelineConfig) -> Self {
-        MandiPass { extractor, config, enclave: SecureEnclave::new() }
+        MandiPass {
+            extractor,
+            config,
+            enclave: SecureEnclave::new(),
+        }
     }
 
     /// The pipeline configuration.
@@ -70,11 +74,14 @@ impl MandiPass {
     /// # Errors
     ///
     /// Propagates preprocessing and extraction failures.
-    pub fn extract_print(&mut self, recording: &Recording) -> Result<MandiblePrint, MandiPassError> {
+    pub fn extract_print(&self, recording: &Recording) -> Result<MandiblePrint, MandiPassError> {
         let array = preprocess(recording, &self.config)?;
         let grad = GradientArray::from_signal_array(&array, self.config.half_n());
         let prints = self.extractor.extract(&[&grad])?;
-        Ok(prints.into_iter().next().expect("one input yields one print"))
+        Ok(prints
+            .into_iter()
+            .next()
+            .expect("one input yields one print"))
     }
 
     /// Registers `user_id` from one or more enrolment recordings under
@@ -113,7 +120,7 @@ impl MandiPass {
     /// * [`MandiPassError::Dsp`] when the probe contains no detectable
     ///   vibration (e.g. a zero-effort attacker who does not hum).
     pub fn verify(
-        &mut self,
+        &self,
         user_id: u32,
         probe: &Recording,
         matrix: &GaussianMatrix,
@@ -132,7 +139,7 @@ impl MandiPass {
     ///
     /// Returns [`MandiPassError::NotEnrolled`] when no template exists.
     pub fn verify_cancelable(
-        &mut self,
+        &self,
         user_id: u32,
         presented: &CancelableTemplate,
     ) -> Result<VerifyOutcome, MandiPassError> {
@@ -173,7 +180,11 @@ mod tests {
         });
         // Users 2.. are "hired people"; users 0 and 1 stay unseen.
         let extractor = trainer.train(&pop.users()[2..], &recorder).unwrap();
-        (MandiPass::new(extractor, PipelineConfig::default()), pop, recorder)
+        (
+            MandiPass::new(extractor, PipelineConfig::default()),
+            pop,
+            recorder,
+        )
     }
 
     #[test]
@@ -181,8 +192,9 @@ mod tests {
         let (mut system, pop, recorder) = trained_system();
         let user = &pop.users()[0];
         let matrix = GaussianMatrix::generate(1, system.embedding_dim());
-        let enrolment: Vec<_> =
-            (0..4).map(|s| recorder.record(user, Condition::Normal, 1000 + s)).collect();
+        let enrolment: Vec<_> = (0..4)
+            .map(|s| recorder.record(user, Condition::Normal, 1000 + s))
+            .collect();
         system.enroll(user.id, &enrolment, &matrix).unwrap();
         assert!(system.enclave().contains(user.id));
 
@@ -203,8 +215,9 @@ mod tests {
         let victim = &pop.users()[0];
         let attacker = &pop.users()[1];
         let matrix = GaussianMatrix::generate(2, system.embedding_dim());
-        let enrolment: Vec<_> =
-            (0..4).map(|s| recorder.record(victim, Condition::Normal, 3000 + s)).collect();
+        let enrolment: Vec<_> = (0..4)
+            .map(|s| recorder.record(victim, Condition::Normal, 3000 + s))
+            .collect();
         system.enroll(victim.id, &enrolment, &matrix).unwrap();
 
         let genuine: f64 = (0..5)
@@ -229,7 +242,7 @@ mod tests {
 
     #[test]
     fn unenrolled_user_is_rejected_with_error() {
-        let (mut system, pop, recorder) = trained_system();
+        let (system, pop, recorder) = trained_system();
         let probe = recorder.record(&pop.users()[0], Condition::Normal, 1);
         let matrix = GaussianMatrix::generate(3, system.embedding_dim());
         assert!(matches!(
@@ -256,8 +269,9 @@ mod tests {
         let (mut system, pop, recorder) = trained_system();
         let user = &pop.users()[0];
         let matrix = GaussianMatrix::generate(5, system.embedding_dim());
-        let recs: Vec<_> =
-            (0..3).map(|s| recorder.record(user, Condition::Normal, 6000 + s)).collect();
+        let recs: Vec<_> = (0..3)
+            .map(|s| recorder.record(user, Condition::Normal, 6000 + s))
+            .collect();
         system.enroll(user.id, &recs, &matrix).unwrap();
         let stolen = system.revoke(user.id);
         assert!(stolen.is_some());
@@ -273,8 +287,9 @@ mod tests {
         let (mut system, pop, recorder) = trained_system();
         let user = &pop.users()[0];
         let matrix = GaussianMatrix::generate(6, system.embedding_dim());
-        let recs: Vec<_> =
-            (0..3).map(|s| recorder.record(user, Condition::Normal, 7000 + s)).collect();
+        let recs: Vec<_> = (0..3)
+            .map(|s| recorder.record(user, Condition::Normal, 7000 + s))
+            .collect();
         system.enroll(user.id, &recs, &matrix).unwrap();
         // Presenting the enclave's own template verbatim: a replay before
         // revocation, which trivially matches (distance 0).

@@ -1,13 +1,12 @@
 //! Pipeline configuration.
 
 use mandipass_dsp::detect::DetectorConfig;
-use serde::{Deserialize, Serialize};
 
 use crate::error::MandiPassError;
 
 /// Configuration of the §IV preprocessing chain and the §V gradient-array
 /// construction. Defaults are the paper's published values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineConfig {
     /// Samples kept per axis after the vibration start (`n`; paper: 60).
     pub n: usize,
@@ -60,7 +59,11 @@ impl PipelineConfig {
     /// split into direction planes, windows are empty, thresholds are
     /// non-positive, or no axis is enabled.
     pub fn validate(&self) -> Result<(), MandiPassError> {
-        let bad = |reason: &str| Err(MandiPassError::InvalidConfig { reason: reason.to_string() });
+        let bad = |reason: &str| {
+            Err(MandiPassError::InvalidConfig {
+                reason: reason.to_string(),
+            })
+        };
         if self.n < 4 {
             return bad("n must be at least 4");
         }
@@ -73,7 +76,7 @@ impl PipelineConfig {
         if self.mad_threshold <= 0.0 {
             return bad("MAD threshold must be positive");
         }
-        if self.highpass_order == 0 || self.highpass_order % 2 != 0 {
+        if self.highpass_order == 0 || !self.highpass_order.is_multiple_of(2) {
             return bad("high-pass order must be a positive even number");
         }
         if self.highpass_cutoff_hz <= 0.0 {
@@ -82,7 +85,7 @@ impl PipelineConfig {
         if !self.axis_mask.iter().any(|&m| m) {
             return bad("at least one axis must be enabled");
         }
-        if !(self.threshold > 0.0) {
+        if self.threshold.is_nan() || self.threshold <= 0.0 {
             return bad("threshold must be positive");
         }
         Ok(())
@@ -161,8 +164,14 @@ mod tests {
 
     #[test]
     fn axis_mask_first_follows_paper_order() {
-        assert_eq!(PipelineConfig::axis_mask_first(1), [true, false, false, false, false, false]);
-        assert_eq!(PipelineConfig::axis_mask_first(3), [true, true, true, false, false, false]);
+        assert_eq!(
+            PipelineConfig::axis_mask_first(1),
+            [true, false, false, false, false, false]
+        );
+        assert_eq!(
+            PipelineConfig::axis_mask_first(3),
+            [true, true, true, false, false, false]
+        );
         assert_eq!(PipelineConfig::axis_mask_first(6), [true; 6]);
     }
 

@@ -7,8 +7,7 @@
 //! DESIGN.md).
 
 use std::collections::HashMap;
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::error::MandiPassError;
 use crate::template::CancelableTemplate;
@@ -34,7 +33,7 @@ impl SecureEnclave {
 
     /// Stores (or replaces) the template of `user_id`.
     pub fn store(&self, user_id: u32, template: CancelableTemplate) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("enclave lock poisoned");
         inner.writes += 1;
         inner.templates.insert(user_id, template);
     }
@@ -45,7 +44,7 @@ impl SecureEnclave {
     ///
     /// Returns [`MandiPassError::NotEnrolled`] when no template exists.
     pub fn load(&self, user_id: u32) -> Result<CancelableTemplate, MandiPassError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("enclave lock poisoned");
         inner.reads += 1;
         inner
             .templates
@@ -59,19 +58,27 @@ impl SecureEnclave {
     /// template if one existed — e.g. for the replay-attack experiments,
     /// which *steal* the template at this point.
     pub fn revoke(&self, user_id: u32) -> Option<CancelableTemplate> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("enclave lock poisoned");
         inner.writes += 1;
         inner.templates.remove(&user_id)
     }
 
     /// Whether `user_id` has a template enrolled.
     pub fn contains(&self, user_id: u32) -> bool {
-        self.inner.lock().templates.contains_key(&user_id)
+        self.inner
+            .lock()
+            .expect("enclave lock poisoned")
+            .templates
+            .contains_key(&user_id)
     }
 
     /// Number of enrolled templates.
     pub fn len(&self) -> usize {
-        self.inner.lock().templates.len()
+        self.inner
+            .lock()
+            .expect("enclave lock poisoned")
+            .templates
+            .len()
     }
 
     /// Whether the enclave holds no templates.
@@ -82,13 +89,19 @@ impl SecureEnclave {
     /// `(reads, writes)` access counters — observable side channel used
     /// by tests and the overhead experiment.
     pub fn access_counts(&self) -> (u64, u64) {
-        let inner = self.inner.lock();
+        let inner = self.inner.lock().expect("enclave lock poisoned");
         (inner.reads, inner.writes)
     }
 
     /// Total bytes of template storage currently held.
     pub fn storage_bytes(&self) -> usize {
-        self.inner.lock().templates.values().map(|t| t.storage_bytes()).sum()
+        self.inner
+            .lock()
+            .expect("enclave lock poisoned")
+            .templates
+            .values()
+            .map(|t| t.storage_bytes())
+            .sum()
     }
 }
 
@@ -115,7 +128,10 @@ mod tests {
     #[test]
     fn missing_user_yields_not_enrolled() {
         let enclave = SecureEnclave::new();
-        assert!(matches!(enclave.load(3), Err(MandiPassError::NotEnrolled { user_id: 3 })));
+        assert!(matches!(
+            enclave.load(3),
+            Err(MandiPassError::NotEnrolled { user_id: 3 })
+        ));
     }
 
     #[test]

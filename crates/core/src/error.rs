@@ -93,13 +93,20 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(MandiPassError::NotEnrolled { user_id: 3 }.to_string().contains('3'));
-        assert!(MandiPassError::DimensionMismatch { expected: 512, got: 256 }
+        assert!(MandiPassError::NotEnrolled { user_id: 3 }
             .to_string()
-            .contains("512"));
-        assert!(MandiPassError::InvalidConfig { reason: "n too small".into() }
-            .to_string()
-            .contains("n too small"));
+            .contains('3'));
+        assert!(MandiPassError::DimensionMismatch {
+            expected: 512,
+            got: 256
+        }
+        .to_string()
+        .contains("512"));
+        assert!(MandiPassError::InvalidConfig {
+            reason: "n too small".into()
+        }
+        .to_string()
+        .contains("n too small"));
         assert!(!MandiPassError::NoEnrolmentData.to_string().is_empty());
     }
 

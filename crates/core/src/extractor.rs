@@ -79,11 +79,15 @@ impl ExtractorConfig {
     ///
     /// Returns [`MandiPassError::InvalidConfig`] for zero-sized fields.
     pub fn validate(&self) -> Result<(), MandiPassError> {
-        let bad = |reason: &str| Err(MandiPassError::InvalidConfig { reason: reason.to_string() });
+        let bad = |reason: &str| {
+            Err(MandiPassError::InvalidConfig {
+                reason: reason.to_string(),
+            })
+        };
         if self.axes == 0 || self.half_n == 0 {
             return bad("axes and half_n must be positive");
         }
-        if self.channels.iter().any(|&c| c == 0) {
+        if self.channels.contains(&0) {
             return bad("channel counts must be positive");
         }
         if self.embedding_dim == 0 {
@@ -118,6 +122,23 @@ pub struct BiometricExtractor {
     head_act: Sigmoid,
     classifier: Linear,
     cached_batch: Option<usize>,
+}
+
+/// Splits the stacked `[N, 2, axes, half_n]` input into its positive- and
+/// negative-direction planes, one `[N, 1, axes, half_n]` tensor each.
+fn split_directions(config: &ExtractorConfig, input: &Tensor) -> (Tensor, Tensor) {
+    let n = input.shape()[0];
+    let plane = config.axes * config.half_n;
+    let mut pos = Tensor::zeros(vec![n, 1, config.axes, config.half_n]);
+    let mut neg = Tensor::zeros(vec![n, 1, config.axes, config.half_n]);
+    for i in 0..n {
+        let base = i * 2 * plane;
+        pos.data_mut()[i * plane..(i + 1) * plane]
+            .copy_from_slice(&input.data()[base..base + plane]);
+        neg.data_mut()[i * plane..(i + 1) * plane]
+            .copy_from_slice(&input.data()[base + plane..base + 2 * plane]);
+    }
+    (pos, neg)
 }
 
 fn build_branch(config: &ExtractorConfig, in_channels: usize, seed: u64) -> Sequential {
@@ -208,39 +229,45 @@ impl BiometricExtractor {
         .map_err(MandiPassError::from)
     }
 
-    fn split_directions(&self, input: &Tensor) -> (Tensor, Tensor) {
-        let n = input.shape()[0];
-        let plane = self.config.axes * self.config.half_n;
-        let mut pos = Tensor::zeros(vec![n, 1, self.config.axes, self.config.half_n]);
-        let mut neg = Tensor::zeros(vec![n, 1, self.config.axes, self.config.half_n]);
-        for i in 0..n {
-            let base = i * 2 * plane;
-            pos.data_mut()[i * plane..(i + 1) * plane]
-                .copy_from_slice(&input.data()[base..base + plane]);
-            neg.data_mut()[i * plane..(i + 1) * plane]
-                .copy_from_slice(&input.data()[base + plane..base + 2 * plane]);
-        }
-        (pos, neg)
-    }
-
     /// Forward pass: returns `(embeddings [N, D], logits [N, classes])`.
     pub fn forward(&mut self, input: &Tensor, train: bool) -> (Tensor, Tensor) {
-        let features = if self.branch_negative.is_some() {
-            let (pos, neg) = self.split_directions(input);
-            let fp = self.branch_positive.forward(&pos, train);
-            let branch_negative =
-                self.branch_negative.as_mut().expect("checked above");
-            let fn_ = branch_negative.forward(&neg, train);
-            Tensor::concat_cols(&[&fp, &fn_])
-        } else {
-            self.branch_positive.forward(input, train)
+        if !train {
+            return self.infer_forward(input);
+        }
+        let features = match &mut self.branch_negative {
+            Some(branch_negative) => {
+                let (pos, neg) = split_directions(&self.config, input);
+                let fp = self.branch_positive.forward(&pos, train);
+                let fn_ = branch_negative.forward(&neg, train);
+                Tensor::concat_cols(&[&fp, &fn_])
+            }
+            None => self.branch_positive.forward(input, train),
         };
         let pre = self.head.forward(&features, train);
         let embedding = self.head_act.forward(&pre, train);
         let logits = self.classifier.forward(&embedding, train);
-        if train {
-            self.cached_batch = Some(input.shape()[0]);
-        }
+        self.cached_batch = Some(input.shape()[0]);
+        (embedding, logits)
+    }
+
+    /// Evaluation-mode forward pass through shared references: returns
+    /// `(embeddings [N, D], logits [N, classes])` using batch-norm running
+    /// statistics, without touching any backward cache. This is the
+    /// deployed path — a trained extractor can serve concurrent
+    /// verifications.
+    pub fn infer_forward(&self, input: &Tensor) -> (Tensor, Tensor) {
+        let features = match &self.branch_negative {
+            Some(branch_negative) => {
+                let (pos, neg) = split_directions(&self.config, input);
+                let fp = self.branch_positive.infer(&pos);
+                let fn_ = branch_negative.infer(&neg);
+                Tensor::concat_cols(&[&fp, &fn_])
+            }
+            None => self.branch_positive.infer(input),
+        };
+        let pre = self.head.infer(&features);
+        let embedding = self.head_act.infer(&pre);
+        let logits = self.classifier.infer(&embedding);
         (embedding, logits)
     }
 
@@ -288,15 +315,12 @@ impl BiometricExtractor {
     /// # Errors
     ///
     /// Propagates shape mismatches from [`BiometricExtractor::batch_input`].
-    pub fn extract(
-        &mut self,
-        arrays: &[&GradientArray],
-    ) -> Result<Vec<MandiblePrint>, MandiPassError> {
+    pub fn extract(&self, arrays: &[&GradientArray]) -> Result<Vec<MandiblePrint>, MandiPassError> {
         if arrays.is_empty() {
             return Ok(Vec::new());
         }
         let input = self.batch_input(arrays)?;
-        let (embeddings, _) = self.forward(&input, false);
+        let (embeddings, _) = self.infer_forward(&input);
         let d = self.config.embedding_dim;
         Ok((0..arrays.len())
             .map(|i| MandiblePrint::new(embeddings.data()[i * d..(i + 1) * d].to_vec()))
@@ -305,8 +329,8 @@ impl BiometricExtractor {
 
     /// Classification accuracy of the training head on a labelled batch
     /// (evaluation mode).
-    pub fn evaluate_accuracy(&mut self, input: &Tensor, labels: &[usize]) -> f64 {
-        let (_, logits) = self.forward(input, false);
+    pub fn evaluate_accuracy(&self, input: &Tensor, labels: &[usize]) -> f64 {
+        let (_, logits) = self.infer_forward(input);
         accuracy(&logits, labels)
     }
 }
@@ -314,6 +338,11 @@ impl BiometricExtractor {
 impl Layer for BiometricExtractor {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let (_, logits) = BiometricExtractor::forward(self, input, train);
+        logits
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let (_, logits) = self.infer_forward(input);
         logits
     }
 
@@ -402,11 +431,14 @@ mod tests {
 
     #[test]
     fn embeddings_are_in_unit_interval() {
-        let mut ex = BiometricExtractor::new(ExtractorConfig::tiny(4)).unwrap();
+        let ex = BiometricExtractor::new(ExtractorConfig::tiny(4)).unwrap();
         let a = toy_gradient_array(0.3);
         let prints = ex.extract(&[&a]).unwrap();
         assert_eq!(prints.len(), 1);
-        assert!(prints[0].as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(prints[0]
+            .as_slice()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
     }
 
     #[test]
@@ -425,18 +457,21 @@ mod tests {
             adam.step(&mut ex.params());
             last_loss = loss;
         }
-        assert!(last_loss < first_loss * 0.5, "loss {first_loss} -> {last_loss}");
+        assert!(
+            last_loss < first_loss * 0.5,
+            "loss {first_loss} -> {last_loss}"
+        );
     }
 
     #[test]
     fn extract_empty_is_empty() {
-        let mut ex = BiometricExtractor::new(ExtractorConfig::tiny(2)).unwrap();
+        let ex = BiometricExtractor::new(ExtractorConfig::tiny(2)).unwrap();
         assert!(ex.extract(&[]).unwrap().is_empty());
     }
 
     #[test]
     fn mismatched_array_shape_is_rejected() {
-        let mut ex = BiometricExtractor::new(ExtractorConfig::tiny(2)).unwrap();
+        let ex = BiometricExtractor::new(ExtractorConfig::tiny(2)).unwrap();
         let arr = SignalArray::new(vec![vec![0.1, 0.9, 0.2, 0.8]; 6]).unwrap();
         let small = GradientArray::from_signal_array(&arr, 10); // half_n 10 ≠ 30
         assert!(matches!(
@@ -474,8 +509,8 @@ mod tests {
 
     #[test]
     fn deterministic_construction() {
-        let mut a = BiometricExtractor::new(ExtractorConfig::tiny(3)).unwrap();
-        let mut b = BiometricExtractor::new(ExtractorConfig::tiny(3)).unwrap();
+        let a = BiometricExtractor::new(ExtractorConfig::tiny(3)).unwrap();
+        let b = BiometricExtractor::new(ExtractorConfig::tiny(3)).unwrap();
         let arr = toy_gradient_array(0.7);
         assert_eq!(
             a.extract(&[&arr]).unwrap()[0].as_slice(),

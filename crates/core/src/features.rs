@@ -43,7 +43,9 @@ mod tests {
 
     #[test]
     fn six_stats_per_axis() {
-        let seg: Vec<f64> = (0..60).map(|i| (i as f64 * 0.2).sin() * 0.5 + 0.5).collect();
+        let seg: Vec<f64> = (0..60)
+            .map(|i| (i as f64 * 0.2).sin() * 0.5 + 0.5)
+            .collect();
         let s = axis_statistics(&seg);
         assert_eq!(s.len(), 6);
         // std² == variance.
@@ -73,8 +75,12 @@ mod tests {
         // The paper's core observation: after min-max normalisation, the
         // statistics of different oscillatory segments are close. Two
         // different sinusoid mixes land near the same SFS.
-        let a: Vec<f64> = (0..60).map(|i| ((i as f64 * 0.9).sin() + 1.0) / 2.0).collect();
-        let b: Vec<f64> = (0..60).map(|i| ((i as f64 * 1.3).sin() + 1.0) / 2.0).collect();
+        let a: Vec<f64> = (0..60)
+            .map(|i| ((i as f64 * 0.9).sin() + 1.0) / 2.0)
+            .collect();
+        let b: Vec<f64> = (0..60)
+            .map(|i| ((i as f64 * 1.3).sin() + 1.0) / 2.0)
+            .collect();
         let sa = axis_statistics(&a);
         let sb = axis_statistics(&b);
         for (x, y) in sa.iter().zip(&sb) {

@@ -8,10 +8,9 @@
 
 use mandipass_dsp::gradient::directional_gradients;
 use mandipass_dsp::SignalArray;
-use serde::{Deserialize, Serialize};
 
 /// A `(2, axes, half_n)` direction-separated gradient array.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GradientArray {
     axes: usize,
     half_n: usize,
@@ -47,7 +46,11 @@ impl GradientArray {
             2 * axes * half_n,
             "flat layout must hold 2 x axes x half_n values"
         );
-        GradientArray { axes, half_n, data: flat.iter().map(|&v| f64::from(v)).collect() }
+        GradientArray {
+            axes,
+            half_n,
+            data: flat.iter().map(|&v| f64::from(v)).collect(),
+        }
     }
 
     /// Number of axis rows per direction plane.
@@ -156,17 +159,5 @@ mod tests {
     fn bad_axis_panics() {
         let g = GradientArray::from_signal_array(&toy_array(), 3);
         let _ = g.positive(5);
-    }
-
-    #[test]
-    fn serde_round_trip() {
-        let g = GradientArray::from_signal_array(&toy_array(), 3);
-        let json = serde_json::to_string(&g).unwrap();
-        let back: GradientArray = serde_json::from_str(&json).unwrap();
-        assert_eq!(g.axes(), back.axes());
-        assert_eq!(g.half_n(), back.half_n());
-        for (a, b) in g.to_f32().iter().zip(back.to_f32()) {
-            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
-        }
     }
 }

@@ -91,8 +91,10 @@ mod tests {
 
     #[test]
     fn axis_mask_zeroes_disabled_axes() {
-        let mut config = PipelineConfig::default();
-        config.axis_mask = PipelineConfig::axis_mask_first(2);
+        let config = PipelineConfig {
+            axis_mask: PipelineConfig::axis_mask_first(2),
+            ..Default::default()
+        };
         let arr = preprocess(&one_recording(3), &config).unwrap();
         assert!(arr.axis(0).iter().any(|&v| v != 0.0));
         assert!(arr.axis(2).iter().all(|&v| v == 0.0));
@@ -118,16 +120,20 @@ mod tests {
     fn silence_only_recording_fails_detection() {
         // Build a recording-like object via a quiet user? Simpler: a
         // custom config with an absurd start threshold nothing reaches.
-        let mut config = PipelineConfig::default();
-        config.detector_start_threshold = 1e12;
+        let config = PipelineConfig {
+            detector_start_threshold: 1e12,
+            ..Default::default()
+        };
         let err = preprocess(&one_recording(7), &config).unwrap_err();
         assert!(matches!(err, MandiPassError::Dsp(_)));
     }
 
     #[test]
     fn invalid_config_is_rejected_before_work() {
-        let mut config = PipelineConfig::default();
-        config.n = 1;
+        let config = PipelineConfig {
+            n: 1,
+            ..Default::default()
+        };
         assert!(matches!(
             preprocess(&one_recording(8), &config),
             Err(MandiPassError::InvalidConfig { .. })

@@ -9,16 +9,15 @@
 //! distance between two prints transformed by the *same* matrix stays
 //! close to the original.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use rand_distr::{Distribution, Normal};
-use serde::{Deserialize, Serialize};
+use mandipass_util::rand::rngs::StdRng;
+use mandipass_util::rand::SeedableRng;
+use mandipass_util::rand_distr::{Distribution, Normal};
 
 use crate::error::MandiPassError;
 
 /// A biometric vector produced by the extractor (sigmoid outputs, each
 /// component in `(0, 1)`; paper default dimension 512).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MandiblePrint(Vec<f32>);
 
 impl MandiblePrint {
@@ -49,7 +48,10 @@ impl MandiblePrint {
         let mut acc = vec![0.0f32; d];
         for p in prints {
             if p.dim() != d {
-                return Err(MandiPassError::DimensionMismatch { expected: d, got: p.dim() });
+                return Err(MandiPassError::DimensionMismatch {
+                    expected: d,
+                    got: p.dim(),
+                });
             }
             for (a, &v) in acc.iter_mut().zip(p.as_slice()) {
                 *a += v;
@@ -66,7 +68,7 @@ impl MandiblePrint {
 /// A user-revocable Gaussian projection matrix, stored compactly as its
 /// generation seed (the matrix is re-derived on demand; entries are
 /// `N(0, 1/√dim)`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GaussianMatrix {
     seed: u64,
     dim: usize,
@@ -94,7 +96,9 @@ impl GaussianMatrix {
     fn entries(&self) -> Vec<f32> {
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x6761_7573_7373);
         let normal = Normal::new(0.0, 1.0 / (self.dim as f64).sqrt()).expect("valid normal");
-        (0..self.dim * self.dim).map(|_| normal.sample(&mut rng) as f32).collect()
+        (0..self.dim * self.dim)
+            .map(|_| normal.sample(&mut rng) as f32)
+            .collect()
     }
 
     /// Transforms a print into a cancelable template: `x' = x·G`.
@@ -120,13 +124,16 @@ impl GaussianMatrix {
             }
             *o = acc;
         }
-        Ok(CancelableTemplate { values: out, matrix_seed: self.seed })
+        Ok(CancelableTemplate {
+            values: out,
+            matrix_seed: self.seed,
+        })
     }
 }
 
 /// A Gaussian-transformed MandiblePrint — safe to store at rest; revoked
 /// by switching to a new [`GaussianMatrix`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CancelableTemplate {
     values: Vec<f32>,
     matrix_seed: u64,
@@ -160,7 +167,7 @@ impl CancelableTemplate {
 mod tests {
     use super::*;
     use crate::similarity::cosine_distance;
-    use rand::Rng;
+    use mandipass_util::rand::Rng;
 
     fn random_print(seed: u64, dim: usize) -> MandiblePrint {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -224,7 +231,10 @@ mod tests {
         let ta = g.transform(&a).unwrap();
         let tb = g.transform(&b).unwrap();
         let transformed = cosine_distance(ta.as_slice(), tb.as_slice());
-        assert!((transformed - raw).abs() < 0.25, "raw {raw} vs {transformed}");
+        assert!(
+            (transformed - raw).abs() < 0.25,
+            "raw {raw} vs {transformed}"
+        );
     }
 
     #[test]
@@ -233,7 +243,10 @@ mod tests {
         let p = random_print(12, 32);
         assert!(matches!(
             g.transform(&p),
-            Err(MandiPassError::DimensionMismatch { expected: 64, got: 32 })
+            Err(MandiPassError::DimensionMismatch {
+                expected: 64,
+                got: 32
+            })
         ));
     }
 
@@ -257,7 +270,10 @@ mod tests {
 
     #[test]
     fn mean_rejects_empty_and_ragged() {
-        assert!(matches!(MandiblePrint::mean(&[]), Err(MandiPassError::NoEnrolmentData)));
+        assert!(matches!(
+            MandiblePrint::mean(&[]),
+            Err(MandiPassError::NoEnrolmentData)
+        ));
         let a = MandiblePrint::new(vec![0.0, 1.0]);
         let b = MandiblePrint::new(vec![1.0]);
         assert!(matches!(
@@ -271,7 +287,7 @@ mod tests {
 mod proptests {
     use super::*;
     use crate::similarity::cosine_distance;
-    use proptest::prelude::*;
+    use mandipass_util::proptest::prelude::*;
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
@@ -282,9 +298,9 @@ mod proptests {
             mseed in 0u64..100,
         ) {
             let dim = 128;
-            let mut ra = rand::rngs::StdRng::seed_from_u64(seed_a);
-            let mut rb = rand::rngs::StdRng::seed_from_u64(seed_b);
-            use rand::Rng;
+            let mut ra = mandipass_util::rand::rngs::StdRng::seed_from_u64(seed_a);
+            let mut rb = mandipass_util::rand::rngs::StdRng::seed_from_u64(seed_b);
+            use mandipass_util::rand::Rng;
             let a = MandiblePrint::new((0..dim).map(|_| ra.gen_range(0.0f32..1.0)).collect());
             let b = MandiblePrint::new((0..dim).map(|_| rb.gen_range(0.0f32..1.0)).collect());
             let g = GaussianMatrix::generate(mseed, dim);

@@ -9,8 +9,8 @@ use mandipass_imu_sim::{Condition, Recorder, UserProfile};
 use mandipass_nn::data::Dataset;
 use mandipass_nn::layer::Layer;
 use mandipass_nn::optim::{Adam, Optimizer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mandipass_util::rand::rngs::StdRng;
+use mandipass_util::rand::SeedableRng;
 
 use crate::config::PipelineConfig;
 use crate::error::MandiPassError;
@@ -279,7 +279,10 @@ mod tests {
             last.accuracy > first.accuracy || last.accuracy > 0.9,
             "accuracy did not improve: {first:?} -> {last:?}"
         );
-        assert!(last.loss < first.loss, "loss did not drop: {first:?} -> {last:?}");
+        assert!(
+            last.loss < first.loss,
+            "loss did not drop: {first:?} -> {last:?}"
+        );
     }
 
     #[test]

@@ -57,13 +57,13 @@ impl Default for DetectorConfig {
 /// let start = detect_vibration_start(&sig, &DetectorConfig::default()).unwrap();
 /// assert_eq!(start, 40);
 /// ```
-pub fn detect_vibration_start(
-    signal: &[f64],
-    config: &DetectorConfig,
-) -> Result<usize, DspError> {
+pub fn detect_vibration_start(signal: &[f64], config: &DetectorConfig) -> Result<usize, DspError> {
     ensure_finite(signal)?;
     if signal.len() < config.window {
-        return Err(DspError::TooShort { needed: config.window, got: signal.len() });
+        return Err(DspError::TooShort {
+            needed: config.window,
+            got: signal.len(),
+        });
     }
     let stds = windowed_std(signal, config.window, config.stride);
     for (i, &(start, sd)) in stds.iter().enumerate() {
@@ -104,7 +104,10 @@ pub fn segment_axes(
     let mut out = Vec::with_capacity(axes.len());
     for axis in axes {
         if axis.len() < start + n {
-            return Err(DspError::TooShort { needed: start + n, got: axis.len() });
+            return Err(DspError::TooShort {
+                needed: start + n,
+                got: axis.len(),
+            });
         }
         out.push(axis[start..start + n].to_vec());
     }
@@ -195,7 +198,10 @@ mod tests {
         let axes = [trigger.as_slice()];
         assert!(matches!(
             segment_axes(&trigger, &axes, 60, &DetectorConfig::default()),
-            Err(DspError::TooShort { needed: 90, got: 70 })
+            Err(DspError::TooShort {
+                needed: 90,
+                got: 70
+            })
         ));
     }
 }

@@ -53,9 +53,15 @@ impl fmt::Display for DspError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DspError::InvalidOrder { order } => {
-                write!(f, "invalid filter order {order}: must be a positive even number")
+                write!(
+                    f,
+                    "invalid filter order {order}: must be a positive even number"
+                )
             }
-            DspError::InvalidCutoff { cutoff_hz, sample_rate_hz } => write!(
+            DspError::InvalidCutoff {
+                cutoff_hz,
+                sample_rate_hz,
+            } => write!(
                 f,
                 "invalid cutoff {cutoff_hz} Hz for sample rate {sample_rate_hz} Hz: \
                  must lie strictly between 0 and Nyquist"
@@ -102,11 +108,17 @@ mod tests {
     fn display_is_nonempty_without_trailing_punctuation() {
         let errors = [
             DspError::InvalidOrder { order: 0 },
-            DspError::InvalidCutoff { cutoff_hz: -1.0, sample_rate_hz: 100.0 },
+            DspError::InvalidCutoff {
+                cutoff_hz: -1.0,
+                sample_rate_hz: 100.0,
+            },
             DspError::TooShort { needed: 10, got: 3 },
             DspError::VibrationNotFound,
             DspError::NonFinite { index: 4 },
-            DspError::AxisLengthMismatch { expected: 5, got: 6 },
+            DspError::AxisLengthMismatch {
+                expected: 5,
+                got: 6,
+            },
             DspError::NotPowerOfTwo { len: 12 },
         ];
         for e in errors {

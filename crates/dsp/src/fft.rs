@@ -70,7 +70,10 @@ pub fn magnitude_spectrum(signal: &[f64], sample_rate_hz: f64) -> Vec<(f64, f64)
         .take(n / 2 + 1)
         .enumerate()
         .map(|(k, &(re, im))| {
-            (k as f64 * sample_rate_hz / n as f64, (re * re + im * im).sqrt())
+            (
+                k as f64 * sample_rate_hz / n as f64,
+                (re * re + im * im).sqrt(),
+            )
         })
         .collect()
 }
@@ -96,7 +99,10 @@ mod tests {
     #[test]
     fn rejects_non_power_of_two() {
         let mut data = vec![(0.0, 0.0); 12];
-        assert_eq!(fft_in_place(&mut data), Err(DspError::NotPowerOfTwo { len: 12 }));
+        assert_eq!(
+            fft_in_place(&mut data),
+            Err(DspError::NotPowerOfTwo { len: 12 })
+        );
     }
 
     #[test]
@@ -121,7 +127,9 @@ mod tests {
 
     #[test]
     fn parseval_energy_is_conserved() {
-        let sig: Vec<f64> = (0..256).map(|i| ((i * 37 % 97) as f64 / 97.0) - 0.5).collect();
+        let sig: Vec<f64> = (0..256)
+            .map(|i| ((i * 37 % 97) as f64 / 97.0) - 0.5)
+            .collect();
         let time_energy: f64 = sig.iter().map(|x| x * x).sum();
         let spec = fft_real(&sig);
         let freq_energy: f64 =

@@ -94,11 +94,14 @@ impl Butterworth {
         cutoff_hz: f64,
         sample_rate_hz: f64,
     ) -> Result<Self, DspError> {
-        if order == 0 || order % 2 != 0 {
+        if !order.is_multiple_of(2) || order == 0 {
             return Err(DspError::InvalidOrder { order });
         }
-        if !(cutoff_hz > 0.0 && cutoff_hz < sample_rate_hz / 2.0) || !cutoff_hz.is_finite() {
-            return Err(DspError::InvalidCutoff { cutoff_hz, sample_rate_hz });
+        if cutoff_hz <= 0.0 || cutoff_hz >= sample_rate_hz / 2.0 || !cutoff_hz.is_finite() {
+            return Err(DspError::InvalidCutoff {
+                cutoff_hz,
+                sample_rate_hz,
+            });
         }
         // Pre-warped analog cutoff for the bilinear transform (T = 2 so that
         // the warping constant folds into `wc`).
@@ -111,7 +114,13 @@ impl Butterworth {
             let q = 1.0 / (2.0 * theta.sin());
             sections.push(Self::bilinear_section(kind, wc, q));
         }
-        Ok(Butterworth { sections, kind, order, cutoff_hz, sample_rate_hz })
+        Ok(Butterworth {
+            sections,
+            kind,
+            order,
+            cutoff_hz,
+            sample_rate_hz,
+        })
     }
 
     /// Bilinear transform of a second-order analog prototype section with
@@ -203,8 +212,14 @@ mod tests {
 
     #[test]
     fn rejects_odd_or_zero_order() {
-        assert!(matches!(Butterworth::highpass(0, 20.0, FS), Err(DspError::InvalidOrder { .. })));
-        assert!(matches!(Butterworth::highpass(3, 20.0, FS), Err(DspError::InvalidOrder { .. })));
+        assert!(matches!(
+            Butterworth::highpass(0, 20.0, FS),
+            Err(DspError::InvalidOrder { .. })
+        ));
+        assert!(matches!(
+            Butterworth::highpass(3, 20.0, FS),
+            Err(DspError::InvalidOrder { .. })
+        ));
     }
 
     #[test]
@@ -227,7 +242,10 @@ mod tests {
     fn highpass_magnitude_is_half_power_at_cutoff() {
         let hp = Butterworth::highpass(4, 20.0, FS).unwrap();
         let mag = hp.magnitude_at_hz(20.0);
-        assert!((mag - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9, "got {mag}");
+        assert!(
+            (mag - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9,
+            "got {mag}"
+        );
     }
 
     #[test]
@@ -253,8 +271,16 @@ mod tests {
         // Skip the transient head for the RMS measurement.
         let low_out = hp.filter(&low);
         let high_out = hp.filter(&high);
-        assert!(rms(&low_out[512..]) < 0.02, "low tone leaked: {}", rms(&low_out[512..]));
-        assert!(rms(&high_out[512..]) > 0.68, "high tone attenuated: {}", rms(&high_out[512..]));
+        assert!(
+            rms(&low_out[512..]) < 0.02,
+            "low tone leaked: {}",
+            rms(&low_out[512..])
+        );
+        assert!(
+            rms(&high_out[512..]) > 0.68,
+            "high tone attenuated: {}",
+            rms(&high_out[512..])
+        );
     }
 
     #[test]

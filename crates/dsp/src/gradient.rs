@@ -128,7 +128,9 @@ mod tests {
     #[test]
     fn alternating_signal_splits_evenly() {
         // n = 61 samples alternating => 60 gradients, 30 of each sign.
-        let seg: Vec<f64> = (0..61).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let seg: Vec<f64> = (0..61)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
         let (pos, neg) = split_by_sign(&gradients(&seg));
         assert_eq!(pos.len(), 30);
         assert_eq!(neg.len(), 30);
@@ -158,7 +160,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use mandipass_util::proptest::prelude::*;
 
     proptest! {
         #[test]

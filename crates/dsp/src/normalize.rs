@@ -86,7 +86,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use mandipass_util::proptest::prelude::*;
 
     proptest! {
         #[test]

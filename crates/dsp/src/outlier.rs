@@ -97,7 +97,11 @@ pub fn replace_outliers(segment: &mut [f64], outliers: &[usize]) {
                 }
             }
         }
-        segment[i] = if neighbours.is_empty() { median } else { stats::mean(&neighbours) };
+        segment[i] = if neighbours.is_empty() {
+            median
+        } else {
+            stats::mean(&neighbours)
+        };
     }
 }
 

@@ -4,8 +4,6 @@
 //! shape `(6, n)`: the six IMU axes (ax, ay, az, gx, gy, gz), each holding
 //! `n` normalised samples (the paper sets `n = 60`).
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::DspError;
 
 /// Number of IMU axes in a signal array (3 accelerometer + 3 gyroscope).
@@ -15,7 +13,7 @@ pub const AXIS_COUNT: usize = 6;
 ///
 /// Row `j` holds axis `j` in the paper's fixed order
 /// `ax, ay, az, gx, gy, gz`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SignalArray {
     axes: Vec<Vec<f64>>,
     samples_per_axis: usize,
@@ -39,11 +37,17 @@ impl SignalArray {
         }
         for row in &rows {
             if row.len() != n {
-                return Err(DspError::AxisLengthMismatch { expected: n, got: row.len() });
+                return Err(DspError::AxisLengthMismatch {
+                    expected: n,
+                    got: row.len(),
+                });
             }
             crate::error::ensure_finite(row)?;
         }
-        Ok(SignalArray { axes: rows, samples_per_axis: n })
+        Ok(SignalArray {
+            axes: rows,
+            samples_per_axis: n,
+        })
     }
 
     /// Number of axes (rows).
@@ -89,14 +93,27 @@ impl SignalArray {
     ///
     /// Panics if `mask.len() != self.axis_count()`.
     pub fn with_axis_mask(&self, mask: &[bool]) -> SignalArray {
-        assert_eq!(mask.len(), self.axes.len(), "mask length must equal axis count");
+        assert_eq!(
+            mask.len(),
+            self.axes.len(),
+            "mask length must equal axis count"
+        );
         let axes = self
             .axes
             .iter()
             .zip(mask)
-            .map(|(row, &keep)| if keep { row.clone() } else { vec![0.0; row.len()] })
+            .map(|(row, &keep)| {
+                if keep {
+                    row.clone()
+                } else {
+                    vec![0.0; row.len()]
+                }
+            })
             .collect();
-        SignalArray { axes, samples_per_axis: self.samples_per_axis }
+        SignalArray {
+            axes,
+            samples_per_axis: self.samples_per_axis,
+        }
     }
 }
 
@@ -114,11 +131,7 @@ mod tests {
     use super::*;
 
     fn sample_array() -> SignalArray {
-        SignalArray::new(vec![
-            vec![0.0, 0.1, 0.2],
-            vec![1.0, 1.1, 1.2],
-        ])
-        .unwrap()
+        SignalArray::new(vec![vec![0.0, 0.1, 0.2], vec![1.0, 1.1, 1.2]]).unwrap()
     }
 
     #[test]
@@ -131,13 +144,25 @@ mod tests {
     #[test]
     fn mismatched_rows_are_rejected() {
         let res = SignalArray::new(vec![vec![0.0, 1.0], vec![0.0]]);
-        assert!(matches!(res, Err(DspError::AxisLengthMismatch { expected: 2, got: 1 })));
+        assert!(matches!(
+            res,
+            Err(DspError::AxisLengthMismatch {
+                expected: 2,
+                got: 1
+            })
+        ));
     }
 
     #[test]
     fn empty_input_is_rejected() {
-        assert!(matches!(SignalArray::new(vec![]), Err(DspError::TooShort { .. })));
-        assert!(matches!(SignalArray::new(vec![vec![]]), Err(DspError::TooShort { .. })));
+        assert!(matches!(
+            SignalArray::new(vec![]),
+            Err(DspError::TooShort { .. })
+        ));
+        assert!(matches!(
+            SignalArray::new(vec![vec![]]),
+            Err(DspError::TooShort { .. })
+        ));
     }
 
     #[test]
@@ -171,13 +196,5 @@ mod tests {
         let arr = sample_array();
         assert_eq!(arr.iter().count(), 2);
         assert_eq!((&arr).into_iter().count(), 2);
-    }
-
-    #[test]
-    fn serde_round_trip() {
-        let arr = sample_array();
-        let json = serde_json::to_string(&arr).unwrap();
-        let back: SignalArray = serde_json::from_str(&json).unwrap();
-        assert_eq!(arr, back);
     }
 }

@@ -27,7 +27,12 @@ impl<'a> Windows<'a> {
     pub fn new(signal: &'a [f64], size: usize, stride: usize) -> Self {
         assert!(size > 0, "window size must be positive");
         assert!(stride > 0, "window stride must be positive");
-        Windows { signal, size, stride, pos: 0 }
+        Windows {
+            signal,
+            size,
+            stride,
+            pos: 0,
+        }
     }
 }
 

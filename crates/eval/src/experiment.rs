@@ -5,10 +5,10 @@
 //! value — and renders them as a [`ReportTable`]. `run_all` aggregates the
 //! JSON forms into `EXPERIMENTS.md`.
 
-use serde::{Deserialize, Serialize};
+use mandipass_util::json::{self, Value};
 
 /// One paper-vs-measured comparison row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentRecord {
     /// Artifact id, e.g. `"Fig 10(b)"` or `"Table I"`.
     pub artifact: String,
@@ -53,7 +53,7 @@ impl ExperimentRecord {
 }
 
 /// A renderable collection of experiment records.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ReportTable {
     /// Table heading.
     pub title: String,
@@ -64,7 +64,10 @@ pub struct ReportTable {
 impl ReportTable {
     /// Creates an empty table.
     pub fn new(title: impl Into<String>) -> Self {
-        ReportTable { title: title.into(), records: Vec::new() }
+        ReportTable {
+            title: title.into(),
+            records: Vec::new(),
+        }
     }
 
     /// Appends a record.
@@ -101,8 +104,16 @@ impl ReportTable {
                 r.quantity,
                 r.paper,
                 r.measured,
-                if r.shape_holds { "ok" } else { "SHAPE MISMATCH" },
-                if r.note.is_empty() { String::new() } else { format!("  ({})", r.note) }
+                if r.shape_holds {
+                    "ok"
+                } else {
+                    "SHAPE MISMATCH"
+                },
+                if r.note.is_empty() {
+                    String::new()
+                } else {
+                    format!("  ({})", r.note)
+                }
             ));
         }
         out
@@ -110,17 +121,59 @@ impl ReportTable {
 
     /// Serialises to a JSON line for `run_all` aggregation.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("report tables serialise")
+        let records = self
+            .records
+            .iter()
+            .map(|r| {
+                Value::Object(vec![
+                    ("artifact".to_string(), Value::String(r.artifact.clone())),
+                    ("quantity".to_string(), Value::String(r.quantity.clone())),
+                    ("paper".to_string(), Value::String(r.paper.clone())),
+                    ("measured".to_string(), Value::String(r.measured.clone())),
+                    ("shape_holds".to_string(), Value::Bool(r.shape_holds)),
+                    ("note".to_string(), Value::String(r.note.clone())),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("title".to_string(), Value::String(self.title.clone())),
+            ("records".to_string(), Value::Array(records)),
+        ])
+        .to_json()
     }
 
     /// Parses a table back from [`ReportTable::to_json`] output.
     ///
     /// # Errors
     ///
-    /// Returns the underlying `serde_json` error message on malformed
-    /// input.
-    pub fn from_json(json: &str) -> Result<Self, String> {
-        serde_json::from_str(json).map_err(|e| e.to_string())
+    /// Returns a parse-error message on malformed input.
+    pub fn from_json(input: &str) -> Result<Self, String> {
+        let doc = json::parse(input)?;
+        let str_field = |v: &Value, key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field `{key}`"))
+        };
+        let mut table = ReportTable::new(str_field(&doc, "title")?);
+        let records = doc
+            .get("records")
+            .and_then(Value::as_array)
+            .ok_or("missing array field `records`")?;
+        for r in records {
+            table.push(ExperimentRecord {
+                artifact: str_field(r, "artifact")?,
+                quantity: str_field(r, "quantity")?,
+                paper: str_field(r, "paper")?,
+                measured: str_field(r, "measured")?,
+                shape_holds: r
+                    .get("shape_holds")
+                    .and_then(Value::as_bool)
+                    .ok_or("missing boolean field `shape_holds`")?,
+                note: str_field(r, "note")?,
+            });
+        }
+        Ok(table)
     }
 
     /// Whether every record's shape holds.
@@ -139,7 +192,13 @@ mod tests {
             ExperimentRecord::new("Fig 10(b)", "EER (%)", "1.28", "1.9", true)
                 .with_note("reduced scale"),
         );
-        t.push(ExperimentRecord::new("Fig 10(b)", "threshold", "0.5485", "0.52", true));
+        t.push(ExperimentRecord::new(
+            "Fig 10(b)",
+            "threshold",
+            "0.5485",
+            "0.52",
+            true,
+        ));
         t
     }
 

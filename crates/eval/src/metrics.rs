@@ -73,7 +73,11 @@ pub fn roc_sweep(genuine: &[f64], impostor: &[f64], steps: usize) -> Vec<RocPoin
     (0..=steps)
         .map(|i| {
             let t = all_min + span * i as f64 / steps as f64;
-            RocPoint { threshold: t, far: far_at(impostor, t), frr: frr_at(genuine, t) }
+            RocPoint {
+                threshold: t,
+                far: far_at(impostor, t),
+                frr: frr_at(genuine, t),
+            }
         })
         .collect()
 }
@@ -91,7 +95,10 @@ pub fn eer(genuine: &[f64], impostor: &[f64]) -> Option<EerPoint> {
     candidates.sort_by(|a, b| a.partial_cmp(b).expect("scores are finite"));
     candidates.dedup();
     // Thresholds between adjacent scores too, to catch the crossing.
-    let mut best = EerPoint { threshold: candidates[0], eer: 1.0 };
+    let mut best = EerPoint {
+        threshold: candidates[0],
+        eer: 1.0,
+    };
     let mut best_gap = f64::INFINITY;
     let mut eval = |t: f64| {
         let far = far_at(impostor, t);
@@ -99,7 +106,10 @@ pub fn eer(genuine: &[f64], impostor: &[f64]) -> Option<EerPoint> {
         let gap = (far - frr).abs();
         if gap < best_gap || (gap == best_gap && (far + frr) / 2.0 < best.eer) {
             best_gap = gap;
-            best = EerPoint { threshold: t, eer: (far + frr) / 2.0 };
+            best = EerPoint {
+                threshold: t,
+                eer: (far + frr) / 2.0,
+            };
         }
     };
     for i in 0..candidates.len() {
@@ -217,7 +227,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use mandipass_util::proptest::prelude::*;
 
     proptest! {
         #[test]

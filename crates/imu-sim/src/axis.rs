@@ -1,10 +1,8 @@
 //! The six IMU axes, in the paper's fixed ordering.
 
-use serde::{Deserialize, Serialize};
-
 /// One of the six IMU axes. The paper's axis order — also the row order of
 /// every signal array — is `ax, ay, az, gx, gy, gz`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Axis {
     /// Accelerometer x.
     Ax,

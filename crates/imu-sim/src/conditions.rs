@@ -4,13 +4,11 @@
 //! gait interference (walk/run), mandible damping changes (food in the
 //! mouth), tone shifts, earphone rotation, and ear-side mirroring.
 
-use serde::{Deserialize, Serialize};
-
 use crate::motion::Activity;
 use crate::vocal::Tone;
 
 /// Which ear the earphone is worn in (§VII.B's ear-side experiment).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EarSide {
     /// The paper's default collection side.
     Right,
@@ -19,10 +17,11 @@ pub enum EarSide {
 }
 
 /// A recording condition.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 #[non_exhaustive]
 pub enum Condition {
     /// Quiet, static, natural tone, right ear — the default.
+    #[default]
     Normal,
     /// A lollipop in the mouth (Fig. 12(a)): slightly increased damping.
     Lollipop,
@@ -108,12 +107,6 @@ impl Condition {
             Condition::Orientation(180),
             Condition::Orientation(270),
         ]
-    }
-}
-
-impl Default for Condition {
-    fn default() -> Self {
-        Condition::Normal
     }
 }
 

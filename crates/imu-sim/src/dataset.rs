@@ -7,14 +7,12 @@
 //! so expensive corpora are generated once and shared between
 //! experiments.
 
-use serde::{Deserialize, Serialize};
-
 use crate::conditions::Condition;
 use crate::population::Population;
 use crate::recorder::{Recorder, Recording};
 
 /// A collection campaign description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetSpec {
     /// Number of probes collected per user and condition.
     pub probes_per_user: usize,
@@ -27,7 +25,11 @@ pub struct DatasetSpec {
 impl DatasetSpec {
     /// A normal-condition campaign of `probes_per_user` probes.
     pub fn normal(probes_per_user: usize, seed: u64) -> Self {
-        DatasetSpec { probes_per_user, conditions: vec![Condition::Normal], seed }
+        DatasetSpec {
+            probes_per_user,
+            conditions: vec![Condition::Normal],
+            seed,
+        }
     }
 
     /// The paper's robustness campaign: normal plus every §VII condition.
@@ -53,7 +55,7 @@ impl DatasetSpec {
 }
 
 /// One labelled recording of a corpus.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LabelledRecording {
     /// The user id (dense label).
     pub user_id: u32,
@@ -66,7 +68,7 @@ pub struct LabelledRecording {
 }
 
 /// A labelled recording corpus.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RecordingDataset {
     spec: DatasetSpec,
     items: Vec<LabelledRecording>,
@@ -75,16 +77,13 @@ pub struct RecordingDataset {
 impl RecordingDataset {
     /// Runs the collection campaign over `population` with `recorder`.
     pub fn collect(population: &Population, recorder: &Recorder, spec: DatasetSpec) -> Self {
-        let mut items = Vec::with_capacity(
-            population.len() * spec.conditions.len() * spec.probes_per_user,
-        );
+        let mut items =
+            Vec::with_capacity(population.len() * spec.conditions.len() * spec.probes_per_user);
         for user in population.users() {
             for (c_idx, &condition) in spec.conditions.iter().enumerate() {
                 for session in 0..spec.probes_per_user {
-                    let session_seed = spec.seed
-                        ^ ((session as u64) << 16)
-                        ^ ((c_idx as u64) << 48)
-                        ^ 0x6461_7461;
+                    let session_seed =
+                        spec.seed ^ ((session as u64) << 16) ^ ((c_idx as u64) << 48) ^ 0x6461_7461;
                     items.push(LabelledRecording {
                         user_id: user.id,
                         condition,
@@ -184,16 +183,5 @@ mod tests {
         assert_eq!(spec.conditions.len(), 11);
         assert!(spec.conditions.contains(&Condition::LeftEar));
         assert!(spec.conditions.contains(&Condition::Orientation(270)));
-    }
-
-    #[test]
-    fn serde_round_trip() {
-        let pop = Population::generate(2, 64);
-        let ds =
-            RecordingDataset::collect(&pop, &Recorder::default(), DatasetSpec::normal(1, 5));
-        let json = serde_json::to_string(&ds).unwrap();
-        let back: RecordingDataset = serde_json::from_str(&json).unwrap();
-        assert_eq!(ds.len(), back.len());
-        assert_eq!(ds.spec(), back.spec());
     }
 }

@@ -42,7 +42,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = SimError::InvalidParameter { name: "mass", value: -1.0 };
+        let e = SimError::InvalidParameter {
+            name: "mass",
+            value: -1.0,
+        };
         assert!(e.to_string().contains("mass"));
         let e = SimError::EmptyDuration { seconds: 0.0 };
         assert!(e.to_string().contains("0 s"));

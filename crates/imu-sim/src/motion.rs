@@ -6,11 +6,10 @@
 //! The walk/run generators here produce gait-locked sinusoid stacks (step
 //! fundamental plus harmonics) whose energy sits squarely in that band.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use mandipass_util::rand::Rng;
 
 /// A locomotion activity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Activity {
     /// Standing or sitting still — no gait interference.
     Static,
@@ -79,8 +78,8 @@ pub fn gait_interference<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mandipass_util::rand::rngs::StdRng;
+    use mandipass_util::rand::SeedableRng;
 
     #[test]
     fn static_activity_is_silent() {
@@ -135,8 +134,7 @@ mod tests {
                 for win in out.chunks(10) {
                     let mean: f64 = win.iter().sum::<f64>() / win.len() as f64;
                     let var: f64 =
-                        win.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-                            / win.len() as f64;
+                        win.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / win.len() as f64;
                     assert!(var.sqrt() < 250.0, "{activity:?} windowed σ {}", var.sqrt());
                 }
             }

@@ -5,15 +5,14 @@
 //! baseline values — gravity projections on the accelerometer and bias on
 //! the gyroscope. Fig. 6 shows the spike outliers the MAD stage removes.
 
-use rand::Rng;
-use rand_distr::{Distribution, Normal};
-use serde::{Deserialize, Serialize};
+use mandipass_util::rand::Rng;
+use mandipass_util::rand_distr::{Distribution, Normal};
 
 /// One g expressed in raw accelerometer LSB at ±4 g full scale.
 pub const LSB_PER_G: f64 = 8192.0;
 
 /// Per-axis DC baselines of a worn earphone.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AxisBias {
     /// Accelerometer baselines (gravity projection), raw LSB.
     pub accel: [f64; 3],
@@ -117,8 +116,8 @@ pub fn inject_outliers<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mandipass_util::rand::rngs::StdRng;
+    use mandipass_util::rand::SeedableRng;
 
     #[test]
     fn bias_axes_differ_from_each_other() {

@@ -5,10 +5,8 @@
 //! gyroscope vectors with a proper rotation matrix about a configurable
 //! axis.
 
-use serde::{Deserialize, Serialize};
-
 /// A 3×3 rotation matrix (row-major).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rotation {
     m: [[f64; 3]; 3],
 }
@@ -16,7 +14,9 @@ pub struct Rotation {
 impl Rotation {
     /// The identity rotation.
     pub fn identity() -> Self {
-        Rotation { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] }
+        Rotation {
+            m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+        }
     }
 
     /// Rotation by `degrees` about an arbitrary (normalised internally)
@@ -64,12 +64,16 @@ impl Rotation {
     /// Panics if the tracks have different lengths.
     pub fn apply_tracks(&self, tracks: &mut [Vec<f64>; 3]) {
         let n = tracks[0].len();
-        assert!(tracks.iter().all(|t| t.len() == n), "tracks must have equal lengths");
-        for i in 0..n {
-            let v = self.apply([tracks[0][i], tracks[1][i], tracks[2][i]]);
-            tracks[0][i] = v[0];
-            tracks[1][i] = v[1];
-            tracks[2][i] = v[2];
+        assert!(
+            tracks.iter().all(|t| t.len() == n),
+            "tracks must have equal lengths"
+        );
+        let [t0, t1, t2] = tracks;
+        for ((a, b), c) in t0.iter_mut().zip(t1.iter_mut()).zip(t2.iter_mut()) {
+            let v = self.apply([*a, *b, *c]);
+            *a = v[0];
+            *b = v[1];
+            *c = v[2];
         }
     }
 }
@@ -126,8 +130,14 @@ mod tests {
         let r = Rotation::about_ear_canal(180.0);
         let mut tracks = [vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
         r.apply_tracks(&mut tracks);
-        assert!(close([tracks[0][0], tracks[1][0], tracks[2][0]], [1.0, -3.0, -5.0]));
-        assert!(close([tracks[0][1], tracks[1][1], tracks[2][1]], [2.0, -4.0, -6.0]));
+        assert!(close(
+            [tracks[0][0], tracks[1][0], tracks[2][0]],
+            [1.0, -3.0, -5.0]
+        ));
+        assert!(close(
+            [tracks[0][1], tracks[1][1], tracks[2][1]],
+            [2.0, -4.0, -6.0]
+        ));
     }
 
     #[test]

@@ -8,14 +8,13 @@
 //! draws one [`MandibleProfile`] and keeps it (modulo slow long-term
 //! drift).
 
-use rand::Rng;
-use rand_distr::{Distribution, Normal};
-use serde::{Deserialize, Serialize};
+use mandipass_util::rand::Rng;
+use mandipass_util::rand_distr::{Distribution, Normal};
 
 use crate::error::SimError;
 
 /// Per-user mandible vibration parameters (`m, c1, c2, k1, k2` of Eq. 1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MandibleProfile {
     /// Mandible component mass, kg.
     pub mass_kg: f64,
@@ -78,8 +77,14 @@ impl MandibleProfile {
         // the damping factors c1/c2 become observable.
         let critical = 2.0 * (mass * k_total).sqrt();
         let zeta1: f64 = rng.gen_range(0.008..0.045);
-        let zeta2 = (zeta1 * rng.gen_range(0.6..1.6)).clamp(0.006, 0.06);
-        MandibleProfile { mass_kg: mass, c1: zeta1 * critical, c2: zeta2 * critical, k1, k2 }
+        let zeta2 = (zeta1 * rng.gen_range(0.6f64..1.6)).clamp(0.006, 0.06);
+        MandibleProfile {
+            mass_kg: mass,
+            c1: zeta1 * critical,
+            c2: zeta2 * critical,
+            k1,
+            k2,
+        }
     }
 
     /// Undamped natural (angular) frequency `√((k1 + k2) / m)`, rad/s.
@@ -108,7 +113,8 @@ impl MandibleProfile {
     /// a fraction of a percent per week.
     pub fn drifted<R: Rng>(&self, days: f64, rng: &mut R) -> MandibleProfile {
         let scale = 0.0004 * days.max(0.0).sqrt();
-        let jitter = |rng: &mut R, v: f64| v * (1.0 + Normal::new(0.0, scale).expect("valid").sample(rng));
+        let jitter =
+            |rng: &mut R, v: f64| v * (1.0 + Normal::new(0.0, scale).expect("valid").sample(rng));
         MandibleProfile {
             mass_kg: jitter(rng, self.mass_kg),
             c1: jitter(rng, self.c1),
@@ -122,8 +128,8 @@ impl MandibleProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mandipass_util::rand::rngs::StdRng;
+    use mandipass_util::rand::SeedableRng;
 
     #[test]
     fn sampled_profiles_are_valid() {
@@ -177,7 +183,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let mut p = MandibleProfile::sample(&mut rng);
         p.c1 = 0.0;
-        assert!(matches!(p.validate(), Err(SimError::InvalidParameter { name: "c1", .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(SimError::InvalidParameter { name: "c1", .. })
+        ));
         p.c1 = f64::NAN;
         assert!(p.validate().is_err());
     }
@@ -189,8 +198,8 @@ mod tests {
         let d = p.drifted(14.0, &mut rng);
         let rel = (d.mass_kg - p.mass_kg).abs() / p.mass_kg;
         assert!(rel < 0.02, "mass drifted {rel}");
-        let rel_f = (d.natural_frequency_hz() - p.natural_frequency_hz()).abs()
-            / p.natural_frequency_hz();
+        let rel_f =
+            (d.natural_frequency_hz() - p.natural_frequency_hz()).abs() / p.natural_frequency_hz();
         assert!(rel_f < 0.02, "resonance drifted {rel_f}");
     }
 

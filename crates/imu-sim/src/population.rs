@@ -1,8 +1,7 @@
 //! Synthetic user cohorts — the stand-in for the paper's 34 volunteers.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use mandipass_util::rand::rngs::StdRng;
+use mandipass_util::rand::{Rng, SeedableRng};
 
 use crate::noise::AxisBias;
 use crate::physio::MandibleProfile;
@@ -14,7 +13,7 @@ use crate::vocal::{Sex, VocalProfile};
 /// Head geometry determines how the bone-conducted motion projects onto
 /// the accelerometer axes (a unit-ish direction vector) and how much
 /// rotational component the gyroscope sees.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Coupling {
     /// Accelerometer projection (per axis gain, signed).
     pub accel: [f64; 3],
@@ -45,10 +44,18 @@ impl Coupling {
     /// into the head) flips, and the geometry differs slightly because
     /// heads are not perfectly symmetric.
     pub fn mirrored<R: Rng>(&self, rng: &mut R) -> Coupling {
-        let j = |rng: &mut R, v: f64| v * rng.gen_range(0.92..1.08);
+        let j = |rng: &mut R, v: f64| v * rng.gen_range(0.92f64..1.08);
         Coupling {
-            accel: [-j(rng, self.accel[0]), j(rng, self.accel[1]), j(rng, self.accel[2])],
-            gyro: [-j(rng, self.gyro[0]), j(rng, self.gyro[1]), j(rng, self.gyro[2])],
+            accel: [
+                -j(rng, self.accel[0]),
+                j(rng, self.accel[1]),
+                j(rng, self.accel[2]),
+            ],
+            gyro: [
+                -j(rng, self.gyro[0]),
+                j(rng, self.gyro[1]),
+                j(rng, self.gyro[2]),
+            ],
         }
     }
 
@@ -77,7 +84,7 @@ impl Coupling {
 }
 
 /// A complete synthetic volunteer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UserProfile {
     /// Stable identifier, 0-based.
     pub id: u32,
@@ -129,7 +136,7 @@ impl UserProfile {
 }
 
 /// A cohort of synthetic volunteers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Population {
     users: Vec<UserProfile>,
     seed: u64,

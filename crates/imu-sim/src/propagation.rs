@@ -6,10 +6,8 @@
 //! models the decay as `Y(w) = X(w)·e^{-αd}`; we apply the same
 //! exponential law with per-user attenuation.
 
-use serde::{Deserialize, Serialize};
-
 /// A tap point on the propagation path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PathLocation {
     /// At the vibration source (Fig. 1 location 1).
     Throat,
@@ -21,13 +19,16 @@ pub enum PathLocation {
 
 impl PathLocation {
     /// All locations in path order.
-    pub const ALL: [PathLocation; 3] =
-        [PathLocation::Throat, PathLocation::Mandible, PathLocation::Ear];
+    pub const ALL: [PathLocation; 3] = [
+        PathLocation::Throat,
+        PathLocation::Mandible,
+        PathLocation::Ear,
+    ];
 }
 
 /// Per-user propagation model: attenuation coefficient `α` (1/m) and the
 /// distances from the throat to each tap point (m).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PropagationModel {
     /// Attenuation coefficient `α`, 1/m.
     pub alpha: f64,
@@ -52,7 +53,7 @@ impl PropagationModel {
 
     /// Samples a per-user model: head geometry and tissue attenuation vary
     /// a little between people.
-    pub fn sample<R: rand::Rng>(rng: &mut R) -> Self {
+    pub fn sample<R: mandipass_util::rand::Rng>(rng: &mut R) -> Self {
         let t = Self::typical();
         PropagationModel {
             alpha: t.alpha * rng.gen_range(0.85..1.15),
@@ -92,8 +93,8 @@ impl Default for PropagationModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mandipass_util::rand::rngs::StdRng;
+    use mandipass_util::rand::SeedableRng;
 
     #[test]
     fn gain_decays_along_path() {
@@ -109,7 +110,10 @@ mod tests {
         let p = PropagationModel::typical();
         let mandible = p.gain_at(PathLocation::Mandible);
         let ear = p.gain_at(PathLocation::Ear);
-        assert!((mandible - 1050.0 / 3805.0).abs() < 0.03, "mandible gain {mandible}");
+        assert!(
+            (mandible - 1050.0 / 3805.0).abs() < 0.03,
+            "mandible gain {mandible}"
+        );
         assert!((ear - 761.0 / 3805.0).abs() < 0.03, "ear gain {ear}");
     }
 
@@ -138,8 +142,7 @@ mod tests {
     fn distances_accumulate() {
         let p = PropagationModel::typical();
         assert!(
-            (p.distance_to(PathLocation::Ear)
-                - (p.throat_to_mandible_m + p.mandible_to_ear_m))
+            (p.distance_to(PathLocation::Ear) - (p.throat_to_mandible_m + p.mandible_to_ear_m))
                 .abs()
                 < 1e-15
         );

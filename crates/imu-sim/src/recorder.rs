@@ -1,9 +1,8 @@
 //! End-to-end recording assembly: physics → propagation → coupling →
 //! sensor → noise, under a chosen [`Condition`].
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use mandipass_util::rand::rngs::StdRng;
+use mandipass_util::rand::{Rng, SeedableRng};
 
 use crate::conditions::{Condition, EarSide};
 use crate::motion::gait_interference;
@@ -16,7 +15,7 @@ use crate::sensor::ImuModel;
 use crate::vibration::{simulate_vibration, INTERNAL_RATE_HZ};
 
 /// A raw six-axis IMU recording of one authentication attempt.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Recording {
     sample_rate_hz: f64,
     axes: Vec<Vec<f64>>, // 6 × n, paper axis order
@@ -64,7 +63,7 @@ impl Recording {
 /// Per-session variability switches. Every field defaults to realistic
 /// (fully enabled); the simulator-ablation experiments turn individual
 /// sources off to attribute intra-user variance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SessionJitter {
     /// Scale of the vocal session jitter (f0, force, timbre; 1.0 = real).
     pub vocal: f64,
@@ -105,7 +104,7 @@ impl SessionJitter {
 }
 
 /// Recording parameters: timings and the sensor in use.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Recorder {
     /// The IMU model to record with.
     pub imu: ImuModel,
@@ -148,7 +147,8 @@ impl Recorder {
 
         // --- Session realisations of the stable per-user traits. ---
         let vocal =
-            user.vocal.session_instance_scaled(&mut rng, condition.tone(), self.jitter.vocal);
+            user.vocal
+                .session_instance_scaled(&mut rng, condition.tone(), self.jitter.vocal);
         let mandible = MandibleProfile {
             mass_kg: user.mandible.mass_kg * condition.mass_factor(),
             c1: user.mandible.c1 * condition.damping_factor(),
@@ -170,8 +170,10 @@ impl Recorder {
         // Gyro couples to the angular component; velocity is the right
         // kinematic quantity, rescaled so gyro LSBs are comparable.
         let omega = mandible.natural_angular_frequency();
-        let gyro_track: Vec<f64> =
-            voicing.iter().map(|s| s.velocity * gain * omega * 0.35).collect();
+        let gyro_track: Vec<f64> = voicing
+            .iter()
+            .map(|s| s.velocity * gain * omega * 0.35)
+            .collect();
 
         // --- Silence prefix. Real sessions start at an arbitrary offset;
         // the detector then snaps the segment to its 10-sample window
@@ -180,10 +182,10 @@ impl Recorder {
         // window-grid units plus a sub-sample residual: the grid part
         // exercises the detector across different recording lengths, the
         // residual keeps probes from being bit-identical in phase.
-        let window_internal =
-            (10.0 / self.imu.sample_rate_hz * INTERNAL_RATE_HZ).round() as usize;
-        let base_windows =
-            (self.silence_seconds * self.imu.sample_rate_hz / 10.0).round().max(1.0) as usize;
+        let window_internal = (10.0 / self.imu.sample_rate_hz * INTERNAL_RATE_HZ).round() as usize;
+        let base_windows = (self.silence_seconds * self.imu.sample_rate_hz / 10.0)
+            .round()
+            .max(1.0) as usize;
         let (extra_windows, residual) = if self.jitter.start_offset {
             (
                 rng.gen_range(0..4),
@@ -206,14 +208,32 @@ impl Recorder {
 
         // --- Project onto the six axes. ---
         let mut accel_axes: [Vec<f64>; 3] = [
-            accel_sampled[..n].iter().map(|&v| v * coupling.accel[0]).collect(),
-            accel_sampled[..n].iter().map(|&v| v * coupling.accel[1]).collect(),
-            accel_sampled[..n].iter().map(|&v| v * coupling.accel[2]).collect(),
+            accel_sampled[..n]
+                .iter()
+                .map(|&v| v * coupling.accel[0])
+                .collect(),
+            accel_sampled[..n]
+                .iter()
+                .map(|&v| v * coupling.accel[1])
+                .collect(),
+            accel_sampled[..n]
+                .iter()
+                .map(|&v| v * coupling.accel[2])
+                .collect(),
         ];
         let mut gyro_axes: [Vec<f64>; 3] = [
-            gyro_sampled[..n].iter().map(|&v| v * coupling.gyro[0]).collect(),
-            gyro_sampled[..n].iter().map(|&v| v * coupling.gyro[1]).collect(),
-            gyro_sampled[..n].iter().map(|&v| v * coupling.gyro[2]).collect(),
+            gyro_sampled[..n]
+                .iter()
+                .map(|&v| v * coupling.gyro[0])
+                .collect(),
+            gyro_sampled[..n]
+                .iter()
+                .map(|&v| v * coupling.gyro[1])
+                .collect(),
+            gyro_sampled[..n]
+                .iter()
+                .map(|&v| v * coupling.gyro[2])
+                .collect(),
         ];
 
         // --- Earphone orientation (rotates the sensed vectors). ---
@@ -228,9 +248,7 @@ impl Recorder {
         let fs = self.imu.sample_rate_hz;
         let activity = condition.activity();
         let mut axes = Vec::with_capacity(6);
-        for (idx, mut track) in
-            accel_axes.into_iter().chain(gyro_axes.into_iter()).enumerate()
-        {
+        for (idx, mut track) in accel_axes.into_iter().chain(gyro_axes).enumerate() {
             let is_accel = idx < 3;
             if is_accel {
                 let gait_coupling = rng.gen_range(0.5..1.0);
@@ -244,8 +262,11 @@ impl Recorder {
                 *t += dc;
             }
             if self.jitter.sensor_noise {
-                let sigma =
-                    if is_accel { self.imu.accel_noise_lsb } else { self.imu.gyro_noise_lsb };
+                let sigma = if is_accel {
+                    self.imu.accel_noise_lsb
+                } else {
+                    self.imu.gyro_noise_lsb
+                };
                 add_white_noise(&mut track, sigma, &mut rng);
             }
             if self.jitter.outliers {
@@ -262,20 +283,24 @@ impl Recorder {
             axes.push(track);
         }
 
-        Recording { sample_rate_hz: fs, axes, condition, user_id: user.id }
+        Recording {
+            sample_rate_hz: fs,
+            axes,
+            condition,
+            user_id: user.id,
+        }
     }
 
     /// Records the Fig. 1 feasibility experiment: the same voicing tapped
     /// at the three path locations. Returns recordings in path order.
-    pub fn record_at_all_locations(
-        &self,
-        user: &UserProfile,
-        session_seed: u64,
-    ) -> Vec<Recording> {
+    pub fn record_at_all_locations(&self, user: &UserProfile, session_seed: u64) -> Vec<Recording> {
         PathLocation::ALL
             .iter()
             .map(|&location| {
-                let tapped = Recorder { location, ..self.clone() };
+                let tapped = Recorder {
+                    location,
+                    ..self.clone()
+                };
                 tapped.record(user, Condition::Normal, session_seed)
             })
             .collect()
@@ -330,7 +355,7 @@ mod tests {
                 .az()
                 .chunks(10)
                 .filter(|c| c.len() == 10)
-                .map(|c| std_of(c))
+                .map(std_of)
                 .fold(0.0f64, f64::max);
             assert!(max_std > 250.0, "user {} max window σ {max_std}", user.id);
         }
@@ -351,7 +376,11 @@ mod tests {
     fn axes_start_from_different_baselines() {
         let (pop, rec) = setup();
         let r = rec.record(&pop.users()[2], Condition::Normal, 5);
-        let starts: Vec<f64> = r.axes().iter().map(|a| a[..20].iter().sum::<f64>() / 20.0).collect();
+        let starts: Vec<f64> = r
+            .axes()
+            .iter()
+            .map(|a| a[..20].iter().sum::<f64>() / 20.0)
+            .collect();
         let spread = starts.iter().cloned().fold(f64::MIN, f64::max)
             - starts.iter().cloned().fold(f64::MAX, f64::min);
         assert!(spread > 500.0, "baseline spread {spread}");
@@ -362,12 +391,18 @@ mod tests {
         let (pop, rec) = setup();
         let locs = rec.record_at_all_locations(&pop.users()[0], 6);
         let stds: Vec<f64> = locs.iter().map(|r| std_of(r.az())).collect();
-        assert!(stds[0] > stds[1] && stds[1] > stds[2], "σ along path: {stds:?}");
+        assert!(
+            stds[0] > stds[1] && stds[1] > stds[2],
+            "σ along path: {stds:?}"
+        );
     }
 
     #[test]
     fn walk_does_not_false_trigger_before_voicing() {
-        let (pop, rec) = setup();
+        let (pop, mut rec) = setup();
+        // Outlier spikes are a separate (MAD-cleaned) interference source
+        // and can land in any window; this test isolates gait energy.
+        rec.jitter.outliers = false;
         for seed in 0..5 {
             let r = rec.record(&pop.users()[0], Condition::Walk, seed);
             let quiet = &r.az()[..30];
@@ -385,9 +420,7 @@ mod tests {
         // The per-sample 3-vector norms of the *vibration* match before
         // noise, so overall accel energy should be comparable (within
         // noise and bias differences).
-        let energy = |r: &Recording| -> f64 {
-            (0..3).map(|a| std_of(&r.axes()[a])).sum::<f64>()
-        };
+        let energy = |r: &Recording| -> f64 { (0..3).map(|a| std_of(&r.axes()[a])).sum::<f64>() };
         let en = energy(&normal);
         let er = energy(&rotated);
         assert!((en / er - 1.0).abs() < 0.8, "energy {en} vs {er}");

@@ -8,13 +8,11 @@
 //! effects: a high-rate physics track runs through the DLPF model, then
 //! sample-and-hold decimation.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::SimError;
 use crate::vibration::INTERNAL_RATE_HZ;
 
 /// A commodity IMU model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ImuModel {
     /// Human-readable part name.
     pub name: String,

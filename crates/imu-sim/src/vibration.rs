@@ -79,7 +79,11 @@ pub fn simulate_vibration(
         // Semi-implicit Euler: velocity first, then position.
         v += a * dt;
         x += v * dt;
-        out.push(VibrationSample { displacement: x, velocity: v, acceleration: a });
+        out.push(VibrationSample {
+            displacement: x,
+            velocity: v,
+            acceleration: a,
+        });
     }
     out
 }
@@ -89,7 +93,10 @@ pub fn acceleration_rms(samples: &[VibrationSample]) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
-    (samples.iter().map(|s| s.acceleration * s.acceleration).sum::<f64>()
+    (samples
+        .iter()
+        .map(|s| s.acceleration * s.acceleration)
+        .sum::<f64>()
         / samples.len() as f64)
         .sqrt()
 }
@@ -98,8 +105,8 @@ pub fn acceleration_rms(samples: &[VibrationSample]) -> f64 {
 mod tests {
     use super::*;
     use crate::vocal::{Sex, Tone};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mandipass_util::rand::rngs::StdRng;
+    use mandipass_util::rand::SeedableRng;
 
     fn setup(seed: u64) -> (MandibleProfile, VocalProfile) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -120,9 +127,7 @@ mod tests {
         let (m, v) = setup(2);
         let samples = simulate_vibration(&m, &v, 0.5);
         assert!(samples.iter().all(|s| {
-            s.displacement.is_finite()
-                && s.displacement.abs() < 1.0
-                && s.acceleration.is_finite()
+            s.displacement.is_finite() && s.displacement.abs() < 1.0 && s.acceleration.is_finite()
         }));
     }
 

@@ -7,16 +7,15 @@
 //! hum. We model them as per-user constants with small per-recording
 //! jitter, plus tone modifiers for the §VII.D experiment.
 
-use rand::Rng;
-use rand_distr::{Distribution, Normal};
-use serde::{Deserialize, Serialize};
+use mandipass_util::rand::Rng;
+use mandipass_util::rand_distr::{Distribution, Normal};
 
 use crate::error::SimError;
 
 /// Biological sex of a simulated volunteer; only used to condition the
 /// vocal fundamental frequency distribution (the paper checks VSR fairness
 /// across 28 male and 6 female volunteers).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Sex {
     /// Male: fundamental roughly 105-145 Hz.
     Male,
@@ -25,7 +24,7 @@ pub enum Sex {
 }
 
 /// Tone modifier for the §VII.D tone-of-voicing experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Tone {
     /// The user's natural hum.
     Normal,
@@ -58,7 +57,7 @@ impl Tone {
 }
 
 /// Per-user voicing profile for the "EMM" hum.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VocalProfile {
     /// Fundamental frequency of vocal-fold vibration, Hz.
     pub f0_hz: f64,
@@ -87,15 +86,18 @@ impl VocalProfile {
     /// forces or attack, or an out-of-range phase fraction.
     pub fn validate(&self) -> Result<(), SimError> {
         if !(self.f0_hz.is_finite() && self.f0_hz > 0.0) {
-            return Err(SimError::InvalidParameter { name: "f0_hz", value: self.f0_hz });
+            return Err(SimError::InvalidParameter {
+                name: "f0_hz",
+                value: self.f0_hz,
+            });
         }
-        if !(self.force_positive > 0.0) {
+        if self.force_positive.is_nan() || self.force_positive <= 0.0 {
             return Err(SimError::InvalidParameter {
                 name: "force_positive",
                 value: self.force_positive,
             });
         }
-        if !(self.force_negative > 0.0) {
+        if self.force_negative.is_nan() || self.force_negative <= 0.0 {
             return Err(SimError::InvalidParameter {
                 name: "force_negative",
                 value: self.force_negative,
@@ -107,7 +109,7 @@ impl VocalProfile {
                 value: self.positive_phase_fraction,
             });
         }
-        if !(self.attack_seconds > 0.0) {
+        if self.attack_seconds.is_nan() || self.attack_seconds <= 0.0 {
             return Err(SimError::InvalidParameter {
                 name: "attack_seconds",
                 value: self.attack_seconds,
@@ -129,7 +131,7 @@ impl VocalProfile {
         let rolloff: f64 = rng.gen_range(0.35..0.85);
         let harmonics: Vec<f64> = (0..n_harmonics)
             .map(|h| {
-                let base: f64 = rolloff.powi(h as i32);
+                let base: f64 = rolloff.powi(h);
                 base * rng.gen_range(0.75..1.25)
             })
             .collect();
@@ -163,7 +165,10 @@ impl VocalProfile {
             if sigma * scale <= 0.0 {
                 return v;
             }
-            v * (1.0 + Normal::new(0.0, sigma * scale).expect("valid normal").sample(rng))
+            v * (1.0
+                + Normal::new(0.0, sigma * scale)
+                    .expect("valid normal")
+                    .sample(rng))
         };
         VocalProfile {
             f0_hz: jitter(rng, self.f0_hz, 0.0025) * tone.frequency_factor(),
@@ -187,15 +192,19 @@ impl VocalProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mandipass_util::rand::rngs::StdRng;
+    use mandipass_util::rand::SeedableRng;
 
     #[test]
     fn sampled_profiles_validate() {
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..50 {
-            VocalProfile::sample(&mut rng, Sex::Male).validate().unwrap();
-            VocalProfile::sample(&mut rng, Sex::Female).validate().unwrap();
+            VocalProfile::sample(&mut rng, Sex::Male)
+                .validate()
+                .unwrap();
+            VocalProfile::sample(&mut rng, Sex::Female)
+                .validate()
+                .unwrap();
         }
     }
 

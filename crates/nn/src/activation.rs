@@ -21,19 +21,18 @@ impl ReLU {
 
 impl Layer for ReLU {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.mask = Some(input.data().iter().map(|&v| v > 0.0).collect());
+        }
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         let mut out = input.clone();
-        let mut mask = if train { Vec::with_capacity(input.len()) } else { Vec::new() };
         for v in out.data_mut() {
-            let pass = *v > 0.0;
-            if !pass {
+            if *v < 0.0 {
                 *v = 0.0;
             }
-            if train {
-                mask.push(pass);
-            }
-        }
-        if train {
-            self.mask = Some(mask);
         }
         out
     }
@@ -70,18 +69,25 @@ pub struct Sigmoid {
 impl Sigmoid {
     /// Creates a sigmoid layer.
     pub fn new() -> Self {
-        Sigmoid { cached_output: None }
+        Sigmoid {
+            cached_output: None,
+        }
     }
 }
 
 impl Layer for Sigmoid {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let out = self.infer(input);
+        if train {
+            self.cached_output = Some(out.clone());
+        }
+        out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         let mut out = input.clone();
         for v in out.data_mut() {
             *v = 1.0 / (1.0 + (-*v).exp());
-        }
-        if train {
-            self.cached_output = Some(out.clone());
         }
         out
     }
@@ -152,7 +158,11 @@ mod tests {
             let yp: f32 = sig.forward(&xp, false).data()[i];
             let ym: f32 = sig.forward(&xm, false).data()[i];
             let fd = (yp - ym) / (2.0 * eps);
-            assert!((fd - gx.data()[i]).abs() < 1e-4, "i={i}: fd {fd} vs {}", gx.data()[i]);
+            assert!(
+                (fd - gx.data()[i]).abs() < 1e-4,
+                "i={i}: fd {fd} vs {}",
+                gx.data()[i]
+            );
         }
     }
 

@@ -75,74 +75,89 @@ impl BatchNorm2d {
 
 impl Layer for BatchNorm2d {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train {
+            return self.infer(input);
+        }
         let (n, plane) = self.check_input(input);
         let x = input.data();
         let mut out = input.clone();
         let count = (n * plane) as f32;
 
-        let (mean, var): (Vec<f32>, Vec<f32>) = if train {
-            let mut mean = vec![0.0f32; self.channels];
-            let mut var = vec![0.0f32; self.channels];
-            for img in 0..n {
-                for c in 0..self.channels {
-                    let base = (img * self.channels + c) * plane;
-                    for i in 0..plane {
-                        mean[c] += x[base + i];
-                    }
+        let mut mean = vec![0.0f32; self.channels];
+        let mut var = vec![0.0f32; self.channels];
+        for img in 0..n {
+            for (c, mean_c) in mean.iter_mut().enumerate() {
+                let base = (img * self.channels + c) * plane;
+                for i in 0..plane {
+                    *mean_c += x[base + i];
                 }
             }
-            for m in &mut mean {
-                *m /= count;
-            }
-            for img in 0..n {
-                for c in 0..self.channels {
-                    let base = (img * self.channels + c) * plane;
-                    for i in 0..plane {
-                        let d = x[base + i] - mean[c];
-                        var[c] += d * d;
-                    }
+        }
+        for m in &mut mean {
+            *m /= count;
+        }
+        for img in 0..n {
+            for c in 0..self.channels {
+                let base = (img * self.channels + c) * plane;
+                for i in 0..plane {
+                    let d = x[base + i] - mean[c];
+                    var[c] += d * d;
                 }
             }
-            for v in &mut var {
-                *v /= count;
+        }
+        for v in &mut var {
+            *v /= count;
+        }
+        {
+            let rm = self.running_mean.data_mut();
+            let rv = self.running_var.data_mut();
+            for c in 0..self.channels {
+                rm[c] = (1.0 - self.momentum) * rm[c] + self.momentum * mean[c];
+                rv[c] = (1.0 - self.momentum) * rv[c] + self.momentum * var[c];
             }
-            {
-                let rm = self.running_mean.data_mut();
-                let rv = self.running_var.data_mut();
-                for c in 0..self.channels {
-                    rm[c] = (1.0 - self.momentum) * rm[c] + self.momentum * mean[c];
-                    rv[c] = (1.0 - self.momentum) * rv[c] + self.momentum * var[c];
-                }
-            }
-            (mean, var)
-        } else {
-            (self.running_mean.data().to_vec(), self.running_var.data().to_vec())
-        };
+        }
 
         let gamma = self.gamma.data();
         let beta = self.beta.data();
         let y = out.data_mut();
-        let mut normalized = if train { vec![0.0f32; x.len()] } else { Vec::new() };
+        let mut normalized = vec![0.0f32; x.len()];
         for img in 0..n {
             for c in 0..self.channels {
                 let base = (img * self.channels + c) * plane;
                 let inv_std = 1.0 / (var[c] + self.eps).sqrt();
                 for i in 0..plane {
                     let xh = (x[base + i] - mean[c]) * inv_std;
-                    if train {
-                        normalized[base + i] = xh;
-                    }
+                    normalized[base + i] = xh;
                     y[base + i] = gamma[c] * xh + beta[c];
                 }
             }
         }
-        if train {
-            self.cache = Some(BnCache {
-                normalized: Tensor::from_vec(input.shape().to_vec(), normalized)
-                    .expect("normalized matches input shape"),
-                batch_var: var,
-                shape: input.shape().to_vec(),
-            });
+        self.cache = Some(BnCache {
+            normalized: Tensor::from_vec(input.shape().to_vec(), normalized)
+                .expect("normalized matches input shape"),
+            batch_var: var,
+            shape: input.shape().to_vec(),
+        });
+        out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let (n, plane) = self.check_input(input);
+        let x = input.data();
+        let mut out = input.clone();
+        let mean = self.running_mean.data();
+        let var = self.running_var.data();
+        let gamma = self.gamma.data();
+        let beta = self.beta.data();
+        let y = out.data_mut();
+        for img in 0..n {
+            for c in 0..self.channels {
+                let base = (img * self.channels + c) * plane;
+                let inv_std = 1.0 / (var[c] + self.eps).sqrt();
+                for i in 0..plane {
+                    y[base + i] = gamma[c] * ((x[base + i] - mean[c]) * inv_std) + beta[c];
+                }
+            }
         }
         out
     }
@@ -190,9 +205,7 @@ impl Layer for BatchNorm2d {
                 let k1 = gamma[c] * inv_std;
                 for i in 0..plane {
                     gx[base + i] = k1
-                        * (go[base + i]
-                            - sum_go[c] / count
-                            - xh[base + i] * sum_go_xh[c] / count);
+                        * (go[base + i] - sum_go[c] / count - xh[base + i] * sum_go_xh[c] / count);
                 }
             }
         }
@@ -201,15 +214,31 @@ impl Layer for BatchNorm2d {
 
     fn params(&mut self) -> Vec<Param<'_>> {
         vec![
-            Param { value: &mut self.gamma, grad: &mut self.grad_gamma, name: "gamma".into() },
-            Param { value: &mut self.beta, grad: &mut self.grad_beta, name: "beta".into() },
+            Param {
+                value: &mut self.gamma,
+                grad: &mut self.grad_gamma,
+                name: "gamma".into(),
+            },
+            Param {
+                value: &mut self.beta,
+                grad: &mut self.grad_beta,
+                name: "beta".into(),
+            },
         ]
     }
 
     fn state_params(&mut self) -> Vec<Param<'_>> {
         vec![
-            Param { value: &mut self.gamma, grad: &mut self.grad_gamma, name: "gamma".into() },
-            Param { value: &mut self.beta, grad: &mut self.grad_beta, name: "beta".into() },
+            Param {
+                value: &mut self.gamma,
+                grad: &mut self.grad_gamma,
+                name: "gamma".into(),
+            },
+            Param {
+                value: &mut self.beta,
+                grad: &mut self.grad_beta,
+                name: "beta".into(),
+            },
             Param {
                 value: &mut self.running_mean,
                 grad: &mut self.grad_running_mean,
@@ -229,7 +258,9 @@ mod tests {
     use super::*;
 
     fn sample_input() -> Tensor {
-        let data: Vec<f32> = (0..2 * 2 * 2 * 3).map(|i| ((i * 7 % 13) as f32) - 6.0).collect();
+        let data: Vec<f32> = (0..2 * 2 * 2 * 3)
+            .map(|i| ((i * 7 % 13) as f32) - 6.0)
+            .collect();
         Tensor::from_vec(vec![2, 2, 2, 3], data).unwrap()
     }
 

@@ -4,8 +4,8 @@
 //! across axes, 2 across time), so stride and padding are independent per
 //! dimension here.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mandipass_util::rand::rngs::StdRng;
+use mandipass_util::rand::SeedableRng;
 
 use crate::init::kaiming_normal;
 use crate::layer::{Layer, Param};
@@ -45,8 +45,14 @@ impl Conv2d {
         padding: (usize, usize),
         seed: u64,
     ) -> Self {
-        assert!(kernel.0 > 0 && kernel.1 > 0, "kernel dimensions must be positive");
-        assert!(stride.0 > 0 && stride.1 > 0, "stride dimensions must be positive");
+        assert!(
+            kernel.0 > 0 && kernel.1 > 0,
+            "kernel dimensions must be positive"
+        );
+        assert!(
+            stride.0 > 0 && stride.1 > 0,
+            "stride dimensions must be positive"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let fan_in = in_channels * kernel.0 * kernel.1;
         let len = out_channels * fan_in;
@@ -91,6 +97,14 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let out = self.infer(input);
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         let (n, h, w) = self.check_input(input);
         let (kh, kw) = self.kernel;
         let (sh, sw) = self.stride;
@@ -105,11 +119,11 @@ impl Layer for Conv2d {
         let in_plane = h * w;
         let out_plane = oh * ow;
         for img in 0..n {
-            for oc in 0..self.out_channels {
+            for (oc, &bias_oc) in b.iter().enumerate() {
                 let y_base = (img * self.out_channels + oc) * out_plane;
                 for oy in 0..oh {
                     for ox in 0..ow {
-                        let mut acc = b[oc];
+                        let mut acc = bias_oc;
                         // Top-left corner of the receptive field in padded coords.
                         let iy0 = oy * sh;
                         let ix0 = ox * sw;
@@ -137,9 +151,6 @@ impl Layer for Conv2d {
                 }
             }
         }
-        if train {
-            self.cached_input = Some(input.clone());
-        }
         out
     }
 
@@ -166,7 +177,7 @@ impl Layer for Conv2d {
         let in_plane = h * w;
         let out_plane = oh * ow;
         for img in 0..n {
-            for oc in 0..self.out_channels {
+            for (oc, gb_oc) in gb.iter_mut().enumerate() {
                 let go_base = (img * self.out_channels + oc) * out_plane;
                 for oy in 0..oh {
                     for ox in 0..ow {
@@ -174,7 +185,7 @@ impl Layer for Conv2d {
                         if g == 0.0 {
                             continue;
                         }
-                        gb[oc] += g;
+                        *gb_oc += g;
                         let iy0 = oy * sh;
                         let ix0 = ox * sw;
                         for ic in 0..self.in_channels {
@@ -207,8 +218,16 @@ impl Layer for Conv2d {
 
     fn params(&mut self) -> Vec<Param<'_>> {
         vec![
-            Param { value: &mut self.weight, grad: &mut self.grad_weight, name: "weight".into() },
-            Param { value: &mut self.bias, grad: &mut self.grad_bias, name: "bias".into() },
+            Param {
+                value: &mut self.weight,
+                grad: &mut self.grad_weight,
+                name: "weight".into(),
+            },
+            Param {
+                value: &mut self.bias,
+                grad: &mut self.grad_bias,
+                name: "bias".into(),
+            },
         ]
     }
 }
@@ -270,8 +289,7 @@ mod tests {
     fn stride_subsamples_output() {
         let mut conv = Conv2d::new(1, 1, (1, 1), (1, 2), (0, 0), 0);
         conv.weight = Tensor::from_vec(vec![1, 1, 1, 1], vec![1.0]).unwrap();
-        let x =
-            Tensor::from_vec(vec![1, 1, 1, 6], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let x = Tensor::from_vec(vec![1, 1, 1, 6], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
         let y = conv.forward(&x, false);
         assert_eq!(y.shape(), &[1, 1, 1, 3]);
         assert_eq!(y.data(), &[0.0, 2.0, 4.0]);
@@ -281,7 +299,9 @@ mod tests {
     fn gradients_match_finite_differences() {
         // Small conv + flatten-as-logits so we can reuse cross_entropy.
         let mut conv = Conv2d::new(2, 2, (2, 2), (1, 1), (1, 1), 7);
-        let x_data: Vec<f32> = (0..2 * 2 * 3 * 3).map(|i| ((i * 13 % 17) as f32 - 8.0) / 10.0).collect();
+        let x_data: Vec<f32> = (0..2 * 2 * 3 * 3)
+            .map(|i| ((i * 13 % 17) as f32 - 8.0) / 10.0)
+            .collect();
         let x = Tensor::from_vec(vec![2, 2, 3, 3], x_data).unwrap();
         let labels = [3usize, 11usize];
 

@@ -1,7 +1,7 @@
 //! Mini-batch helpers: shuffling, batching, and train/test splitting.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use mandipass_util::rand::seq::SliceRandom;
+use mandipass_util::rand::Rng;
 
 use crate::tensor::Tensor;
 
@@ -22,7 +22,11 @@ impl Dataset {
     ///
     /// Panics on count or length mismatch.
     pub fn new(features: Vec<Vec<f32>>, labels: Vec<usize>) -> Self {
-        assert_eq!(features.len(), labels.len(), "one label per feature vector required");
+        assert_eq!(
+            features.len(),
+            labels.len(),
+            "one label per feature vector required"
+        );
         if let Some(first) = features.first() {
             let len = first.len();
             assert!(
@@ -114,8 +118,8 @@ impl Dataset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mandipass_util::rand::rngs::StdRng;
+    use mandipass_util::rand::SeedableRng;
 
     fn toy() -> Dataset {
         Dataset::new(

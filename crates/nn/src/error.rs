@@ -37,7 +37,10 @@ impl fmt::Display for NnError {
             }
             NnError::MalformedBlob { reason } => write!(f, "malformed parameter blob: {reason}"),
             NnError::LayoutMismatch { expected, got } => {
-                write!(f, "parameter layout mismatch: model has {expected} tensors, blob has {got}")
+                write!(
+                    f,
+                    "parameter layout mismatch: model has {expected} tensors, blob has {got}"
+                )
             }
         }
     }
@@ -51,11 +54,19 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = NnError::ShapeMismatch { expected: 6, got: 5 };
+        let e = NnError::ShapeMismatch {
+            expected: 6,
+            got: 5,
+        };
         assert!(e.to_string().contains('6') && e.to_string().contains('5'));
-        let e = NnError::MalformedBlob { reason: "truncated".into() };
+        let e = NnError::MalformedBlob {
+            reason: "truncated".into(),
+        };
         assert!(e.to_string().contains("truncated"));
-        let e = NnError::LayoutMismatch { expected: 4, got: 2 };
+        let e = NnError::LayoutMismatch {
+            expected: 4,
+            got: 2,
+        };
         assert!(e.to_string().contains("layout"));
     }
 

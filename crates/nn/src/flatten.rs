@@ -21,13 +21,17 @@ impl Flatten {
 
 impl Layer for Flatten {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let shape = input.shape().to_vec();
+        if train {
+            self.cached_shape = Some(input.shape().to_vec());
+        }
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let shape = input.shape();
         assert!(shape.len() >= 2, "flatten expects rank >= 2 input");
         let n = shape[0];
         let features: usize = shape[1..].iter().product();
-        if train {
-            self.cached_shape = Some(shape);
-        }
         input
             .clone()
             .reshape(vec![n, features])

@@ -1,7 +1,7 @@
 //! Weight initialisation schemes.
 
-use rand::Rng;
-use rand_distr::{Distribution, Normal, Uniform};
+use mandipass_util::rand::Rng;
+use mandipass_util::rand_distr::{Distribution, Normal, Uniform};
 
 /// Kaiming (He) normal initialisation for layers followed by ReLU:
 /// `N(0, sqrt(2 / fan_in))`.
@@ -13,12 +13,7 @@ pub fn kaiming_normal<R: Rng>(rng: &mut R, fan_in: usize, len: usize) -> Vec<f32
 
 /// Xavier (Glorot) uniform initialisation:
 /// `U(−sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out)))`.
-pub fn xavier_uniform<R: Rng>(
-    rng: &mut R,
-    fan_in: usize,
-    fan_out: usize,
-    len: usize,
-) -> Vec<f32> {
+pub fn xavier_uniform<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize, len: usize) -> Vec<f32> {
     let bound = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
     let dist = Uniform::new_inclusive(-bound, bound);
     (0..len).map(|_| dist.sample(rng) as f32).collect()
@@ -27,16 +22,15 @@ pub fn xavier_uniform<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mandipass_util::rand::rngs::StdRng;
+    use mandipass_util::rand::SeedableRng;
 
     #[test]
     fn kaiming_std_is_close_to_design() {
         let mut rng = StdRng::seed_from_u64(7);
         let w = kaiming_normal(&mut rng, 128, 50_000);
         let mean: f64 = w.iter().map(|&x| x as f64).sum::<f64>() / w.len() as f64;
-        let var: f64 =
-            w.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / w.len() as f64;
+        let var: f64 = w.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / w.len() as f64;
         let design = 2.0 / 128.0;
         assert!(mean.abs() < 0.01, "mean {mean}");
         assert!((var - design).abs() / design < 0.1, "var {var} vs {design}");
@@ -56,6 +50,9 @@ mod tests {
     fn deterministic_under_same_seed() {
         let mut a = StdRng::seed_from_u64(3);
         let mut b = StdRng::seed_from_u64(3);
-        assert_eq!(kaiming_normal(&mut a, 10, 100), kaiming_normal(&mut b, 10, 100));
+        assert_eq!(
+            kaiming_normal(&mut a, 10, 100),
+            kaiming_normal(&mut b, 10, 100)
+        );
     }
 }

@@ -26,6 +26,12 @@ pub trait Layer: std::fmt::Debug {
     /// backward pass.
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
 
+    /// Computes the layer output in evaluation mode without touching any
+    /// mutable state: no backward cache, no running-statistic updates.
+    /// Equals `forward(input, false)` for every layer; this is the
+    /// deployed verification path, where the trained model is shared.
+    fn infer(&self, input: &Tensor) -> Tensor;
+
     /// Backpropagates `grad_output` (gradient of the loss with respect to
     /// this layer's output), accumulating parameter gradients and returning
     /// the gradient with respect to the layer input.

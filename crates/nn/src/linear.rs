@@ -1,7 +1,7 @@
 //! Fully connected (dense) layer.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mandipass_util::rand::rngs::StdRng;
+use mandipass_util::rand::SeedableRng;
 
 use crate::init::kaiming_normal;
 use crate::layer::{Layer, Param};
@@ -60,6 +60,14 @@ impl Linear {
 
 impl Layer for Linear {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let out = self.infer(input);
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         assert_eq!(input.shape().len(), 2, "linear expects [N, in] input");
         assert_eq!(input.shape()[1], self.in_features, "input feature mismatch");
         let n = input.shape()[0];
@@ -79,9 +87,6 @@ impl Layer for Linear {
                 }
                 yi[o] = acc;
             }
-        }
-        if train {
-            self.cached_input = Some(input.clone());
         }
         out
     }
@@ -134,8 +139,16 @@ impl Layer for Linear {
 
     fn params(&mut self) -> Vec<Param<'_>> {
         vec![
-            Param { value: &mut self.weight, grad: &mut self.grad_weight, name: "weight".into() },
-            Param { value: &mut self.bias, grad: &mut self.grad_bias, name: "bias".into() },
+            Param {
+                value: &mut self.weight,
+                grad: &mut self.grad_weight,
+                name: "weight".into(),
+            },
+            Param {
+                value: &mut self.bias,
+                grad: &mut self.grad_bias,
+                name: "bias".into(),
+            },
         ]
     }
 }

@@ -14,7 +14,11 @@ use crate::tensor::Tensor;
 /// Panics when `labels.len()` differs from the batch size or a label is out
 /// of range.
 pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
-    assert_eq!(logits.shape().len(), 2, "cross_entropy expects [N, classes] logits");
+    assert_eq!(
+        logits.shape().len(),
+        2,
+        "cross_entropy expects [N, classes] logits"
+    );
     let n = logits.shape()[0];
     let classes = logits.shape()[1];
     assert_eq!(labels.len(), n, "one label per batch row required");
@@ -27,7 +31,10 @@ pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
     for i in 0..n {
         let row = &x[i * classes..(i + 1) * classes];
         let label = labels[i];
-        assert!(label < classes, "label {label} out of range for {classes} classes");
+        assert!(
+            label < classes,
+            "label {label} out of range for {classes} classes"
+        );
         // Numerically stable log-softmax.
         let max = row.iter().cloned().fold(f32::MIN, f32::max);
         let sum_exp: f32 = row.iter().map(|&v| (v - max).exp()).sum();
@@ -96,8 +103,7 @@ mod tests {
 
     #[test]
     fn gradient_matches_finite_difference() {
-        let logits =
-            Tensor::from_vec(vec![2, 3], vec![0.3, -0.7, 1.1, -0.2, 0.9, 0.4]).unwrap();
+        let logits = Tensor::from_vec(vec![2, 3], vec![0.3, -0.7, 1.1, -0.2, 0.9, 0.4]).unwrap();
         let labels = [1usize, 2usize];
         let (_, grad) = cross_entropy(&logits, &labels);
         let eps = 1e-3f32;
@@ -130,11 +136,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax_matches() {
-        let logits = Tensor::from_vec(
-            vec![3, 2],
-            vec![2.0, 1.0, 0.0, 5.0, 1.0, 0.0],
-        )
-        .unwrap();
+        let logits = Tensor::from_vec(vec![3, 2], vec![2.0, 1.0, 0.0, 5.0, 1.0, 0.0]).unwrap();
         assert!((accuracy(&logits, &[0, 1, 0]) - 1.0).abs() < 1e-12);
         assert!((accuracy(&logits, &[1, 1, 0]) - 2.0 / 3.0).abs() < 1e-12);
     }

@@ -30,7 +30,15 @@ impl Adam {
     /// Creates an Adam optimiser with the given learning rate and the
     /// standard defaults `β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Overrides the exponential-decay coefficients.
@@ -57,12 +65,20 @@ impl Optimizer for Adam {
             self.m = params.iter().map(|p| vec![0.0; p.value.len()]).collect();
             self.v = params.iter().map(|p| vec![0.0; p.value.len()]).collect();
         }
-        assert_eq!(self.m.len(), params.len(), "parameter list changed between steps");
+        assert_eq!(
+            self.m.len(),
+            params.len(),
+            "parameter list changed between steps"
+        );
         self.t += 1;
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
         for (i, p) in params.iter_mut().enumerate() {
-            assert_eq!(self.m[i].len(), p.value.len(), "parameter size changed between steps");
+            assert_eq!(
+                self.m[i].len(),
+                p.value.len(),
+                "parameter size changed between steps"
+            );
             let m = &mut self.m[i];
             let v = &mut self.v[i];
             let values = p.value.data_mut();
@@ -90,7 +106,11 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an SGD optimiser without momentum.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Enables classical momentum.
@@ -105,7 +125,11 @@ impl Optimizer for Sgd {
         if self.velocity.is_empty() {
             self.velocity = params.iter().map(|p| vec![0.0; p.value.len()]).collect();
         }
-        assert_eq!(self.velocity.len(), params.len(), "parameter list changed between steps");
+        assert_eq!(
+            self.velocity.len(),
+            params.len(),
+            "parameter list changed between steps"
+        );
         for (i, p) in params.iter_mut().enumerate() {
             let vel = &mut self.velocity[i];
             let values = p.value.data_mut();
@@ -136,11 +160,22 @@ mod tests {
         // For the first step, m̂ = g and v̂ = g², so Δ = lr · g / (|g| + ε).
         let (mut val, mut grad) = make_param(vec![1.0, -2.0], vec![0.5, -0.5]);
         let mut adam = Adam::new(0.1);
-        let mut params =
-            vec![Param { value: &mut val, grad: &mut grad, name: "p".into() }];
+        let mut params = vec![Param {
+            value: &mut val,
+            grad: &mut grad,
+            name: "p".into(),
+        }];
         adam.step(&mut params);
-        assert!((val.data()[0] - (1.0 - 0.1)).abs() < 1e-5, "{}", val.data()[0]);
-        assert!((val.data()[1] - (-2.0 + 0.1)).abs() < 1e-5, "{}", val.data()[1]);
+        assert!(
+            (val.data()[0] - (1.0 - 0.1)).abs() < 1e-5,
+            "{}",
+            val.data()[0]
+        );
+        assert!(
+            (val.data()[1] - (-2.0 + 0.1)).abs() < 1e-5,
+            "{}",
+            val.data()[1]
+        );
     }
 
     #[test]
@@ -151,8 +186,11 @@ mod tests {
         for _ in 0..2000 {
             let x = val.data()[0];
             grad.data_mut()[0] = 2.0 * (x - 3.0);
-            let mut params =
-                vec![Param { value: &mut val, grad: &mut grad, name: "x".into() }];
+            let mut params = vec![Param {
+                value: &mut val,
+                grad: &mut grad,
+                name: "x".into(),
+            }];
             adam.step(&mut params);
         }
         assert!((val.data()[0] - 3.0).abs() < 1e-2, "{}", val.data()[0]);
@@ -162,7 +200,11 @@ mod tests {
     fn sgd_step_is_lr_times_grad() {
         let (mut val, mut grad) = make_param(vec![1.0], vec![2.0]);
         let mut sgd = Sgd::new(0.5);
-        let mut params = vec![Param { value: &mut val, grad: &mut grad, name: "p".into() }];
+        let mut params = vec![Param {
+            value: &mut val,
+            grad: &mut grad,
+            name: "p".into(),
+        }];
         sgd.step(&mut params);
         assert_eq!(val.data()[0], 0.0);
     }
@@ -172,8 +214,11 @@ mod tests {
         let (mut val, mut grad) = make_param(vec![0.0], vec![1.0]);
         let mut sgd = Sgd::new(1.0).with_momentum(0.5);
         for _ in 0..2 {
-            let mut params =
-                vec![Param { value: &mut val, grad: &mut grad, name: "p".into() }];
+            let mut params = vec![Param {
+                value: &mut val,
+                grad: &mut grad,
+                name: "p".into(),
+            }];
             sgd.step(&mut params);
         }
         // Step 1: v = 1, x = −1. Step 2: v = 1.5, x = −2.5.
@@ -193,11 +238,23 @@ mod tests {
         let (mut v1, mut g1) = make_param(vec![0.0], vec![0.0]);
         let (mut v2, mut g2) = make_param(vec![0.0], vec![0.0]);
         let mut adam = Adam::new(0.1);
-        let mut params = vec![Param { value: &mut v1, grad: &mut g1, name: "a".into() }];
+        let mut params = vec![Param {
+            value: &mut v1,
+            grad: &mut g1,
+            name: "a".into(),
+        }];
         adam.step(&mut params);
         let mut params = vec![
-            Param { value: &mut v1, grad: &mut g1, name: "a".into() },
-            Param { value: &mut v2, grad: &mut g2, name: "b".into() },
+            Param {
+                value: &mut v1,
+                grad: &mut g1,
+                name: "a".into(),
+            },
+            Param {
+                value: &mut v2,
+                grad: &mut g2,
+                name: "b".into(),
+            },
         ];
         adam.step(&mut params);
     }

@@ -37,6 +37,14 @@ impl Layer for Sequential {
         cur
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let mut cur = input.clone();
+        for layer in &self.layers {
+            cur = layer.infer(&cur);
+        }
+        cur
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let mut cur = grad_output.clone();
         for layer in self.layers.iter_mut().rev() {
@@ -77,11 +85,7 @@ mod tests {
     use crate::optim::{Adam, Optimizer};
 
     fn xor_data() -> (Tensor, Vec<usize>) {
-        let x = Tensor::from_vec(
-            vec![4, 2],
-            vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![4, 2], vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]).unwrap();
         (x, vec![0, 1, 1, 0])
     }
 

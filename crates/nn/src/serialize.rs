@@ -16,7 +16,7 @@
 //!   data f32 × product(dims), little-endian
 //! ```
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mandipass_util::bytebuf::{ByteReader, ByteWriter};
 
 use crate::error::NnError;
 use crate::layer::Layer;
@@ -27,9 +27,9 @@ const MAGIC: u32 = 0x4d50_4e4e;
 /// Serialises the full persistent state of `layer` (learnable parameters
 /// plus buffers such as batch-norm running statistics) into a binary
 /// blob.
-pub fn save_params(layer: &mut dyn Layer) -> Bytes {
+pub fn save_params(layer: &mut dyn Layer) -> Vec<u8> {
     let params = layer.state_params();
-    let mut buf = BytesMut::new();
+    let mut buf = ByteWriter::new();
     buf.put_u32_le(MAGIC);
     buf.put_u32_le(params.len() as u32);
     for p in &params {
@@ -43,7 +43,7 @@ pub fn save_params(layer: &mut dyn Layer) -> Bytes {
             buf.put_f32_le(v);
         }
     }
-    buf.freeze()
+    buf.into_vec()
 }
 
 /// Restores parameters previously produced by [`save_params`] into
@@ -56,8 +56,10 @@ pub fn save_params(layer: &mut dyn Layer) -> Bytes {
 /// * [`NnError::MalformedBlob`] when a name or shape disagrees with the
 ///   receiving model.
 pub fn load_params(layer: &mut dyn Layer, blob: &[u8]) -> Result<(), NnError> {
-    let mut buf = blob;
-    let malformed = |reason: &str| NnError::MalformedBlob { reason: reason.to_string() };
+    let mut buf = ByteReader::new(blob);
+    let malformed = |reason: &str| NnError::MalformedBlob {
+        reason: reason.to_string(),
+    };
     if buf.remaining() < 8 {
         return Err(malformed("blob shorter than header"));
     }
@@ -67,7 +69,10 @@ pub fn load_params(layer: &mut dyn Layer, blob: &[u8]) -> Result<(), NnError> {
     let count = buf.get_u32_le() as usize;
     let mut params = layer.state_params();
     if count != params.len() {
-        return Err(NnError::LayoutMismatch { expected: params.len(), got: count });
+        return Err(NnError::LayoutMismatch {
+            expected: params.len(),
+            got: count,
+        });
     }
     for p in params.iter_mut() {
         if buf.remaining() < 4 {
@@ -77,10 +82,13 @@ pub fn load_params(layer: &mut dyn Layer, blob: &[u8]) -> Result<(), NnError> {
         if buf.remaining() < name_len {
             return Err(malformed("truncated name"));
         }
-        let name_bytes = buf.copy_to_bytes(name_len);
-        let name = std::str::from_utf8(&name_bytes).map_err(|_| malformed("name not UTF-8"))?;
+        let name_bytes = buf.take(name_len);
+        let name = std::str::from_utf8(name_bytes).map_err(|_| malformed("name not UTF-8"))?;
         if name != p.name {
-            return Err(malformed(&format!("tensor name {name} does not match {}", p.name)));
+            return Err(malformed(&format!(
+                "tensor name {name} does not match {}",
+                p.name
+            )));
         }
         if buf.remaining() < 4 {
             return Err(malformed("truncated before rank"));
@@ -169,9 +177,12 @@ mod tests {
     #[test]
     fn bad_magic_is_rejected() {
         let mut net = small_net(5);
-        let mut blob = save_params(&mut net).to_vec();
+        let mut blob = save_params(&mut net);
         blob[0] ^= 0xff;
-        assert!(matches!(load_params(&mut net, &blob), Err(NnError::MalformedBlob { .. })));
+        assert!(matches!(
+            load_params(&mut net, &blob),
+            Err(NnError::MalformedBlob { .. })
+        ));
     }
 
     #[test]
@@ -181,7 +192,10 @@ mod tests {
         let blob = save_params(&mut a);
         assert!(matches!(
             load_params(&mut single, &blob),
-            Err(NnError::LayoutMismatch { expected: 2, got: 4 })
+            Err(NnError::LayoutMismatch {
+                expected: 2,
+                got: 4
+            })
         ));
     }
 
@@ -190,14 +204,20 @@ mod tests {
         let mut a = Sequential::new(vec![Box::new(Linear::new(3, 4, 0)) as _]);
         let mut b = Sequential::new(vec![Box::new(Linear::new(4, 3, 0)) as _]);
         let blob = save_params(&mut a);
-        assert!(matches!(load_params(&mut b, &blob), Err(NnError::MalformedBlob { .. })));
+        assert!(matches!(
+            load_params(&mut b, &blob),
+            Err(NnError::MalformedBlob { .. })
+        ));
     }
 
     #[test]
     fn trailing_bytes_are_rejected() {
         let mut net = small_net(7);
-        let mut blob = save_params(&mut net).to_vec();
+        let mut blob = save_params(&mut net);
         blob.push(0);
-        assert!(matches!(load_params(&mut net, &blob), Err(NnError::MalformedBlob { .. })));
+        assert!(matches!(
+            load_params(&mut net, &blob),
+            Err(NnError::MalformedBlob { .. })
+        ));
     }
 }

@@ -4,12 +4,10 @@
 //! of arithmetic helpers the layers need. All layer math operates on the
 //! flat data slice directly for speed.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::NnError;
 
 /// A dense, row-major, heap-allocated tensor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     shape: Vec<usize>,
     data: Vec<f32>,
@@ -23,7 +21,10 @@ impl Tensor {
     /// Panics if the shape is empty or any dimension is zero.
     pub fn zeros(shape: Vec<usize>) -> Self {
         let len = checked_len(&shape);
-        Tensor { shape, data: vec![0.0; len] }
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a tensor filled with `value`.
@@ -33,7 +34,10 @@ impl Tensor {
     /// Panics if the shape is empty or any dimension is zero.
     pub fn full(shape: Vec<usize>, value: f32) -> Self {
         let len = checked_len(&shape);
-        Tensor { shape, data: vec![value; len] }
+        Tensor {
+            shape,
+            data: vec![value; len],
+        }
     }
 
     /// Creates a tensor from existing data.
@@ -45,7 +49,10 @@ impl Tensor {
     pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Result<Self, NnError> {
         let expected: usize = shape.iter().product();
         if expected != data.len() || shape.is_empty() {
-            return Err(NnError::ShapeMismatch { expected, got: data.len() });
+            return Err(NnError::ShapeMismatch {
+                expected,
+                got: data.len(),
+            });
         }
         Ok(Tensor { shape, data })
     }
@@ -89,7 +96,10 @@ impl Tensor {
     pub fn reshape(mut self, shape: Vec<usize>) -> Result<Self, NnError> {
         let expected: usize = shape.iter().product();
         if expected != self.data.len() || shape.is_empty() {
-            return Err(NnError::ShapeMismatch { expected, got: self.data.len() });
+            return Err(NnError::ShapeMismatch {
+                expected,
+                got: self.data.len(),
+            });
         }
         self.shape = shape;
         Ok(self)
@@ -169,7 +179,11 @@ impl Tensor {
         assert_eq!(self.shape.len(), 2, "split_cols requires a rank-2 tensor");
         let rows = self.shape[0];
         let cols = self.shape[1];
-        assert_eq!(widths.iter().sum::<usize>(), cols, "widths must sum to column count");
+        assert_eq!(
+            widths.iter().sum::<usize>(),
+            cols,
+            "widths must sum to column count"
+        );
         let mut out = Vec::with_capacity(widths.len());
         let mut offset = 0;
         for &w in widths {
@@ -186,8 +200,14 @@ impl Tensor {
 }
 
 fn checked_len(shape: &[usize]) -> usize {
-    assert!(!shape.is_empty(), "tensor shape must have at least one dimension");
-    assert!(shape.iter().all(|&d| d > 0), "tensor dimensions must be positive");
+    assert!(
+        !shape.is_empty(),
+        "tensor shape must have at least one dimension"
+    );
+    assert!(
+        shape.iter().all(|&d| d > 0),
+        "tensor dimensions must be positive"
+    );
     shape.iter().product()
 }
 
@@ -209,7 +229,10 @@ mod tests {
         assert!(Tensor::from_vec(vec![2, 2], vec![1.0; 4]).is_ok());
         assert!(matches!(
             Tensor::from_vec(vec![2, 2], vec![1.0; 5]),
-            Err(NnError::ShapeMismatch { expected: 4, got: 5 })
+            Err(NnError::ShapeMismatch {
+                expected: 4,
+                got: 5
+            })
         ));
     }
 
@@ -251,7 +274,10 @@ mod tests {
         let b = Tensor::from_vec(vec![2, 3], vec![5.0, 6.0, 7.0, 8.0, 9.0, 10.0]).unwrap();
         let cat = Tensor::concat_cols(&[&a, &b]);
         assert_eq!(cat.shape(), &[2, 5]);
-        assert_eq!(cat.data(), &[1.0, 2.0, 5.0, 6.0, 7.0, 3.0, 4.0, 8.0, 9.0, 10.0]);
+        assert_eq!(
+            cat.data(),
+            &[1.0, 2.0, 5.0, 6.0, 7.0, 3.0, 4.0, 8.0, 9.0, 10.0]
+        );
         let parts = cat.split_cols(&[2, 3]);
         assert_eq!(parts[0], a);
         assert_eq!(parts[1], b);
@@ -270,20 +296,12 @@ mod tests {
     fn zero_dimension_panics() {
         let _ = Tensor::zeros(vec![2, 0]);
     }
-
-    #[test]
-    fn serde_round_trip() {
-        let t = Tensor::from_vec(vec![2, 2], vec![1.0, -2.0, 3.5, 0.0]).unwrap();
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Tensor = serde_json::from_str(&json).unwrap();
-        assert_eq!(t, back);
-    }
 }
 
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use mandipass_util::proptest::prelude::*;
 
     proptest! {
         #[test]

@@ -1,0 +1,256 @@
+//! A tiny criterion-compatible benchmark harness.
+//!
+//! Supports the subset of the `criterion` API the workspace benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros (bench targets are built with
+//! `harness = false`).
+//!
+//! Each benchmark warms up briefly, picks an iteration count that fills
+//! the per-sample time budget, then reports min/mean/max nanoseconds per
+//! iteration over several samples. The budget defaults to 100 ms per
+//! sample and can be tuned with `MANDIPASS_BENCH_MS`. Passing substring
+//! filters on the command line (as `cargo bench -- <filter>` does) skips
+//! non-matching benchmarks.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Hint for how expensive `iter_batched` setup values are. The harness
+/// regenerates the input every iteration regardless, so the variants only
+/// document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Cheap inputs.
+    SmallInput,
+    /// Expensive inputs.
+    LargeInput,
+    /// One setup call per iteration.
+    PerIteration,
+}
+
+/// Measured statistics of one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Mean across samples.
+    pub mean_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Iterations per sample.
+    pub iters: u64,
+}
+
+/// The benchmark runner handed to `criterion_group!` functions.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_budget: Duration,
+    samples: u32,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("MANDIPASS_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(100);
+        // cargo bench forwards trailing arguments; treat non-flag words as
+        // name filters, mirroring criterion's CLI.
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion {
+            sample_budget: Duration::from_millis(ms.max(1)),
+            samples: 5,
+            filters,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its timing line.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.filters.is_empty() && !self.filters.iter().any(|w| name.contains(w.as_str())) {
+            return self;
+        }
+        let mut b = Bencher {
+            sample_budget: self.sample_budget,
+            samples: self.samples,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some(s) => println!(
+                "bench {name:<36} {:>12}/iter  (min {}, max {}, {} iters × {} samples)",
+                format_ns(s.mean_ns),
+                format_ns(s.min_ns),
+                format_ns(s.max_ns),
+                s.iters,
+                self.samples,
+            ),
+            None => println!("bench {name:<36} (no measurement: closure never called iter)"),
+        }
+        self
+    }
+}
+
+/// Timing driver passed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_budget: Duration,
+    samples: u32,
+    result: Option<Sample>,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        self.run(|iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            start.elapsed()
+        });
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.run(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            total
+        });
+    }
+
+    fn run<M>(&mut self, mut measure: M)
+    where
+        M: FnMut(u64) -> Duration,
+    {
+        // Warm-up: grow the iteration count until one batch is long enough
+        // to time reliably, or the batch already blows the budget.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let elapsed = measure(iters);
+            if elapsed >= Duration::from_millis(1) || elapsed > self.sample_budget {
+                break elapsed.as_nanos() as f64 / iters as f64;
+            }
+            iters = iters.saturating_mul(4);
+        };
+        let budget_ns = self.sample_budget.as_nanos() as f64;
+        let iters = ((budget_ns / per_iter.max(1.0)) as u64).clamp(1, 10_000_000);
+
+        let mut min = f64::INFINITY;
+        let mut max: f64 = 0.0;
+        let mut sum = 0.0;
+        for _ in 0..self.samples {
+            let ns = measure(iters).as_nanos() as f64 / iters as f64;
+            min = min.min(ns);
+            max = max.max(ns);
+            sum += ns;
+        }
+        self.result = Some(Sample {
+            min_ns: min,
+            mean_ns: sum / f64::from(self.samples),
+            max_ns: max,
+            iters,
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Declares a bench group function, criterion-style: a function running
+/// every listed target against one [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::bench::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` of a `harness = false` bench binary, running every
+/// listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_produces_a_sane_measurement() {
+        let mut b = Bencher {
+            sample_budget: Duration::from_millis(2),
+            samples: 2,
+            result: None,
+        };
+        b.iter(|| (0..100u64).sum::<u64>());
+        let s = b.result.expect("measured");
+        assert!(s.min_ns > 0.0 && s.min_ns <= s.mean_ns && s.mean_ns <= s.max_ns);
+        assert!(s.iters >= 1);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher {
+            sample_budget: Duration::from_millis(2),
+            samples: 2,
+            result: None,
+        };
+        b.iter_batched(
+            || vec![1u8; 64],
+            |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.result.is_some());
+    }
+
+    #[test]
+    fn format_ns_picks_units() {
+        assert!(format_ns(12.3).ends_with("ns"));
+        assert!(format_ns(12_300.0).ends_with("µs"));
+        assert!(format_ns(12_300_000.0).ends_with("ms"));
+        assert!(format_ns(2.3e9).ends_with(" s"));
+    }
+}

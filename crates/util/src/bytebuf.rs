@@ -1,0 +1,156 @@
+//! Little-endian byte-buffer writer/reader for binary model blobs.
+//!
+//! Replaces the `bytes` crate for `mandipass-nn`'s parameter
+//! (de)serialisation: an append-only writer over `Vec<u8>` and a cursor
+//! reader over `&[u8]`. Reads follow the `bytes::Buf` contract — callers
+//! check [`ByteReader::remaining`] before each get, and an underflowing
+//! get panics.
+
+/// An append-only little-endian byte writer.
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32_le(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f32`, little-endian.
+    pub fn put_f32_le(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes.
+    pub fn put_slice(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, yielding the blob.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A little-endian cursor over a byte slice.
+#[derive(Debug, Clone, Copy)]
+pub struct ByteReader<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader at the start of `blob`.
+    pub fn new(blob: &'a [u8]) -> Self {
+        ByteReader { rest: blob }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.rest.len()
+    }
+
+    /// Whether any bytes remain.
+    pub fn has_remaining(&self) -> bool {
+        !self.rest.is_empty()
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than 4 bytes remain.
+    pub fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    /// Reads a little-endian `f32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than 4 bytes remain.
+    pub fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    /// Consumes and returns the next `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> &'a [u8] {
+        assert!(
+            n <= self.rest.len(),
+            "byte reader underflow: want {n}, have {}",
+            self.rest.len()
+        );
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_fields() {
+        let mut w = ByteWriter::new();
+        w.put_u32_le(0x4d50_4e4e);
+        w.put_slice(b"name");
+        w.put_f32_le(-1.25);
+        w.put_u32_le(7);
+        let blob = w.into_vec();
+        assert_eq!(blob.len(), 4 + 4 + 4 + 4);
+
+        let mut r = ByteReader::new(&blob);
+        assert_eq!(r.remaining(), 16);
+        assert_eq!(r.get_u32_le(), 0x4d50_4e4e);
+        assert_eq!(r.take(4), b"name");
+        assert_eq!(r.get_f32_le(), -1.25);
+        assert_eq!(r.get_u32_le(), 7);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn little_endian_layout_is_exact() {
+        let mut w = ByteWriter::new();
+        w.put_u32_le(0x0102_0304);
+        assert_eq!(w.into_vec(), vec![0x04, 0x03, 0x02, 0x01]);
+    }
+
+    #[test]
+    #[should_panic(expected = "byte reader underflow")]
+    fn underflow_panics() {
+        let mut r = ByteReader::new(&[1, 2]);
+        let _ = r.get_u32_le();
+    }
+
+    #[test]
+    fn f32_bits_survive_round_trip() {
+        for v in [0.0f32, -0.0, 1.5e-38, f32::MAX, std::f32::consts::PI] {
+            let mut w = ByteWriter::new();
+            w.put_f32_le(v);
+            let blob = w.into_vec();
+            let mut r = ByteReader::new(&blob);
+            assert_eq!(r.get_f32_le().to_bits(), v.to_bits());
+        }
+    }
+}

@@ -23,8 +23,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let victim = &population.users()[0];
     let attacker = &population.users()[1];
     let matrix = GaussianMatrix::generate(5, mandipass.embedding_dim());
-    let enrolment: Vec<_> =
-        (0..4).map(|s| recorder.record(victim, Condition::Normal, 700 + s)).collect();
+    let enrolment: Vec<_> = (0..4)
+        .map(|s| recorder.record(victim, Condition::Normal, 700 + s))
+        .collect();
     mandipass.enroll(victim.id, &enrolment, &matrix)?;
 
     // Calibrate a demo threshold.
@@ -35,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let g_max = genuine.iter().cloned().fold(f64::MIN, f64::max);
     mandipass.config_mut().threshold = g_max * 1.3;
-    println!("threshold {:.3} (worst genuine distance {g_max:.3})\n", mandipass.config().threshold);
+    println!(
+        "threshold {:.3} (worst genuine distance {g_max:.3})\n",
+        mandipass.config().threshold
+    );
 
     println!("== zero-effort attack ==");
     let mut detected = 0;
@@ -74,14 +78,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stolen = mandipass.enclave().load(victim.id)?;
     mandipass.revoke(victim.id);
     let fresh = GaussianMatrix::generate(6, mandipass.embedding_dim());
-    let enrolment: Vec<_> =
-        (0..4).map(|s| recorder.record(victim, Condition::Normal, 1100 + s)).collect();
+    let enrolment: Vec<_> = (0..4)
+        .map(|s| recorder.record(victim, Condition::Normal, 1100 + s))
+        .collect();
     mandipass.enroll(victim.id, &enrolment, &fresh)?;
     let outcome = mandipass.verify_cancelable(victim.id, &stolen)?;
     println!(
         "stolen template after revocation: distance {:.3} → {}",
         outcome.distance,
-        if outcome.accepted { "ACCEPTED (!)" } else { "rejected" }
+        if outcome.accepted {
+            "ACCEPTED (!)"
+        } else {
+            "rejected"
+        }
     );
     Ok(())
 }

@@ -24,8 +24,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let driver = &population.users()[0];
     let matrix = GaussianMatrix::generate(99, mandipass.embedding_dim());
-    let enrolment: Vec<_> =
-        (0..4).map(|s| recorder.record(driver, Condition::Normal, 10 + s)).collect();
+    let enrolment: Vec<_> = (0..4)
+        .map(|s| recorder.record(driver, Condition::Normal, 10 + s))
+        .collect();
     mandipass.enroll(driver.id, &enrolment, &matrix)?;
 
     // Calibrate a demo threshold from a handful of genuine/impostor probes.
@@ -70,9 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 accepted += 1;
             }
         }
-        println!(
-            "{label:<28} {accepted}/{attempts} unlocked (mean distance {mean:.3})"
-        );
+        println!("{label:<28} {accepted}/{attempts} unlocked (mean distance {mean:.3})");
     }
     Ok(())
 }

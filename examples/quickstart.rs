@@ -30,8 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let matrix = GaussianMatrix::generate(7, mandipass.embedding_dim());
 
     println!("\n== Registration (the user hums 'EMM' a few times) ==");
-    let enrolment: Vec<_> =
-        (0..4).map(|s| recorder.record(user, Condition::Normal, 100 + s)).collect();
+    let enrolment: Vec<_> = (0..4)
+        .map(|s| recorder.record(user, Condition::Normal, 100 + s))
+        .collect();
     mandipass.enroll(user.id, &enrolment, &matrix)?;
     println!(
         "cancelable template sealed in the enclave ({} bytes)",
@@ -61,7 +62,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nfresh genuine probe: distance {:.3} → {}",
         outcome.distance,
-        if outcome.accepted { "ACCEPTED" } else { "rejected" }
+        if outcome.accepted {
+            "ACCEPTED"
+        } else {
+            "rejected"
+        }
     );
 
     let attacker = &population.users()[2];
@@ -70,7 +75,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "attacker probe:      distance {:.3} → {}",
         outcome.distance,
-        if outcome.accepted { "ACCEPTED (!)" } else { "rejected" }
+        if outcome.accepted {
+            "ACCEPTED (!)"
+        } else {
+            "rejected"
+        }
     );
     Ok(())
 }

@@ -25,34 +25,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let user = &population.users()[0];
     let matrix_one = GaussianMatrix::generate(0xaaaa, mandipass.embedding_dim());
 
-    println!("== enrolment under matrix G1 (seed {:#x}) ==", matrix_one.seed());
-    let enrolment: Vec<_> =
-        (0..4).map(|s| recorder.record(user, Condition::Normal, 400 + s)).collect();
+    println!(
+        "== enrolment under matrix G1 (seed {:#x}) ==",
+        matrix_one.seed()
+    );
+    let enrolment: Vec<_> = (0..4)
+        .map(|s| recorder.record(user, Condition::Normal, 400 + s))
+        .collect();
     mandipass.enroll(user.id, &enrolment, &matrix_one)?;
 
     println!("\n== the attacker steals the template from the enclave ==");
     let stolen = mandipass.enclave().load(user.id)?;
-    println!("stolen template: {} bytes, matrix seed {:#x}", stolen.storage_bytes(), stolen.matrix_seed());
+    println!(
+        "stolen template: {} bytes, matrix seed {:#x}",
+        stolen.storage_bytes(),
+        stolen.matrix_seed()
+    );
 
     let replay = mandipass.verify_cancelable(user.id, &stolen)?;
     println!(
         "replay before revocation: distance {:.4} → {}",
         replay.distance,
-        if replay.accepted { "ACCEPTED (stolen templates replay until revoked)" } else { "rejected" }
+        if replay.accepted {
+            "ACCEPTED (stolen templates replay until revoked)"
+        } else {
+            "rejected"
+        }
     );
 
     println!("\n== the user revokes and re-enrols under matrix G2 ==");
     mandipass.revoke(user.id);
     let matrix_two = GaussianMatrix::generate(0xbbbb, mandipass.embedding_dim());
-    let enrolment: Vec<_> =
-        (0..4).map(|s| recorder.record(user, Condition::Normal, 500 + s)).collect();
+    let enrolment: Vec<_> = (0..4)
+        .map(|s| recorder.record(user, Condition::Normal, 500 + s))
+        .collect();
     mandipass.enroll(user.id, &enrolment, &matrix_two)?;
 
     let replay = mandipass.verify_cancelable(user.id, &stolen)?;
     println!(
         "replay after revocation:  distance {:.4} → {}",
         replay.distance,
-        if replay.accepted { "ACCEPTED (!)" } else { "rejected — the stolen template is dead" }
+        if replay.accepted {
+            "ACCEPTED (!)"
+        } else {
+            "rejected — the stolen template is dead"
+        }
     );
 
     // The genuine user is unaffected: same hum, new matrix.
@@ -61,7 +78,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "genuine user after revocation: distance {:.4} → {}",
         genuine.distance,
-        if genuine.distance < replay.distance { "closer than the replay, as designed" } else { "(!)" }
+        if genuine.distance < replay.distance {
+            "closer than the replay, as designed"
+        } else {
+            "(!)"
+        }
     );
     Ok(())
 }

@@ -8,7 +8,11 @@ use mandipass_baselines::comparison::BaselineBench;
 
 #[test]
 fn baselines_fail_where_the_paper_says_they_fail() {
-    let bench = BaselineBench { users: 8, probes_per_user: 8, ..BaselineBench::default() };
+    let bench = BaselineBench {
+        users: 8,
+        probes_per_user: 8,
+        ..BaselineBench::default()
+    };
     let skull = bench.measure_skullconduct();
     let earecho = bench.measure_earecho();
 
@@ -36,8 +40,12 @@ fn mandipass_structural_properties_hold() {
     // from its replacement.
     let dim = 128;
     let print = MandiblePrint::new((0..dim).map(|i| (i % 7) as f32 / 7.0).collect());
-    let old = GaussianMatrix::generate(1, dim).transform(&print).expect("dims match");
-    let new = GaussianMatrix::generate(2, dim).transform(&print).expect("dims match");
+    let old = GaussianMatrix::generate(1, dim)
+        .transform(&print)
+        .expect("dims match");
+    let new = GaussianMatrix::generate(2, dim)
+        .transform(&print)
+        .expect("dims match");
     assert!(cosine_distance(old.as_slice(), new.as_slice()) > config.threshold);
 }
 

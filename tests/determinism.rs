@@ -1,0 +1,93 @@
+//! Cross-run determinism: the hermetic build ships its own PRNG, so two
+//! fresh processes (here: two fresh same-seed constructions) must agree
+//! bit for bit. This is what makes the offline CI gate meaningful — a
+//! metric regression is a code change, never run-to-run noise.
+
+use mandipass::prelude::*;
+use mandipass_bench::{EvalScale, TrainedStack};
+use mandipass_imu_sim::{Condition, Population, Recorder};
+
+/// Builds a complete trained system from nothing but seeds, exactly the
+/// way a fresh process would.
+fn fresh_system() -> (Population, Recorder, MandiPass) {
+    let population = Population::generate(8, 4242);
+    let recorder = Recorder::default();
+    let trainer = VspTrainer::new(TrainingConfig {
+        seconds_per_person: 4.0,
+        epochs: 6,
+        ..TrainingConfig::fast_demo()
+    });
+    let extractor = trainer
+        .train(&population.users()[2..], &recorder)
+        .expect("training succeeds");
+    let system = MandiPass::new(extractor, PipelineConfig::default());
+    (population, recorder, system)
+}
+
+#[test]
+fn same_seed_recordings_are_bit_identical_across_runs() {
+    let pop_a = Population::generate(8, 4242);
+    let pop_b = Population::generate(8, 4242);
+    let rec_a = Recorder::default();
+    let rec_b = Recorder::default();
+    for (ua, ub) in pop_a.users().iter().zip(pop_b.users()) {
+        let a = rec_a.record(ua, Condition::Normal, 77);
+        let b = rec_b.record(ub, Condition::Normal, 77);
+        assert_eq!(a.len(), b.len());
+        for (axis_a, axis_b) in a.axes().iter().zip(b.axes()) {
+            for (va, vb) in axis_a.iter().zip(axis_b) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "raw IMU streams diverged");
+            }
+        }
+    }
+}
+
+#[test]
+fn same_seed_runs_produce_bit_identical_mandibleprints() {
+    let (pop_a, rec_a, sys_a) = fresh_system();
+    let (pop_b, rec_b, sys_b) = fresh_system();
+    for (ua, ub) in pop_a.users().iter().take(3).zip(pop_b.users()) {
+        for seed in [11u64, 12, 13] {
+            let print_a = sys_a
+                .extract_print(&rec_a.record(ua, Condition::Normal, seed))
+                .expect("extracts");
+            let print_b = sys_b
+                .extract_print(&rec_b.record(ub, Condition::Normal, seed))
+                .expect("extracts");
+            assert_eq!(print_a.dim(), print_b.dim());
+            for (va, vb) in print_a.as_slice().iter().zip(print_b.as_slice()) {
+                assert_eq!(
+                    va.to_bits(),
+                    vb.to_bits(),
+                    "MandiblePrints diverged for user {} seed {seed}",
+                    ua.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn same_seed_evaluations_land_on_the_same_eer_point() {
+    let mut stack_a = TrainedStack::build(EvalScale::smoke_test()).expect("training succeeds");
+    let mut stack_b = TrainedStack::build(EvalScale::smoke_test()).expect("training succeeds");
+    let eval_a = stack_a.main_evaluation();
+    let eval_b = stack_b.main_evaluation();
+
+    assert_eq!(eval_a.scores.genuine.len(), eval_b.scores.genuine.len());
+    assert_eq!(eval_a.scores.impostor.len(), eval_b.scores.impostor.len());
+    for (a, b) in eval_a.scores.genuine.iter().zip(&eval_b.scores.genuine) {
+        assert_eq!(a.to_bits(), b.to_bits(), "genuine score streams diverged");
+    }
+    for (a, b) in eval_a.scores.impostor.iter().zip(&eval_b.scores.impostor) {
+        assert_eq!(a.to_bits(), b.to_bits(), "impostor score streams diverged");
+    }
+    assert_eq!(
+        eval_a.eer_point.eer.to_bits(),
+        eval_b.eer_point.eer.to_bits()
+    );
+    assert_eq!(
+        eval_a.eer_point.threshold.to_bits(),
+        eval_b.eer_point.threshold.to_bits()
+    );
+}

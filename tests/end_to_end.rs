@@ -41,27 +41,41 @@ fn lifecycle_enrol_verify_revoke() {
     let matrix = GaussianMatrix::generate(1, system.embedding_dim());
 
     // Enrol.
-    let enrolment: Vec<_> =
-        (0..4).map(|s| f.recorder.record(user, Condition::Normal, 9000 + s)).collect();
-    system.enroll(user.id, &enrolment, &matrix).expect("enrolment succeeds");
+    let enrolment: Vec<_> = (0..4)
+        .map(|s| f.recorder.record(user, Condition::Normal, 9000 + s))
+        .collect();
+    system
+        .enroll(user.id, &enrolment, &matrix)
+        .expect("enrolment succeeds");
     assert!(system.enclave().contains(user.id));
 
     // Verify: genuine distances must sit below impostor distances.
     let genuine: Vec<f64> = (0..6)
         .map(|s| {
             let probe = f.recorder.record(user, Condition::Normal, 9100 + s);
-            system.verify(user.id, &probe, &matrix).expect("verifies").distance
+            system
+                .verify(user.id, &probe, &matrix)
+                .expect("verifies")
+                .distance
         })
         .collect();
     let impostor: Vec<f64> = (0..6)
         .map(|s| {
-            let probe = f.recorder.record(&f.population.users()[1], Condition::Normal, 9200 + s);
-            system.verify(user.id, &probe, &matrix).expect("verifies").distance
+            let probe = f
+                .recorder
+                .record(&f.population.users()[1], Condition::Normal, 9200 + s);
+            system
+                .verify(user.id, &probe, &matrix)
+                .expect("verifies")
+                .distance
         })
         .collect();
     let g_mean = genuine.iter().sum::<f64>() / genuine.len() as f64;
     let i_mean = impostor.iter().sum::<f64>() / impostor.len() as f64;
-    assert!(g_mean < i_mean, "genuine {g_mean:.3} !< impostor {i_mean:.3}");
+    assert!(
+        g_mean < i_mean,
+        "genuine {g_mean:.3} !< impostor {i_mean:.3}"
+    );
 
     // Revoke: the template disappears and verification errors.
     let stolen = system.revoke(user.id).expect("template existed");
@@ -79,17 +93,24 @@ fn cancelable_templates_break_across_matrices() {
     let mut system = trained_system();
     let user = &f.population.users()[0];
     let old_matrix = GaussianMatrix::generate(10, system.embedding_dim());
-    let enrolment: Vec<_> =
-        (0..4).map(|s| f.recorder.record(user, Condition::Normal, 9400 + s)).collect();
-    system.enroll(user.id, &enrolment, &old_matrix).expect("enrolment succeeds");
+    let enrolment: Vec<_> = (0..4)
+        .map(|s| f.recorder.record(user, Condition::Normal, 9400 + s))
+        .collect();
+    system
+        .enroll(user.id, &enrolment, &old_matrix)
+        .expect("enrolment succeeds");
 
     // Steal, revoke, re-enrol under a new matrix.
     let stolen = system.enclave().load(user.id).expect("template exists");
     system.revoke(user.id);
     let new_matrix = GaussianMatrix::generate(11, system.embedding_dim());
-    system.enroll(user.id, &enrolment, &new_matrix).expect("re-enrolment succeeds");
+    system
+        .enroll(user.id, &enrolment, &new_matrix)
+        .expect("re-enrolment succeeds");
 
-    let replay = system.verify_cancelable(user.id, &stolen).expect("comparison runs");
+    let replay = system
+        .verify_cancelable(user.id, &stolen)
+        .expect("comparison runs");
     assert!(
         !replay.accepted,
         "stolen template still verified after revocation (distance {})",
@@ -98,7 +119,9 @@ fn cancelable_templates_break_across_matrices() {
 
     // The genuine user remains verifiable under the new matrix.
     let probe = f.recorder.record(user, Condition::Normal, 9500);
-    let genuine = system.verify(user.id, &probe, &new_matrix).expect("verifies");
+    let genuine = system
+        .verify(user.id, &probe, &new_matrix)
+        .expect("verifies");
     assert!(genuine.distance < replay.distance);
 }
 
@@ -109,8 +132,9 @@ fn deterministic_pipeline_same_seed_same_outcome() {
     let mut b = trained_system();
     let user = &f.population.users()[0];
     let matrix = GaussianMatrix::generate(3, a.embedding_dim());
-    let enrolment: Vec<_> =
-        (0..3).map(|s| f.recorder.record(user, Condition::Normal, 9600 + s)).collect();
+    let enrolment: Vec<_> = (0..3)
+        .map(|s| f.recorder.record(user, Condition::Normal, 9600 + s))
+        .collect();
     a.enroll(user.id, &enrolment, &matrix).expect("enrol a");
     b.enroll(user.id, &enrolment, &matrix).expect("enrol b");
     let probe = f.recorder.record(user, Condition::Normal, 9700);
@@ -121,7 +145,6 @@ fn deterministic_pipeline_same_seed_same_outcome() {
 
 #[test]
 fn model_serialisation_survives_deployment() {
-    use mandipass_nn::layer::Layer;
     use mandipass_nn::serialize::{load_params, save_params};
 
     let f = fixture();
@@ -130,8 +153,9 @@ fn model_serialisation_survives_deployment() {
         epochs: 3,
         ..TrainingConfig::fast_demo()
     });
-    let mut trained =
-        trainer.train(&f.population.users()[2..], &f.recorder).expect("training succeeds");
+    let mut trained = trainer
+        .train(&f.population.users()[2..], &f.recorder)
+        .expect("training succeeds");
     let blob = save_params(&mut trained);
 
     // A factory-fresh earphone loads the shipped weights.
@@ -147,9 +171,11 @@ fn model_serialisation_survives_deployment() {
     .expect("valid architecture");
     load_params(&mut shipped, &blob).expect("weights load");
 
-    let probe = f.recorder.record(&f.population.users()[0], Condition::Normal, 9800);
-    let mut sys_a = MandiPass::new(trained, PipelineConfig::default());
-    let mut sys_b = MandiPass::new(shipped, PipelineConfig::default());
+    let probe = f
+        .recorder
+        .record(&f.population.users()[0], Condition::Normal, 9800);
+    let sys_a = MandiPass::new(trained, PipelineConfig::default());
+    let sys_b = MandiPass::new(shipped, PipelineConfig::default());
     let pa = sys_a.extract_print(&probe).expect("extracts");
     let pb = sys_b.extract_print(&probe).expect("extracts");
     assert_eq!(pa.as_slice(), pb.as_slice());

@@ -46,7 +46,10 @@ fn both_imu_parts_work_end_to_end() {
     let (pop, _) = cohort();
     let config = PipelineConfig::default();
     for imu in [ImuModel::mpu9250(), ImuModel::mpu6050()] {
-        let recorder = Recorder { imu, ..Recorder::default() };
+        let recorder = Recorder {
+            imu,
+            ..Recorder::default()
+        };
         let rec = recorder.record(&pop.users()[1], Condition::Normal, 7);
         let arr = preprocess(&rec, &config).expect("preprocesses");
         let grad = GradientArray::from_signal_array(&arr, config.half_n());
@@ -75,7 +78,10 @@ fn spiky_sensor_is_cleaned_by_mad_stage() {
             }
         }
     }
-    assert!(ok >= 7, "only {ok}/10 spiky recordings survived preprocessing");
+    assert!(
+        ok >= 7,
+        "only {ok}/10 spiky recordings survived preprocessing"
+    );
 }
 
 #[test]
@@ -87,18 +93,30 @@ fn silent_recording_yields_typed_detection_error() {
     user.vocal.harmonics = vec![0.0; 6];
     let rec = recorder.record(&user, Condition::Normal, 1);
     let err = preprocess(&rec, &PipelineConfig::default()).unwrap_err();
-    assert!(matches!(err, MandiPassError::Dsp(mandipass_dsp::DspError::VibrationNotFound)));
+    assert!(matches!(
+        err,
+        MandiPassError::Dsp(mandipass_dsp::DspError::VibrationNotFound)
+    ));
 }
 
 #[test]
 fn noise_free_recordings_of_one_user_are_nearly_identical() {
     let (pop, _) = cohort();
-    let recorder = Recorder { jitter: SessionJitter::none(), ..Recorder::default() };
+    let recorder = Recorder {
+        jitter: SessionJitter::none(),
+        ..Recorder::default()
+    };
     let config = PipelineConfig::default();
-    let a = preprocess(&recorder.record(&pop.users()[2], Condition::Normal, 1), &config)
-        .expect("preprocesses");
-    let b = preprocess(&recorder.record(&pop.users()[2], Condition::Normal, 2), &config)
-        .expect("preprocesses");
+    let a = preprocess(
+        &recorder.record(&pop.users()[2], Condition::Normal, 1),
+        &config,
+    )
+    .expect("preprocesses");
+    let b = preprocess(
+        &recorder.record(&pop.users()[2], Condition::Normal, 2),
+        &config,
+    )
+    .expect("preprocesses");
     for (ra, rb) in a.iter().zip(b.iter()) {
         for (x, y) in ra.iter().zip(rb) {
             assert!((x - y).abs() < 1e-9, "noise-free probes differ: {x} vs {y}");
@@ -120,14 +138,21 @@ fn conditioned_arrays_stay_closer_to_own_user_than_to_others() {
     };
     let user = &pop.users()[0];
     let other = &pop.users()[1];
-    let normal: Vec<Vec<f32>> =
-        (0..6).filter_map(|s| flat(&recorder.record(user, Condition::Normal, 100 + s))).collect();
-    for condition in [Condition::Lollipop, Condition::Water, Condition::Walk, Condition::Run] {
+    let normal: Vec<Vec<f32>> = (0..6)
+        .filter_map(|s| flat(&recorder.record(user, Condition::Normal, 100 + s)))
+        .collect();
+    for condition in [
+        Condition::Lollipop,
+        Condition::Water,
+        Condition::Walk,
+        Condition::Run,
+    ] {
         let conditioned: Vec<Vec<f32>> = (0..6)
             .filter_map(|s| flat(&recorder.record(user, condition, 200 + s)))
             .collect();
-        let foreign: Vec<Vec<f32>> =
-            (0..6).filter_map(|s| flat(&recorder.record(other, Condition::Normal, 300 + s))).collect();
+        let foreign: Vec<Vec<f32>> = (0..6)
+            .filter_map(|s| flat(&recorder.record(other, Condition::Normal, 300 + s)))
+            .collect();
         let mean_to = |set: &[Vec<f32>]| -> f64 {
             let mut total = 0.0;
             let mut n = 0;
@@ -141,7 +166,10 @@ fn conditioned_arrays_stay_closer_to_own_user_than_to_others() {
         };
         let own = mean_to(&conditioned);
         let imp = mean_to(&foreign);
-        assert!(own < imp, "{condition}: conditioned own {own:.3} !< impostor {imp:.3}");
+        assert!(
+            own < imp,
+            "{condition}: conditioned own {own:.3} !< impostor {imp:.3}"
+        );
     }
 }
 
@@ -149,11 +177,17 @@ fn conditioned_arrays_stay_closer_to_own_user_than_to_others() {
 fn axis_masked_pipeline_keeps_shape() {
     let (pop, recorder) = cohort();
     for count in 1..=6 {
-        let mut config = PipelineConfig::default();
-        config.axis_mask = PipelineConfig::axis_mask_first(count);
+        let config = PipelineConfig {
+            axis_mask: PipelineConfig::axis_mask_first(count),
+            ..Default::default()
+        };
         let rec = recorder.record(&pop.users()[3], Condition::Normal, 5);
         let arr = preprocess(&rec, &config).expect("preprocesses");
-        assert_eq!(arr.axis_count(), 6, "masking must not change the array shape");
+        assert_eq!(
+            arr.axis_count(),
+            6,
+            "masking must not change the array shape"
+        );
         let zeroed = (count..6).all(|j| arr.axis(j).iter().all(|&v| v == 0.0));
         assert!(zeroed, "axes beyond {count} must be zeroed");
     }
