@@ -3,15 +3,29 @@
 //! combined paper-vs-measured report (the source of `EXPERIMENTS.md`).
 //!
 //! Pass `--markdown` to print GitHub-flavoured markdown instead of the
-//! console rendering.
+//! console rendering, or `--telemetry-report` to train the stack and
+//! dump the per-stage latency breakdown JSON instead of the tables.
+//!
+//! Progress narration goes through the telemetry sink (text on stderr
+//! by default here; `MANDIPASS_TELEMETRY=off|json` overrides).
 
 use mandipass_bench::{experiments, EvalScale, TrainedStack};
 use mandipass_eval::ReportTable;
+use mandipass_telemetry as telemetry;
 
 fn main() {
     let markdown = std::env::args().any(|a| a == "--markdown");
+    let report_only = std::env::args().any(|a| a == "--telemetry-report");
+    telemetry::set_default_mode(telemetry::Mode::Text);
     let scale = EvalScale::from_env();
-    eprintln!("{}", scale.describe());
+    telemetry::event(&scale.describe());
+
+    if report_only {
+        telemetry::event("training the telemetry-report stack…");
+        let mut stack = TrainedStack::build(scale).expect("VSP training failed");
+        println!("{}", experiments::telemetry_report(&mut stack));
+        return;
+    }
 
     // Stackless preprocessing/feasibility artifacts.
     let mut tables: Vec<ReportTable> = vec![
@@ -21,11 +35,13 @@ fn main() {
         experiments::fig07_sfs(&scale),
     ];
 
-    // One shared trained stack for the single-training artifacts.
-    eprintln!("training the shared extractor stack…");
-    let t0 = std::time::Instant::now();
-    let mut stack = TrainedStack::build(scale.clone()).expect("VSP training failed");
-    eprintln!("trained in {:.0} s", t0.elapsed().as_secs_f64());
+    // One shared trained stack for the single-training artifacts. The
+    // close of the `train_stack` span reports how long training took.
+    telemetry::event("training the shared extractor stack…");
+    let mut stack = {
+        let _span = telemetry::span("train_stack");
+        TrainedStack::build(scale.clone()).expect("VSP training failed")
+    };
 
     let (fig10b, threshold) = experiments::fig10b_eer(&mut stack);
     tables.push(experiments::fig10a_classifiers(&mut stack));
@@ -44,7 +60,7 @@ fn main() {
 
     // Multi-training sweeps last (each trains its own extractors); run
     // them at a cheaper sub-scale — only the trend is asserted.
-    eprintln!("running the training-sweep artifacts (multiple trainings)…");
+    telemetry::event("running the training-sweep artifacts (multiple trainings)…");
     let sweep = EvalScale {
         users: scale.users.min(40),
         held_out: scale.held_out.min(6),

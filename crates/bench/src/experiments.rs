@@ -822,8 +822,11 @@ pub fn exp_security(stack: &mut TrainedStack, threshold: f64) -> ReportTable {
 }
 
 /// §VII.E overhead: wall-clock and storage of the deployed pipeline.
+///
+/// Timing comes from the telemetry span tree (captured on this thread),
+/// not hand-rolled timers, so the numbers here and the
+/// [`telemetry_report`] breakdown share one measurement path.
 pub fn exp_overhead(stack: &mut TrainedStack) -> ReportTable {
-    use std::time::Instant;
     let mut table = ReportTable::new("§VII.E: overhead");
     let user = stack.held_out_users()[0].clone();
     let config = PipelineConfig::default();
@@ -839,35 +842,40 @@ pub fn exp_overhead(stack: &mut TrainedStack) -> ReportTable {
         (collection - 0.171).abs() < 0.05,
     ));
 
-    // Preprocessing wall-clock.
-    let t = Instant::now();
-    let iters = 200;
-    for _ in 0..iters {
-        let _ = preprocess(&rec, &config).expect("probe preprocesses");
-    }
-    let pre = t.elapsed().as_secs_f64() / f64::from(iters);
+    // Pipeline wall-clock, via the instrumented spans themselves.
+    let arr = preprocess(&rec, &config).expect("probe preprocesses");
+    let grad = GradientArray::from_signal_array(&arr, config.half_n());
+    let extractor = &mut stack.extractor;
+    let ((), tree) = mandipass_telemetry::capture(|| {
+        for _ in 0..200 {
+            let _ = preprocess(&rec, &config).expect("probe preprocesses");
+        }
+        for _ in 0..20 {
+            let _span = mandipass_telemetry::span("extract");
+            let _ = extractor.extract(&[&grad]).expect("extracts");
+        }
+    });
+    let stats = mandipass_telemetry::report::stage_stats(&tree);
+    let mean_secs = |name: &str| {
+        stats
+            .iter()
+            .find(|s| s.name == name)
+            .map_or(f64::NAN, |s| s.mean / 1e9)
+    };
+    let pre = mean_secs("preprocess");
     table.push(ExperimentRecord::new(
         "§VII.E",
         "signal preprocessing",
         "< 0.01 s",
-        format!("{:.5} s", pre),
+        format!("{pre:.5} s"),
         pre < 0.01,
     ));
-
-    // Extraction wall-clock.
-    let arr = preprocess(&rec, &config).expect("probe preprocesses");
-    let grad = GradientArray::from_signal_array(&arr, config.half_n());
-    let t = Instant::now();
-    let iters = 20;
-    for _ in 0..iters {
-        let _ = stack.extractor.extract(&[&grad]).expect("extracts");
-    }
-    let extract = t.elapsed().as_secs_f64() / f64::from(iters);
+    let extract = mean_secs("extract");
     table.push(ExperimentRecord::new(
         "§VII.E",
         "MandiblePrint extraction",
         "< 1 s",
-        format!("{:.4} s", extract),
+        format!("{extract:.4} s"),
         extract < 1.0,
     ));
 
@@ -892,6 +900,54 @@ pub fn exp_overhead(stack: &mut TrainedStack) -> ReportTable {
         template.storage_bytes() < 10_000,
     ));
     table
+}
+
+/// The per-stage latency breakdown behind `run_all --telemetry-report`:
+/// one enrol + one verify end to end under a telemetry capture, rendered
+/// as a [`mandipass_telemetry::report::latency_report`] JSON document.
+/// Every stage (preprocess, gradient array, CNN forward, template
+/// transform, similarity, enclave access) appears as its own span.
+pub fn telemetry_report(stack: &mut TrainedStack) -> String {
+    use mandipass::similarity::accepts;
+
+    let user = stack.held_out_users()[0].clone();
+    let config = PipelineConfig::default();
+    let dim = stack.extractor.embedding_dim();
+    let matrix = GaussianMatrix::generate(0x7472, dim);
+    let enclave = SecureEnclave::new();
+    let recorder = &stack.recorder;
+    let extractor = &stack.extractor;
+    let ((), tree) = mandipass_telemetry::capture(|| {
+        let _root = mandipass_telemetry::span("verify_pipeline");
+        // Enrol: mean of three probes, transformed, sealed in the enclave.
+        let prints: Vec<MandiblePrint> = (0..3u64)
+            .filter_map(|s| {
+                let rec = recorder.record(&user, Condition::Normal, 0x7e1e ^ s);
+                let arr = preprocess(&rec, &config).ok()?;
+                let grad = GradientArray::from_signal_array(&arr, config.half_n());
+                extractor.extract(&[&grad]).ok().map(|mut p| p.remove(0))
+            })
+            .collect();
+        let mean = MandiblePrint::mean(&prints).expect("enrolment probes preprocess");
+        let template = matrix.transform(&mean).expect("dims match");
+        enclave.store(user.id, template);
+        // Verify one fresh probe.
+        let stored = {
+            let _span = mandipass_telemetry::span("enclave_load");
+            enclave.load(user.id).expect("stored above")
+        };
+        let rec = recorder.record(&user, Condition::Normal, 0x7e1e ^ 99);
+        let arr = preprocess(&rec, &config).expect("probe preprocesses");
+        let grad = GradientArray::from_signal_array(&arr, config.half_n());
+        let prints = extractor.extract(&[&grad]).expect("extracts");
+        let cancelable = matrix.transform(&prints[0]).expect("dims match");
+        let distance = {
+            let _span = mandipass_telemetry::span("similarity");
+            cosine_distance(stored.as_slice(), cancelable.as_slice())
+        };
+        enclave.record_verify(user.id, accepts(distance, config.threshold), distance);
+    });
+    mandipass_telemetry::report::latency_report(&tree).to_json()
 }
 
 /// Table I: comparison with SkullConduct and EarEcho.

@@ -96,10 +96,12 @@ impl TrainedStack {
                 .recorder
                 .record(user, condition, seed_base ^ ((p as u64) << 32));
             let Ok(array) = preprocess(&rec, config) else {
+                mandipass_telemetry::counter!("bench.probes_skipped").inc();
                 continue;
             };
             let grad = GradientArray::from_signal_array(&array, config.half_n());
             if let Ok(prints) = self.extractor.extract(&[&grad]) {
+                mandipass_telemetry::counter!("bench.probes_ok").inc();
                 out.push(prints[0].as_slice().to_vec());
             }
         }
@@ -115,6 +117,7 @@ impl TrainedStack {
 
     /// The main evaluation under an explicit pipeline configuration.
     pub fn evaluation_with_config(&mut self, config: &PipelineConfig) -> MainEvaluation {
+        let _span = mandipass_telemetry::span("main_evaluation");
         let probes = self.scale.probes_per_user;
         let users: Vec<UserProfile> = self.held_out_users().to_vec();
         let per_user: Vec<Vec<Vec<f32>>> = users

@@ -75,6 +75,7 @@ impl MandiPass {
     ///
     /// Propagates preprocessing and extraction failures.
     pub fn extract_print(&self, recording: &Recording) -> Result<MandiblePrint, MandiPassError> {
+        let _span = mandipass_telemetry::span("extract_print");
         let array = preprocess(recording, &self.config)?;
         let grad = GradientArray::from_signal_array(&array, self.config.half_n());
         let prints = self.extractor.extract(&[&grad])?;
@@ -98,6 +99,7 @@ impl MandiPass {
         recordings: &[Recording],
         matrix: &GaussianMatrix,
     ) -> Result<(), MandiPassError> {
+        let _span = mandipass_telemetry::span("enroll");
         let mut prints = Vec::with_capacity(recordings.len());
         for rec in recordings {
             match self.extract_print(rec) {
@@ -125,10 +127,16 @@ impl MandiPass {
         probe: &Recording,
         matrix: &GaussianMatrix,
     ) -> Result<VerifyOutcome, MandiPassError> {
-        let template = self.enclave.load(user_id)?;
+        let _span = mandipass_telemetry::span("verify");
+        let template = {
+            let _span = mandipass_telemetry::span("enclave_load");
+            self.enclave.load(user_id)?
+        };
         let print = self.extract_print(probe)?;
         let cancelable = matrix.transform(&print)?;
-        Ok(self.decide(&template, &cancelable))
+        let outcome = self.decide(&template, &cancelable);
+        self.finish_verify(user_id, outcome);
+        Ok(outcome)
     }
 
     /// Compares a raw cancelable vector against the stored template —
@@ -143,8 +151,14 @@ impl MandiPass {
         user_id: u32,
         presented: &CancelableTemplate,
     ) -> Result<VerifyOutcome, MandiPassError> {
-        let template = self.enclave.load(user_id)?;
-        Ok(self.decide(&template, presented))
+        let _span = mandipass_telemetry::span("verify");
+        let template = {
+            let _span = mandipass_telemetry::span("enclave_load");
+            self.enclave.load(user_id)?
+        };
+        let outcome = self.decide(&template, presented);
+        self.finish_verify(user_id, outcome);
+        Ok(outcome)
     }
 
     /// Revokes `user_id`'s template, returning the old template (the
@@ -154,11 +168,23 @@ impl MandiPass {
     }
 
     fn decide(&self, template: &CancelableTemplate, probe: &CancelableTemplate) -> VerifyOutcome {
+        let _span = mandipass_telemetry::span("similarity");
         let distance = cosine_distance(template.as_slice(), probe.as_slice());
         VerifyOutcome {
             accepted: accepts(distance, self.config.threshold),
             distance,
             threshold: self.config.threshold,
+        }
+    }
+
+    /// Common verify epilogue: audit-trail entry + accept/reject counters.
+    fn finish_verify(&self, user_id: u32, outcome: VerifyOutcome) {
+        self.enclave
+            .record_verify(user_id, outcome.accepted, outcome.distance);
+        if outcome.accepted {
+            mandipass_telemetry::counter!("verify.accept").inc();
+        } else {
+            mandipass_telemetry::counter!("verify.reject").inc();
         }
     }
 }

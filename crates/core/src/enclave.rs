@@ -5,36 +5,139 @@
 //! templates at rest, keyed by user, revocable, with access accounting —
 //! the hardware isolation itself is out of scope (documented in
 //! DESIGN.md).
+//!
+//! Every operation is additionally recorded in a bounded ring-buffer
+//! **audit trail** of typed [`AuditEvent`]s, sequenced by a per-enclave
+//! logical timestamp, so the access history is observable (and, with a
+//! fixed seed upstream, bit-identical across runs) without any wall-clock
+//! dependence.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Mutex;
 
 use crate::error::MandiPassError;
 use crate::template::CancelableTemplate;
 
-/// A thread-safe sealed template store.
-#[derive(Debug, Default)]
+/// Default number of audit events retained before the oldest are evicted.
+pub const DEFAULT_AUDIT_CAPACITY: usize = 256;
+
+/// The operation class of one audit event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AuditKind {
+    /// A template was stored (or replaced).
+    Store,
+    /// A template load was attempted (`outcome` says whether it existed).
+    Load,
+    /// A template was revoked (`outcome` says whether one existed).
+    Revoke,
+    /// A verification against the stored template was accepted.
+    VerifyHit,
+    /// A verification against the stored template was rejected.
+    VerifyMiss,
+}
+
+impl AuditKind {
+    /// Stable lower-case label, used by reports and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            AuditKind::Store => "store",
+            AuditKind::Load => "load",
+            AuditKind::Revoke => "revoke",
+            AuditKind::VerifyHit => "verify_hit",
+            AuditKind::VerifyMiss => "verify_miss",
+        }
+    }
+}
+
+/// One entry in the enclave audit trail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuditEvent {
+    /// Monotonic per-enclave logical timestamp (never reused, even after
+    /// the ring evicts older events).
+    pub seq: u64,
+    /// What happened.
+    pub kind: AuditKind,
+    /// The user the operation targeted.
+    pub user_id: u32,
+    /// Operation success: template present for load/revoke, probe
+    /// accepted for verify events, always `true` for store.
+    pub outcome: bool,
+    /// Cosine distance of the decision, for verify events only.
+    pub distance: Option<f64>,
+}
+
+/// Named monotonic access counters, derived from the full operation
+/// history (not the bounded ring, so eviction never loses counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessCounts {
+    /// Number of [`SecureEnclave::store`] calls.
+    pub stores: u64,
+    /// Number of [`SecureEnclave::load`] calls (hits and misses).
+    pub loads: u64,
+}
+
+/// A thread-safe sealed template store with a bounded audit trail.
+#[derive(Debug)]
 pub struct SecureEnclave {
     inner: Mutex<EnclaveInner>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct EnclaveInner {
     templates: HashMap<u32, CancelableTemplate>,
-    reads: u64,
-    writes: u64,
+    counts: AccessCounts,
+    trail: VecDeque<AuditEvent>,
+    capacity: usize,
+    next_seq: u64,
+}
+
+impl EnclaveInner {
+    fn record(&mut self, kind: AuditKind, user_id: u32, outcome: bool, distance: Option<f64>) {
+        if self.trail.len() == self.capacity {
+            self.trail.pop_front();
+        }
+        self.trail.push_back(AuditEvent {
+            seq: self.next_seq,
+            kind,
+            user_id,
+            outcome,
+            distance,
+        });
+        self.next_seq += 1;
+    }
+}
+
+impl Default for SecureEnclave {
+    fn default() -> Self {
+        Self::with_audit_capacity(DEFAULT_AUDIT_CAPACITY)
+    }
 }
 
 impl SecureEnclave {
-    /// Creates an empty enclave.
+    /// Creates an empty enclave with the default audit capacity.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty enclave retaining at most `capacity` audit
+    /// events (minimum 1).
+    pub fn with_audit_capacity(capacity: usize) -> Self {
+        SecureEnclave {
+            inner: Mutex::new(EnclaveInner {
+                templates: HashMap::new(),
+                counts: AccessCounts::default(),
+                trail: VecDeque::new(),
+                capacity: capacity.max(1),
+                next_seq: 0,
+            }),
+        }
     }
 
     /// Stores (or replaces) the template of `user_id`.
     pub fn store(&self, user_id: u32, template: CancelableTemplate) {
         let mut inner = self.inner.lock().expect("enclave lock poisoned");
-        inner.writes += 1;
+        inner.counts.stores += 1;
+        inner.record(AuditKind::Store, user_id, true, None);
         inner.templates.insert(user_id, template);
     }
 
@@ -45,12 +148,10 @@ impl SecureEnclave {
     /// Returns [`MandiPassError::NotEnrolled`] when no template exists.
     pub fn load(&self, user_id: u32) -> Result<CancelableTemplate, MandiPassError> {
         let mut inner = self.inner.lock().expect("enclave lock poisoned");
-        inner.reads += 1;
-        inner
-            .templates
-            .get(&user_id)
-            .cloned()
-            .ok_or(MandiPassError::NotEnrolled { user_id })
+        inner.counts.loads += 1;
+        let found = inner.templates.get(&user_id).cloned();
+        inner.record(AuditKind::Load, user_id, found.is_some(), None);
+        found.ok_or(MandiPassError::NotEnrolled { user_id })
     }
 
     /// Deletes the template of `user_id` (revocation step 1; step 2 is
@@ -59,8 +160,21 @@ impl SecureEnclave {
     /// which *steal* the template at this point.
     pub fn revoke(&self, user_id: u32) -> Option<CancelableTemplate> {
         let mut inner = self.inner.lock().expect("enclave lock poisoned");
-        inner.writes += 1;
-        inner.templates.remove(&user_id)
+        let removed = inner.templates.remove(&user_id);
+        inner.record(AuditKind::Revoke, user_id, removed.is_some(), None);
+        removed
+    }
+
+    /// Appends a verification decision to the audit trail. Called by the
+    /// authenticator after the accept/reject decision is made.
+    pub fn record_verify(&self, user_id: u32, accepted: bool, distance: f64) {
+        let mut inner = self.inner.lock().expect("enclave lock poisoned");
+        let kind = if accepted {
+            AuditKind::VerifyHit
+        } else {
+            AuditKind::VerifyMiss
+        };
+        inner.record(kind, user_id, accepted, Some(distance));
     }
 
     /// Whether `user_id` has a template enrolled.
@@ -86,11 +200,50 @@ impl SecureEnclave {
         self.len() == 0
     }
 
-    /// `(reads, writes)` access counters — observable side channel used
-    /// by tests and the overhead experiment.
-    pub fn access_counts(&self) -> (u64, u64) {
+    /// Monotonic access counters — observable side channel used by tests
+    /// and the overhead experiment. Unlike the bounded [`audit_trail`],
+    /// these never lose history to ring eviction.
+    ///
+    /// [`audit_trail`]: SecureEnclave::audit_trail
+    pub fn access_counts(&self) -> AccessCounts {
+        self.inner.lock().expect("enclave lock poisoned").counts
+    }
+
+    /// A snapshot of the retained audit events, oldest first.
+    pub fn audit_trail(&self) -> Vec<AuditEvent> {
         let inner = self.inner.lock().expect("enclave lock poisoned");
-        (inner.reads, inner.writes)
+        inner.trail.iter().copied().collect()
+    }
+
+    /// The retained audit events that target `user_id`, oldest first.
+    pub fn audit_events_for(&self, user_id: u32) -> Vec<AuditEvent> {
+        let inner = self.inner.lock().expect("enclave lock poisoned");
+        inner
+            .trail
+            .iter()
+            .filter(|e| e.user_id == user_id)
+            .copied()
+            .collect()
+    }
+
+    /// Number of retained audit events (capped at the ring capacity).
+    pub fn audit_len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("enclave lock poisoned")
+            .trail
+            .len()
+    }
+
+    /// Maximum number of audit events retained.
+    pub fn audit_capacity(&self) -> usize {
+        self.inner.lock().expect("enclave lock poisoned").capacity
+    }
+
+    /// Total number of audited operations ever performed, including those
+    /// already evicted from the ring.
+    pub fn audit_seq(&self) -> u64 {
+        self.inner.lock().expect("enclave lock poisoned").next_seq
     }
 
     /// Total bytes of template storage currently held.
@@ -161,8 +314,88 @@ mod tests {
         enclave.store(1, template(5));
         let _ = enclave.load(1);
         let _ = enclave.load(2);
-        let (reads, writes) = enclave.access_counts();
-        assert_eq!((reads, writes), (2, 1));
+        assert_eq!(
+            enclave.access_counts(),
+            AccessCounts {
+                stores: 1,
+                loads: 2
+            }
+        );
+    }
+
+    #[test]
+    fn audit_trail_records_typed_events_in_order() {
+        let enclave = SecureEnclave::new();
+        enclave.store(1, template(8));
+        let _ = enclave.load(1);
+        let _ = enclave.load(9); // miss
+        enclave.record_verify(1, true, 0.12);
+        enclave.record_verify(1, false, 0.81);
+        let _ = enclave.revoke(1);
+
+        let trail = enclave.audit_trail();
+        let kinds: Vec<_> = trail.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                AuditKind::Store,
+                AuditKind::Load,
+                AuditKind::Load,
+                AuditKind::VerifyHit,
+                AuditKind::VerifyMiss,
+                AuditKind::Revoke,
+            ]
+        );
+        // Sequence numbers are dense and monotonic.
+        assert_eq!(
+            trail.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            (0..6).collect::<Vec<_>>()
+        );
+        // Miss-load outcome is false; verify events carry distances.
+        assert!(!trail[2].outcome);
+        assert_eq!(trail[2].user_id, 9);
+        assert_eq!(trail[3].distance, Some(0.12));
+        assert!(trail[3].outcome);
+        assert_eq!(trail[4].distance, Some(0.81));
+        assert!(!trail[4].outcome);
+        assert!(trail[5].outcome);
+    }
+
+    #[test]
+    fn audit_ring_is_bounded_but_seq_and_counts_survive_eviction() {
+        let enclave = SecureEnclave::with_audit_capacity(4);
+        for i in 0..10 {
+            enclave.store(i, template(u64::from(i)));
+        }
+        assert_eq!(enclave.audit_len(), 4);
+        assert_eq!(enclave.audit_capacity(), 4);
+        assert_eq!(enclave.audit_seq(), 10);
+        // The ring holds the newest four events, seqs 6..10.
+        let seqs: Vec<_> = enclave.audit_trail().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        // Totals saw all ten stores despite eviction.
+        assert_eq!(enclave.access_counts().stores, 10);
+    }
+
+    #[test]
+    fn audit_query_filters_by_user() {
+        let enclave = SecureEnclave::new();
+        enclave.store(1, template(1));
+        enclave.store(2, template(2));
+        enclave.record_verify(2, true, 0.2);
+        let for_two = enclave.audit_events_for(2);
+        assert_eq!(for_two.len(), 2);
+        assert!(for_two.iter().all(|e| e.user_id == 2));
+        assert!(enclave.audit_events_for(3).is_empty());
+    }
+
+    #[test]
+    fn audit_kind_labels_are_stable() {
+        assert_eq!(AuditKind::Store.label(), "store");
+        assert_eq!(AuditKind::Load.label(), "load");
+        assert_eq!(AuditKind::Revoke.label(), "revoke");
+        assert_eq!(AuditKind::VerifyHit.label(), "verify_hit");
+        assert_eq!(AuditKind::VerifyMiss.label(), "verify_miss");
     }
 
     #[test]

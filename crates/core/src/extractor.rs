@@ -256,18 +256,32 @@ impl BiometricExtractor {
     /// deployed path — a trained extractor can serve concurrent
     /// verifications.
     pub fn infer_forward(&self, input: &Tensor) -> (Tensor, Tensor) {
+        let _span = mandipass_telemetry::span("cnn_forward");
         let features = match &self.branch_negative {
             Some(branch_negative) => {
                 let (pos, neg) = split_directions(&self.config, input);
-                let fp = self.branch_positive.infer(&pos);
-                let fn_ = branch_negative.infer(&neg);
+                let fp = {
+                    let _span = mandipass_telemetry::span("branch_positive");
+                    self.branch_positive.infer(&pos)
+                };
+                let fn_ = {
+                    let _span = mandipass_telemetry::span("branch_negative");
+                    branch_negative.infer(&neg)
+                };
                 Tensor::concat_cols(&[&fp, &fn_])
             }
-            None => self.branch_positive.infer(input),
+            None => {
+                let _span = mandipass_telemetry::span("branch_positive");
+                self.branch_positive.infer(input)
+            }
         };
-        let pre = self.head.infer(&features);
-        let embedding = self.head_act.infer(&pre);
-        let logits = self.classifier.infer(&embedding);
+        let (embedding, logits) = {
+            let _span = mandipass_telemetry::span("embedding_head");
+            let pre = self.head.infer(&features);
+            let embedding = self.head_act.infer(&pre);
+            let logits = self.classifier.infer(&embedding);
+            (embedding, logits)
+        };
         (embedding, logits)
     }
 

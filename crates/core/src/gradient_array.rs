@@ -23,6 +23,7 @@ impl GradientArray {
     /// Builds the gradient array from a preprocessed signal array,
     /// interpolating each direction stream to `half_n` values.
     pub fn from_signal_array(array: &SignalArray, half_n: usize) -> Self {
+        let _span = mandipass_telemetry::span("gradient_array");
         let axes = array.axis_count();
         let mut data = vec![0.0; 2 * axes * half_n];
         for (j, axis) in array.iter().enumerate() {

@@ -75,6 +75,7 @@ pub use error::MandiPassError;
 pub mod prelude {
     pub use crate::authenticator::{MandiPass, VerifyOutcome};
     pub use crate::config::PipelineConfig;
+    pub use crate::enclave::{AccessCounts, AuditEvent, AuditKind, SecureEnclave};
     pub use crate::extractor::{BiometricExtractor, ExtractorConfig};
     pub use crate::gradient_array::GradientArray;
     pub use crate::template::{CancelableTemplate, GaussianMatrix, MandiblePrint};

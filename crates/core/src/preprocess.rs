@@ -35,28 +35,51 @@ pub fn preprocess(
     recording: &Recording,
     config: &PipelineConfig,
 ) -> Result<SignalArray, MandiPassError> {
+    let _span = mandipass_telemetry::span("preprocess");
+    let result = preprocess_stages(recording, config);
+    match &result {
+        Ok(_) => mandipass_telemetry::counter!("preprocess.ok").inc(),
+        Err(_) => mandipass_telemetry::counter!("preprocess.err").inc(),
+    }
+    result
+}
+
+fn preprocess_stages(
+    recording: &Recording,
+    config: &PipelineConfig,
+) -> Result<SignalArray, MandiPassError> {
     config.validate()?;
     let axes: Vec<&[f64]> = recording.axes().iter().map(Vec::as_slice).collect();
     // Step 1: detect on az, cut n samples from each axis.
-    let mut segments = segment_axes(recording.az(), &axes, config.n, &config.detector())?;
+    let mut segments = {
+        let _span = mandipass_telemetry::span("detect_segment");
+        segment_axes(recording.az(), &axes, config.n, &config.detector())?
+    };
 
     // Step 2: MAD outlier repair, per segment.
-    for seg in &mut segments {
-        clean_segment(seg, config.mad_threshold);
+    {
+        let _span = mandipass_telemetry::span("mad_outlier");
+        for seg in &mut segments {
+            clean_segment(seg, config.mad_threshold);
+        }
     }
 
     // Step 3: high-pass filter (zero-phase so the waveform the gradients
     // see is not phase-distorted).
-    let hp = Butterworth::highpass(
-        config.highpass_order,
-        config.highpass_cutoff_hz,
-        recording.sample_rate_hz(),
-    )?;
-    for seg in &mut segments {
-        *seg = hp.filtfilt(seg);
+    {
+        let _span = mandipass_telemetry::span("butterworth_highpass");
+        let hp = Butterworth::highpass(
+            config.highpass_order,
+            config.highpass_cutoff_hz,
+            recording.sample_rate_hz(),
+        )?;
+        for seg in &mut segments {
+            *seg = hp.filtfilt(seg);
+        }
     }
 
     // Step 4: min-max normalisation and concatenation.
+    let _span = mandipass_telemetry::span("normalise");
     for seg in &mut segments {
         min_max_in_place(seg);
     }

@@ -108,6 +108,7 @@ impl GaussianMatrix {
     /// Returns [`MandiPassError::DimensionMismatch`] when the print's
     /// dimension differs from the matrix dimension.
     pub fn transform(&self, print: &MandiblePrint) -> Result<CancelableTemplate, MandiPassError> {
+        let _span = mandipass_telemetry::span("template_transform");
         if print.dim() != self.dim {
             return Err(MandiPassError::DimensionMismatch {
                 expected: self.dim,

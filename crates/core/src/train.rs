@@ -210,25 +210,52 @@ impl VspTrainer {
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x7368_7566);
         let shape = [2usize, 6, self.config.pipeline.half_n()];
         let mut stats = Vec::with_capacity(self.config.epochs);
+        let telemetry_on = mandipass_telemetry::enabled();
         for _ in 0..self.config.epochs {
+            let _span = mandipass_telemetry::span("train_epoch");
             dataset.shuffle(&mut rng);
             let mut loss_sum = 0.0f64;
             let mut acc_sum = 0.0f64;
+            let mut grad_norm_sum = 0.0f64;
             let mut batches = 0usize;
             for (input, labels) in dataset.batches(self.config.batch_size, &shape) {
                 let (loss, acc) = extractor.train_batch(&input, &labels);
+                if telemetry_on {
+                    grad_norm_sum += grad_l2_norm(&mut extractor);
+                }
                 adam.step(&mut extractor.params());
                 loss_sum += f64::from(loss);
                 acc_sum += acc;
                 batches += 1;
             }
-            stats.push(EpochStats {
+            let epoch = EpochStats {
                 loss: (loss_sum / batches.max(1) as f64) as f32,
                 accuracy: acc_sum / batches.max(1) as f64,
-            });
+            };
+            if telemetry_on {
+                mandipass_telemetry::counter!("train.epochs").inc();
+                mandipass_telemetry::histogram!("train.epoch_loss").observe(f64::from(epoch.loss));
+                mandipass_telemetry::histogram!("train.epoch_accuracy").observe(epoch.accuracy);
+                mandipass_telemetry::histogram!("train.grad_norm")
+                    .observe(grad_norm_sum / batches.max(1) as f64);
+            }
+            stats.push(epoch);
         }
         Ok((extractor, stats))
     }
+}
+
+/// L2 norm over every parameter gradient of the extractor — the standard
+/// divergence/vanishing indicator, recorded per epoch when telemetry is
+/// enabled.
+fn grad_l2_norm(extractor: &mut BiometricExtractor) -> f64 {
+    let mut sq = 0.0f64;
+    for p in extractor.params() {
+        for &g in p.grad.data() {
+            sq += f64::from(g) * f64::from(g);
+        }
+    }
+    sq.sqrt()
 }
 
 #[cfg(test)]

@@ -88,6 +88,7 @@ pub fn roc_sweep(genuine: &[f64], impostor: &[f64], steps: usize) -> Vec<RocPoin
 ///
 /// Returns `None` when either score set is empty.
 pub fn eer(genuine: &[f64], impostor: &[f64]) -> Option<EerPoint> {
+    let _span = mandipass_telemetry::span("eer_sweep");
     if genuine.is_empty() || impostor.is_empty() {
         return None;
     }

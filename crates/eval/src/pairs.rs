@@ -20,10 +20,14 @@ impl ScoreSet {
     /// Builds both populations from per-user embedding lists:
     /// `embeddings[u]` holds all vectors of user `u`.
     pub fn from_embeddings(embeddings: &[Vec<Vec<f32>>]) -> Self {
-        ScoreSet {
+        let _span = mandipass_telemetry::span("score_set");
+        let set = ScoreSet {
             genuine: genuine_pairs(embeddings),
             impostor: impostor_pairs(embeddings),
-        }
+        };
+        mandipass_telemetry::counter!("eval.genuine_pairs").add(set.genuine.len() as u64);
+        mandipass_telemetry::counter!("eval.impostor_pairs").add(set.impostor.len() as u64);
+        set
     }
 
     /// Mean of the genuine distances (`NaN` if empty).

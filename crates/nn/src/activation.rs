@@ -20,6 +20,10 @@ impl ReLU {
 }
 
 impl Layer for ReLU {
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         if train {
             self.mask = Some(input.data().iter().map(|&v| v > 0.0).collect());
@@ -76,6 +80,10 @@ impl Sigmoid {
 }
 
 impl Layer for Sigmoid {
+    fn name(&self) -> &'static str {
+        "sigmoid"
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let out = self.infer(input);
         if train {

@@ -74,6 +74,10 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
+    fn name(&self) -> &'static str {
+        "batchnorm2d"
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         if !train {
             return self.infer(input);

@@ -96,6 +96,10 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let out = self.infer(input);
         if train {

@@ -20,6 +20,10 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         if train {
             self.cached_shape = Some(input.shape().to_vec());

@@ -21,6 +21,12 @@ pub struct Param<'a> {
 /// that cache in [`Layer::backward`]. Gradients accumulate into the layer's
 /// grad buffers; call [`Layer::zero_grad`] between optimiser steps.
 pub trait Layer: std::fmt::Debug {
+    /// A short stable kind label (e.g. `"conv2d"`), used as the
+    /// telemetry span name for per-layer inference timing.
+    fn name(&self) -> &'static str {
+        "layer"
+    }
+
     /// Computes the layer output. `train` selects training behaviour
     /// (e.g. batch statistics in batch norm) and enables caching for the
     /// backward pass.

@@ -59,6 +59,10 @@ impl Linear {
 }
 
 impl Layer for Linear {
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let out = self.infer(input);
         if train {

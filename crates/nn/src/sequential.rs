@@ -29,6 +29,10 @@ impl Sequential {
 }
 
 impl Layer for Sequential {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let mut cur = input.clone();
         for layer in &mut self.layers {
@@ -40,6 +44,7 @@ impl Layer for Sequential {
     fn infer(&self, input: &Tensor) -> Tensor {
         let mut cur = input.clone();
         for layer in &self.layers {
+            let _span = mandipass_telemetry::span(layer.name());
             cur = layer.infer(&cur);
         }
         cur

@@ -1,0 +1,134 @@
+//! Hermetic observability substrate for the MandiPass workspace.
+//!
+//! The paper's headline usability claims are latency numbers (§VII
+//! "response time ≤ 1 s", Table I RTC), so the reproduction needs a
+//! first-class way to see where time and decisions go. This crate
+//! provides that without any external dependency, mirroring the
+//! workspace's hermetic-build policy (DESIGN.md §6):
+//!
+//! * [`span`] / [`SpanGuard`] — structured spans with nested scopes and
+//!   monotonic timing. Opening a span pushes onto a thread-local stack;
+//!   the RAII guard closes it on drop (including during unwinding), so
+//!   instrumented code never leaks scope state.
+//! * [`metrics`] — a global registry of atomic counters, gauges, and
+//!   fixed-bucket histograms with quantile readout. The [`counter!`],
+//!   [`gauge!`] and [`histogram!`] macros cache their handle in a
+//!   call-site `static`, so a hot-path increment is one atomic add.
+//! * [`sink`] — a pluggable output API. The default sink is silent and
+//!   span creation early-outs on two relaxed atomic loads, so
+//!   instrumentation costs ~nothing when disabled. `MANDIPASS_TELEMETRY`
+//!   (`off`/`text`/`json`) or [`Builder`] select the stderr text sink or
+//!   the JSON-lines sink (serialised via `mandipass_util::json`).
+//! * **Deterministic mode** — with [`set_deterministic`] (or
+//!   `MANDIPASS_TELEMETRY_DETERMINISTIC=1`) timestamps come from a
+//!   per-thread logical clock instead of the wall clock, so the span
+//!   tree recorded by [`capture`] is bit-stable across same-seed runs
+//!   (the property `tests/determinism.rs` asserts).
+//! * [`capture`] — records the span tree produced by a closure on the
+//!   current thread and returns it as a [`span::SpanTree`], the input to
+//!   [`report::latency_report`], which renders the per-stage latency
+//!   breakdown behind the §VII.E overhead table.
+//!
+//! # Example
+//!
+//! ```
+//! use mandipass_telemetry as telemetry;
+//!
+//! telemetry::set_deterministic(true);
+//! let ((), tree) = telemetry::capture(|| {
+//!     let _outer = telemetry::span("verify");
+//!     let _inner = telemetry::span("preprocess");
+//! });
+//! assert_eq!(tree.spans().len(), 2);
+//! assert_eq!(tree.spans()[0].path, "verify");
+//! assert_eq!(tree.spans()[1].path, "verify.preprocess");
+//! telemetry::counter!("verify.total").inc();
+//! ```
+
+pub mod clock;
+pub mod metrics;
+pub mod mode;
+pub mod report;
+pub mod sink;
+pub mod span;
+
+pub use clock::set_deterministic;
+pub use metrics::{global as metrics, Counter, Gauge, Histogram, Registry};
+pub use mode::{enabled, install_sink, mode, set_default_mode, set_mode, Builder, Mode};
+pub use sink::{JsonSink, Sink, TextSink};
+pub use span::{capture, span, SpanGuard, SpanRecord, SpanTree};
+
+/// Emits a one-line narration event to the active sink (silent sink:
+/// nothing). Replaces ad-hoc `eprintln!` progress lines so all operator
+/// output flows through one code path.
+pub fn event(message: &str) {
+    if let Some(sink) = mode::active_sink() {
+        sink.event(message);
+    }
+}
+
+/// Caches a [`Counter`] handle in a call-site `static`: after the first
+/// call the increment is a single atomic add.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Counter> = ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::metrics().counter($name))
+    }};
+}
+
+/// Caches a [`Gauge`] handle in a call-site `static`.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Gauge> = ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::metrics().gauge($name))
+    }};
+}
+
+/// Caches a [`Histogram`] handle (default latency buckets) in a
+/// call-site `static`.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Histogram> = ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::metrics().histogram($name))
+    }};
+}
+
+/// Serialises unit tests that mutate the global mode or clock state, so
+/// the parallel test harness cannot interleave them.
+#[cfg(test)]
+pub(crate) mod test_sync {
+    use std::sync::{Mutex, MutexGuard};
+
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    pub fn global_state_lock() -> MutexGuard<'static, ()> {
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macros_cache_one_handle_per_site() {
+        for _ in 0..3 {
+            counter!("lib.macro_counter").inc();
+        }
+        assert_eq!(metrics().counter("lib.macro_counter").get(), 3);
+        gauge!("lib.macro_gauge").set(2.5);
+        assert_eq!(metrics().gauge("lib.macro_gauge").get(), 2.5);
+        histogram!("lib.macro_hist").observe(1.0);
+        assert_eq!(metrics().histogram("lib.macro_hist").count(), 1);
+    }
+
+    #[test]
+    fn event_is_silent_by_default() {
+        // Must not panic (and must not require a sink).
+        event("no sink installed");
+    }
+}

@@ -1,0 +1,457 @@
+//! A global registry of atomic counters, gauges, and fixed-bucket
+//! histograms with quantile readout.
+//!
+//! Handles are `Arc`-backed and cheap to clone; the [`crate::counter!`]
+//! family of macros caches a handle per call site, so hot-path updates
+//! are lock-free atomic operations. Name lookup (registration) takes a
+//! registry mutex and is meant for set-up paths.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use mandipass_util::json::Value;
+
+/// A monotonically increasing `u64`.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins `f64`.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+fn atomic_f64_update(cell: &AtomicU64, value: f64, keep: impl Fn(f64, f64) -> f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = keep(f64::from_bits(current), value).to_bits();
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => current = seen,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Ascending bucket upper bounds; an implicit overflow bucket
+    /// follows the last bound.
+    bounds: Vec<f64>,
+    /// One slot per bound plus the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `f64` observations.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    fn with_bounds(bounds: Vec<f64>) -> Self {
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramInner {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }))
+    }
+
+    /// The default latency buckets: a 1-2-5 ladder from 100 ns to 50 s,
+    /// in seconds.
+    pub fn default_latency_bounds() -> Vec<f64> {
+        let mut bounds = Vec::new();
+        for exp in -7..=1 {
+            for mantissa in [1.0, 2.0, 5.0] {
+                bounds.push(mantissa * 10f64.powi(exp));
+            }
+        }
+        bounds
+    }
+
+    /// Records one observation (non-finite values are dropped).
+    pub fn observe(&self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let inner = &self.0;
+        let idx = inner
+            .bounds
+            .partition_point(|&bound| bound < value)
+            .min(inner.buckets.len() - 1);
+        inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_update(&inner.sum_bits, value, |acc, v| acc + v);
+        atomic_f64_update(&inner.min_bits, value, f64::min);
+        atomic_f64_update(&inner.max_bits, value, f64::max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            f64::NAN
+        } else {
+            self.sum() / count as f64
+        }
+    }
+
+    /// Smallest observation (`NaN` when empty).
+    pub fn min(&self) -> f64 {
+        if self.count() == 0 {
+            f64::NAN
+        } else {
+            f64::from_bits(self.0.min_bits.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Largest observation (`NaN` when empty).
+    pub fn max(&self) -> f64 {
+        if self.count() == 0 {
+            f64::NAN
+        } else {
+            f64::from_bits(self.0.max_bits.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Bucket upper bounds (the overflow bucket is implicit).
+    pub fn bounds(&self) -> &[f64] {
+        &self.0.bounds
+    }
+
+    /// Per-bucket counts, overflow bucket last.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) estimated by linear interpolation
+    /// inside the containing bucket, clamped to the observed min/max.
+    /// `NaN` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * total as f64;
+        let mut cumulative = 0u64;
+        for (i, &count) in counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let next = cumulative + count;
+            if (next as f64) >= target {
+                let lower = if i == 0 { 0.0 } else { self.0.bounds[i - 1] };
+                let upper = if i < self.0.bounds.len() {
+                    self.0.bounds[i]
+                } else {
+                    // Overflow bucket: no finite upper bound, report the
+                    // largest observation.
+                    return self.max();
+                };
+                let into = (target - cumulative as f64) / count as f64;
+                let estimate = lower + into.clamp(0.0, 1.0) * (upper - lower);
+                return estimate.clamp(self.min(), self.max());
+            }
+            cumulative = next;
+        }
+        self.max()
+    }
+
+    /// Serialises count/sum/mean/min/max and the p50/p90/p99 estimates.
+    pub fn to_json(&self) -> Value {
+        let num = |v: f64| {
+            if v.is_finite() {
+                Value::Number(v)
+            } else {
+                Value::Null
+            }
+        };
+        Value::Object(vec![
+            ("count".to_string(), Value::Number(self.count() as f64)),
+            ("sum".to_string(), num(self.sum())),
+            ("mean".to_string(), num(self.mean())),
+            ("min".to_string(), num(self.min())),
+            ("max".to_string(), num(self.max())),
+            ("p50".to_string(), num(self.quantile(0.5))),
+            ("p90".to_string(), num(self.quantile(0.9))),
+            ("p99".to_string(), num(self.quantile(0.99))),
+        ])
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A namespace of metrics. Most code uses the process-wide [`global`]
+/// registry; tests can build private ones.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.lock()
+            .counters
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.lock()
+            .gauges
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram named `name` with the default latency buckets,
+    /// created on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with_bounds(name, Histogram::default_latency_bounds())
+    }
+
+    /// The histogram named `name`; `bounds` (ascending upper bounds)
+    /// apply only on first creation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bounds` is empty, non-finite, or not strictly
+    /// ascending.
+    pub fn histogram_with_bounds(&self, name: &str, bounds: Vec<f64>) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly ascending"
+        );
+        self.lock()
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::with_bounds(bounds))
+            .clone()
+    }
+
+    /// Serialises every metric:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+    pub fn snapshot_json(&self) -> Value {
+        let inner = self.lock();
+        let counters = inner
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::Number(v.get() as f64)))
+            .collect();
+        let gauges = inner
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::Number(v.get())))
+            .collect();
+        let histograms = inner
+            .histograms
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_json()))
+            .collect();
+        Value::Object(vec![
+            ("counters".to_string(), Value::Object(counters)),
+            ("gauges".to_string(), Value::Object(gauges)),
+            ("histograms".to_string(), Value::Object(histograms)),
+        ])
+    }
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let reg = Registry::new();
+        let c = reg.counter("requests");
+        c.inc();
+        c.add(4);
+        // Same name → same underlying cell.
+        assert_eq!(reg.counter("requests").get(), 5);
+        assert_eq!(reg.counter("other").get(), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let reg = Registry::new();
+        let g = reg.gauge("loss");
+        g.set(0.25);
+        g.set(0.125);
+        assert_eq!(reg.gauge("loss").get(), 0.125);
+    }
+
+    #[test]
+    fn histogram_buckets_observations_correctly() {
+        let reg = Registry::new();
+        let h = reg.histogram_with_bounds("lat", vec![1.0, 2.0, 4.0, 8.0]);
+        for v in [0.5, 1.5, 1.6, 3.0, 9.0] {
+            h.observe(v);
+        }
+        // Bucket upper bounds are inclusive: v ≤ bound.
+        assert_eq!(h.bucket_counts(), vec![1, 2, 1, 0, 1]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 15.6).abs() < 1e-12);
+        assert_eq!(h.min(), 0.5);
+        assert_eq!(h.max(), 9.0);
+        assert!((h.mean() - 3.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_boundary_value_lands_in_its_bucket() {
+        let reg = Registry::new();
+        let h = reg.histogram_with_bounds("edge", vec![1.0, 2.0]);
+        h.observe(1.0);
+        h.observe(2.0);
+        assert_eq!(h.bucket_counts(), vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram_with_bounds("q", vec![10.0, 20.0, 30.0]);
+        // 100 observations uniform over (0, 30]: ~p50 near 15.
+        for i in 1..=100 {
+            h.observe(0.3 * f64::from(i));
+        }
+        let p50 = h.quantile(0.5);
+        assert!((13.0..=17.0).contains(&p50), "p50 {p50}");
+        let p90 = h.quantile(0.9);
+        assert!((25.0..=30.0).contains(&p90), "p90 {p90}");
+        // Quantiles are clamped to observations.
+        assert!(h.quantile(0.0) >= h.min());
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn quantile_of_overflow_bucket_reports_max() {
+        let reg = Registry::new();
+        let h = reg.histogram_with_bounds("of", vec![1.0]);
+        h.observe(100.0);
+        h.observe(250.0);
+        assert_eq!(h.quantile(0.99), 250.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_nan() {
+        let reg = Registry::new();
+        let h = reg.histogram("empty");
+        assert!(h.mean().is_nan());
+        assert!(h.quantile(0.5).is_nan());
+        assert!(h.min().is_nan() && h.max().is_nan());
+    }
+
+    #[test]
+    fn non_finite_observations_are_dropped() {
+        let reg = Registry::new();
+        let h = reg.histogram("nf");
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_bounds_are_rejected() {
+        Registry::new().histogram_with_bounds("bad", vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn snapshot_serialises_all_kinds() {
+        let reg = Registry::new();
+        reg.counter("c").add(2);
+        reg.gauge("g").set(1.5);
+        reg.histogram_with_bounds("h", vec![1.0]).observe(0.5);
+        let json = reg.snapshot_json().to_json();
+        assert!(json.contains("\"c\":2"));
+        assert!(json.contains("\"g\":1.5"));
+        assert!(json.contains("\"count\":1"));
+    }
+
+    #[test]
+    fn default_latency_bounds_are_ascending() {
+        let bounds = Histogram::default_latency_bounds();
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(bounds.len(), 27);
+    }
+}

@@ -1,0 +1,140 @@
+//! Turns a captured [`SpanTree`] into a per-stage latency breakdown —
+//! the telemetry-backed replacement for the hand-rolled timers behind
+//! the paper's §VII.E overhead table.
+
+use mandipass_util::json::Value;
+
+use crate::clock;
+use crate::span::SpanTree;
+
+/// Aggregate statistics of every span sharing one name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageStat {
+    /// Span name (the stage label).
+    pub name: &'static str,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Sum of durations.
+    pub total: u64,
+    /// Mean duration.
+    pub mean: f64,
+    /// Smallest duration.
+    pub min: u64,
+    /// Largest duration.
+    pub max: u64,
+}
+
+/// Aggregates spans by name, ordered by first appearance in the tree.
+pub fn stage_stats(tree: &SpanTree) -> Vec<StageStat> {
+    let mut stats: Vec<StageStat> = Vec::new();
+    for span in tree.spans() {
+        match stats.iter_mut().find(|s| s.name == span.name) {
+            Some(stat) => {
+                stat.count += 1;
+                stat.total += span.duration;
+                stat.min = stat.min.min(span.duration);
+                stat.max = stat.max.max(span.duration);
+            }
+            None => stats.push(StageStat {
+                name: span.name,
+                count: 1,
+                total: span.duration,
+                mean: 0.0,
+                min: span.duration,
+                max: span.duration,
+            }),
+        }
+    }
+    for stat in &mut stats {
+        stat.mean = stat.total as f64 / stat.count as f64;
+    }
+    stats
+}
+
+/// Renders the span tree plus its per-stage statistics as one JSON
+/// document:
+///
+/// ```json
+/// {"unit": "ns", "deterministic": false,
+///  "spans": [{"name": "verify", "start": 0, "dur": 1, "children": [...]}],
+///  "stages": [{"name": "verify", "count": 1, "total_ns": 1, ...}]}
+/// ```
+///
+/// In deterministic mode durations are logical ticks, not nanoseconds;
+/// the `unit` field says which.
+pub fn latency_report(tree: &SpanTree) -> Value {
+    let deterministic = clock::is_deterministic();
+    let stages = stage_stats(tree)
+        .into_iter()
+        .map(|s| {
+            Value::Object(vec![
+                ("name".to_string(), Value::String(s.name.to_string())),
+                ("count".to_string(), Value::Number(s.count as f64)),
+                ("total_ns".to_string(), Value::Number(s.total as f64)),
+                ("mean_ns".to_string(), Value::Number(s.mean)),
+                ("min_ns".to_string(), Value::Number(s.min as f64)),
+                ("max_ns".to_string(), Value::Number(s.max as f64)),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        (
+            "unit".to_string(),
+            Value::String(if deterministic { "ticks" } else { "ns" }.to_string()),
+        ),
+        ("deterministic".to_string(), Value::Bool(deterministic)),
+        ("spans".to_string(), tree.to_json()),
+        ("stages".to_string(), Value::Array(stages)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_sync::global_state_lock;
+    use crate::{capture, span};
+
+    #[test]
+    fn stage_stats_aggregate_repeated_names() {
+        let _lock = global_state_lock();
+        crate::set_deterministic(true);
+        let ((), tree) = capture(|| {
+            for _ in 0..4 {
+                let _root = span("verify");
+                let _leaf = span("preprocess");
+            }
+        });
+        crate::set_deterministic(false);
+        let stats = stage_stats(&tree);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].name, "verify");
+        assert_eq!(stats[0].count, 4);
+        assert_eq!(stats[1].name, "preprocess");
+        assert_eq!(stats[1].count, 4);
+        assert!(stats[0].mean > stats[1].mean, "parents outlast children");
+        assert!(stats[0].min <= stats[0].max);
+        assert_eq!(stats[0].total, 4 * stats[0].min);
+    }
+
+    #[test]
+    fn latency_report_lists_every_stage() {
+        let _lock = global_state_lock();
+        crate::set_deterministic(true);
+        let ((), tree) = capture(|| {
+            let _a = span("preprocess");
+        });
+        let report = latency_report(&tree);
+        crate::set_deterministic(false);
+        assert_eq!(report.get("unit").and_then(Value::as_str), Some("ticks"));
+        assert_eq!(
+            report.get("deterministic").and_then(Value::as_bool),
+            Some(true)
+        );
+        let stages = report.get("stages").and_then(Value::as_array).unwrap();
+        assert_eq!(stages.len(), 1);
+        assert_eq!(
+            stages[0].get("name").and_then(Value::as_str),
+            Some("preprocess")
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! The pluggable output API: where closed spans and narration events go.
+//!
+//! Sinks receive *closed* spans (a span is only reportable once its
+//! duration is known) plus free-form narration events. Implementations
+//! must not open telemetry spans themselves — span delivery happens
+//! while the thread's span stack is borrowed.
+
+use mandipass_util::json::Value;
+
+/// A closed span, as delivered to sinks.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanEvent<'a> {
+    /// The span's own name.
+    pub name: &'static str,
+    /// Dot-joined path from the outermost open span, e.g.
+    /// `verify.extract_print.preprocess`.
+    pub path: &'a str,
+    /// Nesting depth (1 = root).
+    pub depth: usize,
+    /// Start timestamp (wall nanoseconds, or logical ticks in
+    /// deterministic mode).
+    pub start: u64,
+    /// `end - start` in the same unit as `start`.
+    pub duration: u64,
+}
+
+/// A telemetry output backend.
+pub trait Sink: Send + Sync {
+    /// Called once per span, at close.
+    fn span_close(&self, span: &SpanEvent<'_>);
+
+    /// Called for narration events ([`crate::event`]).
+    fn event(&self, message: &str);
+}
+
+/// Human-readable stderr lines, indented by span depth.
+#[derive(Debug, Default)]
+pub struct TextSink;
+
+impl Sink for TextSink {
+    fn span_close(&self, span: &SpanEvent<'_>) {
+        let indent = "  ".repeat(span.depth.saturating_sub(1));
+        eprintln!(
+            "[span] {indent}{} {}ns ({})",
+            span.name, span.duration, span.path
+        );
+    }
+
+    fn event(&self, message: &str) {
+        eprintln!("[telemetry] {message}");
+    }
+}
+
+/// One compact JSON object per line on stderr.
+#[derive(Debug, Default)]
+pub struct JsonSink;
+
+impl Sink for JsonSink {
+    fn span_close(&self, span: &SpanEvent<'_>) {
+        let doc = Value::Object(vec![
+            ("type".to_string(), Value::String("span".to_string())),
+            ("name".to_string(), Value::String(span.name.to_string())),
+            ("path".to_string(), Value::String(span.path.to_string())),
+            ("depth".to_string(), Value::Number(span.depth as f64)),
+            ("start".to_string(), Value::Number(span.start as f64)),
+            ("dur_ns".to_string(), Value::Number(span.duration as f64)),
+        ]);
+        eprintln!("{}", doc.to_json());
+    }
+
+    fn event(&self, message: &str) {
+        let doc = Value::Object(vec![
+            ("type".to_string(), Value::String("event".to_string())),
+            ("message".to_string(), Value::String(message.to_string())),
+        ]);
+        eprintln!("{}", doc.to_json());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// A sink that records everything it sees (used across the crate's
+    /// tests and available to downstream tests).
+    #[derive(Debug, Default)]
+    pub struct MemorySink {
+        /// `(path, duration)` per closed span.
+        pub spans: Mutex<Vec<(String, u64)>>,
+        /// Narration messages.
+        pub events: Mutex<Vec<String>>,
+    }
+
+    impl Sink for MemorySink {
+        fn span_close(&self, span: &SpanEvent<'_>) {
+            self.spans
+                .lock()
+                .expect("memory sink lock")
+                .push((span.path.to_string(), span.duration));
+        }
+
+        fn event(&self, message: &str) {
+            self.events
+                .lock()
+                .expect("memory sink lock")
+                .push(message.to_string());
+        }
+    }
+
+    #[test]
+    fn memory_sink_records_spans_and_events() {
+        let sink = MemorySink::default();
+        sink.span_close(&SpanEvent {
+            name: "verify",
+            path: "verify",
+            depth: 1,
+            start: 10,
+            duration: 5,
+        });
+        sink.event("hello");
+        assert_eq!(
+            sink.spans.lock().unwrap().as_slice(),
+            &[("verify".to_string(), 5)]
+        );
+        assert_eq!(
+            sink.events.lock().unwrap().as_slice(),
+            &["hello".to_string()]
+        );
+    }
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo run --release --example quickstart
+//! MANDIPASS_TELEMETRY=json cargo run --release --example quickstart   # + span tree & latency JSON
 //! ```
 //!
 //! Mirrors the paper's deployment story: the verification service
@@ -81,5 +82,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "rejected"
         }
     );
+
+    // With MANDIPASS_TELEMETRY=text|json the verifications above already
+    // streamed span lines to stderr; additionally capture one more
+    // verify and print its span tree + per-stage latency breakdown.
+    if mandipass_telemetry::enabled() {
+        let probe = recorder.record(user, Condition::Normal, 997);
+        let (outcome, tree) =
+            mandipass_telemetry::capture(|| mandipass.verify(user.id, &probe, &matrix));
+        outcome?;
+        println!("\n== Telemetry: one verify, per-stage latency ==");
+        println!(
+            "{}",
+            mandipass_telemetry::report::latency_report(&tree).to_json()
+        );
+        let counts = mandipass.enclave().access_counts();
+        println!(
+            "enclave audit: {} events retained ({} stores, {} loads)",
+            mandipass.enclave().audit_len(),
+            counts.stores,
+            counts.loads
+        );
+    }
     Ok(())
 }

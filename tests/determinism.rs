@@ -67,6 +67,58 @@ fn same_seed_runs_produce_bit_identical_mandibleprints() {
     }
 }
 
+/// The telemetry integration half of the determinism story: with the
+/// logical clock active, two fresh same-seed systems must emit
+/// bit-identical verify span trees *and* identical enclave audit trails.
+#[test]
+fn same_seed_verify_emits_bit_identical_span_tree_and_audit_trail() {
+    mandipass_telemetry::set_deterministic(true);
+    let run = || {
+        let (pop, rec, mut sys) = fresh_system();
+        let user = &pop.users()[0];
+        let matrix = GaussianMatrix::generate(9, sys.embedding_dim());
+        let enrolment: Vec<_> = (0..3)
+            .map(|s| rec.record(user, Condition::Normal, 8000 + s))
+            .collect();
+        sys.enroll(user.id, &enrolment, &matrix).expect("enrols");
+        let probe = rec.record(user, Condition::Normal, 8100);
+        let (outcome, tree) = mandipass_telemetry::capture(|| sys.verify(user.id, &probe, &matrix));
+        outcome.expect("verifies");
+        // The tree must cover the whole §III pipeline.
+        for stage in [
+            "verify",
+            "enclave_load",
+            "extract_print",
+            "preprocess",
+            "gradient_array",
+            "cnn_forward",
+            "template_transform",
+            "similarity",
+        ] {
+            assert!(tree.count(stage) > 0, "span tree misses stage {stage}");
+        }
+        (tree.to_json().to_json(), sys.enclave().audit_trail())
+    };
+    let (tree_a, trail_a) = run();
+    let (tree_b, trail_b) = run();
+    mandipass_telemetry::set_deterministic(false);
+
+    assert_eq!(tree_a, tree_b, "span trees diverged across same-seed runs");
+    assert!(!trail_a.is_empty());
+    assert_eq!(trail_a.len(), trail_b.len(), "audit trail lengths diverged");
+    for (a, b) in trail_a.iter().zip(&trail_b) {
+        assert_eq!(a.seq, b.seq);
+        assert_eq!(a.kind, b.kind);
+        assert_eq!(a.user_id, b.user_id);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(
+            a.distance.map(f64::to_bits),
+            b.distance.map(f64::to_bits),
+            "audit distances diverged"
+        );
+    }
+}
+
 #[test]
 fn same_seed_evaluations_land_on_the_same_eer_point() {
     let mut stack_a = TrainedStack::build(EvalScale::smoke_test()).expect("training succeeds");
