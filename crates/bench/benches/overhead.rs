@@ -31,7 +31,7 @@ fn bench_gradient_array(c: &mut Criterion) {
     let config = PipelineConfig::default();
     let arr = preprocess(&rec, &config).expect("probe preprocesses");
     c.bench_function("gradient_array_build", |b| {
-        b.iter(|| GradientArray::from_signal_array(std::hint::black_box(&arr), 30))
+        b.iter(|| GradientArray::from_signal_array(std::hint::black_box(&arr), 30).expect("builds"))
     });
 }
 
@@ -39,7 +39,7 @@ fn bench_extract(c: &mut Criterion) {
     let (_, rec, extractor) = deployed_setup();
     let config = PipelineConfig::default();
     let arr = preprocess(&rec, &config).expect("probe preprocesses");
-    let grad = GradientArray::from_signal_array(&arr, 30);
+    let grad = GradientArray::from_signal_array(&arr, 30).expect("probe yields gradients");
     c.bench_function("mandibleprint_extract", |b| {
         b.iter(|| {
             extractor

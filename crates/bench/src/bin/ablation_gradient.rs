@@ -34,7 +34,10 @@ fn main() {
             let Ok(arr) = preprocess(&rec, &config) else {
                 continue;
             };
-            grads.push(GradientArray::from_signal_array(&arr, config.half_n()).to_f32());
+            let Ok(grad) = GradientArray::from_signal_array(&arr, config.half_n()) else {
+                continue;
+            };
+            grads.push(grad.to_f32());
             signals.push(arr.to_flat().iter().map(|&v| v as f32).collect());
         }
         grad_sets.push(grads);

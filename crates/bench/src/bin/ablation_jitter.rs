@@ -29,7 +29,9 @@ fn measure(jitter: SessionJitter, users: usize, probes: usize, seed: u64) -> (f6
                 .filter_map(|p| {
                     let rec = recorder.record(u, Condition::Normal, 0xabc ^ (p << 16));
                     let arr = preprocess(&rec, &config).ok()?;
-                    Some(GradientArray::from_signal_array(&arr, config.half_n()).to_f32())
+                    GradientArray::from_signal_array(&arr, config.half_n())
+                        .ok()
+                        .map(|g| g.to_f32())
                 })
                 .collect()
         })

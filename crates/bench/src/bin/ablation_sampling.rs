@@ -33,7 +33,9 @@ fn raw_eer(dlpf: Option<f64>, users: usize, probes: usize, seed: u64) -> Option<
                 .filter_map(|p| {
                     let rec = recorder.record(u, Condition::Normal, 0xab1e ^ (p << 16));
                     let arr = preprocess(&rec, &config).ok()?;
-                    Some(GradientArray::from_signal_array(&arr, config.half_n()).to_f32())
+                    GradientArray::from_signal_array(&arr, config.half_n())
+                        .ok()
+                        .map(|g| g.to_f32())
                 })
                 .collect()
         })

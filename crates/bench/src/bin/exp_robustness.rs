@@ -1,0 +1,19 @@
+//! Sensor-fault robustness: every injector at several intensities,
+//! end to end through the retry/degraded verification policy.
+//!
+//! Prints the paper-vs-measured table and one JSON document with FAR,
+//! FRR and typed-reject rate per (profile, intensity) cell.
+
+use mandipass_bench::{experiments, EvalScale, TrainedStack};
+
+fn main() {
+    let scale = EvalScale::from_env();
+    println!("{}", scale.describe());
+    let mut stack = TrainedStack::build(scale).expect("VSP training failed");
+    let (_, threshold) = experiments::fig10b_eer(&mut stack);
+    let (table, json) =
+        experiments::exp_robustness(&mut stack, threshold, &[0.0, 0.25, 0.5, 0.75, 1.0])
+            .expect("robustness sweep failed");
+    println!("{}", table.to_console());
+    println!("JSON: {}", json.to_json());
+}

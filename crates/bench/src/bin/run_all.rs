@@ -57,6 +57,11 @@ fn main() {
     tables.push(experiments::exp_security(&mut stack, threshold));
     tables.push(experiments::exp_overhead(&mut stack));
     tables.push(experiments::table1_comparison(&mut stack, threshold));
+    telemetry::event("running the fault-injection robustness sweep…");
+    let (robustness, _json) =
+        experiments::exp_robustness(&mut stack, threshold, &[0.0, 0.25, 0.5, 0.75, 1.0])
+            .expect("robustness sweep failed");
+    tables.push(robustness);
 
     // Multi-training sweeps last (each trains its own extractors); run
     // them at a cheaper sub-scale — only the trend is asserted.

@@ -19,9 +19,13 @@ use mandipass_dsp::window::windowed_std;
 use mandipass_eval::metrics::{frr_at, vsr_at};
 use mandipass_eval::pairs::ScoreSet;
 use mandipass_eval::{ExperimentRecord, ReportTable};
+use mandipass_imu_sim::faults::sweep_profiles;
 use mandipass_imu_sim::propagation::PathLocation;
 use mandipass_imu_sim::vocal::Sex;
-use mandipass_imu_sim::{Condition, ImuModel, Population, Recorder, UserProfile};
+use mandipass_imu_sim::{
+    Condition, FaultProfile, FaultyRecorder, ImuModel, Population, Recorder, Recording, UserProfile,
+};
+use mandipass_util::json::Value;
 
 use crate::harness::TrainedStack;
 use crate::scale::EvalScale;
@@ -177,7 +181,10 @@ fn classifier_datasets(
                 continue;
             };
             sfs_features.push(statistical_feature_sample(&arr));
-            let grad = GradientArray::from_signal_array(&arr, config.half_n());
+            let Ok(grad) = GradientArray::from_signal_array(&arr, config.half_n()) else {
+                sfs_features.pop();
+                continue;
+            };
             grad_features.push(grad.to_f32().iter().map(|&v| f64::from(v)).collect());
             labels.push(label);
         }
@@ -331,9 +338,7 @@ fn flat_to_gradient_array(flat: &[f32], _channels: [usize; 3]) -> GradientArray 
     // The flat layout is [direction][axis][time] with axes = 6; recover
     // the half_n from the length.
     let half_n = flat.len() / 12;
-    let rows: Vec<Vec<f64>> = (0..1).map(|_| vec![0.0; half_n + 1]).collect();
-    let _ = rows;
-    GradientArray::from_flat(flat, 6, half_n)
+    GradientArray::from_flat(flat, 6, half_n).expect("flat layout from to_f32 round-trips")
 }
 
 /// Fig. 10(b): the FAR/FRR sweep, the EER, and the genuine/impostor
@@ -750,7 +755,9 @@ pub fn exp_security(stack: &mut TrainedStack, threshold: f64) -> ReportTable {
             for s in 0..probes as u64 {
                 let probe = vibration_aware_probe(attacker, &stack.recorder, 0x3b ^ s);
                 if let Ok(arr) = preprocess(&probe, &config) {
-                    let grad = GradientArray::from_signal_array(&arr, config.half_n());
+                    let Ok(grad) = GradientArray::from_signal_array(&arr, config.half_n()) else {
+                        continue;
+                    };
                     if let Ok(prints) = stack.extractor.extract(&[&grad]) {
                         for v in &victim_embeds {
                             vib_scores.push(cosine_distance(v, prints[0].as_slice()));
@@ -777,7 +784,9 @@ pub fn exp_security(stack: &mut TrainedStack, threshold: f64) -> ReportTable {
             for s in 0..probes as u64 {
                 let probe = impersonation_probe(attacker, victim, &stack.recorder, 0x4b ^ s);
                 if let Ok(arr) = preprocess(&probe, &config) {
-                    let grad = GradientArray::from_signal_array(&arr, config.half_n());
+                    let Ok(grad) = GradientArray::from_signal_array(&arr, config.half_n()) else {
+                        continue;
+                    };
                     if let Ok(prints) = stack.extractor.extract(&[&grad]) {
                         for v in &victim_embeds {
                             imp_scores.push(cosine_distance(v, prints[0].as_slice()));
@@ -844,7 +853,7 @@ pub fn exp_overhead(stack: &mut TrainedStack) -> ReportTable {
 
     // Pipeline wall-clock, via the instrumented spans themselves.
     let arr = preprocess(&rec, &config).expect("probe preprocesses");
-    let grad = GradientArray::from_signal_array(&arr, config.half_n());
+    let grad = GradientArray::from_signal_array(&arr, config.half_n()).expect("probe gradients");
     let extractor = &mut stack.extractor;
     let ((), tree) = mandipass_telemetry::capture(|| {
         for _ in 0..200 {
@@ -924,7 +933,7 @@ pub fn telemetry_report(stack: &mut TrainedStack) -> String {
             .filter_map(|s| {
                 let rec = recorder.record(&user, Condition::Normal, 0x7e1e ^ s);
                 let arr = preprocess(&rec, &config).ok()?;
-                let grad = GradientArray::from_signal_array(&arr, config.half_n());
+                let grad = GradientArray::from_signal_array(&arr, config.half_n()).ok()?;
                 extractor.extract(&[&grad]).ok().map(|mut p| p.remove(0))
             })
             .collect();
@@ -938,7 +947,8 @@ pub fn telemetry_report(stack: &mut TrainedStack) -> String {
         };
         let rec = recorder.record(&user, Condition::Normal, 0x7e1e ^ 99);
         let arr = preprocess(&rec, &config).expect("probe preprocesses");
-        let grad = GradientArray::from_signal_array(&arr, config.half_n());
+        let grad =
+            GradientArray::from_signal_array(&arr, config.half_n()).expect("probe gradients");
         let prints = extractor.extract(&[&grad]).expect("extracts");
         let cancelable = matrix.transform(&prints[0]).expect("dims match");
         let distance = {
@@ -1010,5 +1020,337 @@ pub fn table1_comparison(stack: &mut TrainedStack, threshold: f64) -> ReportTabl
             shape,
         ));
     }
+    table
+}
+
+/// One (fault profile, intensity) cell of the robustness sweep.
+struct RobustnessCell {
+    profile: String,
+    intensity: f64,
+    far: f64,
+    frr: f64,
+    reject_rate: f64,
+    degraded_accepts: usize,
+    untyped_rejects: usize,
+    genuine_trials: usize,
+    impostor_trials: usize,
+}
+
+impl RobustnessCell {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("profile".into(), Value::String(self.profile.clone())),
+            ("intensity".into(), Value::Number(self.intensity)),
+            ("far".into(), Value::Number(self.far)),
+            ("frr".into(), Value::Number(self.frr)),
+            ("reject_rate".into(), Value::Number(self.reject_rate)),
+            (
+                "degraded_accepts".into(),
+                Value::Number(self.degraded_accepts as f64),
+            ),
+            (
+                "untyped_rejects".into(),
+                Value::Number(self.untyped_rejects as f64),
+            ),
+            (
+                "genuine_trials".into(),
+                Value::Number(self.genuine_trials as f64),
+            ),
+            (
+                "impostor_trials".into(),
+                Value::Number(self.impostor_trials as f64),
+            ),
+        ])
+    }
+}
+
+/// What one policy-mediated verification trial produced.
+enum TrialOutcome {
+    /// The policy reached a decision that accepted the claimant.
+    Accept { degraded: bool },
+    /// The policy reached a decision that rejected the claimant.
+    Reject,
+    /// Every probe was rejected before a decision; `typed` says whether
+    /// each attempt carried a machine-readable reason.
+    Gated { typed: bool },
+}
+
+/// Robustness under sensor faults: every injector from
+/// [`sweep_profiles`] at each requested intensity, driven end to end
+/// through [`MandiPass::verify_with_policy`] over a small deployed
+/// cohort cloned off the trained stack.
+///
+/// Per cell, each cohort user runs genuine trials (their own faulted
+/// probes) and impostor trials (the next user's faulted probes against
+/// their template); a trial offers the policy `max_attempts`
+/// independently faulted probes. The returned JSON document carries
+/// FAR, FRR and the typed-reject rate per cell so the
+/// robustness/accuracy trade-off is measured rather than asserted.
+///
+/// # Errors
+///
+/// Propagates enrolment failures; individual trial rejections are data,
+/// not errors.
+pub fn exp_robustness(
+    stack: &mut TrainedStack,
+    threshold: f64,
+    intensities: &[f64],
+) -> Result<(ReportTable, Value), MandiPassError> {
+    let _span = mandipass_telemetry::span("exp_robustness");
+    const COHORT: usize = 4;
+    const TRIALS_PER_USER: usize = 3;
+
+    let users: Vec<UserProfile> = stack
+        .held_out_users()
+        .iter()
+        .take(COHORT)
+        .cloned()
+        .collect();
+    let recorder = stack.recorder.clone();
+    let config = PipelineConfig {
+        threshold,
+        ..PipelineConfig::default()
+    };
+    let auth = {
+        let mut auth = MandiPass::new(stack.extractor.clone(), config);
+        let dim = auth.embedding_dim();
+        let matrices: Vec<GaussianMatrix> = users
+            .iter()
+            .map(|u| GaussianMatrix::generate(0x0b0e ^ u64::from(u.id), dim))
+            .collect();
+        for (user, matrix) in users.iter().zip(&matrices) {
+            let recs: Vec<Recording> = (0..4u64)
+                .map(|s| {
+                    recorder.record(
+                        user,
+                        Condition::Normal,
+                        0x0e17_0000 ^ (u64::from(user.id) << 8) ^ s,
+                    )
+                })
+                .collect();
+            auth.enroll(user.id, &recs, matrix)?;
+        }
+        (auth, matrices)
+    };
+    let (auth, matrices) = auth;
+    let policy = VerifyPolicy::default();
+
+    // One trial: `max_attempts` faulted probes from `prober`, verified
+    // against `target`'s template under the policy.
+    let trial = |target: &UserProfile,
+                 matrix: &GaussianMatrix,
+                 prober: &UserProfile,
+                 faulty: &FaultyRecorder,
+                 seed: u64|
+     -> Result<TrialOutcome, MandiPassError> {
+        let probes: Vec<Recording> = (0..policy.max_attempts as u64)
+            .map(|a| faulty.record(prober, Condition::Normal, seed ^ (a << 48)))
+            .collect();
+        match auth.verify_with_policy(target.id, &probes, matrix, &policy) {
+            Ok(decision) if decision.outcome.accepted => Ok(TrialOutcome::Accept {
+                degraded: decision.degraded,
+            }),
+            Ok(_) => Ok(TrialOutcome::Reject),
+            Err(MandiPassError::RetriesExhausted { attempts, reasons }) => {
+                Ok(TrialOutcome::Gated {
+                    typed: reasons.len() == attempts
+                        && reasons.iter().all(|r| {
+                            r.split_once(':')
+                                .is_some_and(|(_, label)| !label.is_empty())
+                        }),
+                })
+            }
+            Err(e) => Err(e),
+        }
+    };
+
+    // One (profile, intensity) cell: genuine and impostor trials for
+    // every cohort user under the given injector.
+    let run_cell = |profile: FaultProfile,
+                    intensity: f64,
+                    cell_seed: u64|
+     -> Result<RobustnessCell, MandiPassError> {
+        let name = profile.name.clone();
+        let faulty = FaultyRecorder::new(recorder.clone(), profile);
+        let mut genuine_accepts = 0usize;
+        let mut impostor_accepts = 0usize;
+        let mut gated = 0usize;
+        let mut untyped = 0usize;
+        let mut degraded_accepts = 0usize;
+        let genuine_trials = users.len() * TRIALS_PER_USER;
+        let impostor_trials = genuine_trials;
+        for (u, user) in users.iter().enumerate() {
+            let impostor = &users[(u + 1) % users.len()];
+            for t in 0..TRIALS_PER_USER as u64 {
+                let seed = 0x0b57 ^ (cell_seed << 32) ^ ((u as u64) << 24) ^ (t << 16);
+                let mut tally = |outcome: TrialOutcome, genuine: bool| match outcome {
+                    TrialOutcome::Accept { degraded } => {
+                        if genuine {
+                            genuine_accepts += 1;
+                        } else {
+                            impostor_accepts += 1;
+                        }
+                        if degraded {
+                            degraded_accepts += 1;
+                        }
+                    }
+                    TrialOutcome::Reject => {}
+                    TrialOutcome::Gated { typed } => {
+                        gated += 1;
+                        if !typed {
+                            untyped += 1;
+                        }
+                    }
+                };
+                tally(trial(user, &matrices[u], user, &faulty, seed)?, true);
+                tally(
+                    trial(user, &matrices[u], impostor, &faulty, seed ^ 1)?,
+                    false,
+                );
+            }
+        }
+        Ok(RobustnessCell {
+            profile: name,
+            intensity,
+            far: impostor_accepts as f64 / impostor_trials as f64,
+            frr: 1.0 - genuine_accepts as f64 / genuine_trials as f64,
+            reject_rate: gated as f64 / (genuine_trials + impostor_trials) as f64,
+            degraded_accepts,
+            untyped_rejects: untyped,
+            genuine_trials,
+            impostor_trials,
+        })
+    };
+
+    let mut cells: Vec<RobustnessCell> = Vec::new();
+    // Clean control first: the same trial machinery with no injector,
+    // giving the FAR/FRR baseline the faulted cells are judged against.
+    cells.push(run_cell(FaultProfile::clean(), 0.0, 0)?);
+    for (ii, &intensity) in intensities.iter().enumerate() {
+        for (pi, profile) in sweep_profiles(intensity).into_iter().enumerate() {
+            cells.push(run_cell(
+                profile,
+                intensity,
+                ((ii as u64) << 8) | (pi as u64 + 1),
+            )?);
+        }
+    }
+
+    let table = robustness_table(&cells, threshold, intensities);
+    let doc = Value::Object(vec![
+        ("experiment".into(), Value::String("robustness".into())),
+        ("threshold".into(), Value::Number(threshold)),
+        ("cohort".into(), Value::Number(users.len() as f64)),
+        (
+            "trials_per_cell".into(),
+            Value::Number((2 * users.len() * TRIALS_PER_USER) as f64),
+        ),
+        (
+            "max_attempts".into(),
+            Value::Number(policy.max_attempts as f64),
+        ),
+        (
+            "intensities".into(),
+            Value::Array(intensities.iter().map(|&i| Value::Number(i)).collect()),
+        ),
+        (
+            "cells".into(),
+            Value::Array(cells.iter().map(RobustnessCell::to_value).collect()),
+        ),
+    ]);
+    Ok((table, doc))
+}
+
+/// Renders the robustness sweep as paper-vs-measured rows: the paper has
+/// no fault-injection artifact, so the "paper" column states the design
+/// expectation each row checks.
+fn robustness_table(cells: &[RobustnessCell], threshold: f64, intensities: &[f64]) -> ReportTable {
+    let mut table = ReportTable::new("Robustness: fault injection vs FAR/FRR/reject rate");
+    let lo = intensities.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = intensities
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let at = |name: &str, intensity: f64| {
+        cells
+            .iter()
+            .find(|c| c.profile == name && c.intensity == intensity)
+    };
+
+    // Clean control: the quality gate must never reject a healthy probe.
+    let clean = cells.iter().find(|c| c.profile == "clean");
+    let clean_reject = clean.map_or(1.0, |c| c.reject_rate);
+    let clean_frr = clean.map_or(1.0, |c| c.frr);
+    table.push(
+        ExperimentRecord::new(
+            "Robustness",
+            "clean profile: gate reject rate",
+            "0 (no false gating)",
+            format!("{clean_reject:.3}"),
+            clean_reject == 0.0,
+        )
+        .with_note(format!("operating threshold {threshold:.3}")),
+    );
+
+    // Each injector: gating must not *decrease* as the fault worsens.
+    for name in [
+        "dropout",
+        "stuck_gyro",
+        "clipping",
+        "non_finite",
+        "truncate",
+        "gain_drift",
+    ] {
+        let (Some(first), Some(last)) = (at(name, lo), at(name, hi)) else {
+            continue;
+        };
+        table.push(ExperimentRecord::new(
+            "Robustness",
+            format!("{name}: reject rate at intensity {lo:.2} → {hi:.2}"),
+            "non-decreasing with intensity",
+            format!("{:.3} → {:.3}", first.reject_rate, last.reject_rate),
+            last.reject_rate >= first.reject_rate,
+        ));
+    }
+
+    // NaN/Inf bursts must be fully gated at the top intensity.
+    if let Some(cell) = at("non_finite", hi) {
+        table.push(ExperimentRecord::new(
+            "Robustness",
+            "non_finite at max intensity: fully gated",
+            "reject rate 1.0",
+            format!("{:.3}", cell.reject_rate),
+            cell.reject_rate == 1.0,
+        ));
+    }
+
+    // Faults must never mint impostor accepts beyond the clean FAR.
+    let clean_far = clean.map_or(0.0, |c| c.far);
+    let worst_far = cells.iter().map(|c| c.far).fold(0.0, f64::max);
+    table.push(ExperimentRecord::new(
+        "Robustness",
+        "worst-case FAR under faults",
+        "no inflation over clean FAR",
+        format!("{worst_far:.3} (clean {clean_far:.3})"),
+        worst_far <= clean_far + 0.25,
+    ));
+
+    // Every gated trial carried a machine-readable reason, and the whole
+    // sweep completed without a panic (we are here rendering it).
+    let untyped: usize = cells.iter().map(|c| c.untyped_rejects).sum();
+    let trials: usize = cells
+        .iter()
+        .map(|c| c.genuine_trials + c.impostor_trials)
+        .sum();
+    table.push(
+        ExperimentRecord::new(
+            "Robustness",
+            "typed reject reasons / zero panics",
+            "every gated trial typed",
+            format!("{untyped} untyped over {trials} trials"),
+            untyped == 0,
+        )
+        .with_note(format!("clean FRR {clean_frr:.3}")),
+    );
     table
 }

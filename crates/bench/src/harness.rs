@@ -99,7 +99,10 @@ impl TrainedStack {
                 mandipass_telemetry::counter!("bench.probes_skipped").inc();
                 continue;
             };
-            let grad = GradientArray::from_signal_array(&array, config.half_n());
+            let Ok(grad) = GradientArray::from_signal_array(&array, config.half_n()) else {
+                mandipass_telemetry::counter!("bench.probes_skipped").inc();
+                continue;
+            };
             if let Ok(prints) = self.extractor.extract(&[&grad]) {
                 mandipass_telemetry::counter!("bench.probes_ok").inc();
                 out.push(prints[0].as_slice().to_vec());

@@ -15,6 +15,7 @@ use crate::error::MandiPassError;
 use crate::extractor::BiometricExtractor;
 use crate::gradient_array::GradientArray;
 use crate::preprocess::preprocess;
+use crate::quality::{self, QualityConfig};
 use crate::similarity::{accepts, cosine_distance};
 use crate::template::{CancelableTemplate, GaussianMatrix, MandiblePrint};
 
@@ -28,6 +29,50 @@ pub struct VerifyOutcome {
     pub distance: f64,
     /// The threshold the decision was made against.
     pub threshold: f64,
+}
+
+/// Retry/degradation policy for multi-probe verification.
+///
+/// Each candidate probe is scored by the quality gate first; a clean
+/// probe verifies normally, a probe whose only faults are gyro-axis
+/// failures may verify in *degraded* accelerometer-only mode under a
+/// tightened threshold, and anything else consumes an attempt. The
+/// policy is exhausted when `max_attempts` probes have been rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyPolicy {
+    /// Maximum number of probes considered (further probes are ignored).
+    pub max_attempts: usize,
+    /// Quality-gate thresholds applied to every probe.
+    pub quality: QualityConfig,
+    /// Whether gyro-fault probes may verify accelerometer-only.
+    pub allow_degraded: bool,
+    /// Multiplier on the accept threshold in degraded mode. Below 1.0
+    /// tightens the decision to compensate for the lost gyro evidence.
+    pub degraded_threshold_scale: f64,
+}
+
+impl Default for VerifyPolicy {
+    fn default() -> Self {
+        VerifyPolicy {
+            max_attempts: 3,
+            quality: QualityConfig::default(),
+            allow_degraded: true,
+            degraded_threshold_scale: 0.8,
+        }
+    }
+}
+
+/// The outcome of a policy-driven verification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyDecision {
+    /// The accept/reject decision of the probe that finally verified.
+    pub outcome: VerifyOutcome,
+    /// Probes consumed, including the one that verified.
+    pub attempts: usize,
+    /// Whether the decision was made in degraded accel-only mode.
+    pub degraded: bool,
+    /// Reject labels of the probes consumed before the decision.
+    pub rejects: Vec<String>,
 }
 
 /// A complete MandiPass deployment: trained extractor + pipeline
@@ -75,14 +120,27 @@ impl MandiPass {
     ///
     /// Propagates preprocessing and extraction failures.
     pub fn extract_print(&self, recording: &Recording) -> Result<MandiblePrint, MandiPassError> {
+        self.extract_print_with_config(recording, &self.config)
+    }
+
+    fn extract_print_with_config(
+        &self,
+        recording: &Recording,
+        config: &PipelineConfig,
+    ) -> Result<MandiblePrint, MandiPassError> {
         let _span = mandipass_telemetry::span("extract_print");
-        let array = preprocess(recording, &self.config)?;
-        let grad = GradientArray::from_signal_array(&array, self.config.half_n());
+        let array = preprocess(recording, config)?;
+        let grad = GradientArray::from_signal_array(&array, config.half_n())?;
         let prints = self.extractor.extract(&[&grad])?;
-        Ok(prints
+        // The extractor contract is one print per input; an empty batch
+        // result is a model-shape failure, not a panic-worthy state.
+        prints
             .into_iter()
             .next()
-            .expect("one input yields one print"))
+            .ok_or(MandiPassError::DimensionMismatch {
+                expected: 1,
+                got: 0,
+            })
     }
 
     /// Registers `user_id` from one or more enrolment recordings under
@@ -104,13 +162,34 @@ impl MandiPass {
         for rec in recordings {
             match self.extract_print(rec) {
                 Ok(p) => prints.push(p),
-                Err(MandiPassError::Dsp(_)) => continue, // unusable probe
+                // Unusable probes are skipped; enrolment only fails when
+                // nothing survives (NoEnrolmentData below).
+                Err(
+                    MandiPassError::Dsp(_)
+                    | MandiPassError::EmptyRecording
+                    | MandiPassError::AllOutlierSegment { .. }
+                    | MandiPassError::ZeroVariance { .. },
+                ) => continue,
                 Err(e) => return Err(e),
             }
         }
         let mean = MandiblePrint::mean(&prints)?;
         let template = matrix.transform(&mean)?;
         self.enclave.store(user_id, template);
+        // Also seal an accelerometer-only fallback template, so a later
+        // gyro failure can be verified like-for-like in degraded mode.
+        // Best-effort: enrolment succeeds without one (degraded
+        // verification then falls back to the primary template).
+        let degraded_cfg = self.degraded_config(1.0);
+        let degraded_prints: Vec<MandiblePrint> = recordings
+            .iter()
+            .filter_map(|rec| self.extract_print_with_config(rec, &degraded_cfg).ok())
+            .collect();
+        if let Ok(mean) = MandiblePrint::mean(&degraded_prints) {
+            if let Ok(template) = matrix.transform(&mean) {
+                self.enclave.store_degraded(user_id, template);
+            }
+        }
         Ok(())
     }
 
@@ -159,6 +238,159 @@ impl MandiPass {
         let outcome = self.decide(&template, presented);
         self.finish_verify(user_id, outcome);
         Ok(outcome)
+    }
+
+    /// Verifies under a [`VerifyPolicy`]: each probe in `probes` (up to
+    /// `policy.max_attempts`) passes the quality gate before the
+    /// pipeline runs. Gyro-only faults may fall back to degraded
+    /// accelerometer-only verification with a tightened threshold.
+    ///
+    /// Every rejected probe is recorded in the enclave audit trail and
+    /// in per-reason telemetry counters (`quality.reject.<label>`); the
+    /// retry depth lands in the `verify.retry_depth` histogram.
+    ///
+    /// # Errors
+    ///
+    /// * [`MandiPassError::NotEnrolled`] when no template exists.
+    /// * [`MandiPassError::RetriesExhausted`] when every considered
+    ///   probe was rejected, carrying one label per attempt.
+    pub fn verify_with_policy(
+        &self,
+        user_id: u32,
+        probes: &[Recording],
+        matrix: &GaussianMatrix,
+        policy: &VerifyPolicy,
+    ) -> Result<PolicyDecision, MandiPassError> {
+        let _span = mandipass_telemetry::span("verify_with_policy");
+        // Fail fast on a missing template: no number of probes fixes it.
+        {
+            let _span = mandipass_telemetry::span("enclave_load");
+            self.enclave.load(user_id)?;
+        }
+        let mut rejects: Vec<String> = Vec::new();
+        let mut attempts = 0usize;
+        for probe in probes.iter().take(policy.max_attempts.max(1)) {
+            attempts += 1;
+            let report = quality::assess(probe, &policy.quality);
+            if report.ok() {
+                match self.verify(user_id, probe, matrix) {
+                    Ok(outcome) => {
+                        self.finish_policy(attempts, false);
+                        return Ok(PolicyDecision {
+                            outcome,
+                            attempts,
+                            degraded: false,
+                            rejects,
+                        });
+                    }
+                    Err(e) => {
+                        self.count_reject("pipeline", e.label());
+                        self.enclave.record_quality_reject(user_id, e.label());
+                        rejects.push(format!("pipeline:{}", e.label()));
+                        continue;
+                    }
+                }
+            }
+            if policy.allow_degraded && report.degraded_viable() {
+                match self.verify_degraded(user_id, probe, matrix, policy) {
+                    Ok(outcome) => {
+                        mandipass_telemetry::counter!("verify.degraded").inc();
+                        self.finish_policy(attempts, true);
+                        return Ok(PolicyDecision {
+                            outcome,
+                            attempts,
+                            degraded: true,
+                            rejects,
+                        });
+                    }
+                    Err(e) => {
+                        self.count_reject("pipeline", e.label());
+                        self.enclave.record_quality_reject(user_id, e.label());
+                        rejects.push(format!("pipeline:{}", e.label()));
+                        continue;
+                    }
+                }
+            }
+            // Quality rejection: one audit event + counter per reason.
+            for reason in &report.reasons {
+                self.count_reject("quality", reason.label());
+                self.enclave.record_quality_reject(user_id, reason.label());
+            }
+            let labels: Vec<&str> = report.reasons.iter().map(|r| r.label()).collect();
+            rejects.push(format!("quality:{}", labels.join("+")));
+        }
+        self.finish_policy(attempts, false);
+        Err(MandiPassError::RetriesExhausted {
+            attempts,
+            reasons: rejects,
+        })
+    }
+
+    /// Accelerometer-only verification under a tightened threshold: the
+    /// gyro axes are masked out of the pipeline and the accept threshold
+    /// is scaled by `policy.degraded_threshold_scale`.
+    fn verify_degraded(
+        &self,
+        user_id: u32,
+        probe: &Recording,
+        matrix: &GaussianMatrix,
+        policy: &VerifyPolicy,
+    ) -> Result<VerifyOutcome, MandiPassError> {
+        let _span = mandipass_telemetry::span("verify_degraded");
+        // Prefer the accelerometer-only template sealed at enrolment —
+        // the like-for-like comparison — and only fall back to the
+        // primary (six-axis) template for enrolments that predate it.
+        let template = {
+            let _span = mandipass_telemetry::span("enclave_load");
+            match self.enclave.load_degraded(user_id) {
+                Some(t) => t,
+                None => self.enclave.load(user_id)?,
+            }
+        };
+        let config = self.degraded_config(policy.degraded_threshold_scale);
+        let print = self.extract_print_with_config(probe, &config)?;
+        let cancelable = matrix.transform(&print)?;
+        let distance = cosine_distance(template.as_slice(), cancelable.as_slice());
+        let outcome = VerifyOutcome {
+            accepted: accepts(distance, config.threshold),
+            distance,
+            threshold: config.threshold,
+        };
+        self.enclave
+            .record_degraded_verify(user_id, outcome.accepted, outcome.distance);
+        if outcome.accepted {
+            mandipass_telemetry::counter!("verify.accept").inc();
+        } else {
+            mandipass_telemetry::counter!("verify.reject").inc();
+        }
+        Ok(outcome)
+    }
+
+    /// The accelerometer-only pipeline configuration used for both the
+    /// degraded enrolment template and degraded verification; the accept
+    /// threshold is scaled by `threshold_scale`.
+    fn degraded_config(&self, threshold_scale: f64) -> PipelineConfig {
+        PipelineConfig {
+            axis_mask: [true, true, true, false, false, false],
+            threshold: self.config.threshold * threshold_scale,
+            ..self.config.clone()
+        }
+    }
+
+    /// Per-reason reject counters use dynamically named metrics (the
+    /// `counter!` macro caches one handle per call site, which cannot
+    /// key on the reason).
+    fn count_reject(&self, family: &str, label: &str) {
+        mandipass_telemetry::metrics()
+            .counter(&format!("{family}.reject.{label}"))
+            .inc();
+    }
+
+    fn finish_policy(&self, attempts: usize, degraded: bool) {
+        mandipass_telemetry::histogram!("verify.retry_depth").observe(attempts as f64);
+        if degraded {
+            mandipass_telemetry::counter!("verify.degraded_decisions").inc();
+        }
     }
 
     /// Revokes `user_id`'s template, returning the old template (the
@@ -305,6 +537,141 @@ mod tests {
         assert!(matches!(
             system.verify(user.id, &probe, &matrix),
             Err(MandiPassError::NotEnrolled { .. })
+        ));
+    }
+
+    #[test]
+    fn policy_accepts_genuine_user_on_first_clean_probe() {
+        let (mut system, pop, recorder) = trained_system();
+        let user = &pop.users()[0];
+        let matrix = GaussianMatrix::generate(11, system.embedding_dim());
+        let enrolment: Vec<_> = (0..4)
+            .map(|s| recorder.record(user, Condition::Normal, 8000 + s))
+            .collect();
+        system.enroll(user.id, &enrolment, &matrix).unwrap();
+        let probes: Vec<_> = (0..3)
+            .map(|s| recorder.record(user, Condition::Normal, 8100 + s))
+            .collect();
+        let decision = system
+            .verify_with_policy(user.id, &probes, &matrix, &VerifyPolicy::default())
+            .unwrap();
+        assert_eq!(decision.attempts, 1);
+        assert!(!decision.degraded);
+        assert!(decision.rejects.is_empty());
+    }
+
+    #[test]
+    fn policy_retries_past_bad_probe_and_audits_reason() {
+        let (mut system, pop, recorder) = trained_system();
+        let user = &pop.users()[0];
+        let matrix = GaussianMatrix::generate(12, system.embedding_dim());
+        let enrolment: Vec<_> = (0..4)
+            .map(|s| recorder.record(user, Condition::Normal, 8200 + s))
+            .collect();
+        system.enroll(user.id, &enrolment, &matrix).unwrap();
+
+        let good = recorder.record(user, Condition::Normal, 8300);
+        let bad = {
+            let axes = vec![vec![f64::NAN; good.len()]; 6];
+            Recording::from_parts(
+                good.sample_rate_hz(),
+                axes,
+                good.condition(),
+                good.user_id(),
+            )
+            .unwrap()
+        };
+        let decision = system
+            .verify_with_policy(user.id, &[bad, good], &matrix, &VerifyPolicy::default())
+            .unwrap();
+        assert_eq!(decision.attempts, 2);
+        assert_eq!(decision.rejects.len(), 1);
+        assert!(decision.rejects[0].starts_with("quality:"));
+        // The rejection is visible in the audit trail with its reason.
+        let rejections: Vec<_> = system
+            .enclave()
+            .audit_events_for(user.id)
+            .into_iter()
+            .filter(|e| e.kind == crate::enclave::AuditKind::QualityReject)
+            .collect();
+        assert!(!rejections.is_empty());
+        assert!(rejections.iter().any(|e| e.reason == Some("non_finite")));
+    }
+
+    #[test]
+    fn policy_degrades_to_accel_only_for_stuck_gyro() {
+        let (mut system, pop, recorder) = trained_system();
+        let user = &pop.users()[0];
+        let matrix = GaussianMatrix::generate(13, system.embedding_dim());
+        let enrolment: Vec<_> = (0..4)
+            .map(|s| recorder.record(user, Condition::Normal, 8400 + s))
+            .collect();
+        system.enroll(user.id, &enrolment, &matrix).unwrap();
+
+        let clean = recorder.record(user, Condition::Normal, 8500);
+        let mut axes = clean.axes().to_vec();
+        let frozen = axes[3][0];
+        for v in axes[3].iter_mut() {
+            *v = frozen;
+        }
+        let gyro_fault = Recording::from_parts(
+            clean.sample_rate_hz(),
+            axes,
+            clean.condition(),
+            clean.user_id(),
+        )
+        .unwrap();
+        let decision = system
+            .verify_with_policy(user.id, &[gyro_fault], &matrix, &VerifyPolicy::default())
+            .unwrap();
+        assert!(decision.degraded);
+        // Degraded mode tightens the threshold.
+        assert!(decision.outcome.threshold < system.config().threshold);
+        let trail = system.enclave().audit_events_for(user.id);
+        assert!(trail
+            .iter()
+            .any(|e| e.kind == crate::enclave::AuditKind::DegradedVerify));
+    }
+
+    #[test]
+    fn policy_exhausts_retries_with_typed_reasons() {
+        let (mut system, pop, recorder) = trained_system();
+        let user = &pop.users()[0];
+        let matrix = GaussianMatrix::generate(14, system.embedding_dim());
+        let enrolment: Vec<_> = (0..4)
+            .map(|s| recorder.record(user, Condition::Normal, 8600 + s))
+            .collect();
+        system.enroll(user.id, &enrolment, &matrix).unwrap();
+
+        let template = recorder.record(user, Condition::Normal, 8700);
+        let garbage: Vec<Recording> = (0..4)
+            .map(|_| {
+                let axes = vec![vec![f64::INFINITY; template.len()]; 6];
+                Recording::from_parts(template.sample_rate_hz(), axes, template.condition(), 0)
+                    .unwrap()
+            })
+            .collect();
+        let err = system
+            .verify_with_policy(user.id, &garbage, &matrix, &VerifyPolicy::default())
+            .unwrap_err();
+        match err {
+            MandiPassError::RetriesExhausted { attempts, reasons } => {
+                assert_eq!(attempts, 3); // default max_attempts caps at 3
+                assert_eq!(reasons.len(), 3);
+                assert!(reasons.iter().all(|r| r.contains("non_finite")));
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn policy_requires_enrolment_before_consuming_probes() {
+        let (system, pop, recorder) = trained_system();
+        let matrix = GaussianMatrix::generate(15, system.embedding_dim());
+        let probe = recorder.record(&pop.users()[0], Condition::Normal, 8800);
+        assert!(matches!(
+            system.verify_with_policy(42, &[probe], &matrix, &VerifyPolicy::default()),
+            Err(MandiPassError::NotEnrolled { user_id: 42 })
         ));
     }
 

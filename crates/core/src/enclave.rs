@@ -13,7 +13,7 @@
 //! dependence.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use crate::error::MandiPassError;
 use crate::template::CancelableTemplate;
@@ -34,6 +34,12 @@ pub enum AuditKind {
     VerifyHit,
     /// A verification against the stored template was rejected.
     VerifyMiss,
+    /// A probe was rejected by the signal-quality gate before any
+    /// template comparison (`reason` carries the gate's label).
+    QualityReject,
+    /// A verification ran in degraded accelerometer-only mode
+    /// (`outcome`/`distance` as for the verify events).
+    DegradedVerify,
 }
 
 impl AuditKind {
@@ -45,6 +51,8 @@ impl AuditKind {
             AuditKind::Revoke => "revoke",
             AuditKind::VerifyHit => "verify_hit",
             AuditKind::VerifyMiss => "verify_miss",
+            AuditKind::QualityReject => "quality_reject",
+            AuditKind::DegradedVerify => "degraded_verify",
         }
     }
 }
@@ -64,6 +72,8 @@ pub struct AuditEvent {
     pub outcome: bool,
     /// Cosine distance of the decision, for verify events only.
     pub distance: Option<f64>,
+    /// Machine-readable reject reason, for quality-reject events only.
+    pub reason: Option<&'static str>,
 }
 
 /// Named monotonic access counters, derived from the full operation
@@ -85,6 +95,9 @@ pub struct SecureEnclave {
 #[derive(Debug)]
 struct EnclaveInner {
     templates: HashMap<u32, CancelableTemplate>,
+    /// Secondary accelerometer-only templates backing degraded-mode
+    /// verification (sealed at enrolment when available).
+    degraded: HashMap<u32, CancelableTemplate>,
     counts: AccessCounts,
     trail: VecDeque<AuditEvent>,
     capacity: usize,
@@ -93,6 +106,17 @@ struct EnclaveInner {
 
 impl EnclaveInner {
     fn record(&mut self, kind: AuditKind, user_id: u32, outcome: bool, distance: Option<f64>) {
+        self.record_with_reason(kind, user_id, outcome, distance, None);
+    }
+
+    fn record_with_reason(
+        &mut self,
+        kind: AuditKind,
+        user_id: u32,
+        outcome: bool,
+        distance: Option<f64>,
+        reason: Option<&'static str>,
+    ) {
         if self.trail.len() == self.capacity {
             self.trail.pop_front();
         }
@@ -102,6 +126,7 @@ impl EnclaveInner {
             user_id,
             outcome,
             distance,
+            reason,
         });
         self.next_seq += 1;
     }
@@ -119,12 +144,20 @@ impl SecureEnclave {
         Self::default()
     }
 
+    /// Poison-tolerant lock: a panic in another thread mid-operation
+    /// must not take the whole template store down with it — the
+    /// enclave's invariants hold after every individual mutation.
+    fn lock(&self) -> MutexGuard<'_, EnclaveInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Creates an empty enclave retaining at most `capacity` audit
     /// events (minimum 1).
     pub fn with_audit_capacity(capacity: usize) -> Self {
         SecureEnclave {
             inner: Mutex::new(EnclaveInner {
                 templates: HashMap::new(),
+                degraded: HashMap::new(),
                 counts: AccessCounts::default(),
                 trail: VecDeque::new(),
                 capacity: capacity.max(1),
@@ -135,7 +168,7 @@ impl SecureEnclave {
 
     /// Stores (or replaces) the template of `user_id`.
     pub fn store(&self, user_id: u32, template: CancelableTemplate) {
-        let mut inner = self.inner.lock().expect("enclave lock poisoned");
+        let mut inner = self.lock();
         inner.counts.stores += 1;
         inner.record(AuditKind::Store, user_id, true, None);
         inner.templates.insert(user_id, template);
@@ -147,20 +180,48 @@ impl SecureEnclave {
     ///
     /// Returns [`MandiPassError::NotEnrolled`] when no template exists.
     pub fn load(&self, user_id: u32) -> Result<CancelableTemplate, MandiPassError> {
-        let mut inner = self.inner.lock().expect("enclave lock poisoned");
+        let mut inner = self.lock();
         inner.counts.loads += 1;
         let found = inner.templates.get(&user_id).cloned();
         inner.record(AuditKind::Load, user_id, found.is_some(), None);
         found.ok_or(MandiPassError::NotEnrolled { user_id })
     }
 
+    /// Stores (or replaces) the accelerometer-only fallback template of
+    /// `user_id`, used by degraded-mode verification when the gyro has
+    /// failed.
+    pub fn store_degraded(&self, user_id: u32, template: CancelableTemplate) {
+        let mut inner = self.lock();
+        inner.counts.stores += 1;
+        inner.record_with_reason(AuditKind::Store, user_id, true, None, Some("degraded"));
+        inner.degraded.insert(user_id, template);
+    }
+
+    /// Loads the accelerometer-only fallback template of `user_id`, if
+    /// one was sealed at enrolment.
+    pub fn load_degraded(&self, user_id: u32) -> Option<CancelableTemplate> {
+        let mut inner = self.lock();
+        inner.counts.loads += 1;
+        let found = inner.degraded.get(&user_id).cloned();
+        inner.record_with_reason(
+            AuditKind::Load,
+            user_id,
+            found.is_some(),
+            None,
+            Some("degraded"),
+        );
+        found
+    }
+
     /// Deletes the template of `user_id` (revocation step 1; step 2 is
-    /// enrolling again under a fresh Gaussian matrix). Returns the old
+    /// enrolling again under a fresh Gaussian matrix). The degraded
+    /// fallback template is removed with it. Returns the old primary
     /// template if one existed — e.g. for the replay-attack experiments,
     /// which *steal* the template at this point.
     pub fn revoke(&self, user_id: u32) -> Option<CancelableTemplate> {
-        let mut inner = self.inner.lock().expect("enclave lock poisoned");
+        let mut inner = self.lock();
         let removed = inner.templates.remove(&user_id);
+        inner.degraded.remove(&user_id);
         inner.record(AuditKind::Revoke, user_id, removed.is_some(), None);
         removed
     }
@@ -168,7 +229,7 @@ impl SecureEnclave {
     /// Appends a verification decision to the audit trail. Called by the
     /// authenticator after the accept/reject decision is made.
     pub fn record_verify(&self, user_id: u32, accepted: bool, distance: f64) {
-        let mut inner = self.inner.lock().expect("enclave lock poisoned");
+        let mut inner = self.lock();
         let kind = if accepted {
             AuditKind::VerifyHit
         } else {
@@ -177,22 +238,34 @@ impl SecureEnclave {
         inner.record(kind, user_id, accepted, Some(distance));
     }
 
+    /// Appends a quality-gate rejection to the audit trail, carrying
+    /// the machine-readable reason label.
+    pub fn record_quality_reject(&self, user_id: u32, reason: &'static str) {
+        let mut inner = self.lock();
+        inner.record_with_reason(AuditKind::QualityReject, user_id, false, None, Some(reason));
+    }
+
+    /// Appends a degraded (accelerometer-only) verification decision to
+    /// the audit trail.
+    pub fn record_degraded_verify(&self, user_id: u32, accepted: bool, distance: f64) {
+        let mut inner = self.lock();
+        inner.record_with_reason(
+            AuditKind::DegradedVerify,
+            user_id,
+            accepted,
+            Some(distance),
+            Some("gyro_fault"),
+        );
+    }
+
     /// Whether `user_id` has a template enrolled.
     pub fn contains(&self, user_id: u32) -> bool {
-        self.inner
-            .lock()
-            .expect("enclave lock poisoned")
-            .templates
-            .contains_key(&user_id)
+        self.lock().templates.contains_key(&user_id)
     }
 
     /// Number of enrolled templates.
     pub fn len(&self) -> usize {
-        self.inner
-            .lock()
-            .expect("enclave lock poisoned")
-            .templates
-            .len()
+        self.lock().templates.len()
     }
 
     /// Whether the enclave holds no templates.
@@ -206,18 +279,18 @@ impl SecureEnclave {
     ///
     /// [`audit_trail`]: SecureEnclave::audit_trail
     pub fn access_counts(&self) -> AccessCounts {
-        self.inner.lock().expect("enclave lock poisoned").counts
+        self.lock().counts
     }
 
     /// A snapshot of the retained audit events, oldest first.
     pub fn audit_trail(&self) -> Vec<AuditEvent> {
-        let inner = self.inner.lock().expect("enclave lock poisoned");
+        let inner = self.lock();
         inner.trail.iter().copied().collect()
     }
 
     /// The retained audit events that target `user_id`, oldest first.
     pub fn audit_events_for(&self, user_id: u32) -> Vec<AuditEvent> {
-        let inner = self.inner.lock().expect("enclave lock poisoned");
+        let inner = self.lock();
         inner
             .trail
             .iter()
@@ -228,31 +301,28 @@ impl SecureEnclave {
 
     /// Number of retained audit events (capped at the ring capacity).
     pub fn audit_len(&self) -> usize {
-        self.inner
-            .lock()
-            .expect("enclave lock poisoned")
-            .trail
-            .len()
+        self.lock().trail.len()
     }
 
     /// Maximum number of audit events retained.
     pub fn audit_capacity(&self) -> usize {
-        self.inner.lock().expect("enclave lock poisoned").capacity
+        self.lock().capacity
     }
 
     /// Total number of audited operations ever performed, including those
     /// already evicted from the ring.
     pub fn audit_seq(&self) -> u64 {
-        self.inner.lock().expect("enclave lock poisoned").next_seq
+        self.lock().next_seq
     }
 
-    /// Total bytes of template storage currently held.
+    /// Total bytes of template storage currently held (primary plus
+    /// degraded fallback templates).
     pub fn storage_bytes(&self) -> usize {
-        self.inner
-            .lock()
-            .expect("enclave lock poisoned")
+        let inner = self.lock();
+        inner
             .templates
             .values()
+            .chain(inner.degraded.values())
             .map(|t| t.storage_bytes())
             .sum()
     }
@@ -396,6 +466,47 @@ mod tests {
         assert_eq!(AuditKind::Revoke.label(), "revoke");
         assert_eq!(AuditKind::VerifyHit.label(), "verify_hit");
         assert_eq!(AuditKind::VerifyMiss.label(), "verify_miss");
+        assert_eq!(AuditKind::QualityReject.label(), "quality_reject");
+        assert_eq!(AuditKind::DegradedVerify.label(), "degraded_verify");
+    }
+
+    #[test]
+    fn quality_reject_and_degraded_events_carry_reasons() {
+        let enclave = SecureEnclave::new();
+        enclave.record_quality_reject(4, "dead_axis");
+        enclave.record_degraded_verify(4, true, 0.31);
+        let trail = enclave.audit_events_for(4);
+        assert_eq!(trail.len(), 2);
+        assert_eq!(trail[0].kind, AuditKind::QualityReject);
+        assert_eq!(trail[0].reason, Some("dead_axis"));
+        assert!(!trail[0].outcome);
+        assert_eq!(trail[1].kind, AuditKind::DegradedVerify);
+        assert_eq!(trail[1].distance, Some(0.31));
+        assert!(trail[1].outcome);
+    }
+
+    #[test]
+    fn degraded_slot_stores_loads_and_revokes_with_primary() {
+        let enclave = SecureEnclave::new();
+        assert!(enclave.load_degraded(5).is_none());
+        enclave.store(5, template(10));
+        let fallback = template(11);
+        enclave.store_degraded(5, fallback.clone());
+        assert_eq!(enclave.load_degraded(5), Some(fallback));
+        // Storage accounts for both slots.
+        assert_eq!(enclave.storage_bytes(), 2 * (16 * 4 + 8));
+        // Revocation removes the fallback along with the primary.
+        assert!(enclave.revoke(5).is_some());
+        assert!(enclave.load_degraded(5).is_none());
+        assert_eq!(enclave.storage_bytes(), 0);
+        // The degraded store/load events are tagged in the trail: the
+        // initial miss, the store, the hit, and the post-revoke miss.
+        let tagged = enclave
+            .audit_events_for(5)
+            .iter()
+            .filter(|e| e.reason == Some("degraded"))
+            .count();
+        assert_eq!(tagged, 4);
     }
 
     #[test]

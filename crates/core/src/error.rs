@@ -4,7 +4,10 @@ use std::error::Error;
 use std::fmt;
 
 use mandipass_dsp::DspError;
+use mandipass_imu_sim::SimError;
 use mandipass_nn::NnError;
+
+use crate::quality::RejectReason;
 
 /// Errors produced by the MandiPass pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +37,34 @@ pub enum MandiPassError {
         /// Human-readable description.
         reason: String,
     },
+    /// The simulator (or a recording assembled from raw parts) failed.
+    Sim(SimError),
+    /// A probe recording failed the pre-preprocessing quality gate.
+    LowQuality {
+        /// The machine-readable reject reasons, most severe first.
+        reasons: Vec<RejectReason>,
+    },
+    /// A recording with no samples (or missing axes) was submitted.
+    EmptyRecording,
+    /// The MAD stage flagged the majority of a segment as outliers —
+    /// the window carries no usable signal.
+    AllOutlierSegment {
+        /// Axis index of the degenerate segment.
+        axis: usize,
+    },
+    /// An enabled axis segment had zero range, so min-max normalisation
+    /// is undefined (a dead or stuck axis).
+    ZeroVariance {
+        /// Axis index of the constant segment.
+        axis: usize,
+    },
+    /// Every probe of a policy-driven verification was rejected.
+    RetriesExhausted {
+        /// Number of probes attempted.
+        attempts: usize,
+        /// One label per rejected attempt (e.g. `"quality:dead_axis"`).
+        reasons: Vec<String>,
+    },
 }
 
 impl fmt::Display for MandiPassError {
@@ -53,6 +84,27 @@ impl fmt::Display for MandiPassError {
             MandiPassError::InvalidConfig { reason } => {
                 write!(f, "invalid configuration: {reason}")
             }
+            MandiPassError::Sim(e) => write!(f, "recording failure: {e}"),
+            MandiPassError::LowQuality { reasons } => {
+                let labels: Vec<&str> = reasons.iter().map(|r| r.label()).collect();
+                write!(f, "probe rejected by quality gate: {}", labels.join(", "))
+            }
+            MandiPassError::EmptyRecording => {
+                write!(f, "recording has no samples")
+            }
+            MandiPassError::AllOutlierSegment { axis } => {
+                write!(f, "axis {axis} segment is mostly outliers")
+            }
+            MandiPassError::ZeroVariance { axis } => {
+                write!(f, "axis {axis} segment has zero variance")
+            }
+            MandiPassError::RetriesExhausted { attempts, reasons } => {
+                write!(
+                    f,
+                    "all {attempts} verification attempts rejected: {}",
+                    reasons.join("; ")
+                )
+            }
         }
     }
 }
@@ -62,6 +114,7 @@ impl Error for MandiPassError {
         match self {
             MandiPassError::Dsp(e) => Some(e),
             MandiPassError::Nn(e) => Some(e),
+            MandiPassError::Sim(e) => Some(e),
             _ => None,
         }
     }
@@ -76,6 +129,33 @@ impl From<DspError> for MandiPassError {
 impl From<NnError> for MandiPassError {
     fn from(e: NnError) -> Self {
         MandiPassError::Nn(e)
+    }
+}
+
+impl From<SimError> for MandiPassError {
+    fn from(e: SimError) -> Self {
+        MandiPassError::Sim(e)
+    }
+}
+
+impl MandiPassError {
+    /// A short stable label for telemetry counters and audit events
+    /// (e.g. `"dsp"`, `"quality"`, `"empty_recording"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            MandiPassError::Dsp(_) => "dsp",
+            MandiPassError::Nn(_) => "nn",
+            MandiPassError::NotEnrolled { .. } => "not_enrolled",
+            MandiPassError::NoEnrolmentData => "no_enrolment_data",
+            MandiPassError::DimensionMismatch { .. } => "dimension_mismatch",
+            MandiPassError::InvalidConfig { .. } => "invalid_config",
+            MandiPassError::Sim(_) => "sim",
+            MandiPassError::LowQuality { .. } => "quality",
+            MandiPassError::EmptyRecording => "empty_recording",
+            MandiPassError::AllOutlierSegment { .. } => "all_outlier_segment",
+            MandiPassError::ZeroVariance { .. } => "zero_variance",
+            MandiPassError::RetriesExhausted { .. } => "retries_exhausted",
+        }
     }
 }
 

@@ -113,7 +113,7 @@ impl ExtractorConfig {
 }
 
 /// The two-branch CNN biometric extractor.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BiometricExtractor {
     config: ExtractorConfig,
     branch_positive: Sequential,
@@ -350,6 +350,10 @@ impl BiometricExtractor {
 }
 
 impl Layer for BiometricExtractor {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let (_, logits) = BiometricExtractor::forward(self, input, train);
         logits
@@ -420,7 +424,7 @@ mod tests {
             })
             .collect();
         let arr = SignalArray::new(rows).unwrap();
-        GradientArray::from_signal_array(&arr, 30)
+        GradientArray::from_signal_array(&arr, 30).unwrap()
     }
 
     #[test]
@@ -487,7 +491,7 @@ mod tests {
     fn mismatched_array_shape_is_rejected() {
         let ex = BiometricExtractor::new(ExtractorConfig::tiny(2)).unwrap();
         let arr = SignalArray::new(vec![vec![0.1, 0.9, 0.2, 0.8]; 6]).unwrap();
-        let small = GradientArray::from_signal_array(&arr, 10); // half_n 10 ≠ 30
+        let small = GradientArray::from_signal_array(&arr, 10).unwrap(); // half_n 10 ≠ 30
         assert!(matches!(
             ex.extract(&[&small]),
             Err(MandiPassError::DimensionMismatch { .. })

@@ -7,7 +7,9 @@
 //! channelled plane per direction, fed to its own CNN branch.
 
 use mandipass_dsp::gradient::directional_gradients;
-use mandipass_dsp::SignalArray;
+use mandipass_dsp::{DspError, SignalArray};
+
+use crate::error::MandiPassError;
 
 /// A `(2, axes, half_n)` direction-separated gradient array.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,8 +24,26 @@ pub struct GradientArray {
 impl GradientArray {
     /// Builds the gradient array from a preprocessed signal array,
     /// interpolating each direction stream to `half_n` values.
-    pub fn from_signal_array(array: &SignalArray, half_n: usize) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// * [`MandiPassError::InvalidConfig`] when `half_n` is zero.
+    /// * [`MandiPassError::Dsp`] ([`DspError::TooShort`]) when the
+    ///   array has fewer than two samples per axis, so no gradient
+    ///   exists to split.
+    pub fn from_signal_array(array: &SignalArray, half_n: usize) -> Result<Self, MandiPassError> {
         let _span = mandipass_telemetry::span("gradient_array");
+        if half_n == 0 {
+            return Err(MandiPassError::InvalidConfig {
+                reason: "half_n must be at least 1".to_string(),
+            });
+        }
+        if array.samples_per_axis() < 2 {
+            return Err(MandiPassError::Dsp(DspError::TooShort {
+                needed: 2,
+                got: array.samples_per_axis(),
+            }));
+        }
         let axes = array.axis_count();
         let mut data = vec![0.0; 2 * axes * half_n];
         for (j, axis) in array.iter().enumerate() {
@@ -32,26 +52,28 @@ impl GradientArray {
             let neg_base = axes * half_n + j * half_n;
             data[neg_base..neg_base + half_n].copy_from_slice(&neg);
         }
-        GradientArray { axes, half_n, data }
+        Ok(GradientArray { axes, half_n, data })
     }
 
     /// Rebuilds a gradient array from the flat `[direction][axis][time]`
     /// layout produced by [`GradientArray::to_f32`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `flat.len() != 2 * axes * half_n`.
-    pub fn from_flat(flat: &[f32], axes: usize, half_n: usize) -> Self {
-        assert_eq!(
-            flat.len(),
-            2 * axes * half_n,
-            "flat layout must hold 2 x axes x half_n values"
-        );
-        GradientArray {
+    /// [`MandiPassError::DimensionMismatch`] when
+    /// `flat.len() != 2 * axes * half_n`.
+    pub fn from_flat(flat: &[f32], axes: usize, half_n: usize) -> Result<Self, MandiPassError> {
+        if flat.len() != 2 * axes * half_n {
+            return Err(MandiPassError::DimensionMismatch {
+                expected: 2 * axes * half_n,
+                got: flat.len(),
+            });
+        }
+        Ok(GradientArray {
             axes,
             half_n,
             data: flat.iter().map(|&v| f64::from(v)).collect(),
-        }
+        })
     }
 
     /// Number of axis rows per direction plane.
@@ -117,7 +139,7 @@ mod tests {
 
     #[test]
     fn shape_is_two_by_axes_by_half() {
-        let g = GradientArray::from_signal_array(&toy_array(), 3);
+        let g = GradientArray::from_signal_array(&toy_array(), 3).unwrap();
         assert_eq!(g.axes(), 2);
         assert_eq!(g.half_n(), 3);
         assert_eq!(g.len(), 2 * 2 * 3);
@@ -126,7 +148,7 @@ mod tests {
 
     #[test]
     fn directions_have_correct_signs() {
-        let g = GradientArray::from_signal_array(&toy_array(), 3);
+        let g = GradientArray::from_signal_array(&toy_array(), 3).unwrap();
         for j in 0..2 {
             assert!(g.positive(j).iter().all(|&v| v >= 0.0));
             assert!(g.negative(j).iter().all(|&v| v <= 0.0));
@@ -136,14 +158,14 @@ mod tests {
     #[test]
     fn monotone_axis_yields_zero_negative_plane() {
         let arr = SignalArray::new(vec![vec![0.0, 0.25, 0.5, 0.75, 1.0]]).unwrap();
-        let g = GradientArray::from_signal_array(&arr, 2);
+        let g = GradientArray::from_signal_array(&arr, 2).unwrap();
         assert!(g.positive(0).iter().all(|&v| (v - 0.25).abs() < 1e-12));
         assert_eq!(g.negative(0), &[0.0, 0.0]);
     }
 
     #[test]
     fn f32_layout_is_direction_major() {
-        let g = GradientArray::from_signal_array(&toy_array(), 3);
+        let g = GradientArray::from_signal_array(&toy_array(), 3).unwrap();
         let flat = g.to_f32();
         assert_eq!(flat.len(), 12);
         // First half must equal the two positive planes concatenated.
@@ -156,9 +178,38 @@ mod tests {
     }
 
     #[test]
+    fn zero_half_n_is_invalid_config() {
+        assert!(matches!(
+            GradientArray::from_signal_array(&toy_array(), 0),
+            Err(MandiPassError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn single_sample_axis_is_too_short() {
+        let arr = SignalArray::new(vec![vec![0.5]]).unwrap();
+        assert!(matches!(
+            GradientArray::from_signal_array(&arr, 2),
+            Err(MandiPassError::Dsp(DspError::TooShort { .. }))
+        ));
+    }
+
+    #[test]
+    fn from_flat_round_trips_and_checks_length() {
+        let g = GradientArray::from_signal_array(&toy_array(), 3).unwrap();
+        let flat = g.to_f32();
+        let back = GradientArray::from_flat(&flat, 2, 3).unwrap();
+        assert_eq!(back.axes(), 2);
+        assert!(matches!(
+            GradientArray::from_flat(&flat, 2, 4),
+            Err(MandiPassError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn bad_axis_panics() {
-        let g = GradientArray::from_signal_array(&toy_array(), 3);
+        let g = GradientArray::from_signal_array(&toy_array(), 3).unwrap();
         let _ = g.positive(5);
     }
 }

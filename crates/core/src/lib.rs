@@ -65,6 +65,7 @@ pub mod extractor;
 pub mod features;
 pub mod gradient_array;
 pub mod preprocess;
+pub mod quality;
 pub mod similarity;
 pub mod template;
 pub mod train;
@@ -73,11 +74,12 @@ pub use error::MandiPassError;
 
 /// Convenient glob import of the main API types.
 pub mod prelude {
-    pub use crate::authenticator::{MandiPass, VerifyOutcome};
+    pub use crate::authenticator::{MandiPass, PolicyDecision, VerifyOutcome, VerifyPolicy};
     pub use crate::config::PipelineConfig;
     pub use crate::enclave::{AccessCounts, AuditEvent, AuditKind, SecureEnclave};
     pub use crate::extractor::{BiometricExtractor, ExtractorConfig};
     pub use crate::gradient_array::GradientArray;
+    pub use crate::quality::{QualityConfig, QualityReport, RejectReason};
     pub use crate::template::{CancelableTemplate, GaussianMatrix, MandiblePrint};
     pub use crate::train::{TrainingConfig, VspTrainer};
     pub use crate::MandiPassError;

@@ -14,6 +14,7 @@
 //!    segment, stacked into a `(6, n)` signal array.
 
 use mandipass_dsp::detect::segment_axes;
+use mandipass_dsp::error::ensure_finite;
 use mandipass_dsp::filter::Butterworth;
 use mandipass_dsp::normalize::min_max_in_place;
 use mandipass_dsp::outlier::clean_segment;
@@ -50,17 +51,30 @@ fn preprocess_stages(
 ) -> Result<SignalArray, MandiPassError> {
     config.validate()?;
     let axes: Vec<&[f64]> = recording.axes().iter().map(Vec::as_slice).collect();
+    // Shape gate: six non-empty axes, or there is nothing to segment.
+    // (`Recording::az()`/`len()` index fixed positions, so this check
+    // must come before any accessor that could panic.)
+    if axes.len() != 6 || axes.iter().any(|a| a.is_empty()) {
+        return Err(MandiPassError::EmptyRecording);
+    }
     // Step 1: detect on az, cut n samples from each axis.
     let mut segments = {
         let _span = mandipass_telemetry::span("detect_segment");
         segment_axes(recording.az(), &axes, config.n, &config.detector())?
     };
 
-    // Step 2: MAD outlier repair, per segment.
+    // Step 2: MAD outlier repair, per segment. The detector only
+    // validates the trigger axis, so each cut segment is checked for
+    // non-finite samples here — the MAD statistics (and everything
+    // downstream) assume finite input.
     {
         let _span = mandipass_telemetry::span("mad_outlier");
-        for seg in &mut segments {
-            clean_segment(seg, config.mad_threshold);
+        for (axis, seg) in segments.iter_mut().enumerate() {
+            ensure_finite(seg).map_err(MandiPassError::Dsp)?;
+            let replaced = clean_segment(seg, config.mad_threshold);
+            if replaced.len() * 2 > seg.len() {
+                return Err(MandiPassError::AllOutlierSegment { axis });
+            }
         }
     }
 
@@ -78,9 +92,18 @@ fn preprocess_stages(
         }
     }
 
-    // Step 4: min-max normalisation and concatenation.
+    // Step 4: min-max normalisation and concatenation. A zero-range
+    // segment on an enabled axis has no scale to normalise by — that is
+    // a dead channel, not a signal.
     let _span = mandipass_telemetry::span("normalise");
-    for seg in &mut segments {
+    for (axis, seg) in segments.iter_mut().enumerate() {
+        let enabled = config.axis_mask.get(axis).copied().unwrap_or(false);
+        let (min, max) = seg
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        if enabled && min == max {
+            return Err(MandiPassError::ZeroVariance { axis });
+        }
         min_max_in_place(seg);
     }
     let array = SignalArray::new(segments)?;
@@ -161,6 +184,51 @@ mod tests {
             preprocess(&one_recording(8), &config),
             Err(MandiPassError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn nan_in_non_trigger_axis_is_a_typed_error() {
+        // detect() only validates az; NaNs elsewhere must surface as
+        // Dsp(NonFinite), not a panic inside the MAD statistics.
+        let rec = one_recording(10);
+        let mut axes = rec.axes().to_vec();
+        for v in axes[4].iter_mut() {
+            *v = f64::NAN;
+        }
+        let bad = Recording::from_parts(rec.sample_rate_hz(), axes, rec.condition(), rec.user_id())
+            .unwrap();
+        let err = preprocess(&bad, &PipelineConfig::default()).unwrap_err();
+        assert!(matches!(err, MandiPassError::Dsp(_)), "{err:?}");
+    }
+
+    #[test]
+    fn stuck_zero_axis_is_zero_variance() {
+        let rec = one_recording(11);
+        let mut axes = rec.axes().to_vec();
+        for v in axes[0].iter_mut() {
+            *v = 0.0;
+        }
+        let bad = Recording::from_parts(rec.sample_rate_hz(), axes, rec.condition(), rec.user_id())
+            .unwrap();
+        let err = preprocess(&bad, &PipelineConfig::default()).unwrap_err();
+        assert_eq!(err, MandiPassError::ZeroVariance { axis: 0 });
+    }
+
+    #[test]
+    fn stuck_disabled_axis_is_tolerated() {
+        // The same dead axis is fine when the mask excludes it.
+        let rec = one_recording(11);
+        let mut axes = rec.axes().to_vec();
+        for v in axes[5].iter_mut() {
+            *v = 0.0;
+        }
+        let bad = Recording::from_parts(rec.sample_rate_hz(), axes, rec.condition(), rec.user_id())
+            .unwrap();
+        let config = PipelineConfig {
+            axis_mask: [true, true, true, true, true, false],
+            ..Default::default()
+        };
+        assert!(preprocess(&bad, &config).is_ok());
     }
 
     #[test]

@@ -94,8 +94,15 @@ impl GaussianMatrix {
 
     /// Materialises the matrix entries, row-major `dim × dim`.
     fn entries(&self) -> Vec<f32> {
+        if self.dim == 0 {
+            return Vec::new();
+        }
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x6761_7573_7373);
-        let normal = Normal::new(0.0, 1.0 / (self.dim as f64).sqrt()).expect("valid normal");
+        // `dim >= 1`, so the standard deviation is finite and positive
+        // and the distribution is always constructible.
+        let Ok(normal) = Normal::new(0.0, 1.0 / (self.dim as f64).sqrt()) else {
+            return vec![0.0; self.dim * self.dim];
+        };
         (0..self.dim * self.dim)
             .map(|_| normal.sample(&mut rng) as f32)
             .collect()

@@ -151,7 +151,9 @@ impl VspTrainer {
                 let Ok(array) = preprocess(&rec, &self.config.pipeline) else {
                     continue;
                 };
-                let grad = GradientArray::from_signal_array(&array, half_n);
+                let Ok(grad) = GradientArray::from_signal_array(&array, half_n) else {
+                    continue;
+                };
                 features.push(grad.to_f32());
                 labels.push(label);
             }

@@ -19,6 +19,12 @@ pub enum SimError {
         /// Requested duration in seconds.
         seconds: f64,
     },
+    /// A recording's shape is invalid (wrong axis count, unequal or
+    /// empty axis tracks, bad sample rate).
+    MalformedRecording {
+        /// What is wrong with the recording.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -29,6 +35,9 @@ impl fmt::Display for SimError {
             }
             SimError::EmptyDuration { seconds } => {
                 write!(f, "duration {seconds} s yields no output samples")
+            }
+            SimError::MalformedRecording { reason } => {
+                write!(f, "malformed recording: {reason}")
             }
         }
     }

@@ -1,0 +1,511 @@
+//! Composable, seed-deterministic sensor-fault injectors.
+//!
+//! Real earphone IMUs drop samples, saturate against their full-scale
+//! range, lose an axis to a broken solder joint, emit non-finite garbage
+//! over a flaky bus, truncate a capture when the wearer removes the bud,
+//! and drift in gain with temperature. The clean physics in [`crate::
+//! recorder`] models none of this on purpose — robustness experiments
+//! instead wrap a [`Recorder`] in a [`FaultyRecorder`] carrying a
+//! [`FaultProfile`], so any experiment can run under a configurable,
+//! reproducible fault regime.
+//!
+//! Determinism: a profile applied to the same recording with the same
+//! seed yields bit-identical output. The fault RNG stream is derived
+//! from the injection seed alone, never from the recording content, so
+//! changing upstream physics does not silently re-roll the faults.
+
+use mandipass_util::rand::rngs::StdRng;
+use mandipass_util::rand::{Rng, SeedableRng};
+
+use crate::conditions::Condition;
+use crate::error::SimError;
+use crate::population::UserProfile;
+use crate::recorder::{Recorder, Recording};
+
+/// One fault mechanism. Faults compose: a [`FaultProfile`] applies its
+/// list in order, each drawing from the same seeded RNG stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Uniformly drops whole sample instants (all six axes lose the same
+    /// indices, as when the radio link stalls), keeping axes equal-length.
+    Dropout {
+        /// Probability each sample instant is dropped, `0.0..=1.0`.
+        rate: f64,
+    },
+    /// An axis goes dead: every sample is replaced by a constant.
+    StuckAxis {
+        /// Axis index in paper order (`0..6`: ax, ay, az, gx, gy, gz).
+        axis: usize,
+        /// The stuck value; `None` holds the axis's first sample (a
+        /// frozen register), `Some(v)` forces the constant `v`.
+        value: Option<f64>,
+    },
+    /// Saturation against the ADC full-scale range: samples clip to
+    /// `±limit_lsb`.
+    Clipping {
+        /// Full-scale magnitude in raw LSB.
+        limit_lsb: f64,
+    },
+    /// Bus corruption: individual samples become NaN or infinity.
+    NonFiniteBurst {
+        /// Probability each sample is corrupted, `0.0..=1.0`.
+        rate: f64,
+        /// `true` writes NaN, `false` writes ±infinity.
+        nan: bool,
+    },
+    /// The capture ends early: only the leading fraction survives.
+    Truncate {
+        /// Fraction of samples kept, `0.0..=1.0` (at least one sample
+        /// is always kept so the recording stays well-formed).
+        keep: f64,
+    },
+    /// Thermal gain drift: a multiplicative ramp from 1.0 at the first
+    /// sample to `1.0 + drift` at the last.
+    GainDrift {
+        /// Total relative gain change over the capture (e.g. `0.3` =
+        /// +30 % by the end).
+        drift: f64,
+    },
+}
+
+impl Fault {
+    /// A short stable label for reports and telemetry.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fault::Dropout { .. } => "dropout",
+            Fault::StuckAxis { .. } => "stuck_axis",
+            Fault::Clipping { .. } => "clipping",
+            Fault::NonFiniteBurst { .. } => "non_finite",
+            Fault::Truncate { .. } => "truncate",
+            Fault::GainDrift { .. } => "gain_drift",
+        }
+    }
+
+    fn apply(&self, axes: &mut [Vec<f64>], rng: &mut StdRng) {
+        match *self {
+            Fault::Dropout { rate } => {
+                let n = axes[0].len();
+                let keep: Vec<bool> = (0..n)
+                    .map(|_| !rng.gen_bool(rate.clamp(0.0, 1.0)))
+                    .collect();
+                // Never drop everything: a zero-length recording is a
+                // malformed capture, not a faulty one.
+                if keep.iter().all(|&k| !k) {
+                    return;
+                }
+                for axis in axes.iter_mut() {
+                    let mut i = 0;
+                    axis.retain(|_| {
+                        let k = keep[i];
+                        i += 1;
+                        k
+                    });
+                }
+            }
+            Fault::StuckAxis { axis, value } => {
+                if let Some(track) = axes.get_mut(axis) {
+                    let v = value.unwrap_or_else(|| track.first().copied().unwrap_or(0.0));
+                    for t in track.iter_mut() {
+                        *t = v;
+                    }
+                }
+            }
+            Fault::Clipping { limit_lsb } => {
+                let lim = limit_lsb.abs();
+                for axis in axes.iter_mut() {
+                    for t in axis.iter_mut() {
+                        *t = t.clamp(-lim, lim);
+                    }
+                }
+            }
+            Fault::NonFiniteBurst { rate, nan } => {
+                for axis in axes.iter_mut() {
+                    for t in axis.iter_mut() {
+                        if rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                            *t = if nan {
+                                f64::NAN
+                            } else if rng.gen_bool(0.5) {
+                                f64::INFINITY
+                            } else {
+                                f64::NEG_INFINITY
+                            };
+                        }
+                    }
+                }
+            }
+            Fault::Truncate { keep } => {
+                let n = axes[0].len();
+                let kept = ((n as f64 * keep.clamp(0.0, 1.0)) as usize).max(1);
+                for axis in axes.iter_mut() {
+                    axis.truncate(kept);
+                }
+            }
+            Fault::GainDrift { drift } => {
+                let n = axes[0].len();
+                if n < 2 {
+                    return;
+                }
+                for axis in axes.iter_mut() {
+                    for (i, t) in axis.iter_mut().enumerate() {
+                        *t *= 1.0 + drift * i as f64 / (n - 1) as f64;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A named, ordered list of faults applied as one regime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultProfile {
+    /// Profile name, used in reports and telemetry.
+    pub name: String,
+    /// The faults, applied in order.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultProfile {
+    /// A profile with no faults (the clean baseline of a sweep).
+    pub fn clean() -> Self {
+        FaultProfile {
+            name: "clean".to_string(),
+            faults: Vec::new(),
+        }
+    }
+
+    /// Builds a named profile from a list of faults.
+    pub fn new(name: &str, faults: Vec<Fault>) -> Self {
+        FaultProfile {
+            name: name.to_string(),
+            faults,
+        }
+    }
+
+    /// Sample dropout at `intensity` (the per-sample drop probability).
+    pub fn dropout(intensity: f64) -> Self {
+        Self::new("dropout", vec![Fault::Dropout { rate: intensity }])
+    }
+
+    /// One gyro axis (gx) stuck at its first sample. `intensity` ≥ 0.5
+    /// additionally freezes gy — a fully failed gyro die.
+    pub fn stuck_gyro(intensity: f64) -> Self {
+        let mut faults = vec![Fault::StuckAxis {
+            axis: 3,
+            value: None,
+        }];
+        if intensity >= 0.5 {
+            faults.push(Fault::StuckAxis {
+                axis: 4,
+                value: None,
+            });
+        }
+        Self::new("stuck_gyro", faults)
+    }
+
+    /// Clipping: `intensity` in `0.0..=1.0` shrinks the full-scale limit
+    /// from a generous 20 000 LSB down towards 500 LSB.
+    pub fn clipping(intensity: f64) -> Self {
+        let limit = 20_000.0 - 19_500.0 * intensity.clamp(0.0, 1.0);
+        Self::new("clipping", vec![Fault::Clipping { limit_lsb: limit }])
+    }
+
+    /// NaN burst corruption at `intensity` (per-sample probability).
+    pub fn non_finite(intensity: f64) -> Self {
+        Self::new(
+            "non_finite",
+            vec![Fault::NonFiniteBurst {
+                rate: intensity,
+                nan: true,
+            }],
+        )
+    }
+
+    /// Truncated capture: `intensity` is the fraction *lost* from the
+    /// end (0.0 keeps everything).
+    pub fn truncate(intensity: f64) -> Self {
+        Self::new(
+            "truncate",
+            vec![Fault::Truncate {
+                keep: 1.0 - intensity.clamp(0.0, 1.0),
+            }],
+        )
+    }
+
+    /// Gain drift: `intensity` is the total relative gain change.
+    pub fn gain_drift(intensity: f64) -> Self {
+        Self::new("gain_drift", vec![Fault::GainDrift { drift: intensity }])
+    }
+
+    /// Whether this profile does nothing.
+    pub fn is_clean(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Applies the profile to a recording, returning the faulted copy.
+    ///
+    /// Deterministic in `(recording, seed)`: the RNG stream depends on
+    /// the seed and profile only, never on the sample values.
+    pub fn apply(&self, recording: &Recording, seed: u64) -> Recording {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6661_756c_7473_7631);
+        let mut axes: Vec<Vec<f64>> = recording.axes().to_vec();
+        for fault in &self.faults {
+            fault.apply(&mut axes, &mut rng);
+        }
+        // The injectors preserve the shape invariants from_parts checks
+        // (six equal-length non-empty tracks), so this cannot fail.
+        Recording::from_parts(
+            recording.sample_rate_hz(),
+            axes,
+            recording.condition(),
+            recording.user_id(),
+        )
+        .unwrap_or_else(|e| unreachable!("fault injectors preserve recording shape: {e}"))
+    }
+}
+
+/// A [`Recorder`] that applies a [`FaultProfile`] to every recording.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultyRecorder {
+    /// The clean physics recorder being wrapped.
+    pub inner: Recorder,
+    /// The fault regime.
+    pub profile: FaultProfile,
+}
+
+impl FaultyRecorder {
+    /// Wraps `inner` with `profile`.
+    pub fn new(inner: Recorder, profile: FaultProfile) -> Self {
+        FaultyRecorder { inner, profile }
+    }
+
+    /// Records one attempt and applies the fault profile. The fault seed
+    /// is derived from `session_seed` so the whole faulted recording is
+    /// reproducible from the same triple as the clean one.
+    pub fn record(&self, user: &UserProfile, condition: Condition, session_seed: u64) -> Recording {
+        let clean = self.inner.record(user, condition, session_seed);
+        self.profile.apply(&clean, session_seed)
+    }
+}
+
+/// Returns the catalogue of intensity-parameterised profiles swept by
+/// the robustness experiment, at a given `intensity` in `0.0..=1.0`.
+pub fn sweep_profiles(intensity: f64) -> Vec<FaultProfile> {
+    vec![
+        FaultProfile::dropout(0.4 * intensity),
+        FaultProfile::stuck_gyro(intensity),
+        FaultProfile::clipping(intensity),
+        FaultProfile::non_finite(0.2 * intensity),
+        FaultProfile::truncate(0.85 * intensity),
+        FaultProfile::gain_drift(1.5 * intensity),
+    ]
+}
+
+/// Validates profile parameters (rates in range, axis indices in `0..6`).
+///
+/// # Errors
+///
+/// [`SimError::InvalidParameter`] naming the offending field.
+pub fn validate_profile(profile: &FaultProfile) -> Result<(), SimError> {
+    for fault in &profile.faults {
+        match *fault {
+            Fault::Dropout { rate } | Fault::NonFiniteBurst { rate, .. } => {
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(SimError::InvalidParameter {
+                        name: "rate",
+                        value: rate,
+                    });
+                }
+            }
+            Fault::StuckAxis { axis, .. } => {
+                if axis >= 6 {
+                    return Err(SimError::InvalidParameter {
+                        name: "axis",
+                        value: axis as f64,
+                    });
+                }
+            }
+            Fault::Clipping { limit_lsb } => {
+                if !(limit_lsb.is_finite() && limit_lsb > 0.0) {
+                    return Err(SimError::InvalidParameter {
+                        name: "limit_lsb",
+                        value: limit_lsb,
+                    });
+                }
+            }
+            Fault::Truncate { keep } => {
+                if !(0.0..=1.0).contains(&keep) {
+                    return Err(SimError::InvalidParameter {
+                        name: "keep",
+                        value: keep,
+                    });
+                }
+            }
+            Fault::GainDrift { drift } => {
+                if !drift.is_finite() {
+                    return Err(SimError::InvalidParameter {
+                        name: "drift",
+                        value: drift,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::Population;
+
+    fn base_recording() -> Recording {
+        let pop = Population::generate(2, 3);
+        Recorder::default().record(&pop.users()[0], Condition::Normal, 9)
+    }
+
+    #[test]
+    fn clean_profile_is_identity() {
+        let rec = base_recording();
+        let out = FaultProfile::clean().apply(&rec, 1);
+        assert_eq!(rec, out);
+    }
+
+    #[test]
+    fn application_is_deterministic_per_seed() {
+        let rec = base_recording();
+        let profile = FaultProfile::new(
+            "mix",
+            vec![
+                Fault::Dropout { rate: 0.2 },
+                Fault::NonFiniteBurst {
+                    rate: 0.05,
+                    nan: true,
+                },
+            ],
+        );
+        let a = profile.apply(&rec, 42);
+        let b = profile.apply(&rec, 42);
+        // NaN != NaN, so compare lengths and the bit patterns.
+        assert_eq!(a.len(), b.len());
+        for (xa, xb) in a.axes().iter().zip(b.axes()) {
+            for (va, vb) in xa.iter().zip(xb) {
+                assert_eq!(va.to_bits(), vb.to_bits());
+            }
+        }
+        let c = profile.apply(&rec, 43);
+        let same = a.len() == c.len()
+            && a.az()
+                .iter()
+                .zip(c.az())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+        assert!(!same, "different seeds must inject different faults");
+    }
+
+    #[test]
+    fn dropout_shortens_all_axes_equally() {
+        let rec = base_recording();
+        let out = FaultProfile::dropout(0.3).apply(&rec, 7);
+        assert!(out.len() < rec.len());
+        assert!(out.axes().iter().all(|a| a.len() == out.len()));
+    }
+
+    #[test]
+    fn stuck_axis_is_constant() {
+        let rec = base_recording();
+        let out = FaultProfile::stuck_gyro(0.0).apply(&rec, 7);
+        let gx = &out.axes()[3];
+        assert!(gx.iter().all(|&v| v == gx[0]));
+        // The other gyro axes keep moving at low intensity.
+        let gy = &out.axes()[4];
+        assert!(gy.iter().any(|&v| v != gy[0]));
+    }
+
+    #[test]
+    fn full_stuck_gyro_freezes_two_axes() {
+        let rec = base_recording();
+        let out = FaultProfile::stuck_gyro(1.0).apply(&rec, 7);
+        for axis in [3, 4] {
+            let t = &out.axes()[axis];
+            assert!(t.iter().all(|&v| v == t[0]));
+        }
+    }
+
+    #[test]
+    fn clipping_bounds_samples() {
+        let rec = base_recording();
+        let out = FaultProfile::clipping(1.0).apply(&rec, 7);
+        assert!(out.axes().iter().flatten().all(|v| v.abs() <= 500.0));
+        // High intensity must actually clip something.
+        assert_ne!(out, rec);
+    }
+
+    #[test]
+    fn non_finite_burst_corrupts_samples() {
+        let rec = base_recording();
+        let out = FaultProfile::non_finite(0.5).apply(&rec, 7);
+        let bad = out
+            .axes()
+            .iter()
+            .flatten()
+            .filter(|v| !v.is_finite())
+            .count();
+        assert!(bad > 0, "no non-finite samples injected");
+    }
+
+    #[test]
+    fn truncate_keeps_leading_fraction() {
+        let rec = base_recording();
+        let out = FaultProfile::truncate(0.75).apply(&rec, 7);
+        let expected = ((rec.len() as f64 * 0.25) as usize).max(1);
+        assert_eq!(out.len(), expected);
+        assert_eq!(out.az(), &rec.az()[..expected]);
+    }
+
+    #[test]
+    fn gain_drift_amplifies_tail() {
+        let rec = base_recording();
+        let out = FaultProfile::gain_drift(1.0).apply(&rec, 7);
+        let n = rec.len();
+        assert_eq!(out.az()[0], rec.az()[0]);
+        assert!((out.az()[n - 1] - 2.0 * rec.az()[n - 1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faulty_recorder_is_deterministic() {
+        let pop = Population::generate(2, 3);
+        let fr = FaultyRecorder::new(Recorder::default(), FaultProfile::dropout(0.2));
+        let a = fr.record(&pop.users()[0], Condition::Normal, 11);
+        let b = fr.record(&pop.users()[0], Condition::Normal, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sweep_catalogue_has_at_least_five_profiles() {
+        let profiles = sweep_profiles(0.5);
+        assert!(profiles.len() >= 5);
+        for p in &profiles {
+            validate_profile(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        let bad = FaultProfile::new("bad", vec![Fault::Dropout { rate: 1.5 }]);
+        assert!(validate_profile(&bad).is_err());
+        let bad = FaultProfile::new(
+            "bad",
+            vec![Fault::StuckAxis {
+                axis: 9,
+                value: None,
+            }],
+        );
+        assert!(validate_profile(&bad).is_err());
+    }
+
+    #[test]
+    fn total_dropout_never_empties_recording() {
+        let rec = base_recording();
+        let out = FaultProfile::dropout(1.0).apply(&rec, 7);
+        assert!(!out.is_empty());
+    }
+}

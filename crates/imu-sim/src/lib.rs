@@ -41,6 +41,7 @@ pub mod axis;
 pub mod conditions;
 pub mod dataset;
 pub mod error;
+pub mod faults;
 pub mod motion;
 pub mod noise;
 pub mod orientation;
@@ -55,6 +56,7 @@ pub mod vocal;
 pub use axis::Axis;
 pub use conditions::Condition;
 pub use error::SimError;
+pub use faults::{Fault, FaultProfile, FaultyRecorder};
 pub use population::{Population, UserProfile};
 pub use recorder::{Recorder, Recording};
 pub use sensor::ImuModel;

@@ -5,6 +5,7 @@ use mandipass_util::rand::rngs::StdRng;
 use mandipass_util::rand::{Rng, SeedableRng};
 
 use crate::conditions::{Condition, EarSide};
+use crate::error::SimError;
 use crate::motion::gait_interference;
 use crate::noise::{add_white_noise, inject_outliers};
 use crate::orientation::Rotation;
@@ -24,6 +25,52 @@ pub struct Recording {
 }
 
 impl Recording {
+    /// Assembles a recording from raw parts, validating its shape: six
+    /// non-empty axis tracks of equal length and a finite positive
+    /// sample rate. Sample *values* are not validated — fault injection
+    /// deliberately produces non-finite and saturated samples, and the
+    /// downstream quality gate must be able to see them.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MalformedRecording`] when the shape is invalid,
+    /// [`SimError::InvalidParameter`] for a bad sample rate.
+    pub fn from_parts(
+        sample_rate_hz: f64,
+        axes: Vec<Vec<f64>>,
+        condition: Condition,
+        user_id: u32,
+    ) -> Result<Self, SimError> {
+        if !(sample_rate_hz.is_finite() && sample_rate_hz > 0.0) {
+            return Err(SimError::InvalidParameter {
+                name: "sample_rate_hz",
+                value: sample_rate_hz,
+            });
+        }
+        if axes.len() != 6 {
+            return Err(SimError::MalformedRecording {
+                reason: "expected exactly six axis tracks",
+            });
+        }
+        let n = axes[0].len();
+        if n == 0 {
+            return Err(SimError::MalformedRecording {
+                reason: "axis tracks are empty",
+            });
+        }
+        if axes.iter().any(|a| a.len() != n) {
+            return Err(SimError::MalformedRecording {
+                reason: "axis tracks have unequal lengths",
+            });
+        }
+        Ok(Recording {
+            sample_rate_hz,
+            axes,
+            condition,
+            user_id,
+        })
+    }
+
     /// Output sample rate, Hz.
     pub fn sample_rate_hz(&self) -> f64 {
         self.sample_rate_hz

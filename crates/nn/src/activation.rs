@@ -20,6 +20,10 @@ impl ReLU {
 }
 
 impl Layer for ReLU {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "relu"
     }
@@ -80,6 +84,10 @@ impl Sigmoid {
 }
 
 impl Layer for Sigmoid {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "sigmoid"
     }

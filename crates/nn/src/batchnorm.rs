@@ -74,6 +74,10 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "batchnorm2d"
     }

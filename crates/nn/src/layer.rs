@@ -70,4 +70,16 @@ pub trait Layer: std::fmt::Debug {
     fn param_count(&mut self) -> usize {
         self.params().iter().map(|p| p.value.len()).sum()
     }
+
+    /// Clones this layer into a fresh boxed trait object, duplicating
+    /// parameters, buffers and caches. Makes `Box<dyn Layer>` (and thus
+    /// whole models) cloneable, so one trained network can be handed to
+    /// several consumers without retraining.
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }

@@ -59,6 +59,10 @@ impl Linear {
 }
 
 impl Layer for Linear {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "linear"
     }

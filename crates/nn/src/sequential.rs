@@ -6,7 +6,7 @@ use crate::tensor::Tensor;
 /// A stack of layers applied in order; itself a [`Layer`], so sequentials
 /// compose (the two-branch extractor uses one sequential per branch plus a
 /// sequential head).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
 }
@@ -29,6 +29,10 @@ impl Sequential {
 }
 
 impl Layer for Sequential {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "sequential"
     }
