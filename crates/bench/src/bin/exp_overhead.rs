@@ -9,4 +9,10 @@ fn main() {
     let table = experiments::exp_overhead(&mut stack);
     println!("{}", table.to_console());
     println!("JSON: {}", table.to_json());
+    // The live-exposition view of the same run: bench output and the
+    // /metrics endpoints share one schema via Monitor::snapshot.
+    println!(
+        "MONITOR SNAPSHOT: {}",
+        mandipass_telemetry::monitor().snapshot().to_json()
+    );
 }

@@ -94,4 +94,10 @@ fn main() {
             "SHAPE MISMATCHES PRESENT"
         }
     );
+    // The live-exposition view of the whole run: bench output and the
+    // /metrics endpoints share one schema via Monitor::snapshot.
+    println!(
+        "MONITOR SNAPSHOT: {}",
+        telemetry::monitor().snapshot().to_json()
+    );
 }

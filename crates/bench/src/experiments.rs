@@ -25,6 +25,7 @@ use mandipass_imu_sim::vocal::Sex;
 use mandipass_imu_sim::{
     Condition, FaultProfile, FaultyRecorder, ImuModel, Population, Recorder, Recording, UserProfile,
 };
+use mandipass_telemetry::HealthStatus;
 use mandipass_util::json::Value;
 
 use crate::harness::TrainedStack;
@@ -1353,4 +1354,163 @@ fn robustness_table(cells: &[RobustnessCell], threshold: f64, intensities: &[f64
         .with_note(format!("clean FRR {clean_frr:.3}")),
     );
     table
+}
+
+/// Live-monitoring drift detection: the [`DriftDetector`] must stay
+/// `Healthy` over clean genuine traffic and flag `Degrading`/`Alarm`
+/// when a combined gain-drift + dropout ramp
+/// ([`FaultProfile::degradation_ramp`]) corrupts the probes — with the
+/// rejected probes' structured records retained in the flight recorder.
+///
+/// Runs against a private [`Monitor`] so concurrent experiments sharing
+/// the process never pollute the windows under test.
+///
+/// [`DriftDetector`]: mandipass_telemetry::drift::DriftDetector
+/// [`Monitor`]: mandipass_telemetry::monitor::Monitor
+///
+/// # Errors
+///
+/// Propagates enrolment failures; rejected trials are data, not errors.
+pub fn exp_monitor(
+    stack: &mut TrainedStack,
+    threshold: f64,
+) -> Result<(ReportTable, Value), MandiPassError> {
+    let _span = mandipass_telemetry::span("exp_monitor");
+    const COHORT: usize = 4;
+    const CLEAN_PROBES: usize = 3;
+    const RAMP_TRIALS: usize = 2;
+    const RAMP: [f64; 3] = [0.5, 0.75, 1.0];
+
+    let monitor: &'static mandipass_telemetry::Monitor =
+        Box::leak(Box::new(mandipass_telemetry::Monitor::default()));
+    let users: Vec<UserProfile> = stack
+        .held_out_users()
+        .iter()
+        .take(COHORT)
+        .cloned()
+        .collect();
+    let recorder = stack.recorder.clone();
+    let config = PipelineConfig {
+        threshold,
+        ..PipelineConfig::default()
+    };
+    let mut auth = MandiPass::new(stack.extractor.clone(), config);
+    auth.set_monitor(monitor);
+    let dim = auth.embedding_dim();
+    let matrices: Vec<GaussianMatrix> = users
+        .iter()
+        .map(|u| GaussianMatrix::generate(0x3017 ^ u64::from(u.id), dim))
+        .collect();
+    // Enrolment feeds and freezes the monitor's drift baseline.
+    for (user, matrix) in users.iter().zip(&matrices) {
+        let recs: Vec<Recording> = (0..4u64)
+            .map(|s| {
+                recorder.record(
+                    user,
+                    Condition::Normal,
+                    0x3017_0000 ^ (u64::from(user.id) << 8) ^ s,
+                )
+            })
+            .collect();
+        auth.enroll(user.id, &recs, matrix)?;
+    }
+    // Re-freeze the baseline on live probe distances: enrolment froze
+    // the prints-vs-template distribution, which sits closer to the
+    // template than fresh probes ever will, and the PSI would read that
+    // gap as drift. Operationally this is the post-enrolment
+    // calibration pass.
+    let mut calibration = Vec::new();
+    for (u, user) in users.iter().enumerate() {
+        for s in 0..4u64 {
+            let probe =
+                recorder.record(user, Condition::Normal, 0x3017_3000 ^ ((u as u64) << 8) ^ s);
+            calibration.push(auth.verify(user.id, &probe, &matrices[u])?.distance);
+        }
+    }
+    monitor.extend_baseline(&calibration);
+    monitor.freeze_baseline();
+    // Enrolment and calibration fed the windows; judge only live traffic.
+    monitor.reset_windows();
+
+    // Phase 1 — clean genuine traffic must read Healthy.
+    let policy = VerifyPolicy::default();
+    for (u, user) in users.iter().enumerate() {
+        for s in 0..CLEAN_PROBES as u64 {
+            let probe =
+                recorder.record(user, Condition::Normal, 0x3017_1000 ^ ((u as u64) << 8) ^ s);
+            let _ = auth.verify_with_policy(user.id, &[probe], &matrices[u], &policy);
+        }
+    }
+    let clean_health = monitor.health();
+    let clean_psi = monitor.psi();
+    let clean_flights = monitor.flights().len();
+
+    // Phase 2 — a fresh window under the degradation ramp must flag.
+    monitor.reset_windows();
+    for &intensity in &RAMP {
+        let faulty =
+            FaultyRecorder::new(recorder.clone(), FaultProfile::degradation_ramp(intensity));
+        for (u, user) in users.iter().enumerate() {
+            for t in 0..RAMP_TRIALS as u64 {
+                let seed = 0x3017_2000 ^ ((intensity * 100.0) as u64) << 32 ^ ((u as u64) << 8) ^ t;
+                let probes: Vec<Recording> = (0..policy.max_attempts as u64)
+                    .map(|a| faulty.record(user, Condition::Normal, seed ^ (a << 48)))
+                    .collect();
+                let _ = auth.verify_with_policy(user.id, &probes, &matrices[u], &policy);
+            }
+        }
+    }
+    let ramp_health = monitor.health();
+    let ramp_psi = monitor.psi();
+    let ramp_flights = monitor.flights();
+
+    let mut table = ReportTable::new("Monitor: drift detection under fault ramps");
+    table.push(
+        ExperimentRecord::new(
+            "Monitor",
+            "clean genuine traffic",
+            "Healthy",
+            clean_health.status.label().to_string(),
+            clean_health.status == HealthStatus::Healthy,
+        )
+        .with_note(format!(
+            "PSI {clean_psi:.3} over {} decisions",
+            clean_health.decisions
+        )),
+    );
+    table.push(
+        ExperimentRecord::new(
+            "Monitor",
+            "gain-drift + dropout ramp",
+            "Degrading/Alarm",
+            ramp_health.status.label().to_string(),
+            ramp_health.status != HealthStatus::Healthy,
+        )
+        .with_note(format!(
+            "PSI {ramp_psi:.3}, reasons: {}",
+            ramp_health
+                .reasons()
+                .iter()
+                .map(|r| r.signal.label())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )),
+    );
+    table.push(ExperimentRecord::new(
+        "Monitor",
+        "flight recorder retains failed verifications",
+        "ramp flights > clean flights",
+        format!("{} vs {clean_flights}", ramp_flights.len()),
+        ramp_flights.len() > clean_flights,
+    ));
+
+    let doc = Value::Object(vec![
+        ("experiment".into(), Value::String("monitor".into())),
+        ("threshold".into(), Value::Number(threshold)),
+        ("cohort".into(), Value::Number(users.len() as f64)),
+        ("clean_health".into(), clean_health.to_json()),
+        ("ramp_health".into(), ramp_health.to_json()),
+        ("snapshot".into(), monitor.snapshot()),
+    ]);
+    Ok((table, doc))
 }

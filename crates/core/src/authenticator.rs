@@ -8,6 +8,10 @@
 //! below the operating threshold.
 
 use mandipass_imu_sim::Recording;
+use mandipass_telemetry::flight::{FlightOutcome, VerifyFlight};
+use mandipass_telemetry::monitor::Monitor;
+use mandipass_telemetry::span::SpanTree;
+use mandipass_util::json::Value;
 
 use crate::config::PipelineConfig;
 use crate::enclave::SecureEnclave;
@@ -82,6 +86,10 @@ pub struct MandiPass {
     extractor: BiometricExtractor,
     config: PipelineConfig,
     enclave: SecureEnclave,
+    /// Live health monitor fed by every verify decision, quality
+    /// rejection, and enclave access (the global monitor unless rebound
+    /// via [`MandiPass::set_monitor`]).
+    monitor: &'static Monitor,
 }
 
 impl MandiPass {
@@ -91,7 +99,21 @@ impl MandiPass {
             extractor,
             config,
             enclave: SecureEnclave::new(),
+            monitor: mandipass_telemetry::monitor::global(),
         }
+    }
+
+    /// Redirects this deployment's live-monitoring feed (decisions,
+    /// rejects, flights, enclave audit) to `monitor`. The default is the
+    /// process-wide global monitor.
+    pub fn set_monitor(&mut self, monitor: &'static Monitor) {
+        self.monitor = monitor;
+        self.enclave.set_monitor(monitor);
+    }
+
+    /// The monitor this deployment feeds.
+    pub fn monitor(&self) -> &'static Monitor {
+        self.monitor
     }
 
     /// The pipeline configuration.
@@ -175,7 +197,18 @@ impl MandiPass {
         }
         let mean = MandiblePrint::mean(&prints)?;
         let template = matrix.transform(&mean)?;
+        // Feed the drift detector its enrolment-time baseline: the
+        // genuine distances of this user's own enrolment probes against
+        // the freshly sealed template. Freezing replaces the paper's
+        // default operating-point prior with measured calibration.
+        let baseline: Vec<f64> = prints
+            .iter()
+            .filter_map(|p| matrix.transform(p).ok())
+            .map(|c| cosine_distance(template.as_slice(), c.as_slice()))
+            .collect();
         self.enclave.store(user_id, template);
+        self.monitor.extend_baseline(&baseline);
+        self.monitor.freeze_baseline();
         // Also seal an accelerometer-only fallback template, so a later
         // gyro failure can be verified like-for-like in degraded mode.
         // Best-effort: enrolment succeeds without one (degraded
@@ -273,7 +306,12 @@ impl MandiPass {
             attempts += 1;
             let report = quality::assess(probe, &policy.quality);
             if report.ok() {
-                match self.verify(user_id, probe, matrix) {
+                // Capture the attempt's span tree for the flight
+                // recorder; inside an outer capture (benchmarks, the
+                // determinism suite) this yields and records nothing.
+                let (result, spans) =
+                    mandipass_telemetry::try_capture(|| self.verify(user_id, probe, matrix));
+                match result {
                     Ok(outcome) => {
                         self.finish_policy(attempts, false);
                         return Ok(PolicyDecision {
@@ -286,13 +324,19 @@ impl MandiPass {
                     Err(e) => {
                         self.count_reject("pipeline", e.label());
                         self.enclave.record_quality_reject(user_id, e.label());
-                        rejects.push(format!("pipeline:{}", e.label()));
+                        let label = format!("pipeline:{}", e.label());
+                        self.monitor.observe_reject(&label);
+                        self.record_reject_flight(user_id, &label, &report, spans);
+                        rejects.push(label);
                         continue;
                     }
                 }
             }
             if policy.allow_degraded && report.degraded_viable() {
-                match self.verify_degraded(user_id, probe, matrix, policy) {
+                let (result, spans) = mandipass_telemetry::try_capture(|| {
+                    self.verify_degraded(user_id, probe, matrix, policy)
+                });
+                match result {
                     Ok(outcome) => {
                         mandipass_telemetry::counter!("verify.degraded").inc();
                         self.finish_policy(attempts, true);
@@ -306,7 +350,10 @@ impl MandiPass {
                     Err(e) => {
                         self.count_reject("pipeline", e.label());
                         self.enclave.record_quality_reject(user_id, e.label());
-                        rejects.push(format!("pipeline:{}", e.label()));
+                        let label = format!("pipeline:{}", e.label());
+                        self.monitor.observe_reject(&label);
+                        self.record_reject_flight(user_id, &label, &report, spans);
+                        rejects.push(label);
                         continue;
                     }
                 }
@@ -317,13 +364,40 @@ impl MandiPass {
                 self.enclave.record_quality_reject(user_id, reason.label());
             }
             let labels: Vec<&str> = report.reasons.iter().map(|r| r.label()).collect();
-            rejects.push(format!("quality:{}", labels.join("+")));
+            let label = format!("quality:{}", labels.join("+"));
+            self.monitor.observe_reject(&label);
+            self.record_reject_flight(user_id, &label, &report, None);
+            rejects.push(label);
         }
         self.finish_policy(attempts, false);
+        let mut flight = VerifyFlight::new(user_id, FlightOutcome::Exhausted);
+        flight.attempts = attempts;
+        flight.rejects = rejects.clone();
+        self.monitor.record_flight(flight);
         Err(MandiPassError::RetriesExhausted {
             attempts,
             reasons: rejects,
         })
+    }
+
+    /// Records one rejected policy attempt in the flight recorder,
+    /// attaching the quality report and (when one was captured) the
+    /// attempt's span tree as structured detail.
+    fn record_reject_flight(
+        &self,
+        user_id: u32,
+        label: &str,
+        report: &quality::QualityReport,
+        spans: Option<SpanTree>,
+    ) {
+        let mut flight = VerifyFlight::new(user_id, FlightOutcome::Rejected);
+        flight.rejects.push(label.to_string());
+        let mut detail = vec![("quality".to_string(), report.to_json())];
+        if let Some(tree) = spans {
+            detail.push(("spans".to_string(), tree.to_json()));
+        }
+        flight.detail = Value::Object(detail);
+        self.monitor.record_flight(flight);
     }
 
     /// Accelerometer-only verification under a tightened threshold: the
@@ -358,6 +432,12 @@ impl MandiPass {
         };
         self.enclave
             .record_degraded_verify(user_id, outcome.accepted, outcome.distance);
+        self.monitor
+            .observe_decision(outcome.distance, outcome.accepted, true);
+        let mut flight = VerifyFlight::new(user_id, FlightOutcome::Degraded);
+        flight.distance = Some(outcome.distance);
+        flight.threshold = Some(outcome.threshold);
+        self.monitor.record_flight(flight);
         if outcome.accepted {
             mandipass_telemetry::counter!("verify.accept").inc();
         } else {
@@ -409,14 +489,22 @@ impl MandiPass {
         }
     }
 
-    /// Common verify epilogue: audit-trail entry + accept/reject counters.
+    /// Common verify epilogue: audit-trail entry + accept/reject
+    /// counters + monitor decision window (and a flight record when the
+    /// probe was rejected).
     fn finish_verify(&self, user_id: u32, outcome: VerifyOutcome) {
         self.enclave
             .record_verify(user_id, outcome.accepted, outcome.distance);
+        self.monitor
+            .observe_decision(outcome.distance, outcome.accepted, false);
         if outcome.accepted {
             mandipass_telemetry::counter!("verify.accept").inc();
         } else {
             mandipass_telemetry::counter!("verify.reject").inc();
+            let mut flight = VerifyFlight::new(user_id, FlightOutcome::Rejected);
+            flight.distance = Some(outcome.distance);
+            flight.threshold = Some(outcome.threshold);
+            self.monitor.record_flight(flight);
         }
     }
 }

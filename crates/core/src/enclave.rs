@@ -15,6 +15,8 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
+use mandipass_telemetry::monitor::Monitor;
+
 use crate::error::MandiPassError;
 use crate::template::CancelableTemplate;
 
@@ -90,6 +92,10 @@ pub struct AccessCounts {
 #[derive(Debug)]
 pub struct SecureEnclave {
     inner: Mutex<EnclaveInner>,
+    /// Live-monitoring sink: every audit event also feeds the monitor's
+    /// sliding windows (the global monitor unless rebound via
+    /// [`SecureEnclave::set_monitor`]).
+    monitor: &'static Monitor,
 }
 
 #[derive(Debug)]
@@ -163,7 +169,14 @@ impl SecureEnclave {
                 capacity: capacity.max(1),
                 next_seq: 0,
             }),
+            monitor: mandipass_telemetry::monitor::global(),
         }
+    }
+
+    /// Redirects the enclave's windowed audit feed to `monitor` (tests
+    /// and multi-tenant deployments; the default is the global monitor).
+    pub fn set_monitor(&mut self, monitor: &'static Monitor) {
+        self.monitor = monitor;
     }
 
     /// Stores (or replaces) the template of `user_id`.
@@ -172,6 +185,7 @@ impl SecureEnclave {
         inner.counts.stores += 1;
         inner.record(AuditKind::Store, user_id, true, None);
         inner.templates.insert(user_id, template);
+        self.monitor.observe_audit(AuditKind::Store.label());
     }
 
     /// Loads the template of `user_id`.
@@ -184,6 +198,7 @@ impl SecureEnclave {
         inner.counts.loads += 1;
         let found = inner.templates.get(&user_id).cloned();
         inner.record(AuditKind::Load, user_id, found.is_some(), None);
+        self.monitor.observe_audit(AuditKind::Load.label());
         found.ok_or(MandiPassError::NotEnrolled { user_id })
     }
 
@@ -195,6 +210,7 @@ impl SecureEnclave {
         inner.counts.stores += 1;
         inner.record_with_reason(AuditKind::Store, user_id, true, None, Some("degraded"));
         inner.degraded.insert(user_id, template);
+        self.monitor.observe_audit(AuditKind::Store.label());
     }
 
     /// Loads the accelerometer-only fallback template of `user_id`, if
@@ -210,6 +226,7 @@ impl SecureEnclave {
             None,
             Some("degraded"),
         );
+        self.monitor.observe_audit(AuditKind::Load.label());
         found
     }
 
@@ -223,6 +240,7 @@ impl SecureEnclave {
         let removed = inner.templates.remove(&user_id);
         inner.degraded.remove(&user_id);
         inner.record(AuditKind::Revoke, user_id, removed.is_some(), None);
+        self.monitor.observe_audit(AuditKind::Revoke.label());
         removed
     }
 
@@ -236,6 +254,7 @@ impl SecureEnclave {
             AuditKind::VerifyMiss
         };
         inner.record(kind, user_id, accepted, Some(distance));
+        self.monitor.observe_audit(kind.label());
     }
 
     /// Appends a quality-gate rejection to the audit trail, carrying
@@ -243,6 +262,7 @@ impl SecureEnclave {
     pub fn record_quality_reject(&self, user_id: u32, reason: &'static str) {
         let mut inner = self.lock();
         inner.record_with_reason(AuditKind::QualityReject, user_id, false, None, Some(reason));
+        self.monitor.observe_audit(AuditKind::QualityReject.label());
     }
 
     /// Appends a degraded (accelerometer-only) verification decision to
@@ -256,6 +276,8 @@ impl SecureEnclave {
             Some(distance),
             Some("gyro_fault"),
         );
+        self.monitor
+            .observe_audit(AuditKind::DegradedVerify.label());
     }
 
     /// Whether `user_id` has a template enrolled.
@@ -445,6 +467,58 @@ mod tests {
         assert_eq!(seqs, vec![6, 7, 8, 9]);
         // Totals saw all ten stores despite eviction.
         assert_eq!(enclave.access_counts().stores, 10);
+    }
+
+    #[test]
+    fn audit_ring_capacity_one_keeps_only_newest_event() {
+        let enclave = SecureEnclave::with_audit_capacity(1);
+        assert_eq!(enclave.audit_capacity(), 1);
+        enclave.store(1, template(1));
+        let _ = enclave.load(1);
+        let _ = enclave.load(2);
+        // Only the newest event survives, every seq was still assigned.
+        assert_eq!(enclave.audit_len(), 1);
+        let trail = enclave.audit_trail();
+        assert_eq!(trail[0].kind, AuditKind::Load);
+        assert_eq!(trail[0].user_id, 2);
+        assert_eq!(trail[0].seq, 2);
+        assert_eq!(enclave.audit_seq(), 3);
+        // AccessCounts never lose history to eviction.
+        assert_eq!(
+            enclave.access_counts(),
+            AccessCounts {
+                stores: 1,
+                loads: 2
+            }
+        );
+    }
+
+    #[test]
+    fn audit_ring_default_capacity_boundary_evicts_exactly_one() {
+        let enclave = SecureEnclave::new();
+        assert_eq!(enclave.audit_capacity(), DEFAULT_AUDIT_CAPACITY);
+        // Fill to exactly capacity: nothing evicted yet.
+        enclave.store(0, template(0));
+        for _ in 1..DEFAULT_AUDIT_CAPACITY {
+            let _ = enclave.load(0);
+        }
+        assert_eq!(enclave.audit_len(), DEFAULT_AUDIT_CAPACITY);
+        assert_eq!(enclave.audit_trail()[0].seq, 0);
+        // One past capacity: exactly the oldest event is gone.
+        let _ = enclave.load(0);
+        assert_eq!(enclave.audit_len(), DEFAULT_AUDIT_CAPACITY);
+        let trail = enclave.audit_trail();
+        assert_eq!(trail[0].seq, 1);
+        assert_eq!(trail[trail.len() - 1].seq, DEFAULT_AUDIT_CAPACITY as u64);
+        assert_eq!(enclave.audit_seq(), DEFAULT_AUDIT_CAPACITY as u64 + 1);
+        // Totals still count the evicted store and every load.
+        assert_eq!(
+            enclave.access_counts(),
+            AccessCounts {
+                stores: 1,
+                loads: DEFAULT_AUDIT_CAPACITY as u64
+            }
+        );
     }
 
     #[test]

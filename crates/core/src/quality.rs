@@ -129,6 +129,40 @@ impl QualityReport {
             })
             .collect()
     }
+
+    /// Serialises the report — the payload the monitor's flight recorder
+    /// attaches to rejected verifications.
+    pub fn to_json(&self) -> mandipass_util::json::Value {
+        use mandipass_util::json::Value;
+        let num = |v: f64| {
+            if v.is_finite() {
+                Value::Number(v)
+            } else {
+                Value::Null
+            }
+        };
+        let nums = |xs: &[f64]| Value::Array(xs.iter().map(|&v| num(v)).collect());
+        Value::Object(vec![
+            ("ok".to_string(), Value::Bool(self.ok())),
+            ("samples".to_string(), Value::Number(self.samples as f64)),
+            (
+                "nonfinite".to_string(),
+                Value::Number(self.nonfinite as f64),
+            ),
+            ("axis_std".to_string(), nums(&self.axis_std)),
+            ("rail_ratio".to_string(), nums(&self.rail_ratio)),
+            ("energy_std".to_string(), num(self.energy_std)),
+            (
+                "reasons".to_string(),
+                Value::Array(
+                    self.reasons
+                        .iter()
+                        .map(|r| Value::String(r.label().to_string()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
 fn finite_std(xs: &[f64]) -> f64 {

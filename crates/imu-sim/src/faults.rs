@@ -236,6 +236,30 @@ impl FaultProfile {
         Self::new("gain_drift", vec![Fault::GainDrift { drift: intensity }])
     }
 
+    /// The ageing-hardware ramp the live-monitoring demo drives: gain
+    /// drift plus sample dropout growing together with `intensity`
+    /// (`0.0..=1.0`). Distinct from [`sweep_profiles`], which varies one
+    /// fault at a time — a drifting, flaky earphone shows both at once.
+    ///
+    /// The dropout ceiling (0.8) is chosen so the top of the ramp drops
+    /// a default ~0.6 s capture below the quality gate's `min_samples`,
+    /// while the bottom half only thins and rescales it — the monitor
+    /// must see a distance shift first and hard rejects later.
+    pub fn degradation_ramp(intensity: f64) -> Self {
+        let intensity = intensity.clamp(0.0, 1.0);
+        Self::new(
+            "degradation_ramp",
+            vec![
+                Fault::GainDrift {
+                    drift: 3.0 * intensity,
+                },
+                Fault::Dropout {
+                    rate: 0.8 * intensity,
+                },
+            ],
+        )
+    }
+
     /// Whether this profile does nothing.
     pub fn is_clean(&self) -> bool {
         self.faults.is_empty()
@@ -507,5 +531,23 @@ mod tests {
         let rec = base_recording();
         let out = FaultProfile::dropout(1.0).apply(&rec, 7);
         assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn degradation_ramp_is_valid_and_scales_with_intensity() {
+        // Zero intensity validates and leaves the signal untouched.
+        let zero = FaultProfile::degradation_ramp(0.0);
+        validate_profile(&zero).unwrap();
+        let rec = base_recording();
+        assert_eq!(zero.apply(&rec, 3).axes(), rec.axes());
+        // Full intensity combines gain drift with dropout, stays valid
+        // (clamped), and is deterministic in (recording, seed).
+        let full = FaultProfile::degradation_ramp(2.0);
+        validate_profile(&full).unwrap();
+        assert_eq!(full.faults.len(), 2);
+        let a = full.apply(&rec, 11);
+        let b = full.apply(&rec, 11);
+        assert_eq!(a.axes(), b.axes());
+        assert_ne!(a.axes(), rec.axes());
     }
 }

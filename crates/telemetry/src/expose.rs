@@ -1,0 +1,471 @@
+//! Metrics and health exposition: Prometheus text rendering plus a
+//! minimal GET-only HTTP server over `std::net::TcpListener`.
+//!
+//! Everything renders from [`Monitor::snapshot`], so the offline path
+//! (tests, CI, bench bins) and the live endpoints share one schema:
+//!
+//! * `GET /metrics` — Prometheus text format 0.0.4
+//! * `GET /health`  — the [`crate::drift::HealthReport`] as JSON
+//! * `GET /flight`  — the retained flight records as JSON
+//!
+//! The server is opt-in via [`serve_from_env`] reading
+//! `MANDIPASS_MONITOR_ADDR`; nothing in the crate binds a socket unless
+//! asked to.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mandipass_util::json::Value;
+
+use crate::monitor::Monitor;
+
+/// Environment variable naming the exposition bind address
+/// (e.g. `127.0.0.1:9464`).
+pub const MONITOR_ADDR_ENV: &str = "MANDIPASS_MONITOR_ADDR";
+
+/// Maps a health-status label to its exported gauge value.
+fn status_code(label: &str) -> f64 {
+    match label {
+        "degrading" => 1.0,
+        "alarm" => 2.0,
+        _ => 0.0,
+    }
+}
+
+/// Rewrites `name` into a valid Prometheus metric name under the
+/// `mandipass_` namespace.
+fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 10);
+    if !name.starts_with("mandipass") {
+        out.push_str("mandipass_");
+    }
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() && out.is_empty() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a label value per the text format.
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// One metric family: a `# TYPE` header plus its samples, emitted only
+/// once per name so the output always passes the duplicate-name lint.
+struct Families {
+    out: String,
+    seen: BTreeSet<String>,
+}
+
+impl Families {
+    fn new() -> Self {
+        Families {
+            out: String::new(),
+            seen: BTreeSet::new(),
+        }
+    }
+
+    /// Emits one family; `samples` are `(labels, value)` pairs where
+    /// `labels` is either empty or a rendered `{k="v",...}` block.
+    fn family(&mut self, name: &str, kind: &str, samples: &[(String, f64)]) {
+        let name = metric_name(name);
+        if !self.seen.insert(name.clone()) {
+            return;
+        }
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        for (labels, value) in samples {
+            if value.is_finite() {
+                let _ = writeln!(self.out, "{name}{labels} {value}");
+            }
+        }
+    }
+
+    /// A summary family: quantile samples plus `_sum` and `_count`.
+    fn summary(&mut self, name: &str, hist: &Value) {
+        let name = metric_name(name);
+        if !self.seen.insert(name.clone()) {
+            return;
+        }
+        let _ = writeln!(self.out, "# TYPE {name} summary");
+        for (q, key) in [("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")] {
+            if let Some(v) = hist.get(key).and_then(Value::as_f64) {
+                let _ = writeln!(self.out, "{name}{{quantile=\"{q}\"}} {v}");
+            }
+        }
+        let sum = hist.get("sum").and_then(Value::as_f64).unwrap_or(0.0);
+        let count = hist.get("count").and_then(Value::as_f64).unwrap_or(0.0);
+        let _ = writeln!(self.out, "{name}_sum {sum}");
+        let _ = writeln!(self.out, "{name}_count {count}");
+    }
+}
+
+fn labelled(key: &str, value: &str) -> String {
+    format!("{{{key}=\"{}\"}}", escape_label(value))
+}
+
+/// Renders a [`Monitor::snapshot`] document as Prometheus text format.
+pub fn render_prometheus(snapshot: &Value) -> String {
+    let mut fam = Families::new();
+
+    if let Some(health) = snapshot.get("health") {
+        let status = health.get("status").and_then(Value::as_str).unwrap_or("");
+        fam.family(
+            "health_status",
+            "gauge",
+            &[(String::new(), status_code(status))],
+        );
+        let sufficient = health
+            .get("sufficient")
+            .and_then(Value::as_bool)
+            .unwrap_or(false);
+        fam.family(
+            "health_sufficient",
+            "gauge",
+            &[(String::new(), if sufficient { 1.0 } else { 0.0 })],
+        );
+        let decisions = health
+            .get("decisions")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        fam.family("window_decisions", "gauge", &[(String::new(), decisions)]);
+        if let Some(signals) = health.get("signals").and_then(Value::as_array) {
+            let mut values = Vec::new();
+            let mut statuses = Vec::new();
+            for s in signals {
+                if let Some(label) = s.get("signal").and_then(Value::as_str) {
+                    if let Some(v) = s.get("value").and_then(Value::as_f64) {
+                        values.push((labelled("signal", label), v));
+                    }
+                    let code = status_code(s.get("status").and_then(Value::as_str).unwrap_or(""));
+                    statuses.push((labelled("signal", label), code));
+                }
+            }
+            fam.family("health_signal", "gauge", &values);
+            fam.family("health_signal_status", "gauge", &statuses);
+        }
+    }
+
+    if let Some(window) = snapshot.get("window") {
+        if let Some(distance) = window.get("distance") {
+            for (suffix, key) in [
+                ("count", "count"),
+                ("mean", "mean"),
+                ("p50", "p50"),
+                ("p90", "p90"),
+                ("psi", "psi"),
+                ("ks", "ks"),
+            ] {
+                if let Some(v) = distance.get(key).and_then(Value::as_f64) {
+                    let name = format!("window_distance_{suffix}");
+                    fam.family(&name, "gauge", &[(String::new(), v)]);
+                }
+            }
+        }
+        for (family, label_key, key) in [
+            ("window_quality_rejects", "reason", "quality_rejects"),
+            ("window_audit_events", "kind", "audit"),
+        ] {
+            if let Some(Value::Object(entries)) = window.get(key) {
+                let samples: Vec<(String, f64)> = entries
+                    .iter()
+                    .filter_map(|(k, v)| v.as_f64().map(|n| (labelled(label_key, k), n)))
+                    .collect();
+                fam.family(family, "gauge", &samples);
+            }
+        }
+    }
+
+    if let Some(flights) = snapshot.get("flights").and_then(Value::as_array) {
+        fam.family(
+            "flights_retained",
+            "gauge",
+            &[(String::new(), flights.len() as f64)],
+        );
+    }
+
+    if let Some(metrics) = snapshot.get("metrics") {
+        if let Some(Value::Object(counters)) = metrics.get("counters") {
+            for (name, v) in counters {
+                if let Some(n) = v.as_f64() {
+                    let name = format!("{name}_total");
+                    fam.family(&name, "counter", &[(String::new(), n)]);
+                }
+            }
+        }
+        if let Some(Value::Object(gauges)) = metrics.get("gauges") {
+            for (name, v) in gauges {
+                if let Some(n) = v.as_f64() {
+                    fam.family(name, "gauge", &[(String::new(), n)]);
+                }
+            }
+        }
+        if let Some(Value::Object(histograms)) = metrics.get("histograms") {
+            for (name, hist) in histograms {
+                fam.summary(name, hist);
+            }
+        }
+    }
+
+    fam.out
+}
+
+fn http_response(status: &str, content_type: &str, body: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Answers one request on `stream` from `monitor`'s current state.
+fn handle(monitor: &Monitor, stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut buf = [0u8; 1024];
+    let mut request = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                request.extend_from_slice(&buf[..n]);
+                if request.windows(2).any(|w| w == b"\r\n") || request.len() >= 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let line = String::from_utf8_lossy(&request);
+    let mut parts = line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let response = if method != "GET" {
+        http_response("405 Method Not Allowed", "text/plain", "GET only\n")
+    } else {
+        let snapshot = monitor.snapshot();
+        match path {
+            "/metrics" => http_response(
+                "200 OK",
+                "text/plain; version=0.0.4",
+                &render_prometheus(&snapshot),
+            ),
+            "/health" => {
+                let body = snapshot
+                    .get("health")
+                    .cloned()
+                    .unwrap_or(Value::Null)
+                    .to_json();
+                http_response("200 OK", "application/json", &body)
+            }
+            "/flight" => {
+                let body = snapshot
+                    .get("flights")
+                    .cloned()
+                    .unwrap_or(Value::Array(Vec::new()))
+                    .to_json();
+                http_response("200 OK", "application/json", &body)
+            }
+            _ => http_response("404 Not Found", "text/plain", "unknown path\n"),
+        }
+    };
+    let _ = stream.write_all(&response);
+    let _ = stream.flush();
+}
+
+/// The background exposition server. Dropping it shuts the listener
+/// down.
+pub struct MonitorServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MonitorServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MonitorServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl MonitorServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and serves
+    /// `monitor` on a background thread.
+    pub fn bind(monitor: &'static Monitor, addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("mandipass-monitor".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if thread_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(mut stream) = stream {
+                        handle(monitor, &mut stream);
+                    }
+                }
+            })?;
+        Ok(MonitorServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call; the loop re-checks the flag first.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MonitorServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Starts the exposition server for the global monitor when
+/// `MANDIPASS_MONITOR_ADDR` is set; `None` otherwise (the normal,
+/// socket-free mode).
+pub fn serve_from_env() -> Option<MonitorServer> {
+    let addr = std::env::var(MONITOR_ADDR_ENV).ok()?;
+    if addr.is_empty() {
+        return None;
+    }
+    MonitorServer::bind(crate::monitor::global(), &addr).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flight::{FlightOutcome, VerifyFlight};
+    use crate::monitor::{Monitor, MonitorConfig};
+    use crate::test_sync::global_state_lock;
+
+    fn fed_monitor() -> Monitor {
+        let m = Monitor::new(MonitorConfig::default());
+        let calibration = [0.45, 0.47, 0.49, 0.51];
+        m.extend_baseline(&calibration);
+        m.freeze_baseline();
+        // Live traffic with the same distribution as the baseline keeps
+        // the drift signal at zero.
+        for i in 0..12 {
+            m.observe_decision(calibration[i % calibration.len()], true, false);
+        }
+        m.observe_reject("dead_axis");
+        let mut flight = VerifyFlight::new(2, FlightOutcome::Rejected);
+        flight.distance = Some(0.9);
+        m.record_flight(flight);
+        m
+    }
+
+    fn lint(text: &str) {
+        // No duplicate family names across `# TYPE` lines.
+        let mut seen = BTreeSet::new();
+        let mut typed = BTreeSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split_whitespace().next().unwrap_or("");
+                assert!(seen.insert(name.to_string()), "duplicate family {name}");
+                typed.insert(name.to_string());
+            } else if !line.is_empty() {
+                // Every sample's family must have been typed first
+                // (summary samples carry _sum/_count suffixes).
+                let sample = line.split(['{', ' ']).next().unwrap_or("");
+                let known = typed.contains(sample)
+                    || typed.contains(sample.trim_end_matches("_sum"))
+                    || typed.contains(sample.trim_end_matches("_count"));
+                assert!(known, "sample {sample} before its # TYPE line");
+            }
+        }
+    }
+
+    #[test]
+    fn prometheus_output_passes_lint_and_carries_signals() {
+        let _lock = global_state_lock();
+        crate::set_deterministic(true);
+        let m = fed_monitor();
+        let text = render_prometheus(&m.snapshot());
+        crate::set_deterministic(false);
+        lint(&text);
+        assert!(text.contains("# TYPE mandipass_health_status gauge"));
+        assert!(text.contains("mandipass_health_status 0"));
+        assert!(text.contains("mandipass_health_signal{signal=\"distance_drift\"}"));
+        assert!(text.contains("mandipass_window_quality_rejects{reason=\"dead_axis\"} 1"));
+        assert!(text.contains("mandipass_flights_retained 1"));
+    }
+
+    #[test]
+    fn metric_names_are_sanitised_and_namespaced() {
+        assert_eq!(metric_name("verify.total"), "mandipass_verify_total");
+        assert_eq!(metric_name("mandipass_x"), "mandipass_x");
+        assert_eq!(metric_name("9lives"), "mandipass_9lives");
+        assert_eq!(metric_name("a b/c"), "mandipass_a_b_c");
+    }
+
+    #[test]
+    fn server_answers_all_routes() {
+        let _lock = global_state_lock();
+        crate::set_deterministic(true);
+        static SERVED: std::sync::OnceLock<Monitor> = std::sync::OnceLock::new();
+        let monitor = SERVED.get_or_init(fed_monitor);
+        let mut server =
+            MonitorServer::bind(monitor, "127.0.0.1:0").unwrap_or_else(|e| panic!("bind: {e}"));
+        let addr = server.local_addr();
+        let fetch = |path: &str| {
+            let mut stream = TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect: {e}"));
+            stream
+                .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+                .unwrap_or_else(|e| panic!("write: {e}"));
+            let mut body = String::new();
+            let _ = stream.read_to_string(&mut body);
+            body
+        };
+        let metrics = fetch("/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+        assert!(metrics.contains("# TYPE mandipass_health_status gauge"));
+        let health = fetch("/health");
+        assert!(health.contains("application/json"));
+        assert!(health.contains("\"status\":\"healthy\""));
+        let flight = fetch("/flight");
+        assert!(flight.contains("\"outcome\":\"rejected\""));
+        let missing = fetch("/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+        server.shutdown();
+        crate::set_deterministic(false);
+    }
+
+    #[test]
+    fn serve_from_env_is_off_by_default() {
+        let _lock = global_state_lock();
+        std::env::remove_var(MONITOR_ADDR_ENV);
+        assert!(serve_from_env().is_none());
+    }
+}

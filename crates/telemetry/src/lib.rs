@@ -28,6 +28,13 @@
 //!   current thread and returns it as a [`span::SpanTree`], the input to
 //!   [`report::latency_report`], which renders the per-stage latency
 //!   breakdown behind the §VII.E overhead table.
+//! * [`monitor`] + [`window`] / [`drift`] / [`flight`] / [`expose`] —
+//!   the live-monitoring layer: sliding-window counters and histograms,
+//!   score-drift detection (PSI/KS against a frozen enrolment-time
+//!   baseline) folded into a typed [`HealthStatus`], a bounded flight
+//!   recorder for failed verifications, and Prometheus-text/JSON
+//!   exposition — offline via [`Monitor::snapshot`] or over an optional
+//!   `MANDIPASS_MONITOR_ADDR` HTTP listener.
 //!
 //! # Example
 //!
@@ -46,17 +53,27 @@
 //! ```
 
 pub mod clock;
+pub mod drift;
+pub mod expose;
+pub mod flight;
 pub mod metrics;
 pub mod mode;
+pub mod monitor;
 pub mod report;
 pub mod sink;
 pub mod span;
+pub mod window;
 
 pub use clock::set_deterministic;
+pub use drift::{DriftConfig, DriftDetector, HealthReport, HealthSignal, HealthStatus};
+pub use expose::{render_prometheus, serve_from_env, MonitorServer, MONITOR_ADDR_ENV};
+pub use flight::{FlightOutcome, FlightRecorder, VerifyFlight};
 pub use metrics::{global as metrics, Counter, Gauge, Histogram, Registry};
 pub use mode::{enabled, install_sink, mode, set_default_mode, set_mode, Builder, Mode};
+pub use monitor::{global as monitor, Monitor, MonitorConfig};
 pub use sink::{JsonSink, Sink, TextSink};
-pub use span::{capture, span, SpanGuard, SpanRecord, SpanTree};
+pub use span::{capture, span, try_capture, SpanGuard, SpanRecord, SpanTree};
+pub use window::{WindowedCounter, WindowedHistogram};
 
 /// Emits a one-line narration event to the active sink (silent sink:
 /// nothing). Replaces ad-hoc `eprintln!` progress lines so all operator

@@ -199,9 +199,11 @@ impl Histogram {
                 let upper = if i < self.0.bounds.len() {
                     self.0.bounds[i]
                 } else {
-                    // Overflow bucket: no finite upper bound, report the
-                    // largest observation.
-                    return self.max();
+                    // Overflow bucket: no finite upper bound, so
+                    // interpolate towards the largest observation (which
+                    // may sit below `lower` when every sample landed in
+                    // overflow — keep the span non-negative).
+                    self.max().max(lower)
                 };
                 let into = (target - cumulative as f64) / count as f64;
                 let estimate = lower + into.clamp(0.0, 1.0) * (upper - lower);
@@ -404,12 +406,56 @@ mod tests {
     }
 
     #[test]
-    fn quantile_of_overflow_bucket_reports_max() {
+    fn quantile_of_overflow_bucket_interpolates_to_max() {
         let reg = Registry::new();
         let h = reg.histogram_with_bounds("of", vec![1.0]);
         h.observe(100.0);
         h.observe(250.0);
-        assert_eq!(h.quantile(0.99), 250.0);
+        // All mass in the implicit overflow bucket: estimates stay
+        // inside the observed range instead of collapsing to max.
+        assert_eq!(h.quantile(1.0), 250.0);
+        assert_eq!(h.quantile(0.0), 100.0);
+        let mid = h.quantile(0.5);
+        assert!(
+            (100.0..250.0).contains(&mid),
+            "p50 {mid} must interpolate inside [min, max)"
+        );
+        assert!(h.quantile(0.99) < 250.0);
+        assert!(h.quantile(0.99) > h.quantile(0.5));
+    }
+
+    #[test]
+    fn quantile_of_single_observation_is_that_value() {
+        let reg = Registry::new();
+        let h = reg.histogram_with_bounds("single", vec![1.0, 10.0]);
+        h.observe(3.5);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 3.5, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_clamp_to_observed_range() {
+        let reg = Registry::new();
+        let h = reg.histogram_with_bounds("extremes", vec![1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 3.0, 3.9] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), 0.5);
+        assert_eq!(h.quantile(1.0), 3.9);
+        // Out-of-range q is clamped, not extrapolated.
+        assert_eq!(h.quantile(-3.0), 0.5);
+        assert_eq!(h.quantile(7.0), 3.9);
+    }
+
+    #[test]
+    fn quantile_of_single_overflow_observation_is_that_value() {
+        let reg = Registry::new();
+        let h = reg.histogram_with_bounds("of1", vec![1.0]);
+        h.observe(42.0);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 42.0, "q={q}");
+        }
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! The live-monitoring façade: one thread-safe object the pipeline
+//! feeds and the exposition layer reads.
+//!
+//! [`Monitor`] owns a [`DriftDetector`] (windowed distance distribution
+//! vs the frozen enrolment baseline), per-label windowed counters for
+//! quality rejections and enclave audit activity, and a
+//! [`FlightRecorder`] of failed verifications. Producers (the core
+//! crate's authenticator and enclave) call the `observe_*` methods;
+//! consumers read [`Monitor::health`] and [`Monitor::snapshot`] — the
+//! latter is the offline equivalent of the HTTP endpoints in
+//! [`crate::expose`], so tests and CI never need a socket.
+//!
+//! Most deployments use the process-wide [`global`] monitor; tests build
+//! private instances.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+use mandipass_util::json::Value;
+
+use crate::clock;
+use crate::drift::{DriftConfig, DriftDetector, HealthReport};
+use crate::flight::{FlightRecorder, VerifyFlight};
+use crate::window::WindowedCounter;
+
+/// Monitor-wide configuration: drift thresholds plus ring sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorConfig {
+    /// Drift-detector thresholds and window geometry.
+    pub drift: DriftConfig,
+    /// Flight-recorder ring capacity.
+    pub flight_capacity: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            drift: DriftConfig::default(),
+            flight_capacity: 64,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct MonitorInner {
+    config: MonitorConfig,
+    detector: DriftDetector,
+    /// Windowed quality-reject counts keyed by reason label.
+    quality_rejects: BTreeMap<String, WindowedCounter>,
+    /// Windowed enclave audit activity keyed by [`AuditKind`] label.
+    audit: BTreeMap<String, WindowedCounter>,
+    flights: FlightRecorder,
+}
+
+/// The live health monitor. All methods take `&self`; one mutex guards
+/// the windows (observation paths are set-up-free and short).
+#[derive(Debug)]
+pub struct Monitor {
+    inner: Mutex<MonitorInner>,
+}
+
+impl Default for Monitor {
+    fn default() -> Self {
+        Self::new(MonitorConfig::default())
+    }
+}
+
+impl Monitor {
+    /// A monitor with the given configuration.
+    pub fn new(config: MonitorConfig) -> Self {
+        let detector = DriftDetector::new(config.drift.clone());
+        let flights = FlightRecorder::new(config.flight_capacity);
+        Monitor {
+            inner: Mutex::new(MonitorInner {
+                config,
+                detector,
+                quality_rejects: BTreeMap::new(),
+                audit: BTreeMap::new(),
+                flights,
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, MonitorInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Accumulates enrolment-time genuine distances for the drift
+    /// baseline.
+    pub fn extend_baseline(&self, distances: &[f64]) {
+        self.lock().detector.extend_baseline(distances);
+    }
+
+    /// Freezes the drift baseline from the accumulated distances.
+    pub fn freeze_baseline(&self) {
+        self.lock().detector.freeze_baseline();
+    }
+
+    /// Records one verify decision (distance comparison happened).
+    pub fn observe_decision(&self, distance: f64, accepted: bool, degraded: bool) {
+        let now = clock::now();
+        self.lock()
+            .detector
+            .observe_decision_at(now, distance, accepted, degraded);
+    }
+
+    /// Records one quality-gate or pipeline rejection under `label`.
+    pub fn observe_reject(&self, label: &str) {
+        let now = clock::now();
+        let mut inner = self.lock();
+        inner.detector.observe_quality_reject_at(now);
+        let (window_secs, slots) = (inner.config.drift.window_secs, inner.config.drift.slots);
+        inner
+            .quality_rejects
+            .entry(label.to_string())
+            .or_insert_with(|| WindowedCounter::new(window_secs, slots))
+            .inc_at(now);
+    }
+
+    /// Records one enclave audit event under its kind label.
+    pub fn observe_audit(&self, kind_label: &str) {
+        let now = clock::now();
+        let mut inner = self.lock();
+        let (window_secs, slots) = (inner.config.drift.window_secs, inner.config.drift.slots);
+        inner
+            .audit
+            .entry(kind_label.to_string())
+            .or_insert_with(|| WindowedCounter::new(window_secs, slots))
+            .inc_at(now);
+    }
+
+    /// Records one failed/degraded verification flight.
+    pub fn record_flight(&self, flight: VerifyFlight) {
+        let now = clock::now();
+        self.lock().flights.record_at(now, flight);
+    }
+
+    /// The detector's verdict for the window ending now.
+    pub fn health(&self) -> HealthReport {
+        let now = clock::now();
+        self.lock().detector.health_at(now)
+    }
+
+    /// The retained flight records, oldest first.
+    pub fn flights(&self) -> Vec<VerifyFlight> {
+        self.lock().flights.flights()
+    }
+
+    /// PSI between the frozen baseline and the live windowed distances.
+    pub fn psi(&self) -> f64 {
+        let now = clock::now();
+        self.lock().detector.psi_at(now)
+    }
+
+    /// KS statistic between the frozen baseline and the live windowed
+    /// distances.
+    pub fn ks(&self) -> f64 {
+        let now = clock::now();
+        self.lock().detector.ks_at(now)
+    }
+
+    /// The offline exposition document — one schema shared by tests,
+    /// the bench bins, and the `/health` + `/flight` endpoints:
+    ///
+    /// ```json
+    /// {"health": {...}, "window": {"distance": {...},
+    ///  "quality_rejects": {...}, "audit": {...}},
+    ///  "flights": [...], "metrics": {...}}
+    /// ```
+    pub fn snapshot(&self) -> Value {
+        let now = clock::now();
+        let inner = self.lock();
+        let health = inner.detector.health_at(now).to_json();
+        let distances = inner.detector.distances();
+        let num = |v: f64| {
+            if v.is_finite() {
+                Value::Number(v)
+            } else {
+                Value::Null
+            }
+        };
+        let distance = Value::Object(vec![
+            (
+                "count".to_string(),
+                Value::Number(distances.count_at(now) as f64),
+            ),
+            ("mean".to_string(), num(distances.mean_at(now))),
+            ("p50".to_string(), num(distances.quantile_at(now, 0.5))),
+            ("p90".to_string(), num(distances.quantile_at(now, 0.9))),
+            ("psi".to_string(), num(inner.detector.psi_at(now))),
+            ("ks".to_string(), num(inner.detector.ks_at(now))),
+        ]);
+        let counters = |map: &BTreeMap<String, WindowedCounter>| {
+            Value::Object(
+                map.iter()
+                    .map(|(k, c)| (k.clone(), Value::Number(c.total_at(now) as f64)))
+                    .collect(),
+            )
+        };
+        Value::Object(vec![
+            ("health".to_string(), health),
+            (
+                "window".to_string(),
+                Value::Object(vec![
+                    ("distance".to_string(), distance),
+                    (
+                        "quality_rejects".to_string(),
+                        counters(&inner.quality_rejects),
+                    ),
+                    ("audit".to_string(), counters(&inner.audit)),
+                ]),
+            ),
+            ("flights".to_string(), inner.flights.to_json()),
+            (
+                "metrics".to_string(),
+                crate::metrics::global().snapshot_json(),
+            ),
+        ])
+    }
+
+    /// Clears every sliding window and the flight ring; the frozen drift
+    /// baseline and the configuration survive. Lets one process run
+    /// separate monitored phases (and keeps the integration tests
+    /// independent under the never-expiring logical clock).
+    pub fn reset_windows(&self) {
+        let mut inner = self.lock();
+        inner.detector.clear_windows();
+        inner.quality_rejects.clear();
+        inner.audit.clear();
+        inner.flights.clear();
+    }
+}
+
+/// The process-wide monitor, fed by default-constructed deployments.
+pub fn global() -> &'static Monitor {
+    static GLOBAL: OnceLock<Monitor> = OnceLock::new();
+    GLOBAL.get_or_init(Monitor::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drift::HealthStatus;
+    use crate::flight::{FlightOutcome, VerifyFlight};
+    use crate::test_sync::global_state_lock;
+
+    #[test]
+    fn monitor_routes_observations_to_health() {
+        let _lock = global_state_lock();
+        crate::set_deterministic(true);
+        let m = Monitor::default();
+        let calibration = [0.45, 0.47, 0.49, 0.51];
+        m.extend_baseline(&calibration);
+        m.freeze_baseline();
+        // Match the baseline's distribution so only the volume changes.
+        for i in 0..12 {
+            m.observe_decision(calibration[i % calibration.len()], true, false);
+        }
+        let report = m.health();
+        crate::set_deterministic(false);
+        assert_eq!(report.status, HealthStatus::Healthy);
+        assert_eq!(report.decisions, 12);
+    }
+
+    #[test]
+    fn monitor_snapshot_has_the_shared_schema() {
+        let _lock = global_state_lock();
+        crate::set_deterministic(true);
+        let m = Monitor::default();
+        m.observe_decision(1.3, false, false);
+        m.observe_reject("dead_axis");
+        m.observe_audit("load");
+        let mut flight = VerifyFlight::new(3, FlightOutcome::Rejected);
+        flight.distance = Some(1.3);
+        m.record_flight(flight);
+        let snap = m.snapshot();
+        crate::set_deterministic(false);
+        for key in ["health", "window", "flights", "metrics"] {
+            assert!(snap.get(key).is_some(), "snapshot misses {key}");
+        }
+        let window = snap.get("window").unwrap();
+        assert_eq!(
+            window
+                .get("quality_rejects")
+                .and_then(|q| q.get("dead_axis"))
+                .and_then(Value::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            window
+                .get("audit")
+                .and_then(|a| a.get("load"))
+                .and_then(Value::as_f64),
+            Some(1.0)
+        );
+        let flights = snap.get("flights").and_then(Value::as_array).unwrap();
+        assert_eq!(flights.len(), 1);
+        assert_eq!(
+            flights[0].get("outcome").and_then(Value::as_str),
+            Some("rejected")
+        );
+    }
+
+    #[test]
+    fn reset_windows_keeps_baseline_and_config() {
+        let _lock = global_state_lock();
+        crate::set_deterministic(true);
+        let m = Monitor::default();
+        m.extend_baseline(&[0.3; 8]);
+        m.freeze_baseline();
+        for _ in 0..20 {
+            m.observe_decision(1.4, false, false);
+            m.observe_reject("saturated");
+        }
+        assert_ne!(m.health().status, HealthStatus::Healthy);
+        m.reset_windows();
+        let report = m.health();
+        assert_eq!(report.status, HealthStatus::Healthy);
+        assert_eq!(report.decisions, 0);
+        assert!(m.flights().is_empty());
+        // Baseline survived: matching traffic stays healthy.
+        for _ in 0..10 {
+            m.observe_decision(0.3, true, false);
+        }
+        let after = m.health();
+        crate::set_deterministic(false);
+        assert_eq!(after.status, HealthStatus::Healthy);
+    }
+
+    #[test]
+    fn global_monitor_is_one_instance() {
+        let a = global() as *const Monitor;
+        let b = global() as *const Monitor;
+        assert_eq!(a, b);
+    }
+}

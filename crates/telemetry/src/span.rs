@@ -258,6 +258,29 @@ pub fn capture<R>(f: impl FnOnce() -> R) -> (R, SpanTree) {
     (result, SpanTree { spans })
 }
 
+/// Like [`capture`], but composable: when the thread is already inside a
+/// `capture` (an outer benchmark or test owns the records), `f` simply
+/// runs and the tree is `None` — the outer session keeps every span.
+/// Unlike [`capture`] this never resets the logical clock, so wrapping
+/// pipeline stages in `try_capture` cannot perturb an enclosing
+/// deterministic trace.
+pub fn try_capture<R>(f: impl FnOnce() -> R) -> (R, Option<SpanTree>) {
+    let nested = STATE.with(|cell| cell.borrow().capturing);
+    if nested {
+        return (f(), None);
+    }
+    STATE.with(|cell| {
+        let mut state = cell.borrow_mut();
+        state.capturing = true;
+        state.records.clear();
+    });
+    CAPTURING_THREADS.fetch_add(1, Ordering::Relaxed);
+    let _end = CaptureEndGuard;
+    let result = f();
+    let spans = STATE.with(|cell| std::mem::take(&mut cell.borrow_mut().records));
+    (result, Some(SpanTree { spans }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,5 +385,47 @@ mod tests {
         assert_eq!(tree.count("stage"), 3);
         assert_eq!(tree.total_duration("stage"), 3);
         assert_eq!(tree.count("absent"), 0);
+    }
+
+    #[test]
+    fn try_capture_records_when_idle() {
+        let _lock = global_state_lock();
+        let (value, tree) = try_capture(|| {
+            let _s = span("solo");
+            17
+        });
+        assert_eq!(value, 17);
+        let tree = tree.unwrap_or_else(|| panic!("idle try_capture must record"));
+        assert_eq!(tree.count("solo"), 1);
+    }
+
+    #[test]
+    fn try_capture_defers_to_an_outer_capture() {
+        let _lock = global_state_lock();
+        let ((), outer) = capture(|| {
+            let _a = span("outer");
+            let (inner_value, inner_tree) = try_capture(|| {
+                let _b = span("inner");
+                5
+            });
+            assert_eq!(inner_value, 5);
+            assert!(inner_tree.is_none(), "nested try_capture must yield");
+        });
+        // The outer session kept both spans.
+        assert_eq!(outer.count("outer"), 1);
+        assert_eq!(outer.count("inner"), 1);
+    }
+
+    #[test]
+    fn try_capture_does_not_reset_the_logical_clock() {
+        let _lock = global_state_lock();
+        crate::set_deterministic(true);
+        let before = crate::clock::now();
+        let ((), _tree) = try_capture(|| {
+            let _s = span("tick");
+        });
+        let after = crate::clock::now();
+        crate::set_deterministic(false);
+        assert!(after > before, "logical clock must keep advancing");
     }
 }
