@@ -1,0 +1,84 @@
+//! CI gate for serve benchmark artifacts.
+//!
+//! ```text
+//! check_bench schema  <file>                                    # validate shape
+//! check_bench compare <fresh> <baseline> [max_p99] [min_qps]    # perf gate
+//! ```
+//!
+//! `schema` validates one `BENCH_serve.json` against the
+//! `mandipass.bench.serve/v1` shape. `compare` additionally gates a
+//! fresh document against a committed baseline: p99 latency may grow to
+//! at most `max_p99`x (default 2.0) and QPS may shrink to no less than
+//! `min_qps`x (default 0.5) of the baseline, per transport section.
+//! Exit status 0 = pass, 1 = fail, 2 = usage error.
+
+use std::process::ExitCode;
+
+use mandipass_bench::load::{compare_bench_serve, validate_bench_serve};
+use mandipass_util::json::{parse, Value};
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    parse(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn ratio_arg(args: &[String], idx: usize, default: f64) -> Result<f64, String> {
+    match args.get(idx) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .ok_or_else(|| format!("ratio argument \"{raw}\" is not a positive number")),
+    }
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("schema") => {
+            let path = args.get(1).ok_or("usage: check_bench schema <file>")?;
+            validate_bench_serve(&load(path)?)?;
+            Ok(format!("{path}: schema ok"))
+        }
+        Some("compare") => {
+            let fresh_path = args
+                .get(1)
+                .ok_or("usage: check_bench compare <fresh> <baseline> [max_p99] [min_qps]")?;
+            let base_path = args
+                .get(2)
+                .ok_or("usage: check_bench compare <fresh> <baseline> [max_p99] [min_qps]")?;
+            let fresh = load(fresh_path)?;
+            let baseline = load(base_path)?;
+            validate_bench_serve(&fresh).map_err(|e| format!("{fresh_path}: {e}"))?;
+            validate_bench_serve(&baseline).map_err(|e| format!("{base_path}: {e}"))?;
+            let max_p99 = ratio_arg(args, 3, 2.0)?;
+            let min_qps = ratio_arg(args, 4, 0.5)?;
+            compare_bench_serve(&fresh, &baseline, max_p99, min_qps)?;
+            Ok(format!(
+                "{fresh_path} within envelope of {base_path} (p99 <= {max_p99}x, qps >= {min_qps}x)"
+            ))
+        }
+        _ => Err(
+            "usage: check_bench schema <file> | compare <fresh> <baseline> [max_p99] [min_qps]"
+                .to_string(),
+        ),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(message) => {
+            println!("{message}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("check_bench: {message}");
+            if args.is_empty() {
+                ExitCode::from(2)
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

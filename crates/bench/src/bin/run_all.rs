@@ -63,6 +63,16 @@ fn main() {
             .expect("robustness sweep failed");
     tables.push(robustness);
 
+    // Serving layer: closed-loop load through the verify server, plus
+    // the perf-baseline artifact the CI smoke job gates on.
+    telemetry::event("running the serving-layer load experiment…");
+    let (serve_table, serve_json) =
+        experiments::exp_serve(&mut stack, threshold).expect("serve experiment failed");
+    tables.push(serve_table);
+    let bench_out =
+        std::env::var("MANDIPASS_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    std::fs::write(&bench_out, serve_json.to_json() + "\n").expect("write BENCH_serve.json");
+
     // Multi-training sweeps last (each trains its own extractors); run
     // them at a cheaper sub-scale — only the trend is asserted.
     telemetry::event("running the training-sweep artifacts (multiple trainings)…");
@@ -94,6 +104,7 @@ fn main() {
             "SHAPE MISMATCHES PRESENT"
         }
     );
+    println!("BENCH: {bench_out}");
     // The live-exposition view of the whole run: bench output and the
     // /metrics endpoints share one schema via Monitor::snapshot.
     println!(

@@ -25,10 +25,12 @@ use mandipass_imu_sim::vocal::Sex;
 use mandipass_imu_sim::{
     Condition, FaultProfile, FaultyRecorder, ImuModel, Population, Recorder, Recording, UserProfile,
 };
+use mandipass_serve::{Request, Response, ServeConfig, VerifyServer, VerifyService};
 use mandipass_telemetry::HealthStatus;
 use mandipass_util::json::Value;
 
 use crate::harness::TrainedStack;
+use crate::load::{bench_serve_document, run_load, validate_bench_serve, LoadConfig, LoadTarget};
 use crate::scale::EvalScale;
 
 /// Fig. 1: σ(az) decays along the throat → mandible → ear path.
@@ -1512,5 +1514,228 @@ pub fn exp_monitor(
         ("ramp_health".into(), ramp_health.to_json()),
         ("snapshot".into(), monitor.snapshot()),
     ]);
+    Ok((table, doc))
+}
+
+/// Serving layer: closed-loop mixed traffic against one enrolled
+/// deployment, in-process and over TCP, plus the schema-versioned
+/// `BENCH_serve.json` document the CI perf gate consumes.
+pub fn exp_serve(
+    stack: &mut TrainedStack,
+    threshold: f64,
+) -> Result<(ReportTable, Value), MandiPassError> {
+    let _span = mandipass_telemetry::span("exp_serve");
+    const COHORT: usize = 4;
+    let env_usize = |name: &str, default: usize| {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let clients = env_usize("MANDIPASS_SERVE_CLIENTS", 4).max(1);
+    let requests = env_usize("MANDIPASS_SERVE_REQUESTS", 24).max(1);
+    let workers = env_usize("MANDIPASS_SERVE_WORKERS", 4).max(1);
+
+    // A private monitor so load traffic does not pollute the global
+    // deployment's drift windows (same idiom as `exp_monitor`).
+    let monitor: &'static mandipass_telemetry::Monitor =
+        Box::leak(Box::new(mandipass_telemetry::Monitor::default()));
+    // Enrol from the trained cohort: this experiment measures the
+    // serving layer (throughput, parity, monitoring), so it wants a
+    // deployment with real accept/reject contrast — which the tiny
+    // held-out split cannot provide at smoke scale.
+    let users: Vec<UserProfile> = stack
+        .population
+        .users()
+        .iter()
+        .take(COHORT)
+        .cloned()
+        .collect();
+    let recorder = stack.recorder.clone();
+    let config = PipelineConfig {
+        threshold,
+        ..PipelineConfig::default()
+    };
+    let mut auth = MandiPass::new(stack.extractor.clone(), config);
+    auth.set_monitor(monitor);
+    let dim = auth.embedding_dim();
+    let mut service = VerifyService::new(auth, VerifyPolicy::default());
+    for user in &users {
+        let matrix = GaussianMatrix::generate(0x5e12 ^ u64::from(user.id), dim);
+        let recs: Vec<Recording> = (0..4u64)
+            .map(|s| {
+                recorder.record(
+                    user,
+                    Condition::Normal,
+                    0x5e12_0000 ^ (u64::from(user.id) << 8) ^ s,
+                )
+            })
+            .collect();
+        service.enroll(user.id, &recs, matrix)?;
+    }
+    // Post-enrolment calibration does two jobs. (a) Re-freeze the drift
+    // baseline on live genuine distances so the PSI judges traffic
+    // against traffic, not against the tighter prints-vs-template
+    // distribution. (b) Recalibrate the operating threshold for THIS
+    // deployment from its own genuine-vs-cross-user distance gap — the
+    // EER threshold was fit on a different matrix pairing and need not
+    // separate this cohort, especially at smoke scales.
+    let mut genuine_cal = Vec::new();
+    let mut impostor_cal = Vec::new();
+    for (u, user) in users.iter().enumerate() {
+        for s in 0..4u64 {
+            let seed = 0x5e12_3000 ^ ((u as u64) << 8) ^ s;
+            let own = recorder.record(user, Condition::Normal, seed);
+            if let Response::Decision { distance, .. } = service.handle(&Request::Verify {
+                user_id: user.id,
+                probe: own,
+            }) {
+                genuine_cal.push(distance);
+            }
+            let other = &users[(u + 1) % users.len()];
+            let foreign = recorder.record(other, Condition::Normal, seed ^ 0x77);
+            if let Response::Decision { distance, .. } = service.handle(&Request::Verify {
+                user_id: user.id,
+                probe: foreign,
+            }) {
+                impostor_cal.push(distance);
+            }
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let (genuine_mean, impostor_mean) = (mean(&genuine_cal), mean(&impostor_cal));
+    if impostor_mean > genuine_mean {
+        service.system_mut().config_mut().threshold = (genuine_mean + impostor_mean) / 2.0;
+    }
+    monitor.extend_baseline(&genuine_cal);
+    monitor.freeze_baseline();
+    monitor.reset_windows();
+
+    let service = std::sync::Arc::new(service);
+    let load_config = LoadConfig {
+        clients,
+        requests_per_client: requests,
+        ..LoadConfig::default()
+    };
+    let in_process = run_load(
+        &LoadTarget::InProcess(&service),
+        &users,
+        &recorder,
+        &load_config,
+        Some(monitor),
+    );
+    // Fresh drift window per transport so each verdict covers exactly
+    // its own run's traffic.
+    monitor.reset_windows();
+    let mut server = VerifyServer::bind(
+        std::sync::Arc::clone(&service),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind verify server on loopback");
+    let tcp = run_load(
+        &LoadTarget::Tcp(server.local_addr()),
+        &users,
+        &recorder,
+        &load_config,
+        Some(monitor),
+    );
+    server.shutdown();
+    let health = monitor.health();
+
+    let scale_desc = format!("{clients} clients x {requests} requests, {workers} workers");
+    let doc = bench_serve_document(&scale_desc, &load_config, workers, &in_process, &tcp);
+
+    let mut table = ReportTable::new("Serve: closed-loop load, in-process vs TCP");
+    table.push(
+        ExperimentRecord::new(
+            "Serve",
+            "sustained TCP throughput",
+            "> 0 req/s",
+            format!("{:.0} req/s", tcp.qps),
+            tcp.qps > 0.0,
+        )
+        .with_note(format!(
+            "in-process {:.0} req/s over {} requests",
+            in_process.qps, in_process.requests
+        )),
+    );
+    table.push(ExperimentRecord::new(
+        "Serve",
+        "TCP latency quantiles ordered",
+        "p50 <= p99 <= p999",
+        format!(
+            "{:.1} / {:.1} / {:.1} ms",
+            tcp.latency.p50 * 1e3,
+            tcp.latency.p99 * 1e3,
+            tcp.latency.p999 * 1e3
+        ),
+        tcp.latency.p50 > 0.0
+            && tcp.latency.p50 <= tcp.latency.p99
+            && tcp.latency.p99 <= tcp.latency.p999,
+    ));
+    table.push(
+        ExperimentRecord::new(
+            "Serve",
+            "decision parity across transports",
+            "identical tallies",
+            if in_process.decision_signature() == tcp.decision_signature() {
+                "identical".to_string()
+            } else {
+                format!(
+                    "{:?} vs {:?}",
+                    in_process.decision_signature(),
+                    tcp.decision_signature()
+                )
+            },
+            in_process.decision_signature() == tcp.decision_signature(),
+        )
+        .with_note("util JSON round-trips f64 exactly, so a TCP hop must not move any decision"),
+    );
+    let genuine_rate = if tcp.genuine == 0 {
+        0.0
+    } else {
+        tcp.genuine_accepted as f64 / tcp.genuine as f64
+    };
+    let impostor_rate = if tcp.impostor == 0 {
+        0.0
+    } else {
+        tcp.impostor_accepted as f64 / tcp.impostor as f64
+    };
+    table.push(ExperimentRecord::new(
+        "Serve",
+        "impostor acceptance below genuine",
+        "impostor < genuine",
+        format!(
+            "{:.0}% vs {:.0}%",
+            impostor_rate * 100.0,
+            genuine_rate * 100.0
+        ),
+        impostor_rate < genuine_rate,
+    ));
+    table.push(ExperimentRecord::new(
+        "Serve",
+        "drift monitor observed the TCP run",
+        "decisions > 0",
+        format!(
+            "{} over {} decisions",
+            health.status.label(),
+            health.decisions
+        ),
+        health.decisions > 0,
+    ));
+    table.push(ExperimentRecord::new(
+        "Serve",
+        "BENCH_serve.json validates against schema",
+        "ok",
+        match validate_bench_serve(&doc) {
+            Ok(()) => "ok".to_string(),
+            Err(e) => e,
+        },
+        validate_bench_serve(&doc).is_ok(),
+    ));
     Ok((table, doc))
 }

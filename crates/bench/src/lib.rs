@@ -11,6 +11,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod load;
 pub mod scale;
 
 pub use harness::{MainEvaluation, TrainedStack};

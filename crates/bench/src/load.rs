@@ -1,0 +1,790 @@
+//! Closed-loop load generator for the serving layer, plus the
+//! `BENCH_serve.json` schema validator and baseline comparator.
+//!
+//! N client threads each issue a deterministic per-client stream of
+//! mixed traffic — genuine probes, cross-user impostor probes, and
+//! fault-injected probes that exercise the retry/degraded policy path —
+//! against either the in-process [`VerifyService`] or a TCP
+//! [`VerifyServer`](mandipass_serve::VerifyServer) endpoint. Closed loop
+//! means one in-flight request per client: the next request only starts
+//! when the previous response lands, so sustained QPS and the latency
+//! quantiles describe the same steady state.
+//!
+//! Request *contents* derive only from `(seed, client index, request
+//! index)`, never from timing, so the decision tallies of two runs with
+//! the same config are bit-identical across transports — the
+//! transport-parity check in `exp_serve` and the deterministic shape of
+//! `BENCH_serve.json` both rest on this.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mandipass_imu_sim::faults::sweep_profiles;
+use mandipass_imu_sim::{Condition, Recorder, UserProfile};
+use mandipass_serve::{Request, Response, VerifyClient, VerifyService};
+use mandipass_telemetry::{Histogram, Monitor, Registry};
+use mandipass_util::json::Value;
+use mandipass_util::rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Schema tag of the serve bench artifact.
+pub const BENCH_SERVE_SCHEMA: &str = "mandipass.bench.serve/v1";
+
+/// Traffic composition in whole percent; the three shares must sum
+/// to 100 (validated by [`LoadConfig::validate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficMix {
+    /// Genuine probes from the claimed user.
+    pub genuine_pct: u32,
+    /// Probes recorded from a *different* enrolled user.
+    pub impostor_pct: u32,
+    /// Genuine probes with an injected sensor fault, sent through the
+    /// policy path (retry + degraded fallback).
+    pub faulty_pct: u32,
+}
+
+impl Default for TrafficMix {
+    fn default() -> Self {
+        TrafficMix {
+            genuine_pct: 70,
+            impostor_pct: 20,
+            faulty_pct: 10,
+        }
+    }
+}
+
+/// One load-generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadConfig {
+    /// Concurrent closed-loop client threads.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Traffic composition.
+    pub mix: TrafficMix,
+    /// Fault intensity (0..=1) for the faulty share.
+    pub fault_intensity: f64,
+    /// Master seed; every client derives its own stream from it.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            clients: 4,
+            requests_per_client: 32,
+            mix: TrafficMix::default(),
+            fault_intensity: 0.75,
+            seed: 0x5e12_4e20,
+        }
+    }
+}
+
+impl LoadConfig {
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the mix does not sum to 100 % or the
+    /// intensity leaves `[0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        let sum = self.mix.genuine_pct + self.mix.impostor_pct + self.mix.faulty_pct;
+        if sum != 100 {
+            return Err(format!("traffic mix sums to {sum}%, expected 100%"));
+        }
+        if !(0.0..=1.0).contains(&self.fault_intensity) {
+            return Err(format!(
+                "fault intensity {} outside [0, 1]",
+                self.fault_intensity
+            ));
+        }
+        Ok(())
+    }
+
+    fn serialise(&self) -> Value {
+        Value::Object(vec![
+            ("clients".to_string(), Value::Number(self.clients as f64)),
+            (
+                "requests_per_client".to_string(),
+                Value::Number(self.requests_per_client as f64),
+            ),
+            (
+                "mix".to_string(),
+                Value::Object(vec![
+                    (
+                        "genuine_pct".to_string(),
+                        Value::Number(f64::from(self.mix.genuine_pct)),
+                    ),
+                    (
+                        "impostor_pct".to_string(),
+                        Value::Number(f64::from(self.mix.impostor_pct)),
+                    ),
+                    (
+                        "faulty_pct".to_string(),
+                        Value::Number(f64::from(self.mix.faulty_pct)),
+                    ),
+                ]),
+            ),
+            (
+                "fault_intensity".to_string(),
+                Value::Number(self.fault_intensity),
+            ),
+            ("seed".to_string(), Value::Number(self.seed as f64)),
+        ])
+    }
+}
+
+/// Where the generated traffic goes.
+#[derive(Debug, Clone)]
+pub enum LoadTarget<'a> {
+    /// Call [`VerifyService::handle`] directly — no sockets, the upper
+    /// bound a TCP transport can approach.
+    InProcess(&'a Arc<VerifyService>),
+    /// Connect one TCP client per thread to a running verify server.
+    Tcp(SocketAddr),
+}
+
+/// Per-thread outcome tally; summed after join so the totals are
+/// deterministic regardless of scheduling.
+#[derive(Debug, Default, Clone, Copy)]
+struct Tally {
+    requests: u64,
+    accepted: u64,
+    rejected: u64,
+    degraded: u64,
+    exhausted: u64,
+    errors: u64,
+    genuine: u64,
+    genuine_accepted: u64,
+    impostor: u64,
+    impostor_accepted: u64,
+    faulty: u64,
+}
+
+impl Tally {
+    fn add(&mut self, other: &Tally) {
+        self.requests += other.requests;
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        self.degraded += other.degraded;
+        self.exhausted += other.exhausted;
+        self.errors += other.errors;
+        self.genuine += other.genuine;
+        self.genuine_accepted += other.genuine_accepted;
+        self.impostor += other.impostor;
+        self.impostor_accepted += other.impostor_accepted;
+        self.faulty += other.faulty;
+    }
+}
+
+/// Latency quantiles of one run, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Slowest observed request.
+    pub max: f64,
+}
+
+/// The result of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// The configuration that produced it.
+    pub config: LoadConfig,
+    /// Wall-clock span from first spawn to last join, seconds.
+    pub wall_seconds: f64,
+    /// Sustained throughput: completed requests / wall seconds.
+    pub qps: f64,
+    /// Latency quantiles.
+    pub latency: LatencySummary,
+    /// Completed requests.
+    pub requests: u64,
+    /// Accept decisions.
+    pub accepted: u64,
+    /// Reject decisions (a decision was made, identity denied).
+    pub rejected: u64,
+    /// Decisions taken in degraded accel-only mode.
+    pub degraded: u64,
+    /// Policy runs that exhausted every attempt.
+    pub exhausted: u64,
+    /// Transport or unexpected server errors.
+    pub errors: u64,
+    /// Per-category request counts and per-category accepts.
+    pub genuine: u64,
+    /// Genuine requests that were accepted.
+    pub genuine_accepted: u64,
+    /// Impostor requests issued.
+    pub impostor: u64,
+    /// Impostor requests that were (wrongly) accepted.
+    pub impostor_accepted: u64,
+    /// Fault-injected requests issued.
+    pub faulty: u64,
+    /// The serving deployment's drift-monitor health report at the end
+    /// of the run, when the caller handed the monitor over.
+    pub monitor: Value,
+}
+
+impl LoadReport {
+    /// Reject fraction over completed requests (rejected + exhausted).
+    pub fn reject_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            (self.rejected + self.exhausted) as f64 / self.requests as f64
+        }
+    }
+
+    /// Degraded-decision fraction over completed requests.
+    pub fn degraded_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.degraded as f64 / self.requests as f64
+        }
+    }
+
+    /// The decision tallies that must be transport-invariant.
+    pub fn decision_signature(&self) -> [u64; 7] {
+        [
+            self.requests,
+            self.accepted,
+            self.rejected,
+            self.degraded,
+            self.exhausted,
+            self.genuine_accepted,
+            self.impostor_accepted,
+        ]
+    }
+
+    /// One `BENCH_serve.json` section.
+    pub fn to_json(&self) -> Value {
+        let num = |v: f64| {
+            if v.is_finite() {
+                Value::Number(v)
+            } else {
+                Value::Null
+            }
+        };
+        Value::Object(vec![
+            ("requests".to_string(), Value::Number(self.requests as f64)),
+            ("wall_seconds".to_string(), num(self.wall_seconds)),
+            ("qps".to_string(), num(self.qps)),
+            (
+                "latency_seconds".to_string(),
+                Value::Object(vec![
+                    ("p50".to_string(), num(self.latency.p50)),
+                    ("p99".to_string(), num(self.latency.p99)),
+                    ("p999".to_string(), num(self.latency.p999)),
+                    ("mean".to_string(), num(self.latency.mean)),
+                    ("max".to_string(), num(self.latency.max)),
+                ]),
+            ),
+            (
+                "counts".to_string(),
+                Value::Object(
+                    [
+                        ("accepted", self.accepted),
+                        ("rejected", self.rejected),
+                        ("degraded", self.degraded),
+                        ("exhausted", self.exhausted),
+                        ("errors", self.errors),
+                        ("genuine", self.genuine),
+                        ("genuine_accepted", self.genuine_accepted),
+                        ("impostor", self.impostor),
+                        ("impostor_accepted", self.impostor_accepted),
+                        ("faulty", self.faulty),
+                    ]
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), Value::Number(v as f64)))
+                    .collect(),
+                ),
+            ),
+            (
+                "rates".to_string(),
+                Value::Object(vec![
+                    ("reject".to_string(), num(self.reject_rate())),
+                    ("degraded".to_string(), num(self.degraded_rate())),
+                ]),
+            ),
+            ("monitor".to_string(), self.monitor.clone()),
+        ])
+    }
+}
+
+/// What one client thread does with a prepared request.
+enum Caller<'a> {
+    InProcess(&'a VerifyService),
+    Tcp(Box<VerifyClient>),
+}
+
+impl Caller<'_> {
+    fn call(&mut self, request: &Request) -> Result<Response, String> {
+        match self {
+            Caller::InProcess(service) => Ok(service.handle(request)),
+            Caller::Tcp(client) => client.call(request).map_err(|e| e.to_string()),
+        }
+    }
+}
+
+/// The deterministic request plan for `(client, index)`.
+fn plan_request(
+    rng: &mut StdRng,
+    users: &[UserProfile],
+    recorder: &Recorder,
+    config: &LoadConfig,
+    tally: &mut Tally,
+) -> (Request, bool, bool) {
+    // Returns (request, is_genuine, is_impostor); faulty = neither flag.
+    let draw = rng.gen_range(0..100u32);
+    let user_idx = rng.gen_range(0..users.len());
+    let probe_seed = rng.next_u64();
+    let user = &users[user_idx];
+    if draw < config.mix.genuine_pct {
+        tally.genuine += 1;
+        let probe = recorder.record(user, Condition::Normal, probe_seed);
+        (
+            Request::Verify {
+                user_id: user.id,
+                probe,
+            },
+            true,
+            false,
+        )
+    } else if draw < config.mix.genuine_pct + config.mix.impostor_pct && users.len() > 1 {
+        tally.impostor += 1;
+        let offset = 1 + rng.gen_range(0..users.len() - 1);
+        let other = &users[(user_idx + offset) % users.len()];
+        let probe = recorder.record(other, Condition::Normal, probe_seed);
+        (
+            Request::Verify {
+                user_id: user.id,
+                probe,
+            },
+            false,
+            true,
+        )
+    } else {
+        tally.faulty += 1;
+        let profiles = sweep_profiles(config.fault_intensity);
+        let profile = &profiles[rng.gen_range(0..profiles.len())];
+        let clean = recorder.record(user, Condition::Normal, probe_seed);
+        let retry = recorder.record(user, Condition::Normal, probe_seed ^ 0xDEAD_BEEF);
+        (
+            Request::VerifyWithPolicy {
+                user_id: user.id,
+                probes: vec![profile.apply(&clean, probe_seed), retry],
+            },
+            false,
+            false,
+        )
+    }
+}
+
+fn score_response(
+    response: &Result<Response, String>,
+    genuine: bool,
+    impostor: bool,
+    tally: &mut Tally,
+) {
+    tally.requests += 1;
+    match response {
+        Ok(Response::Decision {
+            accepted, degraded, ..
+        }) => {
+            if *accepted {
+                tally.accepted += 1;
+                if genuine {
+                    tally.genuine_accepted += 1;
+                }
+                if impostor {
+                    tally.impostor_accepted += 1;
+                }
+            } else {
+                tally.rejected += 1;
+            }
+            if *degraded {
+                tally.degraded += 1;
+            }
+        }
+        Ok(Response::Error { kind, .. }) if kind == "retries_exhausted" => tally.exhausted += 1,
+        // Pipeline rejects on hostile probes (e.g. undetectable
+        // vibration) are decisions of a kind too; anything else —
+        // transport failures, bad_request — is an error.
+        Ok(Response::Error { kind, .. })
+            if kind != "bad_request" && kind != "not_enrolled" && kind != "unknown" =>
+        {
+            tally.exhausted += 1
+        }
+        _ => tally.errors += 1,
+    }
+}
+
+/// Runs one closed-loop load generation against `target`.
+///
+/// `users` are the enrolled identities (probe material comes from
+/// `recorder`); `monitor`, when given, contributes the end-of-run
+/// health verdict to the report.
+///
+/// # Panics
+///
+/// Panics when `config` fails [`LoadConfig::validate`] or `users` is
+/// empty — both are harness-construction bugs, not runtime states.
+pub fn run_load(
+    target: &LoadTarget<'_>,
+    users: &[UserProfile],
+    recorder: &Recorder,
+    config: &LoadConfig,
+    monitor: Option<&Monitor>,
+) -> LoadReport {
+    config
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid load config: {e}"));
+    assert!(!users.is_empty(), "load generation needs enrolled users");
+    // A private registry so repeated runs in one process do not blur
+    // each other's quantiles.
+    let histogram = Registry::new().histogram("serve.load_latency_seconds");
+    let started = Instant::now();
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients.max(1))
+            .map(|client_idx| {
+                let histogram: Histogram = histogram.clone();
+                scope.spawn(move || {
+                    let mut caller = match target {
+                        LoadTarget::InProcess(service) => Caller::InProcess(service.as_ref()),
+                        LoadTarget::Tcp(addr) => Caller::Tcp(Box::new(
+                            VerifyClient::connect(*addr)
+                                .unwrap_or_else(|e| panic!("load client connect: {e}")),
+                        )),
+                    };
+                    let mut rng =
+                        StdRng::seed_from_u64(config.seed.wrapping_add(
+                            (client_idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        ));
+                    let mut tally = Tally::default();
+                    for _ in 0..config.requests_per_client {
+                        let (request, genuine, impostor) =
+                            plan_request(&mut rng, users, recorder, config, &mut tally);
+                        let sent = Instant::now();
+                        let response = caller.call(&request);
+                        histogram.observe(sent.elapsed().as_secs_f64());
+                        score_response(&response, genuine, impostor, &mut tally);
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| panic!("load client panicked")))
+            .collect()
+    });
+    let wall_seconds = started.elapsed().as_secs_f64().max(1e-9);
+    let mut total = Tally::default();
+    for t in &tallies {
+        total.add(t);
+    }
+    LoadReport {
+        config: config.clone(),
+        wall_seconds,
+        qps: total.requests as f64 / wall_seconds,
+        latency: LatencySummary {
+            p50: histogram.quantile(0.5),
+            p99: histogram.quantile(0.99),
+            p999: histogram.quantile(0.999),
+            mean: histogram.mean(),
+            max: histogram.max(),
+        },
+        requests: total.requests,
+        accepted: total.accepted,
+        rejected: total.rejected,
+        degraded: total.degraded,
+        exhausted: total.exhausted,
+        errors: total.errors,
+        genuine: total.genuine,
+        genuine_accepted: total.genuine_accepted,
+        impostor: total.impostor,
+        impostor_accepted: total.impostor_accepted,
+        faulty: total.faulty,
+        monitor: monitor.map_or(Value::Null, |m| m.health().to_json()),
+    }
+}
+
+/// Assembles the full schema-versioned `BENCH_serve.json` document from
+/// the two transport runs.
+pub fn bench_serve_document(
+    scale_description: &str,
+    config: &LoadConfig,
+    workers: usize,
+    in_process: &LoadReport,
+    tcp: &LoadReport,
+) -> Value {
+    Value::Object(vec![
+        (
+            "schema".to_string(),
+            Value::String(BENCH_SERVE_SCHEMA.to_string()),
+        ),
+        (
+            "scale".to_string(),
+            Value::String(scale_description.to_string()),
+        ),
+        ("config".to_string(), config.serialise()),
+        ("workers".to_string(), Value::Number(workers as f64)),
+        ("in_process".to_string(), in_process.to_json()),
+        ("tcp".to_string(), tcp.to_json()),
+    ])
+}
+
+fn get_num(doc: &Value, path: &[&str]) -> Result<f64, String> {
+    let mut node = doc;
+    for key in path {
+        node = node
+            .get(key)
+            .ok_or_else(|| format!("missing field \"{}\"", path.join(".")))?;
+    }
+    node.as_f64()
+        .ok_or_else(|| format!("field \"{}\" is not a number", path.join(".")))
+}
+
+fn validate_section(doc: &Value, section: &str) -> Result<(), String> {
+    let sec = doc
+        .get(section)
+        .ok_or_else(|| format!("missing section \"{section}\""))?;
+    let requests = get_num(sec, &["requests"])?;
+    if requests <= 0.0 {
+        return Err(format!("{section}: zero requests completed"));
+    }
+    let qps = get_num(sec, &["qps"])?;
+    if qps.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err(format!("{section}: qps {qps} not positive"));
+    }
+    let p50 = get_num(sec, &["latency_seconds", "p50"])?;
+    let p99 = get_num(sec, &["latency_seconds", "p99"])?;
+    let p999 = get_num(sec, &["latency_seconds", "p999"])?;
+    if !(p50 > 0.0 && p50 <= p99 && p99 <= p999) {
+        return Err(format!(
+            "{section}: latency quantiles disordered (p50 {p50}, p99 {p99}, p999 {p999})"
+        ));
+    }
+    for counter in [
+        "accepted",
+        "rejected",
+        "degraded",
+        "exhausted",
+        "errors",
+        "genuine",
+        "impostor",
+        "faulty",
+    ] {
+        let v = get_num(sec, &["counts", counter])?;
+        if v < 0.0 || v.fract() != 0.0 {
+            return Err(format!(
+                "{section}: count \"{counter}\" = {v} is not a non-negative integer"
+            ));
+        }
+    }
+    for rate in ["reject", "degraded"] {
+        let v = get_num(sec, &["rates", rate])?;
+        if !(0.0..=1.0).contains(&v) {
+            return Err(format!("{section}: rate \"{rate}\" = {v} outside [0, 1]"));
+        }
+    }
+    let errors = get_num(sec, &["counts", "errors"])?;
+    if errors > 0.0 {
+        return Err(format!("{section}: {errors} transport/protocol errors"));
+    }
+    sec.get("monitor")
+        .and_then(|m| m.get("status"))
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{section}: missing monitor.status"))?;
+    Ok(())
+}
+
+/// Validates one `BENCH_serve.json` document against the v1 schema.
+///
+/// # Errors
+///
+/// Returns the first violated constraint, with its field path.
+pub fn validate_bench_serve(doc: &Value) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing \"schema\" tag")?;
+    if schema != BENCH_SERVE_SCHEMA {
+        return Err(format!(
+            "schema \"{schema}\" is not \"{BENCH_SERVE_SCHEMA}\""
+        ));
+    }
+    doc.get("scale")
+        .and_then(Value::as_str)
+        .ok_or("missing \"scale\" description")?;
+    for field in ["clients", "requests_per_client", "seed", "fault_intensity"] {
+        get_num(doc, &["config", field])?;
+    }
+    let workers = get_num(doc, &["workers"])?;
+    if workers < 1.0 {
+        return Err(format!("workers {workers} < 1"));
+    }
+    validate_section(doc, "in_process")?;
+    validate_section(doc, "tcp")?;
+    Ok(())
+}
+
+/// Compares a fresh document against a committed baseline and fails on
+/// regressions beyond the given ratios: p99 latency may grow to at most
+/// `max_p99_ratio`× the baseline, QPS may shrink to no less than
+/// `min_qps_ratio`× the baseline. Both sections are gated.
+///
+/// # Errors
+///
+/// Returns every violated gate, one per line.
+pub fn compare_bench_serve(
+    fresh: &Value,
+    baseline: &Value,
+    max_p99_ratio: f64,
+    min_qps_ratio: f64,
+) -> Result<(), String> {
+    let mut violations = Vec::new();
+    for section in ["in_process", "tcp"] {
+        let fresh_p99 = get_num(fresh, &[section, "latency_seconds", "p99"])?;
+        let base_p99 = get_num(baseline, &[section, "latency_seconds", "p99"])?;
+        if fresh_p99 > base_p99 * max_p99_ratio {
+            violations.push(format!(
+                "{section}: p99 {fresh_p99:.6}s exceeds {max_p99_ratio}x baseline {base_p99:.6}s"
+            ));
+        }
+        let fresh_qps = get_num(fresh, &[section, "qps"])?;
+        let base_qps = get_num(baseline, &[section, "qps"])?;
+        if fresh_qps < base_qps * min_qps_ratio {
+            violations.push(format!(
+                "{section}: qps {fresh_qps:.1} below {min_qps_ratio}x baseline {base_qps:.1}"
+            ));
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_report(qps: f64, p99: f64) -> LoadReport {
+        LoadReport {
+            config: LoadConfig::default(),
+            wall_seconds: 1.0,
+            qps,
+            latency: LatencySummary {
+                p50: p99 / 2.0,
+                p99,
+                p999: p99 * 1.5,
+                mean: p99 / 2.0,
+                max: p99 * 2.0,
+            },
+            requests: 128,
+            accepted: 80,
+            rejected: 40,
+            degraded: 4,
+            exhausted: 8,
+            errors: 0,
+            genuine: 90,
+            genuine_accepted: 78,
+            impostor: 26,
+            impostor_accepted: 2,
+            faulty: 12,
+            monitor: Value::Object(vec![(
+                "status".to_string(),
+                Value::String("healthy".to_string()),
+            )]),
+        }
+    }
+
+    fn fake_doc(qps: f64, p99: f64) -> Value {
+        bench_serve_document(
+            "test scale",
+            &LoadConfig::default(),
+            4,
+            &fake_report(qps, p99),
+            &fake_report(qps * 0.8, p99 * 1.2),
+        )
+    }
+
+    #[test]
+    fn document_round_trips_and_validates() {
+        let doc = fake_doc(500.0, 0.010);
+        let text = doc.to_json();
+        let parsed = mandipass_util::json::parse(&text).unwrap();
+        validate_bench_serve(&parsed).unwrap();
+    }
+
+    #[test]
+    fn validator_names_the_violated_field() {
+        let mut doc = fake_doc(500.0, 0.010);
+        if let Value::Object(members) = &mut doc {
+            members.retain(|(k, _)| k != "tcp");
+        }
+        let err = validate_bench_serve(&doc).unwrap_err();
+        assert!(err.contains("tcp"), "{err}");
+
+        let bad_schema = Value::Object(vec![(
+            "schema".to_string(),
+            Value::String("something/v9".to_string()),
+        )]);
+        assert!(validate_bench_serve(&bad_schema)
+            .unwrap_err()
+            .contains("v9"));
+    }
+
+    #[test]
+    fn validator_rejects_disordered_quantiles_and_errors() {
+        let mut report = fake_report(100.0, 0.01);
+        report.latency.p999 = report.latency.p50 / 2.0;
+        let doc = bench_serve_document("s", &LoadConfig::default(), 2, &report, &report);
+        assert!(validate_bench_serve(&doc)
+            .unwrap_err()
+            .contains("disordered"));
+
+        let mut report = fake_report(100.0, 0.01);
+        report.errors = 3;
+        let doc = bench_serve_document("s", &LoadConfig::default(), 2, &report, &report);
+        assert!(validate_bench_serve(&doc).unwrap_err().contains("errors"));
+    }
+
+    #[test]
+    fn comparator_gates_p99_and_qps() {
+        let baseline = fake_doc(1000.0, 0.010);
+        // Healthy: same perf passes with generous ratios.
+        compare_bench_serve(&fake_doc(1000.0, 0.010), &baseline, 2.0, 0.5).unwrap();
+        // Slightly worse but inside the envelope passes.
+        compare_bench_serve(&fake_doc(600.0, 0.018), &baseline, 2.0, 0.5).unwrap();
+        // p99 blow-up fails and is named.
+        let err = compare_bench_serve(&fake_doc(1000.0, 0.050), &baseline, 2.0, 0.5).unwrap_err();
+        assert!(err.contains("p99"), "{err}");
+        // QPS collapse fails.
+        let err = compare_bench_serve(&fake_doc(100.0, 0.010), &baseline, 2.0, 0.5).unwrap_err();
+        assert!(err.contains("qps"), "{err}");
+    }
+
+    #[test]
+    fn mix_must_sum_to_one_hundred() {
+        let mut config = LoadConfig::default();
+        config.mix.genuine_pct = 50;
+        assert!(config.validate().unwrap_err().contains("mix"));
+        assert!(LoadConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn reject_and_degraded_rates_are_fractions_of_requests() {
+        let report = fake_report(100.0, 0.01);
+        assert!((report.reject_rate() - 48.0 / 128.0).abs() < 1e-12);
+        assert!((report.degraded_rate() - 4.0 / 128.0).abs() < 1e-12);
+    }
+}

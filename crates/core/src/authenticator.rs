@@ -515,6 +515,18 @@ mod tests {
     use crate::train::{TrainingConfig, VspTrainer};
     use mandipass_imu_sim::{Condition, Population, Recorder};
 
+    /// The serving layer shares one enrolled `MandiPass` read-only
+    /// across worker threads, so the deployed type must stay `Send +
+    /// Sync` — this compile-time audit pins it (the `nn::Layer` trait
+    /// carries the bounds the boxed extractor layers need).
+    #[test]
+    fn deployment_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MandiPass>();
+        assert_send_sync::<SecureEnclave>();
+        assert_send_sync::<VerifyPolicy>();
+    }
+
     /// A small trained deployment shared by the tests in this module.
     fn trained_system() -> (MandiPass, Population, Recorder) {
         let pop = Population::generate(6, 77);

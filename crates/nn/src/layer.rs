@@ -20,7 +20,12 @@ pub struct Param<'a> {
 /// Layers cache whatever they need during [`Layer::forward`] and consume
 /// that cache in [`Layer::backward`]. Gradients accumulate into the layer's
 /// grad buffers; call [`Layer::zero_grad`] between optimiser steps.
-pub trait Layer: std::fmt::Debug {
+///
+/// Layers are `Send + Sync`: the deployed inference path
+/// ([`Layer::infer`]) takes `&self` and a trained model is shared
+/// read-only across verify-server worker threads, so every layer must be
+/// plain data (no `Rc`/`RefCell`-style interior mutability).
+pub trait Layer: std::fmt::Debug + Send + Sync {
     /// A short stable kind label (e.g. `"conv2d"`), used as the
     /// telemetry span name for per-layer inference timing.
     fn name(&self) -> &'static str {

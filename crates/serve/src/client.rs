@@ -1,0 +1,63 @@
+//! A blocking client for the framed verify protocol, used by the bench
+//! load generator and the tests. One connection, one in-flight request
+//! at a time — the closed-loop shape the load generator measures.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::protocol::{self, Request, Response};
+
+/// A connected verify-protocol client.
+#[derive(Debug)]
+pub struct VerifyClient {
+    stream: TcpStream,
+    max_frame_bytes: usize,
+}
+
+impl VerifyClient {
+    /// Connects with `TCP_NODELAY` and a 30 s response timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        Self::connect_with_timeout(addr, Duration::from_secs(30))
+    }
+
+    /// Connects with an explicit response timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        Ok(VerifyClient {
+            stream,
+            max_frame_bytes: protocol::DEFAULT_MAX_FRAME_BYTES,
+        })
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures propagate; a server that closes the connection
+    /// without answering surfaces as `UnexpectedEof`, and an unparseable
+    /// response as `InvalidData`.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        let payload = request.to_json().to_json();
+        protocol::write_frame(&mut self.stream, payload.as_bytes())?;
+        let frame =
+            protocol::read_frame(&mut self.stream, self.max_frame_bytes)?.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed before answering",
+                )
+            })?;
+        Response::from_frame(&frame)
+            .map_err(|message| io::Error::new(io::ErrorKind::InvalidData, message))
+    }
+}

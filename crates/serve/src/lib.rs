@@ -1,0 +1,59 @@
+//! `mandipass-serve` — a std-only request/response verify server.
+//!
+//! The serving layer turns one enrolled [`mandipass::prelude::MandiPass`]
+//! deployment into a network service without leaving the workspace's
+//! hermetic build policy: no async runtime, no registry dependencies,
+//! just `std::net::TcpListener` plus a fixed-size worker thread pool —
+//! the same pattern the telemetry crate's exposition server proved out.
+//!
+//! Three moving parts:
+//!
+//! * [`protocol`] — the wire format: 4-byte big-endian length prefix +
+//!   one compact JSON document per frame, both directions. Requests are
+//!   `health`, `verify` (one probe), and `verify_policy` (a probe
+//!   sequence judged under the deployment's [`VerifyPolicy`]).
+//! * [`service`] — [`VerifyService`]: the transport-free request
+//!   handler. It owns the enrolled deployment plus each user's Gaussian
+//!   matrix and answers [`protocol::Request`] values directly, so an
+//!   in-process caller (the bench load generator's fastest target) and
+//!   the TCP workers share one code path, one telemetry surface
+//!   (`serve.*` counters + the `serve.request_seconds` histogram), and
+//!   one drift-monitor feed.
+//! * [`server`] — [`VerifyServer`]: the TCP front. An acceptor thread
+//!   hands connections (with `TCP_NODELAY` and a read timeout applied)
+//!   to N worker threads over an `mpsc` channel; workers answer framed
+//!   requests until the peer closes, the read timeout fires, or the
+//!   server shuts down. [`VerifyServer::shutdown`] is graceful: stop
+//!   flag, acceptor wake-up, channel drain, join.
+//!
+//! [`client::VerifyClient`] is the matching blocking client, used by the
+//! load generator and the tests.
+//!
+//! [`VerifyPolicy`]: mandipass::prelude::VerifyPolicy
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+#[cfg(test)]
+pub(crate) mod test_support;
+
+pub use client::VerifyClient;
+pub use protocol::{Request, Response, PROTOCOL_VERSION};
+pub use server::{ServeConfig, VerifyServer};
+pub use service::VerifyService;
+
+#[cfg(test)]
+mod sync_audit {
+    /// The whole serving story rests on sharing one enrolled deployment
+    /// across worker threads by `&self`; assert the auto-traits here so
+    /// a future interior-mutability change fails loudly at compile time.
+    #[test]
+    fn shared_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<mandipass::prelude::MandiPass>();
+        assert_send_sync::<crate::VerifyService>();
+        assert_send_sync::<crate::VerifyServer>();
+    }
+}

@@ -1,0 +1,342 @@
+//! The TCP front: acceptor thread + fixed worker pool.
+//!
+//! One acceptor thread owns the listener. Every accepted connection gets
+//! `TCP_NODELAY` (responses are single small frames; Nagle would add a
+//! full RTT under closed-loop load) and a read timeout (a stalled or
+//! half-open client costs a worker at most one timeout, never a wedge),
+//! then rides an `mpsc` channel to the first free worker. Workers answer
+//! framed requests on the connection until the peer closes, an error or
+//! timeout fires, or the server shuts down.
+//!
+//! Shutdown is graceful and idempotent: the stop flag flips, a loopback
+//! connect unblocks `accept`, the acceptor exits and drops the channel
+//! sender, each worker finishes its current connection and sees the
+//! channel hang up, and `shutdown` joins them all. Dropping the server
+//! shuts it down.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::protocol::{self, Request, Response};
+use crate::service::VerifyService;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads (and thus maximum concurrently served
+    /// connections).
+    pub workers: usize,
+    /// Per-read socket timeout; a connection idle longer is dropped.
+    pub read_timeout: Duration,
+    /// Largest accepted request frame.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            read_timeout: Duration::from_secs(2),
+            max_frame_bytes: protocol::DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// The running verify server. Dropping it shuts it down.
+pub struct VerifyServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for VerifyServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VerifyServer")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl VerifyServer {
+    /// Binds `addr` (port 0 for ephemeral) and starts the acceptor plus
+    /// `config.workers` worker threads over the shared `service`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and thread-spawn failures.
+    pub fn bind(service: Arc<VerifyService>, addr: &str, config: ServeConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (sender, receiver) = channel::<TcpStream>();
+        let receiver = Arc::new(Mutex::new(receiver));
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let service = Arc::clone(&service);
+                let receiver = Arc::clone(&receiver);
+                let stop = Arc::clone(&stop);
+                let config = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("mandipass-serve-{i}"))
+                    .spawn(move || worker_loop(&service, &receiver, &stop, &config))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("mandipass-serve-accept".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        // Latency hygiene + wedge protection, applied
+                        // before the connection reaches any worker.
+                        let _ = stream.set_nodelay(true);
+                        let _ = stream.set_read_timeout(Some(config.read_timeout));
+                        mandipass_telemetry::counter!("serve.connections").inc();
+                        if sender.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    // Dropping `sender` here hangs up the channel and
+                    // lets idle workers exit.
+                })?
+        };
+
+        Ok(VerifyServer {
+            addr: local,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stops accepting, lets each worker finish its
+    /// current connection, joins every thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call; the loop re-checks the flag first.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for VerifyServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(
+    service: &VerifyService,
+    receiver: &Mutex<Receiver<TcpStream>>,
+    stop: &AtomicBool,
+    config: &ServeConfig,
+) {
+    loop {
+        // Hold the lock only for the hand-off, not while serving.
+        let stream = receiver
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .recv();
+        match stream {
+            Ok(mut stream) => serve_connection(service, &mut stream, stop, config),
+            Err(_) => break, // acceptor hung up: shutdown
+        }
+    }
+}
+
+/// Answers framed requests on one connection until the peer closes, an
+/// I/O error or read timeout fires, or shutdown is requested.
+fn serve_connection(
+    service: &VerifyService,
+    stream: &mut TcpStream,
+    stop: &AtomicBool,
+    config: &ServeConfig,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match protocol::read_frame(stream, config.max_frame_bytes) {
+            Ok(Some(payload)) => {
+                let response = match Request::from_frame(&payload) {
+                    Ok(request) => service.handle(&request),
+                    Err(message) => {
+                        mandipass_telemetry::counter!("serve.bad_requests").inc();
+                        Response::Error {
+                            kind: "bad_request".to_string(),
+                            message,
+                        }
+                    }
+                };
+                let payload = response.to_json().to_json();
+                if protocol::write_frame(stream, payload.as_bytes()).is_err() {
+                    break;
+                }
+            }
+            // Clean close, garbage, timeout, or disconnect: in every
+            // case the worker moves on to the next connection.
+            Ok(None) | Err(_) => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::VerifyClient;
+    use crate::test_support::{genuine_probe, genuine_probes, shared_arc};
+    use std::io::Write as _;
+    use std::time::Instant;
+
+    #[test]
+    fn serves_verify_and_health_over_tcp() {
+        let server = VerifyServer::bind(shared_arc(), "127.0.0.1:0", ServeConfig::default())
+            .unwrap_or_else(|e| panic!("bind: {e}"));
+        let mut client = VerifyClient::connect(server.local_addr()).unwrap();
+        match client.call(&Request::Health).unwrap() {
+            Response::Health { enrolled, .. } => assert!(enrolled >= 1),
+            other => panic!("expected health, got {other:?}"),
+        }
+        let (user, probes) = genuine_probes(51_000, 3);
+        match client
+            .call(&Request::VerifyWithPolicy {
+                user_id: user,
+                probes,
+            })
+            .unwrap()
+        {
+            Response::Decision { accepted, .. } => assert!(accepted),
+            other => panic!("expected decision, got {other:?}"),
+        }
+        // Unknown user → typed error, connection stays usable.
+        let (_, probe) = genuine_probe(51_100);
+        match client
+            .call(&Request::Verify {
+                user_id: 4242,
+                probe,
+            })
+            .unwrap()
+        {
+            Response::Error { kind, .. } => assert_eq!(kind, "not_enrolled"),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_frame_gets_a_bad_request_response() {
+        let server = VerifyServer::bind(shared_arc(), "127.0.0.1:0", ServeConfig::default())
+            .unwrap_or_else(|e| panic!("bind: {e}"));
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        protocol::write_frame(&mut stream, b"this is not json").unwrap();
+        let payload = protocol::read_frame(&mut stream, 1 << 20).unwrap().unwrap();
+        match Response::from_frame(&payload).unwrap() {
+            Response::Error { kind, .. } => assert_eq!(kind, "bad_request"),
+            other => panic!("expected bad_request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_clients_all_get_answers() {
+        let server = VerifyServer::bind(
+            shared_arc(),
+            "127.0.0.1:0",
+            ServeConfig {
+                workers: 4,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("bind: {e}"));
+        let addr = server.local_addr();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                scope.spawn(move || {
+                    let mut client = VerifyClient::connect(addr).unwrap();
+                    for r in 0..3u64 {
+                        let (user, probe) = genuine_probe(52_000 + t * 100 + r);
+                        let response = client
+                            .call(&Request::Verify {
+                                user_id: user,
+                                probe,
+                            })
+                            .unwrap();
+                        assert!(
+                            matches!(response, Response::Decision { .. }),
+                            "worker thread dropped a request: {response:?}"
+                        );
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn half_open_client_cannot_wedge_the_single_worker() {
+        let server = VerifyServer::bind(
+            shared_arc(),
+            "127.0.0.1:0",
+            ServeConfig {
+                workers: 1,
+                read_timeout: Duration::from_millis(100),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("bind: {e}"));
+        let addr = server.local_addr();
+        // A client that connects and then stalls — it even trickles a
+        // partial frame header so the server is mid-read when it stops.
+        let mut stalled = TcpStream::connect(addr).unwrap();
+        stalled.write_all(&[0u8, 0]).unwrap();
+        // The single worker must shed the stalled connection at the read
+        // timeout and answer the next client promptly.
+        let start = Instant::now();
+        let mut client = VerifyClient::connect(addr).unwrap();
+        let response = client.call(&Request::Health).unwrap();
+        assert!(matches!(response, Response::Health { .. }));
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "stalled client wedged the worker for {:?}",
+            start.elapsed()
+        );
+        drop(stalled);
+    }
+
+    #[test]
+    fn shutdown_joins_all_threads_and_is_idempotent() {
+        let mut server = VerifyServer::bind(shared_arc(), "127.0.0.1:0", ServeConfig::default())
+            .unwrap_or_else(|e| panic!("bind: {e}"));
+        let addr = server.local_addr();
+        server.shutdown();
+        server.shutdown();
+        // Accepting is over: a fresh connection gets no service (either
+        // refused outright or closed without an answer).
+        if let Ok(mut stream) = TcpStream::connect(addr) {
+            let _ = protocol::write_frame(&mut stream, b"{\"v\":1,\"op\":\"health\"}");
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+            assert!(
+                !matches!(protocol::read_frame(&mut stream, 1 << 20), Ok(Some(_))),
+                "server answered after shutdown"
+            );
+        }
+    }
+}

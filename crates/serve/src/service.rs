@@ -1,0 +1,212 @@
+//! The transport-free request handler.
+//!
+//! [`VerifyService`] owns an enrolled [`MandiPass`] deployment plus the
+//! per-user Gaussian matrices and answers [`Request`] values directly.
+//! Both fronts go through [`VerifyService::handle`] — the TCP workers in
+//! [`crate::server`] and in-process callers like the bench load
+//! generator — so decisions, telemetry (`serve.requests` /
+//! `serve.errors` counters, the `serve.request_seconds` latency
+//! histogram, a `serve_request` span per request), and the drift-monitor
+//! feed are identical regardless of transport.
+//!
+//! All request handling is `&self`: enrolment happens before the
+//! service is shared, then worker threads verify concurrently against
+//! the same templates (the enclave serialises its own audit trail; the
+//! extractor's inference path is read-only).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use mandipass::prelude::*;
+use mandipass_imu_sim::Recording;
+
+use crate::protocol::{Request, Response};
+
+/// The enrolled deployment behind the server.
+#[derive(Debug)]
+pub struct VerifyService {
+    system: MandiPass,
+    matrices: BTreeMap<u32, GaussianMatrix>,
+    policy: VerifyPolicy,
+}
+
+impl VerifyService {
+    /// Wraps a deployment. Enrol users with [`VerifyService::enroll`]
+    /// before sharing the service with workers.
+    pub fn new(system: MandiPass, policy: VerifyPolicy) -> Self {
+        VerifyService {
+            system,
+            matrices: BTreeMap::new(),
+            policy,
+        }
+    }
+
+    /// Enrols `user_id` and retains the Gaussian matrix the server will
+    /// apply to that user's future probes (the cancelable-template
+    /// secret stays server-side, like the templates themselves).
+    ///
+    /// # Errors
+    ///
+    /// Propagates enrolment failures; the matrix is only retained on
+    /// success.
+    pub fn enroll(
+        &mut self,
+        user_id: u32,
+        recordings: &[Recording],
+        matrix: GaussianMatrix,
+    ) -> Result<(), MandiPassError> {
+        self.system.enroll(user_id, recordings, &matrix)?;
+        self.matrices.insert(user_id, matrix);
+        Ok(())
+    }
+
+    /// The wrapped deployment.
+    pub fn system(&self) -> &MandiPass {
+        &self.system
+    }
+
+    /// Mutable deployment access for pre-share set-up (threshold
+    /// calibration, monitor rebinding).
+    pub fn system_mut(&mut self) -> &mut MandiPass {
+        &mut self.system
+    }
+
+    /// Number of enrolled identities.
+    pub fn enrolled(&self) -> usize {
+        self.matrices.len()
+    }
+
+    /// Answers one request. Never panics; failures become
+    /// [`Response::Error`] with a stable `kind`.
+    pub fn handle(&self, request: &Request) -> Response {
+        let start = Instant::now();
+        let _span = mandipass_telemetry::span("serve_request");
+        mandipass_telemetry::counter!("serve.requests").inc();
+        let response = self.dispatch(request);
+        mandipass_telemetry::histogram!("serve.request_seconds")
+            .observe(start.elapsed().as_secs_f64());
+        if matches!(response, Response::Error { .. }) {
+            mandipass_telemetry::counter!("serve.errors").inc();
+        }
+        response
+    }
+
+    fn dispatch(&self, request: &Request) -> Response {
+        match request {
+            Request::Health => Response::Health {
+                health: self.system.monitor().health().to_json(),
+                enrolled: self.enrolled(),
+            },
+            Request::Verify { user_id, probe } => {
+                let Some(matrix) = self.matrices.get(user_id) else {
+                    return not_enrolled(*user_id);
+                };
+                match self.system.verify(*user_id, probe, matrix) {
+                    Ok(outcome) => Response::Decision {
+                        accepted: outcome.accepted,
+                        distance: outcome.distance,
+                        threshold: outcome.threshold,
+                        degraded: false,
+                        attempts: 1,
+                        rejects: Vec::new(),
+                    },
+                    Err(e) => error_response(&e),
+                }
+            }
+            Request::VerifyWithPolicy { user_id, probes } => {
+                let Some(matrix) = self.matrices.get(user_id) else {
+                    return not_enrolled(*user_id);
+                };
+                match self
+                    .system
+                    .verify_with_policy(*user_id, probes, matrix, &self.policy)
+                {
+                    Ok(decision) => Response::Decision {
+                        accepted: decision.outcome.accepted,
+                        distance: decision.outcome.distance,
+                        threshold: decision.outcome.threshold,
+                        degraded: decision.degraded,
+                        attempts: decision.attempts,
+                        rejects: decision.rejects,
+                    },
+                    Err(e) => error_response(&e),
+                }
+            }
+        }
+    }
+}
+
+fn not_enrolled(user_id: u32) -> Response {
+    Response::Error {
+        kind: "not_enrolled".to_string(),
+        message: format!("user {user_id} has no template"),
+    }
+}
+
+fn error_response(error: &MandiPassError) -> Response {
+    Response::Error {
+        kind: error.label().to_string(),
+        message: error.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::shared_service;
+
+    #[test]
+    fn health_reports_enrolment_count() {
+        let service = shared_service();
+        match service.handle(&Request::Health) {
+            Response::Health { enrolled, health } => {
+                assert!(enrolled >= 1);
+                assert!(health.get("status").is_some());
+            }
+            other => panic!("expected health, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verify_accepts_a_genuine_probe_and_rejects_unknown_users() {
+        let service = shared_service();
+        let (user, probe) = crate::test_support::genuine_probe(17);
+        match service.handle(&Request::Verify {
+            user_id: user,
+            probe: probe.clone(),
+        }) {
+            Response::Decision {
+                distance, attempts, ..
+            } => {
+                assert!(distance.is_finite());
+                assert_eq!(attempts, 1);
+            }
+            other => panic!("expected a decision, got {other:?}"),
+        }
+        match service.handle(&Request::Verify {
+            user_id: 9999,
+            probe,
+        }) {
+            Response::Error { kind, .. } => assert_eq!(kind, "not_enrolled"),
+            other => panic!("expected not_enrolled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn policy_verify_accepts_over_multiple_probes() {
+        let service = shared_service();
+        let (user, probes) = crate::test_support::genuine_probes(23, 3);
+        match service.handle(&Request::VerifyWithPolicy {
+            user_id: user,
+            probes,
+        }) {
+            Response::Decision {
+                accepted, attempts, ..
+            } => {
+                assert!(accepted, "three genuine probes must verify");
+                assert!(attempts >= 1);
+            }
+            other => panic!("expected a decision, got {other:?}"),
+        }
+    }
+}

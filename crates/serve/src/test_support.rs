@@ -1,0 +1,82 @@
+//! Shared test fixture: one small trained deployment, built once per
+//! test process (VSP training is the expensive part) and enrolled with a
+//! single genuine user. Tests only exercise `&self` request paths, so
+//! sharing is safe — and is itself the property under test.
+
+use std::sync::{Arc, OnceLock};
+
+use mandipass::prelude::*;
+use mandipass::train::{TrainingConfig, VspTrainer};
+use mandipass_imu_sim::{Condition, Population, Recorder, Recording, UserProfile};
+
+use crate::service::VerifyService;
+
+pub struct Fixture {
+    pub service: Arc<VerifyService>,
+    pub user: UserProfile,
+    pub recorder: Recorder,
+}
+
+pub fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let pop = Population::generate(6, 77);
+        let recorder = Recorder::default();
+        let trainer = VspTrainer::new(TrainingConfig {
+            seconds_per_person: 4.0,
+            epochs: 6,
+            ..TrainingConfig::fast_demo()
+        });
+        let extractor = trainer
+            .train(&pop.users()[2..], &recorder)
+            .unwrap_or_else(|e| panic!("fixture training failed: {e}"));
+        let mut system = MandiPass::new(extractor, PipelineConfig::default());
+        // A private monitor keeps these tests independent of the
+        // process-global one (and of each other's windows).
+        let monitor: &'static mandipass_telemetry::Monitor =
+            Box::leak(Box::new(mandipass_telemetry::Monitor::default()));
+        system.set_monitor(monitor);
+        let user = pop.users()[0].clone();
+        let matrix = GaussianMatrix::generate(1, system.embedding_dim());
+        let enrolment: Vec<Recording> = (0..4)
+            .map(|s| recorder.record(&user, Condition::Normal, 100 + s))
+            .collect();
+        let mut service = VerifyService::new(system, VerifyPolicy::default());
+        service
+            .enroll(user.id, &enrolment, matrix)
+            .unwrap_or_else(|e| panic!("fixture enrolment failed: {e}"));
+        Fixture {
+            service: Arc::new(service),
+            user,
+            recorder,
+        }
+    })
+}
+
+pub fn shared_service() -> &'static VerifyService {
+    &fixture().service
+}
+
+pub fn shared_arc() -> Arc<VerifyService> {
+    Arc::clone(&fixture().service)
+}
+
+/// A fresh genuine probe for the enrolled user.
+pub fn genuine_probe(seed: u64) -> (u32, Recording) {
+    let f = fixture();
+    (
+        f.user.id,
+        f.recorder.record(&f.user, Condition::Normal, seed),
+    )
+}
+
+/// `n` fresh genuine probes for the enrolled user.
+pub fn genuine_probes(seed: u64, n: usize) -> (u32, Vec<Recording>) {
+    let f = fixture();
+    (
+        f.user.id,
+        (0..n as u64)
+            .map(|i| f.recorder.record(&f.user, Condition::Normal, seed + i))
+            .collect(),
+    )
+}

@@ -19,7 +19,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mandipass_util::json::Value;
 
@@ -234,8 +234,13 @@ fn http_response(status: &str, content_type: &str, body: &str) -> Vec<u8> {
 }
 
 /// Answers one request on `stream` from `monitor`'s current state.
-fn handle(monitor: &Monitor, stream: &mut TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+///
+/// `budget` bounds the whole read phase, not just one `read` call: the
+/// per-read socket timeout (set in the accept loop) only fires on full
+/// silence, so a half-open client trickling one byte per almost-timeout
+/// would otherwise hold the single server thread indefinitely.
+fn handle(monitor: &Monitor, stream: &mut TcpStream, budget: Duration) {
+    let deadline = Instant::now() + budget;
     let mut buf = [0u8; 1024];
     let mut request = Vec::new();
     loop {
@@ -243,7 +248,10 @@ fn handle(monitor: &Monitor, stream: &mut TcpStream) {
             Ok(0) => break,
             Ok(n) => {
                 request.extend_from_slice(&buf[..n]);
-                if request.windows(2).any(|w| w == b"\r\n") || request.len() >= 8192 {
+                if request.windows(2).any(|w| w == b"\r\n")
+                    || request.len() >= 8192
+                    || Instant::now() >= deadline
+                {
                     break;
                 }
             }
@@ -304,8 +312,20 @@ impl std::fmt::Debug for MonitorServer {
 
 impl MonitorServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and serves
-    /// `monitor` on a background thread.
+    /// `monitor` on a background thread with the default 2 s read
+    /// budget per connection.
     pub fn bind(monitor: &'static Monitor, addr: &str) -> std::io::Result<Self> {
+        Self::bind_with_timeout(monitor, addr, Duration::from_secs(2))
+    }
+
+    /// [`MonitorServer::bind`] with an explicit per-connection read
+    /// budget — a stalled or half-open client costs the server thread
+    /// at most roughly one budget before the connection is shed.
+    pub fn bind_with_timeout(
+        monitor: &'static Monitor,
+        addr: &str,
+        read_timeout: Duration,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -318,7 +338,13 @@ impl MonitorServer {
                         break;
                     }
                     if let Ok(mut stream) = stream {
-                        handle(monitor, &mut stream);
+                        // Responses are one small write: Nagle would
+                        // only delay them. The socket timeout breaks
+                        // full silence; `handle`'s deadline breaks
+                        // trickle feeds.
+                        let _ = stream.set_nodelay(true);
+                        let _ = stream.set_read_timeout(Some(read_timeout));
+                        handle(monitor, &mut stream, read_timeout);
                     }
                 }
             })?;
@@ -458,6 +484,43 @@ mod tests {
         assert!(flight.contains("\"outcome\":\"rejected\""));
         let missing = fetch("/nope");
         assert!(missing.starts_with("HTTP/1.1 404"));
+        server.shutdown();
+        crate::set_deterministic(false);
+    }
+
+    #[test]
+    fn half_open_client_cannot_wedge_the_exposition_server() {
+        let _lock = global_state_lock();
+        crate::set_deterministic(true);
+        static SERVED: std::sync::OnceLock<Monitor> = std::sync::OnceLock::new();
+        let monitor = SERVED.get_or_init(fed_monitor);
+        let mut server =
+            MonitorServer::bind_with_timeout(monitor, "127.0.0.1:0", Duration::from_millis(100))
+                .unwrap_or_else(|e| panic!("bind: {e}"));
+        let addr = server.local_addr();
+        // A half-open client: connects, sends a partial request line
+        // (no CR LF), then stalls with the connection open — the server
+        // is mid-read when the bytes stop.
+        let mut stalled = TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect: {e}"));
+        stalled
+            .write_all(b"GET /met")
+            .unwrap_or_else(|e| panic!("write: {e}"));
+        // The single server thread must shed the stalled connection at
+        // its read budget and answer the next client promptly.
+        let start = Instant::now();
+        let mut client = TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect: {e}"));
+        client
+            .write_all(b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap_or_else(|e| panic!("write: {e}"));
+        let mut body = String::new();
+        let _ = client.read_to_string(&mut body);
+        assert!(body.starts_with("HTTP/1.1 200"), "{body}");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "stalled client wedged the server for {:?}",
+            start.elapsed()
+        );
+        drop(stalled);
         server.shutdown();
         crate::set_deterministic(false);
     }

@@ -1,0 +1,130 @@
+//! Integration: one enrolled [`MandiPass`] shared read-only across
+//! verify threads (the serving layer's deployment model, ISSUE 6).
+//!
+//! N threads × M verifies against the same instance must produce
+//! decisions bit-identical to a serial pass over the same probes, lose
+//! nothing from the enclave audit trail (the monotone `audit_seq`
+//! advances by exactly the serial pass's per-verify rate), and land
+//! every decision in the bound drift monitor. No loom, no mocks — real
+//! `std::thread::scope` contention on the real pipeline.
+
+use mandipass::prelude::*;
+use mandipass_imu_sim::{Condition, Population, Recorder, Recording};
+use mandipass_telemetry::Monitor;
+
+const THREADS: usize = 4;
+const VERIFIES: usize = 8;
+
+/// A small trained deployment, one enrolled user, a private monitor.
+fn deployment() -> (
+    MandiPass,
+    &'static Monitor,
+    u32,
+    GaussianMatrix,
+    Vec<Recording>,
+) {
+    let pop = Population::generate(6, 77);
+    let recorder = Recorder::default();
+    let trainer = VspTrainer::new(TrainingConfig {
+        seconds_per_person: 4.0,
+        epochs: 6,
+        ..TrainingConfig::fast_demo()
+    });
+    let extractor = trainer.train(&pop.users()[2..], &recorder).expect("train");
+    let mut system = MandiPass::new(extractor, PipelineConfig::default());
+    let monitor: &'static Monitor = Box::leak(Box::new(Monitor::default()));
+    system.set_monitor(monitor);
+    let user = &pop.users()[0];
+    let matrix = GaussianMatrix::generate(31, system.embedding_dim());
+    let enrolment: Vec<_> = (0..4)
+        .map(|s| recorder.record(user, Condition::Normal, 41_900 + s))
+        .collect();
+    system.enroll(user.id, &enrolment, &matrix).expect("enroll");
+    // One distinct probe per (thread, iteration) slot, fixed seeds, so
+    // the serial and concurrent passes see the very same inputs.
+    let probes: Vec<Recording> = (0..THREADS * VERIFIES)
+        .map(|i| recorder.record(user, Condition::Normal, 42_000 + i as u64))
+        .collect();
+    (system, monitor, user.id, matrix, probes)
+}
+
+#[test]
+fn concurrent_verifies_match_serial_bit_for_bit() {
+    let (system, monitor, user_id, matrix, probes) = deployment();
+
+    // Serial reference pass: the ground-truth decisions and the audit
+    // events one verify costs (load + verdict — measured, not assumed).
+    let seq_start = system.enclave().audit_seq();
+    let serial: Vec<(bool, f64)> = probes
+        .iter()
+        .map(|p| {
+            let outcome = system.verify(user_id, p, &matrix).expect("serial verify");
+            (outcome.accepted, outcome.distance)
+        })
+        .collect();
+    let serial_events = system.enclave().audit_seq() - seq_start;
+    assert!(serial_events > 0, "verifies must leave an audit trail");
+    assert_eq!(
+        serial_events % (probes.len() as u64),
+        0,
+        "audit cost per verify should be uniform on clean probes"
+    );
+    assert!(
+        serial.iter().any(|(accepted, _)| *accepted),
+        "genuine probes should mostly verify; none did"
+    );
+
+    // Concurrent pass: THREADS workers share `&system`, each re-runs
+    // its own slice of the same probes.
+    monitor.reset_windows();
+    let seq_concurrent_start = system.enclave().audit_seq();
+    let mut concurrent: Vec<(bool, f64)> = vec![(false, 0.0); probes.len()];
+    std::thread::scope(|scope| {
+        for (t, (chunk_probes, chunk_out)) in probes
+            .chunks(VERIFIES)
+            .zip(concurrent.chunks_mut(VERIFIES))
+            .enumerate()
+        {
+            let system = &system;
+            let matrix = &matrix;
+            scope.spawn(move || {
+                for (probe, out) in chunk_probes.iter().zip(chunk_out) {
+                    let outcome = system
+                        .verify(user_id, probe, matrix)
+                        .unwrap_or_else(|e| panic!("thread {t} verify: {e}"));
+                    *out = (outcome.accepted, outcome.distance);
+                }
+            });
+        }
+    });
+
+    // Bit-identical decisions: same accept flags AND the exact same
+    // distances — concurrency must not perturb the numeric path.
+    for (i, (s, c)) in serial.iter().zip(&concurrent).enumerate() {
+        assert_eq!(s.0, c.0, "probe {i}: accept flag diverged under threads");
+        assert_eq!(
+            s.1.to_bits(),
+            c.1.to_bits(),
+            "probe {i}: distance diverged under threads ({} vs {})",
+            s.1,
+            c.1
+        );
+    }
+
+    // No audit loss: the Mutex-serialised trail advanced by exactly the
+    // serial pass's rate. The ring may evict old events; `audit_seq` is
+    // monotone and counts every one ever admitted.
+    let concurrent_events = system.enclave().audit_seq() - seq_concurrent_start;
+    assert_eq!(
+        concurrent_events, serial_events,
+        "concurrent pass lost or duplicated audit events"
+    );
+
+    // Every concurrent decision reached the monitor.
+    let health = monitor.health();
+    assert_eq!(
+        health.decisions,
+        (THREADS * VERIFIES) as u64,
+        "drift monitor missed decisions from concurrent verifies"
+    );
+}
