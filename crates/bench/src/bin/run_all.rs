@@ -73,6 +73,16 @@ fn main() {
         std::env::var("MANDIPASS_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
     std::fs::write(&bench_out, serve_json.to_json() + "\n").expect("write BENCH_serve.json");
 
+    // Request tracing: traced TCP load with per-stage latency
+    // attribution, written next to the serve perf artifact.
+    telemetry::event("running the request-tracing experiment…");
+    let (trace_table, trace_json) =
+        experiments::exp_trace(&mut stack, threshold).expect("trace experiment failed");
+    tables.push(trace_table);
+    let trace_out =
+        std::env::var("MANDIPASS_TRACE_OUT").unwrap_or_else(|_| "BENCH_trace.json".into());
+    std::fs::write(&trace_out, trace_json.to_json() + "\n").expect("write BENCH_trace.json");
+
     // Multi-training sweeps last (each trains its own extractors); run
     // them at a cheaper sub-scale — only the trend is asserted.
     telemetry::event("running the training-sweep artifacts (multiple trainings)…");
@@ -105,6 +115,7 @@ fn main() {
         }
     );
     println!("BENCH: {bench_out}");
+    println!("BENCH: {trace_out}");
     // The live-exposition view of the whole run: bench output and the
     // /metrics endpoints share one schema via Monitor::snapshot.
     println!(

@@ -25,12 +25,16 @@ use mandipass_imu_sim::vocal::Sex;
 use mandipass_imu_sim::{
     Condition, FaultProfile, FaultyRecorder, ImuModel, Population, Recorder, Recording, UserProfile,
 };
-use mandipass_serve::{Request, Response, ServeConfig, VerifyServer, VerifyService};
-use mandipass_telemetry::HealthStatus;
+use mandipass_serve::{Request, Response, ServeConfig, VerifyClient, VerifyServer, VerifyService};
+use mandipass_telemetry::{
+    format_trace_id, HealthStatus, MonitorServer, RequestTrace, TraceConfig, TraceStore,
+};
 use mandipass_util::json::Value;
 
 use crate::harness::TrainedStack;
-use crate::load::{bench_serve_document, run_load, validate_bench_serve, LoadConfig, LoadTarget};
+use crate::load::{
+    bench_serve_document, run_load, trace_attribution, validate_bench_serve, LoadConfig, LoadTarget,
+};
 use crate::scale::EvalScale;
 
 /// Fig. 1: σ(az) decays along the throat → mandible → ear path.
@@ -1737,5 +1741,394 @@ pub fn exp_serve(
         },
         validate_bench_serve(&doc).is_ok(),
     ));
+    Ok((table, doc))
+}
+
+/// Schema tag of the trace bench artifact.
+pub const BENCH_TRACE_SCHEMA: &str = "mandipass.bench.trace/v1";
+
+/// One plain HTTP GET against a loopback server; returns the body.
+fn http_get_body(addr: std::net::SocketAddr, path: &str) -> Result<String, String> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| e.to_string())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).map_err(|e| e.to_string())?;
+    raw.split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .ok_or_else(|| "no header/body separator in HTTP response".to_string())
+}
+
+/// End-to-end request tracing: traced TCP load against an enrolled
+/// deployment, with the latency-attribution report and the sampled
+/// trace-store invariants the ISSUE acceptance criteria name — every
+/// sampled trace's stage durations sum to within its total, error and
+/// degraded requests always carry the captured pipeline span tree, the
+/// trace id echoed to the client locates the same trace over a real
+/// `GET /traces`, and the probabilistic sampler is a bit-identical,
+/// order-independent function of the id.
+pub fn exp_trace(
+    stack: &mut TrainedStack,
+    threshold: f64,
+) -> Result<(ReportTable, Value), MandiPassError> {
+    let _span = mandipass_telemetry::span("exp_trace");
+    const COHORT: usize = 4;
+    let env_usize = |name: &str, default: usize| {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let clients = env_usize("MANDIPASS_SERVE_CLIENTS", 4).max(1);
+    let requests = env_usize("MANDIPASS_SERVE_REQUESTS", 16).max(1);
+    let workers = env_usize("MANDIPASS_SERVE_WORKERS", 4).max(1);
+
+    // A private monitor: the trace store under test must contain exactly
+    // this experiment's requests.
+    let monitor: &'static mandipass_telemetry::Monitor =
+        Box::leak(Box::new(mandipass_telemetry::Monitor::default()));
+    let users: Vec<UserProfile> = stack
+        .population
+        .users()
+        .iter()
+        .take(COHORT)
+        .cloned()
+        .collect();
+    let recorder = stack.recorder.clone();
+    let config = PipelineConfig {
+        threshold,
+        ..PipelineConfig::default()
+    };
+    let mut auth = MandiPass::new(stack.extractor.clone(), config);
+    auth.set_monitor(monitor);
+    let dim = auth.embedding_dim();
+    let mut service = VerifyService::new(auth, VerifyPolicy::default());
+    for user in &users {
+        let matrix = GaussianMatrix::generate(0x7217 ^ u64::from(user.id), dim);
+        let recs: Vec<Recording> = (0..4u64)
+            .map(|s| {
+                recorder.record(
+                    user,
+                    Condition::Normal,
+                    0x7217_0000 ^ (u64::from(user.id) << 8) ^ s,
+                )
+            })
+            .collect();
+        service.enroll(user.id, &recs, matrix)?;
+    }
+    // Same post-enrolment calibration as `exp_serve`: freeze the drift
+    // baseline on live genuine distances and recalibrate the threshold
+    // from this deployment's own genuine-vs-impostor gap.
+    let mut genuine_cal = Vec::new();
+    let mut impostor_cal = Vec::new();
+    for (u, user) in users.iter().enumerate() {
+        for s in 0..4u64 {
+            let seed = 0x7217_3000 ^ ((u as u64) << 8) ^ s;
+            let own = recorder.record(user, Condition::Normal, seed);
+            if let Response::Decision { distance, .. } = service.handle(&Request::Verify {
+                user_id: user.id,
+                probe: own,
+            }) {
+                genuine_cal.push(distance);
+            }
+            let other = &users[(u + 1) % users.len()];
+            let foreign = recorder.record(other, Condition::Normal, seed ^ 0x77);
+            if let Response::Decision { distance, .. } = service.handle(&Request::Verify {
+                user_id: user.id,
+                probe: foreign,
+            }) {
+                impostor_cal.push(distance);
+            }
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let (genuine_mean, impostor_mean) = (mean(&genuine_cal), mean(&impostor_cal));
+    if impostor_mean > genuine_mean {
+        service.system_mut().config_mut().threshold = (genuine_mean + impostor_mean) / 2.0;
+    }
+    monitor.extend_baseline(&genuine_cal);
+    monitor.freeze_baseline();
+    // Calibration traffic committed traces too; judge only the load.
+    monitor.reset_windows();
+
+    let service = std::sync::Arc::new(service);
+    let mut server = VerifyServer::bind(
+        std::sync::Arc::clone(&service),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind verify server on loopback");
+    // The monitor's own HTTP listener: the /traces assertion below goes
+    // over a real socket, not a method call.
+    let http_addr =
+        std::env::var("MANDIPASS_TRACE_HTTP_ADDR").unwrap_or_else(|_| "127.0.0.1:0".into());
+    let mut http = MonitorServer::bind(monitor, &http_addr).expect("bind monitor HTTP listener");
+
+    let load_config = LoadConfig {
+        clients,
+        requests_per_client: requests,
+        seed: 0x7217_4e20,
+        ..LoadConfig::default()
+    };
+    let tcp = run_load(
+        &LoadTarget::Tcp(server.local_addr()),
+        &users,
+        &recorder,
+        &load_config,
+        Some(monitor),
+    );
+
+    // Two targeted requests with caller-chosen ids: an error (unknown
+    // user) and a degraded candidate (stuck gyro through the policy
+    // path) — the classes the sampler must never drop.
+    let mut client = VerifyClient::connect(server.local_addr()).expect("connect trace client");
+    let error_id = 0x7217_0000_0000_0e01_u64;
+    let probe = recorder.record(&users[0], Condition::Normal, 0x7217_5001);
+    let (error_resp, error_echo) = client
+        .call_traced(
+            &Request::Verify {
+                user_id: 999_999,
+                probe,
+            },
+            Some(error_id),
+        )
+        .expect("traced error request");
+    let degraded_id = 0x7217_0000_0000_0e02_u64;
+    let clean = recorder.record(&users[0], Condition::Normal, 0x7217_5002);
+    let mut axes = clean.axes().to_vec();
+    let frozen = axes[3][0];
+    for v in axes[3].iter_mut() {
+        *v = frozen;
+    }
+    let gyro_fault = Recording::from_parts(
+        clean.sample_rate_hz(),
+        axes,
+        clean.condition(),
+        clean.user_id(),
+    )
+    .expect("gyro-fault recording stays well-formed");
+    let (_, degraded_echo) = client
+        .call_traced(
+            &Request::VerifyWithPolicy {
+                user_id: users[0].id,
+                probes: vec![gyro_fault],
+            },
+            Some(degraded_id),
+        )
+        .expect("traced degraded request");
+    // Traces commit just after the response write; give the workers a
+    // beat before reading the store.
+    for _ in 0..200 {
+        if monitor.find_trace(degraded_id).is_some() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    let traces = monitor.traces();
+    let stage_sums_ok =
+        !traces.is_empty() && traces.iter().all(|t| t.stage_nanos() <= t.total_nanos);
+    let error_degraded: Vec<&RequestTrace> = traces
+        .iter()
+        .filter(|t| t.is_error() || t.is_degraded())
+        .collect();
+    let spans_ok = !error_degraded.is_empty() && error_degraded.iter().all(|t| t.spans.is_some());
+    let echoed_unique = {
+        let mut ids = tcp.trace_ids.clone();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        before == tcp.trace_ids.len() && ids.len() == before
+    };
+    assert!(matches!(error_resp, Response::Error { .. }));
+    assert_eq!(error_echo, Some(error_id), "error trace id must echo");
+    assert_eq!(
+        degraded_echo,
+        Some(degraded_id),
+        "degraded trace id must echo"
+    );
+
+    // The id the client got back locates the same trace over real HTTP.
+    let http_located = http_get_body(http.local_addr(), "/traces")
+        .ok()
+        .and_then(|body| mandipass_util::json::parse(&body).ok())
+        .and_then(|doc| {
+            doc.get("traces").and_then(|list| match list {
+                Value::Array(items) => Some(items.iter().any(|t| {
+                    t.get("trace_id").and_then(Value::as_str)
+                        == Some(format_trace_id(error_id)).as_deref()
+                })),
+                _ => None,
+            })
+        })
+        .unwrap_or(false);
+
+    // The probabilistic sampler is a pure function of (seed, id): two
+    // replays of the echoed ids keep bit-identical stores, and a
+    // reversed replay keeps the same id set.
+    let sampler_config = TraceConfig {
+        capacity: (tcp.trace_ids.len() + 1).max(8),
+        sample_rate: 0.5,
+        slow_threshold_nanos: u64::MAX,
+        seed: 0x7217_0005,
+    };
+    let replay = |ids: &[u64]| {
+        let mut store = TraceStore::new(sampler_config.clone());
+        for &id in ids {
+            let mut t = RequestTrace::new(id, "verify", "accepted");
+            t.stage("verify", 1);
+            store.offer_at(0, t);
+        }
+        store
+    };
+    let first = replay(&tcp.trace_ids);
+    let second = replay(&tcp.trace_ids);
+    let bit_identical = first.to_json().to_json() == second.to_json().to_json();
+    let mut reversed_ids = tcp.trace_ids.clone();
+    reversed_ids.reverse();
+    let reversed = replay(&reversed_ids);
+    let sorted_ids = |store: &TraceStore| {
+        let mut ids: Vec<u64> = store.traces().iter().map(|t| t.trace_id).collect();
+        ids.sort_unstable();
+        ids
+    };
+    let order_independent = sorted_ids(&first) == sorted_ids(&reversed);
+    let sampler_thinned = first.len() < tcp.trace_ids.len();
+
+    let attribution = trace_attribution(monitor, 5);
+    let doc = Value::Object(vec![
+        (
+            "schema".to_string(),
+            Value::String(BENCH_TRACE_SCHEMA.to_string()),
+        ),
+        (
+            "scale".to_string(),
+            Value::String(format!(
+                "{clients} clients x {requests} requests, {workers} workers"
+            )),
+        ),
+        ("requests".to_string(), Value::Number(tcp.requests as f64)),
+        (
+            "echoed_ids".to_string(),
+            Value::Number(tcp.trace_ids.len() as f64),
+        ),
+        ("attribution".to_string(), attribution.clone()),
+        (
+            "store".to_string(),
+            monitor
+                .snapshot()
+                .get("traces")
+                .cloned()
+                .unwrap_or(Value::Null),
+        ),
+        (
+            "checks".to_string(),
+            Value::Object(
+                [
+                    ("stage_sums_within_total", stage_sums_ok),
+                    ("error_degraded_have_spans", spans_ok),
+                    ("http_locates_echoed_trace", http_located),
+                    ("echoed_ids_unique", echoed_unique),
+                    ("sampling_bit_identical", bit_identical),
+                    ("sampling_order_independent", order_independent),
+                ]
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), Value::Bool(v)))
+                .collect(),
+            ),
+        ),
+    ]);
+
+    let mut table = ReportTable::new("Trace: end-to-end request tracing over TCP");
+    table.push(
+        ExperimentRecord::new(
+            "Trace",
+            "every echoed id is unique",
+            format!("{} distinct ids", tcp.trace_ids.len()),
+            if echoed_unique {
+                "unique"
+            } else {
+                "duplicates"
+            }
+            .to_string(),
+            echoed_unique && !tcp.trace_ids.is_empty(),
+        )
+        .with_note("TCP load rides call_traced; the server echoes each request's id"),
+    );
+    table.push(ExperimentRecord::new(
+        "Trace",
+        "stage durations sum to within the total",
+        "queue_wait + decode + verify + write <= total",
+        if stage_sums_ok { "holds" } else { "violated" }.to_string(),
+        stage_sums_ok,
+    ));
+    table.push(ExperimentRecord::new(
+        "Trace",
+        "error/degraded traces carry the pipeline span tree",
+        "> 0 such traces, all with spans",
+        format!("{} traces", error_degraded.len()),
+        spans_ok,
+    ));
+    table.push(
+        ExperimentRecord::new(
+            "Trace",
+            "echoed id locates the trace via GET /traces",
+            "found over HTTP",
+            if http_located { "found" } else { "missing" }.to_string(),
+            http_located,
+        )
+        .with_note(format!("queried {}", http.local_addr())),
+    );
+    table.push(
+        ExperimentRecord::new(
+            "Trace",
+            "sampling is deterministic and order-independent",
+            "two runs bit-identical, reversal invariant",
+            format!(
+                "bit-identical: {bit_identical}, order-independent: {order_independent}, \
+                 kept {}/{}",
+                first.len(),
+                tcp.trace_ids.len()
+            ),
+            bit_identical && order_independent && sampler_thinned,
+        )
+        .with_note("replayed the echoed ids through two fresh stores at rate 0.5"),
+    );
+    let p99_attributed = attribution
+        .get("stages")
+        .and_then(|s| s.get("verify"))
+        .and_then(|v| v.get("p99_nanos"))
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    table.push(ExperimentRecord::new(
+        "Trace",
+        "attribution report covers the verify stage",
+        "p99 > 0 ns",
+        format!("{:.0} ns", p99_attributed),
+        p99_attributed > 0.0,
+    ));
+
+    // Optional hold for CI: keep both listeners alive so an external
+    // probe can curl /metrics and /traces while the process is up.
+    if let Some(secs) = std::env::var("MANDIPASS_TRACE_HOLD_SECS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|s| *s > 0)
+    {
+        println!("TRACE_HTTP: {}", http.local_addr());
+        std::thread::sleep(std::time::Duration::from_secs(secs));
+    }
+    server.shutdown();
+    http.shutdown();
     Ok((table, doc))
 }

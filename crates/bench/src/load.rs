@@ -228,6 +228,9 @@ pub struct LoadReport {
     /// The serving deployment's drift-monitor health report at the end
     /// of the run, when the caller handed the monitor over.
     pub monitor: Value,
+    /// Trace ids the server echoed back, in client-thread order (empty
+    /// for in-process runs, which cannot observe their minted ids).
+    pub trace_ids: Vec<u64>,
 }
 
 impl LoadReport {
@@ -324,10 +327,17 @@ enum Caller<'a> {
 }
 
 impl Caller<'_> {
-    fn call(&mut self, request: &Request) -> Result<Response, String> {
+    /// Issues one request. TCP calls ride [`VerifyClient::call_traced`]
+    /// so the echoed trace id comes back with the response; in-process
+    /// calls mint and commit their trace inside `handle` and return no
+    /// id (there is no wire to echo it on).
+    fn call(&mut self, request: &Request) -> (Result<Response, String>, Option<u64>) {
         match self {
-            Caller::InProcess(service) => Ok(service.handle(request)),
-            Caller::Tcp(client) => client.call(request).map_err(|e| e.to_string()),
+            Caller::InProcess(service) => (Ok(service.handle(request)), None),
+            Caller::Tcp(client) => match client.call_traced(request, None) {
+                Ok((response, echoed)) => (Ok(response), echoed),
+                Err(e) => (Err(e.to_string()), None),
+            },
         }
     }
 }
@@ -450,7 +460,7 @@ pub fn run_load(
     // each other's quantiles.
     let histogram = Registry::new().histogram("serve.load_latency_seconds");
     let started = Instant::now();
-    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+    let tallies: Vec<(Tally, Vec<u64>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..config.clients.max(1))
             .map(|client_idx| {
                 let histogram: Histogram = histogram.clone();
@@ -467,15 +477,19 @@ pub fn run_load(
                             (client_idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                         ));
                     let mut tally = Tally::default();
+                    let mut echoed_ids = Vec::new();
                     for _ in 0..config.requests_per_client {
                         let (request, genuine, impostor) =
                             plan_request(&mut rng, users, recorder, config, &mut tally);
                         let sent = Instant::now();
-                        let response = caller.call(&request);
+                        let (response, echoed) = caller.call(&request);
                         histogram.observe(sent.elapsed().as_secs_f64());
                         score_response(&response, genuine, impostor, &mut tally);
+                        if let Some(id) = echoed {
+                            echoed_ids.push(id);
+                        }
                     }
-                    tally
+                    (tally, echoed_ids)
                 })
             })
             .collect();
@@ -486,8 +500,10 @@ pub fn run_load(
     });
     let wall_seconds = started.elapsed().as_secs_f64().max(1e-9);
     let mut total = Tally::default();
-    for t in &tallies {
+    let mut trace_ids = Vec::new();
+    for (t, ids) in &tallies {
         total.add(t);
+        trace_ids.extend_from_slice(ids);
     }
     LoadReport {
         config: config.clone(),
@@ -512,7 +528,18 @@ pub fn run_load(
         impostor_accepted: total.impostor_accepted,
         faulty: total.faulty,
         monitor: monitor.map_or(Value::Null, |m| m.health().to_json()),
+        trace_ids,
     }
+}
+
+/// The latency-attribution report for the traces a monitor sampled
+/// during a load run: per-stage p50/p99/mean/max over the queue-wait /
+/// decode / verify / write taxonomy plus the `top_k` slowest traces in
+/// full. A thin re-export of
+/// [`mandipass_telemetry::attribution_report`] so bench binaries do not
+/// reach into the telemetry crate directly.
+pub fn trace_attribution(monitor: &Monitor, top_k: usize) -> Value {
+    mandipass_telemetry::attribution_report(&monitor.traces(), top_k)
 }
 
 /// Assembles the full schema-versioned `BENCH_serve.json` document from
@@ -704,7 +731,16 @@ mod tests {
                 "status".to_string(),
                 Value::String("healthy".to_string()),
             )]),
+            trace_ids: Vec::new(),
         }
+    }
+
+    #[test]
+    fn attribution_of_an_idle_monitor_is_empty_but_well_formed() {
+        let monitor = Monitor::default();
+        let report = trace_attribution(&monitor, 5);
+        assert_eq!(report.get("trace_count").and_then(Value::as_f64), Some(0.0));
+        assert!(matches!(report.get("slowest"), Some(Value::Array(a)) if a.is_empty()));
     }
 
     fn fake_doc(qps: f64, p99: f64) -> Value {

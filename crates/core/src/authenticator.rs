@@ -280,7 +280,10 @@ impl MandiPass {
     ///
     /// Every rejected probe is recorded in the enclave audit trail and
     /// in per-reason telemetry counters (`quality.reject.<label>`); the
-    /// retry depth lands in the `verify.retry_depth` histogram.
+    /// retry depth lands in the `verify.retry_depth` histogram. Flight
+    /// records emitted along the way inherit the thread's active
+    /// request trace id ([`mandipass_telemetry::trace::current`]), so a
+    /// serve-layer trace and the flights it produced cross-reference.
     ///
     /// # Errors
     ///
@@ -762,6 +765,40 @@ mod tests {
             }
             other => panic!("expected RetriesExhausted, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn policy_flights_inherit_the_active_trace_id() {
+        let (mut system, pop, recorder) = trained_system();
+        let monitor: &'static mandipass_telemetry::Monitor =
+            Box::leak(Box::new(mandipass_telemetry::Monitor::default()));
+        system.set_monitor(monitor);
+        let user = &pop.users()[0];
+        let matrix = GaussianMatrix::generate(16, system.embedding_dim());
+        let enrolment: Vec<_> = (0..4)
+            .map(|s| recorder.record(user, Condition::Normal, 8900 + s))
+            .collect();
+        system.enroll(user.id, &enrolment, &matrix).unwrap();
+
+        let template = recorder.record(user, Condition::Normal, 8950);
+        let axes = vec![vec![f64::INFINITY; template.len()]; 6];
+        let garbage =
+            Recording::from_parts(template.sample_rate_hz(), axes, template.condition(), 0)
+                .unwrap();
+        let trace_id = 0xfeed_0000_0000_0042_u64;
+        {
+            let _scope = mandipass_telemetry::trace::scope(trace_id);
+            let _ =
+                system.verify_with_policy(user.id, &[garbage], &matrix, &VerifyPolicy::default());
+        }
+        let flights = monitor.flights();
+        assert!(!flights.is_empty(), "exhausted policy run records flights");
+        assert!(
+            flights.iter().all(|f| f.trace_id == Some(trace_id)),
+            "policy-path flights must carry the active trace id"
+        );
+        // Outside any scope, fresh flights stay untagged.
+        assert!(mandipass_telemetry::trace::current().is_none());
     }
 
     #[test]

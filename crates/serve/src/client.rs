@@ -60,4 +60,37 @@ impl VerifyClient {
         Response::from_frame(&frame)
             .map_err(|message| io::Error::new(io::ErrorKind::InvalidData, message))
     }
+
+    /// Sends one request tagged with a trace id (`trace_id`, or a
+    /// freshly minted one when `None`) and blocks for its response,
+    /// returning the response together with the trace id the server
+    /// echoed back (`None` from a pre-tracing server).
+    ///
+    /// # Errors
+    ///
+    /// As [`VerifyClient::call`].
+    pub fn call_traced(
+        &mut self,
+        request: &Request,
+        trace_id: Option<u64>,
+    ) -> io::Result<(Response, Option<u64>)> {
+        let trace_id = trace_id.unwrap_or_else(mandipass_telemetry::mint_id);
+        let payload = protocol::with_trace_id(request.to_json(), trace_id).to_json();
+        protocol::write_frame(&mut self.stream, payload.as_bytes())?;
+        let frame =
+            protocol::read_frame(&mut self.stream, self.max_frame_bytes)?.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed before answering",
+                )
+            })?;
+        let text = std::str::from_utf8(&frame)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("not UTF-8: {e}")))?;
+        let doc = mandipass_util::json::parse(text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad JSON: {e}")))?;
+        let echoed = protocol::trace_id_of(&doc);
+        let response = Response::from_json(&doc)
+            .map_err(|message| io::Error::new(io::ErrorKind::InvalidData, message))?;
+        Ok((response, echoed))
+    }
 }

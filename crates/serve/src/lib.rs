@@ -29,6 +29,14 @@
 //! [`client::VerifyClient`] is the matching blocking client, used by the
 //! load generator and the tests.
 //!
+//! Every request is traced end to end: frames may carry an optional
+//! `trace` field (a 16-hex-digit id, minted server-side when absent —
+//! the protocol version stays 1 because both parsers ignore unknown
+//! fields), responses echo it back, and each handled request records a
+//! [`mandipass_telemetry::RequestTrace`] with a queue-wait / decode /
+//! verify / write stage breakdown into the monitor's sampled trace
+//! store, inspectable over `GET /traces` on the monitor HTTP listener.
+//!
 //! [`VerifyPolicy`]: mandipass::prelude::VerifyPolicy
 
 pub mod client;
@@ -40,9 +48,9 @@ pub mod service;
 pub(crate) mod test_support;
 
 pub use client::VerifyClient;
-pub use protocol::{Request, Response, PROTOCOL_VERSION};
+pub use protocol::{trace_id_of, with_trace_id, Request, Response, PROTOCOL_VERSION, TRACE_FIELD};
 pub use server::{ServeConfig, VerifyServer};
-pub use service::VerifyService;
+pub use service::{PendingTrace, VerifyService, WireTiming};
 
 #[cfg(test)]
 mod sync_audit {

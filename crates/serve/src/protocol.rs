@@ -11,6 +11,16 @@
 //! survives a TCP hop bit-identically and the server's decisions match
 //! the in-process path exactly — the property the bench's transport-
 //! parity check rests on.
+//!
+//! Requests and responses may carry an optional `"trace"` field: a
+//! trace id as 16 lower-case hex digits (JSON numbers are f64 and would
+//! corrupt a u64 above 2^53). Both parsers ignore unknown fields, so
+//! old peers tolerate it and [`PROTOCOL_VERSION`] stays 1; the server
+//! echoes the id in every response so a client can locate its request's
+//! trace in `GET /traces`. Parse failures are measured as typed
+//! telemetry counters: `serve.frame.oversized` (announced length over
+//! the cap), `serve.frame.version_mismatch`, and
+//! `serve.frame.malformed` (everything else).
 
 use std::io::{self, Read, Write};
 
@@ -62,6 +72,7 @@ pub fn read_frame(reader: &mut impl Read, max_bytes: usize) -> io::Result<Option
     }
     let len = u32::from_be_bytes(len_buf) as usize;
     if len > max_bytes {
+        mandipass_telemetry::counter!("serve.frame.oversized").inc();
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("frame of {len} bytes exceeds the {max_bytes}-byte limit"),
@@ -70,6 +81,41 @@ pub fn read_frame(reader: &mut impl Read, max_bytes: usize) -> io::Result<Option
     let mut payload = vec![0u8; len];
     reader.read_exact(&mut payload)?;
     Ok(Some(payload))
+}
+
+/// Optional field carrying a trace id (hex) on requests and responses.
+pub const TRACE_FIELD: &str = "trace";
+
+/// Appends the trace id to a wire document (no-op on non-objects).
+pub fn with_trace_id(doc: Value, trace_id: u64) -> Value {
+    match doc {
+        Value::Object(mut members) => {
+            members.push((
+                TRACE_FIELD.to_string(),
+                Value::String(mandipass_telemetry::format_trace_id(trace_id)),
+            ));
+            Value::Object(members)
+        }
+        other => other,
+    }
+}
+
+/// The trace id a wire document carries; `None` when the field is
+/// absent or unparsable (tracing is best-effort metadata — a bad id
+/// must not fail an otherwise valid request).
+pub fn trace_id_of(doc: &Value) -> Option<u64> {
+    doc.get(TRACE_FIELD)
+        .and_then(Value::as_str)
+        .and_then(|text| mandipass_telemetry::parse_trace_id(text).ok())
+}
+
+/// Classifies one request parse failure into the typed frame counters.
+fn count_parse_error(message: &str) {
+    if message.contains("unsupported protocol version") {
+        mandipass_telemetry::counter!("serve.frame.version_mismatch").inc();
+    } else {
+        mandipass_telemetry::counter!("serve.frame.malformed").inc();
+    }
 }
 
 /// One client request.
@@ -177,14 +223,32 @@ impl Request {
         }
     }
 
-    /// Parses raw frame bytes (UTF-8 + JSON + schema).
+    /// Parses raw frame bytes (UTF-8 + JSON + schema), counting
+    /// failures into the typed frame counters.
     ///
     /// # Errors
     ///
     /// As [`Request::from_json`], plus UTF-8 and JSON syntax errors.
     pub fn from_frame(payload: &[u8]) -> Result<Request, String> {
-        let text = std::str::from_utf8(payload).map_err(|e| format!("frame is not UTF-8: {e}"))?;
-        Request::from_json(&json::parse(text)?)
+        Request::from_frame_traced(payload).map(|(request, _)| request)
+    }
+
+    /// [`Request::from_frame`] plus the frame's trace id, when the
+    /// client sent one.
+    ///
+    /// # Errors
+    ///
+    /// As [`Request::from_frame`]; a frame that fails to parse yields
+    /// no trace id even if the raw text contained one.
+    pub fn from_frame_traced(payload: &[u8]) -> Result<(Request, Option<u64>), String> {
+        let parse = || -> Result<(Request, Option<u64>), String> {
+            let text =
+                std::str::from_utf8(payload).map_err(|e| format!("frame is not UTF-8: {e}"))?;
+            let doc = json::parse(text)?;
+            let request = Request::from_json(&doc)?;
+            Ok((request, trace_id_of(&doc)))
+        };
+        parse().inspect_err(|message| count_parse_error(message))
     }
 }
 
@@ -543,7 +607,13 @@ mod tests {
     }
 
     #[test]
-    fn malformed_requests_are_rejected_with_context() {
+    fn malformed_requests_are_rejected_with_context_and_counted() {
+        // The registry is process-global and the harness runs tests
+        // concurrently, so counter assertions use ≥ deltas.
+        let malformed = mandipass_telemetry::metrics().counter("serve.frame.malformed");
+        let mismatched = mandipass_telemetry::metrics().counter("serve.frame.version_mismatch");
+        let (malformed_before, mismatched_before) = (malformed.get(), mismatched.get());
+        let mut malformed_docs = 0u64;
         for (doc, needle) in [
             ("{}", "\"v\""),
             ("{\"v\":2,\"op\":\"health\"}", "version"),
@@ -555,6 +625,119 @@ mod tests {
         ] {
             let err = Request::from_frame(doc.as_bytes()).unwrap_err();
             assert!(err.contains(needle), "{doc} → {err}");
+            if !needle.contains("version") {
+                malformed_docs += 1;
+            }
+        }
+        assert!(
+            malformed.get() >= malformed_before + malformed_docs,
+            "malformed frames must be counted"
+        );
+        assert!(
+            mismatched.get() > mismatched_before,
+            "version mismatches must be counted separately"
+        );
+    }
+
+    #[test]
+    fn oversized_frames_are_counted() {
+        let oversized = mandipass_telemetry::metrics().counter("serve.frame.oversized");
+        let before = oversized.get();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[0u8; 64]).unwrap();
+        assert!(read_frame(&mut Cursor::new(buf), 16).is_err());
+        assert!(oversized.get() > before);
+    }
+
+    #[test]
+    fn trace_ids_ride_the_wire_and_absent_ones_stay_absent() {
+        let request = Request::Health;
+        let traced = with_trace_id(request.to_json(), 0xdead_beef_cafe_f00d);
+        let bytes = traced.to_json();
+        assert!(bytes.contains("\"trace\":\"deadbeefcafef00d\""), "{bytes}");
+        let (parsed, id) = Request::from_frame_traced(bytes.as_bytes()).unwrap();
+        assert_eq!(parsed, Request::Health);
+        assert_eq!(id, Some(0xdead_beef_cafe_f00d));
+        // An untraced frame parses with no id; an old peer parsing a
+        // traced frame (unknown field) still gets the request.
+        let (_, id) = Request::from_frame_traced(request.to_json().to_json().as_bytes()).unwrap();
+        assert_eq!(id, None);
+        assert_eq!(
+            Request::from_frame(bytes.as_bytes()).unwrap(),
+            Request::Health
+        );
+        // A garbled trace id is best-effort metadata, not an error.
+        let doc = json::parse("{\"v\":1,\"op\":\"health\",\"trace\":\"zz\"}").unwrap();
+        assert_eq!(trace_id_of(&doc), None);
+        assert_eq!(Request::from_json(&doc).unwrap(), Request::Health);
+        // Responses echo the id the same way.
+        let response = Response::Error {
+            kind: "bad_request".to_string(),
+            message: "nope".to_string(),
+        };
+        let echoed = with_trace_id(response.to_json(), 7);
+        assert_eq!(trace_id_of(&echoed), Some(7));
+        assert_eq!(Response::from_json(&echoed).unwrap(), response);
+    }
+
+    use mandipass_util::proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn traced_frames_with_nan_samples_round_trip(
+            trace_id in 0u64..u64::MAX,
+            values in proptest::collection::vec(-1e3f64..1e3, 8..64),
+            salt in 0u64..1024,
+        ) {
+            // Lace the samples with non-finite values keyed off their
+            // own bit patterns, then push the traced request through a
+            // real frame write + read + parse.
+            let axes: Vec<Vec<f64>> = (0..6)
+                .map(|a| {
+                    values
+                        .iter()
+                        .map(|&v| match (v.to_bits() ^ (salt + a)) % 7 {
+                            0 => f64::NAN,
+                            1 => f64::INFINITY,
+                            2 => f64::NEG_INFINITY,
+                            _ => v,
+                        })
+                        .collect()
+                })
+                .collect();
+            let probe = Recording::from_parts(350.0, axes.clone(), Condition::Normal, 0)
+                .unwrap_or_else(|e| panic!("shape is valid: {e}"));
+            let request = Request::Verify { user_id: 9, probe };
+            let mut wire = Vec::new();
+            write_frame(
+                &mut wire,
+                with_trace_id(request.to_json(), trace_id).to_json().as_bytes(),
+            )
+            .unwrap_or_else(|e| panic!("write: {e}"));
+            let payload = read_frame(&mut Cursor::new(wire), DEFAULT_MAX_FRAME_BYTES)
+                .unwrap_or_else(|e| panic!("read: {e}"))
+                .unwrap_or_else(|| panic!("frame vanished"));
+            let (parsed, echoed) = Request::from_frame_traced(&payload)
+                .unwrap_or_else(|e| panic!("parse: {e}"));
+            prop_assert_eq!(echoed, Some(trace_id));
+            let Request::Verify { user_id, probe } = parsed else {
+                panic!("round trip changed the variant");
+            };
+            prop_assert_eq!(user_id, 9);
+            for (axis, original) in probe.axes().iter().zip(&axes) {
+                prop_assert_eq!(axis.len(), original.len());
+                for (&back, &sent) in axis.iter().zip(original) {
+                    // Non-finite samples all become NaN (JSON null);
+                    // finite samples come back bit-identical.
+                    if sent.is_finite() {
+                        prop_assert!(back.to_bits() == sent.to_bits());
+                    } else {
+                        prop_assert!(back.is_nan());
+                    }
+                }
+            }
         }
     }
 

@@ -13,6 +13,16 @@
 //! sender, each worker finishes its current connection and sees the
 //! channel hang up, and `shutdown` joins them all. Dropping the server
 //! shuts it down.
+//!
+//! Observability: the acceptor stamps each hand-off with its accept
+//! time, so the worker attributes `queue_wait` to the connection's
+//! first request; `serve.queue_depth` and `serve.connections_active`
+//! gauges track the hand-off channel and in-flight connections, and
+//! `serve.worker_busy_micros` accumulates time workers spend on
+//! requests. Each request runs under a trace id (the client's, or a
+//! freshly minted one), which is echoed back in the response frame's
+//! `trace` field and recorded — with the queue-wait / decode / verify /
+//! write stage breakdown — in the monitor's sampled trace store.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -20,10 +30,18 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::protocol::{self, Request, Response};
-use crate::service::VerifyService;
+use crate::service::{PendingTrace, VerifyService, WireTiming};
+
+/// A connection handed from the acceptor to a worker, stamped with its
+/// accept time so the worker can attribute queue wait.
+type Handoff = (TcpStream, Instant);
+
+fn duration_nanos(duration: Duration) -> u64 {
+    u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,7 +93,7 @@ impl VerifyServer {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let (sender, receiver) = channel::<TcpStream>();
+        let (sender, receiver) = channel::<Handoff>();
         let receiver = Arc::new(Mutex::new(receiver));
 
         let workers = (0..config.workers.max(1))
@@ -106,7 +124,8 @@ impl VerifyServer {
                         let _ = stream.set_nodelay(true);
                         let _ = stream.set_read_timeout(Some(config.read_timeout));
                         mandipass_telemetry::counter!("serve.connections").inc();
-                        if sender.send(stream).is_err() {
+                        mandipass_telemetry::gauge!("serve.queue_depth").add(1.0);
+                        if sender.send((stream, Instant::now())).is_err() {
                             break;
                         }
                     }
@@ -151,18 +170,24 @@ impl Drop for VerifyServer {
 
 fn worker_loop(
     service: &VerifyService,
-    receiver: &Mutex<Receiver<TcpStream>>,
+    receiver: &Mutex<Receiver<Handoff>>,
     stop: &AtomicBool,
     config: &ServeConfig,
 ) {
     loop {
         // Hold the lock only for the hand-off, not while serving.
-        let stream = receiver
+        let handoff = receiver
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .recv();
-        match stream {
-            Ok(mut stream) => serve_connection(service, &mut stream, stop, config),
+        match handoff {
+            Ok((mut stream, accepted_at)) => {
+                mandipass_telemetry::gauge!("serve.queue_depth").add(-1.0);
+                let active = mandipass_telemetry::gauge!("serve.connections_active");
+                active.add(1.0);
+                serve_connection(service, &mut stream, stop, config, accepted_at.elapsed());
+                active.add(-1.0);
+            }
             Err(_) => break, // acceptor hung up: shutdown
         }
     }
@@ -170,27 +195,54 @@ fn worker_loop(
 
 /// Answers framed requests on one connection until the peer closes, an
 /// I/O error or read timeout fires, or shutdown is requested.
+///
+/// `queue_wait` (accept → worker pick-up) is attributed to the first
+/// request only; later requests on the same connection waited in the
+/// kernel socket buffer, not our queue.
 fn serve_connection(
     service: &VerifyService,
     stream: &mut TcpStream,
     stop: &AtomicBool,
     config: &ServeConfig,
+    queue_wait: Duration,
 ) {
+    let mut queue_wait_nanos = duration_nanos(queue_wait);
     while !stop.load(Ordering::SeqCst) {
         match protocol::read_frame(stream, config.max_frame_bytes) {
             Ok(Some(payload)) => {
-                let response = match Request::from_frame(&payload) {
-                    Ok(request) => service.handle(&request),
+                let arrived = Instant::now();
+                let timing_queue = std::mem::take(&mut queue_wait_nanos);
+                let parsed = Request::from_frame_traced(&payload);
+                let timing = WireTiming {
+                    queue_wait_nanos: timing_queue,
+                    decode_nanos: duration_nanos(arrived.elapsed()),
+                };
+                let (response, pending) = match parsed {
+                    Ok((request, wire_id)) => {
+                        let trace_id = wire_id.unwrap_or_else(mandipass_telemetry::mint_id);
+                        service.handle_traced(&request, trace_id, timing)
+                    }
                     Err(message) => {
                         mandipass_telemetry::counter!("serve.bad_requests").inc();
-                        Response::Error {
+                        let response = Response::Error {
                             kind: "bad_request".to_string(),
                             message,
-                        }
+                        };
+                        let pending =
+                            PendingTrace::bad_request(mandipass_telemetry::mint_id(), timing);
+                        (response, pending)
                     }
                 };
-                let payload = response.to_json().to_json();
-                if protocol::write_frame(stream, payload.as_bytes()).is_err() {
+                let payload =
+                    protocol::with_trace_id(response.to_json(), pending.trace_id()).to_json();
+                let write_start = Instant::now();
+                let write_ok = protocol::write_frame(stream, payload.as_bytes()).is_ok();
+                let write_nanos = duration_nanos(write_start.elapsed());
+                let total_nanos = timing_queue.saturating_add(duration_nanos(arrived.elapsed()));
+                pending.commit(service.system().monitor(), write_nanos, total_nanos);
+                mandipass_telemetry::counter!("serve.worker_busy_micros")
+                    .add(total_nanos.saturating_sub(timing_queue) / 1_000);
+                if !write_ok {
                     break;
                 }
             }
@@ -241,6 +293,60 @@ mod tests {
             Response::Error { kind, .. } => assert_eq!(kind, "not_enrolled"),
             other => panic!("expected error, got {other:?}"),
         }
+    }
+
+    /// The worker commits the trace after writing the response (the
+    /// `write` stage must be measured first), so a client that has the
+    /// answer may be a few microseconds ahead of the store.
+    fn wait_for_trace(
+        monitor: &mandipass_telemetry::Monitor,
+        trace_id: u64,
+    ) -> Option<mandipass_telemetry::RequestTrace> {
+        for _ in 0..200 {
+            if let Some(trace) = monitor.find_trace(trace_id) {
+                return Some(trace);
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        None
+    }
+
+    #[test]
+    fn trace_ids_echo_over_tcp_and_land_in_the_store() {
+        let server = VerifyServer::bind(shared_arc(), "127.0.0.1:0", ServeConfig::default())
+            .unwrap_or_else(|e| panic!("bind: {e}"));
+        let mut client = VerifyClient::connect(server.local_addr()).unwrap();
+        let service = shared_arc();
+        let monitor = service.system().monitor();
+
+        // Client-supplied id: echoed verbatim and findable in the store.
+        let (user, probe) = genuine_probe(53_000);
+        let chosen = 0x00c0_ffee_0000_0001_u64;
+        let (response, echoed) = client
+            .call_traced(
+                &Request::Verify {
+                    user_id: user,
+                    probe,
+                },
+                Some(chosen),
+            )
+            .unwrap();
+        assert!(matches!(response, Response::Decision { .. }));
+        assert_eq!(echoed, Some(chosen));
+        let trace = wait_for_trace(monitor, chosen)
+            .unwrap_or_else(|| panic!("trace {chosen:x} not recorded"));
+        assert_eq!(trace.endpoint, "verify");
+        assert!(trace.stage_nanos() <= trace.total_nanos);
+        let names: Vec<&str> = trace.stages.iter().map(|s| s.name).collect();
+        assert!(
+            names.contains(&"verify") && names.contains(&"write"),
+            "wire stages missing: {names:?}"
+        );
+
+        // No explicit id: the client mints one and the server echoes it.
+        let (_, echoed) = client.call_traced(&Request::Health, None).unwrap();
+        let minted = echoed.unwrap_or_else(|| panic!("server did not echo a minted id"));
+        assert!(wait_for_trace(monitor, minted).is_some());
     }
 
     #[test]

@@ -2,12 +2,24 @@
 //!
 //! [`VerifyService`] owns an enrolled [`MandiPass`] deployment plus the
 //! per-user Gaussian matrices and answers [`Request`] values directly.
-//! Both fronts go through [`VerifyService::handle`] — the TCP workers in
+//! Both fronts go through [`VerifyService::handle`] /
+//! [`VerifyService::handle_traced`] — the TCP workers in
 //! [`crate::server`] and in-process callers like the bench load
 //! generator — so decisions, telemetry (`serve.requests` /
-//! `serve.errors` counters, the `serve.request_seconds` latency
-//! histogram, a `serve_request` span per request), and the drift-monitor
-//! feed are identical regardless of transport.
+//! `serve.errors` counters, the `serve.request_seconds` and
+//! per-endpoint `serve.latency.*` histograms, a `serve_request` span
+//! per request), and the drift-monitor feed are identical regardless of
+//! transport.
+//!
+//! Every request runs under a trace id (client-supplied or freshly
+//! minted), inside a [`mandipass_telemetry::trace::scope`] so flight
+//! records in the policy path pick the id up, and wrapped in
+//! `span::try_capture` so the pipeline's span tree lands in the
+//! [`RequestTrace`] the handler offers to the monitor's sampled trace
+//! store. The TCP front measures the wire stages (queue wait, frame
+//! decode, response write) around the handler via [`WireTiming`] and
+//! [`PendingTrace::commit`]; in-process callers get a verify-only
+//! stage breakdown for free.
 //!
 //! All request handling is `&self`: enrolment happens before the
 //! service is shared, then worker threads verify concurrently against
@@ -19,8 +31,78 @@ use std::time::Instant;
 
 use mandipass::prelude::*;
 use mandipass_imu_sim::Recording;
+use mandipass_telemetry::{trace, Monitor, RequestTrace};
 
 use crate::protocol::{Request, Response};
+
+/// Wire-stage timings the TCP front measured before the handler ran;
+/// in-process callers use the zeroed [`Default`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireTiming {
+    /// Time the connection waited between `accept()` and a worker
+    /// picking it up (first request on a connection only).
+    pub queue_wait_nanos: u64,
+    /// Time spent parsing the request frame.
+    pub decode_nanos: u64,
+}
+
+/// A [`RequestTrace`] the handler built but has not recorded yet: the
+/// TCP front still owes the response encode+write timing. Committing
+/// appends the `write` stage, fixes the total, and offers the trace to
+/// the monitor's sampled store.
+#[derive(Debug)]
+#[must_use = "an uncommitted trace is never recorded"]
+pub struct PendingTrace {
+    trace: RequestTrace,
+}
+
+impl PendingTrace {
+    /// A trace for a frame that never parsed into a [`Request`]; the
+    /// decision is `error:bad_request`, so the sampler always keeps it.
+    pub fn bad_request(trace_id: u64, timing: WireTiming) -> Self {
+        let mut trace = RequestTrace::new(trace_id, "bad_request", "error:bad_request");
+        if timing.queue_wait_nanos > 0 {
+            trace.stage("queue_wait", timing.queue_wait_nanos);
+        }
+        trace.stage("decode", timing.decode_nanos);
+        PendingTrace { trace }
+    }
+
+    /// The trace id this pending record carries.
+    pub fn trace_id(&self) -> u64 {
+        self.trace.trace_id
+    }
+
+    /// Appends the `write` stage, sets the end-to-end total (clamped so
+    /// stage sums never exceed it), and offers the trace to `monitor`'s
+    /// store; returns whether the sampler kept it.
+    pub fn commit(mut self, monitor: &Monitor, write_nanos: u64, total_nanos: u64) -> bool {
+        self.trace.stage("write", write_nanos);
+        self.trace.total_nanos = total_nanos.max(self.trace.stage_nanos());
+        monitor.record_trace(self.trace)
+    }
+}
+
+/// The stable endpoint label of a request.
+fn endpoint_label(request: &Request) -> &'static str {
+    match request {
+        Request::Health => "health",
+        Request::Verify { .. } => "verify",
+        Request::VerifyWithPolicy { .. } => "verify_policy",
+    }
+}
+
+/// The stable decision label of a response (degraded decisions label as
+/// `degraded` whichever way they went — the sampler always keeps them).
+fn decision_label(response: &Response) -> String {
+    match response {
+        Response::Health { .. } => "ok".to_string(),
+        Response::Decision { degraded: true, .. } => "degraded".to_string(),
+        Response::Decision { accepted: true, .. } => "accepted".to_string(),
+        Response::Decision { .. } => "rejected".to_string(),
+        Response::Error { kind, .. } => format!("error:{kind}"),
+    }
+}
 
 /// The enrolled deployment behind the server.
 #[derive(Debug)]
@@ -77,18 +159,67 @@ impl VerifyService {
     }
 
     /// Answers one request. Never panics; failures become
-    /// [`Response::Error`] with a stable `kind`.
+    /// [`Response::Error`] with a stable `kind`. Mints a fresh trace id
+    /// and commits the trace immediately (no wire stages) — the
+    /// in-process front.
     pub fn handle(&self, request: &Request) -> Response {
         let start = Instant::now();
-        let _span = mandipass_telemetry::span("serve_request");
+        let (response, pending) =
+            self.handle_traced(request, trace::mint_id(), WireTiming::default());
+        pending.commit(
+            self.system.monitor(),
+            0,
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+        response
+    }
+
+    /// Answers one request under `trace_id`, returning the response
+    /// together with the [`PendingTrace`] the caller must commit once
+    /// it knows the response write timing. The id is active as the
+    /// thread's [`trace::current`] for the duration, and the dispatch
+    /// runs inside `span::try_capture`, so flight records pick up the
+    /// id and the trace picks up the pipeline span tree.
+    pub fn handle_traced(
+        &self,
+        request: &Request,
+        trace_id: u64,
+        timing: WireTiming,
+    ) -> (Response, PendingTrace) {
+        let _scope = trace::scope(trace_id);
         mandipass_telemetry::counter!("serve.requests").inc();
-        let response = self.dispatch(request);
-        mandipass_telemetry::histogram!("serve.request_seconds")
-            .observe(start.elapsed().as_secs_f64());
+        if timing.queue_wait_nanos > 0 {
+            mandipass_telemetry::histogram!("serve.queue_wait_seconds")
+                .observe(timing.queue_wait_nanos as f64 / 1e9);
+        }
+        let start = Instant::now();
+        let (response, spans) = mandipass_telemetry::try_capture(|| {
+            let _span = mandipass_telemetry::span("serve_request");
+            self.dispatch(request)
+        });
+        let verify_nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let elapsed_secs = verify_nanos as f64 / 1e9;
+        mandipass_telemetry::histogram!("serve.request_seconds").observe(elapsed_secs);
+        let endpoint = endpoint_label(request);
+        match endpoint {
+            "health" => mandipass_telemetry::histogram!("serve.latency.health"),
+            "verify" => mandipass_telemetry::histogram!("serve.latency.verify"),
+            _ => mandipass_telemetry::histogram!("serve.latency.verify_policy"),
+        }
+        .observe(elapsed_secs);
         if matches!(response, Response::Error { .. }) {
             mandipass_telemetry::counter!("serve.errors").inc();
         }
-        response
+        let mut trace = RequestTrace::new(trace_id, endpoint, &decision_label(&response));
+        if timing.queue_wait_nanos > 0 {
+            trace.stage("queue_wait", timing.queue_wait_nanos);
+        }
+        if timing.decode_nanos > 0 {
+            trace.stage("decode", timing.decode_nanos);
+        }
+        trace.stage("verify", verify_nanos);
+        trace.spans = spans;
+        (response, PendingTrace { trace })
     }
 
     fn dispatch(&self, request: &Request) -> Response {
@@ -190,6 +321,66 @@ mod tests {
             Response::Error { kind, .. } => assert_eq!(kind, "not_enrolled"),
             other => panic!("expected not_enrolled, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn handle_traced_records_a_sampled_trace_with_spans() {
+        let service = shared_service();
+        let monitor = service.system().monitor();
+        let (user, probe) = crate::test_support::genuine_probe(61);
+        let trace_id = trace::mint_id();
+        let (response, pending) = service.handle_traced(
+            &Request::Verify {
+                user_id: user,
+                probe,
+            },
+            trace_id,
+            WireTiming {
+                queue_wait_nanos: 1_000,
+                decode_nanos: 2_000,
+            },
+        );
+        assert!(matches!(response, Response::Decision { .. }));
+        assert_eq!(pending.trace_id(), trace_id);
+        assert!(
+            pending.commit(monitor, 500, 10_000_000),
+            "default sampler keeps every trace"
+        );
+        let trace = monitor
+            .find_trace(trace_id)
+            .unwrap_or_else(|| panic!("committed trace must be findable"));
+        assert_eq!(trace.endpoint, "verify");
+        assert!(trace.stage_nanos() <= trace.total_nanos);
+        let stages: Vec<&str> = trace.stages.iter().map(|s| s.name).collect();
+        assert_eq!(stages, ["queue_wait", "decode", "verify", "write"]);
+        let spans = trace
+            .spans
+            .as_ref()
+            .unwrap_or_else(|| panic!("an untraced worker thread must capture the pipeline spans"));
+        assert_eq!(spans.count("serve_request"), 1);
+        assert!(spans.count("verify") >= 1, "pipeline spans missing");
+    }
+
+    #[test]
+    fn error_requests_are_always_traced_and_tag_no_spans_gap() {
+        let service = shared_service();
+        let monitor = service.system().monitor();
+        let trace_id = trace::mint_id();
+        let (_, probe) = crate::test_support::genuine_probe(62);
+        let (response, pending) = service.handle_traced(
+            &Request::Verify {
+                user_id: 424_242,
+                probe,
+            },
+            trace_id,
+            WireTiming::default(),
+        );
+        assert!(matches!(response, Response::Error { .. }));
+        assert!(pending.commit(monitor, 0, 0), "errors are always sampled");
+        let trace = monitor.find_trace(trace_id).unwrap();
+        assert_eq!(trace.decision, "error:not_enrolled");
+        assert_eq!(trace.reason, Some(mandipass_telemetry::SampleReason::Error));
+        assert!(trace.spans.is_some());
     }
 
     #[test]

@@ -7,6 +7,11 @@
 //! * `GET /metrics` — Prometheus text format 0.0.4
 //! * `GET /health`  — the [`crate::drift::HealthReport`] as JSON
 //! * `GET /flight`  — the retained flight records as JSON
+//! * `GET /traces`  — the sampled request traces as JSON
+//!
+//! Every response carries a `Content-Length`; unknown paths get a JSON
+//! error body, and neither unknown paths nor non-GET methods disturb
+//! subsequent requests.
 //!
 //! The server is opt-in via [`serve_from_env`] reading
 //! `MANDIPASS_MONITOR_ADDR`; nothing in the crate binds a socket unless
@@ -287,7 +292,28 @@ fn handle(monitor: &Monitor, stream: &mut TcpStream, budget: Duration) {
                     .to_json();
                 http_response("200 OK", "application/json", &body)
             }
-            _ => http_response("404 Not Found", "text/plain", "unknown path\n"),
+            "/traces" => {
+                let body = snapshot
+                    .get("traces")
+                    .cloned()
+                    .unwrap_or(Value::Object(Vec::new()))
+                    .to_json();
+                http_response("200 OK", "application/json", &body)
+            }
+            _ => {
+                // A JSON body (with the path escaped by the JSON
+                // layer, not string-glued) so scripted clients can
+                // tell a missing route from an empty document.
+                let body = Value::Object(vec![
+                    (
+                        "error".to_string(),
+                        Value::String("unknown path".to_string()),
+                    ),
+                    ("path".to_string(), Value::String(path.to_string())),
+                ])
+                .to_json();
+                http_response("404 Not Found", "application/json", &body)
+            }
         }
     };
     let _ = stream.write_all(&response);
@@ -409,6 +435,11 @@ mod tests {
         let mut flight = VerifyFlight::new(2, FlightOutcome::Rejected);
         flight.distance = Some(0.9);
         m.record_flight(flight);
+        let mut trace = crate::trace::RequestTrace::new(0xabc, "verify", "rejected");
+        trace.total_nanos = 1200;
+        trace.stage("decode", 200);
+        trace.stage("verify", 900);
+        m.record_trace(trace);
         m
     }
 
@@ -482,8 +513,62 @@ mod tests {
         assert!(health.contains("\"status\":\"healthy\""));
         let flight = fetch("/flight");
         assert!(flight.contains("\"outcome\":\"rejected\""));
+        let traces = fetch("/traces");
+        assert!(traces.contains("application/json"));
+        assert!(
+            traces.contains("\"trace_id\":\"0000000000000abc\""),
+            "{traces}"
+        );
         let missing = fetch("/nope");
         assert!(missing.starts_with("HTTP/1.1 404"));
+        assert!(missing.contains("application/json"));
+        assert!(missing.contains("\"error\":\"unknown path\""));
+        server.shutdown();
+        crate::set_deterministic(false);
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_leave_the_server_serving() {
+        let _lock = global_state_lock();
+        crate::set_deterministic(true);
+        static SERVED: std::sync::OnceLock<Monitor> = std::sync::OnceLock::new();
+        let monitor = SERVED.get_or_init(fed_monitor);
+        let mut server =
+            MonitorServer::bind(monitor, "127.0.0.1:0").unwrap_or_else(|e| panic!("bind: {e}"));
+        let addr = server.local_addr();
+        let exchange = |request: &str| {
+            let mut stream = TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect: {e}"));
+            stream
+                .write_all(request.as_bytes())
+                .unwrap_or_else(|e| panic!("write: {e}"));
+            let mut body = String::new();
+            let _ = stream.read_to_string(&mut body);
+            body
+        };
+        // Every response — including errors — must carry Content-Length
+        // matching its body, and the server must keep answering.
+        let content_length_matches = |response: &str| {
+            let header = response
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .unwrap_or_else(|| panic!("no Content-Length in {response}"));
+            let body = response
+                .split_once("\r\n\r\n")
+                .map(|(_, b)| b)
+                .unwrap_or("");
+            assert_eq!(header, body.len(), "Content-Length mismatch: {response}");
+        };
+        let missing = exchange("GET /definitely/not/here HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        content_length_matches(&missing);
+        let post = exchange("POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(post.starts_with("HTTP/1.1 405"), "{post}");
+        content_length_matches(&post);
+        // Still serving after both error paths.
+        let health = exchange("GET /health HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+        content_length_matches(&health);
         server.shutdown();
         crate::set_deterministic(false);
     }

@@ -59,6 +59,9 @@ pub struct VerifyFlight {
     /// Structured payload the producer attached (quality report, span
     /// tree); [`Value::Null`] when none.
     pub detail: Value,
+    /// The request trace this flight belongs to, when the verification
+    /// ran inside a traced serve request (see [`crate::trace`]).
+    pub trace_id: Option<u64>,
 }
 
 impl VerifyFlight {
@@ -76,6 +79,7 @@ impl VerifyFlight {
             attempts: 1,
             rejects: Vec::new(),
             detail: Value::Null,
+            trace_id: None,
         }
     }
 
@@ -112,6 +116,12 @@ impl VerifyFlight {
                 ),
             ),
             ("detail".to_string(), self.detail.clone()),
+            (
+                "trace_id".to_string(),
+                self.trace_id.map_or(Value::Null, |id| {
+                    Value::String(crate::trace::format_trace_id(id))
+                }),
+            ),
         ])
     }
 }
@@ -229,10 +239,12 @@ mod tests {
         flight.attempts = 3;
         flight.rejects = vec!["quality:dead_axis".to_string()];
         flight.detail = Value::Object(vec![("energy_std".to_string(), Value::Number(12.0))]);
+        flight.trace_id = Some(0xfeed);
         let mut r = FlightRecorder::new(4);
         r.record_at(9, flight);
         let json = r.to_json().to_json();
         assert!(json.contains("\"outcome\":\"exhausted\""));
+        assert!(json.contains("\"trace_id\":\"000000000000feed\""));
         assert!(json.contains("\"distance\":0.71"));
         assert!(json.contains("\"rejects\":[\"quality:dead_axis\"]"));
         assert!(json.contains("\"energy_std\":12"));

@@ -28,6 +28,11 @@
 //!   current thread and returns it as a [`span::SpanTree`], the input to
 //!   [`report::latency_report`], which renders the per-stage latency
 //!   breakdown behind the §VII.E overhead table.
+//! * [`trace`] — end-to-end request tracing for the serve layer: wire
+//!   trace ids (hex over JSON), per-request stage timings with the
+//!   captured pipeline span tree, and a bounded [`TraceStore`] whose
+//!   sampler keeps every error/degraded/slow request and a
+//!   deterministic, order-independent fraction of the rest.
 //! * [`monitor`] + [`window`] / [`drift`] / [`flight`] / [`expose`] —
 //!   the live-monitoring layer: sliding-window counters and histograms,
 //!   score-drift detection (PSI/KS against a frozen enrolment-time
@@ -62,6 +67,7 @@ pub mod monitor;
 pub mod report;
 pub mod sink;
 pub mod span;
+pub mod trace;
 pub mod window;
 
 pub use clock::set_deterministic;
@@ -73,6 +79,10 @@ pub use mode::{enabled, install_sink, mode, set_default_mode, set_mode, Builder,
 pub use monitor::{global as monitor, Monitor, MonitorConfig};
 pub use sink::{JsonSink, Sink, TextSink};
 pub use span::{capture, span, try_capture, SpanGuard, SpanRecord, SpanTree};
+pub use trace::{
+    attribution_report, format_trace_id, mint_id, parse_trace_id, RequestTrace, SampleReason,
+    StageTiming, TraceConfig, TraceStore, TRACE_SAMPLE_ENV,
+};
 pub use window::{WindowedCounter, WindowedHistogram};
 
 /// Emits a one-line narration event to the active sink (silent sink:

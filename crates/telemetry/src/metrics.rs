@@ -49,6 +49,14 @@ impl Gauge {
         self.0.store(value.to_bits(), Ordering::Relaxed);
     }
 
+    /// Adds `delta` atomically (negative deltas decrement) — the
+    /// up/down shape a live connection or queue-depth gauge needs,
+    /// which last-write-wins [`Gauge::set`] would lose under
+    /// concurrent workers.
+    pub fn add(&self, delta: f64) {
+        atomic_f64_update(&self.0, delta, |current, d| current + d);
+    }
+
     /// Current value.
     pub fn get(&self) -> f64 {
         f64::from_bits(self.0.load(Ordering::Relaxed))
@@ -361,6 +369,25 @@ mod tests {
         g.set(0.25);
         g.set(0.125);
         assert_eq!(reg.gauge("loss").get(), 0.125);
+    }
+
+    #[test]
+    fn gauge_add_is_atomic_under_contention() {
+        let reg = Registry::new();
+        let g = reg.gauge("depth");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let g = g.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        g.add(1.0);
+                        g.add(-1.0);
+                    }
+                    g.add(2.5);
+                });
+            }
+        });
+        assert_eq!(g.get(), 10.0);
     }
 
     #[test]

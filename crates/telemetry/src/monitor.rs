@@ -21,6 +21,7 @@ use mandipass_util::json::Value;
 use crate::clock;
 use crate::drift::{DriftConfig, DriftDetector, HealthReport};
 use crate::flight::{FlightRecorder, VerifyFlight};
+use crate::trace::{RequestTrace, TraceConfig, TraceStore};
 use crate::window::WindowedCounter;
 
 /// Monitor-wide configuration: drift thresholds plus ring sizes.
@@ -30,6 +31,8 @@ pub struct MonitorConfig {
     pub drift: DriftConfig,
     /// Flight-recorder ring capacity.
     pub flight_capacity: usize,
+    /// Request-trace ring geometry and sampling rules.
+    pub trace: TraceConfig,
 }
 
 impl Default for MonitorConfig {
@@ -37,6 +40,7 @@ impl Default for MonitorConfig {
         MonitorConfig {
             drift: DriftConfig::default(),
             flight_capacity: 64,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -50,6 +54,7 @@ struct MonitorInner {
     /// Windowed enclave audit activity keyed by [`AuditKind`] label.
     audit: BTreeMap<String, WindowedCounter>,
     flights: FlightRecorder,
+    traces: TraceStore,
 }
 
 /// The live health monitor. All methods take `&self`; one mutex guards
@@ -70,6 +75,7 @@ impl Monitor {
     pub fn new(config: MonitorConfig) -> Self {
         let detector = DriftDetector::new(config.drift.clone());
         let flights = FlightRecorder::new(config.flight_capacity);
+        let traces = TraceStore::new(config.trace.clone());
         Monitor {
             inner: Mutex::new(MonitorInner {
                 config,
@@ -77,6 +83,7 @@ impl Monitor {
                 quality_rejects: BTreeMap::new(),
                 audit: BTreeMap::new(),
                 flights,
+                traces,
             }),
         }
     }
@@ -129,10 +136,31 @@ impl Monitor {
             .inc_at(now);
     }
 
-    /// Records one failed/degraded verification flight.
-    pub fn record_flight(&self, flight: VerifyFlight) {
+    /// Records one failed/degraded verification flight. A flight
+    /// without an explicit trace id inherits the thread's active one
+    /// (see [`crate::trace::scope`]), tying server-side failure detail
+    /// to the id the client saw.
+    pub fn record_flight(&self, mut flight: VerifyFlight) {
         let now = clock::now();
+        flight.trace_id = flight.trace_id.or_else(crate::trace::current);
         self.lock().flights.record_at(now, flight);
+    }
+
+    /// Offers one request trace to the sampled store; returns whether
+    /// it was retained.
+    pub fn record_trace(&self, trace: RequestTrace) -> bool {
+        let now = clock::now();
+        self.lock().traces.offer_at(now, trace)
+    }
+
+    /// The retained sampled traces, oldest first.
+    pub fn traces(&self) -> Vec<RequestTrace> {
+        self.lock().traces.traces()
+    }
+
+    /// The most recent retained trace with this id.
+    pub fn find_trace(&self, trace_id: u64) -> Option<RequestTrace> {
+        self.lock().traces.find(trace_id)
     }
 
     /// The detector's verdict for the window ending now.
@@ -211,6 +239,7 @@ impl Monitor {
                 ]),
             ),
             ("flights".to_string(), inner.flights.to_json()),
+            ("traces".to_string(), inner.traces.to_json()),
             (
                 "metrics".to_string(),
                 crate::metrics::global().snapshot_json(),
@@ -228,6 +257,7 @@ impl Monitor {
         inner.quality_rejects.clear();
         inner.audit.clear();
         inner.flights.clear();
+        inner.traces.clear();
     }
 }
 
@@ -275,7 +305,7 @@ mod tests {
         m.record_flight(flight);
         let snap = m.snapshot();
         crate::set_deterministic(false);
-        for key in ["health", "window", "flights", "metrics"] {
+        for key in ["health", "window", "flights", "traces", "metrics"] {
             assert!(snap.get(key).is_some(), "snapshot misses {key}");
         }
         let window = snap.get("window").unwrap();
@@ -325,6 +355,35 @@ mod tests {
         let after = m.health();
         crate::set_deterministic(false);
         assert_eq!(after.status, HealthStatus::Healthy);
+    }
+
+    #[test]
+    fn traces_flow_through_the_monitor_and_tag_flights() {
+        let _lock = global_state_lock();
+        crate::set_deterministic(true);
+        let m = Monitor::default();
+        let mut trace = RequestTrace::new(0xbeef, "verify", "accepted");
+        trace.total_nanos = 10;
+        assert!(m.record_trace(trace));
+        assert_eq!(m.traces().len(), 1);
+        let found = m.find_trace(0xbeef).unwrap_or_else(|| panic!("trace lost"));
+        assert_eq!(found.endpoint, "verify");
+        // A flight recorded inside an open trace scope inherits the id.
+        {
+            let _scope = crate::trace::scope(0xbeef);
+            m.record_flight(VerifyFlight::new(1, FlightOutcome::Rejected));
+        }
+        assert_eq!(m.flights()[0].trace_id, Some(0xbeef));
+        let snap = m.snapshot();
+        crate::set_deterministic(false);
+        let retained = snap
+            .get("traces")
+            .and_then(|t| t.get("traces"))
+            .and_then(Value::as_array)
+            .unwrap();
+        assert_eq!(retained.len(), 1);
+        m.reset_windows();
+        assert!(m.traces().is_empty());
     }
 
     #[test]

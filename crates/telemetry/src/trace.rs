@@ -1,0 +1,742 @@
+//! End-to-end request tracing: per-request stage timings tied together
+//! by a wire-visible trace id.
+//!
+//! The serve layer mints (or accepts) a `u64` trace id per request,
+//! wraps the handling in a span capture, and offers the resulting
+//! [`RequestTrace`] — endpoint, decision, stage breakdown, optional
+//! pipeline [`SpanTree`] — to a bounded [`TraceStore`]. The store is a
+//! ring like [`crate::flight::FlightRecorder`], but *sampled*: error,
+//! degraded, and slow requests are always retained; the rest pass a
+//! probabilistic filter that hashes the trace id against a fixed seed,
+//! so the sampled *set* is a pure function of the ids — bit-identical
+//! across runs regardless of worker scheduling, which is what the
+//! two-run determinism test in `exp_trace` asserts.
+//!
+//! On the wire a trace id travels as a fixed-width lower-case hex
+//! string ([`format_trace_id`]); JSON numbers are f64 and would corrupt
+//! ids above 2^53. [`scope`] parks the active id in a thread-local so
+//! deep layers (the flight recorder in the core policy path) can tag
+//! their records without threading the id through every signature.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mandipass_util::json::Value;
+use mandipass_util::rand::rngs::StdRng;
+use mandipass_util::rand::{Rng, SeedableRng};
+
+use crate::span::SpanTree;
+
+/// Environment variable overriding the probabilistic sample rate
+/// (`0.0` ≤ rate ≤ `1.0`; error/degraded/slow traces are kept anyway).
+pub const TRACE_SAMPLE_ENV: &str = "MANDIPASS_TRACE_SAMPLE";
+
+/// Renders a trace id as the wire format: 16 lower-case hex digits.
+pub fn format_trace_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parses a wire trace id: 1–16 hex digits (case-insensitive).
+pub fn parse_trace_id(text: &str) -> Result<u64, String> {
+    if text.is_empty() || text.len() > 16 {
+        return Err(format!("trace id must be 1-16 hex digits, got {text:?}"));
+    }
+    u64::from_str_radix(text, 16).map_err(|_| format!("trace id is not hex: {text:?}"))
+}
+
+/// One timed stage of a request's lifecycle, in nanoseconds (or logical
+/// ticks in deterministic mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Stage label from the fixed taxonomy: `queue_wait`, `decode`,
+    /// `verify`, `write`.
+    pub name: &'static str,
+    /// Time spent in the stage.
+    pub nanos: u64,
+}
+
+/// Why a trace was retained by the sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleReason {
+    /// The request failed (parse error, not-enrolled, pipeline error,
+    /// retries exhausted) — always sampled.
+    Error,
+    /// The decision was made in degraded mode — always sampled.
+    Degraded,
+    /// Total latency crossed the slow threshold — always sampled.
+    Slow,
+    /// Survived the probabilistic filter.
+    Probabilistic,
+}
+
+impl SampleReason {
+    /// Stable lower-case label for reports and exposition.
+    pub fn label(self) -> &'static str {
+        match self {
+            SampleReason::Error => "error",
+            SampleReason::Degraded => "degraded",
+            SampleReason::Slow => "slow",
+            SampleReason::Probabilistic => "probabilistic",
+        }
+    }
+}
+
+/// One traced request: identity, outcome, and where its time went.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestTrace {
+    /// Monotonic per-store sequence number (assigned on offer, never
+    /// reused after eviction).
+    pub seq: u64,
+    /// Timestamp of the record ([`crate::clock::now`] units).
+    pub timestamp: u64,
+    /// The id echoed to the client.
+    pub trace_id: u64,
+    /// Request endpoint: `health`, `verify`, `verify_policy`, or
+    /// `bad_request` for frames that never parsed.
+    pub endpoint: String,
+    /// Outcome label: `ok`, `accepted`, `rejected`, `degraded`, or
+    /// `error:<kind>`.
+    pub decision: String,
+    /// End-to-end time from frame arrival (plus any queue wait) to the
+    /// response write completing.
+    pub total_nanos: u64,
+    /// Per-stage breakdown; stage sums never exceed `total_nanos`.
+    pub stages: Vec<StageTiming>,
+    /// The pipeline span tree captured inside the `verify` stage, when
+    /// the worker thread was free to capture.
+    pub spans: Option<SpanTree>,
+    /// Why the sampler kept this trace (assigned on offer).
+    pub reason: Option<SampleReason>,
+}
+
+impl RequestTrace {
+    /// A trace with identity fields set and everything else empty;
+    /// [`TraceStore::offer_at`] assigns `seq`, `timestamp`, `reason`.
+    pub fn new(trace_id: u64, endpoint: &str, decision: &str) -> Self {
+        RequestTrace {
+            seq: 0,
+            timestamp: 0,
+            trace_id,
+            endpoint: endpoint.to_string(),
+            decision: decision.to_string(),
+            total_nanos: 0,
+            stages: Vec::new(),
+            spans: None,
+            reason: None,
+        }
+    }
+
+    /// Appends one stage timing.
+    pub fn stage(&mut self, name: &'static str, nanos: u64) {
+        self.stages.push(StageTiming { name, nanos });
+    }
+
+    /// Sum of the recorded stage durations.
+    pub fn stage_nanos(&self) -> u64 {
+        self.stages.iter().map(|s| s.nanos).sum()
+    }
+
+    /// Whether the decision is an error (`error:<kind>`).
+    pub fn is_error(&self) -> bool {
+        self.decision.starts_with("error")
+    }
+
+    /// Whether the decision was made in degraded mode.
+    pub fn is_degraded(&self) -> bool {
+        self.decision == "degraded"
+    }
+
+    /// Serialises the trace; the id renders in wire hex form.
+    pub fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("seq".to_string(), Value::Number(self.seq as f64)),
+            (
+                "timestamp".to_string(),
+                Value::Number(self.timestamp as f64),
+            ),
+            (
+                "trace_id".to_string(),
+                Value::String(format_trace_id(self.trace_id)),
+            ),
+            ("endpoint".to_string(), Value::String(self.endpoint.clone())),
+            ("decision".to_string(), Value::String(self.decision.clone())),
+            (
+                "total_nanos".to_string(),
+                Value::Number(self.total_nanos as f64),
+            ),
+            (
+                "stages".to_string(),
+                Value::Object(
+                    self.stages
+                        .iter()
+                        .map(|s| (s.name.to_string(), Value::Number(s.nanos as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "spans".to_string(),
+                self.spans.as_ref().map_or(Value::Null, SpanTree::to_json),
+            ),
+            (
+                "reason".to_string(),
+                self.reason
+                    .map_or(Value::Null, |r| Value::String(r.label().to_string())),
+            ),
+        ])
+    }
+}
+
+/// Sampler and ring geometry for a [`TraceStore`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// Ring capacity (minimum 1).
+    pub capacity: usize,
+    /// Probability of retaining a non-error, non-degraded, non-slow
+    /// trace; clamped to [0, 1].
+    pub sample_rate: f64,
+    /// Total latency at or above which a trace is always retained.
+    pub slow_threshold_nanos: u64,
+    /// Seed the probabilistic filter hashes trace ids against.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    /// Capacity 256, sample everything (override with
+    /// `MANDIPASS_TRACE_SAMPLE`), 250 ms slow threshold.
+    fn default() -> Self {
+        TraceConfig {
+            capacity: 256,
+            sample_rate: sample_rate_from_env().unwrap_or(1.0),
+            slow_threshold_nanos: 250_000_000,
+            seed: 0x6d61_6e64_6970_6173, // "mandipas"
+        }
+    }
+}
+
+/// Parses a sample-rate string: a float clamped to [0, 1].
+pub fn parse_sample_rate(text: &str) -> Option<f64> {
+    text.trim().parse::<f64>().ok().map(|r| {
+        if r.is_finite() {
+            r.clamp(0.0, 1.0)
+        } else {
+            1.0
+        }
+    })
+}
+
+/// Reads `MANDIPASS_TRACE_SAMPLE`; `None` when unset or unparsable.
+pub fn sample_rate_from_env() -> Option<f64> {
+    std::env::var(TRACE_SAMPLE_ENV)
+        .ok()
+        .as_deref()
+        .and_then(parse_sample_rate)
+}
+
+/// Mints a fresh trace id: a process-wide counter fed through the util
+/// PRNG, so ids are unique in practice and well-spread over the u64
+/// space (sequential ids would correlate with the sampler's hash
+/// input) while the sequence itself stays run-to-run deterministic.
+pub fn mint_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    StdRng::seed_from_u64(0x6d70_5f74_7261_6365 ^ n).next_u64()
+}
+
+/// The probabilistic filter: a pure function of `(seed, trace_id)`, so
+/// the decision for an id never depends on which worker saw it first or
+/// how many traces came before — the property behind run-to-run
+/// bit-identical sampling.
+fn keeps(seed: u64, trace_id: u64, sample_rate: f64) -> bool {
+    StdRng::seed_from_u64(seed ^ trace_id).next_f64() < sample_rate
+}
+
+/// A bounded ring of sampled [`RequestTrace`] records, oldest evicted
+/// first.
+#[derive(Debug)]
+pub struct TraceStore {
+    ring: VecDeque<RequestTrace>,
+    config: TraceConfig,
+    next_seq: u64,
+    total_offered: u64,
+    total_sampled: u64,
+}
+
+impl Default for TraceStore {
+    fn default() -> Self {
+        Self::new(TraceConfig::default())
+    }
+}
+
+impl TraceStore {
+    /// A store with the given sampler configuration.
+    pub fn new(mut config: TraceConfig) -> Self {
+        config.capacity = config.capacity.max(1);
+        config.sample_rate = if config.sample_rate.is_finite() {
+            config.sample_rate.clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        TraceStore {
+            ring: VecDeque::new(),
+            config,
+            next_seq: 0,
+            total_offered: 0,
+            total_sampled: 0,
+        }
+    }
+
+    /// The sampling verdict for `trace`, without recording anything.
+    pub fn classify(&self, trace: &RequestTrace) -> Option<SampleReason> {
+        if trace.is_error() {
+            Some(SampleReason::Error)
+        } else if trace.is_degraded() {
+            Some(SampleReason::Degraded)
+        } else if trace.total_nanos >= self.config.slow_threshold_nanos {
+            Some(SampleReason::Slow)
+        } else if keeps(self.config.seed, trace.trace_id, self.config.sample_rate) {
+            Some(SampleReason::Probabilistic)
+        } else {
+            None
+        }
+    }
+
+    /// Offers one trace at time `now`; returns whether the sampler kept
+    /// it (assigning `seq`, `timestamp`, and `reason` when it did).
+    pub fn offer_at(&mut self, now: u64, mut trace: RequestTrace) -> bool {
+        self.total_offered += 1;
+        let Some(reason) = self.classify(&trace) else {
+            return false;
+        };
+        trace.reason = Some(reason);
+        trace.seq = self.next_seq;
+        trace.timestamp = now;
+        self.next_seq += 1;
+        if self.ring.len() == self.config.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(trace);
+        self.total_sampled += 1;
+        true
+    }
+
+    /// The retained traces, oldest first.
+    pub fn traces(&self) -> Vec<RequestTrace> {
+        self.ring.iter().cloned().collect()
+    }
+
+    /// The most recent retained trace with this id.
+    pub fn find(&self, trace_id: u64) -> Option<RequestTrace> {
+        self.ring
+            .iter()
+            .rev()
+            .find(|t| t.trace_id == trace_id)
+            .cloned()
+    }
+
+    /// Number of retained traces.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Maximum number of retained traces.
+    pub fn capacity(&self) -> usize {
+        self.config.capacity
+    }
+
+    /// Traces ever offered, sampled or not.
+    pub fn total_offered(&self) -> u64 {
+        self.total_offered
+    }
+
+    /// Traces ever sampled, including evicted ones.
+    pub fn total_sampled(&self) -> u64 {
+        self.total_sampled
+    }
+
+    /// Serialises the store: offered/sampled totals plus the retained
+    /// traces, oldest first — the `GET /traces` document.
+    pub fn to_json(&self) -> Value {
+        Value::Object(vec![
+            (
+                "total_offered".to_string(),
+                Value::Number(self.total_offered as f64),
+            ),
+            (
+                "total_sampled".to_string(),
+                Value::Number(self.total_sampled as f64),
+            ),
+            (
+                "sample_rate".to_string(),
+                Value::Number(self.config.sample_rate),
+            ),
+            (
+                "traces".to_string(),
+                Value::Array(self.ring.iter().map(RequestTrace::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Forgets the retained traces; sequence and totals survive.
+    pub fn clear(&mut self) {
+        self.ring.clear();
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// RAII guard parking a trace id as the thread's active one; dropping
+/// restores the previous id (scopes nest).
+#[derive(Debug)]
+#[must_use = "the trace scope ends when its guard drops"]
+pub struct TraceScope {
+    previous: Option<u64>,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Makes `trace_id` the thread's active trace id for the guard's
+/// lifetime, so deep layers (flight recording in the policy path) can
+/// tag their records via [`current`].
+pub fn scope(trace_id: u64) -> TraceScope {
+    let previous = CURRENT.with(|cell| cell.replace(Some(trace_id)));
+    TraceScope {
+        previous,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// The thread's active trace id, if a [`scope`] is open.
+pub fn current() -> Option<u64> {
+    CURRENT.with(Cell::get)
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        let previous = self.previous;
+        let _ = CURRENT.try_with(|cell| cell.set(previous));
+    }
+}
+
+/// Nearest-rank quantile of an ascending-sorted slice.
+fn sorted_quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The latency-attribution report over a set of traces: per-stage
+/// p50/p99/mean/max (plus the `total` pseudo-stage) and the `top_k`
+/// slowest traces in full.
+pub fn attribution_report(traces: &[RequestTrace], top_k: usize) -> Value {
+    let mut by_stage: Vec<(&'static str, Vec<u64>)> = Vec::new();
+    let mut totals: Vec<u64> = Vec::new();
+    for trace in traces {
+        totals.push(trace.total_nanos);
+        for stage in &trace.stages {
+            match by_stage.iter_mut().find(|(name, _)| *name == stage.name) {
+                Some((_, values)) => values.push(stage.nanos),
+                None => by_stage.push((stage.name, vec![stage.nanos])),
+            }
+        }
+    }
+    let summarise = |values: &mut Vec<u64>| {
+        values.sort_unstable();
+        let count = values.len();
+        let sum: u64 = values.iter().sum();
+        let mean = if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        };
+        Value::Object(vec![
+            ("count".to_string(), Value::Number(count as f64)),
+            (
+                "p50_nanos".to_string(),
+                Value::Number(sorted_quantile(values, 0.5) as f64),
+            ),
+            (
+                "p99_nanos".to_string(),
+                Value::Number(sorted_quantile(values, 0.99) as f64),
+            ),
+            ("mean_nanos".to_string(), Value::Number(mean)),
+            (
+                "max_nanos".to_string(),
+                Value::Number(values.last().copied().unwrap_or(0) as f64),
+            ),
+        ])
+    };
+    let mut stages: Vec<(String, Value)> = Vec::new();
+    stages.push(("total".to_string(), summarise(&mut totals)));
+    for (name, mut values) in by_stage {
+        stages.push((name.to_string(), summarise(&mut values)));
+    }
+    let mut slowest: Vec<&RequestTrace> = traces.iter().collect();
+    slowest.sort_by(|a, b| b.total_nanos.cmp(&a.total_nanos).then(a.seq.cmp(&b.seq)));
+    slowest.truncate(top_k);
+    Value::Object(vec![
+        (
+            "trace_count".to_string(),
+            Value::Number(traces.len() as f64),
+        ),
+        ("stages".to_string(), Value::Object(stages)),
+        (
+            "slowest".to_string(),
+            Value::Array(slowest.iter().map(|t| t.to_json()).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_trace(id: u64, total: u64) -> RequestTrace {
+        let mut t = RequestTrace::new(id, "verify", "accepted");
+        t.total_nanos = total;
+        t.stage("decode", total / 4);
+        t.stage("verify", total / 2);
+        t
+    }
+
+    fn config(rate: f64) -> TraceConfig {
+        TraceConfig {
+            capacity: 64,
+            sample_rate: rate,
+            slow_threshold_nanos: 1_000_000,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn trace_id_hex_round_trips() {
+        for id in [0u64, 1, 0xdead_beef, u64::MAX, 1 << 63] {
+            let text = format_trace_id(id);
+            assert_eq!(text.len(), 16);
+            assert_eq!(parse_trace_id(&text), Ok(id));
+        }
+        assert_eq!(parse_trace_id("ABC"), Ok(0xabc));
+        assert!(parse_trace_id("").is_err());
+        assert!(parse_trace_id("12345678901234567").is_err());
+        assert!(parse_trace_id("xyz").is_err());
+    }
+
+    #[test]
+    fn errors_degraded_and_slow_are_always_sampled() {
+        let mut store = TraceStore::new(config(0.0));
+        assert!(store.offer_at(1, RequestTrace::new(1, "verify", "error:bad_request")));
+        assert!(store.offer_at(2, RequestTrace::new(2, "verify_policy", "degraded")));
+        let mut slow = ok_trace(3, 5_000_000);
+        slow.total_nanos = 5_000_000;
+        assert!(store.offer_at(3, slow));
+        // A fast, successful trace is dropped at rate 0.
+        assert!(!store.offer_at(4, ok_trace(4, 10)));
+        let reasons: Vec<&str> = store
+            .traces()
+            .iter()
+            .map(|t| t.reason.unwrap().label())
+            .collect();
+        assert_eq!(reasons, ["error", "degraded", "slow"]);
+        assert_eq!(store.total_offered(), 4);
+        assert_eq!(store.total_sampled(), 3);
+    }
+
+    #[test]
+    fn rate_one_keeps_everything_rate_zero_nothing() {
+        let mut keep_all = TraceStore::new(config(1.0));
+        let mut keep_none = TraceStore::new(config(0.0));
+        for id in 0..50u64 {
+            keep_all.offer_at(id, ok_trace(id, 100));
+            keep_none.offer_at(id, ok_trace(id, 100));
+        }
+        assert_eq!(keep_all.len(), 50);
+        assert_eq!(keep_none.len(), 0);
+    }
+
+    #[test]
+    fn sampling_is_a_pure_function_of_the_id() {
+        // Two stores, same config, ids offered in opposite orders: the
+        // sampled id *set* must be identical (order independence), and
+        // a mid-rate must actually split the population.
+        let ids: Vec<u64> = (0..200u64).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+        // Capacity above the population so ring eviction (which *is*
+        // order-dependent) cannot mask the sampler's order independence.
+        let geometry = TraceConfig {
+            capacity: 512,
+            ..config(0.4)
+        };
+        let mut forward = TraceStore::new(geometry.clone());
+        let mut backward = TraceStore::new(geometry);
+        for &id in &ids {
+            forward.offer_at(0, ok_trace(id, 100));
+        }
+        for &id in ids.iter().rev() {
+            backward.offer_at(0, ok_trace(id, 100));
+        }
+        let mut fwd: Vec<u64> = forward.traces().iter().map(|t| t.trace_id).collect();
+        let mut bwd: Vec<u64> = backward.traces().iter().map(|t| t.trace_id).collect();
+        fwd.sort_unstable();
+        bwd.sort_unstable();
+        assert_eq!(fwd, bwd);
+        assert!(
+            !fwd.is_empty() && fwd.len() < ids.len(),
+            "{} of {}",
+            fwd.len(),
+            ids.len()
+        );
+    }
+
+    #[test]
+    fn two_identical_runs_serialise_bit_identically() {
+        let run = || {
+            let mut store = TraceStore::new(config(0.3));
+            for id in 0..100u64 {
+                store.offer_at(id, ok_trace(id.wrapping_mul(0x2545_f491), 100 + id));
+            }
+            store.to_json().to_json()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_find_returns_latest() {
+        let mut store = TraceStore::new(TraceConfig {
+            capacity: 2,
+            ..config(1.0)
+        });
+        for id in [7u64, 8, 9, 8] {
+            let mut t = ok_trace(id, 100);
+            t.decision = format!("gen{}", store.total_offered());
+            store.offer_at(id, t);
+        }
+        assert_eq!(store.len(), 2);
+        assert!(store.find(7).is_none(), "oldest must be evicted");
+        let found = store.find(8).unwrap();
+        assert_eq!(found.seq, 3, "find must return the latest offer");
+        assert_eq!(store.total_sampled(), 4);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut store = TraceStore::new(TraceConfig {
+            capacity: 0,
+            ..config(1.0)
+        });
+        store.offer_at(1, ok_trace(1, 10));
+        store.offer_at(2, ok_trace(2, 10));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.traces()[0].trace_id, 2);
+    }
+
+    #[test]
+    fn trace_serialises_stages_spans_and_hex_id() {
+        let mut trace = ok_trace(0xabcdef, 400);
+        trace.spans = Some(
+            crate::span::try_capture(|| {
+                let _s = crate::span::span("verify");
+            })
+            .1
+            .unwrap(),
+        );
+        let mut store = TraceStore::new(config(1.0));
+        store.offer_at(9, trace);
+        let json = store.to_json().to_json();
+        assert!(json.contains("\"trace_id\":\"0000000000abcdef\""));
+        assert!(json.contains("\"decode\":100"));
+        assert!(json.contains("\"verify\":200"));
+        assert!(json.contains("\"name\":\"verify\""));
+        assert!(json.contains("\"reason\":\"probabilistic\""));
+        assert!(json.contains("\"total_offered\":1"));
+    }
+
+    #[test]
+    fn scope_nests_and_restores() {
+        assert_eq!(current(), None);
+        {
+            let _outer = scope(11);
+            assert_eq!(current(), Some(11));
+            {
+                let _inner = scope(22);
+                assert_eq!(current(), Some(22));
+            }
+            assert_eq!(current(), Some(11));
+        }
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn minted_ids_are_distinct_across_threads() {
+        let mut all: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| (0..500).map(|_| mint_id()).collect::<Vec<u64>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let minted = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), minted, "minted ids must not collide");
+    }
+
+    #[test]
+    fn sample_rate_parsing_clamps() {
+        assert_eq!(parse_sample_rate("0.25"), Some(0.25));
+        assert_eq!(parse_sample_rate(" 1 "), Some(1.0));
+        assert_eq!(parse_sample_rate("7.5"), Some(1.0));
+        assert_eq!(parse_sample_rate("-3"), Some(0.0));
+        assert_eq!(parse_sample_rate("NaN"), Some(1.0));
+        assert_eq!(parse_sample_rate("verbose"), None);
+    }
+
+    #[test]
+    fn attribution_reports_per_stage_quantiles_and_slowest() {
+        let traces: Vec<RequestTrace> = (1..=100u64).map(|i| ok_trace(i, i * 10)).collect();
+        let report = attribution_report(&traces, 3);
+        assert_eq!(
+            report.get("trace_count").and_then(Value::as_f64),
+            Some(100.0)
+        );
+        let stages = report.get("stages").unwrap();
+        let total_p50 = stages
+            .get("total")
+            .and_then(|s| s.get("p50_nanos"))
+            .and_then(Value::as_f64)
+            .unwrap();
+        assert!((490.0..=510.0).contains(&total_p50), "p50 {total_p50}");
+        let verify_p99 = stages
+            .get("verify")
+            .and_then(|s| s.get("p99_nanos"))
+            .and_then(Value::as_f64)
+            .unwrap();
+        assert!(verify_p99 >= 490.0, "p99 {verify_p99}");
+        let slowest = report.get("slowest").and_then(Value::as_array).unwrap();
+        assert_eq!(slowest.len(), 3);
+        let tops: Vec<f64> = slowest
+            .iter()
+            .map(|t| t.get("total_nanos").and_then(Value::as_f64).unwrap())
+            .collect();
+        assert_eq!(tops, vec![1000.0, 990.0, 980.0]);
+    }
+
+    #[test]
+    fn attribution_of_nothing_is_well_formed() {
+        let report = attribution_report(&[], 5);
+        assert_eq!(report.get("trace_count").and_then(Value::as_f64), Some(0.0));
+        assert!(report
+            .get("slowest")
+            .and_then(Value::as_array)
+            .unwrap()
+            .is_empty());
+    }
+}
