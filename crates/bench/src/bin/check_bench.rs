@@ -5,21 +5,42 @@
 //! check_bench compare <fresh> <baseline> [max_p99] [min_qps]    # perf gate
 //! ```
 //!
-//! `schema` validates one `BENCH_serve.json` against the
-//! `mandipass.bench.serve/v1` shape. `compare` additionally gates a
-//! fresh document against a committed baseline: p99 latency may grow to
-//! at most `max_p99`x (default 2.0) and QPS may shrink to no less than
-//! `min_qps`x (default 0.5) of the baseline, per transport section.
+//! Both commands dispatch on the document's own `schema` tag:
+//! `mandipass.bench.serve/v1` documents go through the serve validator
+//! and comparator, `mandipass.bench.overload/v1` documents through the
+//! overload ones (where the two ratio arguments bound saturated p99
+//! growth and goodput shrinkage instead of per-transport p99/QPS).
+//! `compare` gates a fresh document against a committed baseline: p99
+//! latency may grow to at most `max_p99`x (default 2.0) and throughput
+//! may shrink to no less than `min_qps`x (default 0.5) of the baseline.
 //! Exit status 0 = pass, 1 = fail, 2 = usage error.
 
 use std::process::ExitCode;
 
-use mandipass_bench::load::{compare_bench_serve, validate_bench_serve};
+use mandipass_bench::load::{
+    compare_bench_overload, compare_bench_serve, validate_bench_overload, validate_bench_serve,
+    BENCH_OVERLOAD_SCHEMA, BENCH_SERVE_SCHEMA,
+};
 use mandipass_util::json::{parse, Value};
 
 fn load(path: &str) -> Result<Value, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     parse(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn schema_of(doc: &Value, path: &str) -> Result<String, String> {
+    doc.get("schema")
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("{path}: missing \"schema\" tag"))
+}
+
+fn validate(doc: &Value, path: &str) -> Result<(), String> {
+    match schema_of(doc, path)?.as_str() {
+        BENCH_SERVE_SCHEMA => validate_bench_serve(doc).map_err(|e| format!("{path}: {e}")),
+        BENCH_OVERLOAD_SCHEMA => validate_bench_overload(doc).map_err(|e| format!("{path}: {e}")),
+        other => Err(format!("{path}: unknown bench schema \"{other}\"")),
+    }
 }
 
 fn ratio_arg(args: &[String], idx: usize, default: f64) -> Result<f64, String> {
@@ -37,8 +58,9 @@ fn run(args: &[String]) -> Result<String, String> {
     match args.first().map(String::as_str) {
         Some("schema") => {
             let path = args.get(1).ok_or("usage: check_bench schema <file>")?;
-            validate_bench_serve(&load(path)?)?;
-            Ok(format!("{path}: schema ok"))
+            let doc = load(path)?;
+            validate(&doc, path)?;
+            Ok(format!("{path}: schema ok ({})", schema_of(&doc, path)?))
         }
         Some("compare") => {
             let fresh_path = args
@@ -49,13 +71,25 @@ fn run(args: &[String]) -> Result<String, String> {
                 .ok_or("usage: check_bench compare <fresh> <baseline> [max_p99] [min_qps]")?;
             let fresh = load(fresh_path)?;
             let baseline = load(base_path)?;
-            validate_bench_serve(&fresh).map_err(|e| format!("{fresh_path}: {e}"))?;
-            validate_bench_serve(&baseline).map_err(|e| format!("{base_path}: {e}"))?;
+            validate(&fresh, fresh_path)?;
+            validate(&baseline, base_path)?;
+            let (fresh_schema, base_schema) = (
+                schema_of(&fresh, fresh_path)?,
+                schema_of(&baseline, base_path)?,
+            );
+            if fresh_schema != base_schema {
+                return Err(format!(
+                    "schema mismatch: {fresh_path} is {fresh_schema}, {base_path} is {base_schema}"
+                ));
+            }
             let max_p99 = ratio_arg(args, 3, 2.0)?;
             let min_qps = ratio_arg(args, 4, 0.5)?;
-            compare_bench_serve(&fresh, &baseline, max_p99, min_qps)?;
+            match fresh_schema.as_str() {
+                BENCH_SERVE_SCHEMA => compare_bench_serve(&fresh, &baseline, max_p99, min_qps)?,
+                _ => compare_bench_overload(&fresh, &baseline, max_p99, min_qps)?,
+            }
             Ok(format!(
-                "{fresh_path} within envelope of {base_path} (p99 <= {max_p99}x, qps >= {min_qps}x)"
+                "{fresh_path} within envelope of {base_path} (p99 <= {max_p99}x, throughput >= {min_qps}x)"
             ))
         }
         _ => Err(

@@ -73,6 +73,18 @@ fn main() {
         std::env::var("MANDIPASS_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
     std::fs::write(&bench_out, serve_json.to_json() + "\n").expect("write BENCH_serve.json");
 
+    // Overload robustness: open-loop saturation against the bounded
+    // admission queue plus the deterministic breaker drill, written as
+    // the overload perf artifact the CI overload-smoke job gates on.
+    telemetry::event("running the overload robustness experiment…");
+    let (overload_table, overload_json) =
+        experiments::exp_overload(&mut stack, threshold).expect("overload experiment failed");
+    tables.push(overload_table);
+    let overload_out =
+        std::env::var("MANDIPASS_OVERLOAD_OUT").unwrap_or_else(|_| "BENCH_overload.json".into());
+    std::fs::write(&overload_out, overload_json.to_json() + "\n")
+        .expect("write BENCH_overload.json");
+
     // Request tracing: traced TCP load with per-stage latency
     // attribution, written next to the serve perf artifact.
     telemetry::event("running the request-tracing experiment…");

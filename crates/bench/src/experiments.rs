@@ -33,7 +33,9 @@ use mandipass_util::json::Value;
 
 use crate::harness::TrainedStack;
 use crate::load::{
-    bench_serve_document, run_load, trace_attribution, validate_bench_serve, LoadConfig, LoadTarget,
+    bench_serve_document, outcome_signature, plan_indexed_request, run_load, run_open_loop,
+    trace_attribution, validate_bench_overload, validate_bench_serve, LoadConfig, LoadTarget,
+    OpenLoopConfig, OpenOutcome, TrafficMix,
 };
 use crate::scale::EvalScale;
 
@@ -1740,6 +1742,457 @@ pub fn exp_serve(
             Err(e) => e,
         },
         validate_bench_serve(&doc).is_ok(),
+    ));
+    Ok((table, doc))
+}
+
+/// Overload robustness: measures closed-loop capacity, then drives
+/// open-loop offered load below and ~2.2x above it against a
+/// small-queue server (breaker disabled so the queue bound itself is
+/// what's measured), checks the four overload acceptance gates —
+/// saturated tail latency within 5x unsaturated, typed sheds with zero
+/// transport errors, admitted-decision parity against an in-process
+/// replay of the same planned stream, and a breaker drill that opens,
+/// recovers, and repeats bit-identically — and writes the
+/// schema-versioned `BENCH_overload.json`.
+pub fn exp_overload(
+    stack: &mut TrainedStack,
+    threshold: f64,
+) -> Result<(ReportTable, Value), MandiPassError> {
+    let _span = mandipass_telemetry::span("exp_overload");
+    const COHORT: usize = 4;
+    let env_usize = |name: &str, default: usize| {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let requests = env_usize("MANDIPASS_OVERLOAD_REQUESTS", 120).max(16);
+    let workers = env_usize("MANDIPASS_OVERLOAD_WORKERS", 2).max(1);
+    let seed: u64 = 0x0ea6_10ad;
+
+    let users: Vec<UserProfile> = stack
+        .population
+        .users()
+        .iter()
+        .take(COHORT)
+        .cloned()
+        .collect();
+    let recorder = stack.recorder.clone();
+    // Deployment factory: the sweep needs one breaker-disabled service
+    // and the drill needs TWO bit-identical breaker-enabled ones, so
+    // enrolment + calibration must be a repeatable function of its
+    // arguments only (same idiom as `exp_serve`, wrapped for reuse).
+    let build_service = |breaker: mandipass_serve::BreakerConfig,
+                         monitor: &'static mandipass_telemetry::Monitor|
+     -> Result<VerifyService, MandiPassError> {
+        let config = PipelineConfig {
+            threshold,
+            ..PipelineConfig::default()
+        };
+        let mut auth = MandiPass::new(stack.extractor.clone(), config);
+        auth.set_monitor(monitor);
+        let dim = auth.embedding_dim();
+        let mut service = VerifyService::with_breaker(auth, VerifyPolicy::default(), breaker);
+        for user in &users {
+            let matrix = GaussianMatrix::generate(0x5e12 ^ u64::from(user.id), dim);
+            let recs: Vec<Recording> = (0..4u64)
+                .map(|s| {
+                    recorder.record(
+                        user,
+                        Condition::Normal,
+                        0x5e12_0000 ^ (u64::from(user.id) << 8) ^ s,
+                    )
+                })
+                .collect();
+            service.enroll(user.id, &recs, matrix)?;
+        }
+        // Recalibrate threshold and drift baseline on this deployment's
+        // own genuine/cross-user gap (see `exp_serve` for the why).
+        let mut genuine_cal = Vec::new();
+        let mut impostor_cal = Vec::new();
+        for (u, user) in users.iter().enumerate() {
+            for s in 0..4u64 {
+                let cal_seed = 0x5e12_3000 ^ ((u as u64) << 8) ^ s;
+                let own = recorder.record(user, Condition::Normal, cal_seed);
+                if let Response::Decision { distance, .. } = service.handle(&Request::Verify {
+                    user_id: user.id,
+                    probe: own,
+                }) {
+                    genuine_cal.push(distance);
+                }
+                let other = &users[(u + 1) % users.len()];
+                let foreign = recorder.record(other, Condition::Normal, cal_seed ^ 0x77);
+                if let Response::Decision { distance, .. } = service.handle(&Request::Verify {
+                    user_id: user.id,
+                    probe: foreign,
+                }) {
+                    impostor_cal.push(distance);
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        let (genuine_mean, impostor_mean) = (mean(&genuine_cal), mean(&impostor_cal));
+        if impostor_mean > genuine_mean {
+            service.system_mut().config_mut().threshold = (genuine_mean + impostor_mean) / 2.0;
+        }
+        monitor.extend_baseline(&genuine_cal);
+        monitor.freeze_baseline();
+        monitor.reset_windows();
+        Ok(service)
+    };
+
+    // ----- Phase 1 + 2: capacity, then an open-loop sweep ------------
+    // The sweep server runs with a queue bound of `workers`: waiting
+    // depth caps at one queued connection per worker, so admitted
+    // queue wait — and with it the admitted p99 — stays bounded no
+    // matter how far past capacity the offered load goes. Everything
+    // above the bound becomes a typed `overloaded` shed.
+    let sweep_monitor: &'static mandipass_telemetry::Monitor =
+        Box::leak(Box::new(mandipass_telemetry::Monitor::default()));
+    let service = std::sync::Arc::new(build_service(
+        mandipass_serve::BreakerConfig::disabled(),
+        sweep_monitor,
+    )?);
+    let mut server = VerifyServer::bind(
+        std::sync::Arc::clone(&service),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers,
+            queue_capacity: workers,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind overload sweep server on loopback");
+    let addr = server.local_addr();
+
+    // Capacity is the SERVICE rate, so the closed-loop probe must keep
+    // every worker busy: `workers` clients alone under-measure it
+    // (client-side turnaround idles workers), which would make the
+    // "2.4x capacity" overload point barely saturate and the shed
+    // counts flaky. 2x workers fills both the workers and the queue
+    // bound exactly.
+    let closed_config = LoadConfig {
+        clients: workers * 2,
+        requests_per_client: (requests / (workers * 2)).max(8),
+        seed,
+        ..LoadConfig::default()
+    };
+    let closed = run_load(
+        &LoadTarget::Tcp(addr),
+        &users,
+        &recorder,
+        &closed_config,
+        None,
+    );
+    let capacity_qps = closed.qps.max(1.0);
+
+    let mix = TrafficMix::default();
+    let fault_intensity = LoadConfig::default().fault_intensity;
+    let open_point = |rate: f64, total: usize, senders: usize| OpenLoopConfig {
+        rate_per_sec: rate,
+        total_requests: total,
+        senders,
+        mix,
+        fault_intensity,
+        seed,
+        deadline_ms: None,
+    };
+    // 2.75x capacity offered (gate: >= 2x ACHIEVED) leaves headroom
+    // for sender lag — at saturation a sender's turnaround includes
+    // the admitted tail, so achieved sags a few percent below offered.
+    // The overload point runs 3x the requests of the unsaturated one:
+    // its window is what both the saturation ratio and the admitted
+    // p99 are judged over, and a window of tens of milliseconds would
+    // let a single scheduler stall decide the verdict.
+    let unsaturated = run_open_loop(
+        addr,
+        &users,
+        &recorder,
+        &open_point(capacity_qps * 0.8, requests, 8),
+    );
+    let overload = run_open_loop(
+        addr,
+        &users,
+        &recorder,
+        &open_point(capacity_qps * 2.75, requests * 3, 32),
+    );
+    server.shutdown();
+
+    // Parity: every admitted (served) open-loop outcome must carry the
+    // same decision signature as an in-process replay of the exact
+    // request `plan_indexed_request` assigns to that index — overload
+    // may change WHETHER a request is served, never WHAT is decided.
+    let mut parity_checked = 0u64;
+    let mut parity_mismatches = 0u64;
+    for report in [&unsaturated, &overload] {
+        for (index, outcome) in report.outcomes.iter().enumerate() {
+            if let OpenOutcome::Served { signature } = outcome {
+                let (request, _) =
+                    plan_indexed_request(seed, index, &users, &recorder, mix, fault_intensity);
+                let replay = outcome_signature(&service.handle(&request));
+                parity_checked += 1;
+                if *signature != replay {
+                    parity_mismatches += 1;
+                }
+            }
+        }
+    }
+    let saturation_ratio = overload.achieved_rate / capacity_qps;
+    // Unsaturated tail reference: the larger of the two unsaturated
+    // probes (closed-loop at capacity, open-loop at 0.8x). Either
+    // alone is a p99 over ~a hundred samples — one scheduler stall on
+    // a shared box moves it severalfold; the max is the honest "what
+    // does the tail look like when the queue is not the bottleneck".
+    let unsat_p99 = unsaturated.latency.p99.max(closed.latency.p99).max(1e-9);
+    let p99_ratio = overload.latency.p99 / unsat_p99;
+    let transport_errors = unsaturated.transport_errors + overload.transport_errors;
+
+    // ----- Phase 3: deterministic breaker drill ----------------------
+    // A fixed request script against a tight breaker: drift alarm ->
+    // Degraded overlay (policy-only), recovery; then four blown
+    // deadlines -> Open, two fast-rejects of cooldown, and two probes
+    // -> Closed. Run twice from identical deployments; the sequences
+    // must match bit-for-bit.
+    let drill = || -> Result<(Vec<String>, Vec<String>, u64, u64), MandiPassError> {
+        let monitor: &'static mandipass_telemetry::Monitor =
+            Box::leak(Box::new(mandipass_telemetry::Monitor::default()));
+        let breaker_config = mandipass_serve::BreakerConfig {
+            enabled: true,
+            window: 8,
+            min_failures: 4,
+            open_threshold: 0.5,
+            cooldown_rejects: 3,
+            probe_interval: 1,
+            close_after: 2,
+            retry_after_ms: 25,
+        };
+        let service = std::sync::Arc::new(build_service(breaker_config, monitor)?);
+        let mut server = VerifyServer::bind(
+            std::sync::Arc::clone(&service),
+            "127.0.0.1:0",
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("bind overload drill server on loopback");
+        let addr = server.local_addr();
+        let user = &users[0];
+        let probe = recorder.record(user, Condition::Normal, 0x0d41_0001);
+        let verify = Request::Verify {
+            user_id: user.id,
+            probe: probe.clone(),
+        };
+        let policy = Request::VerifyWithPolicy {
+            user_id: user.id,
+            probes: vec![probe],
+        };
+        let shed_deadline_before = mandipass_telemetry::metrics().counter("serve.shed.deadline");
+        let shed_breaker_before = mandipass_telemetry::metrics().counter("serve.shed.breaker");
+        let (deadline0, breaker0) = (shed_deadline_before.get(), shed_breaker_before.get());
+        // One fresh connection per request: queue wait is attributed to
+        // a connection's FIRST request, which is what a `deadline_ms`
+        // of 0 must always lose against.
+        let shot = |request: &Request, deadline_ms: Option<u64>| -> String {
+            let mut client = VerifyClient::connect(addr).expect("connect to overload drill server");
+            let (response, _) = client
+                .call_with_options(request, None, deadline_ms)
+                .expect("drill request must get a typed reply, never a transport error");
+            outcome_signature(&response)
+        };
+        let mut kinds = Vec::new();
+        // Drift alarm: a burst of far, rejected decisions trips the
+        // windowed reject-rate + PSI alarm deterministically.
+        for _ in 0..16 {
+            monitor.observe_decision(0.9, false, false);
+        }
+        kinds.push(shot(&verify, None)); // degraded_only: overlay up
+        kinds.push(shot(&policy, None)); // policy path still served
+        monitor.reset_windows(); // drift recovers
+        kinds.push(shot(&verify, None)); // served: overlay down
+        for _ in 0..4 {
+            kinds.push(shot(&verify, Some(0))); // blown budget -> shed
+        }
+        kinds.push(shot(&verify, None)); // open: fast-reject 1
+        kinds.push(shot(&verify, None)); // open: fast-reject 2
+        kinds.push(shot(&verify, None)); // cooldown done -> probe 1
+        kinds.push(shot(&verify, None)); // probe 2 -> closed
+        let history = service.breaker().history();
+        let shed_deadline = shed_deadline_before.get() - deadline0;
+        let shed_breaker = shed_breaker_before.get() - breaker0;
+        server.shutdown();
+        Ok((kinds, history, shed_deadline, shed_breaker))
+    };
+    let run_a = drill()?;
+    let run_b = drill()?;
+    let runs_identical = run_a == run_b;
+    let (kinds, history, shed_deadline, shed_breaker) = run_a;
+    let opened = history.iter().any(|l| l.contains("->open:"));
+    let recovered = history
+        .iter()
+        .any(|l| l.contains("->closed:probes_recovered"));
+
+    // ----- Document --------------------------------------------------
+    let scale_desc =
+        format!("{requests} open-loop requests per point, {workers} workers, queue {workers}");
+    let mut overload_section = match overload.to_json() {
+        Value::Object(fields) => fields,
+        _ => unreachable!("OpenLoopReport::to_json returns an object"),
+    };
+    overload_section.push((
+        "saturation_ratio".to_string(),
+        Value::Number(saturation_ratio),
+    ));
+    overload_section.push((
+        "p99_ratio_vs_unsaturated".to_string(),
+        Value::Number(p99_ratio),
+    ));
+    overload_section.push((
+        "parity_checked".to_string(),
+        Value::Number(parity_checked as f64),
+    ));
+    overload_section.push((
+        "parity_mismatches".to_string(),
+        Value::Number(parity_mismatches as f64),
+    ));
+    let doc = Value::Object(vec![
+        (
+            "schema".to_string(),
+            Value::String(crate::load::BENCH_OVERLOAD_SCHEMA.to_string()),
+        ),
+        ("scale".to_string(), Value::String(scale_desc.clone())),
+        ("seed".to_string(), Value::Number(seed as f64)),
+        (
+            "capacity".to_string(),
+            Value::Object(vec![
+                ("qps".to_string(), Value::Number(capacity_qps)),
+                (
+                    "p99_seconds".to_string(),
+                    Value::Number(closed.latency.p99.max(1e-9)),
+                ),
+            ]),
+        ),
+        (
+            "sweep".to_string(),
+            Value::Array(vec![unsaturated.to_json(), overload.to_json()]),
+        ),
+        ("overload".to_string(), Value::Object(overload_section)),
+        (
+            "drill".to_string(),
+            Value::Object(vec![
+                (
+                    "transitions".to_string(),
+                    Value::Array(history.iter().cloned().map(Value::String).collect()),
+                ),
+                (
+                    "responses".to_string(),
+                    Value::Array(kinds.iter().cloned().map(Value::String).collect()),
+                ),
+                (
+                    "shed_deadline".to_string(),
+                    Value::Number(shed_deadline as f64),
+                ),
+                (
+                    "shed_breaker".to_string(),
+                    Value::Number(shed_breaker as f64),
+                ),
+                ("runs_identical".to_string(), Value::Bool(runs_identical)),
+            ]),
+        ),
+    ]);
+
+    // ----- Report ----------------------------------------------------
+    let mut table = ReportTable::new("Overload: bounded admission, shedding, breaker drill");
+    table.push(
+        ExperimentRecord::new(
+            "Overload",
+            "closed-loop capacity measured",
+            "> 0 req/s",
+            format!("{capacity_qps:.0} req/s"),
+            capacity_qps > 0.0,
+        )
+        .with_note(scale_desc),
+    );
+    table.push(
+        ExperimentRecord::new(
+            "Overload",
+            "offered load saturates the deployment",
+            ">= 2x capacity",
+            format!("{saturation_ratio:.2}x achieved"),
+            saturation_ratio >= 2.0,
+        )
+        .with_note(format!(
+            "offered {:.0} req/s, achieved {:.0} req/s",
+            overload.offered_rate, overload.achieved_rate
+        )),
+    );
+    table.push(
+        ExperimentRecord::new(
+            "Overload",
+            "excess load shed as typed replies",
+            "sheds > 0, transport errors = 0",
+            format!(
+                "{} overloaded / {} deadline sheds, {transport_errors} transport errors",
+                overload.shed_overloaded, overload.shed_deadline
+            ),
+            overload.shed_overloaded > 0 && transport_errors == 0,
+        )
+        .with_note("a saturated server must refuse loudly, never hang up"),
+    );
+    table.push(ExperimentRecord::new(
+        "Overload",
+        "admitted p99 bounded under saturation",
+        "<= 5x unsaturated p99",
+        format!(
+            "{:.1} ms vs {:.1} ms ({p99_ratio:.2}x)",
+            overload.latency.p99 * 1e3,
+            unsat_p99 * 1e3
+        ),
+        p99_ratio <= 5.0,
+    ));
+    table.push(
+        ExperimentRecord::new(
+            "Overload",
+            "admitted decisions match closed-loop replay",
+            "0 mismatches",
+            format!("{parity_mismatches} of {parity_checked} compared"),
+            parity_checked > 0 && parity_mismatches == 0,
+        )
+        .with_note("overload may change whether a request is served, never what is decided"),
+    );
+    table.push(
+        ExperimentRecord::new(
+            "Overload",
+            "breaker drill opens and recovers",
+            "closed->open, ...->closed",
+            history.join(", "),
+            opened && recovered,
+        )
+        .with_note(format!(
+            "drill sheds: {shed_deadline} deadline, {shed_breaker} breaker"
+        )),
+    );
+    table.push(ExperimentRecord::new(
+        "Overload",
+        "drill is deterministic across runs",
+        "identical sequences",
+        if runs_identical {
+            "identical".to_string()
+        } else {
+            "diverged".to_string()
+        },
+        runs_identical,
+    ));
+    table.push(ExperimentRecord::new(
+        "Overload",
+        "BENCH_overload.json validates against schema",
+        "ok",
+        match validate_bench_overload(&doc) {
+            Ok(()) => "ok".to_string(),
+            Err(e) => e,
+        },
+        validate_bench_overload(&doc).is_ok(),
     ));
     Ok((table, doc))
 }

@@ -342,6 +342,67 @@ impl Caller<'_> {
     }
 }
 
+/// Traffic category of one planned request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannedKind {
+    /// Genuine probe from the claimed user.
+    Genuine,
+    /// Probe recorded from a different enrolled user.
+    Impostor,
+    /// Fault-injected genuine probe through the policy path.
+    Faulty,
+}
+
+/// Draws one request from the traffic mix — the single source of
+/// request *contents* for both the closed-loop and open-loop
+/// generators, so their plans are interchangeable given the same RNG
+/// stream.
+fn plan_mixed(
+    rng: &mut StdRng,
+    users: &[UserProfile],
+    recorder: &Recorder,
+    mix: TrafficMix,
+    fault_intensity: f64,
+) -> (Request, PlannedKind) {
+    let draw = rng.gen_range(0..100u32);
+    let user_idx = rng.gen_range(0..users.len());
+    let probe_seed = rng.next_u64();
+    let user = &users[user_idx];
+    if draw < mix.genuine_pct {
+        let probe = recorder.record(user, Condition::Normal, probe_seed);
+        (
+            Request::Verify {
+                user_id: user.id,
+                probe,
+            },
+            PlannedKind::Genuine,
+        )
+    } else if draw < mix.genuine_pct + mix.impostor_pct && users.len() > 1 {
+        let offset = 1 + rng.gen_range(0..users.len() - 1);
+        let other = &users[(user_idx + offset) % users.len()];
+        let probe = recorder.record(other, Condition::Normal, probe_seed);
+        (
+            Request::Verify {
+                user_id: user.id,
+                probe,
+            },
+            PlannedKind::Impostor,
+        )
+    } else {
+        let profiles = sweep_profiles(fault_intensity);
+        let profile = &profiles[rng.gen_range(0..profiles.len())];
+        let clean = recorder.record(user, Condition::Normal, probe_seed);
+        let retry = recorder.record(user, Condition::Normal, probe_seed ^ 0xDEAD_BEEF);
+        (
+            Request::VerifyWithPolicy {
+                user_id: user.id,
+                probes: vec![profile.apply(&clean, probe_seed), retry],
+            },
+            PlannedKind::Faulty,
+        )
+    }
+}
+
 /// The deterministic request plan for `(client, index)`.
 fn plan_request(
     rng: &mut StdRng,
@@ -351,48 +412,58 @@ fn plan_request(
     tally: &mut Tally,
 ) -> (Request, bool, bool) {
     // Returns (request, is_genuine, is_impostor); faulty = neither flag.
-    let draw = rng.gen_range(0..100u32);
-    let user_idx = rng.gen_range(0..users.len());
-    let probe_seed = rng.next_u64();
-    let user = &users[user_idx];
-    if draw < config.mix.genuine_pct {
-        tally.genuine += 1;
-        let probe = recorder.record(user, Condition::Normal, probe_seed);
-        (
-            Request::Verify {
-                user_id: user.id,
-                probe,
-            },
-            true,
-            false,
-        )
-    } else if draw < config.mix.genuine_pct + config.mix.impostor_pct && users.len() > 1 {
-        tally.impostor += 1;
-        let offset = 1 + rng.gen_range(0..users.len() - 1);
-        let other = &users[(user_idx + offset) % users.len()];
-        let probe = recorder.record(other, Condition::Normal, probe_seed);
-        (
-            Request::Verify {
-                user_id: user.id,
-                probe,
-            },
-            false,
-            true,
-        )
-    } else {
-        tally.faulty += 1;
-        let profiles = sweep_profiles(config.fault_intensity);
-        let profile = &profiles[rng.gen_range(0..profiles.len())];
-        let clean = recorder.record(user, Condition::Normal, probe_seed);
-        let retry = recorder.record(user, Condition::Normal, probe_seed ^ 0xDEAD_BEEF);
-        (
-            Request::VerifyWithPolicy {
-                user_id: user.id,
-                probes: vec![profile.apply(&clean, probe_seed), retry],
-            },
-            false,
-            false,
-        )
+    let (request, kind) = plan_mixed(rng, users, recorder, config.mix, config.fault_intensity);
+    match kind {
+        PlannedKind::Genuine => tally.genuine += 1,
+        PlannedKind::Impostor => tally.impostor += 1,
+        PlannedKind::Faulty => tally.faulty += 1,
+    }
+    (
+        request,
+        kind == PlannedKind::Genuine,
+        kind == PlannedKind::Impostor,
+    )
+}
+
+/// The deterministic request plan for open-loop request `index`: a pure
+/// function of `(seed, index)`, independent of any thread's issue
+/// order, so the open-loop run and the closed-loop parity run plan
+/// byte-identical requests per index.
+pub fn plan_indexed_request(
+    seed: u64,
+    index: usize,
+    users: &[UserProfile],
+    recorder: &Recorder,
+    mix: TrafficMix,
+    fault_intensity: f64,
+) -> (Request, PlannedKind) {
+    let mut rng =
+        StdRng::seed_from_u64(seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    plan_mixed(&mut rng, users, recorder, mix, fault_intensity)
+}
+
+/// A stable, bit-exact signature of one service outcome: decisions
+/// carry their accept/degraded flags, attempt count, and the distance's
+/// exact bit pattern; typed errors carry their kind. Two transports (or
+/// an open-loop and a closed-loop run) serving the same request must
+/// produce equal signatures — util JSON round-trips f64 exactly.
+pub fn outcome_signature(response: &Response) -> String {
+    match response {
+        Response::Decision {
+            accepted,
+            degraded,
+            attempts,
+            distance,
+            ..
+        } => format!(
+            "d:{}:{}:{}:{:016x}",
+            u8::from(*accepted),
+            u8::from(*degraded),
+            attempts,
+            distance.to_bits()
+        ),
+        Response::Error { kind, .. } => format!("e:{kind}"),
+        Response::Health { .. } => "h".to_string(),
     }
 }
 
@@ -700,6 +771,454 @@ pub fn compare_bench_serve(
     }
 }
 
+// ---------------------------------------------------------------------
+// Open-loop (arrival-rate-driven) generation and the overload bench
+// document. A closed-loop generator can never overload a server — each
+// client waits for its answer, so offered load self-throttles to
+// capacity. The open-loop generator fires request `i` at time
+// `start + i / rate` regardless of outstanding responses, which is the
+// only way to drive offered load past capacity and observe the shed
+// path, the bounded queue, and saturated tail latency.
+// ---------------------------------------------------------------------
+
+/// Schema tag of the overload bench artifact.
+pub const BENCH_OVERLOAD_SCHEMA: &str = "mandipass.bench.overload/v1";
+
+/// One open-loop run: `total_requests` arrivals at `rate_per_sec`,
+/// issued by `senders` threads (thread `s` owns indices `i ≡ s mod
+/// senders`), one fresh connection per request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopConfig {
+    /// Offered arrival rate, requests per second.
+    pub rate_per_sec: f64,
+    /// Total arrivals.
+    pub total_requests: usize,
+    /// Sender threads; must comfortably exceed `rate × per-request
+    /// latency` or the offered rate degrades toward closed-loop.
+    pub senders: usize,
+    /// Traffic composition.
+    pub mix: TrafficMix,
+    /// Fault intensity for the faulty share.
+    pub fault_intensity: f64,
+    /// Master seed; request `i` derives from `(seed, i)` only.
+    pub seed: u64,
+    /// Optional per-request `deadline_ms` budget.
+    pub deadline_ms: Option<u64>,
+}
+
+/// What happened to one open-loop request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpenOutcome {
+    /// The server dispatched it; the signature is
+    /// [`outcome_signature`] of the response.
+    Served {
+        /// Bit-exact outcome signature for parity checks.
+        signature: String,
+    },
+    /// The server shed it with a typed error (`overloaded`,
+    /// `deadline_exceeded`, or `shutting_down`).
+    Shed {
+        /// The error kind.
+        kind: String,
+    },
+    /// The transport failed — a hang-up, reset, or timeout. The
+    /// overload acceptance gate requires zero of these: overload must
+    /// surface as typed sheds, never as connection failures.
+    Transport {
+        /// The I/O error text.
+        error: String,
+    },
+}
+
+/// The result of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// Configured arrival rate.
+    pub offered_rate: f64,
+    /// Completed arrivals / wall time — sags below `offered_rate` when
+    /// senders cannot keep up.
+    pub achieved_rate: f64,
+    /// Wall-clock seconds, first arrival to last response.
+    pub wall_seconds: f64,
+    /// Requests that got a dispatched (served) response.
+    pub served: u64,
+    /// Requests shed with a typed `overloaded`.
+    pub shed_overloaded: u64,
+    /// Requests shed with a typed `deadline_exceeded`.
+    pub shed_deadline: u64,
+    /// Requests shed with a typed `shutting_down`.
+    pub shed_shutdown: u64,
+    /// Transport failures (must be zero under the acceptance gate).
+    pub transport_errors: u64,
+    /// Served responses / wall seconds — the goodput the overload chart
+    /// plots against offered load.
+    pub goodput: f64,
+    /// Latency quantiles of *served* requests only (connect + round
+    /// trip); sheds answer fast and would flatter the tail.
+    pub latency: LatencySummary,
+    /// Per-index outcomes, `outcomes[i]` for request `i`.
+    pub outcomes: Vec<OpenOutcome>,
+}
+
+impl OpenLoopReport {
+    /// Served + shed + failed — always `total_requests`.
+    pub fn total(&self) -> u64 {
+        self.served
+            + self.shed_overloaded
+            + self.shed_deadline
+            + self.shed_shutdown
+            + self.transport_errors
+    }
+
+    /// One sweep-point JSON section.
+    pub fn to_json(&self) -> Value {
+        let num = |v: f64| {
+            if v.is_finite() {
+                Value::Number(v)
+            } else {
+                Value::Null
+            }
+        };
+        Value::Object(vec![
+            ("offered_rate".to_string(), num(self.offered_rate)),
+            ("achieved_rate".to_string(), num(self.achieved_rate)),
+            ("wall_seconds".to_string(), num(self.wall_seconds)),
+            ("total".to_string(), Value::Number(self.total() as f64)),
+            ("served".to_string(), Value::Number(self.served as f64)),
+            (
+                "shed".to_string(),
+                Value::Object(vec![
+                    (
+                        "overloaded".to_string(),
+                        Value::Number(self.shed_overloaded as f64),
+                    ),
+                    (
+                        "deadline".to_string(),
+                        Value::Number(self.shed_deadline as f64),
+                    ),
+                    (
+                        "shutting_down".to_string(),
+                        Value::Number(self.shed_shutdown as f64),
+                    ),
+                ]),
+            ),
+            (
+                "transport_errors".to_string(),
+                Value::Number(self.transport_errors as f64),
+            ),
+            ("goodput".to_string(), num(self.goodput)),
+            (
+                "latency_seconds".to_string(),
+                Value::Object(vec![
+                    ("p50".to_string(), num(self.latency.p50)),
+                    ("p99".to_string(), num(self.latency.p99)),
+                    ("mean".to_string(), num(self.latency.mean)),
+                    ("max".to_string(), num(self.latency.max)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Issues one pre-serialized request frame on a fresh connection and
+/// classifies the reply.
+fn open_loop_call(
+    addr: SocketAddr,
+    frame: &[u8],
+    max_frame_bytes: usize,
+) -> Result<Response, String> {
+    use mandipass_serve::protocol;
+    let mut stream = std::net::TcpStream::connect_timeout(&addr, std::time::Duration::from_secs(5))
+        .map_err(|e| format!("connect: {e}"))?;
+    stream.set_nodelay(true).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    protocol::write_frame(&mut stream, frame).map_err(|e| format!("write: {e}"))?;
+    let payload = protocol::read_frame(&mut stream, max_frame_bytes)
+        .map_err(|e| format!("read: {e}"))?
+        .ok_or_else(|| "server closed before answering".to_string())?;
+    Response::from_frame(&payload).map_err(|e| format!("parse: {e}"))
+}
+
+/// Runs one open-loop generation against a TCP endpoint.
+///
+/// All request frames are planned and serialized *before* the clock
+/// starts, so the send loop does no probe synthesis and the offered
+/// rate is real. Request `i`'s contents depend only on `(seed, i)` —
+/// identical to what [`plan_indexed_request`] returns — which is what
+/// the admitted-decision parity check in `exp_overload` compares
+/// against.
+///
+/// # Panics
+///
+/// Panics on nonsensical configs (zero rate or requests) — harness
+/// construction bugs.
+pub fn run_open_loop(
+    addr: SocketAddr,
+    users: &[UserProfile],
+    recorder: &Recorder,
+    config: &OpenLoopConfig,
+) -> OpenLoopReport {
+    use mandipass_serve::with_deadline_ms;
+    assert!(
+        config.rate_per_sec > 0.0 && config.total_requests > 0,
+        "open-loop config needs a positive rate and request count"
+    );
+    assert!(
+        !users.is_empty(),
+        "open-loop generation needs enrolled users"
+    );
+    let max_frame_bytes = 1 << 24;
+    // Plan phase (off the clock): serialize every frame up front.
+    let frames: Vec<Vec<u8>> = (0..config.total_requests)
+        .map(|i| {
+            let (request, _) = plan_indexed_request(
+                config.seed,
+                i,
+                users,
+                recorder,
+                config.mix,
+                config.fault_intensity,
+            );
+            let mut doc = request.to_json();
+            if let Some(ms) = config.deadline_ms {
+                doc = with_deadline_ms(doc, ms);
+            }
+            doc.to_json().into_bytes()
+        })
+        .collect();
+    let histogram = Registry::new().histogram("serve.open_loop_latency_seconds");
+    let senders = config.senders.max(1);
+    let started = Instant::now();
+    let per_thread: Vec<Vec<(usize, OpenOutcome)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..senders)
+            .map(|s| {
+                let frames = &frames;
+                let histogram = histogram.clone();
+                scope.spawn(move || {
+                    let mut outcomes = Vec::new();
+                    let mut index = s;
+                    while index < frames.len() {
+                        // Open loop: arrival i is due at start + i/rate;
+                        // sleep if early, fire immediately if late.
+                        let due = started
+                            + std::time::Duration::from_secs_f64(
+                                index as f64 / config.rate_per_sec,
+                            );
+                        let now = Instant::now();
+                        if due > now {
+                            std::thread::sleep(due - now);
+                        }
+                        let sent = Instant::now();
+                        let outcome = match open_loop_call(addr, &frames[index], max_frame_bytes) {
+                            Ok(Response::Error { kind, .. })
+                                if kind == "overloaded"
+                                    || kind == "deadline_exceeded"
+                                    || kind == "shutting_down" =>
+                            {
+                                OpenOutcome::Shed { kind }
+                            }
+                            Ok(response) => {
+                                histogram.observe(sent.elapsed().as_secs_f64());
+                                OpenOutcome::Served {
+                                    signature: outcome_signature(&response),
+                                }
+                            }
+                            Err(error) => OpenOutcome::Transport { error },
+                        };
+                        outcomes.push((index, outcome));
+                        index += senders;
+                    }
+                    outcomes
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| panic!("open-loop sender panicked"))
+            })
+            .collect()
+    });
+    let wall_seconds = started.elapsed().as_secs_f64().max(1e-9);
+    let mut indexed: Vec<(usize, OpenOutcome)> = per_thread.into_iter().flatten().collect();
+    indexed.sort_by_key(|(i, _)| *i);
+    let outcomes: Vec<OpenOutcome> = indexed.into_iter().map(|(_, o)| o).collect();
+    let mut served = 0u64;
+    let (mut shed_overloaded, mut shed_deadline, mut shed_shutdown) = (0u64, 0u64, 0u64);
+    let mut transport_errors = 0u64;
+    for outcome in &outcomes {
+        match outcome {
+            OpenOutcome::Served { .. } => served += 1,
+            OpenOutcome::Shed { kind } => match kind.as_str() {
+                "overloaded" => shed_overloaded += 1,
+                "deadline_exceeded" => shed_deadline += 1,
+                _ => shed_shutdown += 1,
+            },
+            OpenOutcome::Transport { .. } => transport_errors += 1,
+        }
+    }
+    OpenLoopReport {
+        offered_rate: config.rate_per_sec,
+        achieved_rate: outcomes.len() as f64 / wall_seconds,
+        wall_seconds,
+        served,
+        shed_overloaded,
+        shed_deadline,
+        shed_shutdown,
+        transport_errors,
+        goodput: served as f64 / wall_seconds,
+        latency: LatencySummary {
+            p50: histogram.quantile(0.5),
+            p99: histogram.quantile(0.99),
+            p999: histogram.quantile(0.999),
+            mean: histogram.mean(),
+            max: histogram.max(),
+        },
+        outcomes,
+    }
+}
+
+/// Validates one `BENCH_overload.json` document against the v1 schema,
+/// including the overload acceptance gates: saturation ≥ 2× capacity,
+/// zero transport errors, admitted p99 within 5× the unsaturated p99,
+/// zero parity mismatches, and a drill that opened, recovered, and
+/// repeated identically.
+///
+/// # Errors
+///
+/// Returns the first violated constraint, with its field path.
+pub fn validate_bench_overload(doc: &Value) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing \"schema\" tag")?;
+    if schema != BENCH_OVERLOAD_SCHEMA {
+        return Err(format!(
+            "schema \"{schema}\" is not \"{BENCH_OVERLOAD_SCHEMA}\""
+        ));
+    }
+    doc.get("scale")
+        .and_then(Value::as_str)
+        .ok_or("missing \"scale\" description")?;
+    get_num(doc, &["seed"])?;
+    let capacity_qps = get_num(doc, &["capacity", "qps"])?;
+    let capacity_p99 = get_num(doc, &["capacity", "p99_seconds"])?;
+    if capacity_qps <= 0.0 || capacity_p99 <= 0.0 {
+        return Err(format!(
+            "capacity not positive (qps {capacity_qps}, p99 {capacity_p99})"
+        ));
+    }
+    let sweep = match doc.get("sweep") {
+        Some(Value::Array(points)) if !points.is_empty() => points,
+        _ => return Err("missing or empty \"sweep\" array".to_string()),
+    };
+    for (i, point) in sweep.iter().enumerate() {
+        for field in ["offered_rate", "goodput", "served", "total"] {
+            get_num(point, &[field]).map_err(|e| format!("sweep[{i}]: {e}"))?;
+        }
+    }
+    let saturation = get_num(doc, &["overload", "saturation_ratio"])?;
+    if saturation < 2.0 {
+        return Err(format!(
+            "overload.saturation_ratio {saturation:.2} < 2.0: offered load did not reach 2x capacity"
+        ));
+    }
+    let transport = get_num(doc, &["overload", "transport_errors"])?;
+    if transport != 0.0 {
+        return Err(format!(
+            "overload.transport_errors = {transport}: sheds must be typed replies, not hang-ups"
+        ));
+    }
+    let served = get_num(doc, &["overload", "served"])?;
+    if served <= 0.0 {
+        return Err("overload.served = 0: saturation starved every request".to_string());
+    }
+    let shed = get_num(doc, &["overload", "shed", "overloaded"])?;
+    if shed <= 0.0 {
+        return Err(
+            "overload.shed.overloaded = 0: 2x offered load never hit the queue bound".to_string(),
+        );
+    }
+    let p99_ratio = get_num(doc, &["overload", "p99_ratio_vs_unsaturated"])?;
+    if p99_ratio > 5.0 {
+        return Err(format!(
+            "overload.p99_ratio_vs_unsaturated {p99_ratio:.2} > 5: the bounded queue failed to cap tail latency"
+        ));
+    }
+    let parity_checked = get_num(doc, &["overload", "parity_checked"])?;
+    let parity_mismatches = get_num(doc, &["overload", "parity_mismatches"])?;
+    if parity_checked <= 0.0 {
+        return Err("overload.parity_checked = 0: no admitted request was compared".to_string());
+    }
+    if parity_mismatches != 0.0 {
+        return Err(format!(
+            "overload.parity_mismatches = {parity_mismatches}: admitted decisions drifted from the closed-loop run"
+        ));
+    }
+    let transitions = match doc.get("drill").and_then(|d| d.get("transitions")) {
+        Some(Value::Array(t)) => t,
+        _ => return Err("missing drill.transitions array".to_string()),
+    };
+    let labels: Vec<&str> = transitions.iter().filter_map(Value::as_str).collect();
+    if !labels.iter().any(|l| l.contains("->open:")) {
+        return Err(format!("drill never opened the breaker: {labels:?}"));
+    }
+    if !labels
+        .iter()
+        .any(|l| l.contains("->closed:probes_recovered"))
+    {
+        return Err(format!("drill never recovered the breaker: {labels:?}"));
+    }
+    match doc.get("drill").and_then(|d| d.get("runs_identical")) {
+        Some(Value::Bool(true)) => {}
+        other => {
+            return Err(format!(
+                "drill.runs_identical is {other:?}: two same-seed drills must match exactly"
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// Compares a fresh overload document against a committed baseline:
+/// goodput under saturation may shrink to no less than
+/// `min_goodput_ratio`× the baseline's, and saturated p99 may grow to
+/// at most `max_p99_ratio`× the baseline's.
+///
+/// # Errors
+///
+/// Returns every violated gate, one per line.
+pub fn compare_bench_overload(
+    fresh: &Value,
+    baseline: &Value,
+    max_p99_ratio: f64,
+    min_goodput_ratio: f64,
+) -> Result<(), String> {
+    let mut violations = Vec::new();
+    let fresh_goodput = get_num(fresh, &["overload", "goodput"])?;
+    let base_goodput = get_num(baseline, &["overload", "goodput"])?;
+    if fresh_goodput < base_goodput * min_goodput_ratio {
+        violations.push(format!(
+            "overload: goodput {fresh_goodput:.1} below {min_goodput_ratio}x baseline {base_goodput:.1}"
+        ));
+    }
+    let fresh_p99 = get_num(fresh, &["overload", "latency_seconds", "p99"])?;
+    let base_p99 = get_num(baseline, &["overload", "latency_seconds", "p99"])?;
+    if fresh_p99 > base_p99 * max_p99_ratio {
+        violations.push(format!(
+            "overload: saturated p99 {fresh_p99:.6}s exceeds {max_p99_ratio}x baseline {base_p99:.6}s"
+        ));
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations.join("\n"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -822,5 +1341,224 @@ mod tests {
         let report = fake_report(100.0, 0.01);
         assert!((report.reject_rate() - 48.0 / 128.0).abs() < 1e-12);
         assert!((report.degraded_rate() - 4.0 / 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indexed_plans_are_deterministic_and_index_local() {
+        let population = mandipass_imu_sim::Population::generate(3, 0xbeef);
+        let users = population.users();
+        let recorder = Recorder::default();
+        let mix = TrafficMix::default();
+        for index in [0usize, 1, 7, 63] {
+            let (a, ka) = plan_indexed_request(42, index, users, &recorder, mix, 0.5);
+            let (b, kb) = plan_indexed_request(42, index, users, &recorder, mix, 0.5);
+            assert_eq!(ka, kb, "plan kind must be a pure function of (seed, index)");
+            assert_eq!(
+                a.to_json().to_json(),
+                b.to_json().to_json(),
+                "request {index} must serialize identically across plans"
+            );
+        }
+        let (a, _) = plan_indexed_request(42, 5, users, &recorder, mix, 0.5);
+        let (b, _) = plan_indexed_request(43, 5, users, &recorder, mix, 0.5);
+        assert_ne!(
+            a.to_json().to_json(),
+            b.to_json().to_json(),
+            "different seeds must alter the stream"
+        );
+    }
+
+    #[test]
+    fn outcome_signatures_distinguish_decisions_errors_and_health() {
+        let decision = Response::Decision {
+            accepted: true,
+            distance: 0.25,
+            threshold: 0.5,
+            degraded: false,
+            attempts: 1,
+            rejects: Vec::new(),
+        };
+        let sig = outcome_signature(&decision);
+        assert!(sig.starts_with("d:1:0:1:"), "{sig}");
+        let error = Response::error("overloaded", "queue full");
+        assert_eq!(outcome_signature(&error), "e:overloaded");
+        let health = Response::Health {
+            health: Value::Object(Vec::new()),
+            enrolled: 0,
+        };
+        assert_eq!(outcome_signature(&health), "h");
+    }
+
+    fn fake_overload_doc() -> Value {
+        let point = |rate: f64, served: f64, shed: f64| {
+            Value::Object(vec![
+                ("offered_rate".to_string(), Value::Number(rate)),
+                ("achieved_rate".to_string(), Value::Number(rate)),
+                ("wall_seconds".to_string(), Value::Number(1.0)),
+                ("total".to_string(), Value::Number(served + shed)),
+                ("served".to_string(), Value::Number(served)),
+                (
+                    "shed".to_string(),
+                    Value::Object(vec![
+                        ("overloaded".to_string(), Value::Number(shed)),
+                        ("deadline".to_string(), Value::Number(0.0)),
+                        ("shutting_down".to_string(), Value::Number(0.0)),
+                    ]),
+                ),
+                ("transport_errors".to_string(), Value::Number(0.0)),
+                ("goodput".to_string(), Value::Number(served)),
+                (
+                    "latency_seconds".to_string(),
+                    Value::Object(vec![
+                        ("p50".to_string(), Value::Number(0.002)),
+                        ("p99".to_string(), Value::Number(0.008)),
+                        ("mean".to_string(), Value::Number(0.003)),
+                        ("max".to_string(), Value::Number(0.02)),
+                    ]),
+                ),
+            ])
+        };
+        let mut overload = match point(440.0, 180.0, 260.0) {
+            Value::Object(fields) => fields,
+            _ => unreachable!(),
+        };
+        overload.push(("saturation_ratio".to_string(), Value::Number(2.2)));
+        overload.push(("p99_ratio_vs_unsaturated".to_string(), Value::Number(1.6)));
+        overload.push(("parity_checked".to_string(), Value::Number(180.0)));
+        overload.push(("parity_mismatches".to_string(), Value::Number(0.0)));
+        Value::Object(vec![
+            (
+                "schema".to_string(),
+                Value::String(BENCH_OVERLOAD_SCHEMA.to_string()),
+            ),
+            ("scale".to_string(), Value::String("test".to_string())),
+            ("seed".to_string(), Value::Number(7.0)),
+            (
+                "capacity".to_string(),
+                Value::Object(vec![
+                    ("qps".to_string(), Value::Number(200.0)),
+                    ("p99_seconds".to_string(), Value::Number(0.005)),
+                ]),
+            ),
+            (
+                "sweep".to_string(),
+                Value::Array(vec![point(160.0, 160.0, 0.0), point(440.0, 180.0, 260.0)]),
+            ),
+            ("overload".to_string(), Value::Object(overload)),
+            (
+                "drill".to_string(),
+                Value::Object(vec![
+                    (
+                        "transitions".to_string(),
+                        Value::Array(vec![
+                            Value::String("closed->open:error_rate".to_string()),
+                            Value::String("open->half_open:machine".to_string()),
+                            Value::String("half_open->closed:probes_recovered".to_string()),
+                        ]),
+                    ),
+                    ("runs_identical".to_string(), Value::Bool(true)),
+                ]),
+            ),
+        ])
+    }
+
+    fn patch(doc: &Value, path: &[&str], value: Value) -> Value {
+        match doc {
+            Value::Object(fields) => Value::Object(
+                fields
+                    .iter()
+                    .map(|(k, v)| {
+                        if k == path[0] {
+                            if path.len() == 1 {
+                                (k.clone(), value.clone())
+                            } else {
+                                (k.clone(), patch(v, &path[1..], value.clone()))
+                            }
+                        } else {
+                            (k.clone(), v.clone())
+                        }
+                    })
+                    .collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+
+    #[test]
+    fn overload_document_round_trips_and_validates() {
+        let doc = fake_overload_doc();
+        let parsed = mandipass_util::json::parse(&doc.to_json()).unwrap();
+        validate_bench_overload(&parsed).unwrap();
+    }
+
+    #[test]
+    fn overload_validator_enforces_every_acceptance_gate() {
+        let doc = fake_overload_doc();
+        let cases: Vec<(&[&str], Value, &str)> = vec![
+            (
+                &["overload", "saturation_ratio"],
+                Value::Number(1.5),
+                "saturation",
+            ),
+            (
+                &["overload", "transport_errors"],
+                Value::Number(2.0),
+                "transport",
+            ),
+            (
+                &["overload", "p99_ratio_vs_unsaturated"],
+                Value::Number(9.0),
+                "p99_ratio",
+            ),
+            (
+                &["overload", "parity_mismatches"],
+                Value::Number(1.0),
+                "parity",
+            ),
+            (
+                &["overload", "shed", "overloaded"],
+                Value::Number(0.0),
+                "queue bound",
+            ),
+            (
+                &["drill", "runs_identical"],
+                Value::Bool(false),
+                "identical",
+            ),
+            (
+                &["drill", "transitions"],
+                Value::Array(vec![Value::String("closed->open:error_rate".to_string())]),
+                "recovered",
+            ),
+        ];
+        for (path, value, needle) in cases {
+            let err = validate_bench_overload(&patch(&doc, path, value)).unwrap_err();
+            assert!(err.contains(needle), "{path:?}: {err}");
+        }
+        let err = validate_bench_overload(&patch(
+            &doc,
+            &["schema"],
+            Value::String("mandipass.bench.overload/v9".to_string()),
+        ))
+        .unwrap_err();
+        assert!(err.contains("v9"), "{err}");
+    }
+
+    #[test]
+    fn overload_comparator_gates_goodput_and_saturated_p99() {
+        let baseline = fake_overload_doc();
+        compare_bench_overload(&baseline, &baseline, 2.0, 0.5).unwrap();
+        let slow = patch(
+            &baseline,
+            &["overload", "latency_seconds", "p99"],
+            Value::Number(0.1),
+        );
+        assert!(compare_bench_overload(&slow, &baseline, 2.0, 0.5)
+            .unwrap_err()
+            .contains("p99"));
+        let starved = patch(&baseline, &["overload", "goodput"], Value::Number(10.0));
+        assert!(compare_bench_overload(&starved, &baseline, 2.0, 0.5)
+            .unwrap_err()
+            .contains("goodput"));
     }
 }

@@ -1,0 +1,538 @@
+//! Deterministic network-chaos harness: an in-process TCP fault proxy.
+//!
+//! [`ChaosProxy`] sits between a client and an upstream server and
+//! forwards bytes while injecting transport faults — frames split at
+//! arbitrary byte boundaries, byte-trickle delivery, abrupt
+//! mid-frame closes, stalled reads — so tests and the overload bench
+//! can exercise the server's framing and timeout behaviour without a
+//! real degraded network.
+//!
+//! Determinism is the point: a proxy is configured with an explicit
+//! per-connection [`ConnPlan`] list (connection `i` gets plan
+//! `i % plans.len()`), or with [`ChaosProxy::deterministic`], which
+//! derives each connection's plan from a seed and the connection index
+//! via the workspace PRNG. Two same-seed runs inject byte-identical
+//! fault schedules, so chaos tests are reproducible, not flaky.
+//!
+//! The proxy is std-only: one acceptor thread, two pump threads per
+//! connection (client→server and server→client), short read timeouts so
+//! every thread notices shutdown promptly. It is *not* `cfg(test)` —
+//! the bench crate drives it too.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mandipass_util::rand::rngs::StdRng;
+use mandipass_util::rand::{Rng, SeedableRng};
+
+/// A transport fault applied to one direction of one proxied
+/// connection. Byte offsets count from the first byte of that
+/// direction's stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Forward bytes unmodified.
+    Passthrough,
+    /// Forward normally, but force a segment boundary (separate write
+    /// plus a short pause) at this byte offset — a frame "split" at an
+    /// arbitrary point, including mid-length-prefix.
+    SplitAt(usize),
+    /// Deliver in fixed-size chunks with a pause after each — trickle
+    /// delivery (`Chunk { size: 1, .. }` is the classic byte-trickle).
+    Chunk {
+        /// Bytes per write.
+        size: usize,
+        /// Pause after each chunk, microseconds.
+        delay_micros: u64,
+    },
+    /// Forward this many bytes, then close both directions abruptly —
+    /// the peer sees a connection death mid-frame.
+    CloseAfter(usize),
+    /// Forward this many bytes, then go silent while holding the
+    /// connection open — the peer's read stalls until its own timeout.
+    StallAfter(usize),
+}
+
+/// Per-connection fault plan: independent faults per direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnPlan {
+    /// Applied to bytes flowing client → server.
+    pub to_server: Fault,
+    /// Applied to bytes flowing server → client.
+    pub to_client: Fault,
+}
+
+impl ConnPlan {
+    /// A plan that forwards both directions unmodified.
+    pub fn passthrough() -> Self {
+        ConnPlan {
+            to_server: Fault::Passthrough,
+            to_client: Fault::Passthrough,
+        }
+    }
+
+    /// The plan connection `index` gets under `seed` — a pure function,
+    /// so any run (or any assertion) can reconstruct the schedule.
+    /// Mixes the index through SplitMix-style odd constants before
+    /// seeding so consecutive indices get decorrelated streams.
+    pub fn for_index(seed: u64, index: usize) -> Self {
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (index as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let to_server = Self::draw(&mut rng);
+        ConnPlan {
+            to_server,
+            to_client: Fault::Passthrough,
+        }
+    }
+
+    fn draw(rng: &mut StdRng) -> Fault {
+        match rng.gen_range(0u32..4) {
+            0 => Fault::Passthrough,
+            1 => Fault::SplitAt(rng.gen_range(1usize..64)),
+            2 => Fault::Chunk {
+                size: rng.gen_range(1usize..8),
+                delay_micros: rng.gen_range(0u64..200),
+            },
+            _ => Fault::CloseAfter(rng.gen_range(1usize..32)),
+        }
+    }
+}
+
+/// The pause injected at a [`Fault::SplitAt`] boundary — long enough to
+/// defeat kernel segment coalescing on loopback, short enough to stay
+/// far below any read timeout.
+const SPLIT_PAUSE: Duration = Duration::from_millis(2);
+
+/// Pump-loop read timeout: bounds how long a proxy thread can miss the
+/// stop flag.
+const PUMP_TICK: Duration = Duration::from_millis(25);
+
+/// A running fault proxy. Dropping it shuts it down.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accepted: Arc<AtomicUsize>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ChaosProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosProxy")
+            .field("addr", &self.addr)
+            .field("accepted", &self.accepted.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl ChaosProxy {
+    /// Starts a proxy on an ephemeral loopback port forwarding to
+    /// `upstream`. Connection `i` (0-based accept order) runs under
+    /// `plans[i % plans.len()]`; an empty list means passthrough.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and thread-spawn failures.
+    pub fn spawn(upstream: SocketAddr, plans: Vec<ConnPlan>) -> io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accepted = Arc::new(AtomicUsize::new(0));
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let accepted = Arc::clone(&accepted);
+            std::thread::Builder::new()
+                .name("mandipass-chaos-accept".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(client) = stream else { continue };
+                        let index = accepted.fetch_add(1, Ordering::SeqCst);
+                        let plan = if plans.is_empty() {
+                            ConnPlan::passthrough()
+                        } else {
+                            plans[index % plans.len()]
+                        };
+                        let stop = Arc::clone(&stop);
+                        let _ = std::thread::Builder::new()
+                            .name(format!("mandipass-chaos-{index}"))
+                            .spawn(move || proxy_connection(client, upstream, plan, &stop));
+                    }
+                })?
+        };
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            accepted,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// A proxy whose per-connection plans are derived from `seed` via
+    /// [`ConnPlan::for_index`] — the open-loop bench's chaos mode.
+    ///
+    /// # Errors
+    ///
+    /// As [`ChaosProxy::spawn`].
+    pub fn deterministic(upstream: SocketAddr, seed: u64, connections: usize) -> io::Result<Self> {
+        let plans = (0..connections.max(1))
+            .map(|i| ConnPlan::for_index(seed, i))
+            .collect();
+        Self::spawn(upstream, plans)
+    }
+
+    /// The proxy's listening address — point clients here.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far.
+    pub fn accepted(&self) -> usize {
+        self.accepted.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting and signals every pump thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Opens `count` connections to `addr` without sending a byte — the
+/// connect-flood half of the chaos vocabulary. The returned sockets
+/// keep the connections open; dropping them releases the flood.
+///
+/// # Errors
+///
+/// Propagates the first connect failure; sockets opened before the
+/// failure are dropped, releasing their connections.
+pub fn connect_flood(addr: SocketAddr, count: usize) -> io::Result<Vec<TcpStream>> {
+    (0..count)
+        .map(|_| TcpStream::connect_timeout(&addr, Duration::from_secs(5)))
+        .collect()
+}
+
+fn proxy_connection(client: TcpStream, upstream: SocketAddr, plan: ConnPlan, stop: &AtomicBool) {
+    let Ok(server) = TcpStream::connect_timeout(&upstream, Duration::from_secs(5)) else {
+        return;
+    };
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+    let (Ok(client_rx), Ok(server_rx)) = (client.try_clone(), server.try_clone()) else {
+        return;
+    };
+    std::thread::scope(|scope| {
+        scope.spawn(|| pump(client_rx, server, plan.to_server, stop));
+        pump(server_rx, client, plan.to_client, stop);
+    });
+}
+
+/// Forwards bytes `from` → `to` under `fault` until EOF, error, or
+/// stop. Read timeouts tick so the stop flag is honoured promptly.
+fn pump(mut from: TcpStream, mut to: TcpStream, fault: Fault, stop: &AtomicBool) {
+    let _ = from.set_read_timeout(Some(PUMP_TICK));
+    let mut forwarded = 0usize;
+    let mut buf = [0u8; 4096];
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let n = match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => break,
+        };
+        if !forward(&mut to, &buf[..n], &mut forwarded, fault, stop) {
+            break;
+        }
+    }
+    // Propagate the half-close so the other side sees EOF rather than a
+    // stall (the StallAfter fault deliberately skips this by breaking
+    // out of `forward` with the connection still open — its hang *is*
+    // the fault — but once the pump exits, the shutdown is the cleanup).
+    let _ = to.shutdown(std::net::Shutdown::Write);
+}
+
+/// Writes `bytes` under `fault`, tracking the absolute offset in
+/// `forwarded`. Returns `false` when the connection should die.
+fn forward(
+    to: &mut TcpStream,
+    bytes: &[u8],
+    forwarded: &mut usize,
+    fault: Fault,
+    stop: &AtomicBool,
+) -> bool {
+    match fault {
+        Fault::Passthrough => {
+            *forwarded += bytes.len();
+            to.write_all(bytes).is_ok()
+        }
+        Fault::SplitAt(split) => {
+            let offset = *forwarded;
+            *forwarded += bytes.len();
+            if split > offset && split < offset + bytes.len() {
+                let cut = split - offset;
+                if to.write_all(&bytes[..cut]).is_err() || to.flush().is_err() {
+                    return false;
+                }
+                std::thread::sleep(SPLIT_PAUSE);
+                to.write_all(&bytes[cut..]).is_ok()
+            } else {
+                to.write_all(bytes).is_ok()
+            }
+        }
+        Fault::Chunk { size, delay_micros } => {
+            *forwarded += bytes.len();
+            for chunk in bytes.chunks(size.max(1)) {
+                if stop.load(Ordering::SeqCst) {
+                    return false;
+                }
+                if to.write_all(chunk).is_err() || to.flush().is_err() {
+                    return false;
+                }
+                if delay_micros > 0 {
+                    std::thread::sleep(Duration::from_micros(delay_micros));
+                }
+            }
+            true
+        }
+        Fault::CloseAfter(limit) => {
+            let remaining = limit.saturating_sub(*forwarded);
+            let cut = remaining.min(bytes.len());
+            if cut > 0 && to.write_all(&bytes[..cut]).is_err() {
+                return false;
+            }
+            *forwarded += cut;
+            if *forwarded >= limit {
+                // Abrupt death: both directions, mid-frame.
+                let _ = to.shutdown(std::net::Shutdown::Both);
+                return false;
+            }
+            true
+        }
+        Fault::StallAfter(limit) => {
+            let remaining = limit.saturating_sub(*forwarded);
+            let cut = remaining.min(bytes.len());
+            if cut > 0 && to.write_all(&bytes[..cut]).is_err() {
+                return false;
+            }
+            *forwarded += cut;
+            if *forwarded >= limit {
+                // Go silent but keep the socket open: the peer's read
+                // must hit its own timeout. Wait for stop or peer close.
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(PUMP_TICK);
+                }
+                return false;
+            }
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::VerifyClient;
+    use crate::protocol::{self, Request, Response};
+    use crate::server::{ServeConfig, VerifyServer};
+    use crate::test_support::{genuine_probe, shared_arc};
+    use std::time::Instant;
+
+    fn test_server() -> VerifyServer {
+        VerifyServer::bind(
+            shared_arc(),
+            "127.0.0.1:0",
+            ServeConfig {
+                read_timeout: Duration::from_millis(500),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("bind: {e}"))
+    }
+
+    #[test]
+    fn every_byte_boundary_split_still_parses() {
+        let server = test_server();
+        // The exact frame a health request puts on the wire.
+        let payload = Request::Health.to_json().to_json();
+        let frame_len = 4 + payload.len();
+        // Exhaustive, proptest-spirited: a fresh proxied connection per
+        // split point, every interior boundary including both
+        // length-prefix cuts (1..4) and every JSON-body cut.
+        let plans: Vec<ConnPlan> = (1..frame_len)
+            .map(|cut| ConnPlan {
+                to_server: Fault::SplitAt(cut),
+                to_client: Fault::Passthrough,
+            })
+            .collect();
+        let boundaries = plans.len();
+        let mut proxy = ChaosProxy::spawn(server.local_addr(), plans).unwrap();
+        for cut in 1..frame_len {
+            let mut client = VerifyClient::connect(proxy.local_addr()).unwrap();
+            match client.call(&Request::Health) {
+                Ok(Response::Health { .. }) => {}
+                other => panic!("split at byte {cut} broke framing: {other:?}"),
+            }
+        }
+        assert_eq!(proxy.accepted(), boundaries);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn trickle_and_chunked_delivery_still_get_answers() {
+        let server = test_server();
+        let plans = vec![
+            ConnPlan {
+                to_server: Fault::Chunk {
+                    size: 1,
+                    delay_micros: 50,
+                },
+                to_client: Fault::Passthrough,
+            },
+            ConnPlan {
+                to_server: Fault::Chunk {
+                    size: 7,
+                    delay_micros: 0,
+                },
+                to_client: Fault::Chunk {
+                    size: 3,
+                    delay_micros: 10,
+                },
+            },
+        ];
+        let proxy = ChaosProxy::spawn(server.local_addr(), plans).unwrap();
+        // Byte-trickled health request.
+        let mut client = VerifyClient::connect(proxy.local_addr()).unwrap();
+        assert!(matches!(
+            client.call(&Request::Health).unwrap(),
+            Response::Health { .. }
+        ));
+        // Chunked-both-ways verify with a real probe frame.
+        let (user, probe) = genuine_probe(57_000);
+        let mut client = VerifyClient::connect(proxy.local_addr()).unwrap();
+        assert!(matches!(
+            client
+                .call(&Request::Verify {
+                    user_id: user,
+                    probe
+                })
+                .unwrap(),
+            Response::Decision { .. }
+        ));
+    }
+
+    #[test]
+    fn abrupt_close_mid_frame_does_not_wedge_the_server() {
+        let server = test_server();
+        let addr = server.local_addr();
+        let plans = vec![ConnPlan {
+            to_server: Fault::CloseAfter(2), // dies inside the length prefix
+            to_client: Fault::Passthrough,
+        }];
+        let proxy = ChaosProxy::spawn(addr, plans).unwrap();
+        let mut doomed = VerifyClient::connect(proxy.local_addr()).unwrap();
+        // The call fails — reset or EOF, depending on timing — but must
+        // not hang past the read timeout.
+        let start = Instant::now();
+        let result = doomed.call(&Request::Health);
+        assert!(result.is_err(), "a connection cut mid-frame cannot answer");
+        assert!(start.elapsed() < Duration::from_secs(5));
+        // And the server is still healthy for direct clients.
+        let mut direct = VerifyClient::connect(addr).unwrap();
+        assert!(matches!(
+            direct.call(&Request::Health).unwrap(),
+            Response::Health { .. }
+        ));
+    }
+
+    #[test]
+    fn stalled_read_is_bounded_by_the_client_timeout() {
+        let server = test_server();
+        let plans = vec![ConnPlan {
+            to_server: Fault::Passthrough,
+            to_client: Fault::StallAfter(1), // reply stalls after one byte
+        }];
+        let proxy = ChaosProxy::spawn(server.local_addr(), plans).unwrap();
+        let mut client =
+            VerifyClient::connect_with_timeout(proxy.local_addr(), Duration::from_millis(300))
+                .unwrap();
+        let start = Instant::now();
+        let result = client.call(&Request::Health);
+        assert!(result.is_err(), "a stalled reply cannot parse");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "client read was not bounded: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn connect_flood_is_answered_with_typed_sheds_not_hangs() {
+        let server = VerifyServer::bind(
+            shared_arc(),
+            "127.0.0.1:0",
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 2,
+                read_timeout: Duration::from_millis(500),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("bind: {e}"));
+        // Idle flood sockets occupy accept/queue slots without sending.
+        let flood = connect_flood(server.local_addr(), 8).unwrap();
+        // A real client arriving during the flood gets an answer —
+        // either service or a typed overloaded error, never a hang.
+        let mut client = VerifyClient::connect(server.local_addr()).unwrap();
+        match client.call(&Request::Health) {
+            Ok(Response::Health { .. }) => {}
+            Ok(Response::Error { kind, .. }) => assert_eq!(kind, protocol::KIND_OVERLOADED),
+            Ok(other) => panic!("unexpected response: {other:?}"),
+            Err(e) => panic!("flood turned into a transport error: {e}"),
+        }
+        drop(flood);
+    }
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let a: Vec<ConnPlan> = (0..32).map(|i| ConnPlan::for_index(99, i)).collect();
+        let b: Vec<ConnPlan> = (0..32).map(|i| ConnPlan::for_index(99, i)).collect();
+        assert_eq!(a, b);
+        let c: Vec<ConnPlan> = (0..32).map(|i| ConnPlan::for_index(100, i)).collect();
+        assert_ne!(a, c, "different seeds must draw different schedules");
+        // The drawn faults cover more than one mode.
+        let modes: std::collections::BTreeSet<u8> = a
+            .iter()
+            .map(|p| match p.to_server {
+                Fault::Passthrough => 0,
+                Fault::SplitAt(_) => 1,
+                Fault::Chunk { .. } => 2,
+                Fault::CloseAfter(_) => 3,
+                Fault::StallAfter(_) => 4,
+            })
+            .collect();
+        assert!(
+            modes.len() >= 3,
+            "32 draws should cover ≥3 modes: {modes:?}"
+        );
+    }
+}

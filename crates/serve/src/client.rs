@@ -1,43 +1,172 @@
 //! A blocking client for the framed verify protocol, used by the bench
 //! load generator and the tests. One connection, one in-flight request
 //! at a time — the closed-loop shape the load generator measures.
+//!
+//! Two call surfaces:
+//!
+//! * [`VerifyClient::call`] / [`VerifyClient::call_traced`] — one shot,
+//!   socket failures propagate. What a latency bench wants: failures
+//!   are data, not something to paper over.
+//! * [`VerifyClient::call_resilient`] — the retry loop a production
+//!   caller wants: reconnects on broken connections, honours the
+//!   server's `retry_after_ms` hint on typed `overloaded` /
+//!   `shutting_down` errors, and spaces attempts with capped
+//!   exponential backoff plus deterministic jitter (seeded from the
+//!   request's trace id, so two same-seed runs retry on identical
+//!   schedules). Retries reuse the same trace id — the request is
+//!   idempotent on the server side (verification has no
+//!   state-mutating effect), and a duplicated answer is correlated,
+//!   not double-counted.
+//!
+//! Connects are time-bounded: [`VerifyClient::connect`] keeps its old
+//! signature but now applies a default connect timeout, so a
+//! black-holed address (unroutable IP, dropped SYN) fails in seconds
+//! instead of blocking for the kernel's multi-minute TCP give-up.
 
 use std::io;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
+use mandipass_util::rand::rngs::StdRng;
+use mandipass_util::rand::{Rng, SeedableRng};
+
 use crate::protocol::{self, Request, Response};
+
+/// Default bound on connection establishment (SYN → accept).
+pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Default bound on waiting for a response frame.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Retry/backoff policy for [`VerifyClient::call_resilient`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Total attempts (first try included). `1` disables retries.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_backoff: Duration,
+    /// Ceiling the exponential backoff saturates at.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter stream (mixed with the
+    /// request's trace id, so concurrent clients sharing a seed do not
+    /// retry in lockstep).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryConfig {
+    /// The pause before retry number `retry` (1-based) of the request
+    /// tagged `trace_id`, honouring the server's `retry_after_ms` hint
+    /// when it exceeds the local schedule. Deterministic: a pure
+    /// function of (config, trace_id, retry, hint).
+    fn backoff(&self, trace_id: u64, retry: u32, retry_after_ms: Option<u64>) -> Duration {
+        let base = self.base_backoff.as_millis() as u64;
+        let exp = base.saturating_mul(1u64 << retry.saturating_sub(1).min(20));
+        let capped = exp.min(self.max_backoff.as_millis() as u64);
+        // Full jitter in [capped/2, capped]: spreads synchronized
+        // retry storms without ever collapsing the pause to zero.
+        let mut rng = StdRng::seed_from_u64(self.jitter_seed ^ trace_id ^ (u64::from(retry) << 32));
+        let jittered = capped / 2 + rng.gen_range(0..(capped / 2).max(1) + 1);
+        let floor = retry_after_ms.unwrap_or(0);
+        Duration::from_millis(jittered.max(floor))
+    }
+}
+
+/// The terminal result of a resilient call: either a response (typed
+/// errors included — they are answers, not transport failures) or the
+/// I/O error that survived every retry.
+#[derive(Debug)]
+pub struct ResilientOutcome {
+    /// The response of the final attempt.
+    pub response: Response,
+    /// Attempts it took (1 = first try succeeded).
+    pub attempts: u32,
+    /// Total time spent sleeping between attempts.
+    pub backoff_total: Duration,
+}
 
 /// A connected verify-protocol client.
 #[derive(Debug)]
 pub struct VerifyClient {
     stream: TcpStream,
+    addr: SocketAddr,
+    connect_timeout: Duration,
+    read_timeout: Duration,
     max_frame_bytes: usize,
 }
 
 impl VerifyClient {
-    /// Connects with `TCP_NODELAY` and a 30 s response timeout.
+    /// Connects with `TCP_NODELAY`, a bounded connect
+    /// ([`DEFAULT_CONNECT_TIMEOUT`]) and a 30 s response timeout.
     ///
     /// # Errors
     ///
-    /// Propagates connect failures.
+    /// Propagates connect failures; a black-holed address surfaces as
+    /// `TimedOut` within the connect timeout.
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
-        Self::connect_with_timeout(addr, Duration::from_secs(30))
+        Self::connect_with_timeout(addr, DEFAULT_READ_TIMEOUT)
     }
 
-    /// Connects with an explicit response timeout.
+    /// Connects with an explicit response timeout (connect stays
+    /// bounded by [`DEFAULT_CONNECT_TIMEOUT`]).
     ///
     /// # Errors
     ///
     /// Propagates connect failures.
     pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(timeout))?;
+        Self::connect_with_timeouts(addr, DEFAULT_CONNECT_TIMEOUT, timeout)
+    }
+
+    /// Connects with explicit connect and response timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect_with_timeouts(
+        addr: SocketAddr,
+        connect_timeout: Duration,
+        read_timeout: Duration,
+    ) -> io::Result<Self> {
+        let stream = Self::open(addr, connect_timeout, read_timeout)?;
         Ok(VerifyClient {
             stream,
+            addr,
+            connect_timeout,
+            read_timeout,
             max_frame_bytes: protocol::DEFAULT_MAX_FRAME_BYTES,
         })
+    }
+
+    fn open(
+        addr: SocketAddr,
+        connect_timeout: Duration,
+        read_timeout: Duration,
+    ) -> io::Result<TcpStream> {
+        let stream = TcpStream::connect_timeout(&addr, connect_timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        Ok(stream)
+    }
+
+    /// Drops the current connection and dials a fresh one to the same
+    /// address with the same timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        self.stream = Self::open(self.addr, self.connect_timeout, self.read_timeout)?;
+        Ok(())
     }
 
     /// Sends one request and blocks for its response.
@@ -75,7 +204,32 @@ impl VerifyClient {
         trace_id: Option<u64>,
     ) -> io::Result<(Response, Option<u64>)> {
         let trace_id = trace_id.unwrap_or_else(mandipass_telemetry::mint_id);
-        let payload = protocol::with_trace_id(request.to_json(), trace_id).to_json();
+        self.call_with_options(request, Some(trace_id), None)
+    }
+
+    /// Sends one request with full envelope control: an optional trace
+    /// id (`None` leaves the frame untagged — the server mints one) and
+    /// an optional `deadline_ms` budget the server may shed against if
+    /// queue wait alone exceeds it. Returns the response and the echoed
+    /// trace id.
+    ///
+    /// # Errors
+    ///
+    /// As [`VerifyClient::call`].
+    pub fn call_with_options(
+        &mut self,
+        request: &Request,
+        trace_id: Option<u64>,
+        deadline_ms: Option<u64>,
+    ) -> io::Result<(Response, Option<u64>)> {
+        let mut doc = request.to_json();
+        if let Some(id) = trace_id {
+            doc = protocol::with_trace_id(doc, id);
+        }
+        if let Some(ms) = deadline_ms {
+            doc = protocol::with_deadline_ms(doc, ms);
+        }
+        let payload = doc.to_json();
         protocol::write_frame(&mut self.stream, payload.as_bytes())?;
         let frame =
             protocol::read_frame(&mut self.stream, self.max_frame_bytes)?.ok_or_else(|| {
@@ -92,5 +246,136 @@ impl VerifyClient {
         let response = Response::from_json(&doc)
             .map_err(|message| io::Error::new(io::ErrorKind::InvalidData, message))?;
         Ok((response, echoed))
+    }
+
+    /// Sends one request with retries: transport failures (broken pipe,
+    /// reset, EOF, timeout) trigger a reconnect and a retried send;
+    /// typed `overloaded` / `shutting_down` errors trigger a retry
+    /// honouring the server's `retry_after_ms` hint. Every attempt
+    /// carries the same trace id, so the server sees retries as one
+    /// logical request. Other responses — decisions, health, and all
+    /// other typed errors — return immediately: they are answers.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's transport error, when every retry failed.
+    pub fn call_resilient(
+        &mut self,
+        request: &Request,
+        trace_id: Option<u64>,
+        retry: &RetryConfig,
+    ) -> io::Result<ResilientOutcome> {
+        let trace_id = trace_id.unwrap_or_else(mandipass_telemetry::mint_id);
+        let max_attempts = retry.max_attempts.max(1);
+        let mut backoff_total = Duration::ZERO;
+        let mut attempt = 1u32;
+        loop {
+            let outcome = self.call_traced(request, Some(trace_id));
+            let retry_hint = match &outcome {
+                Ok((
+                    Response::Error {
+                        kind,
+                        retry_after_ms,
+                        ..
+                    },
+                    _,
+                )) if kind == protocol::KIND_OVERLOADED || kind == protocol::KIND_SHUTTING_DOWN => {
+                    Some(*retry_after_ms)
+                }
+                Ok((response, _)) => {
+                    return Ok(ResilientOutcome {
+                        response: response.clone(),
+                        attempts: attempt,
+                        backoff_total,
+                    });
+                }
+                Err(_) => None,
+            };
+            if attempt >= max_attempts {
+                return match outcome {
+                    Ok((response, _)) => Ok(ResilientOutcome {
+                        response,
+                        attempts: attempt,
+                        backoff_total,
+                    }),
+                    Err(e) => Err(e),
+                };
+            }
+            let pause = retry.backoff(trace_id, attempt, retry_hint.flatten());
+            std::thread::sleep(pause);
+            backoff_total += pause;
+            if outcome.is_err() {
+                // The connection is in an unknown state (partial write,
+                // reset mid-frame): always re-dial before retrying. A
+                // failed reconnect leaves the broken stream in place,
+                // and the next attempt surfaces its error.
+                let _ = self.reconnect();
+            }
+            attempt += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn connect_times_out_on_a_black_holed_address() {
+        // A local black hole: a listener that never accepts, its SYN
+        // backlog pre-filled, so further SYNs are silently dropped —
+        // exactly the failure a dead or firewalled server presents.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut backlog_hogs = Vec::new();
+        for _ in 0..512 {
+            match std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(200)) {
+                Ok(s) => backlog_hogs.push(s),
+                Err(_) => break, // queue full: the black hole is armed
+            }
+        }
+        assert!(
+            !backlog_hogs.is_empty() && backlog_hogs.len() < 512,
+            "backlog never filled; cannot arm the black hole"
+        );
+        let timeout = Duration::from_millis(250);
+        let start = Instant::now();
+        let result = VerifyClient::connect_with_timeouts(addr, timeout, Duration::from_secs(1));
+        let elapsed = start.elapsed();
+        assert!(result.is_err(), "a full backlog must not accept connects");
+        assert!(
+            elapsed < timeout + Duration::from_secs(2),
+            "connect blocked for {elapsed:?} despite a {timeout:?} timeout"
+        );
+        drop(backlog_hogs);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_honours_the_server_hint() {
+        let config = RetryConfig {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(80),
+            jitter_seed: 7,
+        };
+        // Same inputs → same pause, different trace ids → (almost
+        // always) different jitter.
+        let a = config.backoff(42, 1, None);
+        let b = config.backoff(42, 1, None);
+        assert_eq!(a, b, "jitter must be a pure function of its seeds");
+        // Exponential growth saturates at max_backoff (+ nothing above
+        // it: jitter stays within [cap/2, cap]).
+        for retry in 1..8 {
+            let pause = config.backoff(42, retry, None);
+            assert!(
+                pause <= config.max_backoff,
+                "retry {retry} paused {pause:?}, above the {:?} cap",
+                config.max_backoff
+            );
+        }
+        // The server's hint is a floor, not a suggestion.
+        let hinted = config.backoff(42, 1, Some(500));
+        assert!(hinted >= Duration::from_millis(500));
     }
 }

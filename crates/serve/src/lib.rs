@@ -21,13 +21,37 @@
 //!   one drift-monitor feed.
 //! * [`server`] — [`VerifyServer`]: the TCP front. An acceptor thread
 //!   hands connections (with `TCP_NODELAY` and a read timeout applied)
-//!   to N worker threads over an `mpsc` channel; workers answer framed
-//!   requests until the peer closes, the read timeout fires, or the
-//!   server shuts down. [`VerifyServer::shutdown`] is graceful: stop
-//!   flag, acceptor wake-up, channel drain, join.
+//!   to N worker threads over a **capacity-bounded** channel; workers
+//!   answer framed requests until the peer closes, the read timeout
+//!   fires, or the server shuts down. When the admission queue is full
+//!   the connection is shed with a typed `overloaded` error carrying a
+//!   `retry_after_ms` hint; requests whose optional `deadline_ms`
+//!   budget was blown by queue wait alone are shed without a forward
+//!   pass. [`VerifyServer::shutdown`] is graceful: stop flag, acceptor
+//!   wake-up, a bounded drain that answers still-queued connections
+//!   with a typed `shutting_down` error, join.
+//!
+//! Overload hardening wraps those parts:
+//!
+//! * [`breaker`] — [`CircuitBreaker`]: a deterministic, count-based
+//!   Closed → Degraded → Open → HalfOpen circuit breaker coupled to the
+//!   drift monitor's health verdict (a drift Alarm overlays Degraded:
+//!   only the accel-only `verify_policy` fallback path is served) and
+//!   to the shed rate (sustained sheds open it; cooldown admits
+//!   deterministic half-open probes). Its state rides every `health`
+//!   response and the monitor's `GET /health` document, and every
+//!   transition lands in the flight recorder.
+//! * [`chaos`] — [`ChaosProxy`]: a seed-deterministic in-process TCP
+//!   fault proxy (frames split at arbitrary byte boundaries, byte
+//!   trickle, abrupt mid-frame closes, stalled reads, connect floods)
+//!   the tests and the overload bench drive the server through.
 //!
 //! [`client::VerifyClient`] is the matching blocking client, used by the
-//! load generator and the tests.
+//! load generator and the tests. Beyond one-shot calls it offers
+//! [`client::VerifyClient::call_resilient`]: bounded connects,
+//! reconnection on broken connections, and capped exponential backoff
+//! with deterministic jitter that honours the server's
+//! `retry_after_ms` hints, retrying under one trace id.
 //!
 //! Every request is traced end to end: frames may carry an optional
 //! `trace` field (a 16-hex-digit id, minted server-side when absent —
@@ -39,6 +63,8 @@
 //!
 //! [`VerifyPolicy`]: mandipass::prelude::VerifyPolicy
 
+pub mod breaker;
+pub mod chaos;
 pub mod client;
 pub mod protocol;
 pub mod server;
@@ -47,9 +73,14 @@ pub mod service;
 #[cfg(test)]
 pub(crate) mod test_support;
 
-pub use client::VerifyClient;
-pub use protocol::{trace_id_of, with_trace_id, Request, Response, PROTOCOL_VERSION, TRACE_FIELD};
-pub use server::{ServeConfig, VerifyServer};
+pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker, RequestClass};
+pub use chaos::{ChaosProxy, ConnPlan, Fault};
+pub use client::{ResilientOutcome, RetryConfig, VerifyClient};
+pub use protocol::{
+    deadline_ms_of, trace_id_of, with_deadline_ms, with_trace_id, Request, Response,
+    DEADLINE_FIELD, PROTOCOL_VERSION, TRACE_FIELD,
+};
+pub use server::{ServeConfig, VerifyServer, QUEUE_ENV};
 pub use service::{PendingTrace, VerifyService, WireTiming};
 
 #[cfg(test)]

@@ -86,6 +86,53 @@ pub fn read_frame(reader: &mut impl Read, max_bytes: usize) -> io::Result<Option
 /// Optional field carrying a trace id (hex) on requests and responses.
 pub const TRACE_FIELD: &str = "trace";
 
+/// Optional request field: the client's total latency budget in
+/// milliseconds. A worker that picks the request up after its queue
+/// wait alone blew the budget sheds it without running the forward
+/// pass (`kind: "deadline_exceeded"`). Like [`TRACE_FIELD`], both
+/// parsers ignore unknown fields, so [`PROTOCOL_VERSION`] stays 1.
+pub const DEADLINE_FIELD: &str = "deadline_ms";
+
+/// Stable error kind: the server shed the request under overload
+/// (bounded admission queue full, or circuit breaker open). Carries
+/// `retry_after_ms`.
+pub const KIND_OVERLOADED: &str = "overloaded";
+/// Stable error kind: the request's `deadline_ms` budget was already
+/// spent waiting in the admission queue.
+pub const KIND_DEADLINE: &str = "deadline_exceeded";
+/// Stable error kind: the server is draining its queue for shutdown.
+pub const KIND_SHUTTING_DOWN: &str = "shutting_down";
+/// Stable error kind: the breaker is Degraded (drift alarm) and only
+/// the policy path with its accel-only fallback is served.
+pub const KIND_DEGRADED_ONLY: &str = "degraded_only";
+
+/// Appends the deadline budget to a request document (no-op on
+/// non-objects).
+pub fn with_deadline_ms(doc: Value, deadline_ms: u64) -> Value {
+    match doc {
+        Value::Object(mut members) => {
+            members.push((
+                DEADLINE_FIELD.to_string(),
+                Value::Number(deadline_ms as f64),
+            ));
+            Value::Object(members)
+        }
+        other => other,
+    }
+}
+
+/// The deadline budget a request document carries; `None` when absent
+/// or unparsable (a garbled budget must not fail an otherwise valid
+/// request — the server just serves it without a deadline).
+pub fn deadline_ms_of(doc: &Value) -> Option<u64> {
+    let ms = doc.get(DEADLINE_FIELD).and_then(Value::as_f64)?;
+    if ms.is_finite() && ms >= 0.0 && ms.fract() == 0.0 && ms <= 2f64.powi(53) {
+        Some(ms as u64)
+    } else {
+        None
+    }
+}
+
 /// Appends the trace id to a wire document (no-op on non-objects).
 pub fn with_trace_id(doc: Value, trace_id: u64) -> Value {
     match doc {
@@ -241,15 +288,42 @@ impl Request {
     /// As [`Request::from_frame`]; a frame that fails to parse yields
     /// no trace id even if the raw text contained one.
     pub fn from_frame_traced(payload: &[u8]) -> Result<(Request, Option<u64>), String> {
-        let parse = || -> Result<(Request, Option<u64>), String> {
+        Request::from_frame_meta(payload).map(|(request, meta)| (request, meta.trace_id))
+    }
+
+    /// [`Request::from_frame`] plus the frame's optional envelope
+    /// metadata (trace id, deadline budget).
+    ///
+    /// # Errors
+    ///
+    /// As [`Request::from_frame`]; a frame that fails to parse yields
+    /// no metadata even if the raw text contained some.
+    pub fn from_frame_meta(payload: &[u8]) -> Result<(Request, FrameMeta), String> {
+        let parse = || -> Result<(Request, FrameMeta), String> {
             let text =
                 std::str::from_utf8(payload).map_err(|e| format!("frame is not UTF-8: {e}"))?;
             let doc = json::parse(text)?;
             let request = Request::from_json(&doc)?;
-            Ok((request, trace_id_of(&doc)))
+            Ok((
+                request,
+                FrameMeta {
+                    trace_id: trace_id_of(&doc),
+                    deadline_ms: deadline_ms_of(&doc),
+                },
+            ))
         };
         parse().inspect_err(|message| count_parse_error(message))
     }
+}
+
+/// The optional envelope fields a request frame carried alongside the
+/// request itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameMeta {
+    /// The client's trace id ([`TRACE_FIELD`]).
+    pub trace_id: Option<u64>,
+    /// The client's latency budget ([`DEADLINE_FIELD`]).
+    pub deadline_ms: Option<u64>,
 }
 
 /// One server response.
@@ -279,11 +353,37 @@ pub enum Response {
     },
     /// A typed failure (`kind` is stable, `message` human-readable).
     Error {
-        /// Stable error label (e.g. `not_enrolled`, `bad_request`).
+        /// Stable error label (e.g. `not_enrolled`, `bad_request`,
+        /// [`KIND_OVERLOADED`]).
         kind: String,
         /// Human-readable detail.
         message: String,
+        /// For shed responses ([`KIND_OVERLOADED`]): how long the
+        /// client should back off before retrying. `None` on every
+        /// other error kind.
+        retry_after_ms: Option<u64>,
     },
+}
+
+impl Response {
+    /// A typed error with no retry hint — the shape every pre-overload
+    /// error site produces.
+    pub fn error(kind: &str, message: impl Into<String>) -> Response {
+        Response::Error {
+            kind: kind.to_string(),
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+
+    /// An [`KIND_OVERLOADED`] shed response carrying a retry hint.
+    pub fn overloaded(message: impl Into<String>, retry_after_ms: u64) -> Response {
+        Response::Error {
+            kind: KIND_OVERLOADED.to_string(),
+            message: message.into(),
+            retry_after_ms: Some(retry_after_ms),
+        }
+    }
 }
 
 impl Response {
@@ -316,11 +416,21 @@ impl Response {
                     Value::Array(rejects.iter().map(|r| Value::String(r.clone())).collect()),
                 ),
             ]),
-            Response::Error { kind, message } => Value::Object(vec![
-                ("ok".to_string(), Value::Bool(false)),
-                ("kind".to_string(), Value::String(kind.clone())),
-                ("error".to_string(), Value::String(message.clone())),
-            ]),
+            Response::Error {
+                kind,
+                message,
+                retry_after_ms,
+            } => {
+                let mut members = vec![
+                    ("ok".to_string(), Value::Bool(false)),
+                    ("kind".to_string(), Value::String(kind.clone())),
+                    ("error".to_string(), Value::String(message.clone())),
+                ];
+                if let Some(ms) = retry_after_ms {
+                    members.push(("retry_after_ms".to_string(), Value::Number(*ms as f64)));
+                }
+                Value::Object(members)
+            }
         }
     }
 
@@ -346,6 +456,11 @@ impl Response {
                     .and_then(Value::as_str)
                     .unwrap_or("")
                     .to_string(),
+                retry_after_ms: value
+                    .get("retry_after_ms")
+                    .and_then(Value::as_f64)
+                    .filter(|ms| ms.is_finite() && *ms >= 0.0)
+                    .map(|ms| ms as u64),
             });
         }
         match value.get("op").and_then(Value::as_str) {
@@ -585,14 +700,17 @@ mod tests {
             Response::from_frame(decision.to_json().to_json().as_bytes()).unwrap(),
             decision
         );
-        let error = Response::Error {
-            kind: "not_enrolled".to_string(),
-            message: "user 9 has no template".to_string(),
-        };
+        let error = Response::error("not_enrolled", "user 9 has no template");
         assert_eq!(
             Response::from_frame(error.to_json().to_json().as_bytes()).unwrap(),
             error
         );
+        // A plain error emits no retry hint on the wire at all.
+        assert!(!error.to_json().to_json().contains("retry_after_ms"));
+        let shed = Response::overloaded("queue full", 250);
+        let wire = shed.to_json().to_json();
+        assert!(wire.contains("\"retry_after_ms\":250"), "{wire}");
+        assert_eq!(Response::from_frame(wire.as_bytes()).unwrap(), shed);
         let health = Response::Health {
             health: Value::Object(vec![(
                 "status".to_string(),
@@ -671,10 +789,7 @@ mod tests {
         assert_eq!(trace_id_of(&doc), None);
         assert_eq!(Request::from_json(&doc).unwrap(), Request::Health);
         // Responses echo the id the same way.
-        let response = Response::Error {
-            kind: "bad_request".to_string(),
-            message: "nope".to_string(),
-        };
+        let response = Response::error("bad_request", "nope");
         let echoed = with_trace_id(response.to_json(), 7);
         assert_eq!(trace_id_of(&echoed), Some(7));
         assert_eq!(Response::from_json(&echoed).unwrap(), response);
@@ -738,6 +853,41 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn deadline_budgets_ride_the_wire_and_garbled_ones_are_ignored() {
+        let doc = with_deadline_ms(Request::Health.to_json(), 750);
+        let bytes = doc.to_json();
+        assert!(bytes.contains("\"deadline_ms\":750"), "{bytes}");
+        let (request, meta) = Request::from_frame_meta(bytes.as_bytes()).unwrap();
+        assert_eq!(request, Request::Health);
+        assert_eq!(meta.deadline_ms, Some(750));
+        assert_eq!(meta.trace_id, None);
+        // Both envelope fields compose.
+        let both = with_trace_id(with_deadline_ms(Request::Health.to_json(), 10), 0xfeed);
+        let (_, meta) = Request::from_frame_meta(both.to_json().as_bytes()).unwrap();
+        assert_eq!(
+            meta,
+            FrameMeta {
+                trace_id: Some(0xfeed),
+                deadline_ms: Some(10),
+            }
+        );
+        // An absent budget parses as None; a garbled one (negative,
+        // fractional, non-numeric) is best-effort metadata, not an error.
+        let (_, meta) =
+            Request::from_frame_meta(Request::Health.to_json().to_json().as_bytes()).unwrap();
+        assert_eq!(meta.deadline_ms, None);
+        for garbled in [
+            "{\"v\":1,\"op\":\"health\",\"deadline_ms\":-5}",
+            "{\"v\":1,\"op\":\"health\",\"deadline_ms\":1.5}",
+            "{\"v\":1,\"op\":\"health\",\"deadline_ms\":\"soon\"}",
+        ] {
+            let (request, meta) = Request::from_frame_meta(garbled.as_bytes()).unwrap();
+            assert_eq!(request, Request::Health);
+            assert_eq!(meta.deadline_ms, None, "{garbled}");
         }
     }
 

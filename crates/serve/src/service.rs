@@ -32,8 +32,10 @@ use std::time::Instant;
 use mandipass::prelude::*;
 use mandipass_imu_sim::Recording;
 use mandipass_telemetry::{trace, Monitor, RequestTrace};
+use mandipass_util::json::Value;
 
-use crate::protocol::{Request, Response};
+use crate::breaker::{Admission, BreakerConfig, CircuitBreaker, RequestClass};
+use crate::protocol::{self, Request, Response};
 
 /// Wire-stage timings the TCP front measured before the handler ran;
 /// in-process callers use the zeroed [`Default`].
@@ -68,6 +70,18 @@ impl PendingTrace {
         PendingTrace { trace }
     }
 
+    /// A trace for a request shed before dispatch (blown deadline,
+    /// shutdown drain); the decision is `error:{kind}`, so the sampler
+    /// always keeps it.
+    pub fn shed(trace_id: u64, kind: &str, timing: WireTiming) -> Self {
+        let mut trace = RequestTrace::new(trace_id, "shed", &format!("error:{kind}"));
+        if timing.queue_wait_nanos > 0 {
+            trace.stage("queue_wait", timing.queue_wait_nanos);
+        }
+        trace.stage("decode", timing.decode_nanos);
+        PendingTrace { trace }
+    }
+
     /// The trace id this pending record carries.
     pub fn trace_id(&self) -> u64 {
         self.trace.trace_id
@@ -92,6 +106,15 @@ fn endpoint_label(request: &Request) -> &'static str {
     }
 }
 
+/// The breaker admission class of a request.
+fn request_class(request: &Request) -> RequestClass {
+    match request {
+        Request::Health => RequestClass::Health,
+        Request::Verify { .. } => RequestClass::Verify,
+        Request::VerifyWithPolicy { .. } => RequestClass::VerifyPolicy,
+    }
+}
+
 /// The stable decision label of a response (degraded decisions label as
 /// `degraded` whichever way they went — the sampler always keeps them).
 fn decision_label(response: &Response) -> String {
@@ -110,16 +133,49 @@ pub struct VerifyService {
     system: MandiPass,
     matrices: BTreeMap<u32, GaussianMatrix>,
     policy: VerifyPolicy,
+    breaker: CircuitBreaker,
 }
 
 impl VerifyService {
-    /// Wraps a deployment. Enrol users with [`VerifyService::enroll`]
-    /// before sharing the service with workers.
+    /// Wraps a deployment with the default circuit-breaker
+    /// configuration. Enrol users with [`VerifyService::enroll`] before
+    /// sharing the service with workers.
     pub fn new(system: MandiPass, policy: VerifyPolicy) -> Self {
+        Self::with_breaker(system, policy, BreakerConfig::default())
+    }
+
+    /// Wraps a deployment with an explicit breaker configuration
+    /// ([`BreakerConfig::disabled`] for raw-shedding benches).
+    pub fn with_breaker(system: MandiPass, policy: VerifyPolicy, breaker: BreakerConfig) -> Self {
         VerifyService {
             system,
             matrices: BTreeMap::new(),
             policy,
+            breaker: CircuitBreaker::new(breaker),
+        }
+    }
+
+    /// The service's circuit breaker (the server's shed paths feed it
+    /// failures via `record_shed`; benches read its transition
+    /// history).
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Flushes breaker transitions recorded since the last flush to the
+    /// `serve.breaker.state` gauge, the `serve.breaker.transitions`
+    /// counter, the flight recorder, and the monitor's published
+    /// breaker state (surfaced on `GET /health`).
+    fn flush_breaker_events(&self) {
+        for transition in self.breaker.take_transitions() {
+            mandipass_telemetry::gauge!("serve.breaker.state").set(transition.to.gauge_value());
+            mandipass_telemetry::counter!("serve.breaker.transitions").inc();
+            self.system.monitor().observe_breaker_transition(
+                transition.from.label(),
+                transition.to.label(),
+                transition.reason,
+                self.breaker.state_json(),
+            );
         }
     }
 
@@ -139,6 +195,13 @@ impl VerifyService {
     ) -> Result<(), MandiPassError> {
         self.system.enroll(user_id, recordings, &matrix)?;
         self.matrices.insert(user_id, matrix);
+        // Publish the (closed) breaker state so `GET /health` shows it
+        // from the first request on, not only after a transition.
+        if self.breaker.config().enabled {
+            self.system
+                .monitor()
+                .set_breaker_state(self.breaker.state_json());
+        }
         Ok(())
     }
 
@@ -193,10 +256,49 @@ impl VerifyService {
                 .observe(timing.queue_wait_nanos as f64 / 1e9);
         }
         let start = Instant::now();
-        let (response, spans) = mandipass_telemetry::try_capture(|| {
-            let _span = mandipass_telemetry::span("serve_request");
-            self.dispatch(request)
-        });
+        let class = request_class(request);
+        let admission = if self.breaker.config().enabled {
+            // The health probe is cheap relative to a forward pass and
+            // the overlay must react to the *live* drift verdict.
+            let health = self.system.monitor().health().status;
+            self.breaker.admit(health, class)
+        } else {
+            Admission::Admit
+        };
+        let (response, spans) = match admission {
+            Admission::Admit | Admission::Probe => {
+                let captured = mandipass_telemetry::try_capture(|| {
+                    let _span = mandipass_telemetry::span("serve_request");
+                    self.dispatch(request)
+                });
+                // Any produced response is successful service — system
+                // faults (sheds) reach the breaker through the server's
+                // `record_shed`, not through biometric outcomes.
+                if class != RequestClass::Health {
+                    self.breaker
+                        .record_outcome(admission == Admission::Probe, false);
+                }
+                captured
+            }
+            Admission::RejectOpen { retry_after_ms } => {
+                mandipass_telemetry::counter!("serve.shed.breaker").inc();
+                (
+                    Response::overloaded("circuit breaker open", retry_after_ms),
+                    None,
+                )
+            }
+            Admission::RejectDegraded => {
+                mandipass_telemetry::counter!("serve.shed.breaker").inc();
+                (
+                    Response::error(
+                        protocol::KIND_DEGRADED_ONLY,
+                        "drift alarm: only verify_policy (accel-only fallback) is served",
+                    ),
+                    None,
+                )
+            }
+        };
+        self.flush_breaker_events();
         let verify_nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let elapsed_secs = verify_nanos as f64 / 1e9;
         mandipass_telemetry::histogram!("serve.request_seconds").observe(elapsed_secs);
@@ -224,10 +326,16 @@ impl VerifyService {
 
     fn dispatch(&self, request: &Request) -> Response {
         match request {
-            Request::Health => Response::Health {
-                health: self.system.monitor().health().to_json(),
-                enrolled: self.enrolled(),
-            },
+            Request::Health => {
+                let mut health = self.system.monitor().health().to_json();
+                if let Value::Object(members) = &mut health {
+                    members.push(("breaker".to_string(), self.breaker.state_json()));
+                }
+                Response::Health {
+                    health,
+                    enrolled: self.enrolled(),
+                }
+            }
             Request::Verify { user_id, probe } => {
                 let Some(matrix) = self.matrices.get(user_id) else {
                     return not_enrolled(*user_id);
@@ -268,17 +376,11 @@ impl VerifyService {
 }
 
 fn not_enrolled(user_id: u32) -> Response {
-    Response::Error {
-        kind: "not_enrolled".to_string(),
-        message: format!("user {user_id} has no template"),
-    }
+    Response::error("not_enrolled", format!("user {user_id} has no template"))
 }
 
 fn error_response(error: &MandiPassError) -> Response {
-    Response::Error {
-        kind: error.label().to_string(),
-        message: error.to_string(),
-    }
+    Response::error(error.label(), error.to_string())
 }
 
 #[cfg(test)]

@@ -22,6 +22,9 @@ pub enum FlightOutcome {
     Degraded,
     /// Every probe a policy considered was rejected.
     Exhausted,
+    /// The serving layer's circuit breaker changed state (the `detail`
+    /// payload carries the `from`/`to` states and the reason).
+    Breaker,
 }
 
 impl FlightOutcome {
@@ -31,6 +34,7 @@ impl FlightOutcome {
             FlightOutcome::Rejected => "rejected",
             FlightOutcome::Degraded => "degraded",
             FlightOutcome::Exhausted => "exhausted",
+            FlightOutcome::Breaker => "breaker",
         }
     }
 }
@@ -256,6 +260,7 @@ mod tests {
         assert_eq!(FlightOutcome::Rejected.label(), "rejected");
         assert_eq!(FlightOutcome::Degraded.label(), "degraded");
         assert_eq!(FlightOutcome::Exhausted.label(), "exhausted");
+        assert_eq!(FlightOutcome::Breaker.label(), "breaker");
     }
 
     #[test]

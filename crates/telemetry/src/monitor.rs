@@ -55,6 +55,10 @@ struct MonitorInner {
     audit: BTreeMap<String, WindowedCounter>,
     flights: FlightRecorder,
     traces: TraceStore,
+    /// The serving layer's circuit-breaker state document, when a
+    /// breaker reports here (`Value::Null` otherwise). Injected into the
+    /// health object so `GET /health` shows it.
+    breaker: Value,
 }
 
 /// The live health monitor. All methods take `&self`; one mutex guards
@@ -84,6 +88,7 @@ impl Monitor {
                 audit: BTreeMap::new(),
                 flights,
                 traces,
+                breaker: Value::Null,
             }),
         }
     }
@@ -146,6 +151,28 @@ impl Monitor {
         self.lock().flights.record_at(now, flight);
     }
 
+    /// Publishes the serving layer's circuit-breaker state document so
+    /// `GET /health` and [`Monitor::snapshot`] expose it next to the
+    /// drift verdict.
+    pub fn set_breaker_state(&self, state: Value) {
+        self.lock().breaker = state;
+    }
+
+    /// Records one circuit-breaker transition: a [`FlightOutcome::Breaker`]
+    /// flight (detail carries `from`/`to`/`reason`) plus the published
+    /// state document. Transitions survive in the flight ring like any
+    /// other incident-relevant event.
+    pub fn observe_breaker_transition(&self, from: &str, to: &str, reason: &str, state: Value) {
+        let mut flight = VerifyFlight::new(0, crate::flight::FlightOutcome::Breaker);
+        flight.detail = Value::Object(vec![
+            ("from".to_string(), Value::String(from.to_string())),
+            ("to".to_string(), Value::String(to.to_string())),
+            ("reason".to_string(), Value::String(reason.to_string())),
+        ]);
+        self.record_flight(flight);
+        self.set_breaker_state(state);
+    }
+
     /// Offers one request trace to the sampled store; returns whether
     /// it was retained.
     pub fn record_trace(&self, trace: RequestTrace) -> bool {
@@ -198,7 +225,12 @@ impl Monitor {
     pub fn snapshot(&self) -> Value {
         let now = clock::now();
         let inner = self.lock();
-        let health = inner.detector.health_at(now).to_json();
+        let mut health = inner.detector.health_at(now).to_json();
+        if let (Value::Object(members), breaker) = (&mut health, &inner.breaker) {
+            if *breaker != Value::Null {
+                members.push(("breaker".to_string(), breaker.clone()));
+            }
+        }
         let distances = inner.detector.distances();
         let num = |v: f64| {
             if v.is_finite() {
@@ -384,6 +416,38 @@ mod tests {
         assert_eq!(retained.len(), 1);
         m.reset_windows();
         assert!(m.traces().is_empty());
+    }
+
+    #[test]
+    fn breaker_transitions_surface_in_health_and_flights() {
+        let _lock = global_state_lock();
+        crate::set_deterministic(true);
+        let m = Monitor::default();
+        // Before any breaker reports, the health object stays untouched.
+        assert!(m.snapshot().get("health").unwrap().get("breaker").is_none());
+        m.observe_breaker_transition(
+            "closed",
+            "open",
+            "error_rate",
+            Value::Object(vec![(
+                "state".to_string(),
+                Value::String("open".to_string()),
+            )]),
+        );
+        let snap = m.snapshot();
+        crate::set_deterministic(false);
+        let breaker = snap
+            .get("health")
+            .and_then(|h| h.get("breaker"))
+            .unwrap_or_else(|| panic!("health misses the breaker document"));
+        assert_eq!(breaker.get("state").and_then(Value::as_str), Some("open"));
+        let flights = m.flights();
+        assert_eq!(flights.len(), 1);
+        assert_eq!(flights[0].outcome, FlightOutcome::Breaker);
+        assert_eq!(
+            flights[0].detail.get("to").and_then(Value::as_str),
+            Some("open")
+        );
     }
 
     #[test]
