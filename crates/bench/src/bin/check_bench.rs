@@ -9,7 +9,11 @@
 //! `mandipass.bench.serve/v1` documents go through the serve validator
 //! and comparator, `mandipass.bench.overload/v1` documents through the
 //! overload ones (where the two ratio arguments bound saturated p99
-//! growth and goodput shrinkage instead of per-transport p99/QPS).
+//! growth and goodput shrinkage instead of per-transport p99/QPS), and
+//! `mandipass.bench.hotpath/v1` documents through the hot-path ones
+//! (first ratio = same-run fast-vs-naive speedup floor, default 3.0;
+//! second = minimum fraction of the baseline's speedup, default 0.5 —
+//! both are ratios of same-run numbers, so machine-independent).
 //! `compare` gates a fresh document against a committed baseline: p99
 //! latency may grow to at most `max_p99`x (default 2.0) and throughput
 //! may shrink to no less than `min_qps`x (default 0.5) of the baseline.
@@ -18,8 +22,9 @@
 use std::process::ExitCode;
 
 use mandipass_bench::load::{
-    compare_bench_overload, compare_bench_serve, validate_bench_overload, validate_bench_serve,
-    BENCH_OVERLOAD_SCHEMA, BENCH_SERVE_SCHEMA,
+    compare_bench_hotpath, compare_bench_overload, compare_bench_serve, validate_bench_hotpath,
+    validate_bench_overload, validate_bench_serve, BENCH_HOTPATH_SCHEMA, BENCH_OVERLOAD_SCHEMA,
+    BENCH_SERVE_SCHEMA,
 };
 use mandipass_util::json::{parse, Value};
 
@@ -39,6 +44,7 @@ fn validate(doc: &Value, path: &str) -> Result<(), String> {
     match schema_of(doc, path)?.as_str() {
         BENCH_SERVE_SCHEMA => validate_bench_serve(doc).map_err(|e| format!("{path}: {e}")),
         BENCH_OVERLOAD_SCHEMA => validate_bench_overload(doc).map_err(|e| format!("{path}: {e}")),
+        BENCH_HOTPATH_SCHEMA => validate_bench_hotpath(doc).map_err(|e| format!("{path}: {e}")),
         other => Err(format!("{path}: unknown bench schema \"{other}\"")),
     }
 }
@@ -80,6 +86,14 @@ fn run(args: &[String]) -> Result<String, String> {
             if fresh_schema != base_schema {
                 return Err(format!(
                     "schema mismatch: {fresh_path} is {fresh_schema}, {base_path} is {base_schema}"
+                ));
+            }
+            if fresh_schema == BENCH_HOTPATH_SCHEMA {
+                let min_speedup = ratio_arg(args, 3, 3.0)?;
+                let min_vs_baseline = ratio_arg(args, 4, 0.5)?;
+                compare_bench_hotpath(&fresh, &baseline, min_speedup, min_vs_baseline)?;
+                return Ok(format!(
+                    "{fresh_path} within envelope of {base_path} (speedup >= {min_speedup}x, >= {min_vs_baseline}x baseline, zero-alloc, parity)"
                 ));
             }
             let max_p99 = ratio_arg(args, 3, 2.0)?;

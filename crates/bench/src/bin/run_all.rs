@@ -56,6 +56,15 @@ fn main() {
     tables.push(experiments::exp_longterm(&mut stack, threshold));
     tables.push(experiments::exp_security(&mut stack, threshold));
     tables.push(experiments::exp_overhead(&mut stack));
+    // Hot path: naive oracle vs the zero-alloc im2col+GEMM path, plus
+    // the hot-path perf artifact the CI hotpath-smoke job gates on.
+    telemetry::event("running the hot-path inference experiment…");
+    let (hotpath_table, hotpath_json) =
+        experiments::exp_hotpath(&mut stack).expect("hot-path experiment failed");
+    tables.push(hotpath_table);
+    let hotpath_out =
+        std::env::var("MANDIPASS_HOTPATH_OUT").unwrap_or_else(|_| "BENCH_hotpath.json".into());
+    std::fs::write(&hotpath_out, hotpath_json.to_json() + "\n").expect("write BENCH_hotpath.json");
     tables.push(experiments::table1_comparison(&mut stack, threshold));
     telemetry::event("running the fault-injection robustness sweep…");
     let (robustness, _json) =
@@ -128,6 +137,7 @@ fn main() {
     );
     println!("BENCH: {bench_out}");
     println!("BENCH: {trace_out}");
+    println!("BENCH: {hotpath_out}");
     // The live-exposition view of the whole run: bench output and the
     // /metrics endpoints share one schema via Monitor::snapshot.
     println!(

@@ -47,7 +47,8 @@ impl TrainedStack {
     ) -> Result<Self, MandiPassError> {
         let population = Population::generate(scale.users, scale.seed);
         let trainer = VspTrainer::new(scale.training_config());
-        let extractor = trainer.train(&population.users()[..scale.hired()], &recorder)?;
+        let mut extractor = trainer.train(&population.users()[..scale.hired()], &recorder)?;
+        extractor.prepare_inference();
         Ok(TrainedStack {
             scale,
             population,

@@ -64,6 +64,12 @@ pub struct LoadConfig {
     pub mix: TrafficMix,
     /// Fault intensity (0..=1) for the faulty share.
     pub fault_intensity: f64,
+    /// Probes per policy (faulty-share) request: one fault-injected
+    /// probe plus `policy_batch - 1` clean retries. Two or more retries
+    /// exercise the server's batched-extraction path (one CNN forward
+    /// for the whole retry budget); the default of 2 reproduces the
+    /// historical plan byte for byte.
+    pub policy_batch: usize,
     /// Master seed; every client derives its own stream from it.
     pub seed: u64,
 }
@@ -75,6 +81,7 @@ impl Default for LoadConfig {
             requests_per_client: 32,
             mix: TrafficMix::default(),
             fault_intensity: 0.75,
+            policy_batch: 2,
             seed: 0x5e12_4e20,
         }
     }
@@ -97,6 +104,9 @@ impl LoadConfig {
                 "fault intensity {} outside [0, 1]",
                 self.fault_intensity
             ));
+        }
+        if self.policy_batch == 0 {
+            return Err("policy_batch must be at least 1".to_string());
         }
         Ok(())
     }
@@ -128,6 +138,10 @@ impl LoadConfig {
             (
                 "fault_intensity".to_string(),
                 Value::Number(self.fault_intensity),
+            ),
+            (
+                "policy_batch".to_string(),
+                Value::Number(self.policy_batch as f64),
             ),
             ("seed".to_string(), Value::Number(self.seed as f64)),
         ])
@@ -363,6 +377,7 @@ fn plan_mixed(
     recorder: &Recorder,
     mix: TrafficMix,
     fault_intensity: f64,
+    policy_batch: usize,
 ) -> (Request, PlannedKind) {
     let draw = rng.gen_range(0..100u32);
     let user_idx = rng.gen_range(0..users.len());
@@ -392,11 +407,21 @@ fn plan_mixed(
         let profiles = sweep_profiles(fault_intensity);
         let profile = &profiles[rng.gen_range(0..profiles.len())];
         let clean = recorder.record(user, Condition::Normal, probe_seed);
-        let retry = recorder.record(user, Condition::Normal, probe_seed ^ 0xDEAD_BEEF);
+        let mut probes = vec![profile.apply(&clean, probe_seed)];
+        // Retry `i`'s seed derivation keeps `i == 1` equal to the
+        // historical single-retry plan, so default (policy_batch 2)
+        // traffic is byte-identical to what it was before the knob.
+        for i in 1..policy_batch.max(1) as u64 {
+            probes.push(recorder.record(
+                user,
+                Condition::Normal,
+                probe_seed ^ 0xDEAD_BEEFu64.wrapping_mul(i),
+            ));
+        }
         (
             Request::VerifyWithPolicy {
                 user_id: user.id,
-                probes: vec![profile.apply(&clean, probe_seed), retry],
+                probes,
             },
             PlannedKind::Faulty,
         )
@@ -412,7 +437,14 @@ fn plan_request(
     tally: &mut Tally,
 ) -> (Request, bool, bool) {
     // Returns (request, is_genuine, is_impostor); faulty = neither flag.
-    let (request, kind) = plan_mixed(rng, users, recorder, config.mix, config.fault_intensity);
+    let (request, kind) = plan_mixed(
+        rng,
+        users,
+        recorder,
+        config.mix,
+        config.fault_intensity,
+        config.policy_batch,
+    );
     match kind {
         PlannedKind::Genuine => tally.genuine += 1,
         PlannedKind::Impostor => tally.impostor += 1,
@@ -436,10 +468,18 @@ pub fn plan_indexed_request(
     recorder: &Recorder,
     mix: TrafficMix,
     fault_intensity: f64,
+    policy_batch: usize,
 ) -> (Request, PlannedKind) {
     let mut rng =
         StdRng::seed_from_u64(seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    plan_mixed(&mut rng, users, recorder, mix, fault_intensity)
+    plan_mixed(
+        &mut rng,
+        users,
+        recorder,
+        mix,
+        fault_intensity,
+        policy_batch,
+    )
 }
 
 /// A stable, bit-exact signature of one service outcome: decisions
@@ -772,6 +812,119 @@ pub fn compare_bench_serve(
 }
 
 // ---------------------------------------------------------------------
+// Hot-path bench document: per-verify forward latency of the naive
+// tensor-per-layer oracle vs the zero-alloc im2col+GEMM fast path, with
+// parity and arena steady-state facts. The speedup gate compares the
+// FRESH document's own same-run ratio against a floor, so the gate is
+// machine-independent (both numerator and denominator come from the
+// same binary on the same box in the same run).
+// ---------------------------------------------------------------------
+
+/// Schema tag of the hot-path bench artifact.
+pub const BENCH_HOTPATH_SCHEMA: &str = "mandipass.bench.hotpath/v1";
+
+/// Validates one `BENCH_hotpath.json` document against the v1 schema.
+///
+/// # Errors
+///
+/// Returns the first violated constraint, with its field path.
+pub fn validate_bench_hotpath(doc: &Value) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing \"schema\" tag")?;
+    if schema != BENCH_HOTPATH_SCHEMA {
+        return Err(format!(
+            "schema \"{schema}\" is not \"{BENCH_HOTPATH_SCHEMA}\""
+        ));
+    }
+    doc.get("scale")
+        .and_then(Value::as_str)
+        .ok_or("missing \"scale\" description")?;
+    for field in ["iters", "batch"] {
+        if get_num(doc, &[field])? < 1.0 {
+            return Err(format!("{field} must be at least 1"));
+        }
+    }
+    for field in ["naive", "fast", "fused", "batched_per_probe"] {
+        let v = get_num(doc, &["per_verify_seconds", field])?;
+        if !(v.is_finite() && v > 0.0) {
+            return Err(format!("per_verify_seconds.{field} {v} not positive"));
+        }
+    }
+    for field in ["fast", "fused", "batched"] {
+        let v = get_num(doc, &["speedup", field])?;
+        if !(v.is_finite() && v > 0.0) {
+            return Err(format!("speedup.{field} {v} not positive"));
+        }
+    }
+    match doc.get("parity").and_then(|p| p.get("fast_bitwise")) {
+        Some(Value::Bool(_)) => {}
+        _ => return Err("missing parity.fast_bitwise bool".to_string()),
+    }
+    get_num(doc, &["parity", "fused_max_abs_err"])?;
+    for field in ["steady_growth_events", "high_water_bytes", "pooled_buffers"] {
+        if get_num(doc, &["arena", field])? < 0.0 {
+            return Err(format!("arena.{field} negative"));
+        }
+    }
+    for field in ["im2col_mean_ns", "gemm_mean_ns", "bias_act_mean_ns"] {
+        get_num(doc, &["stages", field])?;
+    }
+    Ok(())
+}
+
+/// Gates a fresh hot-path document: its own same-run fast-path speedup
+/// must reach `min_speedup`× the naive oracle, and must not fall below
+/// `min_vs_baseline`× the baseline document's speedup (a ratio of
+/// ratios, so still machine-independent). Parity and the steady-state
+/// zero-allocation claim are hard gates, not ratios.
+///
+/// # Errors
+///
+/// Returns every violated gate, one per line.
+pub fn compare_bench_hotpath(
+    fresh: &Value,
+    baseline: &Value,
+    min_speedup: f64,
+    min_vs_baseline: f64,
+) -> Result<(), String> {
+    let mut violations = Vec::new();
+    let fresh_speedup = get_num(fresh, &["speedup", "fast"])?;
+    if fresh_speedup < min_speedup {
+        violations.push(format!(
+            "fast-path speedup {fresh_speedup:.2}x below the {min_speedup}x floor"
+        ));
+    }
+    let base_speedup = get_num(baseline, &["speedup", "fast"])?;
+    if fresh_speedup < base_speedup * min_vs_baseline {
+        violations.push(format!(
+            "fast-path speedup {fresh_speedup:.2}x below {min_vs_baseline}x baseline {base_speedup:.2}x"
+        ));
+    }
+    if fresh.get("parity").and_then(|p| p.get("fast_bitwise")) != Some(&Value::Bool(true)) {
+        violations.push("fast path lost bit-exact parity with the naive oracle".to_string());
+    }
+    let fused_err = get_num(fresh, &["parity", "fused_max_abs_err"])?;
+    if !(fused_err.is_finite() && fused_err < 1e-5) {
+        violations.push(format!(
+            "fused parity error {fused_err:e} outside the 1e-5 envelope"
+        ));
+    }
+    let growth = get_num(fresh, &["arena", "steady_growth_events"])?;
+    if growth != 0.0 {
+        violations.push(format!(
+            "arena grew {growth} times in the steady-state window (zero-alloc claim broken)"
+        ));
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations.join("\n"))
+    }
+}
+
+// ---------------------------------------------------------------------
 // Open-loop (arrival-rate-driven) generation and the overload bench
 // document. A closed-loop generator can never overload a server — each
 // client waits for its answer, so offered load self-throttles to
@@ -800,6 +953,8 @@ pub struct OpenLoopConfig {
     pub mix: TrafficMix,
     /// Fault intensity for the faulty share.
     pub fault_intensity: f64,
+    /// Probes per policy request (see [`LoadConfig::policy_batch`]).
+    pub policy_batch: usize,
     /// Master seed; request `i` derives from `(seed, i)` only.
     pub seed: u64,
     /// Optional per-request `deadline_ms` budget.
@@ -980,6 +1135,7 @@ pub fn run_open_loop(
                 recorder,
                 config.mix,
                 config.fault_intensity,
+                config.policy_batch,
             );
             let mut doc = request.to_json();
             if let Some(ms) = config.deadline_ms {
@@ -1350,8 +1506,8 @@ mod tests {
         let recorder = Recorder::default();
         let mix = TrafficMix::default();
         for index in [0usize, 1, 7, 63] {
-            let (a, ka) = plan_indexed_request(42, index, users, &recorder, mix, 0.5);
-            let (b, kb) = plan_indexed_request(42, index, users, &recorder, mix, 0.5);
+            let (a, ka) = plan_indexed_request(42, index, users, &recorder, mix, 0.5, 2);
+            let (b, kb) = plan_indexed_request(42, index, users, &recorder, mix, 0.5, 2);
             assert_eq!(ka, kb, "plan kind must be a pure function of (seed, index)");
             assert_eq!(
                 a.to_json().to_json(),
@@ -1359,8 +1515,8 @@ mod tests {
                 "request {index} must serialize identically across plans"
             );
         }
-        let (a, _) = plan_indexed_request(42, 5, users, &recorder, mix, 0.5);
-        let (b, _) = plan_indexed_request(43, 5, users, &recorder, mix, 0.5);
+        let (a, _) = plan_indexed_request(42, 5, users, &recorder, mix, 0.5, 2);
+        let (b, _) = plan_indexed_request(43, 5, users, &recorder, mix, 0.5, 2);
         assert_ne!(
             a.to_json().to_json(),
             b.to_json().to_json(),

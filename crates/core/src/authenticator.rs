@@ -94,13 +94,29 @@ pub struct MandiPass {
 
 impl MandiPass {
     /// Assembles a deployment around a (typically VSP-trained) extractor.
-    pub fn new(extractor: BiometricExtractor, config: PipelineConfig) -> Self {
+    /// Pre-packs the extractor's weights for the inference fast path
+    /// (bit-exact; no behaviour change).
+    pub fn new(mut extractor: BiometricExtractor, config: PipelineConfig) -> Self {
+        extractor.prepare_inference();
         MandiPass {
             extractor,
             config,
             enclave: SecureEnclave::new(),
             monitor: mandipass_telemetry::monitor::global(),
         }
+    }
+
+    /// Deployment-time optimisation: fuses each batch norm's running
+    /// statistics into the preceding convolution (fewer layers per
+    /// forward). Embeddings then match the unfused network to ≈1e-6
+    /// rather than bit for bit — see
+    /// [`BiometricExtractor::fuse`]. Returns the folded-layer count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a pending-training-cache refusal from the extractor.
+    pub fn fuse(&mut self) -> Result<usize, MandiPassError> {
+        self.extractor.fuse()
     }
 
     /// Redirects this deployment's live-monitoring feed (decisions,
@@ -303,9 +319,37 @@ impl MandiPass {
             let _span = mandipass_telemetry::span("enclave_load");
             self.enclave.load(user_id)?;
         }
+        let considered = &probes[..probes.len().min(policy.max_attempts.max(1))];
+        // Batched fast path: when two or more probes pass the quality
+        // gate, one [N, …] CNN forward through the scratch arena
+        // amortises the per-forward fixed costs across the retry budget.
+        // Flows with fewer clean probes — the common single-probe serve
+        // request — keep the sequential path, and with it the exact
+        // telemetry shape they had before batching existed.
+        if considered.len() >= 2 {
+            let reports: Vec<quality::QualityReport> = considered
+                .iter()
+                .map(|p| quality::assess(p, &policy.quality))
+                .collect();
+            if reports.iter().filter(|r| r.ok()).count() >= 2 {
+                return self
+                    .verify_with_policy_batched(user_id, considered, reports, matrix, policy);
+            }
+        }
+        self.verify_with_policy_sequential(user_id, considered, matrix, policy)
+    }
+
+    /// The original one-probe-at-a-time policy walk.
+    fn verify_with_policy_sequential(
+        &self,
+        user_id: u32,
+        considered: &[Recording],
+        matrix: &GaussianMatrix,
+        policy: &VerifyPolicy,
+    ) -> Result<PolicyDecision, MandiPassError> {
         let mut rejects: Vec<String> = Vec::new();
         let mut attempts = 0usize;
-        for probe in probes.iter().take(policy.max_attempts.max(1)) {
+        for probe in considered {
             attempts += 1;
             let report = quality::assess(probe, &policy.quality);
             if report.ok() {
@@ -381,6 +425,180 @@ impl MandiPass {
             attempts,
             reasons: rejects,
         })
+    }
+
+    /// The batched policy walk: preprocesses every quality-ok probe,
+    /// extracts all their MandiblePrints through one batched CNN forward
+    /// ([`BiometricExtractor::extract_prints_batch`]), then replays the
+    /// sequential walk's decision/bookkeeping order over the precomputed
+    /// prints. The outcome, attempt counting, reject labels, audit
+    /// events, and monitor feeds match the sequential path exactly; only
+    /// the number of CNN forwards (one instead of up to N) differs.
+    fn verify_with_policy_batched(
+        &self,
+        user_id: u32,
+        considered: &[Recording],
+        reports: Vec<quality::QualityReport>,
+        matrix: &GaussianMatrix,
+        policy: &VerifyPolicy,
+    ) -> Result<PolicyDecision, MandiPassError> {
+        enum Prep {
+            /// Quality-ok, preprocessed: waiting on the batched forward.
+            Grad(GradientArray),
+            /// Quality-ok but the preprocessing pipeline rejected it.
+            Failed(MandiPassError, Option<SpanTree>),
+            /// Quality gate failed; the walk handles degraded/reject.
+            Gated,
+        }
+        let preps: Vec<Prep> = considered
+            .iter()
+            .zip(&reports)
+            .map(|(probe, report)| {
+                if !report.ok() {
+                    return Prep::Gated;
+                }
+                let (result, spans) = mandipass_telemetry::try_capture(|| {
+                    let _span = mandipass_telemetry::span("extract_print");
+                    let array = preprocess(probe, &self.config)?;
+                    GradientArray::from_signal_array(&array, self.config.half_n())
+                });
+                match result {
+                    Ok(grad) => Prep::Grad(grad),
+                    Err(e) => Prep::Failed(e, spans),
+                }
+            })
+            .collect();
+
+        // One forward for every probe that survived preprocessing. A
+        // batch-level failure (shape mismatch) falls back to per-probe
+        // verification below rather than failing the whole policy.
+        let grads: Vec<&GradientArray> = preps
+            .iter()
+            .filter_map(|p| match p {
+                Prep::Grad(g) => Some(g),
+                _ => None,
+            })
+            .collect();
+        let mut batch_prints = self
+            .extractor
+            .extract_prints_batch(&grads)
+            .ok()
+            .map(Vec::into_iter);
+
+        let mut rejects: Vec<String> = Vec::new();
+        let mut attempts = 0usize;
+        for (i, probe) in considered.iter().enumerate() {
+            attempts += 1;
+            let report = &reports[i];
+            match &preps[i] {
+                Prep::Grad(_) => {
+                    let print = batch_prints.as_mut().and_then(Iterator::next);
+                    let (result, spans) = mandipass_telemetry::try_capture(|| match &print {
+                        Some(print) => self.verify_print(user_id, print, matrix),
+                        // Batch extraction failed: per-probe fallback.
+                        None => self.verify(user_id, probe, matrix),
+                    });
+                    match result {
+                        Ok(outcome) => {
+                            self.finish_policy(attempts, false);
+                            return Ok(PolicyDecision {
+                                outcome,
+                                attempts,
+                                degraded: false,
+                                rejects,
+                            });
+                        }
+                        Err(e) => {
+                            self.count_reject("pipeline", e.label());
+                            self.enclave.record_quality_reject(user_id, e.label());
+                            let label = format!("pipeline:{}", e.label());
+                            self.monitor.observe_reject(&label);
+                            self.record_reject_flight(user_id, &label, report, spans);
+                            rejects.push(label);
+                            continue;
+                        }
+                    }
+                }
+                Prep::Failed(e, spans) => {
+                    // The sequential path loads the template before its
+                    // pipeline fails; replay that enclave access so the
+                    // audit trail stays identical.
+                    let _ = self.enclave.load(user_id);
+                    self.count_reject("pipeline", e.label());
+                    self.enclave.record_quality_reject(user_id, e.label());
+                    let label = format!("pipeline:{}", e.label());
+                    self.monitor.observe_reject(&label);
+                    self.record_reject_flight(user_id, &label, report, spans.clone());
+                    rejects.push(label);
+                    continue;
+                }
+                Prep::Gated => {}
+            }
+            if policy.allow_degraded && report.degraded_viable() {
+                let (result, spans) = mandipass_telemetry::try_capture(|| {
+                    self.verify_degraded(user_id, probe, matrix, policy)
+                });
+                match result {
+                    Ok(outcome) => {
+                        mandipass_telemetry::counter!("verify.degraded").inc();
+                        self.finish_policy(attempts, true);
+                        return Ok(PolicyDecision {
+                            outcome,
+                            attempts,
+                            degraded: true,
+                            rejects,
+                        });
+                    }
+                    Err(e) => {
+                        self.count_reject("pipeline", e.label());
+                        self.enclave.record_quality_reject(user_id, e.label());
+                        let label = format!("pipeline:{}", e.label());
+                        self.monitor.observe_reject(&label);
+                        self.record_reject_flight(user_id, &label, report, spans);
+                        rejects.push(label);
+                        continue;
+                    }
+                }
+            }
+            for reason in &report.reasons {
+                self.count_reject("quality", reason.label());
+                self.enclave.record_quality_reject(user_id, reason.label());
+            }
+            let labels: Vec<&str> = report.reasons.iter().map(|r| r.label()).collect();
+            let label = format!("quality:{}", labels.join("+"));
+            self.monitor.observe_reject(&label);
+            self.record_reject_flight(user_id, &label, report, None);
+            rejects.push(label);
+        }
+        self.finish_policy(attempts, false);
+        let mut flight = VerifyFlight::new(user_id, FlightOutcome::Exhausted);
+        flight.attempts = attempts;
+        flight.rejects = rejects.clone();
+        self.monitor.record_flight(flight);
+        Err(MandiPassError::RetriesExhausted {
+            attempts,
+            reasons: rejects,
+        })
+    }
+
+    /// Verifies a precomputed MandiblePrint against `user_id`'s stored
+    /// template — the tail of [`MandiPass::verify`] after extraction,
+    /// used by the batched policy walk (which extracts prints up front).
+    fn verify_print(
+        &self,
+        user_id: u32,
+        print: &MandiblePrint,
+        matrix: &GaussianMatrix,
+    ) -> Result<VerifyOutcome, MandiPassError> {
+        let _span = mandipass_telemetry::span("verify");
+        let template = {
+            let _span = mandipass_telemetry::span("enclave_load");
+            self.enclave.load(user_id)?
+        };
+        let cancelable = matrix.transform(print)?;
+        let outcome = self.decide(&template, &cancelable);
+        self.finish_verify(user_id, outcome);
+        Ok(outcome)
     }
 
     /// Records one rejected policy attempt in the flight recorder,

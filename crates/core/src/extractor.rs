@@ -9,10 +9,13 @@
 //! deployment the classifier head is ignored and the sigmoid output is
 //! the biometric.
 
+use std::cell::{Cell, RefCell};
+
 use mandipass_nn::activation::{ReLU, Sigmoid};
 use mandipass_nn::batchnorm::BatchNorm2d;
 use mandipass_nn::conv::Conv2d;
 use mandipass_nn::flatten::Flatten;
+use mandipass_nn::infer::{ArenaStats, InferCtx, Shape};
 use mandipass_nn::layer::{Layer, Param};
 use mandipass_nn::linear::Linear;
 use mandipass_nn::loss::{accuracy, cross_entropy};
@@ -22,6 +25,46 @@ use mandipass_nn::tensor::Tensor;
 use crate::error::MandiPassError;
 use crate::gradient_array::GradientArray;
 use crate::template::MandiblePrint;
+
+thread_local! {
+    /// Per-worker scratch arena for the inference fast path. Thread-local
+    /// so concurrent verifications never contend on buffers, and the
+    /// steady-state zero-allocation property holds per worker.
+    static INFER_CTX: RefCell<InferCtx> = RefCell::new(InferCtx::new());
+    /// Growth events already published to the telemetry counter, so each
+    /// publish adds only the delta.
+    static PUBLISHED_GROWTH: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Snapshot of the calling thread's inference arena (for benchmarks and
+/// steady-state assertions; serve workers export the same numbers through
+/// telemetry gauges after every batch).
+pub fn arena_stats() -> ArenaStats {
+    INFER_CTX.with(|c| c.borrow().stats())
+}
+
+/// Zeroes the calling thread's arena growth counter, marking the start of
+/// a steady-state observation window (call after warm-up).
+pub fn reset_arena_growth() {
+    INFER_CTX.with(|c| c.borrow_mut().reset_growth());
+    PUBLISHED_GROWTH.with(|c| c.set(0));
+}
+
+/// Exports the arena's high-water mark and pool occupancy as gauges and
+/// its growth events as a counter delta.
+fn publish_arena_metrics(ctx: &InferCtx) {
+    let stats = ctx.stats();
+    mandipass_telemetry::gauge!("nn.arena.high_water_bytes").set(stats.high_water_bytes as f64);
+    mandipass_telemetry::gauge!("nn.arena.pooled_bytes").set(stats.pooled_bytes as f64);
+    mandipass_telemetry::gauge!("nn.arena.pooled_buffers").set(stats.pooled_buffers as f64);
+    PUBLISHED_GROWTH.with(|c| {
+        let delta = stats.growth_events.saturating_sub(c.get());
+        if delta > 0 {
+            mandipass_telemetry::counter!("nn.arena.growth_events").add(delta);
+        }
+        c.set(stats.growth_events);
+    });
+}
 
 /// Architecture parameters of the biometric extractor.
 #[derive(Debug, Clone, PartialEq)]
@@ -323,13 +366,128 @@ impl BiometricExtractor {
         (loss, acc)
     }
 
+    /// Fast-path embeddings: consumes a flat `[N, 2, axes, half_n]` arena
+    /// buffer and returns the `[N, embedding_dim]` embedding buffer (the
+    /// caller releases it). Skips the classifier head — deployment never
+    /// reads the logits. Emits the same stage spans as
+    /// [`BiometricExtractor::infer_forward`] plus the kernel-level
+    /// `im2col`/`gemm`/`bias_act` spans from the convolution fast path.
+    fn infer_embeddings_fast(&self, input: Vec<f32>, n: usize, ctx: &mut InferCtx) -> Vec<f32> {
+        let _span = mandipass_telemetry::span("cnn_forward");
+        let axes = self.config.axes;
+        let half_n = self.config.half_n;
+        let plane = axes * half_n;
+        let (features, fshape) = match &self.branch_negative {
+            Some(branch_negative) => {
+                let mut pos = ctx.acquire(n * plane);
+                let mut neg = ctx.acquire(n * plane);
+                for i in 0..n {
+                    let base = i * 2 * plane;
+                    pos[i * plane..(i + 1) * plane].copy_from_slice(&input[base..base + plane]);
+                    neg[i * plane..(i + 1) * plane]
+                        .copy_from_slice(&input[base + plane..base + 2 * plane]);
+                }
+                ctx.release(input);
+                let shape = Shape::d4(n, 1, axes, half_n);
+                let (fp, fp_shape) = {
+                    let _span = mandipass_telemetry::span("branch_positive");
+                    self.branch_positive.infer_fast(pos, shape, ctx)
+                };
+                let (fneg, fneg_shape) = {
+                    let _span = mandipass_telemetry::span("branch_negative");
+                    branch_negative.infer_fast(neg, shape, ctx)
+                };
+                let pc = fp_shape.dims()[1];
+                let nc = fneg_shape.dims()[1];
+                let mut cat = ctx.acquire(n * (pc + nc));
+                for i in 0..n {
+                    let dst = i * (pc + nc);
+                    cat[dst..dst + pc].copy_from_slice(&fp[i * pc..(i + 1) * pc]);
+                    cat[dst + pc..dst + pc + nc].copy_from_slice(&fneg[i * nc..(i + 1) * nc]);
+                }
+                ctx.release(fp);
+                ctx.release(fneg);
+                (cat, Shape::d2(n, pc + nc))
+            }
+            None => {
+                let _span = mandipass_telemetry::span("branch_positive");
+                self.branch_positive
+                    .infer_fast(input, Shape::d4(n, 2, axes, half_n), ctx)
+            }
+        };
+        let _head_span = mandipass_telemetry::span("embedding_head");
+        let (pre, pre_shape) = self.head.infer_fast(features, fshape, ctx);
+        let (embedding, _) = self.head_act.infer_fast(pre, pre_shape, ctx);
+        embedding
+    }
+
     /// Extracts MandiblePrints from gradient arrays (evaluation mode —
-    /// running batch-norm statistics, no caching).
+    /// running batch-norm statistics, no caching). Delegates to
+    /// [`BiometricExtractor::extract_prints_batch`]: one probe is a batch
+    /// of one.
     ///
     /// # Errors
     ///
     /// Propagates shape mismatches from [`BiometricExtractor::batch_input`].
     pub fn extract(&self, arrays: &[&GradientArray]) -> Result<Vec<MandiblePrint>, MandiPassError> {
+        self.extract_prints_batch(arrays)
+    }
+
+    /// Batched probe extraction through the zero-allocation fast path:
+    /// pushes all `N` probes through one `[N, 2, axes, half_n]` forward
+    /// using the calling thread's scratch arena, so retried verifications
+    /// amortise the per-forward fixed costs. Bit-exact with
+    /// [`BiometricExtractor::extract_naive`] (the im2col+GEMM kernel
+    /// accumulates in the same order as the scalar loop nest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MandiPassError::DimensionMismatch`] when an array's shape
+    /// differs from the configuration.
+    pub fn extract_prints_batch(
+        &self,
+        arrays: &[&GradientArray],
+    ) -> Result<Vec<MandiblePrint>, MandiPassError> {
+        if arrays.is_empty() {
+            return Ok(Vec::new());
+        }
+        let per = 2 * self.config.axes * self.config.half_n;
+        for a in arrays {
+            if a.axes() != self.config.axes || a.half_n() != self.config.half_n {
+                return Err(MandiPassError::DimensionMismatch {
+                    expected: per,
+                    got: 2 * a.axes() * a.half_n(),
+                });
+            }
+        }
+        INFER_CTX.with(|cell| {
+            let ctx = &mut *cell.borrow_mut();
+            let mut input = ctx.acquire(arrays.len() * per);
+            for (i, a) in arrays.iter().enumerate() {
+                a.write_f32_into(&mut input[i * per..(i + 1) * per]);
+            }
+            let embeddings = self.infer_embeddings_fast(input, arrays.len(), ctx);
+            let d = self.config.embedding_dim;
+            let prints = (0..arrays.len())
+                .map(|i| MandiblePrint::new(embeddings[i * d..(i + 1) * d].to_vec()))
+                .collect();
+            ctx.release(embeddings);
+            publish_arena_metrics(ctx);
+            Ok(prints)
+        })
+    }
+
+    /// Reference extraction through the original tensor-per-layer path —
+    /// the parity oracle for the fast path (and the fallback nothing
+    /// optimised touches).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches from [`BiometricExtractor::batch_input`].
+    pub fn extract_naive(
+        &self,
+        arrays: &[&GradientArray],
+    ) -> Result<Vec<MandiblePrint>, MandiPassError> {
         if arrays.is_empty() {
             return Ok(Vec::new());
         }
@@ -339,6 +497,37 @@ impl BiometricExtractor {
         Ok((0..arrays.len())
             .map(|i| MandiblePrint::new(embeddings.data()[i * d..(i + 1) * d].to_vec()))
             .collect())
+    }
+
+    /// Pre-packs weights for the inference fast path (transposed linear
+    /// weights). Bit-exact — safe to call on every deployed extractor;
+    /// invalidated automatically when an optimiser touches the params.
+    pub fn prepare_inference(&mut self) {
+        self.branch_positive.prepare_inference();
+        if let Some(branch_negative) = &mut self.branch_negative {
+            branch_negative.prepare_inference();
+        }
+        self.head.prepare_inference();
+    }
+
+    /// Deployment-time conv+batch-norm fusion on both branches (see
+    /// [`Sequential::fuse`]): folds running statistics into the preceding
+    /// convolutions' weights so the deployed network runs fewer layers.
+    /// Returns the number of layers folded away. Outputs match unfused to
+    /// ≈1e-6, not bit for bit — opt in only where that tolerance is
+    /// acceptable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`mandipass_nn::NnError::FusePendingBackward`] when a
+    /// training-mode forward cache is pending.
+    pub fn fuse(&mut self) -> Result<usize, MandiPassError> {
+        let mut folded = self.branch_positive.fuse()?;
+        if let Some(branch_negative) = &mut self.branch_negative {
+            folded += branch_negative.fuse()?;
+        }
+        self.prepare_inference();
+        Ok(folded)
     }
 
     /// Classification accuracy of the training head on a labelled batch
@@ -523,6 +712,88 @@ mod tests {
         let pa = a.extract(&[&arr]).unwrap();
         let pb = b.extract(&[&arr]).unwrap();
         assert_eq!(pa[0].as_slice(), pb[0].as_slice());
+    }
+
+    #[test]
+    fn fast_batch_extraction_matches_naive_oracle_bitwise() {
+        let mut ex = BiometricExtractor::new(ExtractorConfig::tiny(3)).unwrap();
+        ex.prepare_inference();
+        let arrays = [
+            toy_gradient_array(0.0),
+            toy_gradient_array(0.9),
+            toy_gradient_array(2.1),
+        ];
+        let refs: Vec<&GradientArray> = arrays.iter().collect();
+        let naive = ex.extract_naive(&refs).unwrap();
+        let fast = ex.extract_prints_batch(&refs).unwrap();
+        assert_eq!(naive.len(), fast.len());
+        for (a, b) in naive.iter().zip(&fast) {
+            assert_eq!(a.as_slice(), b.as_slice(), "fast path diverged");
+        }
+    }
+
+    #[test]
+    fn single_branch_fast_path_matches_naive() {
+        let mut config = ExtractorConfig::tiny(3);
+        config.two_branch = false;
+        let mut ex = BiometricExtractor::new(config).unwrap();
+        ex.prepare_inference();
+        let a = toy_gradient_array(0.4);
+        let naive = ex.extract_naive(&[&a]).unwrap();
+        let fast = ex.extract_prints_batch(&[&a]).unwrap();
+        assert_eq!(naive[0].as_slice(), fast[0].as_slice());
+    }
+
+    #[test]
+    fn batched_extraction_is_batch_invariant() {
+        let mut ex = BiometricExtractor::new(ExtractorConfig::tiny(3)).unwrap();
+        ex.prepare_inference();
+        let arrays = [toy_gradient_array(0.2), toy_gradient_array(1.4)];
+        let refs: Vec<&GradientArray> = arrays.iter().collect();
+        let batched = ex.extract_prints_batch(&refs).unwrap();
+        for (i, a) in arrays.iter().enumerate() {
+            let single = ex.extract_prints_batch(&[a]).unwrap();
+            assert_eq!(single[0].as_slice(), batched[i].as_slice());
+        }
+    }
+
+    #[test]
+    fn fused_extractor_matches_within_tolerance() {
+        let mut ex = BiometricExtractor::new(ExtractorConfig::tiny(2)).unwrap();
+        // Move the running statistics off init so fusion has work to do.
+        let a = toy_gradient_array(0.0);
+        let b = toy_gradient_array(2.0);
+        let input = ex.batch_input(&[&a, &b]).unwrap();
+        let mut adam = Adam::new(0.01);
+        for _ in 0..3 {
+            let _ = ex.train_batch(&input, &[0, 1]);
+            adam.step(&mut ex.params());
+        }
+        let reference = ex.extract_naive(&[&a]).unwrap();
+        let folded = ex.fuse().unwrap();
+        assert_eq!(folded, 6, "three batch norms per branch fold away");
+        let fused = ex.extract_prints_batch(&[&a]).unwrap();
+        for (x, y) in fused[0].as_slice().iter().zip(reference[0].as_slice()) {
+            assert!((x - y).abs() < 1e-6, "fused {x} vs unfused {y}");
+        }
+    }
+
+    #[test]
+    fn arena_reaches_steady_state_across_extractions() {
+        let mut ex = BiometricExtractor::new(ExtractorConfig::tiny(2)).unwrap();
+        ex.prepare_inference();
+        let a = toy_gradient_array(0.5);
+        // Warm up, then demand zero growth over a steady-state window.
+        for _ in 0..2 {
+            ex.extract_prints_batch(&[&a]).unwrap();
+        }
+        reset_arena_growth();
+        for _ in 0..5 {
+            ex.extract_prints_batch(&[&a]).unwrap();
+        }
+        let stats = arena_stats();
+        assert_eq!(stats.growth_events, 0, "steady-state extraction grew");
+        assert!(stats.high_water_bytes > 0);
     }
 
     #[test]

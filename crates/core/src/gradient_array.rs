@@ -113,6 +113,20 @@ impl GradientArray {
         self.data.iter().map(|&v| v as f32).collect()
     }
 
+    /// Writes the `[direction][axis][time]` `f32` flattening into `out`
+    /// without allocating — the inference fast path fills arena buffers
+    /// in place instead of going through [`GradientArray::to_f32`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len()` differs from [`GradientArray::len`].
+    pub fn write_f32_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.data.len(), "destination length mismatch");
+        for (o, &v) in out.iter_mut().zip(&self.data) {
+            *o = v as f32;
+        }
+    }
+
     /// Total number of values.
     pub fn len(&self) -> usize {
         self.data.len()

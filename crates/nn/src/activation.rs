@@ -1,5 +1,6 @@
 //! Activation layers: ReLU and Sigmoid.
 
+use crate::infer::{InferCtx, Shape};
 use crate::layer::{Layer, Param};
 use crate::tensor::Tensor;
 
@@ -43,6 +44,25 @@ impl Layer for ReLU {
             }
         }
         out
+    }
+
+    fn infer_fast(
+        &self,
+        mut input: Vec<f32>,
+        shape: Shape,
+        ctx: &mut InferCtx,
+    ) -> (Vec<f32>, Shape) {
+        let _ = ctx;
+        for v in &mut input {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        (input, shape)
+    }
+
+    fn training_cache_active(&self) -> bool {
+        self.mask.is_some()
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -106,6 +126,23 @@ impl Layer for Sigmoid {
             *v = 1.0 / (1.0 + (-*v).exp());
         }
         out
+    }
+
+    fn infer_fast(
+        &self,
+        mut input: Vec<f32>,
+        shape: Shape,
+        ctx: &mut InferCtx,
+    ) -> (Vec<f32>, Shape) {
+        let _ = ctx;
+        for v in &mut input {
+            *v = 1.0 / (1.0 + (-*v).exp());
+        }
+        (input, shape)
+    }
+
+    fn training_cache_active(&self) -> bool {
+        self.cached_output.is_some()
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {

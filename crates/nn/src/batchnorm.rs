@@ -5,6 +5,7 @@
 //! statistics and maintains exponential running statistics; evaluation mode
 //! uses the running statistics, so single probes verify deterministically.
 
+use crate::infer::{InferCtx, Shape};
 use crate::layer::{Layer, Param};
 use crate::tensor::Tensor;
 
@@ -168,6 +169,56 @@ impl Layer for BatchNorm2d {
             }
         }
         out
+    }
+
+    fn infer_fast(
+        &self,
+        mut input: Vec<f32>,
+        shape: Shape,
+        ctx: &mut InferCtx,
+    ) -> (Vec<f32>, Shape) {
+        let _ = ctx;
+        let dims = shape.dims();
+        assert_eq!(dims.len(), 4, "batchnorm2d expects [N, C, H, W] input");
+        assert_eq!(dims[1], self.channels, "channel count mismatch");
+        let (n, plane) = (dims[0], dims[2] * dims[3]);
+        let mean = self.running_mean.data();
+        let var = self.running_var.data();
+        let gamma = self.gamma.data();
+        let beta = self.beta.data();
+        // In place, with the exact expression `infer` uses so the two
+        // paths agree bit for bit.
+        for img in 0..n {
+            for c in 0..self.channels {
+                let base = (img * self.channels + c) * plane;
+                let inv_std = 1.0 / (var[c] + self.eps).sqrt();
+                for v in &mut input[base..base + plane] {
+                    *v = gamma[c] * ((*v - mean[c]) * inv_std) + beta[c];
+                }
+            }
+        }
+        (input, shape)
+    }
+
+    fn fold_affine(&self) -> Option<(Vec<f32>, Vec<f32>)> {
+        // y = γ·(x − μ)/√(σ² + ε) + β  ≡  scale·x + shift with
+        // scale = γ/√(σ² + ε), shift = β − μ·scale.
+        let mean = self.running_mean.data();
+        let var = self.running_var.data();
+        let gamma = self.gamma.data();
+        let beta = self.beta.data();
+        let mut scale = Vec::with_capacity(self.channels);
+        let mut shift = Vec::with_capacity(self.channels);
+        for c in 0..self.channels {
+            let s = gamma[c] / (var[c] + self.eps).sqrt();
+            scale.push(s);
+            shift.push(beta[c] - mean[c] * s);
+        }
+        Some((scale, shift))
+    }
+
+    fn training_cache_active(&self) -> bool {
+        self.cache.is_some()
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {

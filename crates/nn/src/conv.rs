@@ -7,6 +7,8 @@
 use mandipass_util::rand::rngs::StdRng;
 use mandipass_util::rand::SeedableRng;
 
+use crate::gemm::gemm_acc;
+use crate::infer::{InferCtx, Shape};
 use crate::init::kaiming_normal;
 use crate::layer::{Layer, Param};
 use crate::tensor::Tensor;
@@ -95,6 +97,72 @@ impl Conv2d {
     }
 }
 
+/// Packs one `[in_c, h, w]` image into the im2col matrix
+/// `col: [in_c·kh·kw, oh·ow]`, row `((ic·kh)+ky)·kw+kx`, column
+/// `oy·ow+ox`. Padding taps become explicit zeros, which keeps the
+/// following GEMM's accumulation order identical to the naive kernel's
+/// skip-out-of-bounds loop (`x + ±0.0` only ever flips a `-0.0` to
+/// `+0.0`, invisible to `f32` equality).
+#[allow(clippy::too_many_arguments)]
+fn im2col(
+    x: &[f32],
+    (in_c, h, w): (usize, usize, usize),
+    (kh, kw): (usize, usize),
+    (sh, sw): (usize, usize),
+    (ph, pw): (usize, usize),
+    (oh, ow): (usize, usize),
+    col: &mut [f32],
+) {
+    let out_plane = oh * ow;
+    let mut row = 0usize;
+    for ic in 0..in_c {
+        let x_plane = &x[ic * h * w..(ic + 1) * h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let dst = &mut col[row * out_plane..(row + 1) * out_plane];
+                row += 1;
+                // Valid ox range: 0 <= ox·sw + kx − pw < w, hoisted out
+                // of the inner loop so the copies run branch-free.
+                let lo = if kx >= pw {
+                    0
+                } else {
+                    (pw - kx).div_ceil(sw).min(ow)
+                };
+                let hi = if w + pw > kx {
+                    ((w - 1 + pw - kx) / sw + 1).min(ow)
+                } else {
+                    0
+                }
+                .max(lo);
+                for oy in 0..oh {
+                    let iy = oy * sh + ky;
+                    let d = &mut dst[oy * ow..(oy + 1) * ow];
+                    if iy < ph || iy >= h + ph {
+                        d.fill(0.0);
+                        continue;
+                    }
+                    let src_row = &x_plane[(iy - ph) * w..(iy - ph + 1) * w];
+                    d[..lo].fill(0.0);
+                    d[hi..].fill(0.0);
+                    if hi == lo {
+                        continue;
+                    }
+                    if sw == 1 {
+                        let start = lo + kx - pw;
+                        d[lo..hi].copy_from_slice(&src_row[start..start + (hi - lo)]);
+                    } else {
+                        let mut ix = lo * sw + kx - pw;
+                        for v in &mut d[lo..hi] {
+                            *v = src_row[ix];
+                            ix += sw;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 impl Layer for Conv2d {
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
@@ -160,6 +228,72 @@ impl Layer for Conv2d {
             }
         }
         out
+    }
+
+    fn infer_fast(&self, input: Vec<f32>, shape: Shape, ctx: &mut InferCtx) -> (Vec<f32>, Shape) {
+        let dims = shape.dims();
+        assert_eq!(dims.len(), 4, "conv2d expects [N, C, H, W] input");
+        assert_eq!(dims[1], self.in_channels, "input channel mismatch");
+        let (n, h, w) = (dims[0], dims[2], dims[3]);
+        let (oh, ow) = self.output_size(h, w);
+        let out_plane = oh * ow;
+        let k = self.in_channels * self.kernel.0 * self.kernel.1;
+        let mut out = ctx.acquire(n * self.out_channels * out_plane);
+        let mut col = ctx.acquire(k * out_plane);
+        let in_plane = h * w;
+        let wt = self.weight.data();
+        let b = self.bias.data();
+        for img in 0..n {
+            let x_img = &input[img * self.in_channels * in_plane..];
+            let y_img = &mut out
+                [img * self.out_channels * out_plane..(img + 1) * self.out_channels * out_plane];
+            {
+                let _span = mandipass_telemetry::span("im2col");
+                im2col(
+                    x_img,
+                    (self.in_channels, h, w),
+                    self.kernel,
+                    self.stride,
+                    self.padding,
+                    (oh, ow),
+                    &mut col,
+                );
+            }
+            {
+                let _span = mandipass_telemetry::span("bias_act");
+                for (oc, &bias_oc) in b.iter().enumerate() {
+                    y_img[oc * out_plane..(oc + 1) * out_plane].fill(bias_oc);
+                }
+            }
+            {
+                let _span = mandipass_telemetry::span("gemm");
+                gemm_acc(self.out_channels, k, out_plane, wt, &col, y_img);
+            }
+        }
+        ctx.release(col);
+        ctx.release(input);
+        (out, Shape::d4(n, self.out_channels, oh, ow))
+    }
+
+    fn absorb_affine(&mut self, scale: &[f32], shift: &[f32]) -> bool {
+        if scale.len() != self.out_channels || shift.len() != self.out_channels {
+            return false;
+        }
+        let per_oc = self.in_channels * self.kernel.0 * self.kernel.1;
+        let wt = self.weight.data_mut();
+        for (oc, &s) in scale.iter().enumerate() {
+            for v in &mut wt[oc * per_oc..(oc + 1) * per_oc] {
+                *v *= s;
+            }
+        }
+        for ((bv, &s), &t) in self.bias.data_mut().iter_mut().zip(scale).zip(shift) {
+            *bv = *bv * s + t;
+        }
+        true
+    }
+
+    fn training_cache_active(&self) -> bool {
+        self.cached_input.is_some()
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -374,5 +508,96 @@ mod tests {
     fn param_count_matches_design() {
         let mut conv = Conv2d::new(8, 16, (3, 3), (1, 2), (1, 1), 0);
         assert_eq!(conv.param_count(), 16 * 8 * 9 + 16);
+    }
+
+    #[test]
+    fn infer_never_caches_and_eval_forward_never_clones() {
+        // Regression: eval-shaped calls must not pay the training-cache
+        // clone of the input.
+        let mut conv = Conv2d::new(1, 2, (3, 3), (1, 2), (1, 1), 3);
+        let x = Tensor::from_vec(vec![1, 1, 4, 6], (0..24).map(|i| i as f32).collect()).unwrap();
+        let _ = conv.infer(&x);
+        assert!(!conv.training_cache_active(), "infer cached its input");
+        let _ = conv.forward(&x, false);
+        assert!(
+            !conv.training_cache_active(),
+            "eval-mode forward cloned the input into the cache"
+        );
+        let _ = conv.forward(&x, true);
+        assert!(conv.training_cache_active(), "training forward must cache");
+        let g = Tensor::zeros(vec![1, 2, 4, 3]);
+        let _ = conv.backward(&g);
+        assert!(!conv.training_cache_active(), "backward consumes the cache");
+    }
+
+    #[test]
+    fn fast_path_is_bit_exact_on_paper_geometry() {
+        let conv = Conv2d::new(8, 16, (3, 3), (1, 2), (1, 1), 21);
+        let x = Tensor::from_vec(
+            vec![2, 8, 6, 15],
+            (0..2 * 8 * 6 * 15)
+                .map(|i| ((i as f32) * 0.731).sin())
+                .collect(),
+        )
+        .unwrap();
+        let reference = conv.infer(&x);
+        let mut ctx = InferCtx::new();
+        let buf = {
+            let mut b = ctx.acquire(x.len());
+            b.copy_from_slice(x.data());
+            b
+        };
+        let (fast, shape) = conv.infer_fast(buf, Shape::from_dims(x.shape()), &mut ctx);
+        assert_eq!(shape.dims(), reference.shape());
+        assert_eq!(&fast[..], reference.data());
+    }
+
+    #[test]
+    fn absorb_affine_rejects_channel_mismatch() {
+        let mut conv = Conv2d::new(1, 2, (1, 1), (1, 1), (0, 0), 0);
+        assert!(!conv.absorb_affine(&[1.0; 3], &[0.0; 3]));
+        assert!(conv.absorb_affine(&[2.0, 3.0], &[0.5, -0.5]));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use mandipass_util::proptest::prelude::*;
+
+    proptest! {
+        // The im2col+GEMM fast path matches the naive oracle bit for bit
+        // across randomized shapes, rectangular strides and asymmetric
+        // padding — including kernels larger than the padded input edge
+        // (where `output_size` saturates and the sums are partial).
+        #[test]
+        fn im2col_gemm_matches_naive_oracle(
+            n in 1usize..3,
+            in_c in 1usize..4,
+            out_c in 1usize..4,
+            h in 1usize..7,
+            w in 1usize..9,
+            kh in 1usize..5,
+            kw in 1usize..5,
+            sh in 1usize..4,
+            sw in 1usize..4,
+            ph in 0usize..3,
+            pw in 0usize..3,
+            seed in 0u64..64,
+        ) {
+            let conv = Conv2d::new(in_c, out_c, (kh, kw), (sh, sw), (ph, pw), seed);
+            let len = n * in_c * h * w;
+            let x = Tensor::from_vec(
+                vec![n, in_c, h, w],
+                (0..len).map(|i| ((i as f32) + seed as f32).sin() * 2.0 - 0.5).collect(),
+            ).unwrap();
+            let reference = conv.infer(&x);
+            let mut ctx = InferCtx::new();
+            let mut buf = ctx.acquire(len);
+            buf.copy_from_slice(x.data());
+            let (fast, shape) = conv.infer_fast(buf, Shape::from_dims(x.shape()), &mut ctx);
+            prop_assert_eq!(shape.dims(), reference.shape());
+            prop_assert_eq!(&fast[..], reference.data());
+        }
     }
 }

@@ -1,5 +1,6 @@
 //! Flattening of 4-D activations into 2-D feature matrices.
 
+use crate::infer::{InferCtx, Shape};
 use crate::layer::{Layer, Param};
 use crate::tensor::Tensor;
 
@@ -44,6 +45,20 @@ impl Layer for Flatten {
             .clone()
             .reshape(vec![n, features])
             .expect("flatten preserves element count")
+    }
+
+    fn infer_fast(&self, input: Vec<f32>, shape: Shape, ctx: &mut InferCtx) -> (Vec<f32>, Shape) {
+        let _ = ctx;
+        let dims = shape.dims();
+        assert!(dims.len() >= 2, "flatten expects rank >= 2 input");
+        let features: usize = dims[1..].iter().product();
+        // Row-major data is already in flattened order: only the shape
+        // changes, no copy.
+        (input, Shape::d2(dims[0], features))
+    }
+
+    fn training_cache_active(&self) -> bool {
+        self.cached_shape.is_some()
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {

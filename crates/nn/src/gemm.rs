@@ -1,0 +1,102 @@
+//! Blocked GEMM accumulation kernel for the inference fast path.
+//!
+//! `C[m×n] += A[m×k] · B[k×n]` over row-major slices, with `C`
+//! pre-initialised by the caller (to the layer bias, matching the naive
+//! kernels' `acc = bias` start). The loop nest is i–k–j with the `j`
+//! loop innermost over contiguous rows of `B` and `C`, a plain
+//! axpy the autovectorizer turns into SIMD; `k` ascends, so every
+//! output element accumulates its products in exactly the order the
+//! naive convolution/linear loop nests use — the fast path is bit-exact
+//! against them. The `j` dimension is tiled so one strip of `C` and the
+//! matching `B` columns stay cache-resident while the full `k` range
+//! streams through.
+
+/// Column-tile width: 256 floats = 1 KiB per row strip, comfortably
+/// inside L1 alongside the streaming `B` rows.
+pub const GEMM_TILE: usize = 256;
+
+/// Accumulates `c += a · b` for row-major `a: [m, k]`, `b: [k, n]`,
+/// `c: [m, n]`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) when a slice is shorter than its shape
+/// implies; release builds would panic on the out-of-range index.
+pub fn gemm_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert!(a.len() >= m * k, "A is {} < {m}x{k}", a.len());
+    debug_assert!(b.len() >= k * n, "B is {} < {k}x{n}", b.len());
+    debug_assert!(c.len() >= m * n, "C is {} < {m}x{n}", c.len());
+    let mut jb = 0;
+    while jb < n {
+        let je = (jb + GEMM_TILE).min(n);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c[i * n + jb..i * n + je];
+            for (kk, &aik) in a_row.iter().enumerate() {
+                let b_row = &b[kk * n + jb..kk * n + je];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+        jb = je;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        for i in 0..m {
+            for j in 0..n {
+                for kk in 0..k {
+                    c[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_matmul() {
+        let (m, k, n) = (3, 5, 7);
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.11).cos()).collect();
+        let mut c_fast = vec![0.5; m * n];
+        let mut c_ref = vec![0.5; m * n];
+        gemm_acc(m, k, n, &a, &b, &mut c_fast);
+        naive(m, k, n, &a, &b, &mut c_ref);
+        for (f, r) in c_fast.iter().zip(&c_ref) {
+            assert!((f - r).abs() < 1e-5, "{f} vs {r}");
+        }
+    }
+
+    #[test]
+    fn tiling_boundary_is_exact() {
+        // n spans multiple tiles including a ragged tail.
+        let (m, k, n) = (2, 3, GEMM_TILE * 2 + 17);
+        let a: Vec<f32> = (0..m * k).map(|i| i as f32 - 2.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i % 13) as f32) * 0.25).collect();
+        let mut c_fast = vec![0.0; m * n];
+        let mut c_ref = vec![0.0; m * n];
+        gemm_acc(m, k, n, &a, &b, &mut c_fast);
+        naive(m, k, n, &a, &b, &mut c_ref);
+        assert_eq!(c_fast, c_ref);
+    }
+
+    #[test]
+    fn accumulates_onto_existing_c() {
+        let mut c = vec![1.0, 2.0];
+        gemm_acc(1, 1, 2, &[3.0], &[10.0, 20.0], &mut c);
+        assert_eq!(c, vec![31.0, 62.0]);
+    }
+
+    #[test]
+    fn degenerate_dims_are_noops() {
+        let mut c: Vec<f32> = vec![];
+        gemm_acc(0, 4, 0, &[], &[], &mut c);
+        let mut c = vec![7.0];
+        gemm_acc(1, 0, 1, &[], &[], &mut c);
+        assert_eq!(c, vec![7.0]);
+    }
+}

@@ -1,5 +1,6 @@
 //! The [`Layer`] trait and parameter access for optimisers.
 
+use crate::infer::{InferCtx, Shape};
 use crate::tensor::Tensor;
 
 /// A mutable view of one learnable parameter tensor and its gradient
@@ -81,6 +82,55 @@ pub trait Layer: std::fmt::Debug + Send + Sync {
     /// whole models) cloneable, so one trained network can be handed to
     /// several consumers without retraining.
     fn clone_box(&self) -> Box<dyn Layer>;
+
+    /// Evaluation-mode forward on the scratch arena: consumes a
+    /// ctx-owned input buffer and returns a ctx-owned output buffer
+    /// (possibly the input itself, for in-place layers). Semantically
+    /// identical to [`Layer::infer`]; the hot-path layers override this
+    /// with kernels that allocate nothing once `ctx` is warm. The
+    /// default bridges through `infer` so exotic layers stay correct
+    /// (at Tensor-path cost) and feed their buffers into the pool.
+    fn infer_fast(&self, input: Vec<f32>, shape: Shape, ctx: &mut InferCtx) -> (Vec<f32>, Shape) {
+        let tensor =
+            Tensor::from_vec(shape.to_vec(), input).expect("arena buffer matches its shape");
+        let out = self.infer(&tensor);
+        ctx.release(tensor.into_data());
+        let out_shape = Shape::from_dims(out.shape());
+        (out.into_data(), out_shape)
+    }
+
+    /// One-time deployment hook: precomputes derived inference-only
+    /// data (e.g. a transposed weight copy for the GEMM kernel). Safe to
+    /// call repeatedly; layers invalidate the derived data whenever
+    /// their parameters are exposed mutably ([`Layer::params`] /
+    /// [`Layer::state_params`]), so call this again after any training
+    /// step or parameter load.
+    fn prepare_inference(&mut self) {}
+
+    /// Per-channel `(scale, shift)` of an evaluation-mode affine layer
+    /// (batch norm running statistics) that a preceding convolution can
+    /// absorb: `y[c] = scale[c] · x[c] + shift[c]`. `None` for layers
+    /// that are not foldable affines.
+    fn fold_affine(&self) -> Option<(Vec<f32>, Vec<f32>)> {
+        None
+    }
+
+    /// Absorbs a following affine layer's per-channel `(scale, shift)`
+    /// into this layer's weights and bias. Returns `false` when this
+    /// layer cannot absorb (not a convolution, or channel mismatch),
+    /// leaving it unchanged.
+    fn absorb_affine(&mut self, scale: &[f32], shift: &[f32]) -> bool {
+        let _ = (scale, shift);
+        false
+    }
+
+    /// Whether a training-mode forward cache is pending (a backward
+    /// pass is still owed). Deployment-time transforms such as
+    /// [`Sequential::fuse`](crate::sequential::Sequential::fuse) refuse
+    /// to run in this state.
+    fn training_cache_active(&self) -> bool {
+        false
+    }
 }
 
 impl Clone for Box<dyn Layer> {

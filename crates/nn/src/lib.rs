@@ -13,7 +13,11 @@
 //! * softmax [`cross_entropy`](loss::cross_entropy) loss,
 //! * [`Adam`](optim::Adam) and [`Sgd`](optim::Sgd) optimisers,
 //! * binary parameter (de)serialisation ([`serialize`]),
-//! * mini-batch helpers ([`data`]).
+//! * mini-batch helpers ([`data`]),
+//! * a zero-allocation inference fast path: scratch arenas ([`infer`]),
+//!   an im2col + blocked-GEMM convolution kernel ([`gemm`]) and
+//!   deployment-time conv+batch-norm fusion
+//!   ([`Sequential::fuse`](sequential::Sequential::fuse)).
 //!
 //! # Example
 //!
@@ -37,6 +41,8 @@ pub mod conv;
 pub mod data;
 pub mod error;
 pub mod flatten;
+pub mod gemm;
+pub mod infer;
 pub mod init;
 pub mod layer;
 pub mod linear;
@@ -54,6 +60,7 @@ pub mod prelude {
     pub use crate::batchnorm::BatchNorm2d;
     pub use crate::conv::Conv2d;
     pub use crate::flatten::Flatten;
+    pub use crate::infer::{ArenaStats, InferCtx, Shape};
     pub use crate::layer::Layer;
     pub use crate::linear::Linear;
     pub use crate::loss::cross_entropy;

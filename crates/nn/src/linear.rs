@@ -3,6 +3,8 @@
 use mandipass_util::rand::rngs::StdRng;
 use mandipass_util::rand::SeedableRng;
 
+use crate::gemm::gemm_acc;
+use crate::infer::{InferCtx, Shape};
 use crate::init::kaiming_normal;
 use crate::layer::{Layer, Param};
 use crate::tensor::Tensor;
@@ -19,6 +21,11 @@ pub struct Linear {
     grad_weight: Tensor,
     grad_bias: Tensor,
     cached_input: Option<Tensor>,
+    // Deployment-only transposed weight copy `[in, out]` built by
+    // `prepare_inference`, letting the fast path run as a k-outer GEMM
+    // (contiguous, autovectorized) instead of latency-bound scalar dot
+    // products. Invalidated whenever the weights are exposed mutably.
+    packed_t: Option<Vec<f32>>,
 }
 
 impl Linear {
@@ -39,6 +46,7 @@ impl Linear {
             grad_weight: Tensor::zeros(vec![out_features, in_features]),
             grad_bias: Tensor::zeros(vec![out_features]),
             cached_input: None,
+            packed_t: None,
         }
     }
 
@@ -99,6 +107,63 @@ impl Layer for Linear {
         out
     }
 
+    fn infer_fast(&self, input: Vec<f32>, shape: Shape, ctx: &mut InferCtx) -> (Vec<f32>, Shape) {
+        let dims = shape.dims();
+        assert_eq!(dims.len(), 2, "linear expects [N, in] input");
+        assert_eq!(dims[1], self.in_features, "input feature mismatch");
+        let n = dims[0];
+        let mut out = ctx.acquire(n * self.out_features);
+        let b = self.bias.data();
+        match &self.packed_t {
+            Some(wt) => {
+                {
+                    let _span = mandipass_telemetry::span("bias_act");
+                    for row in out.chunks_exact_mut(self.out_features) {
+                        row.copy_from_slice(b);
+                    }
+                }
+                // Same per-output accumulation order as the scalar dot
+                // (bias first, k ascending) — bit-exact against `infer`.
+                let _span = mandipass_telemetry::span("gemm");
+                gemm_acc(n, self.in_features, self.out_features, &input, wt, &mut out);
+            }
+            None => {
+                // No packed copy (training just touched the weights):
+                // replicate the naive loop into the arena buffer.
+                let w = self.weight.data();
+                for i in 0..n {
+                    let xi = &input[i * self.in_features..(i + 1) * self.in_features];
+                    let yi = &mut out[i * self.out_features..(i + 1) * self.out_features];
+                    for (o, yv) in yi.iter_mut().enumerate() {
+                        let wo = &w[o * self.in_features..(o + 1) * self.in_features];
+                        let mut acc = b[o];
+                        for (xv, wv) in xi.iter().zip(wo) {
+                            acc += xv * wv;
+                        }
+                        *yv = acc;
+                    }
+                }
+            }
+        }
+        ctx.release(input);
+        (out, Shape::d2(n, self.out_features))
+    }
+
+    fn prepare_inference(&mut self) {
+        let w = self.weight.data();
+        let mut packed = vec![0.0f32; w.len()];
+        for o in 0..self.out_features {
+            for k in 0..self.in_features {
+                packed[k * self.out_features + o] = w[o * self.in_features + k];
+            }
+        }
+        self.packed_t = Some(packed);
+    }
+
+    fn training_cache_active(&self) -> bool {
+        self.cached_input.is_some()
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let input = self
             .cached_input
@@ -146,6 +211,11 @@ impl Layer for Linear {
     }
 
     fn params(&mut self) -> Vec<Param<'_>> {
+        // Mutable parameter access (optimiser step, parameter load)
+        // invalidates the inference-only packed transpose; the fast
+        // path falls back to the scalar kernel until the next
+        // `prepare_inference`.
+        self.packed_t = None;
         vec![
             Param {
                 value: &mut self.weight,
@@ -260,5 +330,43 @@ mod tests {
         let a = Linear::new(5, 3, 99);
         let b = Linear::new(5, 3, 99);
         assert_eq!(a.weight(), b.weight());
+    }
+
+    #[test]
+    fn packed_fast_path_is_bit_exact() {
+        let mut layer = Linear::new(48, 17, 5);
+        layer.prepare_inference();
+        let x = Tensor::from_vec(
+            vec![3, 48],
+            (0..3 * 48).map(|i| ((i as f32) * 0.17).cos()).collect(),
+        )
+        .unwrap();
+        let reference = layer.infer(&x);
+        let mut ctx = InferCtx::new();
+        let mut buf = ctx.acquire(x.len());
+        buf.copy_from_slice(x.data());
+        let (fast, shape) = layer.infer_fast(buf, Shape::d2(3, 48), &mut ctx);
+        assert_eq!(shape.dims(), reference.shape());
+        assert_eq!(&fast[..], reference.data());
+    }
+
+    #[test]
+    fn params_access_invalidates_packed_weights() {
+        let mut layer = Linear::new(4, 2, 0);
+        layer.prepare_inference();
+        assert!(layer.packed_t.is_some());
+        let _ = layer.params();
+        assert!(
+            layer.packed_t.is_none(),
+            "stale packed weights would desync from trained weights"
+        );
+        // The unpacked fallback still matches the reference path.
+        let x = Tensor::from_vec(vec![1, 4], vec![0.1, -0.2, 0.3, -0.4]).unwrap();
+        let reference = layer.infer(&x);
+        let mut ctx = InferCtx::new();
+        let mut buf = ctx.acquire(4);
+        buf.copy_from_slice(x.data());
+        let (fast, _) = layer.infer_fast(buf, Shape::d2(1, 4), &mut ctx);
+        assert_eq!(&fast[..], reference.data());
     }
 }

@@ -1,5 +1,7 @@
 //! A sequential container of layers.
 
+use crate::error::NnError;
+use crate::infer::{InferCtx, Shape};
 use crate::layer::{Layer, Param};
 use crate::tensor::Tensor;
 
@@ -25,6 +27,46 @@ impl Sequential {
     /// Whether the container holds no layers.
     pub fn is_empty(&self) -> bool {
         self.layers.is_empty()
+    }
+
+    /// Deployment-time fusion: folds every affine layer that follows an
+    /// absorbing layer (in practice, each `BatchNorm2d`'s running
+    /// statistics into the preceding `Conv2d`'s weights and bias) and
+    /// removes the folded layer, so the deployed network runs fewer
+    /// layers. Returns the number of layers folded away; idempotent (a
+    /// second call finds nothing left to fold).
+    ///
+    /// Fusion uses the batch norms' *running* statistics, so it is an
+    /// evaluation-mode transform: a fused network no longer updates
+    /// those statistics in training mode. Outputs match the unfused
+    /// network to floating-point reassociation tolerance (≈1e-6), not
+    /// bit for bit — callers that need bit-exact parity with the
+    /// training-time graph keep the unfused network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::FusePendingBackward`] when any layer still
+    /// holds a training-mode forward cache (a backward pass is owed):
+    /// rewriting weights mid-step would corrupt the gradients.
+    pub fn fuse(&mut self) -> Result<usize, NnError> {
+        if self.training_cache_active() {
+            return Err(NnError::FusePendingBackward);
+        }
+        let mut fused = 0usize;
+        let mut i = 0;
+        while i < self.layers.len() {
+            if i + 1 < self.layers.len() {
+                if let Some((scale, shift)) = self.layers[i + 1].fold_affine() {
+                    if self.layers[i].absorb_affine(&scale, &shift) {
+                        self.layers.remove(i + 1);
+                        fused += 1;
+                        continue; // the next affine may fold into i too
+                    }
+                }
+            }
+            i += 1;
+        }
+        Ok(fused)
     }
 }
 
@@ -52,6 +94,25 @@ impl Layer for Sequential {
             cur = layer.infer(&cur);
         }
         cur
+    }
+
+    fn infer_fast(&self, input: Vec<f32>, shape: Shape, ctx: &mut InferCtx) -> (Vec<f32>, Shape) {
+        let mut cur = (input, shape);
+        for layer in &self.layers {
+            let _span = mandipass_telemetry::span(layer.name());
+            cur = layer.infer_fast(cur.0, cur.1, ctx);
+        }
+        cur
+    }
+
+    fn prepare_inference(&mut self) {
+        for layer in &mut self.layers {
+            layer.prepare_inference();
+        }
+    }
+
+    fn training_cache_active(&self) -> bool {
+        self.layers.iter().any(|l| l.training_cache_active())
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -147,5 +208,74 @@ mod tests {
     fn len_reports_layer_count() {
         let net = Sequential::new(vec![Box::new(ReLU::new()), Box::new(ReLU::new())]);
         assert_eq!(net.len(), 2);
+    }
+
+    fn conv_bn_stack() -> (Sequential, Tensor) {
+        use crate::batchnorm::BatchNorm2d;
+        use crate::conv::Conv2d;
+        let mut net = Sequential::new(vec![
+            Box::new(Conv2d::new(1, 3, (3, 3), (1, 2), (1, 1), 40)),
+            Box::new(BatchNorm2d::new(3)),
+            Box::new(ReLU::new()),
+            Box::new(Conv2d::new(3, 2, (3, 3), (1, 1), (1, 1), 41)),
+            Box::new(BatchNorm2d::new(2)),
+            Box::new(ReLU::new()),
+        ]);
+        let x = Tensor::from_vec(
+            vec![2, 1, 4, 10],
+            (0..80).map(|i| ((i as f32) * 0.43).sin()).collect(),
+        )
+        .unwrap();
+        // A few training passes move the running statistics off their
+        // init values, so fusion actually has something to fold.
+        for _ in 0..5 {
+            let y = net.forward(&x, true);
+            let g = Tensor::full(y.shape().to_vec(), 0.1);
+            net.backward(&g);
+        }
+        (net, x)
+    }
+
+    #[test]
+    fn fuse_matches_unfused_within_tolerance() {
+        let (mut net, x) = conv_bn_stack();
+        let reference = net.infer(&x);
+        let folded = net.fuse().expect("no pending training cache");
+        assert_eq!(folded, 2, "both batch norms fold into their convs");
+        assert_eq!(net.len(), 4);
+        let fused = net.infer(&x);
+        assert_eq!(fused.shape(), reference.shape());
+        for (a, b) in fused.data().iter().zip(reference.data()) {
+            assert!((a - b).abs() < 1e-6, "fused {a} vs unfused {b}");
+        }
+    }
+
+    #[test]
+    fn fuse_is_idempotent() {
+        let (mut net, x) = conv_bn_stack();
+        net.fuse().expect("first fuse succeeds");
+        let before = net.infer(&x);
+        let folded_again = net.fuse().expect("second fuse succeeds");
+        assert_eq!(folded_again, 0, "nothing left to fold");
+        assert_eq!(net.infer(&x), before);
+    }
+
+    #[test]
+    fn fuse_refuses_with_pending_training_cache() {
+        let (mut net, x) = conv_bn_stack();
+        let _ = net.forward(&x, true); // forward without backward: cache pending
+        assert_eq!(net.fuse(), Err(NnError::FusePendingBackward));
+    }
+
+    #[test]
+    fn fast_path_traverses_all_layers() {
+        let (net, x) = conv_bn_stack();
+        let reference = net.infer(&x);
+        let mut ctx = crate::infer::InferCtx::new();
+        let mut buf = ctx.acquire(x.len());
+        buf.copy_from_slice(x.data());
+        let (fast, shape) = net.infer_fast(buf, Shape::from_dims(x.shape()), &mut ctx);
+        assert_eq!(shape.dims(), reference.shape());
+        assert_eq!(&fast[..], reference.data());
     }
 }

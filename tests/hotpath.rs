@@ -1,0 +1,170 @@
+//! Cross-crate integration tests for the zero-alloc inference fast
+//! path: parity between the deployed im2col+GEMM path and the naive
+//! tensor-per-layer oracle on a *trained* extractor, batch invariance,
+//! conv+BN fusion tolerance, scratch-arena steady state, and
+//! equivalence of the batched multi-probe policy walk with direct
+//! single-probe verification.
+
+use mandipass::extractor::{arena_stats, reset_arena_growth};
+use mandipass::gradient_array::GradientArray;
+use mandipass::prelude::*;
+use mandipass::preprocess::preprocess;
+use mandipass_bench::{EvalScale, TrainedStack};
+use mandipass_imu_sim::{Condition, Recording, UserProfile};
+
+fn assert_bitwise(a: &MandiblePrint, b: &MandiblePrint, what: &str) {
+    assert_eq!(a.dim(), b.dim(), "{what}: dimensions diverged");
+    for (i, (va, vb)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert_eq!(va.to_bits(), vb.to_bits(), "{what}: element {i} diverged");
+    }
+}
+
+fn grads_for(stack: &TrainedStack, user: &UserProfile, n: u64) -> Vec<GradientArray> {
+    let config = PipelineConfig::default();
+    (0..n)
+        .map(|s| {
+            let rec = stack.recorder.record(user, Condition::Normal, 0xf00d ^ s);
+            let arr = preprocess(&rec, &config).expect("probe preprocesses");
+            GradientArray::from_signal_array(&arr, config.half_n()).expect("probe gradients")
+        })
+        .collect()
+}
+
+#[test]
+fn trained_fast_path_matches_naive_oracle_bit_for_bit() {
+    let stack = TrainedStack::build(EvalScale::smoke_test()).expect("training succeeds");
+    let user = stack.held_out_users()[0].clone();
+    let grads = grads_for(&stack, &user, 3);
+    let refs: Vec<&GradientArray> = grads.iter().collect();
+    let naive = stack
+        .extractor
+        .extract_naive(&refs)
+        .expect("naive extracts");
+    let fast = stack
+        .extractor
+        .extract_prints_batch(&refs)
+        .expect("fast extracts");
+    assert_eq!(naive.len(), fast.len());
+    for (i, (n, f)) in naive.iter().zip(&fast).enumerate() {
+        assert_bitwise(n, f, &format!("probe {i} fast vs naive"));
+    }
+}
+
+#[test]
+fn batched_extraction_is_invariant_to_batch_size() {
+    let stack = TrainedStack::build(EvalScale::smoke_test()).expect("training succeeds");
+    let user = stack.held_out_users()[0].clone();
+    let grads = grads_for(&stack, &user, 3);
+    let refs: Vec<&GradientArray> = grads.iter().collect();
+    let batched = stack
+        .extractor
+        .extract_prints_batch(&refs)
+        .expect("batch extracts");
+    for (i, grad) in grads.iter().enumerate() {
+        let single = stack
+            .extractor
+            .extract_prints_batch(&[grad])
+            .expect("single extracts");
+        assert_bitwise(
+            &batched[i],
+            &single[0],
+            &format!("probe {i} batched vs single"),
+        );
+    }
+}
+
+#[test]
+fn fused_deployment_stays_within_tolerance() {
+    let stack = TrainedStack::build(EvalScale::smoke_test()).expect("training succeeds");
+    let user = stack.held_out_users()[0].clone();
+    let grads = grads_for(&stack, &user, 2);
+    let refs: Vec<&GradientArray> = grads.iter().collect();
+    let naive = stack
+        .extractor
+        .extract_naive(&refs)
+        .expect("naive extracts");
+
+    let mut fused = stack.extractor.clone();
+    let folded = fused.fuse().expect("fuses");
+    assert!(folded > 0, "a trained paper-config network has BN to fold");
+    let prints = fused.extract_prints_batch(&refs).expect("fused extracts");
+    for (n, f) in naive.iter().zip(&prints) {
+        for (va, vb) in n.as_slice().iter().zip(f.as_slice()) {
+            assert!(
+                (va - vb).abs() <= 1e-6,
+                "fused embedding drifted: {va} vs {vb}"
+            );
+        }
+    }
+    // Idempotent: a second fuse finds nothing left to fold.
+    assert_eq!(fused.fuse().expect("re-fuses"), 0);
+}
+
+#[test]
+fn arena_reaches_steady_state_across_extractions() {
+    let stack = TrainedStack::build(EvalScale::smoke_test()).expect("training succeeds");
+    let user = stack.held_out_users()[0].clone();
+    let grads = grads_for(&stack, &user, 2);
+    let refs: Vec<&GradientArray> = grads.iter().collect();
+    // Two warm-up passes size the pool; after that the arena must stop
+    // growing — that is the zero-alloc claim at integration level.
+    for _ in 0..2 {
+        let _ = stack.extractor.extract_prints_batch(&refs).expect("warms");
+    }
+    reset_arena_growth();
+    for _ in 0..4 {
+        let _ = stack
+            .extractor
+            .extract_prints_batch(&refs)
+            .expect("extracts");
+    }
+    let stats = arena_stats();
+    assert_eq!(
+        stats.growth_events, 0,
+        "arena grew after warm-up: {stats:?}"
+    );
+    assert!(stats.high_water_bytes > 0);
+}
+
+/// The batched policy walk (≥2 quality-ok probes → one [N,…] forward)
+/// must reach the exact decision direct single-probe verification
+/// reaches: same accept bit, bit-identical distance, same attempt count.
+#[test]
+fn multi_probe_policy_walk_matches_direct_verification() {
+    let stack = TrainedStack::build(EvalScale::smoke_test()).expect("training succeeds");
+    let user = stack.population.users()[0].clone();
+    let recorder = stack.recorder.clone();
+    for threshold in [1.5, 1e-9] {
+        // 1.5 accepts any probe (cosine distance < 2), 1e-9 rejects any;
+        // both decide on attempt 1, so the two paths must agree bit for
+        // bit whichever way the decision goes.
+        let config = PipelineConfig {
+            threshold,
+            ..PipelineConfig::default()
+        };
+        let mut sys = MandiPass::new(stack.extractor.clone(), config);
+        let matrix = GaussianMatrix::generate(7, sys.embedding_dim());
+        let enrolment: Vec<Recording> = (0..3u64)
+            .map(|s| recorder.record(&user, Condition::Normal, 600 + s))
+            .collect();
+        sys.enroll(user.id, &enrolment, &matrix).expect("enrols");
+
+        let p1 = recorder.record(&user, Condition::Normal, 901);
+        let p2 = recorder.record(&user, Condition::Normal, 902);
+        let direct = sys.verify(user.id, &p1, &matrix).expect("verifies");
+
+        let policy = VerifyPolicy::default();
+        let multi = sys
+            .verify_with_policy(user.id, &[p1.clone(), p2.clone()], &matrix, &policy)
+            .expect("decides");
+        assert_eq!(multi.attempts, 1, "first quality-ok probe decides");
+        assert_eq!(multi.outcome.accepted, direct.accepted);
+        assert_eq!(
+            multi.outcome.distance.to_bits(),
+            direct.distance.to_bits(),
+            "batched policy walk diverged from direct verification"
+        );
+        assert!(multi.rejects.is_empty());
+        assert_eq!(multi.outcome.accepted, threshold > 1.0);
+    }
+}
