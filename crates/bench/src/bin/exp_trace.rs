@@ -16,6 +16,13 @@
 
 use mandipass_bench::{experiments, EvalScale, TrainedStack};
 
+// Counting allocator so `MANDIPASS_PROFILE_ALLOC=1` runs of this binary
+// serve real data on `/profile/alloc` during the hold phase. Attribution
+// is off (raw counting only) unless the env knob asks for it.
+#[global_allocator]
+static ALLOC: mandipass_telemetry::alloc::ProfilingAlloc =
+    mandipass_telemetry::alloc::ProfilingAlloc;
+
 fn main() {
     let scale = match std::env::var("MANDIPASS_SERVE_SCALE").as_deref() {
         Ok("smoke") => EvalScale::smoke_test(),

@@ -17,6 +17,11 @@ fn main() {
     let markdown = std::env::args().any(|a| a == "--markdown");
     let report_only = std::env::args().any(|a| a == "--telemetry-report");
     telemetry::set_default_mode(telemetry::Mode::Text);
+    // Profile the whole run unless the environment chose explicitly —
+    // the closing PROFILE SUMMARY block reads the resulting frame table.
+    if std::env::var(telemetry::PROFILE_ENV).is_err() {
+        telemetry::profile::set_enabled(true);
+    }
     let scale = EvalScale::from_env();
     telemetry::event(&scale.describe());
 
@@ -144,4 +149,29 @@ fn main() {
         "MONITOR SNAPSHOT: {}",
         telemetry::monitor().snapshot().to_json()
     );
+    // Where the run spent its time, from the span-tree profiler. The
+    // serve/hotpath experiments reset the frame table around their own
+    // embedded profile sections, so this covers the tail of the run
+    // (serve burst onward) — enough to name the hot frames.
+    let profile = telemetry::profile::snapshot();
+    if profile.is_empty() {
+        println!("PROFILE SUMMARY: empty (set MANDIPASS_PROFILE=1 to enable the span profiler)");
+    } else {
+        let unit = if telemetry::clock::is_deterministic() {
+            "logical ticks"
+        } else {
+            "ns"
+        };
+        println!("PROFILE SUMMARY: top frames by self time ({unit})");
+        for (rank, (path, stats)) in profile.top_self(10).iter().enumerate() {
+            println!(
+                "  {:>2}. {path}  self {} total {} calls {} p99 {}",
+                rank + 1,
+                stats.self_nanos,
+                stats.total_nanos,
+                stats.count,
+                stats.quantile(0.99),
+            );
+        }
+    }
 }

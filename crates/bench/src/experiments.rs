@@ -35,7 +35,8 @@ use crate::harness::TrainedStack;
 use crate::load::{
     bench_serve_document, outcome_signature, plan_indexed_request, run_load, run_open_loop,
     trace_attribution, validate_bench_hotpath, validate_bench_overload, validate_bench_serve,
-    LoadConfig, LoadTarget, OpenLoopConfig, OpenOutcome, TrafficMix, BENCH_HOTPATH_SCHEMA,
+    validate_bench_trace, LoadConfig, LoadTarget, OpenLoopConfig, OpenOutcome, TrafficMix,
+    BENCH_HOTPATH_SCHEMA, BENCH_TRACE_SCHEMA,
 };
 use crate::scale::EvalScale;
 
@@ -1043,6 +1044,21 @@ pub fn exp_hotpath(stack: &mut TrainedStack) -> Result<(ReportTable, Value), Man
             .map_or(0.0, |s| s.mean)
     };
 
+    // Embedded profile summary from a *separate* profiled pass after
+    // the timed windows — the profiler's frame-table updates must not
+    // pollute the same-run speedup measurement the gate relies on.
+    let profile_section = {
+        let was_profiling = mandipass_telemetry::profile::enabled();
+        mandipass_telemetry::profile::set_enabled(true);
+        mandipass_telemetry::profile::reset();
+        for _ in 0..chunk {
+            let _ = extractor.extract_prints_batch(&single)?;
+        }
+        let section = mandipass_telemetry::profile::snapshot().summary_json();
+        mandipass_telemetry::profile::set_enabled(was_profiling);
+        section
+    };
+
     let speedup_fast = naive_per / fast_per;
     let speedup_fused = naive_per / fused_per;
     let speedup_batched = naive_per / batched_per;
@@ -1162,6 +1178,7 @@ pub fn exp_hotpath(stack: &mut TrainedStack) -> Result<(ReportTable, Value), Man
                 ),
             ]),
         ),
+        ("profile".into(), profile_section),
     ]);
     debug_assert!(validate_bench_hotpath(&doc).is_ok());
     Ok((table, doc))
@@ -1892,6 +1909,14 @@ pub fn exp_serve(
         },
     )
     .expect("bind verify server on loopback");
+    // Profile the TCP burst: each worker thread labels its subtree, so
+    // the embedded summary (and `/profile/cpu`) shows per-worker call
+    // trees merged under `workerN.…` roots. The per-close cost (one
+    // lock + map update) is microseconds against millisecond verifies,
+    // well inside the baseline gate's envelope.
+    let was_profiling = mandipass_telemetry::profile::enabled();
+    mandipass_telemetry::profile::set_enabled(true);
+    mandipass_telemetry::profile::reset();
     let tcp = run_load(
         &LoadTarget::Tcp(server.local_addr()),
         &users,
@@ -1899,11 +1924,16 @@ pub fn exp_serve(
         &load_config,
         Some(monitor),
     );
+    let profile_section = mandipass_telemetry::profile::snapshot().summary_json();
+    mandipass_telemetry::profile::set_enabled(was_profiling);
     server.shutdown();
     let health = monitor.health();
 
     let scale_desc = format!("{clients} clients x {requests} requests, {workers} workers");
-    let doc = bench_serve_document(&scale_desc, &load_config, workers, &in_process, &tcp);
+    let mut doc = bench_serve_document(&scale_desc, &load_config, workers, &in_process, &tcp);
+    if let Value::Object(members) = &mut doc {
+        members.push(("profile".to_string(), profile_section));
+    }
 
     let mut table = ReportTable::new("Serve: closed-loop load, in-process vs TCP");
     table.push(
@@ -2456,9 +2486,6 @@ pub fn exp_overload(
     Ok((table, doc))
 }
 
-/// Schema tag of the trace bench artifact.
-pub const BENCH_TRACE_SCHEMA: &str = "mandipass.bench.trace/v1";
-
 /// One plain HTTP GET against a loopback server; returns the body.
 fn http_get_body(addr: std::net::SocketAddr, path: &str) -> Result<String, String> {
     use std::io::{Read as _, Write as _};
@@ -2828,6 +2855,16 @@ pub fn exp_trace(
         "p99 > 0 ns",
         format!("{:.0} ns", p99_attributed),
         p99_attributed > 0.0,
+    ));
+    table.push(ExperimentRecord::new(
+        "Trace",
+        "BENCH_trace.json validates against schema",
+        "ok",
+        match validate_bench_trace(&doc) {
+            Ok(()) => "ok".to_string(),
+            Err(e) => e,
+        },
+        validate_bench_trace(&doc).is_ok(),
     ));
 
     // Optional hold for CI: keep both listeners alive so an external

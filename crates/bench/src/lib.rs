@@ -12,6 +12,7 @@
 pub mod experiments;
 pub mod harness;
 pub mod load;
+pub mod profile;
 pub mod scale;
 
 pub use harness::{MainEvaluation, TrainedStack};

@@ -1375,6 +1375,113 @@ pub fn compare_bench_overload(
     }
 }
 
+// ---------------------------------------------------------------------
+// Trace bench artifact: schema validation and the baseline gate for
+// `BENCH_trace.json` (produced by `exp_trace`), closing the loop that
+// previously left the trace artifact written but ungated in CI.
+// ---------------------------------------------------------------------
+
+/// Schema tag of the trace bench artifact.
+pub const BENCH_TRACE_SCHEMA: &str = "mandipass.bench.trace/v1";
+
+/// Stages every trace document must attribute (queue_wait is sparse by
+/// design — only queued requests record it — so it is not required).
+const TRACE_REQUIRED_STAGES: [&str; 4] = ["total", "decode", "verify", "write"];
+
+/// Validates one `BENCH_trace.json` document against the v1 schema:
+/// the tag, a positive request count, per-stage attribution with
+/// ordered quantiles for every required stage, and every acceptance
+/// check recorded as passing.
+///
+/// # Errors
+///
+/// Returns the first violated constraint, with its field path.
+pub fn validate_bench_trace(doc: &Value) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing \"schema\" tag")?;
+    if schema != BENCH_TRACE_SCHEMA {
+        return Err(format!(
+            "schema \"{schema}\" is not \"{BENCH_TRACE_SCHEMA}\""
+        ));
+    }
+    doc.get("scale")
+        .and_then(Value::as_str)
+        .ok_or("missing \"scale\" description")?;
+    let requests = get_num(doc, &["requests"])?;
+    if requests < 1.0 || requests.fract() != 0.0 {
+        return Err(format!("requests {requests} is not a positive integer"));
+    }
+    let trace_count = get_num(doc, &["attribution", "trace_count"])?;
+    if trace_count < 1.0 {
+        return Err("attribution.trace_count is zero — nothing was traced".to_string());
+    }
+    for stage in TRACE_REQUIRED_STAGES {
+        let count = get_num(doc, &["attribution", "stages", stage, "count"])?;
+        if count < 1.0 {
+            return Err(format!("attribution stage \"{stage}\" has zero samples"));
+        }
+        let p50 = get_num(doc, &["attribution", "stages", stage, "p50_nanos"])?;
+        let p99 = get_num(doc, &["attribution", "stages", stage, "p99_nanos"])?;
+        if !(p50 >= 0.0 && p50 <= p99) {
+            return Err(format!(
+                "attribution stage \"{stage}\": quantiles disordered (p50 {p50}, p99 {p99})"
+            ));
+        }
+    }
+    match doc.get("checks") {
+        Some(Value::Object(checks)) if !checks.is_empty() => {
+            for (name, value) in checks {
+                if value.as_bool() != Some(true) {
+                    return Err(format!("acceptance check \"{name}\" did not pass"));
+                }
+            }
+        }
+        _ => return Err("missing \"checks\" section".to_string()),
+    }
+    Ok(())
+}
+
+/// Compares a fresh trace document against a committed baseline:
+/// verify-stage and end-to-end p99 attribution may grow to at most
+/// `max_p99_ratio`× the baseline, and the fresh run must cover at least
+/// `min_requests_ratio`× the baseline's requests (a shrunken run would
+/// make the latency gate meaningless).
+///
+/// # Errors
+///
+/// Returns every violated gate, one per line.
+pub fn compare_bench_trace(
+    fresh: &Value,
+    baseline: &Value,
+    max_p99_ratio: f64,
+    min_requests_ratio: f64,
+) -> Result<(), String> {
+    let mut violations = Vec::new();
+    for stage in ["verify", "total"] {
+        let fresh_p99 = get_num(fresh, &["attribution", "stages", stage, "p99_nanos"])?;
+        let base_p99 = get_num(baseline, &["attribution", "stages", stage, "p99_nanos"])?;
+        if fresh_p99 > base_p99 * max_p99_ratio {
+            violations.push(format!(
+                "attribution.{stage}: p99 {fresh_p99:.0}ns exceeds {max_p99_ratio}x baseline {base_p99:.0}ns"
+            ));
+        }
+    }
+    let fresh_requests = get_num(fresh, &["requests"])?;
+    let base_requests = get_num(baseline, &["requests"])?;
+    if fresh_requests < base_requests * min_requests_ratio {
+        violations.push(format!(
+            "requests {fresh_requests} below {min_requests_ratio}x baseline {base_requests}"
+        ));
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations.join("\n"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1716,5 +1823,101 @@ mod tests {
         assert!(compare_bench_overload(&starved, &baseline, 2.0, 0.5)
             .unwrap_err()
             .contains("goodput"));
+    }
+
+    fn fake_trace_doc() -> Value {
+        let stage = |count: f64, p50: f64, p99: f64| {
+            Value::Object(vec![
+                ("count".to_string(), Value::Number(count)),
+                ("p50_nanos".to_string(), Value::Number(p50)),
+                ("p99_nanos".to_string(), Value::Number(p99)),
+                ("mean_nanos".to_string(), Value::Number(p50)),
+                ("max_nanos".to_string(), Value::Number(p99 * 1.2)),
+            ])
+        };
+        Value::Object(vec![
+            (
+                "schema".to_string(),
+                Value::String(BENCH_TRACE_SCHEMA.to_string()),
+            ),
+            (
+                "scale".to_string(),
+                Value::String("4 clients x 16 requests".to_string()),
+            ),
+            ("requests".to_string(), Value::Number(64.0)),
+            ("echoed_ids".to_string(), Value::Number(64.0)),
+            (
+                "attribution".to_string(),
+                Value::Object(vec![
+                    ("trace_count".to_string(), Value::Number(66.0)),
+                    (
+                        "stages".to_string(),
+                        Value::Object(vec![
+                            ("total".to_string(), stage(66.0, 3.5e7, 4.8e7)),
+                            ("queue_wait".to_string(), stage(5.0, 4.0e6, 1.2e7)),
+                            ("decode".to_string(), stage(66.0, 8.5e4, 1.7e5)),
+                            ("verify".to_string(), stage(66.0, 3.2e7, 4.1e7)),
+                            ("write".to_string(), stage(66.0, 3.1e6, 1.3e7)),
+                        ]),
+                    ),
+                    ("slowest".to_string(), Value::Array(Vec::new())),
+                ]),
+            ),
+            (
+                "checks".to_string(),
+                Value::Object(vec![
+                    ("stage_sums_within_total".to_string(), Value::Bool(true)),
+                    ("sampling_bit_identical".to_string(), Value::Bool(true)),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn trace_validator_accepts_the_real_shape_and_names_failures() {
+        let doc = fake_trace_doc();
+        validate_bench_trace(&doc).unwrap_or_else(|e| panic!("{e}"));
+        let wrong_schema = patch(&doc, &["schema"], Value::String("v9".to_string()));
+        assert!(validate_bench_trace(&wrong_schema)
+            .unwrap_err()
+            .contains("v9"));
+        let no_traces = patch(&doc, &["attribution", "trace_count"], Value::Number(0.0));
+        assert!(validate_bench_trace(&no_traces)
+            .unwrap_err()
+            .contains("trace_count"));
+        let disordered = patch(
+            &doc,
+            &["attribution", "stages", "verify", "p50_nanos"],
+            Value::Number(9.9e7),
+        );
+        assert!(validate_bench_trace(&disordered)
+            .unwrap_err()
+            .contains("disordered"));
+        let failed_check = patch(
+            &doc,
+            &["checks", "sampling_bit_identical"],
+            Value::Bool(false),
+        );
+        assert!(validate_bench_trace(&failed_check)
+            .unwrap_err()
+            .contains("sampling_bit_identical"));
+    }
+
+    #[test]
+    fn trace_comparator_gates_verify_p99_and_request_coverage() {
+        let baseline = fake_trace_doc();
+        compare_bench_trace(&baseline, &baseline, 2.0, 0.5).unwrap_or_else(|e| panic!("{e}"));
+        let slow = patch(
+            &baseline,
+            &["attribution", "stages", "verify", "p99_nanos"],
+            Value::Number(9.0e7),
+        );
+        assert!(compare_bench_trace(&slow, &baseline, 2.0, 0.5)
+            .unwrap_err()
+            .contains("verify"));
+        let shrunk = patch(&baseline, &["requests"], Value::Number(8.0));
+        assert!(compare_bench_trace(&shrunk, &baseline, 2.0, 0.5)
+            .unwrap_err()
+            .contains("requests"));
     }
 }

@@ -1,0 +1,216 @@
+//! Bench-artifact profile sections and regression attribution.
+//!
+//! `exp_hotpath` and `exp_serve` embed a compact CPU-profile summary
+//! (the [`mandipass_telemetry::profile::CpuProfile::summary_json`]
+//! shape: `{"unit", "frames": {path: {count, total_nanos, self_nanos,
+//! p50_nanos, p99_nanos}}}`) under a top-level `"profile"` key in their
+//! BENCH documents. [`attribute_profiles`] diffs two such summaries and
+//! ranks frames by per-call self-time growth, so when a `check_bench`
+//! ratio gate fails the report names *which frame* regressed instead of
+//! just that p99 moved.
+
+use mandipass_util::json::Value;
+
+/// One frame's regression verdict from [`attribute_profiles`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameRegression {
+    /// Dot-joined frame path.
+    pub path: String,
+    /// Fresh self nanoseconds per call.
+    pub fresh_self_per_call: f64,
+    /// Baseline self nanoseconds per call (`None` for a frame the
+    /// baseline never saw).
+    pub base_self_per_call: Option<f64>,
+    /// `fresh / baseline` per-call self time (`f64::INFINITY` for new
+    /// frames).
+    pub ratio: f64,
+    /// Fresh call count, for weighting the report.
+    pub fresh_calls: f64,
+}
+
+/// Reads the `"profile"."frames"` object out of a bench document.
+fn frames_of<'a>(doc: &'a Value, label: &str) -> Result<&'a [(String, Value)], String> {
+    match doc.get("profile").and_then(|p| p.get("frames")) {
+        Some(Value::Object(frames)) => Ok(frames),
+        _ => Err(format!(
+            "{label}: no embedded \"profile\".\"frames\" section"
+        )),
+    }
+}
+
+fn frame_stat(frame: &Value, key: &str) -> f64 {
+    frame.get(key).and_then(Value::as_f64).unwrap_or(0.0)
+}
+
+/// Diffs the embedded profile summaries of two bench documents and
+/// returns the top `k` frames by per-call self-time growth, worst
+/// first. Frames absent from the baseline rank highest (infinite
+/// ratio); frames that got *faster* are excluded. Ties break by path,
+/// so the ranking is deterministic.
+///
+/// # Errors
+///
+/// Errors when either document lacks a `"profile"` section.
+pub fn attribute_profiles(
+    fresh: &Value,
+    baseline: &Value,
+    k: usize,
+) -> Result<Vec<FrameRegression>, String> {
+    let fresh_frames = frames_of(fresh, "fresh")?;
+    let base_frames = frames_of(baseline, "baseline")?;
+    let base_lookup = |path: &str| {
+        base_frames
+            .iter()
+            .find(|(p, _)| p == path)
+            .map(|(_, frame)| frame)
+    };
+    let mut regressions: Vec<FrameRegression> = fresh_frames
+        .iter()
+        .filter_map(|(path, frame)| {
+            let calls = frame_stat(frame, "count");
+            if calls <= 0.0 {
+                return None;
+            }
+            let fresh_per_call = frame_stat(frame, "self_nanos") / calls;
+            let base = base_lookup(path).and_then(|b| {
+                let base_calls = frame_stat(b, "count");
+                (base_calls > 0.0).then(|| frame_stat(b, "self_nanos") / base_calls)
+            });
+            let ratio = match base {
+                // A brand-new frame with no self time is noise, not a
+                // regression; a new frame *with* self time is the worst
+                // kind of regression (nothing to compare against).
+                None if fresh_per_call <= 0.0 => return None,
+                None => f64::INFINITY,
+                Some(b) if b <= 0.0 => f64::INFINITY,
+                Some(b) => fresh_per_call / b,
+            };
+            if ratio <= 1.0 {
+                return None;
+            }
+            Some(FrameRegression {
+                path: path.clone(),
+                fresh_self_per_call: fresh_per_call,
+                base_self_per_call: base,
+                ratio,
+                fresh_calls: calls,
+            })
+        })
+        .collect();
+    regressions.sort_by(|a, b| {
+        b.ratio
+            .partial_cmp(&a.ratio)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.path.cmp(&b.path))
+    });
+    regressions.truncate(k);
+    Ok(regressions)
+}
+
+/// Renders [`attribute_profiles`] output as the report block
+/// `check_bench attribute` prints (and `compare` appends on failure).
+pub fn render_attribution(regressions: &[FrameRegression]) -> String {
+    if regressions.is_empty() {
+        return "attribution: no frame regressed (per-call self time)".to_string();
+    }
+    let mut out =
+        String::from("attribution: top regressed frames (self ns/call, fresh vs baseline)\n");
+    for (rank, r) in regressions.iter().enumerate() {
+        let base = r
+            .base_self_per_call
+            .map(|b| format!("{b:.0}"))
+            .unwrap_or_else(|| "absent".to_string());
+        let ratio = if r.ratio.is_finite() {
+            format!("{:.2}x", r.ratio)
+        } else {
+            "new".to_string()
+        };
+        out.push_str(&format!(
+            "  {}. {}  {} -> {:.0} ns/call ({ratio}, {} calls)\n",
+            rank + 1,
+            r.path,
+            base,
+            r.fresh_self_per_call,
+            r.fresh_calls
+        ));
+    }
+    out.trim_end().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mandipass_util::json::parse;
+
+    fn doc(frames: &[(&str, f64, f64)]) -> Value {
+        let body = frames
+            .iter()
+            .map(|(path, count, self_nanos)| {
+                format!(
+                    "\"{path}\":{{\"count\":{count},\"total_nanos\":{t},\"self_nanos\":{self_nanos},\"p50_nanos\":1,\"p99_nanos\":2}}",
+                    t = self_nanos * 2.0
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        parse(&format!(
+            "{{\"schema\":\"mandipass.bench.hotpath/v1\",\"profile\":{{\"unit\":\"nanos\",\"frames\":{{{body}}}}}}}"
+        ))
+        .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    #[test]
+    fn names_the_injected_hot_frame_first() {
+        let baseline = doc(&[
+            ("verify.extract.gemm", 100.0, 100_000.0),
+            ("verify.extract.im2col", 100.0, 50_000.0),
+            ("verify.similarity", 100.0, 10_000.0),
+        ]);
+        let fresh = doc(&[
+            ("verify.extract.gemm", 100.0, 110_000.0),
+            ("verify.extract.im2col", 100.0, 400_000.0),
+            ("verify.similarity", 100.0, 9_000.0),
+        ]);
+        let top = attribute_profiles(&fresh, &baseline, 3).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(top[0].path, "verify.extract.im2col");
+        assert!((top[0].ratio - 8.0).abs() < 1e-9);
+        // gemm grew 1.1x, similarity shrank: only two regressions.
+        assert_eq!(top.len(), 2);
+        let report = render_attribution(&top);
+        assert!(report.contains("1. verify.extract.im2col"), "{report}");
+        assert!(report.contains("8.00x"), "{report}");
+    }
+
+    #[test]
+    fn new_frames_rank_as_infinite_regressions() {
+        let baseline = doc(&[("verify", 10.0, 1_000.0)]);
+        let fresh = doc(&[
+            ("verify", 10.0, 1_500.0),
+            ("verify.surprise", 10.0, 2_000.0),
+        ]);
+        let top = attribute_profiles(&fresh, &baseline, 5).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(top[0].path, "verify.surprise");
+        assert!(top[0].ratio.is_infinite());
+        assert!(render_attribution(&top).contains("(new,"));
+    }
+
+    #[test]
+    fn missing_profile_sections_error_with_the_side_named() {
+        let with = doc(&[("a", 1.0, 1.0)]);
+        let without = parse("{\"schema\":\"x\"}").unwrap_or_else(|e| panic!("{e}"));
+        assert!(attribute_profiles(&without, &with, 3)
+            .unwrap_err()
+            .contains("fresh"));
+        assert!(attribute_profiles(&with, &without, 3)
+            .unwrap_err()
+            .contains("baseline"));
+    }
+
+    #[test]
+    fn empty_attribution_renders_a_clean_no_regression_line() {
+        let base = doc(&[("a", 10.0, 100.0)]);
+        let top = attribute_profiles(&base, &base, 3).unwrap_or_else(|e| panic!("{e}"));
+        assert!(top.is_empty());
+        assert!(render_attribution(&top).contains("no frame regressed"));
+    }
+}

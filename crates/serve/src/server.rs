@@ -155,7 +155,13 @@ impl VerifyServer {
                 let config = config.clone();
                 std::thread::Builder::new()
                     .name(format!("mandipass-serve-{i}"))
-                    .spawn(move || worker_loop(&service, &receiver, &stop, &config))
+                    .spawn(move || {
+                        // Label this worker's profiler subtree so
+                        // per-worker call trees merge under distinct
+                        // `workerN.…` roots instead of aliasing.
+                        mandipass_telemetry::profile::set_thread_root(&format!("worker{i}"));
+                        worker_loop(&service, &receiver, &stop, &config)
+                    })
             })
             .collect::<io::Result<Vec<_>>>()?;
 

@@ -4,10 +4,15 @@
 //! Everything renders from [`Monitor::snapshot`], so the offline path
 //! (tests, CI, bench bins) and the live endpoints share one schema:
 //!
-//! * `GET /metrics` — Prometheus text format 0.0.4
+//! * `GET /metrics` — Prometheus text format 0.0.4 (`# HELP` + `# TYPE`
+//!   per family)
 //! * `GET /health`  — the [`crate::drift::HealthReport`] as JSON
 //! * `GET /flight`  — the retained flight records as JSON
 //! * `GET /traces`  — the sampled request traces as JSON
+//! * `GET /profile/cpu`   — the process CPU profile as folded stacks
+//!   (`?format=json` for the nested call tree)
+//! * `GET /profile/alloc` — the attributed allocation profile, same
+//!   two formats
 //!
 //! Every response carries a `Content-Length`; unknown paths get a JSON
 //! error body, and neither unknown paths nor non-GET methods disturb
@@ -63,6 +68,48 @@ fn metric_name(name: &str) -> String {
     out
 }
 
+/// Help text for the exposed metric families, keyed by the *sanitised*
+/// family name. Curated entries cover the fixed monitor families;
+/// dynamically named families (user counters/gauges/histograms) fall
+/// through to a generated line, so every family always carries a
+/// `# HELP` (the CI exposition lint enforces this).
+fn help_text(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "mandipass_health_status" => "Fused health status: 0 healthy, 1 degrading, 2 alarm.",
+        "mandipass_health_sufficient" => {
+            "1 when the drift window holds enough decisions to judge health."
+        }
+        "mandipass_window_decisions" => "Verify decisions in the current sliding window.",
+        "mandipass_health_signal" => "Raw drift-signal value (PSI, KS, ...) per signal.",
+        "mandipass_health_signal_status" => {
+            "Per-signal health status: 0 healthy, 1 degrading, 2 alarm."
+        }
+        "mandipass_window_distance_count" => "Distance observations in the sliding window.",
+        "mandipass_window_distance_mean" => "Mean verify distance in the sliding window.",
+        "mandipass_window_distance_p50" => "Median verify distance in the sliding window.",
+        "mandipass_window_distance_p90" => "90th-percentile verify distance in the window.",
+        "mandipass_window_distance_psi" => {
+            "Population stability index of window distances vs the frozen baseline."
+        }
+        "mandipass_window_distance_ks" => {
+            "Kolmogorov-Smirnov statistic of window distances vs the frozen baseline."
+        }
+        "mandipass_window_quality_rejects" => "Quality-gate rejects in the window, by reason.",
+        "mandipass_window_audit_events" => "Enclave audit events in the window, by kind.",
+        "mandipass_flights_retained" => "Failed-verification flight records currently retained.",
+        _ => return None,
+    })
+}
+
+/// The `# HELP` line body for `name`: curated text when registered,
+/// otherwise a generated description (never empty).
+fn help_line(name: &str) -> String {
+    match help_text(name) {
+        Some(text) => text.to_string(),
+        None => format!("Value of {name} from the mandipass monitor snapshot."),
+    }
+}
+
 /// Escapes a label value per the text format.
 fn escape_label(value: &str) -> String {
     value
@@ -71,8 +118,9 @@ fn escape_label(value: &str) -> String {
         .replace('\n', "\\n")
 }
 
-/// One metric family: a `# TYPE` header plus its samples, emitted only
-/// once per name so the output always passes the duplicate-name lint.
+/// One metric family: `# HELP` + `# TYPE` headers plus its samples,
+/// emitted only once per name so the output always passes the
+/// duplicate-name lint.
 struct Families {
     out: String,
     seen: BTreeSet<String>,
@@ -93,6 +141,7 @@ impl Families {
         if !self.seen.insert(name.clone()) {
             return;
         }
+        let _ = writeln!(self.out, "# HELP {name} {}", help_line(&name));
         let _ = writeln!(self.out, "# TYPE {name} {kind}");
         for (labels, value) in samples {
             if value.is_finite() {
@@ -107,6 +156,7 @@ impl Families {
         if !self.seen.insert(name.clone()) {
             return;
         }
+        let _ = writeln!(self.out, "# HELP {name} {}", help_line(&name));
         let _ = writeln!(self.out, "# TYPE {name} summary");
         for (q, key) in [("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")] {
             if let Some(v) = hist.get(key).and_then(Value::as_f64) {
@@ -266,11 +316,31 @@ fn handle(monitor: &Monitor, stream: &mut TcpStream, budget: Duration) {
     let line = String::from_utf8_lossy(&request);
     let mut parts = line.split_whitespace();
     let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    // Profile endpoints take `?format=json`; other routes ignore any
+    // query string rather than 404ing on it.
+    let (route, query) = path.split_once('?').unwrap_or((path, ""));
+    let json_wanted = query.split('&').any(|kv| kv == "format=json");
     let response = if method != "GET" {
         http_response("405 Method Not Allowed", "text/plain", "GET only\n")
+    } else if route == "/profile/cpu" {
+        // The profilers are process-global (like the metrics registry),
+        // so these routes do not go through the monitor snapshot.
+        let profile = crate::profile::snapshot();
+        if json_wanted {
+            http_response("200 OK", "application/json", &profile.to_json().to_json())
+        } else {
+            http_response("200 OK", "text/plain", &profile.folded())
+        }
+    } else if route == "/profile/alloc" {
+        let profile = crate::alloc::snapshot();
+        if json_wanted {
+            http_response("200 OK", "application/json", &profile.to_json().to_json())
+        } else {
+            http_response("200 OK", "text/plain", &profile.folded())
+        }
     } else {
         let snapshot = monitor.snapshot();
-        match path {
+        match route {
             "/metrics" => http_response(
                 "200 OK",
                 "text/plain; version=0.0.4",
@@ -444,13 +514,22 @@ mod tests {
     }
 
     fn lint(text: &str) {
-        // No duplicate family names across `# TYPE` lines.
+        // No duplicate family names across `# TYPE` lines, and every
+        // family carries a non-empty `# HELP` line before its `# TYPE`.
         let mut seen = BTreeSet::new();
         let mut typed = BTreeSet::new();
+        let mut helped = BTreeSet::new();
         for line in text.lines() {
-            if let Some(rest) = line.strip_prefix("# TYPE ") {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let mut parts = rest.splitn(2, ' ');
+                let name = parts.next().unwrap_or("");
+                let text = parts.next().unwrap_or("").trim();
+                assert!(!text.is_empty(), "empty HELP for {name}");
+                helped.insert(name.to_string());
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
                 let name = rest.split_whitespace().next().unwrap_or("");
                 assert!(seen.insert(name.to_string()), "duplicate family {name}");
+                assert!(helped.contains(name), "family {name} has no # HELP line");
                 typed.insert(name.to_string());
             } else if !line.is_empty() {
                 // Every sample's family must have been typed first
@@ -472,6 +551,7 @@ mod tests {
         let text = render_prometheus(&m.snapshot());
         crate::set_deterministic(false);
         lint(&text);
+        assert!(text.contains("# HELP mandipass_health_status "));
         assert!(text.contains("# TYPE mandipass_health_status gauge"));
         assert!(text.contains("mandipass_health_status 0"));
         assert!(text.contains("mandipass_health_signal{signal=\"distance_drift\"}"));
@@ -519,6 +599,23 @@ mod tests {
             traces.contains("\"trace_id\":\"0000000000000abc\""),
             "{traces}"
         );
+        // Profile routes are served from the process-global profilers.
+        crate::profile::reset();
+        crate::profile::set_enabled(true);
+        {
+            let _probe = crate::span("probe_route");
+        }
+        crate::profile::set_enabled(false);
+        let cpu = fetch("/profile/cpu");
+        assert!(cpu.starts_with("HTTP/1.1 200"), "{cpu}");
+        assert!(cpu.contains("text/plain"), "{cpu}");
+        assert!(cpu.contains("probe_route "), "{cpu}");
+        let cpu_json = fetch("/profile/cpu?format=json");
+        assert!(cpu_json.contains("application/json"), "{cpu_json}");
+        assert!(cpu_json.contains("\"name\":\"probe_route\""), "{cpu_json}");
+        let alloc = fetch("/profile/alloc");
+        assert!(alloc.starts_with("HTTP/1.1 200"), "{alloc}");
+        crate::profile::reset();
         let missing = fetch("/nope");
         assert!(missing.starts_with("HTTP/1.1 404"));
         assert!(missing.contains("application/json"));

@@ -33,6 +33,13 @@
 //!   captured pipeline span tree, and a bounded [`TraceStore`] whose
 //!   sampler keeps every error/degraded/slow request and a
 //!   deterministic, order-independent fraction of the rest.
+//! * [`profile`] + [`alloc`] — continuous profiling: every span close
+//!   feeds a deterministic process-wide call tree (self/total time,
+//!   counts, bucketed p50/p99 per frame) behind `MANDIPASS_PROFILE`,
+//!   and an opt-in counting global allocator attributes heap traffic
+//!   to the innermost span path behind `MANDIPASS_PROFILE_ALLOC`.
+//!   Folded-stack and JSON exports serve at `/profile/cpu` and
+//!   `/profile/alloc` on the monitor server.
 //! * [`monitor`] + [`window`] / [`drift`] / [`flight`] / [`expose`] —
 //!   the live-monitoring layer: sliding-window counters and histograms,
 //!   score-drift detection (PSI/KS against a frozen enrolment-time
@@ -57,6 +64,7 @@
 //! telemetry::counter!("verify.total").inc();
 //! ```
 
+pub mod alloc;
 pub mod clock;
 pub mod drift;
 pub mod expose;
@@ -64,12 +72,14 @@ pub mod flight;
 pub mod metrics;
 pub mod mode;
 pub mod monitor;
+pub mod profile;
 pub mod report;
 pub mod sink;
 pub mod span;
 pub mod trace;
 pub mod window;
 
+pub use alloc::{AllocProfile, AllocStats, ProfilingAlloc, PROFILE_ALLOC_ENV};
 pub use clock::set_deterministic;
 pub use drift::{DriftConfig, DriftDetector, HealthReport, HealthSignal, HealthStatus};
 pub use expose::{render_prometheus, serve_from_env, MonitorServer, MONITOR_ADDR_ENV};
@@ -77,6 +87,7 @@ pub use flight::{FlightOutcome, FlightRecorder, VerifyFlight};
 pub use metrics::{global as metrics, Counter, Gauge, Histogram, Registry};
 pub use mode::{enabled, install_sink, mode, set_default_mode, set_mode, Builder, Mode};
 pub use monitor::{global as monitor, Monitor, MonitorConfig};
+pub use profile::{CpuProfile, FrameStats, PROFILE_ENV};
 pub use sink::{JsonSink, Sink, TextSink};
 pub use span::{capture, span, try_capture, SpanGuard, SpanRecord, SpanTree};
 pub use trace::{

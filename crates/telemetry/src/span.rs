@@ -104,6 +104,10 @@ struct OpenSpan {
     record: Option<usize>,
     /// Length of the thread path *before* this span was appended.
     path_len: usize,
+    /// Sum of durations of directly nested spans that already closed;
+    /// `duration - child_nanos` is this span's *self* time, the value
+    /// the CPU profiler attributes to the frame itself.
+    child_nanos: u64,
 }
 
 #[derive(Default)]
@@ -145,12 +149,13 @@ impl SpanGuard {
 /// guard.
 pub fn span(name: &'static str) -> SpanGuard {
     let sink_on = mode::enabled();
-    if !sink_on && CAPTURING_THREADS.load(Ordering::Relaxed) == 0 {
+    let profiling = crate::profile::enabled();
+    if !sink_on && !profiling && CAPTURING_THREADS.load(Ordering::Relaxed) == 0 {
         return SpanGuard::INERT;
     }
     STATE.with(|cell| {
         let mut state = cell.borrow_mut();
-        if !sink_on && !state.capturing {
+        if !sink_on && !profiling && !state.capturing {
             // Some *other* thread is capturing; this one stays inert.
             return SpanGuard::INERT;
         }
@@ -181,6 +186,7 @@ pub fn span(name: &'static str) -> SpanGuard {
             start,
             record,
             path_len,
+            child_nanos: 0,
         });
         SpanGuard {
             active: true,
@@ -202,6 +208,16 @@ impl Drop for SpanGuard {
                 return;
             };
             let duration = clock::now().saturating_sub(open.start);
+            // Feed the enclosing span's self-time accounting, and the
+            // CPU profiler while it is recording. `state.path` still
+            // holds this span's full path (truncated below).
+            if let Some(parent) = state.stack.last_mut() {
+                parent.child_nanos = parent.child_nanos.saturating_add(duration);
+            }
+            if crate::profile::enabled() {
+                let self_nanos = duration.saturating_sub(open.child_nanos);
+                crate::profile::record(&state.path, duration, self_nanos);
+            }
             if let Some(sink) = mode::active_sink() {
                 sink.span_close(&SpanEvent {
                     name: open.name,
@@ -217,6 +233,24 @@ impl Drop for SpanGuard {
             state.path.truncate(open.path_len);
         });
     }
+}
+
+/// Runs `f` with the current thread's dot-joined span path when at
+/// least one span is open; returns `false` without calling `f`
+/// otherwise. Uses `try_with`/`try_borrow` throughout because the
+/// caller may be the allocation hook, which can fire while `STATE` is
+/// already mutably borrowed (an allocation inside `span` itself) or
+/// during thread teardown.
+pub(crate) fn with_current_path(f: impl FnOnce(&str)) -> bool {
+    STATE
+        .try_with(|cell| match cell.try_borrow() {
+            Ok(state) if !state.path.is_empty() => {
+                f(&state.path);
+                true
+            }
+            _ => false,
+        })
+        .unwrap_or(false)
 }
 
 /// Ends the capture session on drop, surviving unwinding.

@@ -153,12 +153,20 @@ fn prometheus_exposition_of_a_live_system_passes_lint() {
     let text = render_prometheus(&monitor.snapshot());
     mandipass_telemetry::set_deterministic(false);
 
-    // The CI lint, in-process: every `# TYPE` family is unique, and
-    // every sample line's family was typed before it.
+    // The CI lint, in-process: every `# TYPE` family is unique and
+    // preceded by a non-empty `# HELP` line, and every sample line's
+    // family was typed before it.
+    let mut helped = std::collections::BTreeSet::new();
     let mut typed = std::collections::BTreeSet::new();
     for line in text.lines() {
-        if let Some(rest) = line.strip_prefix("# TYPE ") {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let mut words = rest.split_whitespace();
+            let name = words.next().unwrap_or("");
+            assert!(words.next().is_some(), "empty HELP text for {name}");
+            helped.insert(name.to_string());
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
             let name = rest.split_whitespace().next().unwrap_or("");
+            assert!(helped.contains(name), "family {name} without # HELP text");
             assert!(
                 typed.insert(name.to_string()),
                 "duplicate metric family {name}"
